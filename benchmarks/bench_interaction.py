@@ -1,0 +1,85 @@
+"""INTERACT — sustained interactivity on the wall (extension of FIG3).
+
+The paper's value proposition is *dynamic* analysis: collaborators pan,
+zoom and re-select live at the wall (Figure 3).  This bench runs a
+scripted scroll animation through the swap-locked frame-sequence driver
+and reports sustained frame rate versus render-node count, plus the cost
+of pointer hit-testing — the end-to-end latency budget of an interactive
+wall session.
+"""
+
+import pytest
+
+from repro.core import ForestView
+from repro.wall import (
+    DisplayWall,
+    FrameSequenceDriver,
+    WallGeometry,
+    WallInputRouter,
+)
+
+from benchmarks.conftest import write_report
+
+GEO = WallGeometry(rows=2, cols=3, tile_width=260, tile_height=200)
+
+
+@pytest.fixture(scope="module")
+def app(case_study_bench):
+    comp, truth = case_study_bench
+    application = ForestView.from_compendium(comp, cluster_genes=True)
+    application.select_genes(list(truth.esr_all), source="interact")
+    application.sync_layer.shared_viewport.set_zoom(8)
+    return application
+
+
+def test_interact_hit_testing(benchmark, app):
+    """Time: one pointer hit-test on the wall canvas."""
+    router = WallInputRouter(app, GEO)
+    hit = benchmark(router.hit_test, GEO.canvas_width // 2, GEO.canvas_height // 2)
+    assert hit.tile_id is not None
+
+
+def test_interact_scroll_frame(benchmark, app):
+    """Time: one scroll step + frame on a 4-node wall."""
+    wall = DisplayWall(GEO, n_nodes=4, schedule="dynamic")
+
+    def one_frame():
+        app.sync_layer.shared_viewport.scroll_by(1)
+        dl = app.display_list(GEO.canvas_width, GEO.canvas_height)
+        return wall.render(dl)
+
+    frame = benchmark.pedantic(one_frame, rounds=3, iterations=1)
+    assert frame.metrics.n_tiles == GEO.n_tiles
+
+
+def test_interact_fps_series(app):
+    """Sustained FPS of a 6-frame scroll animation vs node count."""
+    rows = []
+    for n_nodes in (1, 2, 4):
+        wall = DisplayWall(GEO, n_nodes=n_nodes, schedule="dynamic")
+        app.sync_layer.shared_viewport.scroll_to(0)
+        driver = FrameSequenceDriver(
+            wall, lambda: app.display_list(GEO.canvas_width, GEO.canvas_height)
+        )
+        stats = driver.run(FrameSequenceDriver.scroll_steps(app, 2, 6))
+        rows.append(
+            [
+                n_nodes,
+                f"{stats.fps:.1f}",
+                f"{stats.mean_frame_seconds() * 1000:.0f} ms",
+                f"{stats.worst_frame_seconds() * 1000:.0f} ms",
+                f"{sum(stats.update_seconds) / len(stats.update_seconds) * 1000:.1f} ms",
+            ]
+        )
+    write_report(
+        "INTERACT",
+        "sustained scroll-animation frame rate on the wall (6 tiles)",
+        ["render nodes", "fps", "mean frame", "worst frame", "state update"],
+        rows,
+        notes=(
+            "Swap-locked sequence: frame N is complete on every tile before "
+            "frame N+1 begins, matching the wall's synchronized-swap discipline."
+        ),
+    )
+    # interactivity floor: the wall sustains at least 1 fps in-simulation
+    assert all(float(r[1]) >= 1.0 for r in rows)

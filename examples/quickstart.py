@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: load a compendium into ForestView, select genes, render a frame.
+
+Runs in a few seconds and writes ``quickstart_frame.ppm`` next to this
+script — open it with any image viewer to see the Figure 2-style screen
+(three synchronized dataset panes with global and zoom views).
+"""
+
+from pathlib import Path
+
+from repro.core import ForestView
+from repro.synth import make_stress_compendium
+from repro.viz import write_ppm
+
+OUT = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    # 1. Build a compendium.  Real deployments call repro.data.load_dataset
+    #    on PCL/CDT files; here we synthesize a Gasch-style stress collection
+    #    with a planted environmental stress response (ESR) module.
+    compendium = make_stress_compendium(n_genes=300, n_conditions=16, seed=7)
+    print(f"compendium: {compendium}")
+
+    # 2. Start ForestView with hierarchical clustering per dataset, so the
+    #    global views show dendrogram-ordered heatmaps.
+    app = ForestView.from_compendium(compendium, cluster_genes=True)
+    print(f"app: {app}")
+
+    # 3. Select genes by annotation search — the "Find Genes by name" box.
+    selection = app.select_by_search(["heat shock", "trehalose"])
+    print(f"search selected {len(selection)} genes: {list(selection.genes)[:5]}...")
+
+    # 4. Synchronized zoom views: same genes, same order, in every pane.
+    for view in app.zoom_views():
+        present = sum(view.present)
+        print(f"  pane {view.pane_name}: {present}/{view.n_rows} genes present")
+
+    # 5. Export the gene list (what you would paste into another tool).
+    print("--- exported gene list (head) ---")
+    print("\n".join(app.export_gene_list_text().splitlines()[:4]))
+
+    # 6. Render one laptop-sized frame and save it.
+    pixels = app.render(1280, 720)
+    out = OUT / "quickstart_frame.ppm"
+    write_ppm(pixels, out)
+    print(f"wrote {out} ({pixels.shape[1]}x{pixels.shape[0]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""SPELL search walkthrough (the paper's Figure 4 web interface, headless).
+
+Builds a compendium with a planted co-expression module, queries SPELL
+with a few module genes, and prints the two orderings the web UI shows:
+datasets by relevance and genes by weighted correlation — plus the
+text-search baseline the paper contrasts against.
+"""
+
+from repro.spell import SpellService, TextSearchBaseline
+from repro.stats import average_precision, precision_at_k
+from repro.synth import make_spell_compendium
+from repro.util.formatting import format_table
+
+
+def main() -> None:
+    compendium, truth = make_spell_compendium(
+        n_datasets=16,
+        n_relevant=5,
+        n_genes=500,
+        n_conditions=18,
+        module_size=25,
+        query_size=5,
+        seed=42,
+    )
+    print(f"compendium: {compendium}")
+    print(f"query genes: {', '.join(truth.query_genes)}")
+    print(f"(planted module: {len(truth.module_genes)} genes, "
+          f"coexpressed in {len(truth.relevant_datasets)} datasets)\n")
+
+    service = SpellService(compendium, use_index=True)
+    page = service.search_page(list(truth.query_genes), page=0, page_size=15)
+
+    print(f"--- SPELL results ({page.elapsed_seconds * 1000:.1f} ms, "
+          f"index {service.index_bytes() / 1024:.0f} KiB) ---")
+    print("\ndatasets by relevance:")
+    rows = []
+    for rank, name, weight in page.dataset_rows:
+        marker = "*" if name in set(truth.relevant_datasets) else ""
+        rows.append([rank, name + marker, f"{weight:.3f}"])
+    print(format_table(["rank", "dataset (*=planted)", "weight"], rows))
+
+    print("\ngenes by weighted correlation:")
+    module = set(truth.module_genes)
+    rows = [
+        [rank, gene + ("*" if gene in module else ""), f"{score:.3f}"]
+        for rank, gene, score in page.gene_rows
+    ]
+    print(format_table(["rank", "gene (*=planted)", "score"], rows))
+
+    # --- scoring vs ground truth and vs the text baseline -----------------
+    hidden = set(truth.module_genes) - set(truth.query_genes)
+    result = service.search(list(truth.query_genes))
+    baseline = TextSearchBaseline(compendium).search(list(truth.query_genes))
+    k = len(hidden)
+    rows = [
+        [
+            "SPELL",
+            f"{precision_at_k(result.gene_ranking(), hidden, k):.2f}",
+            f"{average_precision(result.gene_ranking(), hidden):.2f}",
+        ],
+        [
+            "text-match baseline",
+            f"{precision_at_k(baseline.gene_ranking(), hidden, k):.2f}",
+            f"{average_precision(baseline.gene_ranking(), hidden):.2f}",
+        ],
+    ]
+    print(f"\nretrieval of the {k} hidden module genes:")
+    print(format_table(["method", f"precision@{k}", "avg precision"], rows))
+    print("\nSPELL finds co-expressed genes the text search cannot see —")
+    print("'SPELL uses the information within the data' (paper §3).")
+
+
+if __name__ == "__main__":
+    main()

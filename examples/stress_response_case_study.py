@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The paper's §4 case study, end to end.
+
+A collaborator studying stress response and growth rate examines three
+collections at once — environmental stress datasets, a nutrient
+limitation study, and a knockout compendium — and discovers that gene
+groups apparently responding to nutrients/knockouts are actually the
+general environmental stress response (ESR).
+
+Because our data generator *plants* the ESR, this script can score how
+well the ForestView workflow recovers it (precision/recall against
+ground truth), which the paper could only describe qualitatively.
+"""
+
+import numpy as np
+
+from repro.core import ForestView, SpellAdapter, SynchronizationLayer
+from repro.stats import pearson_matrix
+from repro.synth import make_case_study
+from repro.util.formatting import format_table
+
+
+def main() -> None:
+    compendium, truth = make_case_study(
+        n_genes=400, n_conditions=16, n_knockouts=24, seed=2007
+    )
+    app = ForestView.from_compendium(compendium)
+    print(f"loaded {len(compendium)} datasets: {', '.join(compendium.names)}")
+    print(f"planted ESR module: {len(truth.esr_all)} genes "
+          f"({len(truth.esr_induced)} induced / {len(truth.esr_repressed)} repressed)\n")
+
+    # --- Step 1: suspicious cluster in the nutrient study -----------------
+    # The collaborator drags over a co-varying block in the nutrient pane.
+    # We emulate the imprecise human selection: the ESR rows plus bystanders.
+    suspicious = list(truth.esr_induced) + list(truth.growth_genes[:4])
+    app.select_genes(suspicious, source="nutrient-region")
+    print(f"step 1: selected {len(suspicious)} suspicious genes from "
+          f"{truth.nutrient_dataset_name}")
+
+    # --- Step 2: scan the same genes across the stress datasets -----------
+    views = app.zoom_views()
+    assert SynchronizationLayer.rows_aligned(views)
+    rows = []
+    n_esr = len(truth.esr_induced)
+    for view in views:
+        corr = pearson_matrix(view.values)
+        iu = np.triu_indices(n_esr, k=1)
+        esr_coherence = float(np.nanmean(corr[:n_esr, :n_esr][iu]))
+        cross = float(np.nanmean(np.abs(corr[:n_esr, n_esr:])))
+        rows.append([view.pane_name, f"{esr_coherence:.2f}", f"{cross:.2f}"])
+    print("\nstep 2: coherence of the suspected module in every dataset")
+    print(format_table(["dataset", "ESR-block corr", "|cross| corr"], rows))
+
+    # --- Step 3: SPELL search confirms the stress context ------------------
+    spell = SpellAdapter(app)
+    result = spell.query(list(truth.esr_induced[:5]), top_n=len(truth.esr_induced))
+    print("\nstep 3: SPELL dataset ranking for the ESR query")
+    print(format_table(
+        ["rank", "dataset", "weight"],
+        [[i + 1, d.name, f"{d.weight:.3f}"] for i, d in enumerate(result.datasets)],
+    ))
+
+    # --- Step 4: score the recovery against ground truth -------------------
+    held_out = set(truth.esr_induced) - set(truth.esr_induced[:5])
+    top = result.top_genes(len(held_out))
+    recovered = set(top) & held_out
+    precision = len(recovered) / max(1, len(top))
+    recall = len(recovered) / max(1, len(held_out))
+    f1 = 2 * precision * recall / max(1e-12, precision + recall)
+    print("\nstep 4: held-out induced-ESR recovery by SPELL")
+    print(format_table(
+        ["precision", "recall", "F1"],
+        [[f"{precision:.2f}", f"{recall:.2f}", f"{f1:.2f}"]],
+    ))
+
+    # --- Step 5: the sick-knockout observation ------------------------------
+    ko = compendium[truth.knockout_dataset_name]
+    cond_idx = {c: i for i, c in enumerate(ko.matrix.condition_names)}
+    esr_rows = ko.matrix.indices_of(list(truth.esr_induced))
+    esr_mean = np.nanmean(ko.matrix.values[np.asarray(esr_rows)], axis=0)
+    sick = [cond_idx[c] for c in truth.sick_knockouts]
+    healthy = [i for c, i in cond_idx.items() if c not in truth.sick_knockouts]
+    print(
+        f"\nstep 5: mean induced-ESR expression in knockouts — "
+        f"sick {np.nanmean(esr_mean[sick]):+.2f} vs healthy "
+        f"{np.nanmean(esr_mean[healthy]):+.2f}"
+    )
+    print("conclusion: the nutrient/knockout signatures are superseded by the")
+    print("general stress response — the paper's §4 biological insight.")
+
+    # --- Step 6: the workflow-cost contrast ---------------------------------
+    print(
+        f"\nworkflow cost: ONE ForestView instance, ONE selection op "
+        f"({len(compendium)} datasets aligned) vs {len(compendium) * 2}+ "
+        "single-dataset app launches with manual cut-and-paste."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so `pip install -e . --no-use-pep517` works
+on environments whose setuptools lacks PEP 660 support (no `wheel`
+package available offline).
+"""
+
+from setuptools import setup
+
+setup()

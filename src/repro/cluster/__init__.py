@@ -1,0 +1,35 @@
+"""Clustering substrate: distances, hierarchical dendrograms, k-means.
+
+ForestView's global views display gene/array dendrograms produced here
+(or loaded from GTR/ATR files); SPELL and the case study reuse the
+distance kernels.
+"""
+
+from repro.cluster.distance import (
+    correlation_distance,
+    euclidean_distance,
+    cityblock_distance,
+    distance_matrix,
+    METRICS,
+)
+from repro.cluster.hierarchical import hierarchical_cluster, linkage_merges, LINKAGES
+from repro.cluster.tree import TreeNode, DendrogramTree
+from repro.cluster.kmeans import kmeans, KMeansResult
+from repro.cluster.leaforder import order_leaves_by_weight, reorder_tree
+
+__all__ = [
+    "correlation_distance",
+    "euclidean_distance",
+    "cityblock_distance",
+    "distance_matrix",
+    "METRICS",
+    "hierarchical_cluster",
+    "linkage_merges",
+    "LINKAGES",
+    "TreeNode",
+    "DendrogramTree",
+    "kmeans",
+    "KMeansResult",
+    "order_leaves_by_weight",
+    "reorder_tree",
+]

@@ -1,0 +1,111 @@
+"""Distance matrices between expression profiles, with missing-value support.
+
+All functions take a (items x conditions) array and return a symmetric
+(items x items) distance matrix with zero diagonal.  Correlation distance
+is the microarray default (Cluster 3.0 / Java TreeView lineage);
+euclidean and cityblock are provided for completeness and for Ward
+linkage which assumes euclidean geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.correlation import pearson_matrix
+from repro.util.errors import ValidationError
+
+__all__ = ["correlation_distance", "euclidean_distance", "cityblock_distance", "distance_matrix"]
+
+METRICS = ("correlation", "euclidean", "cityblock")
+
+
+def correlation_distance(data: np.ndarray) -> np.ndarray:
+    """``1 - pearson`` over pairwise-complete observations.
+
+    Pairs with undefined correlation (insufficient overlap or zero
+    variance) fall back to the maximum distance 2.0 so clustering stays
+    total.
+    """
+    corr = pearson_matrix(data)
+    dist = 1.0 - corr
+    dist[np.isnan(dist)] = 2.0
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def _masked_pair_moments(data: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared helper: zero-filled data, validity mask, overlap counts."""
+    X = np.asarray(data, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D, got shape {X.shape}")
+    M = (~np.isnan(X)).astype(np.float64)
+    Xz = np.where(np.isnan(X), 0.0, X)
+    n = M @ M.T
+    return X, M, Xz, n
+
+
+def euclidean_distance(data: np.ndarray) -> np.ndarray:
+    """Euclidean distance scaled to the full condition count.
+
+    Over the shared conditions of each pair we compute the mean squared
+    difference, then multiply by the total condition count — the standard
+    missing-data rescaling that keeps distances comparable across pairs
+    with different overlap.  Pairs with no overlap get the largest
+    observed distance.
+    """
+    X, M, Xz, n = _masked_pair_moments(data)
+    d = X.shape[1]
+    sq = (Xz * Xz) @ M.T
+    cross = Xz @ Xz.T
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_sq_diff = (sq + sq.T - 2.0 * cross) / n
+        dist = np.sqrt(np.maximum(mean_sq_diff * d, 0.0))
+    no_overlap = n == 0
+    if no_overlap.any():
+        finite = dist[~no_overlap & ~np.isnan(dist)]
+        fallback = float(finite.max()) if finite.size else 0.0
+        dist[no_overlap] = fallback
+    dist[np.isnan(dist)] = 0.0
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def cityblock_distance(data: np.ndarray) -> np.ndarray:
+    """Manhattan distance with the same missing-data rescaling as euclidean.
+
+    The |x - y| kernel does not factor into matmuls, so this runs one
+    vectorized pass per row — O(n^2 d) like the others but with a Python
+    loop of length n (acceptable: cityblock is not on any hot path).
+    """
+    X = np.asarray(data, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D, got shape {X.shape}")
+    n_items, d = X.shape
+    M = ~np.isnan(X)
+    Xz = np.where(M, X, 0.0)
+    dist = np.zeros((n_items, n_items), dtype=np.float64)
+    for i in range(n_items):
+        shared = M[i] & M  # (n_items, d)
+        diffs = np.abs(Xz[i] - Xz) * shared
+        counts = shared.sum(axis=1).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            row = diffs.sum(axis=1) / counts * d
+        row[counts == 0] = np.nan
+        dist[i] = row
+    no_overlap = np.isnan(dist)
+    if no_overlap.any():
+        finite = dist[~no_overlap]
+        dist[no_overlap] = float(finite.max()) if finite.size else 0.0
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def distance_matrix(data: np.ndarray, metric: str = "correlation") -> np.ndarray:
+    """Dispatch on metric name; see :data:`METRICS`."""
+    if metric == "correlation":
+        return correlation_distance(data)
+    if metric == "euclidean":
+        return euclidean_distance(data)
+    if metric == "cityblock":
+        return cityblock_distance(data)
+    raise ValidationError(f"unknown metric {metric!r}; choose from {METRICS}")

@@ -1,0 +1,110 @@
+"""K-means clustering (extension beyond the paper's hierarchical default).
+
+Provided because analysis tools plugged into ForestView's "Other
+Analysis" slot commonly emit flat clusters; the §4 case-study example
+uses it to pre-group candidate gene modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import default_rng
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    labels: np.ndarray  # (n_items,) cluster assignment
+    centroids: np.ndarray  # (k, n_conditions)
+    inertia: float  # sum of squared distances to assigned centroid
+    n_iterations: int
+    converged: bool
+
+    def cluster_members(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == cluster)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    max_iterations: int = 100,
+    tol: float = 1e-6,
+    seed: int | np.random.Generator | None = None,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Missing values are imputed to the row mean before clustering (rows
+    that are entirely missing become all-zero), which matches the
+    pragmatic treatment microarray tools apply before flat clustering.
+    """
+    X = np.array(data, dtype=np.float64, copy=True)
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
+    if not (1 <= k <= n):
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+    rng = default_rng(seed)
+
+    # row-mean imputation
+    row_means = np.nanmean(np.where(np.isnan(X).all(axis=1, keepdims=True), 0.0, X), axis=1)
+    nan_rows, nan_cols = np.nonzero(np.isnan(X))
+    X[nan_rows, nan_cols] = row_means[nan_rows]
+
+    centroids = _kmeans_pp_init(X, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # squared distances via ||x||^2 - 2 x.c + ||c||^2
+        sq = (
+            (X * X).sum(axis=1, keepdims=True)
+            - 2.0 * X @ centroids.T
+            + (centroids * centroids).sum(axis=1)[None, :]
+        )
+        labels = np.argmin(sq, axis=1)
+        new_centroids = np.empty_like(centroids)
+        for c in range(k):
+            members = X[labels == c]
+            if members.size:
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                # re-seed empty clusters at the point farthest from its centroid
+                farthest = int(np.argmax(sq.min(axis=1)))
+                new_centroids[c] = X[farthest]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift <= tol:
+            converged = True
+            break
+    final_sq = (
+        (X * X).sum(axis=1, keepdims=True)
+        - 2.0 * X @ centroids.T
+        + (centroids * centroids).sum(axis=1)[None, :]
+    )
+    labels = np.argmin(final_sq, axis=1)
+    inertia = float(np.maximum(final_sq[np.arange(n), labels], 0.0).sum())
+    return KMeansResult(labels, centroids, inertia, iteration, converged)
+
+
+def _kmeans_pp_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared-distance sampling."""
+    n = X.shape[0]
+    centroids = np.empty((k, X.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = X[first]
+    closest_sq = ((X - centroids[0]) ** 2).sum(axis=1)
+    for c in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest_sq / total))
+        centroids[c] = X[choice]
+        closest_sq = np.minimum(closest_sq, ((X - centroids[c]) ** 2).sum(axis=1))
+    return centroids

@@ -1,0 +1,86 @@
+"""Leaf ordering for dendrograms (Cluster 3.0's subtree flipping).
+
+A binary dendrogram fixes groupings but not the left/right orientation
+of each internal node — 2^(n-1) visually different orderings draw the
+same tree.  Heatmaps read far better when adjacent leaves are similar,
+so we orient every subtree by a weight function (default: mean
+expression), placing the lighter child first.  This is the classic
+Cluster 3.0 behaviour; exact optimal ordering (Bar-Joseph) is O(n^4)
+and unnecessary for display.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.tree import DendrogramTree, TreeNode
+from repro.util.errors import ValidationError
+
+__all__ = ["order_leaves_by_weight", "reorder_tree"]
+
+
+def order_leaves_by_weight(
+    tree: DendrogramTree,
+    data: np.ndarray,
+    *,
+    weight_fn: Callable[[np.ndarray], float] | None = None,
+) -> DendrogramTree:
+    """Return a new tree with each node's children oriented by weight.
+
+    Parameters
+    ----------
+    tree:
+        Dendrogram over the rows of ``data``.
+    data:
+        (n_leaves, conditions) matrix the tree was built from.
+    weight_fn:
+        Maps one row to a scalar; subtree weight is the mean over its
+        leaves, and the lighter subtree is placed first (left/top).
+        Default: NaN-ignoring row mean.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] != tree.n_leaves:
+        raise ValidationError(
+            f"data has {data.shape[0] if data.ndim == 2 else '?'} rows "
+            f"for a tree with {tree.n_leaves} leaves"
+        )
+    if weight_fn is None:
+        def weight_fn(row: np.ndarray) -> float:
+            finite = row[~np.isnan(row)]
+            return float(finite.mean()) if finite.size else 0.0
+
+    leaf_weights = np.array([weight_fn(data[i]) for i in range(tree.n_leaves)])
+
+    new_root = copy.deepcopy(tree.root)
+
+    def orient(node: TreeNode) -> tuple[float, int]:
+        """Post-order: orient children, return (weight_sum, leaf_count)."""
+        if node.is_leaf:
+            return float(leaf_weights[node.index]), 1
+        assert node.left is not None and node.right is not None
+        lw, ln = orient(node.left)
+        rw, rn = orient(node.right)
+        if lw / ln > rw / rn:  # lighter mean first
+            node.left, node.right = node.right, node.left
+        return lw + rw, ln + rn
+
+    orient(new_root)
+    return DendrogramTree(root=new_root, n_leaves=tree.n_leaves)
+
+
+def reorder_tree(tree: DendrogramTree, new_positions: dict[int, int]) -> DendrogramTree:
+    """Return a copy of ``tree`` with leaf indices remapped.
+
+    ``new_positions[old_index] = new_index`` must be a bijection over
+    ``0..n-1``; used when the underlying matrix rows are permuted.
+    """
+    n = tree.n_leaves
+    if sorted(new_positions) != list(range(n)) or sorted(new_positions.values()) != list(range(n)):
+        raise ValidationError("new_positions must be a bijection over 0..n-1")
+    new_root = copy.deepcopy(tree.root)
+    for leaf in new_root.leaves():
+        leaf.index = new_positions[leaf.index]
+    return DendrogramTree(root=new_root, n_leaves=n)

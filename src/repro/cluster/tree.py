@@ -1,0 +1,211 @@
+"""Dendrogram tree structure shared by clustering, GTR/ATR files and rendering.
+
+A tree over ``n`` leaves is stored as ``n - 1`` merge records (like a
+scipy linkage matrix) wrapped in a node API convenient for traversal,
+cutting, and drawing.  Leaves carry the row/column index into the matrix
+that was clustered plus a stable string id (the GTR ``GENE3X`` /
+``NODE5X`` convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["TreeNode", "DendrogramTree"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a dendrogram.
+
+    ``index`` is the leaf's position in the clustered matrix (None for
+    internal nodes); ``height`` is the merge distance (0.0 for leaves).
+    """
+
+    node_id: str
+    height: float = 0.0
+    index: int | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    correlation: float | None = None  # GTR files store 1 - distance here
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """Yield leaf nodes left-to-right."""
+        if self.is_leaf:
+            yield self
+            return
+        assert self.left is not None and self.right is not None
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def nodes(self) -> Iterator["TreeNode"]:
+        """Yield every node in post-order (children before parents)."""
+        if self.left is not None:
+            yield from self.left.nodes()
+        if self.right is not None:
+            yield from self.right.nodes()
+        yield self
+
+    def leaf_indices(self) -> list[int]:
+        return [leaf.index for leaf in self.leaves()]  # type: ignore[misc]
+
+
+@dataclass
+class DendrogramTree:
+    """A full dendrogram over ``n_leaves`` items.
+
+    Attributes
+    ----------
+    root:
+        Topmost :class:`TreeNode`.
+    n_leaves:
+        Number of clustered items; the tree always has exactly
+        ``n_leaves - 1`` internal nodes (or zero when n_leaves <= 1).
+    """
+
+    root: TreeNode
+    n_leaves: int
+    _by_id: dict[str, TreeNode] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._by_id:
+            self._by_id = {node.node_id: node for node in self.root.nodes()}
+        leaves = list(self.root.leaves())
+        if len(leaves) != self.n_leaves:
+            raise ValidationError(
+                f"tree has {len(leaves)} leaves but n_leaves={self.n_leaves}"
+            )
+        indices = sorted(leaf.index for leaf in leaves)
+        if indices != list(range(self.n_leaves)):
+            raise ValidationError("leaf indices must be exactly 0..n_leaves-1")
+
+    # ----------------------------------------------------------------- lookup
+    def node(self, node_id: str) -> TreeNode:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id!r} in tree") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._by_id
+
+    def leaf_order(self) -> list[int]:
+        """Matrix row indices in the tree's left-to-right display order."""
+        return self.root.leaf_indices()
+
+    def internal_nodes(self) -> list[TreeNode]:
+        return [n for n in self.root.nodes() if not n.is_leaf]
+
+    def max_height(self) -> float:
+        return max((n.height for n in self.root.nodes()), default=0.0)
+
+    # ---------------------------------------------------------------- cutting
+    def cut_at_height(self, height: float) -> list[list[int]]:
+        """Clusters obtained by removing every merge above ``height``.
+
+        Returns a list of clusters (each a list of leaf indices), ordered
+        left-to-right as displayed.
+        """
+        clusters: list[list[int]] = []
+
+        def descend(node: TreeNode) -> None:
+            if node.is_leaf or node.height <= height:
+                clusters.append(node.leaf_indices())
+            else:
+                assert node.left is not None and node.right is not None
+                descend(node.left)
+                descend(node.right)
+
+        descend(self.root)
+        return clusters
+
+    def cut_k(self, k: int) -> list[list[int]]:
+        """Cut into exactly ``k`` clusters by undoing the k-1 highest merges."""
+        if not (1 <= k <= self.n_leaves):
+            raise ValidationError(f"k must be in [1, {self.n_leaves}], got {k}")
+        # Repeatedly split the frontier node with the greatest height.
+        frontier: list[TreeNode] = [self.root]
+        while len(frontier) < k:
+            splittable = [n for n in frontier if not n.is_leaf]
+            if not splittable:
+                break
+            tallest = max(splittable, key=lambda n: n.height)
+            frontier.remove(tallest)
+            assert tallest.left is not None and tallest.right is not None
+            frontier.extend([tallest.left, tallest.right])
+        return [n.leaf_indices() for n in frontier]
+
+    # ------------------------------------------------------------ conversion
+    def to_merges(self) -> np.ndarray:
+        """Scipy-style linkage records ``(left_id, right_id, height, size)``.
+
+        Leaves are numbered ``0..n-1`` and internal nodes ``n..2n-2`` in
+        merge order (children always precede parents).
+        """
+        n = self.n_leaves
+        records: list[tuple[int, int, float, int]] = []
+        numbering: dict[int, int] = {}
+        sizes: dict[int, int] = {}
+        next_id = n
+        for node in self.root.nodes():  # post-order: children first
+            if node.is_leaf:
+                numbering[id(node)] = node.index  # type: ignore[assignment]
+                sizes[id(node)] = 1
+            else:
+                assert node.left is not None and node.right is not None
+                li = numbering[id(node.left)]
+                ri = numbering[id(node.right)]
+                size = sizes[id(node.left)] + sizes[id(node.right)]
+                records.append((li, ri, float(node.height), size))
+                numbering[id(node)] = next_id
+                sizes[id(node)] = size
+                next_id += 1
+        return np.asarray(records, dtype=np.float64).reshape(-1, 4)
+
+    @staticmethod
+    def from_merges(
+        merges: np.ndarray,
+        *,
+        leaf_prefix: str = "GENE",
+        node_prefix: str = "NODE",
+        leaf_ids: Sequence[str] | None = None,
+    ) -> "DendrogramTree":
+        """Build a tree from scipy-style linkage records.
+
+        ``leaf_ids`` overrides the default ``GENE{i}X`` naming (used when
+        loading GTR files that reference existing gene ids).
+        """
+        merges = np.asarray(merges, dtype=np.float64)
+        if merges.size == 0:
+            raise ValidationError("cannot build a tree from zero merges")
+        if merges.ndim != 2 or merges.shape[1] != 4:
+            raise ValidationError(f"merges must be (n-1, 4), got {merges.shape}")
+        n = merges.shape[0] + 1
+        if leaf_ids is not None and len(leaf_ids) != n:
+            raise ValidationError(f"{len(leaf_ids)} leaf ids for {n} leaves")
+        nodes: dict[int, TreeNode] = {}
+        for i in range(n):
+            node_id = leaf_ids[i] if leaf_ids is not None else f"{leaf_prefix}{i}X"
+            nodes[i] = TreeNode(node_id=node_id, index=i)
+        for m, (li, ri, height, _size) in enumerate(merges):
+            li_i, ri_i = int(li), int(ri)
+            if li_i not in nodes or ri_i not in nodes:
+                raise ValidationError(f"merge {m} references unknown node {li_i} or {ri_i}")
+            parent = TreeNode(
+                node_id=f"{node_prefix}{m + 1}X",
+                height=float(height),
+                left=nodes[li_i],
+                right=nodes[ri_i],
+                correlation=1.0 - float(height),
+            )
+            nodes[n + m] = parent
+        return DendrogramTree(root=nodes[n + merges.shape[0] - 1], n_leaves=n)

@@ -1,0 +1,98 @@
+"""ForestView — the paper's primary contribution (§2, Figures 1-3, 6).
+
+Public surface: the :class:`ForestView` application facade plus the
+components a downstream user composes directly (selection model,
+synchronization layer, panes, preferences, events, integration adapters,
+session persistence).
+"""
+
+from repro.core.app import ForestView
+from repro.core.events import (
+    Event,
+    EventBus,
+    SelectionChanged,
+    SyncToggled,
+    DatasetsReordered,
+    PreferencesChanged,
+    DatasetAdded,
+    ViewportScrolled,
+)
+from repro.core.export import (
+    format_gene_list,
+    export_gene_list,
+    format_merged_pcl,
+    export_merged_pcl,
+)
+from repro.core.integration import SpellAdapter, GolemAdapter
+from repro.core.ordering import order_by_name, order_by_scores, order_by_selection_coverage
+from repro.core.panes import DatasetPane
+from repro.core.preferences import PanePreferences
+from repro.core.rendering import FrameStyle, build_display_list
+from repro.core.search import find_genes
+from repro.core.selection import GeneSelection, SelectionModel
+from repro.core.session import save_session, load_session, session_to_dict, session_from_dict
+from repro.core.sync import SynchronizationLayer, ZoomView
+from repro.core.viewport import Viewport
+from repro.core.commands import (
+    Command,
+    SelectGenes,
+    SelectRegion,
+    SearchSelect,
+    ExtendSelection,
+    ClearSelection,
+    SetSynchronized,
+    OrderDatasets,
+    SetPreferences,
+    ScrollTo,
+    CommandScript,
+    record_script,
+)
+
+__all__ = [
+    "ForestView",
+    "Event",
+    "EventBus",
+    "SelectionChanged",
+    "SyncToggled",
+    "DatasetsReordered",
+    "PreferencesChanged",
+    "DatasetAdded",
+    "ViewportScrolled",
+    "format_gene_list",
+    "export_gene_list",
+    "format_merged_pcl",
+    "export_merged_pcl",
+    "SpellAdapter",
+    "GolemAdapter",
+    "order_by_name",
+    "order_by_scores",
+    "order_by_selection_coverage",
+    "DatasetPane",
+    "PanePreferences",
+    "FrameStyle",
+    "build_display_list",
+    "find_genes",
+    "GeneSelection",
+    "SelectionModel",
+    "save_session",
+    "load_session",
+    "session_to_dict",
+    "session_from_dict",
+    "SynchronizationLayer",
+    "ZoomView",
+    "Viewport",
+    "Command",
+    "SelectGenes",
+    "SelectRegion",
+    "SearchSelect",
+    "ExtendSelection",
+    "ClearSelection",
+    "SetSynchronized",
+    "OrderDatasets",
+    "SetPreferences",
+    "ScrollTo",
+    "CommandScript",
+    "record_script",
+    "session_report",
+]
+from repro.core.report import session_report  # noqa: E402  (depends on the names above)

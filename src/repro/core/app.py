@@ -1,0 +1,263 @@
+"""The ForestView application facade.
+
+One object wiring the whole Figure 1 architecture together: datasets
+behind a merged interface, panes with global/zoom views, the selection
+model, the synchronization layer, annotation search, dataset ordering,
+exports, preferences, rendering (laptop or display wall) and the
+SPELL/GOLEM integration hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.events import (
+    DatasetAdded,
+    DatasetsReordered,
+    EventBus,
+    PreferencesChanged,
+    SelectionChanged,
+)
+from repro.core.export import (
+    export_gene_list,
+    export_merged_pcl,
+    format_gene_list,
+    format_merged_pcl,
+)
+from repro.core.ordering import order_by_name, order_by_scores, order_by_selection_coverage
+from repro.core.panes import DatasetPane
+from repro.core.preferences import PanePreferences
+from repro.core.rendering import FrameStyle, build_display_list
+from repro.core.search import find_genes
+from repro.core.selection import GeneSelection, SelectionModel
+from repro.core.sync import SynchronizationLayer, ZoomView
+from repro.data.compendium import Compendium
+from repro.data.dataset import Dataset
+from repro.data.merged import MergedDatasetInterface
+from repro.util.errors import ValidationError
+from repro.viz.scene import DisplayList
+from repro.wall.cluster import DisplayWall, WallFrame
+
+__all__ = ["ForestView"]
+
+
+class ForestView:
+    """Multi-dataset visualization and analysis application (paper §2).
+
+    Typical headless session::
+
+        app = ForestView.from_compendium(compendium)
+        app.select_by_search(["heat shock"])           # find genes
+        app.set_synchronized(True)                     # aligned zoom views
+        views = app.zoom_views()                       # inspect the data
+        pixels = app.render(1600, 1200)                # laptop frame
+        frame = app.render_on_wall(wall)               # or a display wall
+    """
+
+    def __init__(self, compendium: Compendium) -> None:
+        if len(compendium) == 0:
+            raise ValidationError("ForestView needs at least one dataset")
+        self.compendium = compendium
+        self.bus = EventBus()
+        self.selection_model = SelectionModel(self.bus)
+        self.sync_layer = SynchronizationLayer(self.bus, synchronized=True)
+        self.panes: list[DatasetPane] = [DatasetPane(ds) for ds in compendium]
+        self._merged: MergedDatasetInterface | None = None
+        # keep the shared viewport sized to the live selection
+        self.bus.subscribe(SelectionChanged, self._on_selection_changed)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_compendium(
+        cls, compendium: Compendium, *, cluster_genes: bool = False
+    ) -> "ForestView":
+        """Build the app; optionally hierarchically cluster every dataset first."""
+        if cluster_genes:
+            clustered = Compendium(ds.clustered() for ds in compendium)
+            return cls(clustered)
+        return cls(compendium)
+
+    @classmethod
+    def from_datasets(cls, datasets: Iterable[Dataset], **kwargs) -> "ForestView":
+        return cls.from_compendium(Compendium(datasets), **kwargs)
+
+    # ---------------------------------------------------------------- datasets
+    def pane(self, name: str) -> DatasetPane:
+        for pane in self.panes:
+            if pane.name == name:
+                return pane
+        raise KeyError(f"no pane for dataset {name!r}")
+
+    @property
+    def merged_interface(self) -> MergedDatasetInterface:
+        """The Figure 1 merged 3-D array interface (built lazily, cached)."""
+        if self._merged is None:
+            self._merged = MergedDatasetInterface(self.compendium)
+        return self._merged
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        """Add a dataset pane at the end (e.g. a subset loaded as a dataset)."""
+        self.compendium.add(dataset)
+        self.panes.append(DatasetPane(dataset))
+        self._merged = None
+        self.bus.publish(DatasetAdded(name=dataset.name))
+
+    def load_selection_as_dataset(self, source_dataset: str, *, name: str | None = None) -> Dataset:
+        """§2: "This subset can also be loaded into the ForestView display
+        as a dataset." Subsets the source dataset to the current selection."""
+        selection = self._require_selection()
+        subset = self.compendium[source_dataset].subset(selection.genes, name=name)
+        self.add_dataset(subset)
+        return subset
+
+    # ---------------------------------------------------------------- ordering
+    def order_datasets(self, names: Sequence[str]) -> None:
+        self.compendium.reorder(list(names))
+        by_name = {p.name: p for p in self.panes}
+        self.panes = [by_name[n] for n in self.compendium.names]
+        self._merged = None
+        self.bus.publish(DatasetsReordered(order=tuple(self.compendium.names)))
+
+    def order_datasets_by_scores(self, scores: Mapping[str, float]) -> None:
+        self.order_datasets(order_by_scores(self.compendium, scores))
+
+    def order_datasets_by_name(self) -> None:
+        self.order_datasets(order_by_name(self.compendium))
+
+    def order_datasets_by_selection_coverage(self) -> None:
+        self.order_datasets(
+            order_by_selection_coverage(self.compendium, self._require_selection())
+        )
+
+    # --------------------------------------------------------------- selection
+    @property
+    def selection(self) -> GeneSelection | None:
+        return self.selection_model.current
+
+    def select_genes(self, genes: Iterable[str], *, source: str = "api") -> GeneSelection:
+        return self.selection_model.select(genes, source=source)
+
+    def select_region(self, dataset: str, start_row: int, end_row: int) -> GeneSelection:
+        """Mouse-drag selection over a pane's global view (display rows)."""
+        genes = self.pane(dataset).genes_in_region(start_row, end_row)
+        return self.selection_model.select(genes, source=f"region:{dataset}")
+
+    def select_by_search(
+        self,
+        criteria: Sequence[str],
+        *,
+        fields: Sequence[str] | None = None,
+        match: str = "substring",
+    ) -> GeneSelection:
+        """Annotation search across all datasets -> synchronized selection."""
+        genes = find_genes(self.compendium, criteria, fields=fields, match=match)
+        if not genes:
+            raise ValidationError(f"search matched no genes: {list(criteria)}")
+        return self.selection_model.select(genes, source=f"search:{','.join(criteria)}")
+
+    def extend_selection(self, genes: Iterable[str], *, source: str = "api") -> GeneSelection:
+        return self.selection_model.extend(genes, source=source)
+
+    def clear_selection(self) -> None:
+        self.selection_model.clear()
+
+    def _require_selection(self) -> GeneSelection:
+        selection = self.selection
+        if selection is None:
+            raise ValidationError("no current selection")
+        return selection
+
+    def selection_coherence(
+        self,
+        dataset: str,
+        *,
+        n_permutations: int = 200,
+        seed: int | None = None,
+    ):
+        """Tightness of the current selection within one dataset (§2's
+        "tightness of grouping"): mean pairwise correlation with a
+        permutation test against random same-size gene groups."""
+        from repro.stats.coherence import coherence_test
+
+        selection = self._require_selection()
+        matrix = self.compendium[dataset].matrix
+        rows = matrix.indices_of(list(selection.genes), missing="skip")
+        if len(rows) < 2:
+            raise ValidationError(
+                f"selection has fewer than 2 genes measured in {dataset!r}"
+            )
+        return coherence_test(
+            matrix.values, rows, n_permutations=n_permutations, seed=seed
+        )
+
+    def _on_selection_changed(self, event: SelectionChanged) -> None:
+        max_cond = self.compendium.max_conditions()
+        self.sync_layer.on_selection_changed(len(event.genes), max_cond)
+
+    # ----------------------------------------------------------------- syncing
+    @property
+    def synchronized(self) -> bool:
+        return self.sync_layer.synchronized
+
+    def set_synchronized(self, flag: bool) -> None:
+        self.sync_layer.set_synchronized(flag)
+
+    def zoom_views(self) -> list[ZoomView]:
+        """Current zoom-view content of every pane (selection required)."""
+        return self.sync_layer.zoom_views(self.panes, self._require_selection())
+
+    # -------------------------------------------------------------- preferences
+    def set_preferences(self, dataset: str | None = None, **changes) -> None:
+        """Update display preferences for one pane or (dataset=None) all panes.
+
+        §2: preferences "can be adjusted independently for datasets or
+        applied to all datasets."
+        """
+        targets = self.panes if dataset is None else [self.pane(dataset)]
+        for pane in targets:
+            pane.update_preferences(**changes)
+        for field_name in changes:
+            self.bus.publish(PreferencesChanged(dataset=dataset, field_name=field_name))
+
+    # ------------------------------------------------------------------ export
+    def export_gene_list_text(self, *, annotations: bool = True) -> str:
+        return format_gene_list(self._require_selection(), self.compendium, annotations=annotations)
+
+    def export_gene_list(self, path, *, annotations: bool = True):
+        return export_gene_list(
+            self._require_selection(), path, self.compendium, annotations=annotations
+        )
+
+    def export_merged_text(self, *, selection_only: bool = True) -> str:
+        sel = self._require_selection() if selection_only else None
+        return format_merged_pcl(self.compendium, sel)
+
+    def export_merged(self, path, *, selection_only: bool = True):
+        sel = self._require_selection() if selection_only else None
+        return export_merged_pcl(self.compendium, path, sel)
+
+    # --------------------------------------------------------------- rendering
+    def display_list(
+        self, width: int, height: int, *, style: type[FrameStyle] = FrameStyle
+    ) -> DisplayList:
+        return build_display_list(
+            self.panes, self.selection, self.sync_layer, width=width, height=height, style=style
+        )
+
+    def render(self, width: int, height: int) -> np.ndarray:
+        """Render one frame at the given resolution (desktop/laptop path)."""
+        return self.display_list(width, height).render_full()
+
+    def render_on_wall(self, wall: DisplayWall, **render_kwargs) -> WallFrame:
+        """Render one frame across a simulated display wall."""
+        dl = self.display_list(wall.geometry.canvas_width, wall.geometry.canvas_height)
+        return wall.render(dl, **render_kwargs)
+
+    def __repr__(self) -> str:
+        sel = len(self.selection) if self.selection else 0
+        return (
+            f"ForestView({len(self.panes)} panes, {sel} genes selected, "
+            f"sync={'on' if self.synchronized else 'off'})"
+        )

@@ -1,0 +1,246 @@
+"""Scriptable command layer over ForestView.
+
+The paper's architecture routes analysis programs *into* the UI ("the
+most adaptive method is to provide selection information from an
+analysis application").  The command layer makes that programmable and
+replayable: every user-level operation is a small declarative command;
+scripts of commands can be executed, serialized to JSON, and recorded
+from a live session's event bus — a macro facility the original Java
+application lacked.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:
+    from repro.core.app import ForestView
+
+__all__ = [
+    "Command",
+    "SelectGenes",
+    "SelectRegion",
+    "SearchSelect",
+    "ExtendSelection",
+    "ClearSelection",
+    "SetSynchronized",
+    "OrderDatasets",
+    "SetPreferences",
+    "ScrollTo",
+    "CommandScript",
+    "record_script",
+]
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class; subclasses implement ``apply`` and (de)serialization."""
+
+    def apply(self, app: "ForestView") -> Any:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        data = {"op": type(self).__name__}
+        data.update(self.__dict__)
+        return _jsonable(data)
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+@dataclass(frozen=True)
+class SelectGenes(Command):
+    genes: tuple[str, ...]
+    source: str = "script"
+
+    def apply(self, app):
+        return app.select_genes(list(self.genes), source=self.source)
+
+
+@dataclass(frozen=True)
+class SelectRegion(Command):
+    dataset: str
+    start_row: int
+    end_row: int
+
+    def apply(self, app):
+        return app.select_region(self.dataset, self.start_row, self.end_row)
+
+
+@dataclass(frozen=True)
+class SearchSelect(Command):
+    criteria: tuple[str, ...]
+    match: str = "substring"
+
+    def apply(self, app):
+        return app.select_by_search(list(self.criteria), match=self.match)
+
+
+@dataclass(frozen=True)
+class ExtendSelection(Command):
+    genes: tuple[str, ...]
+    source: str = "script"
+
+    def apply(self, app):
+        return app.extend_selection(list(self.genes), source=self.source)
+
+
+@dataclass(frozen=True)
+class ClearSelection(Command):
+    def apply(self, app):
+        app.clear_selection()
+
+
+@dataclass(frozen=True)
+class SetSynchronized(Command):
+    synchronized: bool
+
+    def apply(self, app):
+        app.set_synchronized(self.synchronized)
+
+
+@dataclass(frozen=True)
+class OrderDatasets(Command):
+    order: tuple[str, ...]
+
+    def apply(self, app):
+        app.order_datasets(list(self.order))
+
+
+@dataclass(frozen=True)
+class SetPreferences(Command):
+    dataset: str | None
+    changes: dict
+
+    def apply(self, app):
+        app.set_preferences(self.dataset, **self.changes)
+
+    def to_dict(self) -> dict:
+        return {"op": "SetPreferences", "dataset": self.dataset, "changes": dict(self.changes)}
+
+
+@dataclass(frozen=True)
+class ScrollTo(Command):
+    row: int
+
+    def apply(self, app):
+        app.sync_layer.shared_viewport.scroll_to(self.row)
+
+
+_REGISTRY: dict[str, type[Command]] = {
+    cls.__name__: cls
+    for cls in (
+        SelectGenes,
+        SelectRegion,
+        SearchSelect,
+        ExtendSelection,
+        ClearSelection,
+        SetSynchronized,
+        OrderDatasets,
+        SetPreferences,
+        ScrollTo,
+    )
+}
+
+
+def _command_from_dict(data: dict) -> Command:
+    data = dict(data)
+    op = data.pop("op", None)
+    cls = _REGISTRY.get(op)
+    if cls is None:
+        raise ValidationError(f"unknown command op {op!r}")
+    # tuples serialize as lists; convert back for the tuple-typed fields
+    for key, value in list(data.items()):
+        if isinstance(value, list):
+            data[key] = tuple(value)
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ValidationError(f"bad arguments for {op}: {exc}") from exc
+
+
+class CommandScript:
+    """An ordered list of commands that can run against any compatible app."""
+
+    def __init__(self, commands: list[Command] | None = None) -> None:
+        self.commands: list[Command] = list(commands or [])
+
+    def add(self, command: Command) -> "CommandScript":
+        self.commands.append(command)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def run(self, app: "ForestView") -> list[Any]:
+        """Execute every command in order; returns per-command results."""
+        return [cmd.apply(app) for cmd in self.commands]
+
+    # ---------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        return json.dumps([c.to_dict() for c in self.commands], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CommandScript":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"command script is not valid JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise ValidationError("command script must be a JSON array")
+        return cls([_command_from_dict(entry) for entry in raw])
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CommandScript":
+        return cls.from_json(Path(path).read_text())
+
+
+def record_script(app: "ForestView") -> tuple[CommandScript, callable]:
+    """Attach a recorder to a live app; returns (script, stop_recording).
+
+    Selection, sync and ordering events are captured as replayable
+    commands.  Preferences changes are not captured (events carry only
+    the field name, not the value) — set them in the script explicitly.
+    """
+    from repro.core.events import DatasetsReordered, SelectionChanged, SyncToggled
+
+    script = CommandScript()
+
+    def on_selection(event: SelectionChanged) -> None:
+        if event.genes:
+            script.add(SelectGenes(genes=tuple(event.genes), source=event.source))
+        else:
+            script.add(ClearSelection())
+
+    def on_sync(event: SyncToggled) -> None:
+        script.add(SetSynchronized(synchronized=event.synchronized))
+
+    def on_reorder(event: DatasetsReordered) -> None:
+        script.add(OrderDatasets(order=tuple(event.order)))
+
+    unsubs = [
+        app.bus.subscribe(SelectionChanged, on_selection),
+        app.bus.subscribe(SyncToggled, on_sync),
+        app.bus.subscribe(DatasetsReordered, on_reorder),
+    ]
+
+    def stop() -> None:
+        for unsub in unsubs:
+            unsub()
+
+    return script, stop

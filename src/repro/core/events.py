@@ -1,0 +1,102 @@
+"""Event bus wiring ForestView's UI-ish components together.
+
+The original application is interactive; our headless reproduction keeps
+the same decoupling — selection, synchronization, ordering and
+preference changes are announced on a bus so integrations (SPELL/GOLEM
+adapters, renderers, session recorders) can react without the app facade
+hard-wiring them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "Event",
+    "SelectionChanged",
+    "SyncToggled",
+    "DatasetsReordered",
+    "PreferencesChanged",
+    "DatasetAdded",
+    "ViewportScrolled",
+    "EventBus",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all ForestView events."""
+
+
+@dataclass(frozen=True)
+class SelectionChanged(Event):
+    genes: tuple[str, ...]
+    source: str
+
+
+@dataclass(frozen=True)
+class SyncToggled(Event):
+    synchronized: bool
+
+
+@dataclass(frozen=True)
+class DatasetsReordered(Event):
+    order: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PreferencesChanged(Event):
+    dataset: str | None  # None = applied to all panes
+    field_name: str
+
+
+@dataclass(frozen=True)
+class DatasetAdded(Event):
+    name: str
+
+
+@dataclass(frozen=True)
+class ViewportScrolled(Event):
+    scroll_row: int
+
+
+class EventBus:
+    """Synchronous publish/subscribe keyed by event class.
+
+    Subscribers of a class also receive subclasses (subscribe to
+    :class:`Event` for everything).  Handlers run in subscription order;
+    a handler exception propagates to the publisher — silent handler
+    failure hides bugs.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: list[tuple[type, Callable[[Event], None]]] = []
+        self._log: list[Event] = []
+
+    def subscribe(self, event_type: type, handler: Callable[[Event], None]) -> Callable[[], None]:
+        """Register ``handler`` for ``event_type``; returns an unsubscribe callable."""
+        entry = (event_type, handler)
+        self._handlers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._handlers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> None:
+        self._log.append(event)
+        for event_type, handler in list(self._handlers):
+            if isinstance(event, event_type):
+                handler(event)
+
+    @property
+    def log(self) -> list[Event]:
+        """Every event published, in order (tests and session recorders read this)."""
+        return list(self._log)
+
+    def events_of(self, event_type: type) -> list[Event]:
+        return [e for e in self._log if isinstance(e, event_type)]

@@ -1,0 +1,84 @@
+"""Export operations (Figure 1: "Export Gene List", "Export Merged Dataset").
+
+"When an interesting gene subset is identified, the user can export the
+gene list, and if desired all of the expression data, for further
+analysis in another application." (§2)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.selection import GeneSelection
+from repro.data.compendium import Compendium
+from repro.data.merged import MergedDatasetInterface
+from repro.data.pcl import format_pcl
+from repro.util.errors import ValidationError
+
+__all__ = ["format_gene_list", "export_gene_list", "format_merged_pcl", "export_merged_pcl"]
+
+
+def format_gene_list(
+    selection: GeneSelection, compendium: Compendium | None = None, *, annotations: bool = True
+) -> str:
+    """Tab-separated gene list; optionally NAME/DESCRIPTION columns.
+
+    Annotation values are looked up across the compendium (first dataset
+    that knows the gene wins), matching what a user exporting from the
+    UI would see.
+    """
+    lines: list[str] = []
+    if annotations and compendium is not None:
+        lines.append("GENE\tNAME\tDESCRIPTION")
+        for gene in selection.genes:
+            name = ""
+            desc = ""
+            for ds in compendium:
+                record = ds.annotations.record(gene)
+                if record:
+                    name = record.get("NAME", "")
+                    desc = record.get("DESCRIPTION", "")
+                    break
+            lines.append(f"{gene}\t{name}\t{desc}")
+    else:
+        lines.extend(selection.genes)
+    return "\n".join(lines) + "\n"
+
+
+def export_gene_list(
+    selection: GeneSelection,
+    path: str | Path,
+    compendium: Compendium | None = None,
+    *,
+    annotations: bool = True,
+) -> Path:
+    path = Path(path)
+    path.write_text(format_gene_list(selection, compendium, annotations=annotations))
+    return path
+
+
+def format_merged_pcl(
+    compendium: Compendium, selection: GeneSelection | None = None
+) -> str:
+    """The merged dataset (all conditions of all datasets) as PCL text.
+
+    With a selection, only those genes are exported; otherwise the whole
+    gene universe.  Column names carry dataset provenance
+    (``dataset:condition``).
+    """
+    if len(compendium) == 0:
+        raise ValidationError("cannot export an empty compendium")
+    merged = MergedDatasetInterface(compendium)
+    gene_ids = list(selection.genes) if selection is not None else None
+    matrix = merged.export_merged_matrix(gene_ids)
+    return format_pcl(matrix, id_header="GENE")
+
+
+def export_merged_pcl(
+    compendium: Compendium,
+    path: str | Path,
+    selection: GeneSelection | None = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(format_merged_pcl(compendium, selection))
+    return path

@@ -1,0 +1,50 @@
+"""Dataset ordering strategies ("Order Datasets" in Figure 1).
+
+The flagship use is SPELL integration: "The datasets returned can be
+displayed in decreasing order of relevance to the query" (§3).  We also
+provide ordering by name and by selection coverage (how much of the
+current gene subset a dataset contains).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.selection import GeneSelection
+from repro.data.compendium import Compendium
+from repro.util.errors import ValidationError
+
+__all__ = ["order_by_name", "order_by_scores", "order_by_selection_coverage"]
+
+
+def order_by_name(compendium: Compendium) -> list[str]:
+    """Alphabetical dataset order."""
+    return sorted(compendium.names)
+
+
+def order_by_scores(compendium: Compendium, scores: Mapping[str, float]) -> list[str]:
+    """Datasets by descending score (e.g. SPELL weights); unscored go last.
+
+    Unknown dataset names in ``scores`` raise — a typo silently ignored
+    would scramble the display the researcher asked for.
+    """
+    unknown = set(scores) - set(compendium.names)
+    if unknown:
+        raise ValidationError(f"scores reference unknown datasets: {sorted(unknown)}")
+    return sorted(
+        compendium.names,
+        key=lambda name: (-scores.get(name, float("-inf")), name),
+    )
+
+
+def order_by_selection_coverage(
+    compendium: Compendium, selection: GeneSelection
+) -> list[str]:
+    """Datasets by how many of the selected genes they measure (desc)."""
+    selected = set(selection.genes)
+
+    def coverage(name: str) -> int:
+        ds = compendium[name]
+        return sum(1 for g in selected if g in ds.matrix)
+
+    return sorted(compendium.names, key=lambda name: (-coverage(name), name))

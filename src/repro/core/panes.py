@@ -1,0 +1,102 @@
+"""Dataset panes: one vertical pane per dataset, global view + zoom view.
+
+"The ForestView display is divided into multiple vertical panes, each
+pane displaying one dataset. Each dataset pane shows a global view of
+the whole genome and a zoom view showing details of selected genes or a
+selected region." (§2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.preferences import PanePreferences
+from repro.core.selection import GeneSelection
+from repro.data.dataset import Dataset
+from repro.util.errors import ValidationError
+
+__all__ = ["DatasetPane"]
+
+
+class DatasetPane:
+    """View state for one dataset: display order, highlights, preferences."""
+
+    def __init__(self, dataset: Dataset, *, preferences: PanePreferences | None = None) -> None:
+        self.dataset = dataset
+        self.preferences = preferences if preferences is not None else PanePreferences()
+        self._display_order = dataset.display_order()
+        self._row_of_gene = {
+            dataset.matrix.gene_ids[g]: pos for pos, g in enumerate(self._display_order)
+        }
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+    @property
+    def n_genes(self) -> int:
+        return self.dataset.n_genes
+
+    @property
+    def n_conditions(self) -> int:
+        return self.dataset.n_conditions
+
+    def display_order(self) -> list[int]:
+        """Matrix row indices in display (clustered) order."""
+        return list(self._display_order)
+
+    def global_values(self) -> np.ndarray:
+        """The whole dataset in display order — the global view's content.
+
+        Returns a fancy-indexed copy in display order; renderers hold it
+        per frame.
+        """
+        return self.dataset.matrix.values[np.asarray(self._display_order, dtype=np.intp)]
+
+    # -------------------------------------------------------------- selection
+    def display_row_of(self, gene_id: str) -> int | None:
+        """Position of a gene in the global view, or None if absent."""
+        return self._row_of_gene.get(gene_id)
+
+    def highlight_rows(self, selection: GeneSelection) -> list[int]:
+        """Global-view row positions of the selected genes present here.
+
+        These drive the "highlight their position in the global view with
+        a line" behaviour when a subset chosen in one pane is echoed in
+        all others.
+        """
+        rows = [self._row_of_gene[g] for g in selection.genes if g in self._row_of_gene]
+        rows.sort()
+        return rows
+
+    def genes_in_region(self, start_row: int, end_row: int) -> list[str]:
+        """Gene ids covered by display rows [start_row, end_row) — the
+        mouse-drag region selection."""
+        if not (0 <= start_row < end_row <= self.n_genes):
+            raise ValidationError(
+                f"region [{start_row}, {end_row}) invalid for {self.n_genes} rows"
+            )
+        ids = self.dataset.matrix.gene_ids
+        return [ids[self._display_order[r]] for r in range(start_row, end_row)]
+
+    def present_genes(self, selection: GeneSelection) -> list[str]:
+        """Selected genes present in this dataset, in selection order."""
+        return [g for g in selection.genes if g in self._row_of_gene]
+
+    def coverage(self, selection: GeneSelection) -> float:
+        """Fraction of the selection this dataset contains."""
+        if len(selection) == 0:
+            return 0.0
+        return len(self.present_genes(selection)) / len(selection)
+
+    # ------------------------------------------------------------ preferences
+    def set_preferences(self, preferences: PanePreferences) -> None:
+        self.preferences = preferences
+
+    def update_preferences(self, **kwargs) -> PanePreferences:
+        self.preferences = self.preferences.with_changes(**kwargs)
+        return self.preferences
+
+    def __repr__(self) -> str:
+        return f"DatasetPane({self.name!r}, {self.n_genes}x{self.n_conditions})"

@@ -1,0 +1,82 @@
+"""Per-dataset display preferences.
+
+Paper §2: "the scaling of the global and zoom view, the annotation
+information and the expression level colors can be adjusted
+independently for datasets or applied to all datasets."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ValidationError
+from repro.viz.colormap import COLORMAPS
+
+__all__ = ["PanePreferences"]
+
+
+@dataclass(frozen=True)
+class PanePreferences:
+    """Immutable display settings for one dataset pane.
+
+    Attributes
+    ----------
+    colormap_name:
+        Key into :data:`repro.viz.colormap.COLORMAPS`.
+    saturation:
+        |log-ratio| mapped to full color (the contrast slider).
+    show_gene_tree / show_array_tree:
+        Draw dendrogram strips next to the global view.
+    show_annotations:
+        Draw gene name labels beside zoom-view rows (when they fit).
+    zoom_row_px:
+        Preferred zoom-view row height in pixels.
+    global_fraction:
+        Vertical share of the pane given to the global view (the
+        "scaling of the global and zoom view" preference).
+    """
+
+    colormap_name: str = "red-green"
+    saturation: float = 2.0
+    show_gene_tree: bool = True
+    show_array_tree: bool = False
+    show_annotations: bool = True
+    zoom_row_px: int = 10
+    global_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.colormap_name not in COLORMAPS:
+            raise ValidationError(
+                f"unknown colormap {self.colormap_name!r}; choose from {sorted(COLORMAPS)}"
+            )
+        if self.saturation <= 0:
+            raise ValidationError(f"saturation must be positive, got {self.saturation}")
+        if self.zoom_row_px < 1:
+            raise ValidationError(f"zoom_row_px must be >= 1, got {self.zoom_row_px}")
+        if not (0.1 <= self.global_fraction <= 0.9):
+            raise ValidationError(
+                f"global_fraction must be in [0.1, 0.9], got {self.global_fraction}"
+            )
+
+    def with_changes(self, **kwargs) -> "PanePreferences":
+        """Functional update; unknown fields raise via dataclasses.replace."""
+        return replace(self, **kwargs)
+
+    def colormap(self):
+        """The configured colormap with this pane's saturation applied."""
+        return COLORMAPS[self.colormap_name].with_saturation(self.saturation)
+
+    def to_dict(self) -> dict:
+        return {
+            "colormap_name": self.colormap_name,
+            "saturation": self.saturation,
+            "show_gene_tree": self.show_gene_tree,
+            "show_array_tree": self.show_array_tree,
+            "show_annotations": self.show_annotations,
+            "zoom_row_px": self.zoom_row_px,
+            "global_fraction": self.global_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PanePreferences":
+        return cls(**data)

@@ -1,0 +1,238 @@
+"""ForestView frame construction: application state -> display list.
+
+Reproduces the Figure 2 screen: vertical panes (one per dataset), each
+with a title bar, a whole-dataset global view (with optional dendrogram
+strip and selection highlight marks), and a zoom view showing the
+current gene subset (synchronized order or native order), plus a status
+line.  The output is a :class:`~repro.viz.scene.DisplayList`, so the
+same frame renders on a laptop framebuffer or across wall tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.panes import DatasetPane
+from repro.core.selection import GeneSelection
+from repro.core.sync import SynchronizationLayer, ZoomView
+from repro.util.errors import RenderError
+from repro.viz.dendrogram import dendrogram_segments
+from repro.viz.layout import Box, hsplit, vsplit
+from repro.viz.scene import DisplayList, HeatmapCmd, LineCmd, RectCmd, TextCmd
+from repro.viz.text import GLYPH_HEIGHT, text_width
+
+__all__ = ["FrameStyle", "build_display_list"]
+
+
+class FrameStyle:
+    """Pixel constants for the ForestView frame (kept in one place)."""
+
+    margin = 4
+    pane_gap = 6
+    title_height = 14
+    status_height = 12
+    tree_strip = 22
+    highlight_strip = 6
+    label_strip = 64
+    view_gap = 4
+    background = (12, 12, 16)
+    pane_background = (24, 24, 30)
+    title_color = (230, 230, 240)
+    border_color = (70, 70, 90)
+    highlight_color = (255, 160, 0)
+    tree_color = (150, 150, 170)
+    label_color = (200, 200, 210)
+    absent_label_color = (110, 110, 120)
+    status_color = (160, 200, 160)
+
+
+def build_display_list(
+    panes: list[DatasetPane],
+    selection: GeneSelection | None,
+    sync_layer: SynchronizationLayer,
+    *,
+    width: int,
+    height: int,
+    style: type[FrameStyle] = FrameStyle,
+) -> DisplayList:
+    """Compose the full-application frame onto a ``width x height`` canvas."""
+    if not panes:
+        raise RenderError("cannot render a ForestView frame with zero panes")
+    dl = DisplayList(width, height, background=style.background)
+    canvas = Box(0, 0, width, height).inset(style.margin)
+    if canvas.w < 60 * len(panes) or canvas.h < 120:
+        raise RenderError(
+            f"canvas {width}x{height} too small for {len(panes)} panes"
+        )
+    body, status = _vsplit_px(canvas, canvas.h - style.status_height, style.view_gap)
+    pane_boxes = hsplit(body, [1.0] * len(panes), gap=style.pane_gap)
+
+    zoom_views: list[ZoomView | None] = [None] * len(panes)
+    if selection is not None:
+        zoom_views = list(sync_layer.zoom_views(panes, selection))
+
+    for pane, box, zoom in zip(panes, pane_boxes, zoom_views):
+        _render_pane(dl, pane, box, selection, zoom, sync_layer, style)
+
+    _render_status(dl, status, selection, sync_layer, style)
+    return dl
+
+
+# ---------------------------------------------------------------------------
+# pane rendering
+# ---------------------------------------------------------------------------
+def _render_pane(
+    dl: DisplayList,
+    pane: DatasetPane,
+    box: Box,
+    selection: GeneSelection | None,
+    zoom: ZoomView | None,
+    sync_layer: SynchronizationLayer,
+    style: type[FrameStyle],
+) -> None:
+    dl.add(RectCmd(box.x, box.y, box.w, box.h, style.pane_background))
+    _frame_border(dl, box, style.border_color)
+
+    title, rest = _vsplit_px(box.inset(1), style.title_height, 1)
+    _render_title(dl, title, pane, style)
+
+    prefs = pane.preferences
+    gf = prefs.global_fraction
+    global_box, zoom_box = vsplit(rest, [gf, 1.0 - gf], gap=style.view_gap)
+    _render_global_view(dl, global_box, pane, selection, style)
+    if zoom is not None and zoom.n_rows > 0:
+        _render_zoom_view(dl, zoom_box, pane, zoom, sync_layer, style)
+    else:
+        _center_text(dl, zoom_box, "NO SELECTION", style.absent_label_color)
+
+
+def _render_title(dl: DisplayList, box: Box, pane: DatasetPane, style: type[FrameStyle]) -> None:
+    label = _fit_text(pane.name.upper(), box.w - 4)
+    dl.add(TextCmd(box.x + 2, box.y + (box.h - GLYPH_HEIGHT) // 2, label, style.title_color))
+
+
+def _render_global_view(
+    dl: DisplayList,
+    box: Box,
+    pane: DatasetPane,
+    selection: GeneSelection | None,
+    style: type[FrameStyle],
+) -> None:
+    prefs = pane.preferences
+    tree_w = style.tree_strip if (prefs.show_gene_tree and pane.dataset.gene_tree) else 0
+    hl_w = style.highlight_strip
+    heat_w = box.w - tree_w - hl_w
+    if heat_w < 4 or box.h < 4:
+        return
+    heat_box = Box(box.x + tree_w, box.y, heat_w, box.h)
+
+    values = pane.global_values()
+    dl.add(
+        HeatmapCmd(
+            heat_box.x, heat_box.y, heat_box.w, heat_box.h, values, prefs.colormap()
+        )
+    )
+    if tree_w:
+        for seg in dendrogram_segments(
+            pane.dataset.gene_tree, x=box.x, y=box.y, w=tree_w - 2, h=box.h
+        ):
+            dl.add(LineCmd(seg.x0, seg.y0, seg.x1, seg.y1, style.tree_color))
+
+    if selection is not None:
+        n = pane.n_genes
+        hx = heat_box.x + heat_box.w
+        for row in pane.highlight_rows(selection):
+            y = heat_box.y + row * heat_box.h // n
+            dl.add(RectCmd(hx, y, hl_w, max(1, heat_box.h // n), style.highlight_color))
+
+
+def _render_zoom_view(
+    dl: DisplayList,
+    box: Box,
+    pane: DatasetPane,
+    zoom: ZoomView,
+    sync_layer: SynchronizationLayer,
+    style: type[FrameStyle],
+) -> None:
+    prefs = pane.preferences
+    # apply the shared viewport's row window in synchronized mode
+    if zoom.synchronized:
+        rows = list(sync_layer.shared_viewport.row_range)
+        rows = [r for r in rows if r < zoom.n_rows] or list(range(zoom.n_rows))
+    else:
+        rows = list(range(zoom.n_rows))
+    values = zoom.values[np.asarray(rows, dtype=np.intp)]
+    gene_ids = [zoom.gene_ids[r] for r in rows]
+    present = [zoom.present[r] for r in rows]
+
+    row_px = box.h // max(1, len(rows))
+    labels_on = prefs.show_annotations and row_px >= GLYPH_HEIGHT + 1 and box.w > style.label_strip + 30
+    label_w = style.label_strip if labels_on else 0
+    heat_box = Box(box.x + label_w, box.y, box.w - label_w, box.h)
+    if heat_box.w < 4 or heat_box.h < 4:
+        return
+    dl.add(
+        HeatmapCmd(
+            heat_box.x, heat_box.y, heat_box.w, heat_box.h, values, prefs.colormap()
+        )
+    )
+    if labels_on:
+        annotations = pane.dataset.annotations
+        n = len(rows)
+        for i, (gene, here) in enumerate(zip(gene_ids, present)):
+            y = heat_box.y + i * heat_box.h // n
+            name = annotations.get(gene, "NAME", gene) or gene
+            color = style.label_color if here else style.absent_label_color
+            dl.add(
+                TextCmd(box.x + 1, y + max(0, (heat_box.h // n - GLYPH_HEIGHT) // 2),
+                        _fit_text(name.upper(), label_w - 2), color)
+            )
+
+
+def _render_status(
+    dl: DisplayList,
+    box: Box,
+    selection: GeneSelection | None,
+    sync_layer: SynchronizationLayer,
+    style: type[FrameStyle],
+) -> None:
+    if selection is None:
+        text = "NO SELECTION"
+    else:
+        text = f"{len(selection)} GENES SELECTED ({selection.source.upper()})"
+    text += "  SYNC=" + ("ON" if sync_layer.synchronized else "OFF")
+    dl.add(TextCmd(box.x, box.y + max(0, (box.h - GLYPH_HEIGHT) // 2),
+                   _fit_text(text, box.w), style.status_color))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _frame_border(dl: DisplayList, box: Box, color) -> None:
+    dl.add(RectCmd(box.x, box.y, box.w, 1, color))
+    dl.add(RectCmd(box.x, box.y1 - 1, box.w, 1, color))
+    dl.add(RectCmd(box.x, box.y, 1, box.h, color))
+    dl.add(RectCmd(box.x1 - 1, box.y, 1, box.h, color))
+
+
+def _vsplit_px(box: Box, first_px: int, gap: int) -> tuple[Box, Box]:
+    """Split vertically at an absolute pixel height for the first box."""
+    first_px = max(1, min(first_px, box.h - gap - 1))
+    top = Box(box.x, box.y, box.w, first_px)
+    bottom = Box(box.x, box.y + first_px + gap, box.w, box.h - first_px - gap)
+    return top, bottom
+
+
+def _fit_text(text: str, max_px: int) -> str:
+    while text and text_width(text) > max_px:
+        text = text[:-1]
+    return text
+
+
+def _center_text(dl: DisplayList, box: Box, text: str, color) -> None:
+    text = _fit_text(text, box.w)
+    tw = text_width(text)
+    dl.add(
+        TextCmd(box.x + max(0, (box.w - tw) // 2), box.y + max(0, (box.h - GLYPH_HEIGHT) // 2),
+                text, color)
+    )

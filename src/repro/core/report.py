@@ -1,0 +1,131 @@
+"""Session reports: a text summary of the current analysis state.
+
+The §4 collaborators end a wall session with findings to carry back to
+the lab.  ``session_report`` produces that artifact: datasets on screen,
+the current selection with provenance, per-dataset coverage and
+coherence of the selection, and (optionally) the latest SPELL and GOLEM
+results — one deterministic plain-text document.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ValidationError
+from repro.util.formatting import format_table, human_count
+
+if TYPE_CHECKING:
+    from repro.core.app import ForestView
+    from repro.ontology.enrichment import EnrichmentReport
+    from repro.spell.engine import SpellResult
+
+__all__ = ["session_report"]
+
+
+def session_report(
+    app: "ForestView",
+    *,
+    spell_result: "SpellResult | None" = None,
+    enrichment: "EnrichmentReport | None" = None,
+    coherence_permutations: int = 100,
+    max_genes_listed: int = 25,
+    seed: int = 0,
+) -> str:
+    """Render the session's state as a plain-text report.
+
+    Coherence is computed per dataset when a selection with >= 2
+    measured genes exists there; permutations are seeded for
+    reproducible reports.
+    """
+    if coherence_permutations < 0:
+        raise ValidationError("coherence_permutations must be >= 0")
+    sections: list[str] = []
+    sections.append("FORESTVIEW SESSION REPORT")
+    sections.append("=" * 60)
+
+    # ------------------------------------------------------------- datasets
+    rows = []
+    for ds in app.compendium:
+        rows.append(
+            [
+                ds.name,
+                f"{ds.n_genes}x{ds.n_conditions}",
+                human_count(ds.measurement_count()),
+                "yes" if ds.gene_tree is not None else "no",
+            ]
+        )
+    sections.append("\nDATASETS (display order)")
+    sections.append(format_table(["name", "size", "measurements", "clustered"], rows))
+    sections.append(
+        f"\ncompendium total: {human_count(app.compendium.total_measurements())} "
+        f"measurements across {len(app.compendium)} datasets; "
+        f"synchronization {'ON' if app.synchronized else 'OFF'}"
+    )
+
+    # ------------------------------------------------------------ selection
+    selection = app.selection
+    sections.append("\nSELECTION")
+    if selection is None:
+        sections.append("(none)")
+    else:
+        listed = ", ".join(selection.genes[:max_genes_listed])
+        more = len(selection) - max_genes_listed
+        if more > 0:
+            listed += f", ... (+{more} more)"
+        sections.append(f"{len(selection)} genes from {selection.source!r}: {listed}")
+
+        rows = []
+        for pane in app.panes:
+            coverage = pane.coverage(selection)
+            coherence = ""
+            if coherence_permutations and len(pane.present_genes(selection)) >= 2:
+                result = app.selection_coherence(
+                    pane.name, n_permutations=coherence_permutations, seed=seed
+                )
+                coherence = f"{result.score:+.2f} (p={result.pvalue:.3g})"
+            rows.append([pane.name, f"{coverage:.0%}", coherence])
+        sections.append("\nSELECTION ACROSS DATASETS")
+        sections.append(
+            format_table(["dataset", "genes present", "coherence (perm. p)"], rows)
+        )
+
+    # ---------------------------------------------------------------- SPELL
+    if spell_result is not None:
+        sections.append("\nSPELL SEARCH")
+        sections.append(
+            f"query: {', '.join(spell_result.query_used)}"
+            + (
+                f" (missing: {', '.join(spell_result.query_missing)})"
+                if spell_result.query_missing
+                else ""
+            )
+        )
+        rows = [
+            [i + 1, d.name, f"{d.weight:.3f}"]
+            for i, d in enumerate(spell_result.datasets[:8])
+        ]
+        sections.append(format_table(["rank", "dataset", "weight"], rows))
+        rows = [
+            [i + 1, g.gene_id, f"{g.score:.3f}"]
+            for i, g in enumerate(spell_result.genes[:10])
+        ]
+        sections.append(format_table(["rank", "gene", "score"], rows))
+
+    # ---------------------------------------------------------------- GOLEM
+    if enrichment is not None:
+        sections.append("\nGO ENRICHMENT")
+        sections.append(
+            f"{len(enrichment)} terms scored ({enrichment.correction}, "
+            f"alpha={enrichment.alpha}); {len(enrichment.significant_terms())} significant"
+        )
+        rows = [
+            [r.term_id, r.name[:36], f"{r.n_selected_annotated}/{r.n_universe_annotated}",
+             f"{r.adjusted_pvalue:.2e}", "*" if r.significant else ""]
+            for r in enrichment.results[:8]
+        ]
+        sections.append(
+            format_table(["term", "name", "k/K", "adj. p", "sig"], rows)
+        )
+
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,40 @@
+"""Cross-dataset gene search ("Find Genes by name" in Figure 1).
+
+"Another method is to search over the gene annotation information by
+entering a list of search criteria. The search is conducted across all
+datasets and the synchronized results are displayed." (§2)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.compendium import Compendium
+from repro.util.errors import SearchError
+
+__all__ = ["find_genes"]
+
+
+def find_genes(
+    compendium: Compendium,
+    criteria: Sequence[str],
+    *,
+    fields: Sequence[str] | None = None,
+    match: str = "substring",
+) -> list[str]:
+    """Search every dataset's annotations; union of hits in stable order.
+
+    Order: datasets in compendium order, genes in their first-found
+    order, duplicates removed.  Raises :class:`SearchError` when the
+    criteria are all blank (matching the UI, which refuses empty
+    searches rather than selecting everything).
+    """
+    terms = [str(c) for c in criteria if str(c).strip()]
+    if not terms:
+        raise SearchError("search criteria are empty")
+    hits: dict[str, None] = {}
+    for dataset in compendium:
+        for gene_id in dataset.annotations.search(terms, fields=fields, match=match):
+            if gene_id in dataset.matrix:  # only genes actually measured somewhere
+                hits.setdefault(gene_id, None)
+    return list(hits)

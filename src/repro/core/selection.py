@@ -1,0 +1,111 @@
+"""Gene-subset selection: the object at the heart of every ForestView workflow.
+
+"There are several methods available for choosing a gene subset" (§2):
+region highlight, annotation search, and selection injected by an
+analysis tool.  All converge on :class:`GeneSelection`; the model tracks
+the current one plus history, and publishes changes on the event bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.events import EventBus, SelectionChanged
+from repro.util.errors import ValidationError
+
+__all__ = ["GeneSelection", "SelectionModel"]
+
+
+@dataclass(frozen=True)
+class GeneSelection:
+    """An ordered, de-duplicated gene list plus provenance.
+
+    Order matters: synchronized zoom views display genes in selection
+    order, so "the same order and same scroll position" across panes is
+    well defined.
+    """
+
+    genes: tuple[str, ...]
+    source: str
+
+    def __post_init__(self) -> None:
+        if not self.genes:
+            raise ValidationError("selection must contain at least one gene")
+        if len(set(self.genes)) != len(self.genes):
+            raise ValidationError("selection contains duplicate genes")
+
+    def __len__(self) -> int:
+        return len(self.genes)
+
+    def __contains__(self, gene_id: str) -> bool:
+        return gene_id in set(self.genes)
+
+    def union(self, other: "GeneSelection", *, source: str | None = None) -> "GeneSelection":
+        """Order-preserving union (self's genes first)."""
+        merged = list(self.genes) + [g for g in other.genes if g not in set(self.genes)]
+        return GeneSelection(tuple(merged), source or f"{self.source}+{other.source}")
+
+    def intersection(self, other: "GeneSelection", *, source: str | None = None) -> "GeneSelection":
+        keep = set(other.genes)
+        common = tuple(g for g in self.genes if g in keep)
+        if not common:
+            raise ValidationError("intersection of selections is empty")
+        return GeneSelection(common, source or f"{self.source}&{other.source}")
+
+    def difference(self, other: "GeneSelection", *, source: str | None = None) -> "GeneSelection":
+        drop = set(other.genes)
+        remaining = tuple(g for g in self.genes if g not in drop)
+        if not remaining:
+            raise ValidationError("difference of selections is empty")
+        return GeneSelection(remaining, source or f"{self.source}-{other.source}")
+
+
+class SelectionModel:
+    """Current selection + history, broadcasting changes on the bus."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self._bus = bus
+        self._current: GeneSelection | None = None
+        self._history: list[GeneSelection] = []
+
+    @property
+    def current(self) -> GeneSelection | None:
+        return self._current
+
+    @property
+    def history(self) -> list[GeneSelection]:
+        return list(self._history)
+
+    def select(self, genes: Iterable[str], *, source: str) -> GeneSelection:
+        """Replace the current selection (dedup preserves first occurrence)."""
+        ordered = tuple(dict.fromkeys(str(g) for g in genes))
+        selection = GeneSelection(ordered, source)
+        self._current = selection
+        self._history.append(selection)
+        self._bus.publish(SelectionChanged(genes=selection.genes, source=source))
+        return selection
+
+    def extend(self, genes: Iterable[str], *, source: str) -> GeneSelection:
+        """Add genes to the current selection (or create one)."""
+        if self._current is None:
+            return self.select(genes, source=source)
+        merged = self._current.union(
+            GeneSelection(tuple(dict.fromkeys(str(g) for g in genes)), source)
+        )
+        return self.select(merged.genes, source=merged.source)
+
+    def clear(self) -> None:
+        self._current = None
+        self._bus.publish(SelectionChanged(genes=(), source="clear"))
+
+    def undo(self) -> GeneSelection | None:
+        """Pop back to the previous selection in history (None if at start)."""
+        if not self._history:
+            return None
+        self._history.pop()
+        self._current = self._history[-1] if self._history else None
+        genes = self._current.genes if self._current else ()
+        source = self._current.source if self._current else "undo-empty"
+        self._bus.publish(SelectionChanged(genes=genes, source=source))
+        return self._current

@@ -1,0 +1,78 @@
+"""Session persistence: capture and restore ForestView's view state.
+
+A session records everything about the *view* that is not derivable from
+the data: dataset order, current selection, synchronization flag,
+shared-viewport scroll, and per-pane preferences.  The datasets
+themselves are not serialized (they live in PCL/CDT files); a session is
+re-applied to an app holding the same compendium.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.preferences import PanePreferences
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:
+    from repro.core.app import ForestView
+
+__all__ = ["session_to_dict", "session_from_dict", "save_session", "load_session"]
+
+_FORMAT_VERSION = 1
+
+
+def session_to_dict(app: "ForestView") -> dict:
+    selection = app.selection
+    return {
+        "version": _FORMAT_VERSION,
+        "dataset_order": list(app.compendium.names),
+        "synchronized": app.synchronized,
+        "selection": (
+            {"genes": list(selection.genes), "source": selection.source}
+            if selection is not None
+            else None
+        ),
+        "scroll_row": app.sync_layer.shared_viewport.scroll_row,
+        "preferences": {pane.name: pane.preferences.to_dict() for pane in app.panes},
+    }
+
+
+def session_from_dict(app: "ForestView", data: dict) -> None:
+    """Apply a recorded session to ``app`` (which must hold the same datasets)."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(f"unsupported session version {version!r}")
+    order = data.get("dataset_order", [])
+    if sorted(order) != sorted(app.compendium.names):
+        raise ValidationError(
+            "session datasets do not match the app's compendium; "
+            f"session has {sorted(order)[:3]}..., app has {sorted(app.compendium.names)[:3]}..."
+        )
+    app.order_datasets(order)
+    app.set_synchronized(bool(data.get("synchronized", True)))
+    for name, prefs in data.get("preferences", {}).items():
+        app.pane(name).set_preferences(PanePreferences.from_dict(prefs))
+    selection = data.get("selection")
+    if selection:
+        app.select_genes(selection["genes"], source=selection.get("source", "session"))
+        app.sync_layer.shared_viewport.scroll_to(int(data.get("scroll_row", 0)))
+    else:
+        app.clear_selection()
+
+
+def save_session(app: "ForestView", path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(session_to_dict(app), indent=2, sort_keys=True))
+    return path
+
+
+def load_session(app: "ForestView", path: str | Path) -> None:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"session file {path} is not valid JSON: {exc}") from exc
+    session_from_dict(app, data)

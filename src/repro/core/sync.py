@@ -1,0 +1,139 @@
+"""The visualization synchronization layer (Figure 1's distinguishing box).
+
+Synchronized mode: every pane's zoom view shows the selected genes in
+the *same order* (selection order) with blank rows where a dataset lacks
+a gene, and all panes share one scroll position — "the user can scan
+horizontally across a row of expression data where each row corresponds
+to data for the same gene even though it crosses multiple datasets."
+
+Unsynchronized mode: each pane shows only its own genes, in its own
+clustered display order — "explore how a grouping of genes from one
+dataset gets grouped in other datasets."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import EventBus, SyncToggled
+from repro.core.panes import DatasetPane
+from repro.core.selection import GeneSelection
+from repro.core.viewport import Viewport
+
+__all__ = ["ZoomView", "SynchronizationLayer"]
+
+
+@dataclass(frozen=True)
+class ZoomView:
+    """One pane's zoom-view content for the current selection.
+
+    ``values`` has one row per entry of ``gene_ids`` (NaN-filled when the
+    gene is absent from the pane's dataset, synchronized mode only).
+    """
+
+    pane_name: str
+    gene_ids: tuple[str, ...]
+    values: np.ndarray
+    present: tuple[bool, ...]  # per row: does this dataset measure the gene?
+    synchronized: bool
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.gene_ids)
+
+    def row_values(self, gene_id: str) -> np.ndarray:
+        for i, g in enumerate(self.gene_ids):
+            if g == gene_id:
+                return self.values[i]
+        raise KeyError(f"gene {gene_id!r} not in zoom view of {self.pane_name}")
+
+
+class SynchronizationLayer:
+    """Computes aligned/unaligned zoom views and owns the shared viewport."""
+
+    def __init__(self, bus: EventBus, *, synchronized: bool = True) -> None:
+        self._bus = bus
+        self._synchronized = bool(synchronized)
+        #: shared scroll state used by every pane while synchronized
+        self.shared_viewport = Viewport(0, 0)
+
+    @property
+    def synchronized(self) -> bool:
+        return self._synchronized
+
+    def set_synchronized(self, flag: bool) -> None:
+        flag = bool(flag)
+        if flag != self._synchronized:
+            self._synchronized = flag
+            self._bus.publish(SyncToggled(synchronized=flag))
+
+    def on_selection_changed(self, n_genes: int, max_conditions: int) -> None:
+        """Resize the shared viewport for a new selection."""
+        self.shared_viewport.resize_content(n_genes, max_conditions)
+        self.shared_viewport.scroll_to(0, 0)
+
+    # ------------------------------------------------------------------ views
+    def zoom_view(self, pane: DatasetPane, selection: GeneSelection) -> ZoomView:
+        """The pane's zoom-view content under the current mode."""
+        if self._synchronized:
+            return self._aligned_view(pane, selection)
+        return self._native_view(pane, selection)
+
+    def zoom_views(self, panes: list[DatasetPane], selection: GeneSelection) -> list[ZoomView]:
+        return [self.zoom_view(p, selection) for p in panes]
+
+    def _aligned_view(self, pane: DatasetPane, selection: GeneSelection) -> ZoomView:
+        matrix = pane.dataset.matrix
+        n_cond = matrix.n_conditions
+        values = np.full((len(selection.genes), n_cond), np.nan)
+        present: list[bool] = []
+        for i, gene in enumerate(selection.genes):
+            if gene in matrix:
+                values[i] = matrix.values[matrix.index_of(gene)]
+                present.append(True)
+            else:
+                present.append(False)
+        return ZoomView(
+            pane_name=pane.name,
+            gene_ids=tuple(selection.genes),
+            values=values,
+            present=tuple(present),
+            synchronized=True,
+        )
+
+    def _native_view(self, pane: DatasetPane, selection: GeneSelection) -> ZoomView:
+        matrix = pane.dataset.matrix
+        selected = set(selection.genes)
+        ids = matrix.gene_ids
+        ordered = [
+            ids[row_idx]
+            for row_idx in pane.display_order()
+            if ids[row_idx] in selected
+        ]
+        if ordered:
+            rows = matrix.indices_of(ordered)
+            values = matrix.values[np.asarray(rows, dtype=np.intp)]
+        else:
+            values = np.empty((0, matrix.n_conditions))
+        return ZoomView(
+            pane_name=pane.name,
+            gene_ids=tuple(ordered),
+            values=values,
+            present=tuple(True for _ in ordered),
+            synchronized=False,
+        )
+
+    # ----------------------------------------------------------- verification
+    @staticmethod
+    def rows_aligned(views: list[ZoomView]) -> bool:
+        """True iff all synchronized views expose identical gene orderings.
+
+        The invariant the paper's horizontal-scan workflow depends on;
+        asserted by tests after every selection change.
+        """
+        if not views:
+            return True
+        first = views[0].gene_ids
+        return all(v.gene_ids == first for v in views if v.synchronized)

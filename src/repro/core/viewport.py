@@ -1,0 +1,112 @@
+"""Scroll/zoom state for ForestView's zoom views.
+
+A viewport is a window of ``visible_rows`` x ``visible_cols`` cells over
+a content grid.  In synchronized mode all panes share one viewport, so
+"the zoom view for each dataset shows the gene expression data in
+exactly the same order and same scroll position" (paper §2).
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+__all__ = ["Viewport"]
+
+
+class Viewport:
+    """Clamped scroll window over (total_rows x total_cols) content."""
+
+    def __init__(
+        self,
+        total_rows: int,
+        total_cols: int,
+        *,
+        visible_rows: int | None = None,
+        visible_cols: int | None = None,
+    ) -> None:
+        if total_rows < 0 or total_cols < 0:
+            raise ValidationError(f"content extent must be >= 0, got {total_rows}x{total_cols}")
+        self.total_rows = int(total_rows)
+        self.total_cols = int(total_cols)
+        self.visible_rows = int(visible_rows) if visible_rows is not None else self.total_rows
+        self.visible_cols = int(visible_cols) if visible_cols is not None else self.total_cols
+        if self.visible_rows < 0 or self.visible_cols < 0:
+            raise ValidationError("visible extent must be >= 0")
+        self.scroll_row = 0
+        self.scroll_col = 0
+        self._clamp()
+
+    # ------------------------------------------------------------------ state
+    def _clamp(self) -> None:
+        self.visible_rows = min(self.visible_rows, self.total_rows)
+        self.visible_cols = min(self.visible_cols, self.total_cols)
+        max_row = max(0, self.total_rows - self.visible_rows)
+        max_col = max(0, self.total_cols - self.visible_cols)
+        self.scroll_row = min(max(0, self.scroll_row), max_row)
+        self.scroll_col = min(max(0, self.scroll_col), max_col)
+
+    def resize_content(self, total_rows: int, total_cols: int) -> None:
+        """Content changed (new selection); keep scroll position best-effort."""
+        if total_rows < 0 or total_cols < 0:
+            raise ValidationError(f"content extent must be >= 0, got {total_rows}x{total_cols}")
+        grow_rows = self.visible_rows == self.total_rows
+        grow_cols = self.visible_cols == self.total_cols
+        self.total_rows = int(total_rows)
+        self.total_cols = int(total_cols)
+        if grow_rows:
+            self.visible_rows = self.total_rows
+        if grow_cols:
+            self.visible_cols = self.total_cols
+        self._clamp()
+
+    # -------------------------------------------------------------- scrolling
+    def scroll_to(self, row: int, col: int | None = None) -> None:
+        self.scroll_row = int(row)
+        if col is not None:
+            self.scroll_col = int(col)
+        self._clamp()
+
+    def scroll_by(self, d_rows: int, d_cols: int = 0) -> None:
+        self.scroll_row += int(d_rows)
+        self.scroll_col += int(d_cols)
+        self._clamp()
+
+    def page_down(self) -> None:
+        self.scroll_by(max(1, self.visible_rows))
+
+    def page_up(self) -> None:
+        self.scroll_by(-max(1, self.visible_rows))
+
+    # ----------------------------------------------------------------- zooming
+    def set_zoom(self, visible_rows: int, visible_cols: int | None = None) -> None:
+        """Change how many cells the window shows (smaller = zoomed in)."""
+        if visible_rows < 1:
+            raise ValidationError(f"visible_rows must be >= 1, got {visible_rows}")
+        self.visible_rows = int(visible_rows)
+        if visible_cols is not None:
+            if visible_cols < 1:
+                raise ValidationError(f"visible_cols must be >= 1, got {visible_cols}")
+            self.visible_cols = int(visible_cols)
+        self._clamp()
+
+    # ------------------------------------------------------------------- view
+    @property
+    def row_range(self) -> range:
+        return range(self.scroll_row, min(self.scroll_row + self.visible_rows, self.total_rows))
+
+    @property
+    def col_range(self) -> range:
+        return range(self.scroll_col, min(self.scroll_col + self.visible_cols, self.total_cols))
+
+    def visible_fraction(self) -> float:
+        total = self.total_rows * self.total_cols
+        if total == 0:
+            return 1.0
+        return (len(self.row_range) * len(self.col_range)) / total
+
+    def __repr__(self) -> str:
+        return (
+            f"Viewport(rows {self.scroll_row}..{self.scroll_row + self.visible_rows} of "
+            f"{self.total_rows}, cols {self.scroll_col}..{self.scroll_col + self.visible_cols} "
+            f"of {self.total_cols})"
+        )

@@ -1,0 +1,73 @@
+"""Dataset substrate: matrices, file formats, compendium, merged 3-D view.
+
+This package implements the bottom two layers of the paper's Figure 1
+architecture: the per-dataset storage (PCL/CDT/GTR/ATR files, expression
+matrices, annotations) and the Merged Dataset Interface that exposes all
+datasets to analysis code as one aligned three-dimensional array.
+"""
+
+from repro.data.matrix import ExpressionMatrix
+from repro.data.annotations import GeneAnnotations
+from repro.data.dataset import Dataset
+from repro.data.compendium import Compendium
+from repro.data.merged import MergedDatasetInterface
+from repro.data.pcl import read_pcl, write_pcl, parse_pcl, format_pcl
+from repro.data.cdt import CdtTable, read_cdt, write_cdt, parse_cdt, format_cdt
+from repro.data.treefiles import (
+    read_gtr,
+    write_gtr,
+    read_atr,
+    write_atr,
+    parse_tree_file,
+    format_tree_file,
+)
+from repro.data.normalize import log_transform, median_center, zscore_normalize, normalize
+from repro.data.impute import row_mean_impute, knn_impute
+from repro.data.loader import load_dataset, save_dataset
+from repro.data.gmt import GeneSet, parse_gmt, format_gmt, read_gmt, write_gmt
+from repro.data.soft import (
+    parse_series_matrix,
+    format_series_matrix,
+    read_series_matrix,
+    write_series_matrix,
+)
+
+__all__ = [
+    "ExpressionMatrix",
+    "GeneAnnotations",
+    "Dataset",
+    "Compendium",
+    "MergedDatasetInterface",
+    "read_pcl",
+    "write_pcl",
+    "parse_pcl",
+    "format_pcl",
+    "CdtTable",
+    "read_cdt",
+    "write_cdt",
+    "parse_cdt",
+    "format_cdt",
+    "read_gtr",
+    "write_gtr",
+    "read_atr",
+    "write_atr",
+    "parse_tree_file",
+    "format_tree_file",
+    "log_transform",
+    "median_center",
+    "zscore_normalize",
+    "normalize",
+    "row_mean_impute",
+    "knn_impute",
+    "load_dataset",
+    "save_dataset",
+    "GeneSet",
+    "parse_gmt",
+    "format_gmt",
+    "read_gmt",
+    "write_gmt",
+    "parse_series_matrix",
+    "format_series_matrix",
+    "read_series_matrix",
+    "write_series_matrix",
+]

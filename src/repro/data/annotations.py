@@ -1,0 +1,112 @@
+"""Per-gene annotation store and the annotation search ForestView exposes.
+
+The paper's UI offers "search over the gene annotation information by
+entering a list of search criteria"; :class:`GeneAnnotations` implements
+the store and :meth:`GeneAnnotations.search` the matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.util.errors import ValidationError
+
+__all__ = ["GeneAnnotations"]
+
+
+class GeneAnnotations:
+    """Maps gene id -> field name -> text value.
+
+    Fields are free-form (``NAME``, ``DESCRIPTION``, ``PROCESS``, ...);
+    all values are stored as strings.  Lookups are case-preserving but
+    searches are case-insensitive, matching the loose behaviour genomics
+    tools use for gene names.
+    """
+
+    def __init__(self, fields: Sequence[str] = ("NAME", "DESCRIPTION")) -> None:
+        self.fields = list(dict.fromkeys(str(f) for f in fields))
+        if not self.fields:
+            raise ValidationError("annotation store needs at least one field")
+        self._records: dict[str, dict[str, str]] = {}
+
+    # ---------------------------------------------------------------- editing
+    def set(self, gene_id: str, field: str, value: str) -> None:
+        """Set one annotation value, registering the field if new."""
+        gene_id = str(gene_id)
+        field = str(field)
+        if field not in self.fields:
+            self.fields.append(field)
+        self._records.setdefault(gene_id, {})[field] = str(value)
+
+    def set_record(self, gene_id: str, record: Mapping[str, str]) -> None:
+        for field, value in record.items():
+            self.set(gene_id, field, value)
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, gene_id: str, field: str, default: str = "") -> str:
+        return self._records.get(str(gene_id), {}).get(str(field), default)
+
+    def record(self, gene_id: str) -> dict[str, str]:
+        """Full field->value mapping for a gene (empty dict if unannotated)."""
+        return dict(self._records.get(str(gene_id), {}))
+
+    def genes(self) -> list[str]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, gene_id: str) -> bool:
+        return str(gene_id) in self._records
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self,
+        criteria: Iterable[str],
+        *,
+        fields: Sequence[str] | None = None,
+        match: str = "substring",
+    ) -> list[str]:
+        """Genes whose annotations match *any* of the ``criteria`` terms.
+
+        Parameters
+        ----------
+        criteria:
+            Search terms; matching is case-insensitive, and a gene
+            matching any term is returned (ForestView's search box takes
+            "a list of search criteria").
+        fields:
+            Restrict matching to these fields (default: all fields).
+        match:
+            ``"substring"`` (default) or ``"exact"``.
+        """
+        if match not in ("substring", "exact"):
+            raise ValidationError(f"match must be 'substring' or 'exact', got {match!r}")
+        terms = [str(c).lower() for c in criteria if str(c).strip()]
+        if not terms:
+            return []
+        search_fields = list(fields) if fields is not None else self.fields
+        hits: list[str] = []
+        for gene_id, record in self._records.items():
+            haystacks = [record.get(f, "").lower() for f in search_fields]
+            haystacks.append(gene_id.lower())  # the id itself is always searchable
+            matched = False
+            for term in terms:
+                if match == "exact":
+                    matched = any(h == term for h in haystacks)
+                else:
+                    matched = any(term in h for h in haystacks)
+                if matched:
+                    break
+            if matched:
+                hits.append(gene_id)
+        return hits
+
+    def merged_with(self, other: "GeneAnnotations") -> "GeneAnnotations":
+        """Union of two stores; ``other`` wins on conflicting values."""
+        out = GeneAnnotations(self.fields + [f for f in other.fields if f not in self.fields])
+        for gene_id, record in self._records.items():
+            out.set_record(gene_id, record)
+        for gene_id, record in other._records.items():
+            out.set_record(gene_id, record)
+        return out

@@ -1,0 +1,153 @@
+"""CDT (clustered data table) format: read and write.
+
+A CDT is a PCL that has been reordered by clustering and tagged with the
+GID/AID keys that link rows/columns to GTR/ATR tree files::
+
+    GID      YORF    NAME   GWEIGHT  cond1  cond2 ...
+    AID                              ARRY0X ARRY1X ...
+    EWEIGHT                          1      1 ...
+    GENE3X   YAL001C TFC3   1        0.12   -0.98 ...
+
+The AID row is present only when an array tree exists.  We parse into an
+:class:`ExpressionMatrix` plus the GID list (and optional AID list) so a
+loader can re-attach trees from companion GTR/ATR files.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.matrix import ExpressionMatrix
+from repro.data.pcl import _parse_cell, _fmt
+from repro.util.errors import DataFormatError
+
+__all__ = ["CdtTable", "parse_cdt", "format_cdt", "read_cdt", "write_cdt"]
+
+
+@dataclass
+class CdtTable:
+    """Parsed CDT content: the matrix in file (display) order plus tree keys."""
+
+    matrix: ExpressionMatrix
+    gene_node_ids: list[str]  # GID column, aligned with matrix rows
+    array_node_ids: list[str] | None  # AID row, aligned with matrix columns
+
+    @property
+    def has_array_ids(self) -> bool:
+        return self.array_node_ids is not None
+
+
+def parse_cdt(text: str, *, path: str | None = None) -> CdtTable:
+    lines = [ln.rstrip("\n").rstrip("\r") for ln in io.StringIO(text)]
+    lines = [ln for ln in lines if ln.strip() != ""]
+    if not lines:
+        raise DataFormatError("empty CDT file", path=path)
+    header = lines[0].split("\t")
+    if len(header) < 5 or header[0].strip().upper() != "GID":
+        raise DataFormatError(
+            "CDT header must start with GID, id, NAME, GWEIGHT and >=1 condition",
+            path=path,
+            line=1,
+        )
+    if header[3].strip().upper() != "GWEIGHT":
+        raise DataFormatError(f"CDT column 4 must be GWEIGHT, got {header[3]!r}", path=path, line=1)
+    condition_names = [h.strip() for h in header[4:]]
+    n_cond = len(condition_names)
+
+    cursor = 1
+    array_node_ids: list[str] | None = None
+    if cursor < len(lines) and lines[cursor].split("\t")[0].strip().upper() == "AID":
+        aid_cells = lines[cursor].split("\t")[4:]
+        if len(aid_cells) != n_cond:
+            raise DataFormatError(
+                f"AID row has {len(aid_cells)} ids for {n_cond} conditions",
+                path=path,
+                line=cursor + 1,
+            )
+        array_node_ids = [c.strip() for c in aid_cells]
+        cursor += 1
+    condition_weights = np.ones(n_cond)
+    if cursor < len(lines) and lines[cursor].split("\t")[0].strip().upper() == "EWEIGHT":
+        weights = lines[cursor].split("\t")[4:]
+        if len(weights) != n_cond:
+            raise DataFormatError(
+                f"EWEIGHT row has {len(weights)} values for {n_cond} conditions",
+                path=path,
+                line=cursor + 1,
+            )
+        condition_weights = np.array(
+            [_parse_cell(w, path=path, line=cursor + 1) for w in weights], dtype=np.float64
+        )
+        cursor += 1
+
+    gene_node_ids: list[str] = []
+    gene_ids: list[str] = []
+    gene_names: list[str] = []
+    gene_weights: list[float] = []
+    rows: list[list[float]] = []
+    for offset, line in enumerate(lines[cursor:], start=cursor + 1):
+        cells = line.split("\t")
+        if len(cells) != 4 + n_cond:
+            raise DataFormatError(
+                f"row has {len(cells)} cells, expected {4 + n_cond}", path=path, line=offset
+            )
+        gid = cells[0].strip()
+        gene_id = cells[1].strip()
+        if not gid or not gene_id:
+            raise DataFormatError("empty GID or gene id", path=path, line=offset)
+        gene_node_ids.append(gid)
+        gene_ids.append(gene_id)
+        gene_names.append(cells[2].strip() or gene_id)
+        gene_weights.append(_parse_cell(cells[3] or "1", path=path, line=offset))
+        rows.append([_parse_cell(c, path=path, line=offset) for c in cells[4:]])
+    if not rows:
+        raise DataFormatError("CDT file contains no gene rows", path=path)
+    matrix = ExpressionMatrix(
+        np.asarray(rows, dtype=np.float64),
+        gene_ids,
+        condition_names,
+        gene_names=gene_names,
+        gene_weights=np.asarray(gene_weights, dtype=np.float64),
+        condition_weights=condition_weights,
+    )
+    return CdtTable(matrix=matrix, gene_node_ids=gene_node_ids, array_node_ids=array_node_ids)
+
+
+def format_cdt(table: CdtTable, *, id_header: str = "YORF") -> str:
+    matrix = table.matrix
+    if len(table.gene_node_ids) != matrix.n_genes:
+        raise DataFormatError(
+            f"{len(table.gene_node_ids)} GIDs for {matrix.n_genes} genes"
+        )
+    if table.array_node_ids is not None and len(table.array_node_ids) != matrix.n_conditions:
+        raise DataFormatError(
+            f"{len(table.array_node_ids)} AIDs for {matrix.n_conditions} conditions"
+        )
+    out = io.StringIO()
+    out.write("\t".join(["GID", id_header, "NAME", "GWEIGHT"] + matrix.condition_names) + "\n")
+    if table.array_node_ids is not None:
+        out.write("AID\t\t\t\t" + "\t".join(table.array_node_ids) + "\n")
+    out.write("EWEIGHT\t\t\t\t" + "\t".join(_fmt(w) for w in matrix.condition_weights) + "\n")
+    for i in range(matrix.n_genes):
+        cells = [
+            table.gene_node_ids[i],
+            matrix.gene_ids[i],
+            matrix.gene_names[i],
+            _fmt(matrix.gene_weights[i]),
+        ] + [_fmt(v) for v in matrix.values[i]]
+        out.write("\t".join(cells) + "\n")
+    return out.getvalue()
+
+
+def read_cdt(path: str | Path) -> CdtTable:
+    path = Path(path)
+    return parse_cdt(path.read_text(), path=str(path))
+
+
+def write_cdt(table: CdtTable, path: str | Path) -> None:
+    Path(path).write_text(format_cdt(table))

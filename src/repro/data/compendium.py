@@ -1,0 +1,112 @@
+"""A compendium: the ordered collection of datasets ForestView displays.
+
+The paper's first challenge is "the ability to analyze multiple large
+datasets"; the compendium is the container all multi-dataset operations
+(merged interface, SPELL search, pane synchronization) run over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.data.dataset import Dataset
+from repro.util.errors import ValidationError
+
+__all__ = ["Compendium"]
+
+
+class Compendium:
+    """Ordered, name-keyed collection of :class:`Dataset` objects."""
+
+    def __init__(self, datasets: Iterable[Dataset] = ()) -> None:
+        self._datasets: list[Dataset] = []
+        self._by_name: dict[str, Dataset] = {}
+        for ds in datasets:
+            self.add(ds)
+
+    # ---------------------------------------------------------------- editing
+    def add(self, dataset: Dataset) -> None:
+        if dataset.name in self._by_name:
+            raise ValidationError(f"duplicate dataset name {dataset.name!r}")
+        self._datasets.append(dataset)
+        self._by_name[dataset.name] = dataset
+
+    def remove(self, name: str) -> Dataset:
+        ds = self[name]
+        self._datasets.remove(ds)
+        del self._by_name[name]
+        return ds
+
+    def reorder(self, names: Sequence[str]) -> None:
+        """Reorder datasets; ``names`` must be a permutation of current names.
+
+        ForestView's "Order Datasets" operation (e.g. by SPELL relevance)
+        lands here.
+        """
+        names = list(names)
+        if sorted(names) != sorted(self._by_name):
+            raise ValidationError(
+                "reorder requires a permutation of the current dataset names"
+            )
+        self._datasets = [self._by_name[n] for n in names]
+
+    # ----------------------------------------------------------------- lookup
+    def __getitem__(self, key: str | int) -> Dataset:
+        if isinstance(key, int):
+            return self._datasets[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise KeyError(f"no dataset named {key!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets)
+
+    @property
+    def names(self) -> list[str]:
+        return [ds.name for ds in self._datasets]
+
+    def index_of(self, name: str) -> int:
+        for i, ds in enumerate(self._datasets):
+            if ds.name == name:
+                return i
+        raise KeyError(f"no dataset named {name!r}")
+
+    # -------------------------------------------------------------- summaries
+    def gene_universe(self) -> list[str]:
+        """Sorted union of gene ids across all datasets."""
+        universe: set[str] = set()
+        for ds in self._datasets:
+            universe.update(ds.gene_ids)
+        return sorted(universe)
+
+    def common_genes(self) -> list[str]:
+        """Sorted intersection of gene ids present in every dataset."""
+        if not self._datasets:
+            return []
+        common = set(self._datasets[0].gene_ids)
+        for ds in self._datasets[1:]:
+            common.intersection_update(ds.gene_ids)
+        return sorted(common)
+
+    def datasets_containing(self, gene_id: str) -> list[str]:
+        return [ds.name for ds in self._datasets if gene_id in ds.matrix]
+
+    def total_measurements(self) -> int:
+        """Total non-missing measurements (paper: 'a quarter billion ...')."""
+        return sum(ds.measurement_count() for ds in self._datasets)
+
+    def max_conditions(self) -> int:
+        return max((ds.n_conditions for ds in self._datasets), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Compendium({len(self)} datasets, {len(self.gene_universe())} genes, "
+            f"{self.total_measurements()} measurements)"
+        )

@@ -1,0 +1,154 @@
+"""A named microarray dataset: matrix + annotations + optional dendrograms.
+
+This is the unit ForestView displays one pane for.  The gene tree and
+array tree mirror what a CDT/GTR/ATR triple from Cluster 3.0 provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.tree import DendrogramTree
+from repro.cluster.hierarchical import hierarchical_cluster
+from repro.data.annotations import GeneAnnotations
+from repro.data.matrix import ExpressionMatrix
+from repro.util.errors import ValidationError
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """One microarray dataset as ForestView sees it.
+
+    Attributes
+    ----------
+    name:
+        Unique display name (pane title, compendium key).
+    matrix:
+        The expression measurements.
+    annotations:
+        Per-gene annotation store; defaults to NAME-only records derived
+        from the matrix's gene names.
+    gene_tree / array_tree:
+        Optional dendrograms over rows / columns.  When present, their
+        leaf counts must match the matrix.
+    metadata:
+        Free-form dataset-level facts (publication, platform, ...).
+    """
+
+    name: str
+    matrix: ExpressionMatrix
+    annotations: GeneAnnotations = field(default_factory=GeneAnnotations)
+    gene_tree: DendrogramTree | None = None
+    array_tree: DendrogramTree | None = None
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not str(self.name):
+            raise ValidationError("dataset name must be non-empty")
+        self.name = str(self.name)
+        if self.gene_tree is not None and self.gene_tree.n_leaves != self.matrix.n_genes:
+            raise ValidationError(
+                f"gene tree has {self.gene_tree.n_leaves} leaves for "
+                f"{self.matrix.n_genes} genes"
+            )
+        if self.array_tree is not None and self.array_tree.n_leaves != self.matrix.n_conditions:
+            raise ValidationError(
+                f"array tree has {self.array_tree.n_leaves} leaves for "
+                f"{self.matrix.n_conditions} conditions"
+            )
+        # guarantee every gene has at least a NAME annotation
+        for gid, gname in zip(self.matrix.gene_ids, self.matrix.gene_names):
+            if gid not in self.annotations:
+                self.annotations.set(gid, "NAME", gname)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def n_genes(self) -> int:
+        return self.matrix.n_genes
+
+    @property
+    def n_conditions(self) -> int:
+        return self.matrix.n_conditions
+
+    @property
+    def gene_ids(self) -> list[str]:
+        return self.matrix.gene_ids
+
+    def display_order(self) -> list[int]:
+        """Row order for rendering: gene-tree leaf order if clustered, else natural."""
+        if self.gene_tree is not None:
+            return self.gene_tree.leaf_order()
+        return list(range(self.n_genes))
+
+    def condition_display_order(self) -> list[int]:
+        if self.array_tree is not None:
+            return self.array_tree.leaf_order()
+        return list(range(self.n_conditions))
+
+    # ------------------------------------------------------------- operations
+    def clustered(
+        self,
+        *,
+        metric: str = "correlation",
+        linkage: str = "average",
+        cluster_arrays: bool = False,
+    ) -> "Dataset":
+        """Return a copy of this dataset with freshly computed dendrograms."""
+        gene_tree = hierarchical_cluster(
+            self.matrix.values,
+            metric=metric,
+            linkage=linkage,
+            leaf_ids=[f"GENE{i}X" for i in range(self.n_genes)],
+        )
+        array_tree = self.array_tree
+        if cluster_arrays and self.n_conditions >= 2:
+            array_tree = hierarchical_cluster(
+                self.matrix.values.T,
+                metric=metric,
+                linkage=linkage,
+                leaf_ids=[f"ARRY{i}X" for i in range(self.n_conditions)],
+                node_prefix="ANODE",
+            )
+        return Dataset(
+            name=self.name,
+            matrix=self.matrix,
+            annotations=self.annotations,
+            gene_tree=gene_tree,
+            array_tree=array_tree,
+            metadata=dict(self.metadata),
+        )
+
+    def subset(self, gene_ids, *, name: str | None = None, missing: str = "skip") -> "Dataset":
+        """Sub-dataset over ``gene_ids`` (trees dropped: they no longer apply).
+
+        This implements the paper's "this subset can also be loaded into
+        the ForestView display as a dataset".
+        """
+        sub_matrix = self.matrix.subset_genes(list(gene_ids), missing=missing)
+        if sub_matrix.n_genes == 0:
+            raise ValidationError(f"subset of {self.name!r} contains no genes")
+        sub_name = name if name is not None else f"{self.name}:subset"
+        return Dataset(
+            name=sub_name,
+            matrix=sub_matrix,
+            annotations=self.annotations,
+            metadata=dict(self.metadata),
+        )
+
+    def measurement_count(self) -> int:
+        """Total non-missing measurements (the paper counts compendium size this way)."""
+        import numpy as np
+
+        return int((~np.isnan(self.matrix.values)).sum())
+
+    def __repr__(self) -> str:
+        trees = []
+        if self.gene_tree is not None:
+            trees.append("gene-tree")
+        if self.array_tree is not None:
+            trees.append("array-tree")
+        suffix = f", {'+'.join(trees)}" if trees else ""
+        return f"Dataset({self.name!r}, {self.n_genes}x{self.n_conditions}{suffix})"

@@ -1,0 +1,85 @@
+"""GMT (gene matrix transposed) gene-set file format.
+
+The lingua franca for moving gene lists between tools — exactly what
+the paper's "export the gene list ... for further analysis in another
+application" workflow produces.  One set per line::
+
+    set_name <TAB> description <TAB> gene1 <TAB> gene2 ...
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.errors import DataFormatError, ValidationError
+
+__all__ = ["GeneSet", "parse_gmt", "format_gmt", "read_gmt", "write_gmt"]
+
+
+@dataclass(frozen=True)
+class GeneSet:
+    """A named, described, ordered gene list."""
+
+    name: str
+    description: str
+    genes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("gene set name must be non-empty")
+        if not self.genes:
+            raise ValidationError(f"gene set {self.name!r} is empty")
+        if len(set(self.genes)) != len(self.genes):
+            raise ValidationError(f"gene set {self.name!r} contains duplicates")
+
+    def __len__(self) -> int:
+        return len(self.genes)
+
+    def __contains__(self, gene_id: str) -> bool:
+        return gene_id in set(self.genes)
+
+
+def parse_gmt(text: str, *, path: str | None = None) -> list[GeneSet]:
+    sets: list[GeneSet] = []
+    names: set[str] = set()
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line.strip() or line.startswith("#"):
+            continue
+        cells = line.split("\t")
+        if len(cells) < 3:
+            raise DataFormatError(
+                "GMT line needs name, description and >= 1 gene", path=path, line=line_no
+            )
+        name = cells[0].strip()
+        if name in names:
+            raise DataFormatError(f"duplicate gene set {name!r}", path=path, line=line_no)
+        genes = tuple(dict.fromkeys(g.strip() for g in cells[2:] if g.strip()))
+        if not genes:
+            raise DataFormatError(f"gene set {name!r} has no genes", path=path, line=line_no)
+        try:
+            sets.append(GeneSet(name=name, description=cells[1].strip(), genes=genes))
+        except ValidationError as exc:
+            raise DataFormatError(str(exc), path=path, line=line_no) from exc
+        names.add(name)
+    if not sets:
+        raise DataFormatError("GMT file contains no gene sets", path=path)
+    return sets
+
+
+def format_gmt(sets: list[GeneSet]) -> str:
+    out = io.StringIO()
+    for gs in sets:
+        out.write("\t".join([gs.name, gs.description, *gs.genes]) + "\n")
+    return out.getvalue()
+
+
+def read_gmt(path: str | Path) -> list[GeneSet]:
+    path = Path(path)
+    return parse_gmt(path.read_text(), path=str(path))
+
+
+def write_gmt(sets: list[GeneSet], path: str | Path) -> None:
+    Path(path).write_text(format_gmt(sets))

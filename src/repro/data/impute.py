@@ -1,0 +1,76 @@
+"""Missing-value imputation for expression matrices.
+
+Clustering and some analyses need complete rows; the standard microarray
+answer is KNNimpute (Troyanskaya et al. 2001 — the same lab as this
+paper): fill each missing cell with the weighted average of that column's
+values in the k most-similar rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrix import ExpressionMatrix
+from repro.stats.correlation import pearson_matrix
+from repro.util.errors import ValidationError
+
+__all__ = ["row_mean_impute", "knn_impute"]
+
+
+def row_mean_impute(matrix: ExpressionMatrix) -> ExpressionMatrix:
+    """Fill each missing cell with its row's mean (all-missing rows get 0)."""
+    X = np.array(matrix.values, copy=True)
+    all_missing = np.isnan(X).all(axis=1)
+    with np.errstate(invalid="ignore"):
+        means = np.nanmean(np.where(all_missing[:, None], 0.0, X), axis=1)
+    means[all_missing] = 0.0
+    rows, cols = np.nonzero(np.isnan(X))
+    X[rows, cols] = means[rows]
+    return matrix.with_values(X)
+
+
+def knn_impute(matrix: ExpressionMatrix, k: int = 10) -> ExpressionMatrix:
+    """KNNimpute: per-row weighted average over the k most-correlated rows.
+
+    Weights are the positive correlations of the neighbour rows; neighbour
+    cells must be observed to contribute.  Cells that no neighbour can
+    fill fall back to row-mean imputation.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    X = np.array(matrix.values, copy=True)
+    n = X.shape[0]
+    missing = np.isnan(X)
+    if not missing.any():
+        return matrix.with_values(X)
+    if n < 2:
+        return row_mean_impute(matrix)
+
+    corr = pearson_matrix(X)
+    np.fill_diagonal(corr, -np.inf)  # a row is not its own neighbour
+    corr = np.where(np.isnan(corr), -np.inf, corr)
+    k_eff = min(k, n - 1)
+    # top-k neighbour rows for every row, highest correlation first
+    neighbour_idx = np.argpartition(-corr, k_eff - 1, axis=1)[:, :k_eff]
+
+    observed = ~missing
+    Xz = np.where(observed, X, 0.0)
+    filled = X.copy()
+    for i in np.flatnonzero(missing.any(axis=1)):
+        nbrs = neighbour_idx[i]
+        weights = corr[i, nbrs]
+        keep = weights > 0
+        cols = np.flatnonzero(missing[i])
+        if keep.any():
+            nbrs_k = nbrs[keep]
+            w = weights[keep][:, None]  # (k', 1)
+            contrib = (w * Xz[np.ix_(nbrs_k, cols)]).sum(axis=0)
+            weight_mass = (w * observed[np.ix_(nbrs_k, cols)]).sum(axis=0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                estimates = contrib / weight_mass
+            ok = weight_mass > 0
+            filled[i, cols[ok]] = estimates[ok]
+    result = matrix.with_values(filled)
+    if np.isnan(result.values).any():
+        result = row_mean_impute(result)
+    return result

@@ -1,0 +1,132 @@
+"""High-level dataset loading/saving: PCL or CDT(+GTR/ATR) triples on disk.
+
+``load_dataset`` hides the file-format plumbing: given ``foo.pcl`` it
+returns an unclustered dataset; given ``foo.cdt`` it also looks for
+``foo.gtr`` / ``foo.atr`` next to it and re-links the dendrograms via the
+GID/AID keys, exactly how Java TreeView resolves a clustered triple.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cluster.tree import DendrogramTree
+from repro.data.cdt import CdtTable, read_cdt, write_cdt
+from repro.data.dataset import Dataset
+from repro.data.pcl import read_pcl, write_pcl
+from repro.data.treefiles import read_atr, read_gtr, write_atr, write_gtr
+from repro.util.errors import DataFormatError
+
+__all__ = ["load_dataset", "save_dataset"]
+
+
+def load_dataset(path: str | Path, *, name: str | None = None) -> Dataset:
+    """Load a dataset from a ``.pcl`` or ``.cdt`` file.
+
+    For CDT input, companion ``.gtr``/``.atr`` files (same stem, same
+    directory) are loaded when present and their leaves are re-indexed to
+    the CDT's display order through the GID/AID columns.
+    """
+    path = Path(path)
+    ds_name = name if name is not None else path.stem
+    suffix = path.suffix.lower()
+    if suffix == ".pcl":
+        return Dataset(name=ds_name, matrix=read_pcl(path))
+    if suffix == ".cdt":
+        table = read_cdt(path)
+        gene_tree = None
+        array_tree = None
+        gtr_path = path.with_suffix(".gtr")
+        if gtr_path.exists():
+            gene_tree = _relink_tree(
+                read_gtr(gtr_path), table.gene_node_ids, str(gtr_path), kind="GTR"
+            )
+        atr_path = path.with_suffix(".atr")
+        if atr_path.exists() and table.array_node_ids is not None:
+            array_tree = _relink_tree(
+                read_atr(atr_path), table.array_node_ids, str(atr_path), kind="ATR"
+            )
+        return Dataset(
+            name=ds_name, matrix=table.matrix, gene_tree=gene_tree, array_tree=array_tree
+        )
+    raise DataFormatError(f"unsupported dataset extension {suffix!r} (want .pcl or .cdt)", path=str(path))
+
+
+def save_dataset(dataset: Dataset, directory: str | Path, *, basename: str | None = None) -> Path:
+    """Write a dataset to ``directory``; returns the primary file written.
+
+    Datasets with a gene tree are written as CDT (+GTR, +ATR when an
+    array tree exists) with rows/columns in display order; plain datasets
+    are written as PCL.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = basename if basename is not None else _safe_name(dataset.name)
+    if dataset.gene_tree is None:
+        out = directory / f"{base}.pcl"
+        write_pcl(dataset.matrix, out)
+        return out
+
+    row_order = dataset.gene_tree.leaf_order()
+    matrix = dataset.matrix.reorder_genes(row_order)
+    leaf_by_index = {leaf.index: leaf.node_id for leaf in dataset.gene_tree.root.leaves()}
+    gene_node_ids = [leaf_by_index[i] for i in row_order]
+
+    array_node_ids = None
+    if dataset.array_tree is not None:
+        col_order = dataset.array_tree.leaf_order()
+        matrix = matrix.subset_conditions(col_order)
+        aleaf_by_index = {leaf.index: leaf.node_id for leaf in dataset.array_tree.root.leaves()}
+        array_node_ids = [aleaf_by_index[i] for i in col_order]
+
+    out = directory / f"{base}.cdt"
+    write_cdt(CdtTable(matrix=matrix, gene_node_ids=gene_node_ids, array_node_ids=array_node_ids), out)
+    write_gtr(_reindexed_for_save(dataset.gene_tree, row_order), directory / f"{base}.gtr")
+    if dataset.array_tree is not None:
+        write_atr(
+            _reindexed_for_save(dataset.array_tree, dataset.array_tree.leaf_order()),
+            directory / f"{base}.atr",
+        )
+    return out
+
+
+def _relink_tree(
+    tree: DendrogramTree, node_ids: list[str], path: str, *, kind: str
+) -> DendrogramTree:
+    """Point tree leaves at file-row positions via the GID/AID key column."""
+    position = {nid: i for i, nid in enumerate(node_ids)}
+    if len(position) != len(node_ids):
+        raise DataFormatError(f"duplicate {kind} keys in data table", path=path)
+    leaves = list(tree.root.leaves())
+    if len(leaves) != len(node_ids):
+        raise DataFormatError(
+            f"{kind} tree has {len(leaves)} leaves but table has {len(node_ids)} entries",
+            path=path,
+        )
+    for leaf in leaves:
+        if leaf.node_id not in position:
+            raise DataFormatError(
+                f"{kind} leaf {leaf.node_id!r} missing from data table keys", path=path
+            )
+        leaf.index = position[leaf.node_id]
+    return DendrogramTree(root=tree.root, n_leaves=len(leaves))
+
+
+def _reindexed_for_save(tree: DendrogramTree, order: list[int]) -> DendrogramTree:
+    """Rebuild the tree with leaf indices renumbered to display positions.
+
+    After the matrix rows are written in display order, leaf ``order[k]``
+    sits at row ``k``; the saved GTR must agree so a reload round-trips.
+    The original tree object is left untouched.
+    """
+    import copy
+
+    new_root = copy.deepcopy(tree.root)
+    rank = {original: display for display, original in enumerate(order)}
+    for leaf in new_root.leaves():
+        leaf.index = rank[leaf.index]
+    return DendrogramTree(root=new_root, n_leaves=tree.n_leaves)
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)

@@ -1,0 +1,241 @@
+"""The core expression-matrix container.
+
+An :class:`ExpressionMatrix` is a (genes x conditions) array of log-ratio
+measurements with NaN marking missing values, plus the row/column
+identity metadata every microarray tool carries around: gene IDs, gene
+display names, condition names, and the PCL-style GWEIGHT/EWEIGHT
+columns.  It is immutable-by-convention: operations return new matrices
+(sharing data views where safe) rather than mutating in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.stats.descriptive import nan_summary
+
+__all__ = ["ExpressionMatrix"]
+
+
+class ExpressionMatrix:
+    """A gene-by-condition measurement matrix with identity metadata.
+
+    Parameters
+    ----------
+    values:
+        (n_genes, n_conditions) float array; NaN means "missing".
+    gene_ids:
+        Unique systematic identifiers, e.g. ``YAL001C`` (row keys).
+    gene_names:
+        Display names (PCL ``NAME`` column); defaults to ``gene_ids``.
+    condition_names:
+        Column labels, e.g. ``heat_15min``.
+    gene_weights / condition_weights:
+        PCL GWEIGHT / EWEIGHT vectors; default to all-ones.
+    """
+
+    __slots__ = (
+        "values",
+        "gene_ids",
+        "gene_names",
+        "condition_names",
+        "gene_weights",
+        "condition_weights",
+        "_gene_index",
+    )
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        gene_ids: Sequence[str],
+        condition_names: Sequence[str],
+        *,
+        gene_names: Sequence[str] | None = None,
+        gene_weights: np.ndarray | None = None,
+        condition_weights: np.ndarray | None = None,
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValidationError(f"values must be 2-D, got shape {values.shape}")
+        n_genes, n_conditions = values.shape
+        gene_ids = [str(g) for g in gene_ids]
+        condition_names = [str(c) for c in condition_names]
+        if len(gene_ids) != n_genes:
+            raise ValidationError(
+                f"{len(gene_ids)} gene ids for {n_genes} rows"
+            )
+        if len(condition_names) != n_conditions:
+            raise ValidationError(
+                f"{len(condition_names)} condition names for {n_conditions} columns"
+            )
+        if len(set(gene_ids)) != len(gene_ids):
+            dupes = sorted({g for g in gene_ids if gene_ids.count(g) > 1})
+            raise ValidationError(f"duplicate gene ids: {dupes[:5]}")
+        if gene_names is None:
+            gene_names = list(gene_ids)
+        else:
+            gene_names = [str(g) for g in gene_names]
+            if len(gene_names) != n_genes:
+                raise ValidationError(
+                    f"{len(gene_names)} gene names for {n_genes} rows"
+                )
+        gene_weights = (
+            np.ones(n_genes) if gene_weights is None else np.asarray(gene_weights, dtype=np.float64)
+        )
+        condition_weights = (
+            np.ones(n_conditions)
+            if condition_weights is None
+            else np.asarray(condition_weights, dtype=np.float64)
+        )
+        if gene_weights.shape != (n_genes,):
+            raise ValidationError(f"gene_weights shape {gene_weights.shape} != ({n_genes},)")
+        if condition_weights.shape != (n_conditions,):
+            raise ValidationError(
+                f"condition_weights shape {condition_weights.shape} != ({n_conditions},)"
+            )
+
+        self.values = values
+        self.gene_ids = list(gene_ids)
+        self.gene_names = list(gene_names)
+        self.condition_names = list(condition_names)
+        self.gene_weights = gene_weights
+        self.condition_weights = condition_weights
+        self._gene_index = {g: i for i, g in enumerate(gene_ids)}
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def n_genes(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_conditions(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpressionMatrix({self.n_genes} genes x {self.n_conditions} conditions, "
+            f"{nan_summary(self.values)['fraction_missing']:.1%} missing)"
+        )
+
+    # ----------------------------------------------------------------- lookup
+    def __contains__(self, gene_id: str) -> bool:
+        return gene_id in self._gene_index
+
+    def index_of(self, gene_id: str) -> int:
+        """Row index of ``gene_id``; raises KeyError when absent."""
+        try:
+            return self._gene_index[gene_id]
+        except KeyError:
+            raise KeyError(f"gene {gene_id!r} not in matrix") from None
+
+    def indices_of(self, gene_ids: Iterable[str], *, missing: str = "raise") -> list[int]:
+        """Row indices for ``gene_ids``.
+
+        ``missing='raise'`` raises on unknown genes; ``missing='skip'``
+        silently drops them (used for cross-dataset gene matching where
+        absence is expected).
+        """
+        if missing not in ("raise", "skip"):
+            raise ValidationError(f"missing must be 'raise' or 'skip', got {missing!r}")
+        out: list[int] = []
+        for g in gene_ids:
+            idx = self._gene_index.get(g)
+            if idx is None:
+                if missing == "raise":
+                    raise KeyError(f"gene {g!r} not in matrix")
+                continue
+            out.append(idx)
+        return out
+
+    def row(self, gene_id: str) -> np.ndarray:
+        """Expression vector for one gene (a view, not a copy)."""
+        return self.values[self.index_of(gene_id)]
+
+    # ----------------------------------------------------------------- subset
+    def subset_genes(self, gene_ids: Sequence[str], *, missing: str = "raise") -> "ExpressionMatrix":
+        """New matrix holding only ``gene_ids``, in the order given."""
+        rows = self.indices_of(gene_ids, missing=missing)
+        return self._take_rows(rows)
+
+    def subset_rows(self, rows: Sequence[int]) -> "ExpressionMatrix":
+        """New matrix holding the given row indices, in the order given."""
+        rows = list(rows)
+        n = self.n_genes
+        for r in rows:
+            if not (0 <= r < n):
+                raise ValidationError(f"row index {r} out of range [0, {n})")
+        return self._take_rows(rows)
+
+    def _take_rows(self, rows: list[int]) -> "ExpressionMatrix":
+        idx = np.asarray(rows, dtype=np.intp)
+        return ExpressionMatrix(
+            self.values[idx],
+            [self.gene_ids[i] for i in rows],
+            self.condition_names,
+            gene_names=[self.gene_names[i] for i in rows],
+            gene_weights=self.gene_weights[idx],
+            condition_weights=self.condition_weights,
+        )
+
+    def subset_conditions(self, cols: Sequence[int]) -> "ExpressionMatrix":
+        """New matrix holding the given condition (column) indices."""
+        cols = list(cols)
+        n = self.n_conditions
+        for c in cols:
+            if not (0 <= c < n):
+                raise ValidationError(f"condition index {c} out of range [0, {n})")
+        idx = np.asarray(cols, dtype=np.intp)
+        return ExpressionMatrix(
+            self.values[:, idx],
+            self.gene_ids,
+            [self.condition_names[i] for i in cols],
+            gene_names=self.gene_names,
+            gene_weights=self.gene_weights,
+            condition_weights=self.condition_weights[idx],
+        )
+
+    def reorder_genes(self, order: Sequence[int]) -> "ExpressionMatrix":
+        """Permute rows; ``order`` must be a permutation of ``range(n_genes)``."""
+        order = list(order)
+        if sorted(order) != list(range(self.n_genes)):
+            raise ValidationError("order must be a permutation of all row indices")
+        return self._take_rows(order)
+
+    # ------------------------------------------------------------- statistics
+    def missing_fraction(self) -> float:
+        return nan_summary(self.values)["fraction_missing"]
+
+    def with_values(self, values: np.ndarray) -> "ExpressionMatrix":
+        """New matrix with the same metadata but replaced ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.shape:
+            raise ValidationError(f"replacement values {values.shape} != {self.shape}")
+        return ExpressionMatrix(
+            values,
+            self.gene_ids,
+            self.condition_names,
+            gene_names=self.gene_names,
+            gene_weights=self.gene_weights,
+            condition_weights=self.condition_weights,
+        )
+
+    def equals(self, other: "ExpressionMatrix", *, rtol: float = 1e-9) -> bool:
+        """Structural + numeric equality (NaNs equal); used by round-trip tests."""
+        return (
+            self.gene_ids == other.gene_ids
+            and self.gene_names == other.gene_names
+            and self.condition_names == other.condition_names
+            and self.shape == other.shape
+            and bool(
+                np.allclose(self.values, other.values, rtol=rtol, equal_nan=True)
+            )
+            and bool(np.allclose(self.gene_weights, other.gene_weights, rtol=rtol))
+            and bool(np.allclose(self.condition_weights, other.condition_weights, rtol=rtol))
+        )

@@ -1,0 +1,177 @@
+"""The paper's Merged Dataset Interface.
+
+Figure 1 places a "Merged Dataset Interface" between the raw datasets and
+every analysis routine: "a dataset interface is needed to manage access
+to all datasets and present a simple three dimensional array interface
+that allows analysis routines to easily access the data."
+
+:class:`MergedDatasetInterface` provides exactly that: indexing by
+``[dataset, gene, condition]`` over a unified gene axis (the union of all
+datasets' genes, aligned by id).  Cells for genes absent from a dataset
+and conditions beyond a dataset's width read as NaN.  Slices never copy
+the underlying per-dataset matrices; dense exports are built on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.compendium import Compendium
+from repro.data.matrix import ExpressionMatrix
+from repro.util.errors import ValidationError
+
+__all__ = ["MergedDatasetInterface"]
+
+
+class MergedDatasetInterface:
+    """Aligned 3-D (dataset, gene, condition) view over a compendium.
+
+    The gene axis is the sorted union of gene ids (stable for a given
+    compendium content); the condition axis is ragged in reality and
+    padded with NaN up to ``max_conditions`` when densified.
+    """
+
+    def __init__(self, compendium: Compendium) -> None:
+        if len(compendium) == 0:
+            raise ValidationError("merged interface needs at least one dataset")
+        self.compendium = compendium
+        self.gene_ids: list[str] = compendium.gene_universe()
+        self._gene_axis = {g: i for i, g in enumerate(self.gene_ids)}
+        self.max_conditions = compendium.max_conditions()
+        # per-dataset row maps: merged gene index -> dataset row index (-1 = absent)
+        self._row_maps: list[np.ndarray] = []
+        for ds in compendium:
+            rmap = np.full(len(self.gene_ids), -1, dtype=np.intp)
+            for row, gid in enumerate(ds.gene_ids):
+                rmap[self._gene_axis[gid]] = row
+            self._row_maps.append(rmap)
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """(n_datasets, n_genes_in_union, max_conditions)."""
+        return (len(self.compendium), len(self.gene_ids), self.max_conditions)
+
+    @property
+    def n_datasets(self) -> int:
+        return len(self.compendium)
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.gene_ids)
+
+    def gene_axis_index(self, gene_id: str) -> int:
+        try:
+            return self._gene_axis[gene_id]
+        except KeyError:
+            raise KeyError(f"gene {gene_id!r} not in any dataset") from None
+
+    def __contains__(self, gene_id: str) -> bool:
+        return gene_id in self._gene_axis
+
+    # --------------------------------------------------------------- indexing
+    def value(self, dataset: int | str, gene_id: str, condition: int) -> float:
+        """Single cell; NaN when the gene/condition is absent from the dataset."""
+        d = self._dataset_index(dataset)
+        ds = self.compendium[d]
+        if condition < 0 or condition >= self.max_conditions:
+            raise ValidationError(
+                f"condition {condition} out of merged range [0, {self.max_conditions})"
+            )
+        row = self._row_maps[d][self.gene_axis_index(gene_id)]
+        if row < 0 or condition >= ds.n_conditions:
+            return float("nan")
+        return float(ds.matrix.values[row, condition])
+
+    def gene_profile(self, dataset: int | str, gene_id: str) -> np.ndarray:
+        """One gene's expression vector in one dataset, padded to ``max_conditions``."""
+        d = self._dataset_index(dataset)
+        ds = self.compendium[d]
+        out = np.full(self.max_conditions, np.nan)
+        row = self._row_maps[d][self.gene_axis_index(gene_id)]
+        if row >= 0:
+            out[: ds.n_conditions] = ds.matrix.values[row]
+        return out
+
+    def gene_slice(self, gene_id: str) -> np.ndarray:
+        """(n_datasets, max_conditions) slab for one gene across all datasets.
+
+        This is the "scan across a row of data to see how genes from one
+        dataset are expressed in the others" access pattern.
+        """
+        out = np.full((self.n_datasets, self.max_conditions), np.nan)
+        g = self.gene_axis_index(gene_id)
+        for d, ds in enumerate(self.compendium):
+            row = self._row_maps[d][g]
+            if row >= 0:
+                out[d, : ds.n_conditions] = ds.matrix.values[row]
+        return out
+
+    def dataset_slab(self, dataset: int | str, gene_ids: Sequence[str]) -> np.ndarray:
+        """(len(gene_ids), n_conditions) block from one dataset, NaN rows for absences.
+
+        Note: unlike :meth:`gene_profile` this is *not* padded — it keeps
+        the dataset's native condition width, which is what renderers and
+        per-dataset analyses want.
+        """
+        d = self._dataset_index(dataset)
+        ds = self.compendium[d]
+        rmap = self._row_maps[d]
+        out = np.full((len(gene_ids), ds.n_conditions), np.nan)
+        for i, gid in enumerate(gene_ids):
+            row = rmap[self._gene_axis[gid]] if gid in self._gene_axis else -1
+            if row >= 0:
+                out[i] = ds.matrix.values[row]
+        return out
+
+    def presence_matrix(self, gene_ids: Sequence[str]) -> np.ndarray:
+        """(len(gene_ids), n_datasets) boolean: which dataset contains which gene."""
+        out = np.zeros((len(gene_ids), self.n_datasets), dtype=bool)
+        for i, gid in enumerate(gene_ids):
+            g = self._gene_axis.get(gid)
+            if g is None:
+                continue
+            for d in range(self.n_datasets):
+                out[i, d] = self._row_maps[d][g] >= 0
+        return out
+
+    # ----------------------------------------------------------------- export
+    def dense(self, gene_ids: Sequence[str] | None = None) -> np.ndarray:
+        """Materialize the full (datasets, genes, conditions) NaN-padded cube.
+
+        Intended for analysis routines that genuinely want the 3-D array;
+        for large compendia prefer the slice accessors.
+        """
+        genes = list(gene_ids) if gene_ids is not None else self.gene_ids
+        cube = np.full((self.n_datasets, len(genes), self.max_conditions), np.nan)
+        for d, ds in enumerate(self.compendium):
+            slab = self.dataset_slab(d, genes)
+            cube[d, :, : ds.n_conditions] = slab
+        return cube
+
+    def export_merged_matrix(self, gene_ids: Sequence[str] | None = None) -> ExpressionMatrix:
+        """Flatten to a 2-D matrix: rows = genes, columns = all datasets' conditions.
+
+        Implements the paper's "Export Merged Dataset" UI operation.
+        Column names are ``{dataset}:{condition}`` so provenance survives.
+        """
+        genes = list(gene_ids) if gene_ids is not None else self.gene_ids
+        blocks: list[np.ndarray] = []
+        col_names: list[str] = []
+        for d, ds in enumerate(self.compendium):
+            blocks.append(self.dataset_slab(d, genes))
+            col_names.extend(f"{ds.name}:{c}" for c in ds.matrix.condition_names)
+        values = np.concatenate(blocks, axis=1) if blocks else np.empty((len(genes), 0))
+        return ExpressionMatrix(values, genes, col_names)
+
+    # ----------------------------------------------------------------- helper
+    def _dataset_index(self, dataset: int | str) -> int:
+        if isinstance(dataset, str):
+            return self.compendium.index_of(dataset)
+        if not (0 <= dataset < self.n_datasets):
+            raise ValidationError(
+                f"dataset index {dataset} out of range [0, {self.n_datasets})"
+            )
+        return dataset

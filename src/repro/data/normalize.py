@@ -1,0 +1,70 @@
+"""Dataset-level normalization passes.
+
+These wrap the row-statistics kernels in :mod:`repro.stats.descriptive`
+with :class:`Dataset`-aware plumbing, mirroring the preprocessing every
+microarray pipeline applies before visualization (log transform, median
+centering, z-scoring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.stats.descriptive import median_center_rows, zscore_rows
+from repro.util.errors import ValidationError
+
+__all__ = ["log_transform", "median_center", "zscore_normalize", "normalize"]
+
+PIPELINE_STEPS = ("log", "median_center", "zscore")
+
+
+def log_transform(dataset: Dataset, *, base: float = 2.0, pseudocount: float = 0.0) -> Dataset:
+    """Elementwise log; non-positive inputs become missing (NaN).
+
+    Raw intensity ratios are logged before display; already-logged data
+    should skip this step.
+    """
+    if base <= 1.0:
+        raise ValidationError(f"log base must exceed 1, got {base}")
+    values = dataset.matrix.values + pseudocount
+    with np.errstate(invalid="ignore", divide="ignore"):
+        logged = np.log(values) / np.log(base)
+    logged[~np.isfinite(logged)] = np.nan
+    return _with_values(dataset, logged)
+
+
+def median_center(dataset: Dataset) -> Dataset:
+    """Subtract each gene's median expression (per-row centering)."""
+    return _with_values(dataset, median_center_rows(dataset.matrix.values))
+
+
+def zscore_normalize(dataset: Dataset) -> Dataset:
+    """Z-score each gene row (zero mean, unit variance, NaNs preserved)."""
+    return _with_values(dataset, zscore_rows(dataset.matrix.values))
+
+
+def normalize(dataset: Dataset, steps: tuple[str, ...] = ("median_center",)) -> Dataset:
+    """Apply a pipeline of named steps in order; see :data:`PIPELINE_STEPS`."""
+    out = dataset
+    for step in steps:
+        if step == "log":
+            out = log_transform(out)
+        elif step == "median_center":
+            out = median_center(out)
+        elif step == "zscore":
+            out = zscore_normalize(out)
+        else:
+            raise ValidationError(f"unknown normalization step {step!r}; choose from {PIPELINE_STEPS}")
+    return out
+
+
+def _with_values(dataset: Dataset, values: np.ndarray) -> Dataset:
+    return Dataset(
+        name=dataset.name,
+        matrix=dataset.matrix.with_values(values),
+        annotations=dataset.annotations,
+        gene_tree=dataset.gene_tree,
+        array_tree=dataset.array_tree,
+        metadata=dict(dataset.metadata),
+    )

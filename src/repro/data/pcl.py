@@ -1,0 +1,137 @@
+"""PCL (pre-clustering) file format: read and write.
+
+PCL is the tab-delimited microarray interchange format the paper's
+datasets arrive in ("microarray datasets typically accessed through cdt
+or pcl files").  Layout::
+
+    YORF    NAME    GWEIGHT    cond1    cond2 ...
+    EWEIGHT                    1        1     ...
+    YAL001C TFC3    1          0.12     -0.98 ...
+
+* Column 0: systematic gene id; column 1: display name; column 2: GWEIGHT.
+* Optional second header line ``EWEIGHT`` with per-condition weights.
+* Empty cells are missing values (NaN).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.matrix import ExpressionMatrix
+from repro.util.errors import DataFormatError
+
+__all__ = ["read_pcl", "write_pcl", "parse_pcl", "format_pcl"]
+
+_MISSING_TOKENS = {"", "na", "nan", "null", "n/a"}
+
+
+def _parse_cell(token: str, *, path: str | None, line: int) -> float:
+    token = token.strip()
+    if token.lower() in _MISSING_TOKENS:
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise DataFormatError(f"non-numeric expression value {token!r}", path=path, line=line)
+
+
+def parse_pcl(text: str, *, path: str | None = None) -> ExpressionMatrix:
+    """Parse PCL content from a string. See module docstring for layout."""
+    lines = [ln.rstrip("\n").rstrip("\r") for ln in io.StringIO(text)]
+    lines = [ln for ln in lines if ln.strip() != ""]
+    if not lines:
+        raise DataFormatError("empty PCL file", path=path)
+    header = lines[0].split("\t")
+    if len(header) < 4:
+        raise DataFormatError(
+            f"PCL header needs id, NAME, GWEIGHT and >=1 condition column, got {len(header)}",
+            path=path,
+            line=1,
+        )
+    if header[2].strip().upper() != "GWEIGHT":
+        raise DataFormatError(
+            f"PCL column 3 must be GWEIGHT, got {header[2]!r}", path=path, line=1
+        )
+    condition_names = [h.strip() for h in header[3:]]
+    n_cond = len(condition_names)
+
+    body_start = 1
+    condition_weights = np.ones(n_cond)
+    if len(lines) > 1 and lines[1].split("\t")[0].strip().upper() == "EWEIGHT":
+        eweight_cells = lines[1].split("\t")
+        weights = eweight_cells[3:]
+        if len(weights) != n_cond:
+            raise DataFormatError(
+                f"EWEIGHT row has {len(weights)} values for {n_cond} conditions",
+                path=path,
+                line=2,
+            )
+        condition_weights = np.array(
+            [_parse_cell(w, path=path, line=2) for w in weights], dtype=np.float64
+        )
+        body_start = 2
+
+    gene_ids: list[str] = []
+    gene_names: list[str] = []
+    gene_weights: list[float] = []
+    rows: list[list[float]] = []
+    for offset, line in enumerate(lines[body_start:], start=body_start + 1):
+        cells = line.split("\t")
+        if len(cells) != 3 + n_cond:
+            raise DataFormatError(
+                f"row has {len(cells)} cells, expected {3 + n_cond}", path=path, line=offset
+            )
+        gene_id = cells[0].strip()
+        if not gene_id:
+            raise DataFormatError("empty gene id", path=path, line=offset)
+        gene_ids.append(gene_id)
+        gene_names.append(cells[1].strip() or gene_id)
+        gene_weights.append(_parse_cell(cells[2] or "1", path=path, line=offset))
+        rows.append([_parse_cell(c, path=path, line=offset) for c in cells[3:]])
+    if not rows:
+        raise DataFormatError("PCL file contains no gene rows", path=path)
+    return ExpressionMatrix(
+        np.asarray(rows, dtype=np.float64),
+        gene_ids,
+        condition_names,
+        gene_names=gene_names,
+        gene_weights=np.asarray(gene_weights, dtype=np.float64),
+        condition_weights=condition_weights,
+    )
+
+
+def format_pcl(matrix: ExpressionMatrix, *, id_header: str = "YORF") -> str:
+    """Serialize a matrix to PCL text (inverse of :func:`parse_pcl`)."""
+    out = io.StringIO()
+    out.write("\t".join([id_header, "NAME", "GWEIGHT"] + matrix.condition_names) + "\n")
+    eweights = "\t".join(_fmt(w) for w in matrix.condition_weights)
+    out.write(f"EWEIGHT\t\t\t{eweights}\n")
+    for i in range(matrix.n_genes):
+        cells = [
+            matrix.gene_ids[i],
+            matrix.gene_names[i],
+            _fmt(matrix.gene_weights[i]),
+        ] + [_fmt(v) for v in matrix.values[i]]
+        out.write("\t".join(cells) + "\n")
+    return out.getvalue()
+
+
+def read_pcl(path: str | Path) -> ExpressionMatrix:
+    path = Path(path)
+    return parse_pcl(path.read_text(), path=str(path))
+
+
+def write_pcl(matrix: ExpressionMatrix, path: str | Path) -> None:
+    Path(path).write_text(format_pcl(matrix))
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return ""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

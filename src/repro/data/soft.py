@@ -1,0 +1,148 @@
+"""GEO SOFT "series matrix"-style ingestion (simplified).
+
+Public compendia ("previously published datasets", §1) are distributed
+through NCBI GEO; the practical interchange file is the series matrix: a
+``!``-prefixed metadata header followed by a tab-separated expression
+table between ``!series_matrix_table_begin`` / ``_end`` markers.  This
+parser covers that structure so a downstream user can ingest real GEO
+exports straight into a :class:`Dataset`.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.annotations import GeneAnnotations
+from repro.data.dataset import Dataset
+from repro.data.matrix import ExpressionMatrix
+from repro.util.errors import DataFormatError
+
+__all__ = ["parse_series_matrix", "format_series_matrix", "read_series_matrix", "write_series_matrix"]
+
+_BEGIN = "!series_matrix_table_begin"
+_END = "!series_matrix_table_end"
+_MISSING = {"", "na", "nan", "null"}
+
+
+def _strip_quotes(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+        return token[1:-1]
+    return token
+
+
+def parse_series_matrix(text: str, *, path: str | None = None) -> Dataset:
+    """Parse series-matrix content into a :class:`Dataset`.
+
+    Metadata lines (``!Series_title``, ``!Sample_title``, ...) become
+    dataset metadata; ``!Sample_title`` values override the GSM ids as
+    condition names when counts match.
+    """
+    metadata: dict[str, str] = {}
+    sample_titles: list[str] = []
+    table_lines: list[str] = []
+    in_table = False
+    begin_line = end_line = None
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line.strip():
+            continue
+        low = line.strip().lower()
+        if low == _BEGIN:
+            if in_table:
+                raise DataFormatError("nested table begin", path=path, line=line_no)
+            in_table = True
+            begin_line = line_no
+            continue
+        if low == _END:
+            if not in_table:
+                raise DataFormatError("table end before begin", path=path, line=line_no)
+            in_table = False
+            end_line = line_no
+            continue
+        if in_table:
+            table_lines.append(line)
+            continue
+        if line.startswith("!"):
+            key, _, value = line[1:].partition("\t")
+            key = key.strip()
+            values = [_strip_quotes(v) for v in value.split("\t")] if value else []
+            if key.lower() == "sample_title":
+                sample_titles = values
+            elif values:
+                metadata[key] = values[0] if len(values) == 1 else "; ".join(values)
+    if begin_line is None or end_line is None:
+        raise DataFormatError(
+            f"missing {_BEGIN}/{_END} markers", path=path
+        )
+    if not table_lines:
+        raise DataFormatError("series matrix table is empty", path=path)
+
+    header = [_strip_quotes(c) for c in table_lines[0].split("\t")]
+    if len(header) < 2:
+        raise DataFormatError("table header needs an ID column and >= 1 sample", path=path)
+    condition_names = header[1:]
+    if sample_titles and len(sample_titles) == len(condition_names):
+        condition_names = sample_titles
+
+    gene_ids: list[str] = []
+    rows: list[list[float]] = []
+    for offset, line in enumerate(table_lines[1:], start=2):
+        cells = line.split("\t")
+        if len(cells) != len(header):
+            raise DataFormatError(
+                f"table row has {len(cells)} cells, header has {len(header)}",
+                path=path,
+            )
+        gene_ids.append(_strip_quotes(cells[0]))
+        parsed: list[float] = []
+        for cell in cells[1:]:
+            token = _strip_quotes(cell).lower()
+            if token in _MISSING:
+                parsed.append(math.nan)
+            else:
+                try:
+                    parsed.append(float(token))
+                except ValueError:
+                    raise DataFormatError(
+                        f"non-numeric expression value {cell!r}", path=path
+                    )
+        rows.append(parsed)
+    if not rows:
+        raise DataFormatError("series matrix has no data rows", path=path)
+
+    matrix = ExpressionMatrix(np.asarray(rows), gene_ids, condition_names)
+    name = metadata.get("Series_geo_accession", metadata.get("Series_title", "series"))
+    annotations = GeneAnnotations()
+    return Dataset(name=name, matrix=matrix, annotations=annotations, metadata=metadata)
+
+
+def format_series_matrix(dataset: Dataset) -> str:
+    """Serialize a dataset in the series-matrix layout (inverse of parse)."""
+    out = io.StringIO()
+    out.write(f'!Series_title\t"{dataset.metadata.get("Series_title", dataset.name)}"\n')
+    out.write(f'!Series_geo_accession\t"{dataset.name}"\n')
+    titles = "\t".join(f'"{c}"' for c in dataset.matrix.condition_names)
+    out.write(f"!Sample_title\t{titles}\n")
+    out.write(_BEGIN + "\n")
+    out.write("\t".join(['"ID_REF"'] + [f'"{c}"' for c in dataset.matrix.condition_names]) + "\n")
+    for i, gene_id in enumerate(dataset.matrix.gene_ids):
+        cells = [f'"{gene_id}"']
+        for v in dataset.matrix.values[i]:
+            cells.append("" if math.isnan(v) else repr(float(v)))
+        out.write("\t".join(cells) + "\n")
+    out.write(_END + "\n")
+    return out.getvalue()
+
+
+def read_series_matrix(path: str | Path) -> Dataset:
+    path = Path(path)
+    return parse_series_matrix(path.read_text(), path=str(path))
+
+
+def write_series_matrix(dataset: Dataset, path: str | Path) -> None:
+    Path(path).write_text(format_series_matrix(dataset))

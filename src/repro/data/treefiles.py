@@ -1,0 +1,133 @@
+"""GTR / ATR dendrogram file format (Cluster 3.0 / Java TreeView lineage).
+
+Each line records one merge, bottom-up::
+
+    NODE1X    GENE4X    GENE7X    0.9173
+
+i.e. ``node_id  left_child  right_child  correlation`` where
+``correlation = 1 - merge_distance``.  Children may be leaves
+(``GENE{i}X`` / ``ARRY{i}X``) or earlier nodes (``NODE{i}X``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.tree import DendrogramTree, TreeNode
+from repro.util.errors import DataFormatError
+
+__all__ = ["parse_tree_file", "format_tree_file", "read_gtr", "write_gtr", "read_atr", "write_atr"]
+
+_LEAF_RE = re.compile(r"^([A-Z]+)(\d+)X$")
+
+
+def parse_tree_file(
+    text: str, *, leaf_prefix: str = "GENE", path: str | None = None
+) -> DendrogramTree:
+    """Parse GTR/ATR content into a :class:`DendrogramTree`.
+
+    ``leaf_prefix`` selects which child ids are leaves (GENE for GTR,
+    ARRY for ATR); leaf numbering must cover 0..n-1.
+    """
+    nodes: dict[str, TreeNode] = {}
+    children: set[str] = set()
+    order: list[str] = []
+
+    def resolve(token: str, line_no: int) -> TreeNode:
+        token = token.strip()
+        if token in nodes:
+            return nodes[token]
+        match = _LEAF_RE.match(token)
+        if match and match.group(1) == leaf_prefix:
+            leaf = TreeNode(node_id=token, index=int(match.group(2)))
+            nodes[token] = leaf
+            return leaf
+        raise DataFormatError(
+            f"unknown child {token!r} (forward reference or wrong prefix)",
+            path=path,
+            line=line_no,
+        )
+
+    lines = [ln.rstrip("\n").rstrip("\r") for ln in io.StringIO(text)]
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        raise DataFormatError("empty tree file", path=path)
+    for line_no, line in enumerate(lines, start=1):
+        cells = line.split("\t")
+        if len(cells) != 4:
+            raise DataFormatError(
+                f"tree line needs 4 tab-separated fields, got {len(cells)}",
+                path=path,
+                line=line_no,
+            )
+        node_id = cells[0].strip()
+        if node_id in nodes:
+            raise DataFormatError(f"duplicate node id {node_id!r}", path=path, line=line_no)
+        left = resolve(cells[1], line_no)
+        right = resolve(cells[2], line_no)
+        try:
+            correlation = float(cells[3])
+        except ValueError:
+            raise DataFormatError(
+                f"non-numeric correlation {cells[3]!r}", path=path, line=line_no
+            )
+        for child in (left.node_id, right.node_id):
+            if child in children:
+                raise DataFormatError(
+                    f"node {child!r} used as a child twice", path=path, line=line_no
+                )
+            children.add(child)
+        node = TreeNode(
+            node_id=node_id,
+            height=1.0 - correlation,
+            left=left,
+            right=right,
+            correlation=correlation,
+        )
+        nodes[node_id] = node
+        order.append(node_id)
+
+    roots = [nid for nid in order if nid not in children]
+    if len(roots) != 1:
+        raise DataFormatError(
+            f"tree file must have exactly one root, found {len(roots)}", path=path
+        )
+    root = nodes[roots[0]]
+    n_leaves = sum(1 for _ in root.leaves())
+    return DendrogramTree(root=root, n_leaves=n_leaves)
+
+
+def format_tree_file(tree: DendrogramTree) -> str:
+    """Serialize merges bottom-up (children always precede parents)."""
+    out = io.StringIO()
+    for node in tree.root.nodes():
+        if node.is_leaf:
+            continue
+        assert node.left is not None and node.right is not None
+        correlation = node.correlation if node.correlation is not None else 1.0 - node.height
+        out.write(
+            f"{node.node_id}\t{node.left.node_id}\t{node.right.node_id}\t{correlation!r}\n"
+        )
+    return out.getvalue()
+
+
+def read_gtr(path: str | Path) -> DendrogramTree:
+    path = Path(path)
+    return parse_tree_file(path.read_text(), leaf_prefix="GENE", path=str(path))
+
+
+def write_gtr(tree: DendrogramTree, path: str | Path) -> None:
+    Path(path).write_text(format_tree_file(tree))
+
+
+def read_atr(path: str | Path) -> DendrogramTree:
+    path = Path(path)
+    return parse_tree_file(path.read_text(), leaf_prefix="ARRY", path=str(path))
+
+
+def write_atr(tree: DendrogramTree, path: str | Path) -> None:
+    Path(path).write_text(format_tree_file(tree))

@@ -1,0 +1,41 @@
+"""GOLEM and its Gene Ontology substrate.
+
+The paper integrates GOLEM (Gene Ontology Local Exploration Map) with
+ForestView for enrichment analysis of selected gene clusters.  This
+package provides the GO DAG, the OBO file format, gene annotations with
+true-path-rule propagation, the hypergeometric enrichment engine, and
+GOLEM's laid-out local exploration maps.
+"""
+
+from repro.ontology.dag import GeneOntology, Term
+from repro.ontology.obo import parse_obo, format_obo, read_obo, write_obo
+from repro.ontology.annotations import TermAnnotations
+from repro.ontology.enrichment import TermEnrichment, EnrichmentReport, enrich
+from repro.ontology.layout import NodePosition, layered_layout
+from repro.ontology.golem import Golem, LocalMap, MapNode
+from repro.ontology.gaf import parse_gaf, format_gaf, read_gaf, write_gaf
+from repro.ontology.render import GolemMapStyle, golem_map_commands
+
+__all__ = [
+    "GeneOntology",
+    "Term",
+    "parse_obo",
+    "format_obo",
+    "read_obo",
+    "write_obo",
+    "TermAnnotations",
+    "TermEnrichment",
+    "EnrichmentReport",
+    "enrich",
+    "NodePosition",
+    "layered_layout",
+    "Golem",
+    "LocalMap",
+    "MapNode",
+    "parse_gaf",
+    "format_gaf",
+    "read_gaf",
+    "write_gaf",
+    "GolemMapStyle",
+    "golem_map_commands",
+]

@@ -1,0 +1,96 @@
+"""Gene-to-GO-term annotations with true-path-rule propagation.
+
+A gene annotated to a term is implicitly annotated to every ancestor of
+that term (the "true path rule"); enrichment must run on the propagated
+closure or specific terms starve their parents.  Direct and propagated
+stores are kept separate so GOLEM can show both counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.ontology.dag import GeneOntology
+from repro.util.errors import OntologyError
+
+__all__ = ["TermAnnotations"]
+
+
+class TermAnnotations:
+    """Bidirectional gene <-> term association store.
+
+    Build it with direct annotations then call :meth:`propagated` to get
+    the closure used for enrichment.  Term ids are validated against the
+    ontology on insertion.
+    """
+
+    def __init__(self, ontology: GeneOntology) -> None:
+        self.ontology = ontology
+        self._gene_to_terms: dict[str, set[str]] = {}
+        self._term_to_genes: dict[str, set[str]] = {}
+
+    # ---------------------------------------------------------------- editing
+    def annotate(self, gene_id: str, term_id: str) -> None:
+        if term_id not in self.ontology:
+            raise OntologyError(f"cannot annotate to unknown term {term_id!r}")
+        gene_id = str(gene_id)
+        self._gene_to_terms.setdefault(gene_id, set()).add(term_id)
+        self._term_to_genes.setdefault(term_id, set()).add(gene_id)
+
+    def annotate_many(self, pairs: Iterable[tuple[str, str]]) -> None:
+        for gene_id, term_id in pairs:
+            self.annotate(gene_id, term_id)
+
+    @classmethod
+    def from_mapping(
+        cls, ontology: GeneOntology, gene_terms: Mapping[str, Iterable[str]]
+    ) -> "TermAnnotations":
+        store = cls(ontology)
+        for gene_id, term_ids in gene_terms.items():
+            for term_id in term_ids:
+                store.annotate(gene_id, term_id)
+        return store
+
+    # ----------------------------------------------------------------- lookup
+    def terms_for(self, gene_id: str) -> frozenset[str]:
+        return frozenset(self._gene_to_terms.get(str(gene_id), ()))
+
+    def genes_for(self, term_id: str) -> frozenset[str]:
+        if term_id not in self.ontology:
+            raise KeyError(f"no term {term_id!r} in ontology")
+        return frozenset(self._term_to_genes.get(term_id, ()))
+
+    def genes(self) -> list[str]:
+        return sorted(self._gene_to_terms)
+
+    def annotated_terms(self) -> list[str]:
+        return sorted(t for t, g in self._term_to_genes.items() if g)
+
+    def n_annotations(self) -> int:
+        return sum(len(ts) for ts in self._gene_to_terms.values())
+
+    def __len__(self) -> int:
+        return len(self._gene_to_terms)
+
+    # ------------------------------------------------------------ propagation
+    def propagated(self) -> "TermAnnotations":
+        """New store with the true-path closure applied.
+
+        Every (gene, term) pair is expanded to (gene, ancestor) for all
+        ancestors.  The result satisfies: for any term t and child c,
+        ``genes_for(t) ⊇ genes_for(c)``.
+        """
+        out = TermAnnotations(self.ontology)
+        for gene_id, term_ids in self._gene_to_terms.items():
+            closure: set[str] = set()
+            for term_id in term_ids:
+                closure.add(term_id)
+                closure.update(self.ontology.ancestors(term_id))
+            out._gene_to_terms[gene_id] = closure
+            for term_id in closure:
+                out._term_to_genes.setdefault(term_id, set()).add(gene_id)
+        return out
+
+    def term_sizes(self) -> dict[str, int]:
+        """Gene count per annotated term (on whatever closure this store holds)."""
+        return {t: len(g) for t, g in self._term_to_genes.items() if g}

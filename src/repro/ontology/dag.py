@@ -1,0 +1,208 @@
+"""The Gene Ontology DAG: terms, is-a edges, traversal.
+
+GO "organizes known biological information into a hierarchical graph
+structure" (paper §3).  Terms form a rooted DAG — a term may have several
+parents — and GOLEM's views and enrichment both need fast ancestor /
+descendant closure, so we precompute adjacency both ways and memoize
+closures on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.util.errors import OntologyError
+
+__all__ = ["Term", "GeneOntology"]
+
+
+@dataclass(frozen=True)
+class Term:
+    """One GO term.  ``parents`` holds is-a edges toward the root(s)."""
+
+    term_id: str
+    name: str = ""
+    namespace: str = "biological_process"
+    parents: tuple[str, ...] = ()
+    definition: str = ""
+    obsolete: bool = False
+
+
+class GeneOntology:
+    """An immutable-after-build DAG of :class:`Term` objects.
+
+    Construction validates that every parent reference resolves and that
+    the graph is acyclic (a corrupted OBO file must fail loudly, not hang
+    a traversal).
+    """
+
+    def __init__(self, terms: Iterable[Term]) -> None:
+        self._terms: dict[str, Term] = {}
+        for term in terms:
+            if term.term_id in self._terms:
+                raise OntologyError(f"duplicate term id {term.term_id!r}")
+            self._terms[term.term_id] = term
+        self._children: dict[str, list[str]] = {tid: [] for tid in self._terms}
+        for term in self._terms.values():
+            for parent in term.parents:
+                if parent not in self._terms:
+                    raise OntologyError(
+                        f"term {term.term_id!r} references unknown parent {parent!r}"
+                    )
+                self._children[parent].append(term.term_id)
+        for kids in self._children.values():
+            kids.sort()
+        self._assert_acyclic()
+        self._ancestor_cache: dict[str, frozenset[str]] = {}
+        self._descendant_cache: dict[str, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms.values())
+
+    def term(self, term_id: str) -> Term:
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise KeyError(f"no term {term_id!r} in ontology") from None
+
+    def term_ids(self) -> list[str]:
+        return list(self._terms)
+
+    def parents(self, term_id: str) -> list[str]:
+        return list(self.term(term_id).parents)
+
+    def children(self, term_id: str) -> list[str]:
+        self.term(term_id)  # raise uniformly on unknown ids
+        return list(self._children[term_id])
+
+    def roots(self) -> list[str]:
+        return sorted(tid for tid, t in self._terms.items() if not t.parents)
+
+    def leaves(self) -> list[str]:
+        return sorted(tid for tid in self._terms if not self._children[tid])
+
+    # -------------------------------------------------------------- traversal
+    def ancestors(self, term_id: str) -> frozenset[str]:
+        """All terms reachable via is-a edges toward the roots (exclusive)."""
+        cached = self._ancestor_cache.get(term_id)
+        if cached is not None:
+            return cached
+        out: set[str] = set()
+        stack = list(self.term(term_id).parents)
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._terms[current].parents)
+        result = frozenset(out)
+        self._ancestor_cache[term_id] = result
+        return result
+
+    def descendants(self, term_id: str) -> frozenset[str]:
+        """All terms below ``term_id`` (exclusive)."""
+        cached = self._descendant_cache.get(term_id)
+        if cached is not None:
+            return cached
+        out: set[str] = set()
+        stack = list(self.children(term_id))
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._children[current])
+        result = frozenset(out)
+        self._descendant_cache[term_id] = result
+        return result
+
+    def depth(self, term_id: str) -> int:
+        """Shortest is-a path length from any root to ``term_id``."""
+        self.term(term_id)
+        # BFS upward: depth(t) = 0 for roots
+        from collections import deque
+
+        seen = {term_id: 0}
+        queue = deque([term_id])
+        while queue:
+            current = queue.popleft()
+            parents = self._terms[current].parents
+            if not parents:
+                return seen[current]
+            for p in parents:
+                if p not in seen:
+                    seen[p] = seen[current] + 1
+                    queue.append(p)
+        raise OntologyError(f"term {term_id!r} is not connected to any root")
+
+    def topological_order(self) -> list[str]:
+        """Parents-before-children order (stable across runs)."""
+        in_degree = {tid: len(t.parents) for tid, t in self._terms.items()}
+        ready = sorted(tid for tid, deg in in_degree.items() if deg == 0)
+        out: list[str] = []
+        import heapq
+
+        heap = list(ready)
+        heapq.heapify(heap)
+        while heap:
+            tid = heapq.heappop(heap)
+            out.append(tid)
+            for child in self._children[tid]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    heapq.heappush(heap, child)
+        if len(out) != len(self._terms):
+            raise OntologyError("ontology contains a cycle")
+        return out
+
+    def _assert_acyclic(self) -> None:
+        self.topological_order()
+
+    # -------------------------------------------------------------- subgraphs
+    def neighborhood(
+        self, focus: str, *, up: int = 2, down: int = 2
+    ) -> tuple[set[str], list[tuple[str, str]]]:
+        """Terms within ``up`` levels above and ``down`` below ``focus``.
+
+        Returns ``(node_ids, edges)`` with edges as (child, parent) pairs
+        restricted to the selected nodes — the raw material of GOLEM's
+        local exploration map.
+        """
+        if up < 0 or down < 0:
+            raise OntologyError(f"up/down must be non-negative, got up={up} down={down}")
+        nodes: set[str] = {focus}
+        frontier = {focus}
+        for _ in range(up):
+            frontier = {p for t in frontier for p in self.term(t).parents}
+            nodes.update(frontier)
+        frontier = {focus}
+        for _ in range(down):
+            frontier = {c for t in frontier for c in self._children[t]}
+            nodes.update(frontier)
+        edges = [
+            (child, parent)
+            for child in sorted(nodes)
+            for parent in self._terms[child].parents
+            if parent in nodes
+        ]
+        return nodes, edges
+
+    def to_networkx(self):
+        """Export as a networkx DiGraph with child->parent edges."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for term in self._terms.values():
+            graph.add_node(term.term_id, name=term.name, namespace=term.namespace)
+        for term in self._terms.values():
+            for parent in term.parents:
+                graph.add_edge(term.term_id, parent)
+        return graph

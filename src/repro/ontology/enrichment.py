@@ -1,0 +1,152 @@
+"""GOLEM's statistical enrichment engine.
+
+"GOLEM provides a powerful framework for quantifying the statistical
+functional enrichment of lists of genes" (paper §3).  Given a selected
+gene list, each GO term is scored with the one-sided hypergeometric test
+against the annotation universe, then corrected for multiple testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ontology.annotations import TermAnnotations
+from repro.stats.correction import benjamini_hochberg, bonferroni
+from repro.stats.hypergeom import enrichment_pvalues
+from repro.util.errors import ValidationError
+
+__all__ = ["TermEnrichment", "EnrichmentReport", "enrich"]
+
+
+@dataclass(frozen=True)
+class TermEnrichment:
+    """Enrichment verdict for one GO term."""
+
+    term_id: str
+    name: str
+    n_selected_annotated: int  # k: selected genes carrying the term
+    n_universe_annotated: int  # K: universe genes carrying the term
+    n_selected: int  # n: selection size (within universe)
+    n_universe: int  # N: universe size
+    pvalue: float
+    adjusted_pvalue: float
+    significant: bool
+
+    @property
+    def fold_enrichment(self) -> float:
+        """Observed / expected annotated fraction (inf when expectation is 0)."""
+        expected = self.n_universe_annotated * self.n_selected / self.n_universe
+        if expected == 0:
+            return float("inf") if self.n_selected_annotated else 0.0
+        return self.n_selected_annotated / expected
+
+
+@dataclass(frozen=True)
+class EnrichmentReport:
+    """All scored terms, most significant first, plus the test configuration."""
+
+    results: tuple[TermEnrichment, ...]
+    alpha: float
+    correction: str
+    n_selected: int
+    n_universe: int
+
+    def significant_terms(self) -> list[TermEnrichment]:
+        return [r for r in self.results if r.significant]
+
+    def term(self, term_id: str) -> TermEnrichment:
+        for r in self.results:
+            if r.term_id == term_id:
+                return r
+        raise KeyError(f"term {term_id!r} was not scored")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def enrich(
+    annotations: TermAnnotations,
+    selection: Iterable[str],
+    *,
+    universe: Sequence[str] | None = None,
+    alpha: float = 0.05,
+    correction: str = "benjamini-hochberg",
+    min_term_size: int = 1,
+    propagate: bool = True,
+) -> EnrichmentReport:
+    """Score every annotated GO term for enrichment in ``selection``.
+
+    Parameters
+    ----------
+    annotations:
+        Direct annotations; the true-path closure is applied internally
+        unless ``propagate=False`` (pass an already-propagated store).
+    selection:
+        Gene ids the researcher highlighted.  Genes without annotations
+        (outside the universe) are ignored, per standard practice.
+    universe:
+        Background gene set; defaults to every annotated gene.
+    correction:
+        ``"benjamini-hochberg"`` (default) or ``"bonferroni"``.
+    min_term_size:
+        Skip terms annotating fewer universe genes than this.
+    """
+    if correction not in ("benjamini-hochberg", "bonferroni"):
+        raise ValidationError(f"unknown correction {correction!r}")
+    store = annotations.propagated() if propagate else annotations
+    if universe is None:
+        universe_set = set(store.genes())
+    else:
+        universe_set = set(str(g) for g in universe)
+        universe_set &= set(store.genes()) | universe_set  # keep caller's order semantics simple
+    selection_set = {str(g) for g in selection} & universe_set
+    n_universe = len(universe_set)
+    n_selected = len(selection_set)
+    if n_universe == 0:
+        raise ValidationError("enrichment universe is empty")
+    if n_selected == 0:
+        raise ValidationError("selection contains no genes from the universe")
+
+    term_ids: list[str] = []
+    ks: list[int] = []
+    Ks: list[int] = []
+    for term_id in store.annotated_terms():
+        term_genes = store.genes_for(term_id) & universe_set
+        K = len(term_genes)
+        if K < min_term_size:
+            continue
+        term_ids.append(term_id)
+        Ks.append(K)
+        ks.append(len(term_genes & selection_set))
+    if not term_ids:
+        return EnrichmentReport((), alpha, correction, n_selected, n_universe)
+
+    pvals = enrichment_pvalues(
+        np.asarray(ks), n_universe, np.asarray(Ks), n_selected
+    )
+    if correction == "bonferroni":
+        corrected = bonferroni(pvals, alpha=alpha)
+    else:
+        corrected = benjamini_hochberg(pvals, alpha=alpha)
+
+    results = [
+        TermEnrichment(
+            term_id=tid,
+            name=store.ontology.term(tid).name,
+            n_selected_annotated=k,
+            n_universe_annotated=K,
+            n_selected=n_selected,
+            n_universe=n_universe,
+            pvalue=float(p),
+            adjusted_pvalue=float(q),
+            significant=bool(sig),
+        )
+        for tid, k, K, p, q, sig in zip(
+            term_ids, ks, Ks, pvals, corrected.adjusted, corrected.significant
+        )
+    ]
+    results.sort(key=lambda r: (r.pvalue, r.term_id))
+    return EnrichmentReport(tuple(results), alpha, correction, n_selected, n_universe)

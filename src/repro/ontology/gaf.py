@@ -1,0 +1,115 @@
+"""GAF 2.x gene-association file support.
+
+Real GO annotations ship as GAF — 17 tab-separated columns per
+association line.  We read/write the subset GOLEM needs: DB object id
+(column 2), GO id (column 5), qualifier (column 4, to honour NOT),
+aspect (column 9) and evidence code (column 7).  Comment lines start
+with ``!``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.ontology.annotations import TermAnnotations
+from repro.ontology.dag import GeneOntology
+from repro.util.errors import DataFormatError
+
+__all__ = ["parse_gaf", "format_gaf", "read_gaf", "write_gaf"]
+
+_N_COLUMNS = 17
+_ASPECTS = {"P": "biological_process", "F": "molecular_function", "C": "cellular_component"}
+
+
+def parse_gaf(
+    text: str,
+    ontology: GeneOntology,
+    *,
+    path: str | None = None,
+    skip_unknown_terms: bool = False,
+) -> TermAnnotations:
+    """Parse GAF content into a :class:`TermAnnotations` store.
+
+    ``NOT``-qualified associations are skipped (they assert absence).
+    Unknown GO ids raise unless ``skip_unknown_terms`` (the real GO
+    release drifts faster than annotation files).
+    """
+    store = TermAnnotations(ontology)
+    saw_association = False
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line or line.startswith("!"):
+            continue
+        cells = line.split("\t")
+        if len(cells) < 15:  # GAF 2.0 has 17 columns; 15/16 tolerated on old files
+            raise DataFormatError(
+                f"GAF line has {len(cells)} columns, expected >= 15", path=path, line=line_no
+            )
+        gene_id = cells[1].strip()
+        qualifier = cells[3].strip()
+        term_id = cells[4].strip()
+        if not gene_id or not term_id:
+            raise DataFormatError("empty gene or term id", path=path, line=line_no)
+        saw_association = True
+        if "NOT" in qualifier.split("|"):
+            continue
+        if term_id not in ontology:
+            if skip_unknown_terms:
+                continue
+            raise DataFormatError(
+                f"unknown GO term {term_id!r}", path=path, line=line_no
+            )
+        store.annotate(gene_id, term_id)
+    if not saw_association:
+        raise DataFormatError("GAF file contains no association lines", path=path)
+    return store
+
+
+def format_gaf(
+    store: TermAnnotations,
+    *,
+    db: str = "REPRO",
+    evidence: str = "IEA",
+    taxon: str = "taxon:4932",
+) -> str:
+    """Serialize direct annotations as GAF 2.2 (deterministic order)."""
+    out = io.StringIO()
+    out.write("!gaf-version: 2.2\n")
+    ontology = store.ontology
+    for gene_id in store.genes():
+        for term_id in sorted(store.terms_for(gene_id)):
+            term = ontology.term(term_id)
+            aspect = next(
+                (a for a, ns in _ASPECTS.items() if ns == term.namespace), "P"
+            )
+            cells = [
+                db,                # 1 DB
+                gene_id,           # 2 DB object id
+                gene_id,           # 3 DB object symbol
+                "involved_in",     # 4 qualifier
+                term_id,           # 5 GO id
+                "REPRO:0000001",   # 6 reference
+                evidence,          # 7 evidence code
+                "",                # 8 with/from
+                aspect,            # 9 aspect
+                "",                # 10 name
+                "",                # 11 synonyms
+                "gene",            # 12 type
+                taxon,             # 13 taxon
+                "20070326",        # 14 date
+                db,                # 15 assigned by
+                "",                # 16 extension
+                "",                # 17 isoform
+            ]
+            out.write("\t".join(cells) + "\n")
+    return out.getvalue()
+
+
+def read_gaf(path: str | Path, ontology: GeneOntology, **kwargs) -> TermAnnotations:
+    path = Path(path)
+    return parse_gaf(path.read_text(), ontology, path=str(path), **kwargs)
+
+
+def write_gaf(store: TermAnnotations, path: str | Path, **kwargs) -> None:
+    Path(path).write_text(format_gaf(store, **kwargs))

@@ -1,0 +1,180 @@
+"""GOLEM — Gene Ontology Local Exploration Map (Sealfon et al. 2006).
+
+The application object combines three capabilities the paper highlights:
+navigating the GO graph locally around a focus term, overlaying
+annotation counts, and running enrichment analysis whose results color
+the local map.  ForestView's integration adapter drives this class when
+the user asks "is my selected gene cluster enriched for anything?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.ontology.annotations import TermAnnotations
+from repro.ontology.dag import GeneOntology
+from repro.ontology.enrichment import EnrichmentReport, enrich
+from repro.ontology.layout import NodePosition, layered_layout
+from repro.util.errors import OntologyError
+
+__all__ = ["LocalMap", "MapNode", "Golem"]
+
+
+@dataclass(frozen=True)
+class MapNode:
+    """One term in a local exploration map, ready for display."""
+
+    term_id: str
+    name: str
+    layer: int  # signed distance from focus (negative = ancestor)
+    position: NodePosition
+    n_direct: int  # genes directly annotated
+    n_propagated: int  # genes annotated after true-path propagation
+    pvalue: float | None = None  # enrichment p-value when an overlay is active
+    significant: bool = False
+
+
+@dataclass(frozen=True)
+class LocalMap:
+    """A laid-out neighbourhood of the GO DAG around ``focus``."""
+
+    focus: str
+    nodes: tuple[MapNode, ...]
+    edges: tuple[tuple[str, str], ...]  # (child, parent)
+    up: int
+    down: int
+
+    def node(self, term_id: str) -> MapNode:
+        for n in self.nodes:
+            if n.term_id == term_id:
+                return n
+        raise KeyError(f"term {term_id!r} not in local map")
+
+    def term_ids(self) -> list[str]:
+        return [n.term_id for n in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class Golem:
+    """The GOLEM application: local maps + enrichment over one annotation set."""
+
+    def __init__(self, ontology: GeneOntology, annotations: TermAnnotations) -> None:
+        if annotations.ontology is not ontology:
+            raise OntologyError("annotations were built against a different ontology")
+        self.ontology = ontology
+        self.annotations = annotations
+        self._propagated = annotations.propagated()
+        self._last_report: EnrichmentReport | None = None
+
+    # ------------------------------------------------------------- enrichment
+    def enrich_selection(
+        self,
+        selection: Iterable[str],
+        *,
+        universe: Sequence[str] | None = None,
+        alpha: float = 0.05,
+        correction: str = "benjamini-hochberg",
+        min_term_size: int = 2,
+    ) -> EnrichmentReport:
+        """Run enrichment and remember the report for map overlays."""
+        report = enrich(
+            self._propagated,
+            selection,
+            universe=universe,
+            alpha=alpha,
+            correction=correction,
+            min_term_size=min_term_size,
+            propagate=False,  # store is already the closure
+        )
+        self._last_report = report
+        return report
+
+    @property
+    def last_report(self) -> EnrichmentReport | None:
+        return self._last_report
+
+    # -------------------------------------------------------------- local map
+    def local_map(self, focus: str, *, up: int = 2, down: int = 2) -> LocalMap:
+        """Build the laid-out neighbourhood map around ``focus``.
+
+        If an enrichment report is active, its p-values decorate the
+        nodes (this is the "view how those results relate to each other
+        in the larger context of the GO hierarchy" of §3).
+        """
+        if focus not in self.ontology:
+            raise KeyError(f"no term {focus!r} in ontology")
+        nodes, edges = self.ontology.neighborhood(focus, up=up, down=down)
+        layers = self._layer_assignment(focus, nodes)
+        positions = layered_layout(nodes, edges, layers)
+
+        pvals: dict[str, float] = {}
+        sig: dict[str, bool] = {}
+        if self._last_report is not None:
+            for r in self._last_report.results:
+                pvals[r.term_id] = r.pvalue
+                sig[r.term_id] = r.significant
+
+        map_nodes = tuple(
+            MapNode(
+                term_id=tid,
+                name=self.ontology.term(tid).name,
+                layer=layers[tid],
+                position=positions[tid],
+                n_direct=len(self.annotations.genes_for(tid)),
+                n_propagated=len(self._propagated.genes_for(tid)),
+                pvalue=pvals.get(tid),
+                significant=sig.get(tid, False),
+            )
+            for tid in sorted(nodes, key=lambda t: (layers[t], positions[t].slot))
+        )
+        return LocalMap(focus=focus, nodes=map_nodes, edges=tuple(sorted(edges)), up=up, down=down)
+
+    def expand(self, current: LocalMap, term_id: str) -> LocalMap:
+        """Re-focus the map on ``term_id`` (GOLEM's click-to-navigate)."""
+        if term_id not in {n.term_id for n in current.nodes}:
+            raise KeyError(f"term {term_id!r} is not on the current map")
+        return self.local_map(term_id, up=current.up, down=current.down)
+
+    def most_enriched_map(self, *, up: int = 2, down: int = 2) -> LocalMap:
+        """Map focused on the most significant term of the last enrichment."""
+        if self._last_report is None or not len(self._last_report):
+            raise OntologyError("no enrichment report available; run enrich_selection first")
+        return self.local_map(self._last_report.results[0].term_id, up=up, down=down)
+
+    def _layer_assignment(self, focus: str, nodes: set[str]) -> dict[str, int]:
+        """Signed BFS distance from the focus, ancestors negative."""
+        layers = {focus: 0}
+        frontier = {focus}
+        level = 0
+        ancestors = self.ontology.ancestors(focus)
+        while frontier:
+            level -= 1
+            frontier = {
+                p
+                for t in frontier
+                for p in self.ontology.parents(t)
+                if p in nodes and p in ancestors and p not in layers
+            }
+            for p in frontier:
+                layers[p] = level
+        frontier = {focus}
+        level = 0
+        descendants = self.ontology.descendants(focus)
+        while frontier:
+            level += 1
+            frontier = {
+                c
+                for t in frontier
+                for c in self.ontology.children(t)
+                if c in nodes and c in descendants and c not in layers
+            }
+            for c in frontier:
+                layers[c] = level
+        # nodes reachable only via other paths default to their relative depth
+        for node in nodes:
+            if node not in layers:
+                layers[node] = self.ontology.depth(node) - self.ontology.depth(focus)
+        return layers

@@ -1,0 +1,96 @@
+"""Layered graph layout for GOLEM's local exploration map.
+
+GOLEM draws a neighbourhood of the GO DAG (Figure 5): ancestors above the
+focus term, descendants below.  We assign each node a layer (its signed
+distance from the focus), then reduce edge crossings with a few
+barycenter sweeps — the standard Sugiyama recipe, small enough to be
+exact for GOLEM-sized maps (tens of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import OntologyError
+
+__all__ = ["NodePosition", "layered_layout"]
+
+
+@dataclass(frozen=True)
+class NodePosition:
+    term_id: str
+    layer: int  # 0 = focus row; negative = ancestors (drawn above)
+    slot: int  # ordinal position within the layer
+    x: float  # normalized [0, 1] horizontal coordinate
+    y: float  # normalized [0, 1] vertical coordinate (0 = top)
+
+
+def layered_layout(
+    nodes: set[str],
+    edges: list[tuple[str, str]],
+    layers: dict[str, int],
+    *,
+    barycenter_sweeps: int = 4,
+) -> dict[str, NodePosition]:
+    """Compute display coordinates for a GOLEM neighbourhood.
+
+    Parameters
+    ----------
+    nodes / edges:
+        Subgraph as produced by :meth:`GeneOntology.neighborhood`
+        (edges are (child, parent) pairs).
+    layers:
+        Layer index per node; parents must sit on smaller (higher-drawn)
+        layers than children wherever both ends of an edge are present.
+    """
+    if not nodes:
+        return {}
+    missing = {n for n in nodes if n not in layers}
+    if missing:
+        raise OntologyError(f"nodes missing layer assignment: {sorted(missing)[:5]}")
+    for child, parent in edges:
+        if layers[parent] >= layers[child]:
+            raise OntologyError(
+                f"edge {child}->{parent} does not point to a smaller layer "
+                f"({layers[child]} -> {layers[parent]})"
+            )
+
+    by_layer: dict[int, list[str]] = {}
+    for node in sorted(nodes):
+        by_layer.setdefault(layers[node], []).append(node)
+    layer_keys = sorted(by_layer)
+
+    # adjacency for barycenter ordering
+    neighbours: dict[str, list[str]] = {n: [] for n in nodes}
+    for child, parent in edges:
+        neighbours[child].append(parent)
+        neighbours[parent].append(child)
+
+    order: dict[str, int] = {}
+    for layer in layer_keys:
+        for slot, node in enumerate(by_layer[layer]):
+            order[node] = slot
+
+    for sweep in range(barycenter_sweeps):
+        # alternate top-down / bottom-up sweeps
+        keys = layer_keys if sweep % 2 == 0 else list(reversed(layer_keys))
+        for layer in keys:
+            row = by_layer[layer]
+            scores: dict[str, float] = {}
+            for node in row:
+                adjacent = [order[n] for n in neighbours[node] if layers[n] != layer]
+                scores[node] = sum(adjacent) / len(adjacent) if adjacent else float(order[node])
+            row.sort(key=lambda n: (scores[n], n))
+            for slot, node in enumerate(row):
+                order[node] = slot
+
+    n_layers = len(layer_keys)
+    positions: dict[str, NodePosition] = {}
+    for li, layer in enumerate(layer_keys):
+        row = by_layer[layer]
+        width = len(row)
+        y = 0.5 if n_layers == 1 else li / (n_layers - 1)
+        for slot, node in enumerate(row):
+            x = 0.5 if width == 1 else (slot + 0.5) / width
+            positions[node] = NodePosition(term_id=node, layer=layer, slot=slot, x=x, y=y)
+    return positions

@@ -1,0 +1,123 @@
+"""Minimal OBO 1.2 flat-file parser/writer for GO term stanzas.
+
+Supports the subset of OBO the GO consortium files actually use for
+structure: ``[Term]`` stanzas with ``id``, ``name``, ``namespace``,
+``def``, ``is_a`` and ``is_obsolete`` tags.  Unknown tags are ignored
+(the real files carry dozens we do not need).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.ontology.dag import GeneOntology, Term
+from repro.util.errors import DataFormatError
+
+__all__ = ["parse_obo", "format_obo", "read_obo", "write_obo"]
+
+
+def parse_obo(text: str, *, path: str | None = None, keep_obsolete: bool = False) -> GeneOntology:
+    """Parse OBO text into a :class:`GeneOntology`.
+
+    Obsolete terms are dropped by default (they have no is_a links and
+    would pollute enrichment universes).
+    """
+    terms: list[Term] = []
+    stanza: dict[str, list[str]] | None = None
+    stanza_line = 0
+
+    def flush() -> None:
+        nonlocal stanza
+        if stanza is None:
+            return
+        if "id" not in stanza:
+            raise DataFormatError("[Term] stanza missing id", path=path, line=stanza_line)
+        obsolete = stanza.get("is_obsolete", ["false"])[0].strip().lower() == "true"
+        term = Term(
+            term_id=stanza["id"][0].strip(),
+            name=stanza.get("name", [""])[0].strip(),
+            namespace=stanza.get("namespace", ["biological_process"])[0].strip(),
+            parents=tuple(
+                v.split("!")[0].strip() for v in stanza.get("is_a", ())
+            ),
+            definition=_unquote(stanza.get("def", [""])[0]),
+            obsolete=obsolete,
+        )
+        if keep_obsolete or not obsolete:
+            terms.append(term)
+        stanza = None
+
+    in_term = False
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("["):
+            flush()
+            in_term = line == "[Term]"
+            if in_term:
+                stanza = {}
+                stanza_line = line_no
+            continue
+        if not in_term or stanza is None:
+            continue
+        if ":" not in line:
+            raise DataFormatError(f"malformed tag line {line!r}", path=path, line=line_no)
+        tag, _, value = line.partition(":")
+        stanza.setdefault(tag.strip(), []).append(value.strip())
+    flush()
+    if not terms:
+        raise DataFormatError("OBO file contains no [Term] stanzas", path=path)
+    # obsolete terms may still be referenced as parents if kept; when dropped,
+    # strip dangling parent links so the DAG constructor does not reject them.
+    known = {t.term_id for t in terms}
+    cleaned = [
+        Term(
+            term_id=t.term_id,
+            name=t.name,
+            namespace=t.namespace,
+            parents=tuple(p for p in t.parents if p in known),
+            definition=t.definition,
+            obsolete=t.obsolete,
+        )
+        for t in terms
+    ]
+    return GeneOntology(cleaned)
+
+
+def format_obo(ontology: GeneOntology, *, header: str = "format-version: 1.2") -> str:
+    out = io.StringIO()
+    out.write(header + "\n\n")
+    for term_id in ontology.topological_order():
+        term = ontology.term(term_id)
+        out.write("[Term]\n")
+        out.write(f"id: {term.term_id}\n")
+        out.write(f"name: {term.name}\n")
+        out.write(f"namespace: {term.namespace}\n")
+        if term.definition:
+            out.write(f'def: "{term.definition}"\n')
+        for parent in term.parents:
+            out.write(f"is_a: {parent} ! {ontology.term(parent).name}\n")
+        if term.obsolete:
+            out.write("is_obsolete: true\n")
+        out.write("\n")
+    return out.getvalue()
+
+
+def read_obo(path: str | Path) -> GeneOntology:
+    path = Path(path)
+    return parse_obo(path.read_text(), path=str(path))
+
+
+def write_obo(ontology: GeneOntology, path: str | Path) -> None:
+    Path(path).write_text(format_obo(ontology))
+
+
+def _unquote(value: str) -> str:
+    value = value.strip()
+    if value.startswith('"'):
+        end = value.find('"', 1)
+        if end > 0:
+            return value[1:end]
+    return value

@@ -1,0 +1,99 @@
+"""Render GOLEM local exploration maps to display-list commands.
+
+Turns a laid-out :class:`~repro.ontology.golem.LocalMap` into the
+Figure 5 picture: term boxes arranged in layers, is-a edges drawn
+upward, enrichment significance coloring the boxes, the focus term
+outlined.  Output is display-list commands, so a GOLEM panel can sit
+beside ForestView panes on the wall (Figure 6's combined screen).
+"""
+
+from __future__ import annotations
+
+from repro.ontology.golem import LocalMap, MapNode
+from repro.util.errors import RenderError
+from repro.viz.layout import Box
+from repro.viz.scene import Command, LineCmd, RectCmd, TextCmd
+from repro.viz.text import GLYPH_HEIGHT, text_width
+
+__all__ = ["GolemMapStyle", "golem_map_commands"]
+
+
+class GolemMapStyle:
+    """Colors and box geometry for the map (one knob-set, like FrameStyle)."""
+
+    node_width = 96
+    node_height = 22
+    background = (18, 18, 24)
+    node_fill = (40, 40, 56)
+    node_fill_significant = (120, 40, 24)
+    node_border = (110, 110, 130)
+    focus_border = (255, 200, 60)
+    edge_color = (90, 90, 110)
+    text_color = (225, 225, 235)
+    count_color = (150, 150, 170)
+
+
+def golem_map_commands(
+    local_map: LocalMap,
+    box: Box,
+    *,
+    style: type[GolemMapStyle] = GolemMapStyle,
+    show_counts: bool = True,
+) -> list[Command]:
+    """Build the commands for ``local_map`` drawn inside ``box``.
+
+    Node (x, y) come from the map's normalized layout positions; edges
+    are drawn first so boxes overlay them.
+    """
+    if box.w < style.node_width + 4 or box.h < style.node_height * 2:
+        raise RenderError(f"map box too small: {box.w}x{box.h}")
+    if len(local_map) == 0:
+        raise RenderError("cannot render an empty local map")
+
+    commands: list[Command] = [RectCmd(box.x, box.y, box.w, box.h, style.background)]
+
+    # usable area keeps whole node boxes inside
+    usable_w = box.w - style.node_width
+    usable_h = box.h - style.node_height
+
+    def node_origin(node: MapNode) -> tuple[int, int]:
+        x = box.x + int(node.position.x * usable_w)
+        y = box.y + int(node.position.y * usable_h)
+        return x, y
+
+    centers: dict[str, tuple[int, int]] = {}
+    for node in local_map.nodes:
+        x, y = node_origin(node)
+        centers[node.term_id] = (x + style.node_width // 2, y + style.node_height // 2)
+
+    for child, parent in local_map.edges:
+        cx, cy = centers[child]
+        px, py = centers[parent]
+        commands.append(LineCmd(cx, cy, px, py, style.edge_color))
+
+    for node in local_map.nodes:
+        x, y = node_origin(node)
+        fill = style.node_fill_significant if node.significant else style.node_fill
+        commands.append(RectCmd(x, y, style.node_width, style.node_height, fill))
+        border = style.focus_border if node.term_id == local_map.focus else style.node_border
+        commands.append(RectCmd(x, y, style.node_width, 1, border))
+        commands.append(RectCmd(x, y + style.node_height - 1, style.node_width, 1, border))
+        commands.append(RectCmd(x, y, 1, style.node_height, border))
+        commands.append(RectCmd(x + style.node_width - 1, y, 1, style.node_height, border))
+        label = _fit(node.name.upper(), style.node_width - 4)
+        commands.append(TextCmd(x + 2, y + 2, label, style.text_color))
+        if show_counts:
+            count = f"{node.n_propagated}G"
+            if node.pvalue is not None:
+                count += f" P={node.pvalue:.0e}"
+            commands.append(
+                TextCmd(x + 2, y + 3 + GLYPH_HEIGHT, _fit(count, style.node_width - 4),
+                        style.count_color)
+            )
+    return commands
+
+
+def _fit(text: str, max_px: int) -> str:
+    while text and text_width(text) > max_px:
+        text = text[:-1]
+    return text

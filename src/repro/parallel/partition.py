@@ -1,0 +1,73 @@
+"""Data-partitioning strategies for distributing work across ranks/workers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ValidationError
+
+__all__ = ["block_partition", "cyclic_partition", "balanced_partition", "chunk_ranges"]
+
+
+def block_partition(n_items: int, n_parts: int) -> list[range]:
+    """Contiguous blocks, sizes differing by at most one (MPI's classic split).
+
+    Every item appears in exactly one block; empty blocks are allowed when
+    ``n_parts > n_items``.
+    """
+    if n_parts < 1:
+        raise ValidationError(f"n_parts must be >= 1, got {n_parts}")
+    if n_items < 0:
+        raise ValidationError(f"n_items must be >= 0, got {n_items}")
+    base, extra = divmod(n_items, n_parts)
+    out: list[range] = []
+    start = 0
+    for p in range(n_parts):
+        size = base + (1 if p < extra else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def cyclic_partition(n_items: int, n_parts: int) -> list[list[int]]:
+    """Round-robin assignment (item i -> part i % n_parts)."""
+    if n_parts < 1:
+        raise ValidationError(f"n_parts must be >= 1, got {n_parts}")
+    out: list[list[int]] = [[] for _ in range(n_parts)]
+    for i in range(n_items):
+        out[i % n_parts].append(i)
+    return out
+
+
+def balanced_partition(weights: Sequence[float], n_parts: int) -> list[list[int]]:
+    """Greedy LPT (longest-processing-time) weighted load balancing.
+
+    Items are assigned heaviest-first to the currently lightest part —
+    the classic 4/3-approximation.  Used to balance tile rendering when
+    tiles have unequal content cost.
+    """
+    if n_parts < 1:
+        raise ValidationError(f"n_parts must be >= 1, got {n_parts}")
+    for w in weights:
+        if w < 0:
+            raise ValidationError(f"weights must be non-negative, got {w}")
+    import heapq
+
+    order = sorted(range(len(weights)), key=lambda i: -weights[i])
+    heap: list[tuple[float, int]] = [(0.0, p) for p in range(n_parts)]
+    heapq.heapify(heap)
+    out: list[list[int]] = [[] for _ in range(n_parts)]
+    for i in order:
+        load, part = heapq.heappop(heap)
+        out[part].append(i)
+        heapq.heappush(heap, (load + float(weights[i]), part))
+    for part in out:
+        part.sort()
+    return out
+
+
+def chunk_ranges(n_items: int, chunk_size: int) -> list[range]:
+    """Split ``range(n_items)`` into chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [range(s, min(s + chunk_size, n_items)) for s in range(0, n_items, chunk_size)]

@@ -1,0 +1,34 @@
+"""SPELL: query-driven search over a microarray compendium (paper §3, Fig 4).
+
+Given a small set of related genes, SPELL weights every dataset by how
+coherently the query co-expresses in it, ranks all other genes by
+weighted correlation to the query, and returns both orderings —
+exactly the output ForestView's integration displays.
+"""
+
+from repro.spell.engine import (
+    SpellEngine,
+    SpellResult,
+    DatasetScore,
+    GeneScore,
+    MIN_QUERY_PRESENT,
+)
+from repro.spell.index import SpellIndex
+from repro.spell.service import SpellService, SearchPage
+from repro.spell.baseline import TextSearchBaseline
+from repro.spell.coexpression import coexpression_graph, consensus_graph, extract_modules
+
+__all__ = [
+    "SpellEngine",
+    "SpellResult",
+    "DatasetScore",
+    "GeneScore",
+    "MIN_QUERY_PRESENT",
+    "SpellIndex",
+    "SpellService",
+    "SearchPage",
+    "TextSearchBaseline",
+    "coexpression_graph",
+    "consensus_graph",
+    "extract_modules",
+]

@@ -1,0 +1,94 @@
+"""Text-search baseline SPELL is compared against.
+
+Paper §3: "rather than searching through a collection of data by text
+matches, SPELL uses the information within the data."  To quantify that
+contrast, this module implements the text-match strawman: rank genes by
+annotation-text overlap with the query genes' annotations, rank datasets
+by how many query genes they contain.  It sees names, not expression —
+so it cannot find unannotated co-expressed genes, which is exactly the
+gap the FIG4 bench measures.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.data.compendium import Compendium
+from repro.spell.engine import DatasetScore, GeneScore, SpellResult
+from repro.util.errors import SearchError
+
+__all__ = ["TextSearchBaseline"]
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "to", "and", "or", "in", "protein", "putative",
+    "uncharacterized", "open", "reading", "frame", "subunit",
+}
+
+
+def _tokens(text: str) -> set[str]:
+    return {
+        tok
+        for tok in re.split(r"[^a-z0-9]+", text.lower())
+        if len(tok) >= 3 and tok not in _STOPWORDS
+    }
+
+
+class TextSearchBaseline:
+    """Annotation-text retrieval over a compendium (no expression data used)."""
+
+    def __init__(self, compendium: Compendium) -> None:
+        if len(compendium) == 0:
+            raise SearchError("cannot search an empty compendium")
+        self.compendium = compendium
+        # gene -> token bag, unioned across datasets' annotation stores
+        self._gene_tokens: dict[str, set[str]] = {}
+        for ds in compendium:
+            for gene_id in ds.gene_ids:
+                record = ds.annotations.record(gene_id)
+                bag = self._gene_tokens.setdefault(gene_id, set())
+                for value in record.values():
+                    bag |= _tokens(value)
+
+    def search(self, query: Sequence[str]) -> SpellResult:
+        """Rank genes by shared annotation tokens with the query genes."""
+        query = [str(g) for g in query]
+        if not query:
+            raise SearchError("query must contain at least one gene")
+        query_used = tuple(g for g in query if g in self._gene_tokens)
+        query_missing = tuple(g for g in query if g not in self._gene_tokens)
+        if not query_used:
+            raise SearchError(f"no query gene exists in any dataset: {query}")
+        query_bag: set[str] = set()
+        for g in query_used:
+            query_bag |= self._gene_tokens[g]
+
+        query_set = set(query_used)
+        gene_scores = []
+        for gene_id, bag in self._gene_tokens.items():
+            if gene_id in query_set:
+                continue
+            overlap = len(bag & query_bag)
+            if overlap:
+                union = len(bag | query_bag)
+                gene_scores.append(
+                    GeneScore(gene_id=gene_id, score=overlap / union, n_datasets=0)
+                )
+        gene_scores.sort(key=lambda s: (-s.score, s.gene_id))
+
+        dataset_scores = [
+            DatasetScore(
+                name=ds.name,
+                weight=float(sum(1 for g in query_used if g in ds.matrix)),
+                n_query_present=sum(1 for g in query_used if g in ds.matrix),
+            )
+            for ds in self.compendium
+        ]
+        dataset_scores.sort(key=lambda d: (-d.weight, d.name))
+        return SpellResult(
+            query=tuple(query),
+            query_used=query_used,
+            query_missing=query_missing,
+            datasets=tuple(dataset_scores),
+            genes=tuple(gene_scores),
+        )

@@ -1,0 +1,218 @@
+"""The SPELL search engine (Serial Patterns of Expression Levels Locator).
+
+Paper §3: "take a small query of related genes from a user, examine all
+of the available data to identify datasets where these genes are most
+related, then within those datasets identify additional genes that
+relate back to the query set."
+
+Algorithm (following Hibbs et al. 2007):
+
+1. **Dataset weighting** — for each dataset, the weight is the mean
+   pairwise Pearson correlation among the query genes present there
+   (Fisher-z averaged, floored at zero, squared to sharpen the
+   contrast between informative and uninformative datasets).
+2. **Per-dataset gene scoring** — each gene's score in a dataset is its
+   mean correlation to the query genes present.
+3. **Aggregation** — a gene's final score is the weight-normalized sum
+   of its per-dataset scores over the datasets containing it.
+
+Output is the pair of rankings the paper shows in Figure 4: datasets by
+weight, genes by aggregate score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.compendium import Compendium
+from repro.stats.correlation import fisher_z, pearson_matrix, pearson_to_vector
+from repro.util.errors import SearchError
+from repro.parallel.pmap import parallel_map
+
+__all__ = ["DatasetScore", "GeneScore", "SpellResult", "SpellEngine"]
+
+#: A dataset needs this many query genes present to receive a weight.
+MIN_QUERY_PRESENT = 2
+
+
+@dataclass(frozen=True)
+class DatasetScore:
+    name: str
+    weight: float
+    n_query_present: int
+
+
+@dataclass(frozen=True)
+class GeneScore:
+    gene_id: str
+    score: float
+    n_datasets: int  # datasets (with positive weight) that scored this gene
+
+
+@dataclass(frozen=True)
+class SpellResult:
+    """Ordered datasets + ordered genes for one query (Figure 4's output)."""
+
+    query: tuple[str, ...]
+    query_used: tuple[str, ...]  # query genes found in >= 1 dataset
+    query_missing: tuple[str, ...]
+    datasets: tuple[DatasetScore, ...]  # sorted by weight, descending
+    genes: tuple[GeneScore, ...]  # sorted by score, descending; query excluded
+
+    def top_genes(self, n: int) -> list[str]:
+        return [g.gene_id for g in self.genes[:n]]
+
+    def top_datasets(self, n: int) -> list[str]:
+        return [d.name for d in self.datasets[:n]]
+
+    def gene_ranking(self) -> list[str]:
+        return [g.gene_id for g in self.genes]
+
+    def dataset_ranking(self) -> list[str]:
+        return [d.name for d in self.datasets]
+
+
+class SpellEngine:
+    """Query-driven search over a :class:`Compendium`.
+
+    ``n_workers > 1`` scores datasets concurrently (NumPy releases the
+    GIL in the correlation matmuls, so threads give real parallelism).
+    """
+
+    def __init__(self, compendium: Compendium, *, n_workers: int = 1) -> None:
+        if len(compendium) == 0:
+            raise SearchError("cannot search an empty compendium")
+        self.compendium = compendium
+        self.n_workers = max(1, int(n_workers))
+
+    # ------------------------------------------------------------------ query
+    def search(
+        self,
+        query: Sequence[str],
+        *,
+        exclude_query_from_genes: bool = True,
+        min_weight: float = 0.0,
+    ) -> SpellResult:
+        """Run one SPELL search; see module docstring for the algorithm."""
+        query = [str(g) for g in query]
+        if not query:
+            raise SearchError("query must contain at least one gene")
+        if len(set(query)) != len(query):
+            raise SearchError("query contains duplicate genes")
+        present_anywhere = {
+            g for g in query if any(g in ds.matrix for ds in self.compendium)
+        }
+        query_used = tuple(g for g in query if g in present_anywhere)
+        query_missing = tuple(g for g in query if g not in present_anywhere)
+        if not query_used:
+            raise SearchError(f"no query gene exists in any dataset: {query}")
+
+        per_dataset = parallel_map(
+            lambda ds: self._score_dataset(ds, query_used),
+            list(self.compendium),
+            n_workers=self.n_workers,
+        )
+
+        dataset_scores = tuple(
+            sorted(
+                (entry[0] for entry in per_dataset),
+                key=lambda d: (-d.weight, d.name),
+            )
+        )
+
+        # aggregate gene scores across positively-weighted datasets
+        totals: dict[str, float] = {}
+        weight_mass: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for ds_score, gene_ids, scores in per_dataset:
+            w = ds_score.weight
+            if w <= min_weight or gene_ids is None:
+                continue
+            for g, s in zip(gene_ids, scores):
+                if np.isnan(s):
+                    continue
+                totals[g] = totals.get(g, 0.0) + w * float(s)
+                weight_mass[g] = weight_mass.get(g, 0.0) + w
+                counts[g] = counts.get(g, 0) + 1
+
+        query_set = set(query_used)
+        gene_scores = [
+            GeneScore(gene_id=g, score=totals[g] / weight_mass[g], n_datasets=counts[g])
+            for g in totals
+            if not (exclude_query_from_genes and g in query_set)
+        ]
+        gene_scores.sort(key=lambda s: (-s.score, s.gene_id))
+        return SpellResult(
+            query=tuple(query),
+            query_used=query_used,
+            query_missing=query_missing,
+            datasets=dataset_scores,
+            genes=tuple(gene_scores),
+        )
+
+    def search_iterative(
+        self, query: Sequence[str], *, rounds: int = 2, grow_by: int = 1
+    ) -> SpellResult:
+        """Directed search: grow the query with its own top hits and re-search.
+
+        Each round appends the ``grow_by`` highest-scoring non-query genes
+        and repeats; the final result is reported against the *original*
+        query (the paper's "iteratively adjust the viewed gene subsets in
+        tandem with statistical analysis").
+        """
+        if rounds < 1:
+            raise SearchError(f"rounds must be >= 1, got {rounds}")
+        current = list(dict.fromkeys(str(g) for g in query))
+        result = self.search(current)
+        for _ in range(rounds - 1):
+            additions = [g.gene_id for g in result.genes[:grow_by]]
+            if not additions:
+                break
+            current.extend(a for a in additions if a not in current)
+            result = self.search(current)
+        # re-attribute to the original query for reporting
+        return SpellResult(
+            query=tuple(str(g) for g in query),
+            query_used=result.query_used,
+            query_missing=result.query_missing,
+            datasets=result.datasets,
+            genes=tuple(g for g in result.genes if g.gene_id not in set(query)),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _score_dataset(
+        self, dataset, query_used: tuple[str, ...]
+    ) -> tuple[DatasetScore, list[str] | None, np.ndarray | None]:
+        """Weight one dataset and score all its genes against the query."""
+        matrix = dataset.matrix
+        present = [g for g in query_used if g in matrix]
+        if len(present) < MIN_QUERY_PRESENT:
+            return DatasetScore(dataset.name, 0.0, len(present)), None, None
+        rows = matrix.indices_of(present)
+        qdata = matrix.values[np.asarray(rows, dtype=np.intp)]
+
+        # (1) coherence weight: mean pairwise query correlation, z-averaged
+        qcorr = pearson_matrix(qdata)
+        iu = np.triu_indices(len(present), k=1)
+        pair_corrs = qcorr[iu]
+        pair_corrs = pair_corrs[~np.isnan(pair_corrs)]
+        if pair_corrs.size == 0:
+            return DatasetScore(dataset.name, 0.0, len(present)), None, None
+        mean_r = float(np.tanh(np.mean(fisher_z(pair_corrs))))
+        weight = max(0.0, mean_r) ** 2
+
+        # (2) per-gene mean correlation to the query genes
+        corr_sum = np.zeros(matrix.n_genes)
+        corr_n = np.zeros(matrix.n_genes)
+        for r in rows:
+            c = pearson_to_vector(matrix.values, matrix.values[r])
+            valid = ~np.isnan(c)
+            corr_sum[valid] += c[valid]
+            corr_n[valid] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scores = corr_sum / corr_n
+        scores[corr_n == 0] = np.nan
+        return DatasetScore(dataset.name, weight, len(present)), matrix.gene_ids, scores

@@ -1,0 +1,108 @@
+"""SPELL's web-interface facade (the paper's Figure 4).
+
+The deployed SPELL system is a query box over a pre-built compendium;
+:class:`SpellService` reproduces that contract: construct it once over a
+compendium (building the index up front), then answer searches with
+pagination and timing — the rows a web front-end would render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.compendium import Compendium
+from repro.spell.engine import SpellEngine, SpellResult
+from repro.spell.index import SpellIndex
+from repro.util.errors import SearchError
+from repro.util.timing import Stopwatch
+
+__all__ = ["SearchPage", "SpellService"]
+
+
+@dataclass(frozen=True)
+class SearchPage:
+    """One page of search output, shaped like the Figure 4 web table."""
+
+    query: tuple[str, ...]
+    page: int
+    page_size: int
+    total_genes: int
+    gene_rows: tuple[tuple[int, str, float], ...]  # (rank, gene, score)
+    dataset_rows: tuple[tuple[int, str, float], ...]  # (rank, dataset, weight)
+    elapsed_seconds: float
+
+
+class SpellService:
+    """Stateful query service over a fixed compendium.
+
+    ``use_index=True`` (default) answers from the precomputed index;
+    ``use_index=False`` recomputes correlations per query with the exact
+    engine — the cold path the ablation bench compares against.
+    """
+
+    def __init__(
+        self, compendium: Compendium, *, use_index: bool = True, n_workers: int = 1
+    ) -> None:
+        self.compendium = compendium
+        self.use_index = bool(use_index)
+        self._engine = SpellEngine(compendium, n_workers=n_workers)
+        self._index = SpellIndex.build(compendium) if self.use_index else None
+        self._history: list[tuple[tuple[str, ...], float]] = []
+
+    # ----------------------------------------------------------------- search
+    def search(self, query: Sequence[str]) -> SpellResult:
+        """Raw search result (full rankings)."""
+        with Stopwatch() as sw:
+            if self._index is not None:
+                result = self._index.search(list(query))
+            else:
+                result = self._engine.search(list(query))
+        self._history.append((tuple(str(g) for g in query), sw.elapsed))
+        return result
+
+    def search_page(
+        self, query: Sequence[str], *, page: int = 0, page_size: int = 20, top_datasets: int = 10
+    ) -> SearchPage:
+        """Paginated view of a search (what the web UI shows per screen)."""
+        if page < 0:
+            raise SearchError(f"page must be >= 0, got {page}")
+        if page_size < 1:
+            raise SearchError(f"page_size must be >= 1, got {page_size}")
+        with Stopwatch() as sw:
+            result = (
+                self._index.search(list(query))
+                if self._index is not None
+                else self._engine.search(list(query))
+            )
+        self._history.append((tuple(str(g) for g in query), sw.elapsed))
+        start = page * page_size
+        gene_rows = tuple(
+            (start + i + 1, g.gene_id, g.score)
+            for i, g in enumerate(result.genes[start : start + page_size])
+        )
+        dataset_rows = tuple(
+            (i + 1, d.name, d.weight) for i, d in enumerate(result.datasets[:top_datasets])
+        )
+        return SearchPage(
+            query=result.query,
+            page=page,
+            page_size=page_size,
+            total_genes=len(result.genes),
+            gene_rows=gene_rows,
+            dataset_rows=dataset_rows,
+            elapsed_seconds=sw.elapsed,
+        )
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def query_count(self) -> int:
+        return len(self._history)
+
+    def mean_latency(self) -> float:
+        if not self._history:
+            raise SearchError("no queries executed yet")
+        return sum(t for _, t in self._history) / len(self._history)
+
+    def index_bytes(self) -> int:
+        return self._index.nbytes() if self._index is not None else 0

@@ -1,0 +1,52 @@
+"""Statistical substrate: hypergeometric tests, multiple-testing correction,
+correlation with missing data, and rank utilities.
+
+GOLEM's enrichment engine and SPELL's search both sit on top of this
+package.  The hypergeometric implementation is written from scratch in
+log-space (scipy is only used in the test suite as a cross-check).
+"""
+
+from repro.stats.hypergeom import (
+    log_binomial,
+    hypergeom_pmf,
+    hypergeom_sf,
+    enrichment_pvalue,
+    enrichment_pvalues,
+)
+from repro.stats.correction import benjamini_hochberg, bonferroni, MultipleTestResult
+from repro.stats.correlation import (
+    pearson,
+    pearson_matrix,
+    pearson_to_vector,
+    spearman,
+    fisher_z,
+)
+from repro.stats.ranks import rankdata_average, rank_of, precision_at_k, average_precision
+from repro.stats.descriptive import zscore_rows, median_center_rows, nan_summary
+from repro.stats.coherence import CoherenceResult, coherence_score, coherence_test
+
+__all__ = [
+    "log_binomial",
+    "hypergeom_pmf",
+    "hypergeom_sf",
+    "enrichment_pvalue",
+    "enrichment_pvalues",
+    "benjamini_hochberg",
+    "bonferroni",
+    "MultipleTestResult",
+    "pearson",
+    "pearson_matrix",
+    "pearson_to_vector",
+    "spearman",
+    "fisher_z",
+    "rankdata_average",
+    "rank_of",
+    "precision_at_k",
+    "average_precision",
+    "zscore_rows",
+    "median_center_rows",
+    "nan_summary",
+    "CoherenceResult",
+    "coherence_score",
+    "coherence_test",
+]

@@ -1,0 +1,65 @@
+"""Multiple-hypothesis-testing corrections used by GOLEM's enrichment engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["bonferroni", "benjamini_hochberg", "MultipleTestResult"]
+
+
+@dataclass(frozen=True)
+class MultipleTestResult:
+    """Adjusted p-values plus the significance mask at the requested level."""
+
+    pvalues: np.ndarray  # raw input p-values
+    adjusted: np.ndarray  # corrected p-values / q-values, same order as input
+    significant: np.ndarray  # boolean mask at ``alpha``
+    alpha: float
+    method: str
+
+    @property
+    def n_significant(self) -> int:
+        return int(self.significant.sum())
+
+
+def _validate(pvalues: np.ndarray, alpha: float) -> np.ndarray:
+    p = np.asarray(pvalues, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValidationError(f"p-values must be 1-D, got shape {p.shape}")
+    if p.size and ((p < 0) | (p > 1)).any():
+        raise ValidationError("p-values must lie in [0, 1]")
+    if not (0 < alpha < 1):
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+    return p
+
+
+def bonferroni(pvalues, alpha: float = 0.05) -> MultipleTestResult:
+    """Bonferroni correction: multiply by the number of tests, clip at 1."""
+    p = _validate(pvalues, alpha)
+    adjusted = np.minimum(p * max(p.size, 1), 1.0)
+    return MultipleTestResult(p, adjusted, adjusted <= alpha, alpha, "bonferroni")
+
+
+def benjamini_hochberg(pvalues, alpha: float = 0.05) -> MultipleTestResult:
+    """Benjamini–Hochberg FDR step-up procedure.
+
+    Returns monotone q-values; ``significant`` marks the BH rejection set,
+    which by construction equals ``adjusted <= alpha``.
+    """
+    p = _validate(pvalues, alpha)
+    m = p.size
+    if m == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return MultipleTestResult(p, empty, np.empty(0, dtype=bool), alpha, "benjamini-hochberg")
+    order = np.argsort(p, kind="stable")
+    ranked = p[order] * m / np.arange(1, m + 1)
+    # enforce monotonicity from the largest rank downwards
+    qvals_sorted = np.minimum.accumulate(ranked[::-1])[::-1]
+    qvals_sorted = np.minimum(qvals_sorted, 1.0)
+    adjusted = np.empty(m, dtype=np.float64)
+    adjusted[order] = qvals_sorted
+    return MultipleTestResult(p, adjusted, adjusted <= alpha, alpha, "benjamini-hochberg")

@@ -1,0 +1,140 @@
+"""Correlation measures with first-class missing-value support.
+
+Microarray data is full of missing measurements, so every routine here
+uses *pairwise-complete* observations: for each pair of rows, only the
+conditions observed in both rows contribute.  The matrix forms are fully
+vectorized (matmuls over zero-filled data + validity masks), which is the
+core trick that makes SPELL's dataset weighting fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["pearson", "pearson_matrix", "pearson_to_vector", "spearman", "fisher_z"]
+
+#: Pairs sharing fewer observed conditions than this get correlation NaN.
+MIN_OVERLAP = 3
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two 1-D arrays, pairwise-complete over NaNs.
+
+    Returns NaN when fewer than :data:`MIN_OVERLAP` conditions are
+    observed in both arrays or when either side has zero variance.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError(f"inputs must be 1-D and equal length, got {x.shape} vs {y.shape}")
+    valid = ~(np.isnan(x) | np.isnan(y))
+    if valid.sum() < MIN_OVERLAP:
+        return float("nan")
+    xv = x[valid]
+    yv = y[valid]
+    xv = xv - xv.mean()
+    yv = yv - yv.mean()
+    denom = np.sqrt((xv * xv).sum() * (yv * yv).sum())
+    if denom == 0.0:
+        return float("nan")
+    return float(np.clip((xv * yv).sum() / denom, -1.0, 1.0))
+
+
+def pearson_matrix(data: np.ndarray) -> np.ndarray:
+    """All-pairs Pearson correlation between the rows of ``data`` (genes).
+
+    ``data`` is (genes, conditions) and may contain NaNs.  The result is a
+    symmetric (genes, genes) matrix with unit diagonal (NaN on the
+    diagonal only if a row has < MIN_OVERLAP observations or no variance).
+
+    Implementation: with validity mask ``M`` and zero-filled data ``X``,
+    every pairwise-complete moment is a matmul —
+    ``n_ij = M M^T``, ``s_ij = X X^T`` etc. — so no Python-level loop over
+    pairs is needed.
+    """
+    X = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D (genes x conditions), got shape {X.shape}")
+    M = (~np.isnan(X)).astype(np.float64)
+    Xz = np.where(np.isnan(X), 0.0, X)
+
+    n = M @ M.T  # pairwise overlap counts
+    sx = Xz @ M.T  # sum of x over shared conditions
+    sy = M @ Xz.T  # sum of y over shared conditions (= sx.T)
+    sxy = Xz @ Xz.T
+    sxx = (Xz * Xz) @ M.T
+    syy = M @ (Xz * Xz).T
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cov = sxy - sx * sy / n
+        varx = sxx - sx * sx / n
+        vary = syy - sy * sy / n
+        denom = np.sqrt(varx * vary)
+        corr = cov / denom
+    corr[n < MIN_OVERLAP] = np.nan
+    # zero-variance rows produce 0/0 -> NaN already; clip numerical spill
+    np.clip(corr, -1.0, 1.0, out=corr)
+    return corr
+
+
+def pearson_to_vector(data: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Pearson correlation of every row of ``data`` against one ``query`` row.
+
+    Same pairwise-complete semantics as :func:`pearson_matrix` but O(genes)
+    memory — this is SPELL's inner loop when no index is available.
+    """
+    X = np.asarray(data, dtype=np.float64)
+    q = np.asarray(query, dtype=np.float64)
+    if X.ndim != 2 or q.ndim != 1 or X.shape[1] != q.shape[0]:
+        raise ValidationError(
+            f"data (genes x conditions) and query (conditions,) must align, got {X.shape} vs {q.shape}"
+        )
+    Mx = ~np.isnan(X)
+    mq = ~np.isnan(q)
+    shared = Mx & mq  # (genes, conditions)
+    n = shared.sum(axis=1).astype(np.float64)
+
+    Xz = np.where(shared, X, 0.0)
+    Qz = np.where(shared, q, 0.0)  # broadcast of q masked per-row
+    sx = Xz.sum(axis=1)
+    sy = Qz.sum(axis=1)
+    sxy = (Xz * Qz).sum(axis=1)
+    sxx = (Xz * Xz).sum(axis=1)
+    syy = (Qz * Qz).sum(axis=1)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cov = sxy - sx * sy / n
+        denom = np.sqrt((sxx - sx * sx / n) * (syy - sy * sy / n))
+        corr = cov / denom
+    corr[n < MIN_OVERLAP] = np.nan
+    return np.clip(corr, -1.0, 1.0)
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation, pairwise-complete over NaNs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError(f"inputs must be 1-D and equal length, got {x.shape} vs {y.shape}")
+    valid = ~(np.isnan(x) | np.isnan(y))
+    if valid.sum() < MIN_OVERLAP:
+        return float("nan")
+    from repro.stats.ranks import rankdata_average
+
+    return pearson(rankdata_average(x[valid]), rankdata_average(y[valid]))
+
+
+def fisher_z(r: np.ndarray | float) -> np.ndarray | float:
+    """Fisher z-transform ``atanh(r)``; saturates |r| = 1 to keep it finite.
+
+    SPELL averages correlations across conditions in z-space, where they
+    are approximately normal.
+    """
+    r_arr = np.asarray(r, dtype=np.float64)
+    clipped = np.clip(r_arr, -0.999999, 0.999999)
+    z = np.arctanh(clipped)
+    if np.isscalar(r) or r_arr.ndim == 0:
+        return float(z)
+    return z

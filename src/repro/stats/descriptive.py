@@ -1,0 +1,50 @@
+"""Row-wise descriptive statistics used by dataset normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["zscore_rows", "median_center_rows", "nan_summary"]
+
+
+def zscore_rows(data: np.ndarray, *, ddof: int = 0) -> np.ndarray:
+    """Z-score each row ignoring NaNs; zero-variance rows become all-zero.
+
+    Returns a new array; the input is never modified.
+    """
+    X = np.array(data, dtype=np.float64, copy=True)
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D, got shape {X.shape}")
+    with np.errstate(invalid="ignore"):
+        mean = np.nanmean(X, axis=1, keepdims=True)
+        std = np.nanstd(X, axis=1, keepdims=True, ddof=ddof)
+    centered = X - mean
+    out = np.divide(centered, std, out=np.zeros_like(centered), where=std > 0)
+    out[np.isnan(X)] = np.nan
+    return out
+
+
+def median_center_rows(data: np.ndarray) -> np.ndarray:
+    """Subtract each row's NaN-ignoring median (classic PCL preprocessing)."""
+    X = np.array(data, dtype=np.float64, copy=True)
+    if X.ndim != 2:
+        raise ValidationError(f"data must be 2-D, got shape {X.shape}")
+    med = np.zeros((X.shape[0], 1))
+    has_data = ~np.isnan(X).all(axis=1)
+    if has_data.any():
+        med[has_data, 0] = np.nanmedian(X[has_data], axis=1)
+    return X - med  # all-NaN rows stay untouched (0 - NaN = NaN)
+
+
+def nan_summary(data: np.ndarray) -> dict[str, float]:
+    """Quick missingness report used by loaders and the data-scale bench."""
+    X = np.asarray(data, dtype=np.float64)
+    n_total = X.size
+    n_missing = int(np.isnan(X).sum())
+    return {
+        "n_values": float(n_total),
+        "n_missing": float(n_missing),
+        "fraction_missing": (n_missing / n_total) if n_total else 0.0,
+    }

@@ -1,0 +1,68 @@
+"""Rank utilities plus the retrieval metrics used to score SPELL output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["rankdata_average", "rank_of", "precision_at_k", "average_precision"]
+
+
+def rankdata_average(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties sharing their average rank (like scipy's 'average')."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValidationError(f"values must be 1-D, got shape {v.shape}")
+    n = v.size
+    order = np.argsort(v, kind="stable")
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = np.arange(1, n + 1, dtype=np.float64)
+    # average the ranks within tied groups
+    sorted_vals = v[order]
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0)
+    starts = np.concatenate(([0], boundaries + 1))
+    ends = np.concatenate((boundaries + 1, [n]))
+    for s, e in zip(starts, ends):
+        if e - s > 1:
+            ranks[order[s:e]] = (s + 1 + e) / 2.0
+    return ranks
+
+
+def rank_of(ordered_items: Sequence, item) -> int:
+    """1-based position of ``item`` in a ranked list; raises KeyError if absent."""
+    for idx, candidate in enumerate(ordered_items):
+        if candidate == item:
+            return idx + 1
+    raise KeyError(f"{item!r} not present in ranking")
+
+
+def precision_at_k(ordered_items: Sequence, relevant: set, k: int) -> float:
+    """Fraction of the top-``k`` ranked items that are relevant."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    top = list(ordered_items)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def average_precision(ordered_items: Sequence, relevant: set) -> float:
+    """Mean of precision@rank over the ranks holding relevant items.
+
+    1.0 iff every relevant item is ranked above every irrelevant one.
+    Returns 0.0 when ``relevant`` is empty or never retrieved.
+    """
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for idx, item in enumerate(ordered_items, start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / idx
+    if hits == 0:
+        return 0.0
+    return precision_sum / len(relevant)

@@ -1,0 +1,408 @@
+"""Synthetic compendium builders mirroring the paper's three data sources.
+
+§4 of the paper examines (a) the Gasch 2000 environmental stress
+datasets, (b) the Brauer/Saldanha nutrient-limitation study and (c) the
+Hughes 2000 knockout compendium, and finds that an environmental stress
+response (ESR) module explains apparent nutrient/knockout signatures.
+
+These builders plant exactly that structure with known ground truth:
+
+* an **ESR module** with induced and repressed arms, present in every
+  stress dataset, driven by slow growth in the nutrient dataset, and
+  triggered by a subset of "sick" knockouts in the knockout compendium;
+* per-dataset specific modules (heat-only, knockout signatures, ...)
+  acting as distractors.
+
+`CaseStudyTruth` records the planted sets so tests and the CASE4 bench
+can score recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.compendium import Compendium
+from repro.data.dataset import Dataset
+from repro.synth.expression import GeneModule, profile, synthesize_matrix
+from repro.synth.names import make_annotations, systematic_names
+from repro.util.errors import ValidationError
+from repro.util.rng import default_rng, spawn_rngs
+
+__all__ = [
+    "CaseStudyTruth",
+    "make_simple_dataset",
+    "make_stress_compendium",
+    "make_case_study",
+    "SpellTruth",
+    "make_spell_compendium",
+]
+
+
+# --------------------------------------------------------------------------
+# simple single datasets (unit-test workhorse)
+# --------------------------------------------------------------------------
+def make_simple_dataset(
+    *,
+    name: str = "demo",
+    n_genes: int = 60,
+    n_conditions: int = 12,
+    n_module_genes: int = 15,
+    noise_sd: float = 0.3,
+    missing_fraction: float = 0.02,
+    seed: int | np.random.Generator | None = None,
+) -> Dataset:
+    """One dataset with a single pulse module over its first genes."""
+    if n_module_genes > n_genes:
+        raise ValidationError("n_module_genes cannot exceed n_genes")
+    rng = default_rng(seed)
+    genes = systematic_names(n_genes)
+    conditions = [f"cond_{i:02d}" for i in range(n_conditions)]
+    module = GeneModule(
+        name="planted",
+        gene_ids=tuple(genes[:n_module_genes]),
+        profile=tuple(profile("pulse", n_conditions) * 2.0),
+    )
+    matrix = synthesize_matrix(
+        genes,
+        conditions,
+        [module],
+        noise_sd=noise_sd,
+        missing_fraction=missing_fraction,
+        seed=rng,
+    )
+    annotations = make_annotations(genes, stress_genes=set(genes[:n_module_genes]), seed=rng)
+    return Dataset(name=name, matrix=matrix, annotations=annotations)
+
+
+# --------------------------------------------------------------------------
+# the §4 case-study collection
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CaseStudyTruth:
+    """Ground truth planted by :func:`make_case_study`."""
+
+    esr_induced: tuple[str, ...]
+    esr_repressed: tuple[str, ...]
+    growth_genes: tuple[str, ...]  # nutrient-specific, growth-rate correlated
+    knockout_signatures: dict[str, tuple[str, ...]]  # knockout condition -> genes
+    sick_knockouts: tuple[str, ...]  # knockout conditions that also trigger ESR
+    stress_dataset_names: tuple[str, ...]
+    nutrient_dataset_name: str
+    knockout_dataset_name: str
+
+    @property
+    def esr_all(self) -> tuple[str, ...]:
+        return self.esr_induced + self.esr_repressed
+
+
+_STRESS_PANELS = [
+    ("heat_shock", "pulse", dict(center=0.3, width=0.15)),
+    ("oxidative_stress", "sustained", dict(onset=0.3)),
+    ("osmotic_shock", "pulse", dict(center=0.45, width=0.2)),
+]
+
+
+def make_stress_compendium(
+    *,
+    n_genes: int = 400,
+    n_conditions: int = 16,
+    esr_fraction: float = 0.15,
+    noise_sd: float = 0.35,
+    missing_fraction: float = 0.02,
+    n_datasets: int = 3,
+    seed: int | np.random.Generator | None = None,
+) -> Compendium:
+    """Gasch-style environmental stress compendium (ESR planted everywhere)."""
+    compendium, _truth = _build_case_study(
+        n_genes=n_genes,
+        n_conditions=n_conditions,
+        esr_fraction=esr_fraction,
+        noise_sd=noise_sd,
+        missing_fraction=missing_fraction,
+        n_stress=n_datasets,
+        include_nutrient=False,
+        include_knockout=False,
+        seed=seed,
+    )
+    return compendium
+
+
+def make_case_study(
+    *,
+    n_genes: int = 400,
+    n_conditions: int = 16,
+    n_knockouts: int = 24,
+    esr_fraction: float = 0.12,
+    noise_sd: float = 0.35,
+    missing_fraction: float = 0.02,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Compendium, CaseStudyTruth]:
+    """Full §4 collection: stress datasets + nutrient limitation + knockouts."""
+    return _build_case_study(
+        n_genes=n_genes,
+        n_conditions=n_conditions,
+        n_knockouts=n_knockouts,
+        esr_fraction=esr_fraction,
+        noise_sd=noise_sd,
+        missing_fraction=missing_fraction,
+        n_stress=len(_STRESS_PANELS),
+        include_nutrient=True,
+        include_knockout=True,
+        seed=seed,
+    )
+
+
+def _build_case_study(
+    *,
+    n_genes: int,
+    n_conditions: int,
+    esr_fraction: float,
+    noise_sd: float,
+    missing_fraction: float,
+    n_stress: int,
+    include_nutrient: bool,
+    include_knockout: bool,
+    n_knockouts: int = 24,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Compendium, CaseStudyTruth]:
+    if n_genes < 50:
+        raise ValidationError(f"case study needs >= 50 genes, got {n_genes}")
+    if not (0.0 < esr_fraction <= 0.4):
+        raise ValidationError(f"esr_fraction must be in (0, 0.4], got {esr_fraction}")
+    rng = default_rng(seed)
+    genes = systematic_names(n_genes)
+
+    n_esr = max(8, int(n_genes * esr_fraction))
+    n_half = n_esr // 2
+    esr_induced = tuple(genes[:n_half])
+    esr_repressed = tuple(genes[n_half:n_esr])
+    n_growth = max(6, n_genes // 20)
+    growth_genes = tuple(genes[n_esr : n_esr + n_growth])
+    distractor_pool = genes[n_esr + n_growth :]
+
+    datasets: list[Dataset] = []
+    stress_names: list[str] = []
+    child_rngs = spawn_rngs(rng, n_stress + 2)
+
+    # --- stress datasets: ESR in every one, plus a dataset-specific module
+    for i in range(n_stress):
+        panel_name, kind, kwargs = _STRESS_PANELS[i % len(_STRESS_PANELS)]
+        ds_name = panel_name if i < len(_STRESS_PANELS) else f"{panel_name}_{i}"
+        ds_rng = child_rngs[i]
+        conditions = [f"{ds_name}_{t:02d}" for t in range(n_conditions)]
+        stress_prof = profile(kind, n_conditions, **kwargs) * 2.2
+        n_distract = min(len(distractor_pool), max(5, n_genes // 25))
+        start = (i * n_distract) % max(1, len(distractor_pool) - n_distract + 1)
+        distractors = tuple(distractor_pool[start : start + n_distract])
+        modules = [
+            GeneModule("esr_induced", esr_induced, tuple(stress_prof)),
+            GeneModule("esr_repressed", esr_repressed, tuple(-stress_prof)),
+            GeneModule(
+                f"{ds_name}_specific",
+                distractors,
+                tuple(profile("sine", n_conditions, periods=1.5) * 1.5),
+            ),
+        ]
+        matrix = synthesize_matrix(
+            genes, conditions, modules, noise_sd=noise_sd, missing_fraction=missing_fraction, seed=ds_rng
+        )
+        annotations = make_annotations(
+            genes,
+            stress_genes=set(esr_induced),
+            ribosomal_genes=set(esr_repressed),
+            seed=ds_rng,
+        )
+        datasets.append(
+            Dataset(
+                name=ds_name,
+                matrix=matrix,
+                annotations=annotations,
+                metadata={"source": "synthetic-gasch2000", "kind": "stress"},
+            )
+        )
+        stress_names.append(ds_name)
+
+    nutrient_name = "nutrient_limitation"
+    knockout_name = "knockout_compendium"
+    knockout_signatures: dict[str, tuple[str, ...]] = {}
+    sick: tuple[str, ...] = ()
+
+    if include_nutrient:
+        ds_rng = child_rngs[n_stress]
+        # conditions = nutrient x growth-rate grid; slow growth => strong ESR
+        nutrients = ["glucose", "ammonium", "phosphate", "sulfate"]
+        rates = [0.05, 0.1, 0.2, 0.3]
+        conditions = [f"{n}_mu{r:.2f}" for n in nutrients for r in rates]
+        growth_vec = np.array([r for _ in nutrients for r in rates])
+        growth_norm = (growth_vec - growth_vec.mean()) / (growth_vec.max() - growth_vec.min())
+        esr_drive = -growth_norm * 2.0  # slow growth drives the stress response
+        modules = [
+            GeneModule("esr_induced", esr_induced, tuple(esr_drive)),
+            GeneModule("esr_repressed", esr_repressed, tuple(-esr_drive)),
+            GeneModule("growth", growth_genes, tuple(growth_norm * 2.5)),
+        ]
+        matrix = synthesize_matrix(
+            genes, conditions, modules, noise_sd=noise_sd, missing_fraction=missing_fraction, seed=ds_rng
+        )
+        annotations = make_annotations(
+            genes, stress_genes=set(esr_induced), ribosomal_genes=set(esr_repressed), seed=ds_rng
+        )
+        datasets.append(
+            Dataset(
+                name=nutrient_name,
+                matrix=matrix,
+                annotations=annotations,
+                metadata={"source": "synthetic-brauer2004", "kind": "nutrient"},
+            )
+        )
+
+    if include_knockout:
+        ds_rng = child_rngs[n_stress + 1]
+        conditions = [f"ko_{i:03d}" for i in range(n_knockouts)]
+        modules = []
+        # each knockout perturbs its own small signature gene set
+        sig_size = max(3, n_genes // 80)
+        pool = list(distractor_pool)
+        for i, cond in enumerate(conditions):
+            start = (i * sig_size) % max(1, len(pool) - sig_size + 1)
+            sig = tuple(pool[start : start + sig_size])
+            knockout_signatures[cond] = sig
+            modules.append(
+                GeneModule(
+                    f"sig_{cond}",
+                    sig,
+                    tuple(profile("spike", n_knockouts, at=i) * 2.5),
+                )
+            )
+        # a third of knockouts are "sick": they additionally fire the ESR
+        n_sick = max(2, n_knockouts // 3)
+        sick_idx = sorted(ds_rng.choice(n_knockouts, size=n_sick, replace=False).tolist())
+        sick = tuple(conditions[i] for i in sick_idx)
+        esr_prof = np.zeros(n_knockouts)
+        esr_prof[sick_idx] = 2.0
+        modules.append(GeneModule("esr_induced", esr_induced, tuple(esr_prof)))
+        modules.append(GeneModule("esr_repressed", esr_repressed, tuple(-esr_prof)))
+        matrix = synthesize_matrix(
+            genes, conditions, modules, noise_sd=noise_sd, missing_fraction=missing_fraction, seed=ds_rng
+        )
+        annotations = make_annotations(
+            genes, stress_genes=set(esr_induced), ribosomal_genes=set(esr_repressed), seed=ds_rng
+        )
+        datasets.append(
+            Dataset(
+                name=knockout_name,
+                matrix=matrix,
+                annotations=annotations,
+                metadata={"source": "synthetic-hughes2000", "kind": "knockout"},
+            )
+        )
+
+    compendium = Compendium(datasets)
+    truth = CaseStudyTruth(
+        esr_induced=esr_induced,
+        esr_repressed=esr_repressed,
+        growth_genes=growth_genes,
+        knockout_signatures=knockout_signatures,
+        sick_knockouts=sick,
+        stress_dataset_names=tuple(stress_names),
+        nutrient_dataset_name=nutrient_name if include_nutrient else "",
+        knockout_dataset_name=knockout_name if include_knockout else "",
+    )
+    return compendium, truth
+
+
+# --------------------------------------------------------------------------
+# SPELL search compendium
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpellTruth:
+    """Ground truth planted by :func:`make_spell_compendium`."""
+
+    module_genes: tuple[str, ...]  # the coexpressed module SPELL should find
+    query_genes: tuple[str, ...]  # the subset a user would type as the query
+    relevant_datasets: tuple[str, ...]  # datasets where the module coexpresses
+    irrelevant_datasets: tuple[str, ...]
+
+
+def make_spell_compendium(
+    *,
+    n_datasets: int = 12,
+    n_relevant: int = 4,
+    n_genes: int = 300,
+    n_conditions: int = 14,
+    module_size: int = 20,
+    query_size: int = 4,
+    noise_sd: float = 0.4,
+    missing_fraction: float = 0.02,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Compendium, SpellTruth]:
+    """Compendium where a known gene module coexpresses in a known dataset subset.
+
+    Relevant datasets carry the module with a strong shared profile;
+    irrelevant datasets contain the same genes but no module signal (plus
+    their own distractor modules so they are not trivially flat).
+    """
+    if n_relevant > n_datasets:
+        raise ValidationError("n_relevant cannot exceed n_datasets")
+    if query_size > module_size:
+        raise ValidationError("query_size cannot exceed module_size")
+    if module_size > n_genes // 3:
+        raise ValidationError("module_size too large relative to n_genes")
+    rng = default_rng(seed)
+    genes = systematic_names(n_genes)
+    module_genes = tuple(genes[:module_size])
+    query_genes = tuple(module_genes[:query_size])
+    distractor_pool = genes[module_size:]
+
+    relevant_idx = set(range(n_relevant))  # deterministic: first datasets are relevant
+    datasets: list[Dataset] = []
+    # one shared annotation store: gene names/descriptions are facts about
+    # the organism, not per-dataset draws (and per-dataset resampling would
+    # hand the text-search baseline a degenerate all-tokens bag)
+    shared_annotations = make_annotations(genes, seed=rng)
+    child_rngs = spawn_rngs(rng, n_datasets)
+    for d in range(n_datasets):
+        ds_rng = child_rngs[d]
+        name = f"dataset_{d:02d}"
+        conditions = [f"{name}_c{t:02d}" for t in range(n_conditions)]
+        modules: list[GeneModule] = []
+        if d in relevant_idx:
+            kind = ("pulse", "sustained", "sine")[d % 3]
+            modules.append(
+                GeneModule(
+                    "query_module",
+                    module_genes,
+                    tuple(profile(kind, n_conditions) * 2.5),
+                )
+            )
+        # every dataset gets its own distractor module
+        n_distract = min(len(distractor_pool), module_size)
+        start = (d * n_distract) % max(1, len(distractor_pool) - n_distract + 1)
+        modules.append(
+            GeneModule(
+                f"distractor_{d}",
+                tuple(distractor_pool[start : start + n_distract]),
+                tuple(profile("sine", n_conditions, periods=1.0 + d % 3) * 1.8),
+            )
+        )
+        matrix = synthesize_matrix(
+            genes, conditions, modules, noise_sd=noise_sd, missing_fraction=missing_fraction, seed=ds_rng
+        )
+        datasets.append(
+            Dataset(
+                name=name,
+                matrix=matrix,
+                annotations=shared_annotations,
+                metadata={"kind": "relevant" if d in relevant_idx else "background"},
+            )
+        )
+    compendium = Compendium(datasets)
+    truth = SpellTruth(
+        module_genes=module_genes,
+        query_genes=query_genes,
+        relevant_datasets=tuple(ds.name for i, ds in enumerate(datasets) if i in relevant_idx),
+        irrelevant_datasets=tuple(ds.name for i, ds in enumerate(datasets) if i not in relevant_idx),
+    )
+    return compendium, truth

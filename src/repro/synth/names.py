@@ -1,0 +1,112 @@
+"""Yeast-style gene naming for synthetic datasets.
+
+Systematic names follow the S. cerevisiae ORF convention
+(``Y`` + chromosome letter + arm + 3-digit ordinal + strand, e.g.
+``YAL001C``); a fraction of genes additionally receive common names
+(``HSP104``-style) and keyword-bearing descriptions so ForestView's
+annotation search has something realistic to match against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.annotations import GeneAnnotations
+from repro.util.errors import ValidationError
+from repro.util.rng import default_rng
+
+__all__ = ["systematic_names", "make_annotations"]
+
+_CHROMOSOMES = "ABCDEFGHIJKLMNOP"
+_ARMS = "LR"
+_STRANDS = "CW"
+
+#: Common-name stems paired with description keywords; ESR-ish vocabulary
+#: first so planted stress genes can draw matching annotations.
+_FAMILIES = [
+    ("HSP", "heat shock protein; stress response chaperone"),
+    ("SSA", "stress-seventy subfamily A chaperone"),
+    ("CTT", "catalase; oxidative stress response"),
+    ("TPS", "trehalose-phosphate synthase; stress protectant"),
+    ("RPL", "large ribosomal subunit protein"),
+    ("RPS", "small ribosomal subunit protein"),
+    ("ADH", "alcohol dehydrogenase; fermentative metabolism"),
+    ("GAL", "galactose metabolism enzyme"),
+    ("PHO", "phosphate metabolism regulator"),
+    ("CLN", "G1 cyclin; cell cycle progression"),
+    ("MET", "methionine biosynthesis enzyme"),
+    ("URA", "uracil biosynthesis enzyme"),
+]
+
+
+def systematic_names(n: int) -> list[str]:
+    """Deterministically generate ``n`` unique yeast-style ORF names."""
+    if n < 0:
+        raise ValidationError(f"cannot generate {n} names")
+    names: list[str] = []
+    ordinal = 1
+    chrom_idx = 0
+    arm_idx = 0
+    strand_idx = 0
+    while len(names) < n:
+        chrom = _CHROMOSOMES[chrom_idx % len(_CHROMOSOMES)]
+        arm = _ARMS[arm_idx % len(_ARMS)]
+        strand = _STRANDS[strand_idx % len(_STRANDS)]
+        names.append(f"Y{chrom}{arm}{ordinal:03d}{strand}")
+        strand_idx += 1
+        if strand_idx % len(_STRANDS) == 0:
+            arm_idx += 1
+            if arm_idx % len(_ARMS) == 0:
+                chrom_idx += 1
+                if chrom_idx % len(_CHROMOSOMES) == 0:
+                    ordinal += 1
+    return names
+
+
+def make_annotations(
+    gene_ids: list[str],
+    *,
+    common_name_fraction: float = 0.4,
+    stress_genes: set[str] | None = None,
+    ribosomal_genes: set[str] | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> GeneAnnotations:
+    """Build an annotation store with NAME and DESCRIPTION fields.
+
+    ``stress_genes`` / ``ribosomal_genes`` are forced to draw stress- or
+    ribosome-flavoured common names and descriptions, which makes the
+    planted modules discoverable through annotation search (the paper's
+    "Find Genes by name" box).
+    """
+    if not (0.0 <= common_name_fraction <= 1.0):
+        raise ValidationError(
+            f"common_name_fraction must be in [0, 1], got {common_name_fraction}"
+        )
+    rng = default_rng(seed)
+    stress_genes = stress_genes or set()
+    ribosomal_genes = ribosomal_genes or set()
+    stress_families = _FAMILIES[:4]
+    ribo_families = _FAMILIES[4:6]
+    other_families = _FAMILIES[6:]
+
+    annotations = GeneAnnotations(["NAME", "DESCRIPTION"])
+    counters: dict[str, int] = {}
+
+    def next_name(stem: str) -> str:
+        counters[stem] = counters.get(stem, 0) + 1
+        return f"{stem}{counters[stem]}"
+
+    for gene_id in gene_ids:
+        if gene_id in stress_genes:
+            stem, desc = stress_families[int(rng.integers(len(stress_families)))]
+        elif gene_id in ribosomal_genes:
+            stem, desc = ribo_families[int(rng.integers(len(ribo_families)))]
+        elif rng.random() < common_name_fraction:
+            stem, desc = other_families[int(rng.integers(len(other_families)))]
+        else:
+            annotations.set(gene_id, "NAME", gene_id)
+            annotations.set(gene_id, "DESCRIPTION", "uncharacterized open reading frame")
+            continue
+        annotations.set(gene_id, "NAME", next_name(stem))
+        annotations.set(gene_id, "DESCRIPTION", desc)
+    return annotations

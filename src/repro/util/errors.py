@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by all :mod:`repro` subsystems."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DataFormatError(ReproError):
+    """A file (PCL, CDT, GTR/ATR, OBO, ...) violates its format contract.
+
+    Carries optional location information so parsers can report the
+    offending line to the user.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, line: int | None = None):
+        self.path = path
+        self.line = line
+        location = ""
+        if path is not None:
+            location = f" [{path}" + (f":{line}" if line is not None else "") + "]"
+        super().__init__(message + location)
+
+
+class ValidationError(ReproError):
+    """An argument or internal invariant check failed."""
+
+
+class CommunicationError(ReproError):
+    """A message-passing operation on the simulated cluster failed."""
+
+
+class SearchError(ReproError):
+    """A SPELL/annotation search could not be executed (e.g. empty query)."""
+
+
+class OntologyError(ReproError):
+    """The GO DAG or its annotations are inconsistent (cycles, bad ids)."""
+
+
+class RenderError(ReproError):
+    """A rendering request cannot be satisfied (bad geometry, empty pane)."""

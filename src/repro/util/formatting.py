@@ -1,0 +1,65 @@
+"""Human-readable formatting for benchmark and report output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count with binary prefixes: ``human_bytes(2048) == '2.0 KiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_count(n: float) -> str:
+    """Format a count with metric prefixes: ``human_count(250_000_000) == '250.0M'``."""
+    n = float(n)
+    for unit in ("", "K", "M", "G"):
+        if abs(n) < 1000.0 or unit == "G":
+            return f"{n:.1f}{unit}" if unit else f"{int(n)}"
+        n /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (the benches print paper-style rows).
+
+    Column widths adapt to content; numeric cells are right-aligned.
+    """
+    cells = [[str(h) for h in headers]] + [[_cell(v) for v in row] for row in rows]
+    ncols = max(len(row) for row in cells)
+    widths = [0] * ncols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for ridx, row in enumerate(cells):
+        padded = []
+        for i in range(ncols):
+            cell = row[i] if i < len(row) else ""
+            if ridx > 0 and _is_numeric(cell):
+                padded.append(cell.rjust(widths[i]))
+            else:
+                padded.append(cell.ljust(widths[i]))
+        lines.append("  ".join(padded).rstrip())
+        if ridx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("x%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,49 @@
+"""Small argument-validation helpers raising :class:`ValidationError`.
+
+Validation failures in library entry points should be loud and uniform;
+these helpers keep call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.util.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Validate ``low <= value <= high`` (inclusive both ends)."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_shape(array: Any, shape: tuple[int | None, ...], name: str) -> None:
+    """Validate an array's shape; ``None`` entries match any extent."""
+    actual = getattr(array, "shape", None)
+    if actual is None:
+        raise ValidationError(f"{name} has no shape attribute (got {type(array).__name__})")
+    if len(actual) != len(shape):
+        raise ValidationError(f"{name} must be {len(shape)}-dimensional, got shape {actual}")
+    for axis, (got, want) in enumerate(zip(actual, shape)):
+        if want is not None and got != want:
+            raise ValidationError(
+                f"{name} axis {axis} must have extent {want}, got {got} (shape {actual})"
+            )
+
+
+def require_same_length(a: Sequence, b: Sequence, name_a: str, name_b: str) -> None:
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) must have the same length"
+        )

@@ -1,0 +1,87 @@
+"""Expression colormaps: the red/green microarray convention and friends.
+
+Values map symmetrically around zero: ``-saturation`` is full ``low``
+color, 0 is ``zero`` color, ``+saturation`` full ``high`` color; NaN
+renders as the ``missing`` color.  "The expression level colors can be
+adjusted independently for datasets" (paper §2) — ForestView's
+per-dataset preferences pick from :data:`COLORMAPS` and set
+``saturation`` (the contrast control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.util.errors import RenderError
+
+__all__ = ["DivergingColormap", "COLORMAPS", "get_colormap"]
+
+
+@dataclass(frozen=True)
+class DivergingColormap:
+    """Symmetric two-sided colormap with a missing-value color."""
+
+    name: str
+    low: tuple[int, int, int]
+    zero: tuple[int, int, int]
+    high: tuple[int, int, int]
+    missing: tuple[int, int, int] = (96, 96, 96)
+    saturation: float = 2.0  # |value| mapped to full color
+
+    def __post_init__(self) -> None:
+        if self.saturation <= 0:
+            raise RenderError(f"saturation must be positive, got {self.saturation}")
+
+    def with_saturation(self, saturation: float) -> "DivergingColormap":
+        return replace(self, saturation=float(saturation))
+
+    def map(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized map of any-shaped float array -> uint8 RGB (shape + (3,))."""
+        v = np.asarray(values, dtype=np.float64)
+        nan_mask = np.isnan(v)
+        t = np.clip(np.where(nan_mask, 0.0, v) / self.saturation, -1.0, 1.0)
+        low = np.asarray(self.low, dtype=np.float64)
+        zero = np.asarray(self.zero, dtype=np.float64)
+        high = np.asarray(self.high, dtype=np.float64)
+        tt = t[..., None]
+        out = np.where(
+            tt >= 0,
+            zero + (high - zero) * tt,
+            zero + (low - zero) * (-tt),
+        )
+        out = np.clip(np.rint(out), 0, 255).astype(np.uint8)
+        if nan_mask.any():
+            out[nan_mask] = np.asarray(self.missing, dtype=np.uint8)
+        return out
+
+    def map_scalar(self, value: float) -> tuple[int, int, int]:
+        r, g, b = self.map(np.asarray([value]))[0]
+        return (int(r), int(g), int(b))
+
+
+COLORMAPS: dict[str, DivergingColormap] = {
+    "red-green": DivergingColormap(
+        "red-green", low=(0, 255, 0), zero=(0, 0, 0), high=(255, 0, 0)
+    ),
+    "red-blue": DivergingColormap(
+        "red-blue", low=(0, 64, 255), zero=(0, 0, 0), high=(255, 32, 0)
+    ),
+    "yellow-blue": DivergingColormap(
+        "yellow-blue", low=(0, 96, 224), zero=(16, 16, 16), high=(255, 224, 0)
+    ),
+    "grayscale": DivergingColormap(
+        "grayscale", low=(0, 0, 0), zero=(128, 128, 128), high=(255, 255, 255),
+        missing=(255, 0, 255),
+    ),
+}
+
+
+def get_colormap(name: str) -> DivergingColormap:
+    try:
+        return COLORMAPS[name]
+    except KeyError:
+        raise RenderError(
+            f"unknown colormap {name!r}; choose from {sorted(COLORMAPS)}"
+        ) from None

@@ -1,0 +1,103 @@
+"""Dendrogram geometry: a clustering tree to drawable line segments.
+
+Java TreeView draws the gene tree to the left of the heatmap with leaves
+pointing right; ForestView keeps that convention.  This module only
+computes segments (in absolute canvas coordinates) — actual pixel drawing
+goes through the display list so the wall can clip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.tree import DendrogramTree, TreeNode
+from repro.util.errors import RenderError
+
+__all__ = ["Segment", "dendrogram_segments"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+
+def dendrogram_segments(
+    tree: DendrogramTree,
+    *,
+    x: int,
+    y: int,
+    w: int,
+    h: int,
+    orientation: str = "left",
+) -> list[Segment]:
+    """Segments for ``tree`` drawn in the box (x, y, w, h).
+
+    ``orientation='left'``: root at the left edge, leaves on the right
+    edge, leaf k centred in band k of ``h / n_leaves`` (matching heatmap
+    row bands).  ``orientation='top'``: root at top, leaves along the
+    bottom (used for array trees above the heatmap).
+    """
+    if orientation not in ("left", "top"):
+        raise RenderError(f"orientation must be 'left' or 'top', got {orientation!r}")
+    if w < 2 or h < 2:
+        raise RenderError(f"dendrogram box too small: {w}x{h}")
+    n = tree.n_leaves
+    max_height = tree.max_height() or 1.0
+    along = h if orientation == "left" else w  # leaf axis extent
+    depth_extent = w if orientation == "left" else h  # height axis extent
+
+    # leaf display positions: centre of band k
+    order = tree.leaf_order()
+    band = {leaf_index: k for k, leaf_index in enumerate(order)}
+
+    pos_cache: dict[int, tuple[float, float]] = {}  # id(node) -> (leaf_coord, depth_coord)
+    segments: list[Segment] = []
+
+    def leaf_coord(k: int) -> float:
+        return (k + 0.5) * along / n
+
+    def depth_coord(height: float) -> float:
+        # leaves (height 0) at full extent; root (max height) at 0
+        t = min(max(height / max_height, 0.0), 1.0)
+        return (1.0 - t) * (depth_extent - 1)
+
+    def place(node: TreeNode) -> tuple[float, float]:
+        key = id(node)
+        if key in pos_cache:
+            return pos_cache[key]
+        if node.is_leaf:
+            pos = (leaf_coord(band[node.index]), float(depth_extent - 1))
+        else:
+            assert node.left is not None and node.right is not None
+            l_leaf, l_depth = place(node.left)
+            r_leaf, r_depth = place(node.right)
+            d = depth_coord(node.height)
+            # connector across the two children at this node's depth
+            segments.append(_seg(orientation, x, y, l_leaf, d, r_leaf, d))
+            # stems from the connector down to each child's own depth
+            segments.append(_seg(orientation, x, y, l_leaf, d, l_leaf, l_depth))
+            segments.append(_seg(orientation, x, y, r_leaf, d, r_leaf, r_depth))
+            pos = ((l_leaf + r_leaf) / 2.0, d)
+        pos_cache[key] = pos
+        return pos
+
+    root_leaf, root_depth = place(tree.root)
+    # root stem to the box edge
+    segments.append(_seg(orientation, x, y, root_leaf, root_depth, root_leaf, 0.0))
+    return segments
+
+
+def _seg(
+    orientation: str, x: int, y: int, leaf0: float, depth0: float, leaf1: float, depth1: float
+) -> Segment:
+    """Convert (leaf_axis, depth_axis) coordinates to absolute pixels."""
+    if orientation == "left":
+        return Segment(
+            x0=x + int(depth0), y0=y + int(leaf0), x1=x + int(depth1), y1=y + int(leaf1)
+        )
+    return Segment(
+        x0=x + int(leaf0), y0=y + int(depth0), x1=x + int(leaf1), y1=y + int(depth1)
+    )

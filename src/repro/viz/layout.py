@@ -1,0 +1,97 @@
+"""Rectangle layout helpers for composing pane geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.errors import RenderError
+
+__all__ = ["Box", "hsplit", "vsplit", "grid_boxes"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangle in canvas coordinates."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise RenderError(f"box extent must be non-negative, got {self.w}x{self.h}")
+
+    @property
+    def x1(self) -> int:
+        return self.x + self.w
+
+    @property
+    def y1(self) -> int:
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    def inset(self, margin: int) -> "Box":
+        """Shrink by ``margin`` on every side (clamped to empty, never negative)."""
+        if margin < 0:
+            raise RenderError(f"margin must be non-negative, got {margin}")
+        w = max(0, self.w - 2 * margin)
+        h = max(0, self.h - 2 * margin)
+        return Box(self.x + margin, self.y + margin, w, h)
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.x1 and self.y <= y < self.y1
+
+    def intersects(self, other: "Box") -> bool:
+        return not (
+            other.x1 <= self.x or other.x >= self.x1 or other.y1 <= self.y or other.y >= self.y1
+        )
+
+
+def _split(total: int, fractions: Sequence[float], gap: int) -> list[tuple[int, int]]:
+    if not fractions:
+        raise RenderError("need at least one fraction")
+    if any(f < 0 for f in fractions):
+        raise RenderError(f"fractions must be non-negative: {list(fractions)}")
+    ssum = sum(fractions)
+    if ssum <= 0:
+        raise RenderError("fractions must sum to a positive value")
+    n = len(fractions)
+    usable = total - gap * (n - 1)
+    if usable < n:
+        raise RenderError(f"extent {total} too small for {n} parts with gap {gap}")
+    # largest-remainder allocation so sizes sum exactly to usable
+    raw = [f / ssum * usable for f in fractions]
+    sizes = [int(r) for r in raw]
+    remainder = usable - sum(sizes)
+    order = sorted(range(n), key=lambda i: -(raw[i] - sizes[i]))
+    for i in order[:remainder]:
+        sizes[i] += 1
+    out: list[tuple[int, int]] = []
+    cursor = 0
+    for s in sizes:
+        out.append((cursor, s))
+        cursor += s + gap
+    return out
+
+
+def hsplit(box: Box, fractions: Sequence[float], *, gap: int = 0) -> list[Box]:
+    """Split horizontally into side-by-side boxes with the given width fractions."""
+    return [Box(box.x + off, box.y, size, box.h) for off, size in _split(box.w, fractions, gap)]
+
+
+def vsplit(box: Box, fractions: Sequence[float], *, gap: int = 0) -> list[Box]:
+    """Split vertically into stacked boxes with the given height fractions."""
+    return [Box(box.x, box.y + off, box.w, size) for off, size in _split(box.h, fractions, gap)]
+
+
+def grid_boxes(box: Box, rows: int, cols: int, *, gap: int = 0) -> list[list[Box]]:
+    """Uniform rows x cols grid inside ``box`` (row-major nested lists)."""
+    if rows < 1 or cols < 1:
+        raise RenderError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    row_boxes = vsplit(box, [1.0] * rows, gap=gap)
+    return [hsplit(rb, [1.0] * cols, gap=gap) for rb in row_boxes]

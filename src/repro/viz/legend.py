@@ -1,0 +1,82 @@
+"""Colormap legends: the expression-scale bar drawn beside heatmaps.
+
+Users reading a red/green heatmap need to know what full-red means; the
+legend renders the colormap's value->color ramp with tick labels as
+display-list commands, so it tiles across the wall like everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import RenderError
+from repro.viz.colormap import DivergingColormap
+from repro.viz.layout import Box
+from repro.viz.scene import Command, HeatmapCmd, RectCmd, TextCmd
+from repro.viz.text import GLYPH_HEIGHT, text_width
+
+__all__ = ["legend_commands"]
+
+
+def legend_commands(
+    colormap: DivergingColormap,
+    box: Box,
+    *,
+    orientation: str = "horizontal",
+    n_ticks: int = 3,
+    text_color: tuple[int, int, int] = (220, 220, 220),
+    border_color: tuple[int, int, int] = (90, 90, 110),
+) -> list[Command]:
+    """Build the display-list commands for a color scale bar in ``box``.
+
+    The ramp spans ``[-saturation, +saturation]``; ``n_ticks`` labels are
+    spread across it (always including both ends and, for odd counts,
+    zero in the middle).
+    """
+    if orientation not in ("horizontal", "vertical"):
+        raise RenderError(f"orientation must be horizontal/vertical, got {orientation!r}")
+    if n_ticks < 2:
+        raise RenderError(f"need >= 2 ticks, got {n_ticks}")
+    if box.w < 20 or box.h < 10:
+        raise RenderError(f"legend box too small: {box.w}x{box.h}")
+
+    commands: list[Command] = []
+    sat = colormap.saturation
+    label_h = GLYPH_HEIGHT + 2
+
+    if orientation == "horizontal":
+        ramp_box = Box(box.x, box.y, box.w, max(3, box.h - label_h))
+        # the ramp itself is a 1-row heatmap over a linear value sweep
+        ramp_values = np.linspace(-sat, sat, max(box.w, 2))[None, :]
+        commands.append(
+            HeatmapCmd(ramp_box.x, ramp_box.y, ramp_box.w, ramp_box.h, ramp_values, colormap)
+        )
+        commands.append(RectCmd(ramp_box.x, ramp_box.y, ramp_box.w, 1, border_color))
+        commands.append(RectCmd(ramp_box.x, ramp_box.y1 - 1, ramp_box.w, 1, border_color))
+        for i in range(n_ticks):
+            t = i / (n_ticks - 1)
+            value = -sat + 2 * sat * t
+            label = _fmt(value)
+            x = box.x + int(t * (box.w - 1)) - text_width(label) // 2
+            x = min(max(x, box.x), box.x1 - text_width(label))
+            commands.append(TextCmd(x, ramp_box.y1 + 2, label, text_color))
+    else:
+        label_w = max(text_width(_fmt(-sat)), text_width(_fmt(sat))) + 2
+        ramp_box = Box(box.x, box.y, max(3, box.w - label_w), box.h)
+        ramp_values = np.linspace(sat, -sat, max(box.h, 2))[:, None]  # + on top
+        commands.append(
+            HeatmapCmd(ramp_box.x, ramp_box.y, ramp_box.w, ramp_box.h, ramp_values, colormap)
+        )
+        for i in range(n_ticks):
+            t = i / (n_ticks - 1)
+            value = sat - 2 * sat * t
+            y = box.y + int(t * (box.h - 1)) - GLYPH_HEIGHT // 2
+            y = min(max(y, box.y), box.y1 - GLYPH_HEIGHT)
+            commands.append(TextCmd(ramp_box.x1 + 2, y, _fmt(value), text_color))
+    return commands
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):+d}" if value else "0"
+    return f"{value:+.1f}"

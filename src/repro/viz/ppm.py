@@ -1,0 +1,73 @@
+"""PPM (P6) image encoding so rendered frames can be saved and inspected.
+
+PPM needs no external imaging library, round-trips exactly, and any
+viewer opens it — good enough for a reproduction whose assertions run on
+the pixel arrays themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.errors import DataFormatError
+
+__all__ = ["encode_ppm", "decode_ppm", "write_ppm", "read_ppm"]
+
+
+def encode_ppm(pixels: np.ndarray) -> bytes:
+    """Encode an (h, w, 3) uint8 array as binary PPM (P6)."""
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3 or arr.dtype != np.uint8:
+        raise DataFormatError(
+            f"pixels must be (h, w, 3) uint8, got shape {arr.shape} dtype {arr.dtype}"
+        )
+    h, w = arr.shape[:2]
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    return header + np.ascontiguousarray(arr).tobytes()
+
+
+def decode_ppm(data: bytes) -> np.ndarray:
+    """Decode binary PPM (P6) bytes back to an (h, w, 3) uint8 array."""
+    # header: magic, width, height, maxval — whitespace/comment separated
+    fields: list[bytes] = []
+    pos = 0
+    while len(fields) < 4:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        if start == pos:
+            raise DataFormatError("truncated PPM header")
+        fields.append(data[start:pos])
+    pos += 1  # single whitespace after maxval
+    magic, w_b, h_b, maxval_b = fields
+    if magic != b"P6":
+        raise DataFormatError(f"not a binary PPM (magic {magic!r})")
+    try:
+        w, h, maxval = int(w_b), int(h_b), int(maxval_b)
+    except ValueError:
+        raise DataFormatError("non-numeric PPM dimensions")
+    if maxval != 255:
+        raise DataFormatError(f"only maxval 255 supported, got {maxval}")
+    expected = w * h * 3
+    body = data[pos : pos + expected]
+    if len(body) != expected:
+        raise DataFormatError(
+            f"PPM body has {len(body)} bytes, expected {expected} for {w}x{h}"
+        )
+    return np.frombuffer(body, dtype=np.uint8).reshape(h, w, 3).copy()
+
+
+def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
+    Path(path).write_bytes(encode_ppm(pixels))
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    return decode_ppm(Path(path).read_bytes())

@@ -1,0 +1,165 @@
+"""Display list: retained-mode drawing commands with region rendering.
+
+ForestView builds one :class:`DisplayList` describing the entire virtual
+canvas (which may be wall-sized); rendering is then *region-addressed* —
+``render_region`` produces any sub-rectangle's pixels independently.
+Because every command draws as a pure function of absolute coordinates,
+tiles rendered on different nodes and composited are byte-identical to a
+single full render (asserted by the wall integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import RenderError
+from repro.viz.colormap import DivergingColormap
+from repro.viz.framebuffer import Color, Framebuffer
+from repro.viz.heatmap import render_heatmap_block
+from repro.viz.text import draw_text
+
+__all__ = ["RectCmd", "HeatmapCmd", "LineCmd", "TextCmd", "DisplayList"]
+
+
+@dataclass(frozen=True)
+class RectCmd:
+    """Filled axis-aligned rectangle."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+    color: Color
+
+    def bbox(self) -> tuple[int, int, int, int]:
+        return (self.x, self.y, self.w, self.h)
+
+    def draw(self, fb: Framebuffer, ox: int, oy: int) -> None:
+        fb.fill_rect(self.x - ox, self.y - oy, self.w, self.h, self.color)
+
+
+@dataclass(frozen=True)
+class HeatmapCmd:
+    """Expression block; ``values`` is referenced, not copied."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+    values: np.ndarray = field(repr=False)
+    colormap: DivergingColormap = field(repr=False)
+
+    def bbox(self) -> tuple[int, int, int, int]:
+        return (self.x, self.y, self.w, self.h)
+
+    def draw(self, fb: Framebuffer, ox: int, oy: int) -> None:
+        block = render_heatmap_block(
+            self.values,
+            self.colormap,
+            x=self.x,
+            y=self.y,
+            w=self.w,
+            h=self.h,
+            rx=ox,
+            ry=oy,
+            rw=fb.width,
+            rh=fb.height,
+        )
+        if block.size:
+            fb.blit_array(max(self.x, ox) - ox, max(self.y, oy) - oy, block)
+
+
+@dataclass(frozen=True)
+class LineCmd:
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    color: Color
+
+    def bbox(self) -> tuple[int, int, int, int]:
+        x = min(self.x0, self.x1)
+        y = min(self.y0, self.y1)
+        return (x, y, abs(self.x1 - self.x0) + 1, abs(self.y1 - self.y0) + 1)
+
+    def draw(self, fb: Framebuffer, ox: int, oy: int) -> None:
+        fb.line(self.x0 - ox, self.y0 - oy, self.x1 - ox, self.y1 - oy, self.color)
+
+
+@dataclass(frozen=True)
+class TextCmd:
+    x: int
+    y: int
+    text: str
+    color: Color
+    scale: int = 1
+
+    def bbox(self) -> tuple[int, int, int, int]:
+        from repro.viz.text import GLYPH_HEIGHT, text_width
+
+        return (self.x, self.y, text_width(self.text, scale=self.scale), GLYPH_HEIGHT * self.scale)
+
+    def draw(self, fb: Framebuffer, ox: int, oy: int) -> None:
+        draw_text(fb, self.x - ox, self.y - oy, self.text, self.color, scale=self.scale)
+
+
+Command = RectCmd | HeatmapCmd | LineCmd | TextCmd
+
+
+class DisplayList:
+    """An ordered list of drawing commands over a fixed virtual canvas."""
+
+    def __init__(self, width: int, height: int, *, background: Color = (0, 0, 0)) -> None:
+        if width < 1 or height < 1:
+            raise RenderError(f"canvas size must be positive, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = background
+        self.commands: list[Command] = []
+
+    def add(self, command: Command) -> None:
+        self.commands.append(command)
+
+    def extend(self, commands: Sequence[Command]) -> None:
+        self.commands.extend(commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    # -------------------------------------------------------------- rendering
+    def render_region(self, x: int, y: int, w: int, h: int) -> np.ndarray:
+        """Pixels of canvas region [x, x+w) x [y, y+h) as (h, w, 3) uint8.
+
+        The region must lie inside the canvas.  Commands whose bounding
+        box misses the region are skipped (the per-tile win that makes
+        wall rendering scale).
+        """
+        if w < 1 or h < 1:
+            raise RenderError(f"region size must be positive, got {w}x{h}")
+        if not (0 <= x and 0 <= y and x + w <= self.width and y + h <= self.height):
+            raise RenderError(
+                f"region ({x},{y},{w},{h}) exceeds canvas {self.width}x{self.height}"
+            )
+        fb = Framebuffer(w, h, background=self.background)
+        for cmd in self.commands:
+            cx, cy, cw, ch = cmd.bbox()
+            if cx + cw <= x or cx >= x + w or cy + ch <= y or cy >= y + h:
+                continue
+            cmd.draw(fb, x, y)
+        return fb.pixels
+
+    def render_full(self) -> np.ndarray:
+        """Render the whole canvas (the single-node reference path)."""
+        return self.render_region(0, 0, self.width, self.height)
+
+    def command_cost(self, x: int, y: int, w: int, h: int) -> int:
+        """Number of commands intersecting a region (scheduler load estimate)."""
+        count = 0
+        for cmd in self.commands:
+            cx, cy, cw, ch = cmd.bbox()
+            if not (cx + cw <= x or cx >= x + w or cy + ch <= y or cy >= y + h):
+                count += 1
+        return count

@@ -1,0 +1,129 @@
+"""Tiny 5x7 bitmap font for gene labels and pane titles.
+
+Glyphs are stored as 7 rows of 5-bit patterns.  Lowercase input is
+rendered with the uppercase glyphs (gene names are uppercase anyway);
+unknown characters draw as a hollow box so label bugs are visible rather
+than silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import RenderError
+from repro.viz.framebuffer import Color, Framebuffer
+
+__all__ = ["GLYPH_WIDTH", "GLYPH_HEIGHT", "text_width", "draw_text", "render_text_array"]
+
+GLYPH_WIDTH = 5
+GLYPH_HEIGHT = 7
+_SPACING = 1  # blank columns between glyphs
+
+# fmt: off
+_FONT: dict[str, tuple[int, ...]] = {
+    "A": (0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001),
+    "B": (0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110),
+    "C": (0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110),
+    "D": (0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110),
+    "E": (0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111),
+    "F": (0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000),
+    "G": (0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111),
+    "H": (0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001),
+    "I": (0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110),
+    "J": (0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100),
+    "K": (0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001),
+    "L": (0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111),
+    "M": (0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001),
+    "N": (0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001),
+    "O": (0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110),
+    "P": (0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000),
+    "Q": (0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101),
+    "R": (0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001),
+    "S": (0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110),
+    "T": (0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100),
+    "U": (0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110),
+    "V": (0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100),
+    "W": (0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010),
+    "X": (0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001),
+    "Y": (0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100),
+    "Z": (0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111),
+    "0": (0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110),
+    "1": (0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110),
+    "2": (0b01110, 0b10001, 0b00001, 0b00110, 0b01000, 0b10000, 0b11111),
+    "3": (0b11110, 0b00001, 0b00001, 0b01110, 0b00001, 0b00001, 0b11110),
+    "4": (0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010),
+    "5": (0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110),
+    "6": (0b01110, 0b10000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110),
+    "7": (0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000),
+    "8": (0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110),
+    "9": (0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00001, 0b01110),
+    " ": (0, 0, 0, 0, 0, 0, 0),
+    "-": (0, 0, 0, 0b01110, 0, 0, 0),
+    "_": (0, 0, 0, 0, 0, 0, 0b11111),
+    ":": (0, 0b00100, 0, 0, 0, 0b00100, 0),
+    ".": (0, 0, 0, 0, 0, 0b00110, 0b00110),
+    ",": (0, 0, 0, 0, 0b00110, 0b00110, 0b01000),
+    "/": (0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000),
+    "(": (0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010),
+    ")": (0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000),
+    "+": (0, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0),
+    "=": (0, 0, 0b11111, 0, 0b11111, 0, 0),
+    "<": (0b00010, 0b00100, 0b01000, 0b10000, 0b01000, 0b00100, 0b00010),
+    ">": (0b01000, 0b00100, 0b00010, 0b00001, 0b00010, 0b00100, 0b01000),
+    "*": (0, 0b10101, 0b01110, 0b11111, 0b01110, 0b10101, 0),
+    "%": (0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011),
+    "'": (0b00100, 0b00100, 0b01000, 0, 0, 0, 0),
+    "#": (0b01010, 0b11111, 0b01010, 0b01010, 0b01010, 0b11111, 0b01010),
+}
+# fmt: on
+_UNKNOWN = (0b11111, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11111)
+
+
+def _glyph(ch: str) -> tuple[int, ...]:
+    return _FONT.get(ch.upper(), _UNKNOWN)
+
+
+def text_width(text: str, *, scale: int = 1) -> int:
+    """Pixel width of ``text`` at the given integer scale."""
+    if not text:
+        return 0
+    return (len(text) * (GLYPH_WIDTH + _SPACING) - _SPACING) * scale
+
+
+def render_text_array(text: str, *, scale: int = 1) -> np.ndarray:
+    """Boolean (h, w) coverage mask for ``text`` (True = inked pixel)."""
+    if scale < 1:
+        raise RenderError(f"scale must be >= 1, got {scale}")
+    if not text:
+        return np.zeros((GLYPH_HEIGHT * scale, 0), dtype=bool)
+    w = len(text) * (GLYPH_WIDTH + _SPACING) - _SPACING
+    mask = np.zeros((GLYPH_HEIGHT, w), dtype=bool)
+    for i, ch in enumerate(text):
+        rows = _glyph(ch)
+        x0 = i * (GLYPH_WIDTH + _SPACING)
+        for r, bits in enumerate(rows):
+            for c in range(GLYPH_WIDTH):
+                if bits & (1 << (GLYPH_WIDTH - 1 - c)):
+                    mask[r, x0 + c] = True
+    if scale > 1:
+        mask = np.repeat(np.repeat(mask, scale, axis=0), scale, axis=1)
+    return mask
+
+
+def draw_text(
+    fb: Framebuffer, x: int, y: int, text: str, color: Color, *, scale: int = 1
+) -> None:
+    """Draw ``text`` with its top-left corner at (x, y), clipped at edges."""
+    mask = render_text_array(text, scale=scale)
+    if mask.size == 0:
+        return
+    h, w = mask.shape
+    x0 = max(0, x)
+    y0 = max(0, y)
+    x1 = min(fb.width, x + w)
+    y1 = min(fb.height, y + h)
+    if x0 >= x1 or y0 >= y1:
+        return
+    sub = mask[y0 - y : y1 - y, x0 - x : x1 - x]
+    region = fb.pixels[y0:y1, x0:x1]
+    region[sub] = np.asarray(color, dtype=np.uint8)

@@ -1,0 +1,56 @@
+"""Simulated scalable display wall (paper Figure 3, DESIGN.md §2 substitution).
+
+A master rank distributes display-list tiles to render-node ranks over
+the MPI-style communicator, composites the returned pixels, and enforces
+a swap-lock barrier per frame.  Schedulers: static blocks, cost-balanced
+LPT, dynamic master-worker, and work stealing with fault injection.
+"""
+
+from repro.wall.geometry import WallGeometry, TileSpec, DESKTOP_2MPIXEL
+from repro.wall.protocol import (
+    FrameBegin,
+    RenderTile,
+    TileDone,
+    NodeFailed,
+    Shutdown,
+    TAG_CONTROL,
+    TAG_TASK,
+    TAG_RESULT,
+)
+from repro.wall.scheduler import static_assignment, cost_balanced_assignment, SCHEDULE_MODES
+from repro.wall.compositor import compose_tiles
+from repro.wall.metrics import FrameMetrics
+from repro.wall.cluster import DisplayWall, WallFrame
+from repro.wall.input import PointerEvent, HitResult, WallInputRouter
+from repro.wall.frames import SequenceStats, FrameSequenceDriver
+from repro.wall.bandwidth import rle_encode, rle_decode, FrameTraffic, estimate_traffic
+
+__all__ = [
+    "WallGeometry",
+    "TileSpec",
+    "DESKTOP_2MPIXEL",
+    "FrameBegin",
+    "RenderTile",
+    "TileDone",
+    "NodeFailed",
+    "Shutdown",
+    "TAG_CONTROL",
+    "TAG_TASK",
+    "TAG_RESULT",
+    "static_assignment",
+    "cost_balanced_assignment",
+    "SCHEDULE_MODES",
+    "compose_tiles",
+    "FrameMetrics",
+    "DisplayWall",
+    "WallFrame",
+    "PointerEvent",
+    "HitResult",
+    "WallInputRouter",
+    "SequenceStats",
+    "FrameSequenceDriver",
+    "rle_encode",
+    "rle_decode",
+    "FrameTraffic",
+    "estimate_traffic",
+]

@@ -1,0 +1,126 @@
+"""Communication-cost accounting for the wall's frame protocol.
+
+On a real cluster the binding constraint is usually the network: every
+frame moves each tile's pixels from its render node to the display (or
+compositor).  This module provides (a) a run-length codec for tile
+pixels — heatmap frames are full of constant runs (backgrounds, saturated
+cells), so RLE is the classic cheap win — and (b) a per-frame traffic
+model that turns tile sizes, codec ratios and a link bandwidth into the
+achievable frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import DataFormatError, ValidationError
+from repro.wall.geometry import WallGeometry
+
+__all__ = ["rle_encode", "rle_decode", "FrameTraffic", "estimate_traffic"]
+
+_MAX_RUN = 255
+
+
+def rle_encode(pixels: np.ndarray) -> bytes:
+    """Run-length encode an (h, w, 3) uint8 image.
+
+    Format: 8-byte header (h, w as uint32 big-endian) then a sequence of
+    4-byte records ``(run_length, r, g, b)`` scanning row-major.  Runs
+    never cross row boundaries (keeps decode trivially parallel by row).
+    """
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3 or arr.dtype != np.uint8:
+        raise DataFormatError(
+            f"pixels must be (h, w, 3) uint8, got {arr.shape} {arr.dtype}"
+        )
+    h, w = arr.shape[:2]
+    out = bytearray()
+    out += int(h).to_bytes(4, "big") + int(w).to_bytes(4, "big")
+    for row in arr:
+        # boundaries where the pixel changes
+        change = np.any(row[1:] != row[:-1], axis=1)
+        starts = np.concatenate(([0], np.flatnonzero(change) + 1))
+        ends = np.concatenate((starts[1:], [w]))
+        for s, e in zip(starts, ends):
+            run = int(e - s)
+            r, g, b = (int(v) for v in row[s])
+            while run > 0:
+                chunk = min(run, _MAX_RUN)
+                out += bytes((chunk, r, g, b))
+                run -= chunk
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    if len(data) < 8:
+        raise DataFormatError("RLE payload shorter than its header")
+    h = int.from_bytes(data[0:4], "big")
+    w = int.from_bytes(data[4:8], "big")
+    if h < 1 or w < 1:
+        raise DataFormatError(f"invalid RLE dimensions {h}x{w}")
+    body = data[8:]
+    if len(body) % 4 != 0:
+        raise DataFormatError("RLE body is not a whole number of records")
+    records = np.frombuffer(body, dtype=np.uint8).reshape(-1, 4)
+    runs = records[:, 0].astype(np.int64)
+    total = int(runs.sum())
+    if total != h * w:
+        raise DataFormatError(
+            f"RLE runs cover {total} pixels, image needs {h * w}"
+        )
+    flat = np.repeat(records[:, 1:4], runs, axis=0)
+    return flat.reshape(h, w, 3).copy()
+
+
+@dataclass(frozen=True)
+class FrameTraffic:
+    """Bytes moved for one frame and what they imply for a link."""
+
+    raw_bytes: int  # uncompressed tile pixels
+    compressed_bytes: int  # after the codec
+    n_tiles: int
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            raise ValidationError("compressed size is zero")
+        return self.raw_bytes / self.compressed_bytes
+
+    def max_fps(self, link_bytes_per_second: float, *, compressed: bool = True) -> float:
+        """Frame rate the link sustains for this traffic volume."""
+        if link_bytes_per_second <= 0:
+            raise ValidationError("link bandwidth must be positive")
+        per_frame = self.compressed_bytes if compressed else self.raw_bytes
+        if per_frame == 0:
+            raise ValidationError("frame moves zero bytes")
+        return link_bytes_per_second / per_frame
+
+
+def estimate_traffic(
+    geometry: WallGeometry,
+    tile_pixels: dict[int, np.ndarray],
+    *,
+    codec: str = "rle",
+) -> FrameTraffic:
+    """Measure one frame's tile traffic under a codec.
+
+    ``tile_pixels`` maps tile id -> rendered pixels (as produced by
+    :class:`~repro.wall.cluster.WallFrame`).  ``codec`` is ``"rle"`` or
+    ``"none"``.
+    """
+    if codec not in ("rle", "none"):
+        raise ValidationError(f"unknown codec {codec!r}")
+    if not tile_pixels:
+        raise ValidationError("no tile pixels supplied")
+    valid_ids = {t.tile_id for t in geometry.tiles()}
+    raw = 0
+    compressed = 0
+    for tile_id, pixels in tile_pixels.items():
+        if tile_id not in valid_ids:
+            raise ValidationError(f"tile id {tile_id} not in geometry")
+        raw += pixels.nbytes
+        compressed += len(rle_encode(pixels)) if codec == "rle" else pixels.nbytes
+    return FrameTraffic(raw_bytes=raw, compressed_bytes=compressed, n_tiles=len(tile_pixels))

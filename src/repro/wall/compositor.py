@@ -1,0 +1,48 @@
+"""Assemble rendered tiles back into one canvas image."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import RenderError
+from repro.viz.layout import Box
+
+__all__ = ["compose_tiles"]
+
+
+def compose_tiles(
+    canvas_width: int,
+    canvas_height: int,
+    tiles: list[tuple[Box, np.ndarray]],
+    *,
+    background: tuple[int, int, int] = (0, 0, 0),
+    require_full_coverage: bool = False,
+) -> np.ndarray:
+    """Paste ``(region, pixels)`` tiles onto a canvas-sized image.
+
+    Overlaps are rejected (a tile grid never overlaps; an overlap means a
+    scheduling bug).  With ``require_full_coverage`` the composite fails
+    unless every canvas pixel was written — used by tests on bezel-free
+    geometries where full coverage is expected.
+    """
+    if canvas_width < 1 or canvas_height < 1:
+        raise RenderError(f"canvas must be positive, got {canvas_width}x{canvas_height}")
+    canvas = np.empty((canvas_height, canvas_width, 3), dtype=np.uint8)
+    canvas[:] = np.asarray(background, dtype=np.uint8)
+    covered = np.zeros((canvas_height, canvas_width), dtype=bool)
+    for region, pixels in tiles:
+        if pixels.shape != (region.h, region.w, 3):
+            raise RenderError(
+                f"tile pixels {pixels.shape} do not match region {region.w}x{region.h}"
+            )
+        if region.x < 0 or region.y < 0 or region.x1 > canvas_width or region.y1 > canvas_height:
+            raise RenderError(f"tile region {region} exceeds canvas")
+        patch = covered[region.y : region.y1, region.x : region.x1]
+        if patch.any():
+            raise RenderError(f"tile region {region} overlaps previously composed pixels")
+        canvas[region.y : region.y1, region.x : region.x1] = pixels
+        patch[:] = True
+    if require_full_coverage and not covered.all():
+        missing = int((~covered).sum())
+        raise RenderError(f"composite left {missing} canvas pixels uncovered")
+    return canvas

@@ -1,0 +1,118 @@
+"""Multi-frame sequences: interactive pan/zoom animation on the wall.
+
+One frame is a snapshot; interaction on the wall is a *sequence* of
+frames under the swap-lock discipline (frame N visible everywhere before
+frame N+1 starts).  :class:`FrameSequenceDriver` runs a scripted
+interaction — each step mutates application state and re-renders — and
+accumulates the per-frame metrics an interactivity study needs
+(sustained frame rate, per-stage cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.viz.scene import DisplayList
+from repro.wall.cluster import DisplayWall, WallFrame
+
+__all__ = ["SequenceStats", "FrameSequenceDriver"]
+
+
+@dataclass
+class SequenceStats:
+    """Aggregate results of a rendered frame sequence."""
+
+    n_frames: int
+    total_seconds: float
+    frame_seconds: list[float] = field(default_factory=list)
+    update_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def fps(self) -> float:
+        if self.total_seconds <= 0:
+            raise ValidationError("sequence recorded no elapsed time")
+        return self.n_frames / self.total_seconds
+
+    def mean_frame_seconds(self) -> float:
+        if not self.frame_seconds:
+            raise ValidationError("no frames recorded")
+        return sum(self.frame_seconds) / len(self.frame_seconds)
+
+    def worst_frame_seconds(self) -> float:
+        if not self.frame_seconds:
+            raise ValidationError("no frames recorded")
+        return max(self.frame_seconds)
+
+
+class FrameSequenceDriver:
+    """Run a scripted interaction as a frame sequence on a wall.
+
+    Parameters
+    ----------
+    wall:
+        The display wall to render on.
+    build_frame:
+        Produces the current display list (called once per frame after
+        the step mutates state).
+    """
+
+    def __init__(self, wall: DisplayWall, build_frame: Callable[[], DisplayList]) -> None:
+        self.wall = wall
+        self.build_frame = build_frame
+        self.frames: list[WallFrame] = []
+
+    def run(
+        self,
+        steps: list[Callable[[int], None]],
+        *,
+        keep_pixels: bool = False,
+        verify_against_serial: bool = False,
+    ) -> SequenceStats:
+        """Execute ``steps`` (one per frame) and render after each.
+
+        ``verify_against_serial`` re-renders every frame on a single
+        surface and asserts byte-identity — the sequence-level version of
+        the tiling invariant (slow; tests only).
+        """
+        if not steps:
+            raise ValidationError("sequence needs at least one step")
+        self.frames = []
+        stats = SequenceStats(n_frames=len(steps), total_seconds=0.0)
+        t_start = time.perf_counter()
+        for frame_no, step in enumerate(steps):
+            t0 = time.perf_counter()
+            step(frame_no)
+            display_list = self.build_frame()
+            stats.update_seconds.append(time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            frame = self.wall.render(display_list)
+            stats.frame_seconds.append(time.perf_counter() - t0)
+            if verify_against_serial:
+                reference = display_list.render_full()
+                if not np.array_equal(frame.pixels, reference):
+                    raise ValidationError(f"frame {frame_no} diverged from serial render")
+            if keep_pixels:
+                self.frames.append(frame)
+            else:
+                self.frames.append(
+                    WallFrame(pixels=np.empty((0, 0, 3), dtype=np.uint8), metrics=frame.metrics)
+                )
+        stats.total_seconds = time.perf_counter() - t_start
+        return stats
+
+    @staticmethod
+    def scroll_steps(app, rows_per_frame: int, n_frames: int) -> list[Callable[[int], None]]:
+        """A canned interaction: scroll the shared zoom viewport each frame."""
+        if n_frames < 1 or rows_per_frame < 0:
+            raise ValidationError("need n_frames >= 1 and rows_per_frame >= 0")
+
+        def make_step(_frame_no: int) -> None:
+            app.sync_layer.shared_viewport.scroll_by(rows_per_frame)
+
+        return [make_step for _ in range(n_frames)]

@@ -1,0 +1,119 @@
+"""Tiled display wall geometry.
+
+The Princeton wall is a grid of projectors, each a fixed-resolution tile
+of one large virtual canvas; bezels/gaps between physical displays eat
+canvas pixels that are never shown.  This module does the arithmetic:
+canvas size, per-tile canvas regions, and the pixel-capacity numbers the
+FIG3 bench reports against the paper's "two orders of magnitude" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+from repro.viz.layout import Box
+
+__all__ = ["TileSpec", "WallGeometry", "DESKTOP_2MPIXEL"]
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One display tile: its grid position and the canvas region it shows."""
+
+    tile_id: int
+    row: int
+    col: int
+    region: Box
+
+
+@dataclass(frozen=True)
+class WallGeometry:
+    """A rows x cols grid of tile_width x tile_height displays.
+
+    ``bezel_px`` is the canvas width hidden between adjacent tiles (0 for
+    a seamless projector wall, > 0 for LCD grids).
+    """
+
+    rows: int
+    cols: int
+    tile_width: int
+    tile_height: int
+    bezel_px: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValidationError(f"grid must be >= 1x1, got {self.rows}x{self.cols}")
+        if self.tile_width < 1 or self.tile_height < 1:
+            raise ValidationError(
+                f"tile resolution must be positive, got {self.tile_width}x{self.tile_height}"
+            )
+        if self.bezel_px < 0:
+            raise ValidationError(f"bezel_px must be >= 0, got {self.bezel_px}")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def canvas_width(self) -> int:
+        return self.cols * self.tile_width + (self.cols - 1) * self.bezel_px
+
+    @property
+    def canvas_height(self) -> int:
+        return self.rows * self.tile_height + (self.rows - 1) * self.bezel_px
+
+    @property
+    def n_tiles(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def displayed_pixels(self) -> int:
+        """Pixels actually visible (excludes bezel-hidden canvas)."""
+        return self.n_tiles * self.tile_width * self.tile_height
+
+    @property
+    def canvas_pixels(self) -> int:
+        return self.canvas_width * self.canvas_height
+
+    def capability_ratio(self, reference_pixels: int) -> float:
+        """Displayed pixels relative to a reference display (paper §1's 'two
+        orders of magnitude' compares against a 2-Mpixel desktop)."""
+        if reference_pixels < 1:
+            raise ValidationError(f"reference_pixels must be >= 1, got {reference_pixels}")
+        return self.displayed_pixels / reference_pixels
+
+    # ------------------------------------------------------------------ tiles
+    def tile_region(self, row: int, col: int) -> Box:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValidationError(
+                f"tile ({row},{col}) outside grid {self.rows}x{self.cols}"
+            )
+        x = col * (self.tile_width + self.bezel_px)
+        y = row * (self.tile_height + self.bezel_px)
+        return Box(x, y, self.tile_width, self.tile_height)
+
+    def tiles(self) -> list[TileSpec]:
+        """All tiles in row-major order with stable ids."""
+        out: list[TileSpec] = []
+        for r in range(self.rows):
+            for c in range(self.cols):
+                out.append(TileSpec(tile_id=r * self.cols + c, row=r, col=c,
+                                    region=self.tile_region(r, c)))
+        return out
+
+    def tile_at(self, x: int, y: int) -> TileSpec | None:
+        """The tile displaying canvas pixel (x, y), or None if it falls in a bezel."""
+        if not (0 <= x < self.canvas_width and 0 <= y < self.canvas_height):
+            raise ValidationError(f"({x},{y}) outside canvas")
+        stride_x = self.tile_width + self.bezel_px
+        stride_y = self.tile_height + self.bezel_px
+        col, offx = divmod(x, stride_x)
+        row, offy = divmod(y, stride_y)
+        if offx >= self.tile_width or offy >= self.tile_height:
+            return None  # bezel
+        return TileSpec(
+            tile_id=row * self.cols + col, row=row, col=col,
+            region=self.tile_region(row, col),
+        )
+
+
+#: The paper's desktop reference: "Today's 2-million-pixel, 30-inch desktop display".
+DESKTOP_2MPIXEL = WallGeometry(rows=1, cols=1, tile_width=1600, tile_height=1200)

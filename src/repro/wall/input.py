@@ -1,0 +1,160 @@
+"""Input-event routing for the display wall.
+
+The paper's wall is interactive: "user interaction like selecting
+clusters of genes or tree nodes, panning and zooming views" (§2)
+happens *on the wall*, where a pointer position is a canvas coordinate
+that must be routed to the right tile, pane, and view region before it
+can mean anything to the application.
+
+:class:`WallInputRouter` performs that translation: canvas point ->
+tile (or bezel), pane, view (title/global/zoom), and data row — and
+turns drag gestures over a global view into ForestView region
+selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ValidationError
+from repro.viz.layout import Box, hsplit
+from repro.wall.geometry import WallGeometry
+
+if TYPE_CHECKING:  # core imports wall; keep this edge lazy to avoid a cycle
+    from repro.core.app import ForestView
+    from repro.core.rendering import FrameStyle
+
+__all__ = ["PointerEvent", "HitResult", "WallInputRouter"]
+
+
+@dataclass(frozen=True)
+class PointerEvent:
+    """A pointer interaction in wall-canvas coordinates."""
+
+    x: int
+    y: int
+    kind: str = "press"  # press | drag | release
+
+
+@dataclass(frozen=True)
+class HitResult:
+    """What lives under a canvas point."""
+
+    tile_id: int | None  # None = bezel (between physical displays)
+    pane_name: str | None  # None = outside every pane
+    view: str | None  # "title" | "global" | "zoom" | "status" | None
+    data_row: int | None  # global-view display row under the pointer
+
+
+class WallInputRouter:
+    """Translate wall-canvas pointer events into ForestView operations.
+
+    The router recomputes the same pane layout the renderer uses (the
+    layout is a pure function of canvas size and pane count), so hits
+    agree with pixels exactly.
+    """
+
+    def __init__(
+        self,
+        app: "ForestView",
+        geometry: WallGeometry,
+        *,
+        style: "type[FrameStyle] | None" = None,
+    ) -> None:
+        if style is None:
+            from repro.core.rendering import FrameStyle
+
+            style = FrameStyle
+        self.app = app
+        self.geometry = geometry
+        self.style = style
+        self._drag_anchor: tuple[str, int] | None = None  # (pane, row)
+
+    # ------------------------------------------------------------- geometry
+    def _layout(self) -> tuple[list[Box], Box]:
+        style = self.style
+        canvas = Box(0, 0, self.geometry.canvas_width, self.geometry.canvas_height).inset(
+            style.margin
+        )
+        body = Box(canvas.x, canvas.y, canvas.w, canvas.h - style.status_height - style.view_gap)
+        status = Box(canvas.x, body.y1 + style.view_gap, canvas.w, style.status_height)
+        panes = hsplit(body, [1.0] * len(self.app.panes), gap=style.pane_gap)
+        return panes, status
+
+    def _pane_views(self, pane_box: Box, pane) -> tuple[Box, Box, Box]:
+        style = self.style
+        inner = pane_box.inset(1)
+        title = Box(inner.x, inner.y, inner.w, style.title_height)
+        rest = Box(
+            inner.x, inner.y + style.title_height + 1, inner.w,
+            inner.h - style.title_height - 1,
+        )
+        gf = pane.preferences.global_fraction
+        global_h = int(rest.h * gf)
+        global_box = Box(rest.x, rest.y, rest.w, global_h)
+        zoom_box = Box(
+            rest.x, rest.y + global_h + style.view_gap, rest.w,
+            rest.h - global_h - style.view_gap,
+        )
+        return title, global_box, zoom_box
+
+    # ------------------------------------------------------------------ hits
+    def hit_test(self, x: int, y: int) -> HitResult:
+        """Identify the tile, pane, view and data row under (x, y)."""
+        if not (0 <= x < self.geometry.canvas_width and 0 <= y < self.geometry.canvas_height):
+            raise ValidationError(f"({x},{y}) outside the wall canvas")
+        tile = self.geometry.tile_at(x, y)
+        tile_id = tile.tile_id if tile is not None else None
+
+        panes, status = self._layout()
+        if status.contains(x, y):
+            return HitResult(tile_id, None, "status", None)
+        for pane, box in zip(self.app.panes, panes):
+            if not box.contains(x, y):
+                continue
+            title, global_box, zoom_box = self._pane_views(box, pane)
+            if title.contains(x, y):
+                return HitResult(tile_id, pane.name, "title", None)
+            if global_box.contains(x, y):
+                row = (y - global_box.y) * pane.n_genes // max(1, global_box.h)
+                row = min(max(row, 0), pane.n_genes - 1)
+                return HitResult(tile_id, pane.name, "global", row)
+            if zoom_box.contains(x, y):
+                return HitResult(tile_id, pane.name, "zoom", None)
+            return HitResult(tile_id, pane.name, None, None)
+        return HitResult(tile_id, None, None, None)
+
+    # --------------------------------------------------------------- gestures
+    def handle(self, event: PointerEvent):
+        """Process one pointer event; a press->release drag over a global
+        view becomes a region selection (the paper's mouse-highlight
+        subset method).  Returns the created selection on release, else
+        None.
+        """
+        hit = self.hit_test(event.x, event.y)
+        if event.kind == "press":
+            if hit.view == "global" and hit.data_row is not None:
+                self._drag_anchor = (hit.pane_name, hit.data_row)
+            else:
+                self._drag_anchor = None
+            return None
+        if event.kind == "release":
+            anchor = self._drag_anchor
+            self._drag_anchor = None
+            if anchor is None or hit.pane_name != anchor[0] or hit.data_row is None:
+                return None
+            pane_name, start = anchor
+            lo, hi = sorted((start, hit.data_row))
+            return self.app.select_region(pane_name, lo, hi + 1)
+        return None  # drag events only matter at release
+
+    def drag_select(self, pane_name: str, x: int, y0: int, y1: int):
+        """Convenience: a vertical drag at canvas column ``x`` from y0 to y1."""
+        self.handle(PointerEvent(x, y0, "press"))
+        result = self.handle(PointerEvent(x, y1, "release"))
+        if result is None:
+            raise ValidationError(
+                f"drag at x={x} did not land on the global view of {pane_name!r}"
+            )
+        return result

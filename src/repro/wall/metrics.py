@@ -1,0 +1,64 @@
+"""Per-frame performance accounting for the simulated wall."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+__all__ = ["FrameMetrics"]
+
+
+@dataclass
+class FrameMetrics:
+    """What one rendered frame cost.
+
+    ``busy_seconds[r]`` is the total render time node ``r`` spent on its
+    tiles; ``frame_seconds`` is wall-clock start-to-composite.  Speedup is
+    estimated as total busy time over frame time — the usual "how much
+    work happened per unit wall-clock" measure for a master/worker frame.
+    """
+
+    frame_id: int
+    n_tiles: int
+    n_nodes: int
+    frame_seconds: float
+    busy_seconds: dict[int, float] = field(default_factory=dict)
+    tiles_per_node: dict[int, int] = field(default_factory=dict)
+    failed_nodes: tuple[int, ...] = ()
+
+    def total_busy(self) -> float:
+        return float(sum(self.busy_seconds.values()))
+
+    def parallel_speedup(self) -> float:
+        """Estimated speedup over a single node doing all tile work serially."""
+        if self.frame_seconds <= 0:
+            raise ValidationError("frame_seconds must be positive to compute speedup")
+        return self.total_busy() / self.frame_seconds
+
+    def efficiency(self) -> float:
+        """Speedup / active nodes (1.0 = perfect scaling)."""
+        active = self.n_nodes - len(self.failed_nodes)
+        if active < 1:
+            raise ValidationError("no active nodes")
+        return self.parallel_speedup() / active
+
+    def load_imbalance(self) -> float:
+        """max/mean busy seconds across nodes that did work (1.0 = even)."""
+        values = [v for v in self.busy_seconds.values() if v > 0]
+        if not values:
+            return 1.0
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else 1.0
+
+    def summary_row(self) -> dict[str, float]:
+        return {
+            "frame_id": float(self.frame_id),
+            "n_tiles": float(self.n_tiles),
+            "n_nodes": float(self.n_nodes),
+            "frame_seconds": self.frame_seconds,
+            "total_busy_seconds": self.total_busy(),
+            "speedup": self.parallel_speedup(),
+            "efficiency": self.efficiency(),
+            "imbalance": self.load_imbalance(),
+        }

@@ -1,0 +1,70 @@
+"""Message types of the wall's frame protocol.
+
+One frame proceeds master -> nodes: ``FrameBegin`` (broadcast of the
+display list), per-tile ``RenderTile`` requests, ``TileDone`` replies,
+then a swap-lock barrier so every tile of frame N is on screen before
+any tile of frame N+1 — the classic synchronized-swap discipline of
+tiled display systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.viz.layout import Box
+
+__all__ = [
+    "TAG_CONTROL",
+    "TAG_TASK",
+    "TAG_RESULT",
+    "FrameBegin",
+    "RenderTile",
+    "TileDone",
+    "NodeFailed",
+    "Shutdown",
+]
+
+TAG_CONTROL = 1
+TAG_TASK = 2
+TAG_RESULT = 3
+
+
+@dataclass(frozen=True)
+class FrameBegin:
+    """Broadcast to all nodes: a new frame's display list follows by reference."""
+
+    frame_id: int
+
+
+@dataclass(frozen=True)
+class RenderTile:
+    """Master -> node: render this canvas region for this frame."""
+
+    frame_id: int
+    tile_id: int
+    region: Box
+
+
+@dataclass(frozen=True)
+class TileDone:
+    """Node -> master: finished pixels for one tile."""
+
+    frame_id: int
+    tile_id: int
+    pixels: np.ndarray = field(repr=False)
+    node_rank: int = -1
+    render_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class NodeFailed:
+    """Node -> master: this node is going down (simulated fault injection)."""
+
+    node_rank: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Master -> node: frame loop is over, exit cleanly."""

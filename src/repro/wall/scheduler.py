@@ -1,0 +1,43 @@
+"""Tile-to-node scheduling policies.
+
+Static assignment splits the tile list up front (cheap, but load follows
+content); cost-balanced assignment weighs tiles by how many display-list
+commands intersect them (the LPT heuristic); dynamic scheduling is
+implemented inside the master loop (first-come first-served) and the
+work-stealing mode delegates to :class:`repro.parallel.WorkStealingPool`.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.partition import balanced_partition, block_partition
+from repro.util.errors import ValidationError
+from repro.viz.scene import DisplayList
+from repro.wall.geometry import TileSpec
+
+__all__ = ["static_assignment", "cost_balanced_assignment", "SCHEDULE_MODES"]
+
+SCHEDULE_MODES = ("static", "balanced", "dynamic", "workstealing")
+
+
+def static_assignment(tiles: list[TileSpec], n_nodes: int) -> dict[int, list[TileSpec]]:
+    """Contiguous block split of the row-major tile list across nodes."""
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    parts = block_partition(len(tiles), n_nodes)
+    return {node: [tiles[i] for i in rng] for node, rng in enumerate(parts)}
+
+
+def cost_balanced_assignment(
+    tiles: list[TileSpec], n_nodes: int, display_list: DisplayList
+) -> dict[int, list[TileSpec]]:
+    """LPT assignment using intersecting-command counts as tile weights."""
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    weights = [
+        float(
+            display_list.command_cost(t.region.x, t.region.y, t.region.w, t.region.h) + 1
+        )
+        for t in tiles
+    ]
+    parts = balanced_partition(weights, n_nodes)
+    return {node: [tiles[i] for i in idxs] for node, idxs in enumerate(parts)}

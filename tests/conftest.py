@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+Expensive synthetic collections are session-scoped; tests must not
+mutate them (mutating tests build their own instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.compendium import Compendium
+from repro.data.matrix import ExpressionMatrix
+from repro.synth import (
+    make_annotated_ontology,
+    make_case_study,
+    make_simple_dataset,
+    make_spell_compendium,
+    systematic_names,
+)
+
+
+@pytest.fixture
+def small_matrix() -> ExpressionMatrix:
+    """4 genes x 3 conditions with one missing value, hand-knowable numbers."""
+    values = np.array(
+        [
+            [1.0, -1.0, 0.5],
+            [2.0, np.nan, -0.5],
+            [0.0, 0.0, 0.0],
+            [-1.5, 1.5, 1.0],
+        ]
+    )
+    return ExpressionMatrix(
+        values,
+        ["G1", "G2", "G3", "G4"],
+        ["c1", "c2", "c3"],
+        gene_names=["ALPHA", "BETA", "GAMMA", "DELTA"],
+    )
+
+
+@pytest.fixture
+def simple_dataset():
+    return make_simple_dataset(n_genes=40, n_conditions=10, n_module_genes=10, seed=101)
+
+
+@pytest.fixture
+def clustered_dataset(simple_dataset):
+    return simple_dataset.clustered()
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """(compendium, truth) for the §4 scenario — read-only."""
+    return make_case_study(n_genes=160, n_conditions=12, n_knockouts=15, seed=42)
+
+
+@pytest.fixture(scope="session")
+def spell_setup():
+    """(compendium, truth) with a planted SPELL-findable module — read-only."""
+    return make_spell_compendium(
+        n_datasets=8,
+        n_relevant=3,
+        n_genes=150,
+        n_conditions=12,
+        module_size=15,
+        query_size=4,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def ontology_setup():
+    """(ontology, annotations, truth) with one planted enriched term — read-only."""
+    genes = systematic_names(80)
+    onto, store, truth = make_annotated_ontology(
+        genes,
+        n_terms=120,
+        annotations_per_gene=2.5,
+        planted={"planted stress response": genes[:12]},
+        seed=13,
+    )
+    return onto, store, truth, genes
+
+
+def fresh_compendium(n_datasets: int = 3, seed: int = 0) -> Compendium:
+    """Small mutable compendium helper for tests that reorder/add datasets."""
+    datasets = [
+        make_simple_dataset(name=f"ds{i}", n_genes=30, n_conditions=8, seed=seed + i)
+        for i in range(n_datasets)
+    ]
+    return Compendium(datasets)

@@ -1,0 +1,102 @@
+"""Tests for the wall's communication model: RLE codec + frame traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ForestView
+from repro.synth import make_stress_compendium
+from repro.util.errors import DataFormatError, ValidationError
+from repro.wall import (
+    DisplayWall,
+    FrameTraffic,
+    WallGeometry,
+    estimate_traffic,
+    rle_decode,
+    rle_encode,
+)
+
+
+class TestRleCodec:
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(0)
+        pixels = rng.integers(0, 256, size=(13, 17, 3), dtype=np.uint8)
+        assert np.array_equal(rle_decode(rle_encode(pixels)), pixels)
+
+    @given(h=st.integers(1, 20), w=st.integers(1, 20), seed=st.integers(0, 2000),
+           n_colors=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, h, w, seed, n_colors):
+        rng = np.random.default_rng(seed)
+        palette = rng.integers(0, 256, size=(n_colors, 3), dtype=np.uint8)
+        pixels = palette[rng.integers(0, n_colors, size=(h, w))]
+        assert np.array_equal(rle_decode(rle_encode(pixels)), pixels)
+
+    def test_constant_image_compresses_hard(self):
+        pixels = np.zeros((100, 300, 3), dtype=np.uint8)
+        encoded = rle_encode(pixels)
+        # 100 rows x 2 records (300 = 255 + 45) x 4 bytes + 8 header
+        assert len(encoded) == 8 + 100 * 2 * 4
+        assert len(encoded) < pixels.nbytes / 50
+
+    def test_worst_case_no_smaller_than_4x(self):
+        rng = np.random.default_rng(1)
+        pixels = rng.integers(0, 256, size=(10, 50, 3), dtype=np.uint8)
+        encoded = rle_encode(pixels)
+        # each pixel may need its own 4-byte record, plus header
+        assert len(encoded) <= 8 + pixels.shape[0] * pixels.shape[1] * 4
+
+    def test_long_run_chunking(self):
+        pixels = np.full((1, 1000, 3), 7, dtype=np.uint8)
+        assert np.array_equal(rle_decode(rle_encode(pixels)), pixels)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(DataFormatError):
+            rle_encode(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(DataFormatError):
+            rle_encode(np.zeros((4, 4, 3), dtype=np.float64))
+        with pytest.raises(DataFormatError):
+            rle_decode(b"short")
+        good = rle_encode(np.zeros((2, 2, 3), dtype=np.uint8))
+        with pytest.raises(DataFormatError):
+            rle_decode(good[:-1])  # ragged body
+        with pytest.raises(DataFormatError):
+            rle_decode(good[:8] + good[8:] * 2)  # run total mismatch
+
+
+class TestFrameTraffic:
+    def test_traffic_from_rendered_frame(self):
+        comp = make_stress_compendium(n_genes=120, n_conditions=10, seed=17)
+        app = ForestView.from_compendium(comp)
+        geo = WallGeometry(rows=2, cols=2, tile_width=220, tile_height=160)
+        wall = DisplayWall(geo, n_nodes=2, schedule="dynamic")
+        frame = app.render_on_wall(wall)
+        traffic = estimate_traffic(geo, frame.tile_pixels)
+        assert traffic.n_tiles == 4
+        assert traffic.raw_bytes == 4 * 220 * 160 * 3
+        # application frames have large flat regions: RLE must win
+        assert traffic.compression_ratio > 1.5
+
+    def test_fps_model(self):
+        traffic = FrameTraffic(raw_bytes=10_000_000, compressed_bytes=1_000_000, n_tiles=4)
+        gigabit = 125_000_000  # bytes/s
+        assert traffic.max_fps(gigabit) == pytest.approx(125.0)
+        assert traffic.max_fps(gigabit, compressed=False) == pytest.approx(12.5)
+        with pytest.raises(ValidationError):
+            traffic.max_fps(0)
+
+    def test_codec_none_equals_raw(self):
+        geo = WallGeometry(rows=1, cols=1, tile_width=10, tile_height=10)
+        pixels = {0: np.zeros((10, 10, 3), dtype=np.uint8)}
+        traffic = estimate_traffic(geo, pixels, codec="none")
+        assert traffic.compressed_bytes == traffic.raw_bytes
+
+    def test_validation(self):
+        geo = WallGeometry(rows=1, cols=1, tile_width=10, tile_height=10)
+        with pytest.raises(ValidationError):
+            estimate_traffic(geo, {}, codec="rle")
+        with pytest.raises(ValidationError):
+            estimate_traffic(geo, {5: np.zeros((10, 10, 3), dtype=np.uint8)})
+        with pytest.raises(ValidationError):
+            estimate_traffic(geo, {0: np.zeros((10, 10, 3), dtype=np.uint8)}, codec="zip")

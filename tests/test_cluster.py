@@ -1,0 +1,249 @@
+"""Tests for repro.cluster: distances, hierarchical linkage, trees, k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster.hierarchy import linkage as scipy_linkage
+from scipy.spatial.distance import pdist, squareform
+
+from repro.cluster import (
+    DendrogramTree,
+    cityblock_distance,
+    correlation_distance,
+    distance_matrix,
+    euclidean_distance,
+    hierarchical_cluster,
+    kmeans,
+    linkage_merges,
+)
+from repro.util.errors import ValidationError
+
+
+def random_data(seed: int, n: int = 10, d: int = 8, missing: float = 0.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    if missing:
+        X[rng.random(X.shape) < missing] = np.nan
+    return X
+
+
+# ---------------------------------------------------------------------------
+# distances
+# ---------------------------------------------------------------------------
+class TestDistances:
+    def test_correlation_distance_range_and_diag(self):
+        D = correlation_distance(random_data(0, missing=0.1))
+        assert np.allclose(np.diag(D), 0.0)
+        assert (D >= -1e-12).all() and (D <= 2.0 + 1e-12).all()
+        assert np.allclose(D, D.T)
+
+    def test_correlation_distance_perfect_pairs(self):
+        X = np.array([[1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0], [4.0, 3.0, 2.0, 1.0]])
+        D = correlation_distance(X)
+        assert D[0, 1] == pytest.approx(0.0, abs=1e-12)  # r = +1
+        assert D[0, 2] == pytest.approx(2.0, abs=1e-12)  # r = -1
+
+    def test_euclidean_matches_scipy_complete(self):
+        X = random_data(1)
+        D = euclidean_distance(X)
+        ref = squareform(pdist(X, metric="euclidean"))
+        assert np.allclose(D, ref, atol=1e-9)
+
+    def test_cityblock_matches_scipy_complete(self):
+        X = random_data(2)
+        D = cityblock_distance(X)
+        ref = squareform(pdist(X, metric="cityblock"))
+        assert np.allclose(D, ref, atol=1e-9)
+
+    def test_missing_data_still_total(self):
+        for metric in ("correlation", "euclidean", "cityblock"):
+            D = distance_matrix(random_data(3, missing=0.3), metric=metric)
+            assert not np.isnan(D).any(), metric
+            assert np.allclose(np.diag(D), 0.0), metric
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            distance_matrix(random_data(0), metric="cosine")
+
+
+# ---------------------------------------------------------------------------
+# hierarchical clustering
+# ---------------------------------------------------------------------------
+class TestLinkage:
+    @pytest.mark.parametrize("method", ["single", "complete", "average"])
+    def test_matches_scipy_heights(self, method):
+        X = random_data(4, n=12)
+        D = squareform(pdist(X))
+        mine = linkage_merges(D, linkage=method)
+        ref = scipy_linkage(pdist(X), method=method)
+        # merge heights (sorted) must agree even if tie-broken differently
+        assert np.allclose(np.sort(mine[:, 2]), np.sort(ref[:, 2]), atol=1e-9)
+
+    def test_ward_matches_scipy_heights(self):
+        X = random_data(5, n=10)
+        D = squareform(pdist(X))
+        mine = linkage_merges(D, linkage="ward")
+        ref = scipy_linkage(pdist(X), method="ward")
+        assert np.allclose(np.sort(mine[:, 2]), np.sort(ref[:, 2]), atol=1e-8)
+
+    @given(seed=st.integers(0, 5000), n=st.integers(2, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_heights_property(self, seed, n):
+        """single/complete/average linkage produce non-decreasing merge heights."""
+        X = random_data(seed, n=n)
+        D = euclidean_distance(X)
+        for method in ("single", "complete", "average"):
+            merges = linkage_merges(D, linkage=method)
+            heights = merges[:, 2]
+            assert (np.diff(heights) >= -1e-9).all(), method
+
+    def test_merge_structure_invariants(self):
+        D = euclidean_distance(random_data(6, n=9))
+        merges = linkage_merges(D)
+        n = 9
+        assert merges.shape == (n - 1, 4)
+        used: set[int] = set()
+        for step, (li, ri, _h, size) in enumerate(merges):
+            li, ri = int(li), int(ri)
+            assert li not in used and ri not in used  # each cluster merged once
+            used.update((li, ri))
+            assert li < n + step and ri < n + step  # children precede parent
+        assert merges[-1, 3] == n  # final cluster holds everything
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            linkage_merges(np.zeros((2, 3)))
+        with pytest.raises(ValidationError):
+            linkage_merges(np.zeros((1, 1)))
+        asym = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError, match="symmetric"):
+            linkage_merges(asym)
+        nan_d = np.array([[0.0, np.nan], [np.nan, 0.0]])
+        with pytest.raises(ValidationError, match="NaN"):
+            linkage_merges(nan_d)
+        with pytest.raises(ValidationError, match="unknown linkage"):
+            linkage_merges(np.zeros((3, 3)), linkage="median")
+
+    def test_two_separated_groups_recovered(self):
+        rng = np.random.default_rng(7)
+        group_a = rng.normal(0, 0.1, size=(5, 4))
+        group_b = rng.normal(10, 0.1, size=(5, 4))
+        X = np.vstack([group_a, group_b])
+        tree = hierarchical_cluster(X, metric="euclidean", linkage="average")
+        clusters = tree.cut_k(2)
+        sets = [frozenset(c) for c in clusters]
+        assert frozenset(range(5)) in sets and frozenset(range(5, 10)) in sets
+
+
+# ---------------------------------------------------------------------------
+# dendrogram tree
+# ---------------------------------------------------------------------------
+class TestDendrogramTree:
+    def _tree(self, seed=8, n=10):
+        return hierarchical_cluster(random_data(seed, n=n))
+
+    def test_leaf_order_is_permutation(self):
+        tree = self._tree()
+        assert sorted(tree.leaf_order()) == list(range(10))
+
+    def test_node_lookup(self):
+        tree = self._tree()
+        root = tree.root
+        assert tree.node(root.node_id) is root
+        assert root.node_id in tree
+        with pytest.raises(KeyError):
+            tree.node("NOPE")
+
+    def test_internal_count(self):
+        tree = self._tree(n=7)
+        assert len(tree.internal_nodes()) == 6
+
+    def test_cut_at_height_extremes(self):
+        tree = self._tree()
+        assert len(tree.cut_at_height(tree.max_height() + 1)) == 1
+        leaves = tree.cut_at_height(-1.0)
+        assert len(leaves) == 10 and all(len(c) == 1 for c in leaves)
+
+    def test_cut_k(self):
+        tree = self._tree()
+        for k in (1, 3, 10):
+            clusters = tree.cut_k(k)
+            assert len(clusters) == k
+            flat = sorted(i for c in clusters for i in c)
+            assert flat == list(range(10))
+        with pytest.raises(ValidationError):
+            tree.cut_k(0)
+        with pytest.raises(ValidationError):
+            tree.cut_k(11)
+
+    @given(seed=st.integers(0, 3000), n=st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_merges_round_trip_property(self, seed, n):
+        tree = hierarchical_cluster(random_data(seed, n=n))
+        again = DendrogramTree.from_merges(tree.to_merges())
+        assert again.n_leaves == tree.n_leaves
+        assert again.leaf_order() == tree.leaf_order()
+        h1 = [node.height for node in tree.internal_nodes()]
+        h2 = [node.height for node in again.internal_nodes()]
+        assert np.allclose(sorted(h1), sorted(h2))
+
+    def test_from_merges_validation(self):
+        with pytest.raises(ValidationError):
+            DendrogramTree.from_merges(np.empty((0, 4)))
+        bad = np.array([[0.0, 5.0, 1.0, 2.0]])  # node 5 does not exist
+        with pytest.raises(ValidationError):
+            DendrogramTree.from_merges(bad)
+
+
+# ---------------------------------------------------------------------------
+# k-means
+# ---------------------------------------------------------------------------
+class TestKMeans:
+    def test_separated_clusters_found(self):
+        rng = np.random.default_rng(11)
+        X = np.vstack(
+            [rng.normal(0, 0.2, (10, 3)), rng.normal(8, 0.2, (10, 3))]
+        )
+        result = kmeans(X, 2, seed=1)
+        labels_a = set(result.labels[:10].tolist())
+        labels_b = set(result.labels[10:].tolist())
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+        assert result.converged
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X = random_data(12, n=30, d=4)
+        i2 = kmeans(X, 2, seed=2).inertia
+        i8 = kmeans(X, 8, seed=2).inertia
+        assert i8 < i2
+
+    def test_handles_missing_values(self):
+        X = random_data(13, n=15, d=5, missing=0.2)
+        result = kmeans(X, 3, seed=3)
+        assert result.labels.shape == (15,)
+        assert np.isfinite(result.inertia)
+
+    def test_k_equals_n(self):
+        X = random_data(14, n=5, d=3)
+        result = kmeans(X, 5, seed=4)
+        assert len(set(result.labels.tolist())) == 5
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        X = random_data(15, n=4)
+        with pytest.raises(ValidationError):
+            kmeans(X, 0)
+        with pytest.raises(ValidationError):
+            kmeans(X, 5)
+
+    def test_deterministic_given_seed(self):
+        X = random_data(16, n=20, d=4)
+        a = kmeans(X, 3, seed=7)
+        b = kmeans(X, 3, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_cluster_members(self):
+        X = random_data(17, n=10, d=3)
+        result = kmeans(X, 2, seed=5)
+        members = result.cluster_members(0)
+        assert (result.labels[members] == 0).all()

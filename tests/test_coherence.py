@@ -1,0 +1,101 @@
+"""Tests for selection-coherence scoring (§2's "tightness of grouping")."""
+
+import numpy as np
+import pytest
+
+from repro.core import ForestView
+from repro.stats import coherence_score, coherence_test
+from repro.synth import make_case_study
+from repro.util.errors import ValidationError
+
+
+def planted_data(seed=0, n_genes=60, n_cond=15, module=10):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 0.6, size=(n_genes, n_cond))
+    profile = np.sin(np.linspace(0, 2 * np.pi, n_cond)) * 2.0
+    data[:module] += profile[None, :]
+    return data
+
+
+class TestCoherenceScore:
+    def test_tight_group_scores_high(self):
+        data = planted_data()
+        tight = coherence_score(data[:10])
+        loose = coherence_score(data[30:40])
+        assert tight > 0.6
+        assert abs(loose) < 0.4
+
+    def test_anticorrelated_pair(self):
+        x = np.linspace(0, 1, 10)
+        data = np.vstack([x, -x])
+        assert coherence_score(data) == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            coherence_score(np.zeros((1, 5)))
+        with pytest.raises(ValidationError):
+            coherence_score(np.zeros(5))
+
+    def test_all_nan_pairs_gives_nan(self):
+        data = np.full((3, 5), np.nan)
+        data[0, 0] = 1.0
+        assert np.isnan(coherence_score(data))
+
+
+class TestCoherenceTest:
+    def test_planted_module_is_significant(self):
+        data = planted_data(seed=1)
+        result = coherence_test(data, list(range(10)), n_permutations=100, seed=2)
+        assert result.pvalue <= 0.02
+        assert result.zscore > 3
+        assert result.score > result.null_mean
+
+    def test_random_group_not_significant(self):
+        data = planted_data(seed=3)
+        rng = np.random.default_rng(4)
+        random_rows = rng.choice(np.arange(20, 60), size=10, replace=False)
+        result = coherence_test(data, random_rows.tolist(), n_permutations=100, seed=5)
+        assert result.pvalue > 0.05
+
+    def test_pvalue_never_zero(self):
+        data = planted_data(seed=6)
+        result = coherence_test(data, list(range(10)), n_permutations=50, seed=7)
+        assert result.pvalue >= 1 / 51
+
+    def test_validation(self):
+        data = planted_data()
+        with pytest.raises(ValidationError):
+            coherence_test(data, [0])  # too few
+        with pytest.raises(ValidationError):
+            coherence_test(data, [0, 0, 1])  # duplicates
+        with pytest.raises(ValidationError):
+            coherence_test(data, [0, 999])  # out of range
+        with pytest.raises(ValidationError):
+            coherence_test(data, [0, 1], n_permutations=0)
+
+    def test_deterministic_given_seed(self):
+        data = planted_data(seed=8)
+        a = coherence_test(data, list(range(8)), n_permutations=50, seed=9)
+        b = coherence_test(data, list(range(8)), n_permutations=50, seed=9)
+        assert a == b
+
+
+class TestAppIntegration:
+    def test_esr_selection_is_tight_in_stress_data(self):
+        comp, truth = make_case_study(n_genes=150, n_conditions=12, seed=91)
+        app = ForestView.from_compendium(comp)
+        app.select_genes(list(truth.esr_induced), source="esr")
+        result = app.selection_coherence(
+            truth.stress_dataset_names[0], n_permutations=100, seed=92
+        )
+        assert result.pvalue <= 0.02
+        assert result.n_genes == len(truth.esr_induced)
+
+    def test_requires_selection_and_enough_genes(self):
+        comp, truth = make_case_study(n_genes=100, n_conditions=10, seed=93)
+        app = ForestView.from_compendium(comp)
+        with pytest.raises(ValidationError):
+            app.selection_coherence(comp.names[0])
+        app.select_genes([comp[0].gene_ids[0], "NOT_A_GENE"], source="x")
+        with pytest.raises(ValidationError, match="fewer than 2"):
+            app.selection_coherence(comp.names[0])

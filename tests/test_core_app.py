@@ -1,0 +1,304 @@
+"""Tests for the ForestView application facade, rendering, adapters, sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetsReordered,
+    ForestView,
+    GolemAdapter,
+    SpellAdapter,
+    SynchronizationLayer,
+    load_session,
+    save_session,
+    session_from_dict,
+    session_to_dict,
+)
+from repro.ontology import Golem
+from repro.synth import make_annotated_ontology, make_case_study, make_simple_dataset
+from repro.util.errors import RenderError, SearchError, ValidationError
+from repro.wall import DisplayWall, WallGeometry
+
+from tests.conftest import fresh_compendium
+
+
+@pytest.fixture
+def app():
+    comp, _ = make_case_study(n_genes=120, n_conditions=10, n_knockouts=10, seed=21)
+    return ForestView.from_compendium(comp)
+
+
+@pytest.fixture
+def truth_and_app():
+    comp, truth = make_case_study(n_genes=120, n_conditions=10, n_knockouts=10, seed=21)
+    return truth, ForestView.from_compendium(comp)
+
+
+class TestAppBasics:
+    def test_pane_per_dataset(self, app):
+        assert len(app.panes) == len(app.compendium)
+        assert app.pane(app.compendium.names[0]).name == app.compendium.names[0]
+        with pytest.raises(KeyError):
+            app.pane("nope")
+
+    def test_empty_compendium_rejected(self):
+        from repro.data import Compendium
+
+        with pytest.raises(ValidationError):
+            ForestView(Compendium())
+
+    def test_merged_interface_cached_and_invalidated(self, app):
+        m1 = app.merged_interface
+        assert app.merged_interface is m1
+        app.add_dataset(make_simple_dataset(name="extra", n_genes=20,
+                                            n_conditions=6, n_module_genes=5, seed=3))
+        assert app.merged_interface is not m1
+        assert len(app.panes) == len(app.compendium)
+
+    def test_cluster_genes_on_construction(self):
+        comp = fresh_compendium(2)
+        app = ForestView.from_compendium(comp, cluster_genes=True)
+        assert all(p.dataset.gene_tree is not None for p in app.panes)
+
+
+class TestAppSelection:
+    def test_select_genes_and_viewport_resize(self, app):
+        genes = app.compendium[0].gene_ids[:7]
+        app.select_genes(genes, source="t")
+        assert app.selection.genes == tuple(genes)
+        assert app.sync_layer.shared_viewport.total_rows == 7
+
+    def test_select_region(self, app):
+        sel = app.select_region(app.compendium.names[0], 0, 5)
+        assert len(sel) == 5
+        assert sel.source.startswith("region:")
+
+    def test_select_by_search(self, truth_and_app):
+        truth, app = truth_and_app
+        sel = app.select_by_search(["heat shock"])
+        assert set(sel.genes) & set(truth.esr_induced)
+
+    def test_search_no_match_raises(self, app):
+        with pytest.raises(ValidationError):
+            app.select_by_search(["xyzzy-not-a-keyword"])
+
+    def test_extend_and_clear(self, app):
+        app.select_genes(app.compendium[0].gene_ids[:2], source="a")
+        app.extend_selection(app.compendium[0].gene_ids[2:4], source="b")
+        assert len(app.selection) == 4
+        app.clear_selection()
+        assert app.selection is None
+
+    def test_zoom_views_require_selection(self, app):
+        with pytest.raises(ValidationError):
+            app.zoom_views()
+
+    def test_zoom_views_aligned(self, app):
+        app.select_genes(app.compendium[0].gene_ids[:5], source="t")
+        views = app.zoom_views()
+        assert len(views) == len(app.panes)
+        assert SynchronizationLayer.rows_aligned(views)
+
+    def test_load_selection_as_dataset(self, app):
+        genes = app.compendium[0].gene_ids[:6]
+        app.select_genes(genes, source="t")
+        before = len(app.panes)
+        subset = app.load_selection_as_dataset(app.compendium.names[0], name="my_subset")
+        assert len(app.panes) == before + 1
+        assert subset.gene_ids == list(genes)
+        assert "my_subset" in app.compendium
+
+
+class TestAppOrdering:
+    def test_order_datasets_moves_panes(self, app):
+        names = list(app.compendium.names)
+        new_order = names[::-1]
+        app.order_datasets(new_order)
+        assert app.compendium.names == new_order
+        assert [p.name for p in app.panes] == new_order
+        assert app.bus.events_of(DatasetsReordered)
+
+    def test_order_by_scores(self, app):
+        names = app.compendium.names
+        scores = {n: float(i) for i, n in enumerate(names)}
+        app.order_datasets_by_scores(scores)
+        assert app.compendium.names == names[::-1]
+
+    def test_order_by_coverage_requires_selection(self, app):
+        with pytest.raises(ValidationError):
+            app.order_datasets_by_selection_coverage()
+
+
+class TestAppPreferences:
+    def test_set_for_one_dataset(self, app):
+        name = app.compendium.names[0]
+        app.set_preferences(name, saturation=1.25)
+        assert app.pane(name).preferences.saturation == 1.25
+        other = app.compendium.names[1]
+        assert app.pane(other).preferences.saturation != 1.25
+
+    def test_apply_to_all(self, app):
+        app.set_preferences(None, colormap_name="yellow-blue")
+        assert all(p.preferences.colormap_name == "yellow-blue" for p in app.panes)
+
+
+class TestAppRendering:
+    def test_render_shape_and_content(self, app):
+        app.select_genes(app.compendium[0].gene_ids[:8], source="t")
+        px = app.render(800, 400)
+        assert px.shape == (400, 800, 3)
+        assert (px != 0).any()
+
+    def test_render_no_selection_shows_placeholder(self, app):
+        px = app.render(800, 400)
+        assert px.shape == (400, 800, 3)
+
+    def test_render_too_small_raises(self, app):
+        with pytest.raises(RenderError):
+            app.render(100, 50)
+
+    def test_wall_render_matches_serial(self, app):
+        app.select_genes(app.compendium[0].gene_ids[:10], source="t")
+        geo = WallGeometry(rows=2, cols=2, tile_width=250, tile_height=150)
+        wall = DisplayWall(geo, n_nodes=3, schedule="dynamic")
+        frame = app.render_on_wall(wall)
+        ref = app.display_list(geo.canvas_width, geo.canvas_height).render_full()
+        assert np.array_equal(frame.pixels, ref)
+
+    def test_sync_mode_changes_rendered_frame(self, truth_and_app):
+        """Synced vs unsynced zoom views must actually draw differently
+        when the dataset orders diverge."""
+        truth, app = truth_and_app
+        comp2, _ = make_case_study(n_genes=120, n_conditions=10, n_knockouts=10, seed=21)
+        clustered = ForestView.from_compendium(comp2, cluster_genes=True)
+        clustered.select_genes(list(truth.esr_induced[:8]), source="t")
+        clustered.set_synchronized(True)
+        synced = clustered.render(700, 400)
+        clustered.set_synchronized(False)
+        unsynced = clustered.render(700, 400)
+        assert not np.array_equal(synced, unsynced)
+
+
+class TestSpellAdapter:
+    def test_query_reorders_and_selects(self, truth_and_app):
+        truth, app = truth_and_app
+        adapter = SpellAdapter(app)
+        result = adapter.query(list(truth.esr_induced[:4]), top_n=10)
+        assert app.compendium.names == list(result.dataset_ranking())
+        assert app.selection is not None
+        assert set(truth.esr_induced[:4]) <= set(app.selection.genes)
+        assert app.selection.source.startswith("spell:")
+
+    def test_query_from_selection(self, truth_and_app):
+        truth, app = truth_and_app
+        app.select_genes(list(truth.esr_induced[:4]), source="manual")
+        adapter = SpellAdapter(app)
+        result = adapter.query_from_selection(top_n=5)
+        assert adapter.last_result is result
+
+    def test_query_from_empty_selection_raises(self, app):
+        adapter = SpellAdapter(app)
+        with pytest.raises(SearchError):
+            adapter.query_from_selection()
+
+    def test_spell_finds_esr_module_in_case_study(self, truth_and_app):
+        """§4-adjacent check: querying induced ESR genes retrieves the
+        held-out induced genes at the top (repressed genes are
+        anti-correlated and must rank at the bottom)."""
+        truth, app = truth_and_app
+        adapter = SpellAdapter(app)
+        result = adapter.query(list(truth.esr_induced[:4]), top_n=10)
+        expected = set(truth.esr_induced) - set(truth.esr_induced[:4])
+        retrieved = set(result.top_genes(len(expected) + 2))
+        assert expected <= retrieved
+        # anti-correlated repressed genes sit at the very bottom
+        ranking = result.gene_ranking()
+        tail = set(ranking[-len(truth.esr_repressed) * 2 :])
+        assert len(set(truth.esr_repressed) & tail) >= len(truth.esr_repressed) // 2
+
+
+class TestGolemAdapter:
+    @pytest.fixture
+    def golem_app(self, truth_and_app):
+        truth, app = truth_and_app
+        genes = app.compendium.gene_universe()
+        onto, store, otruth = make_annotated_ontology(
+            genes, n_terms=90, planted={"stress response": list(truth.esr_induced)}, seed=31
+        )
+        return truth, app, GolemAdapter(app, Golem(onto, store)), otruth
+
+    def test_enrich_selection_finds_planted_term(self, golem_app):
+        truth, app, adapter, otruth = golem_app
+        app.select_genes(list(truth.esr_induced), source="t")
+        report = adapter.enrich_selection()
+        planted_id = next(iter(otruth.planted_terms))
+        assert report.term(planted_id).significant
+        assert report.results[0].term_id == planted_id
+
+    def test_requires_selection(self, golem_app):
+        _, app, adapter, _ = golem_app
+        app.clear_selection()
+        with pytest.raises(ValidationError):
+            adapter.enrich_selection()
+
+    def test_map_for_top_term(self, golem_app):
+        truth, app, adapter, _ = golem_app
+        app.select_genes(list(truth.esr_induced), source="t")
+        adapter.enrich_selection()
+        lm = adapter.map_for_top_term()
+        assert len(lm) >= 2
+
+    def test_map_requires_report(self, golem_app):
+        _, _, adapter, _ = golem_app
+        with pytest.raises(ValidationError):
+            adapter.map_for_top_term()
+
+    def test_select_term_genes_round_trip(self, golem_app):
+        truth, app, adapter, otruth = golem_app
+        planted_id = next(iter(otruth.planted_terms))
+        adapter.select_term_genes(planted_id)
+        assert set(app.selection.genes) == set(truth.esr_induced)
+        assert app.selection.source == f"golem:{planted_id}"
+
+
+class TestSession:
+    def test_round_trip(self, app, tmp_path):
+        app.select_genes(app.compendium[0].gene_ids[:6], source="orig")
+        app.set_synchronized(False)
+        app.set_preferences(app.compendium.names[0], saturation=1.2)
+        app.order_datasets(list(reversed(app.compendium.names)))
+        path = save_session(app, tmp_path / "s.json")
+
+        comp2, _ = make_case_study(n_genes=120, n_conditions=10, n_knockouts=10, seed=21)
+        app2 = ForestView.from_compendium(comp2)
+        load_session(app2, path)
+        assert app2.selection.genes == app.selection.genes
+        assert app2.synchronized == app.synchronized
+        assert app2.compendium.names == app.compendium.names
+        assert (
+            app2.pane(app.compendium.names[0]).preferences
+            == app.pane(app.compendium.names[0]).preferences
+        )
+
+    def test_session_without_selection(self, app, tmp_path):
+        path = save_session(app, tmp_path / "s.json")
+        load_session(app, path)
+        assert app.selection is None
+
+    def test_dataset_mismatch_rejected(self, app):
+        data = session_to_dict(app)
+        data["dataset_order"] = ["other"]
+        with pytest.raises(ValidationError, match="do not match"):
+            session_from_dict(app, data)
+
+    def test_bad_version_rejected(self, app):
+        data = session_to_dict(app)
+        data["version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            session_from_dict(app, data)
+
+    def test_corrupt_json_rejected(self, app, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="JSON"):
+            load_session(app, path)

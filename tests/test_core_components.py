@@ -1,0 +1,357 @@
+"""Tests for ForestView components: events, viewport, selection, sync,
+panes, preferences, search, ordering, export."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetPane,
+    EventBus,
+    GeneSelection,
+    PanePreferences,
+    SelectionChanged,
+    SelectionModel,
+    SynchronizationLayer,
+    SyncToggled,
+    Viewport,
+    find_genes,
+    format_gene_list,
+    format_merged_pcl,
+    order_by_name,
+    order_by_scores,
+    order_by_selection_coverage,
+)
+from repro.core.events import Event
+from repro.data import parse_pcl
+from repro.util.errors import SearchError, ValidationError
+
+from tests.conftest import fresh_compendium
+
+
+class TestEventBus:
+    def test_publish_subscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(SelectionChanged, seen.append)
+        bus.publish(SelectionChanged(genes=("A",), source="t"))
+        assert len(seen) == 1 and seen[0].genes == ("A",)
+
+    def test_subscribe_base_class_gets_subclasses(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Event, seen.append)
+        bus.publish(SyncToggled(synchronized=False))
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe(SyncToggled, seen.append)
+        unsub()
+        bus.publish(SyncToggled(synchronized=True))
+        assert seen == []
+        unsub()  # idempotent
+
+    def test_log_records_everything(self):
+        bus = EventBus()
+        bus.publish(SyncToggled(synchronized=True))
+        bus.publish(SelectionChanged(genes=(), source="x"))
+        assert len(bus.log) == 2
+        assert len(bus.events_of(SyncToggled)) == 1
+
+    def test_handler_exception_propagates(self):
+        bus = EventBus()
+        bus.subscribe(SyncToggled, lambda e: (_ for _ in ()).throw(RuntimeError("h")))
+        with pytest.raises(RuntimeError):
+            bus.publish(SyncToggled(synchronized=True))
+
+
+class TestViewport:
+    def test_defaults_show_everything(self):
+        vp = Viewport(100, 50)
+        assert vp.visible_rows == 100 and vp.visible_cols == 50
+        assert vp.visible_fraction() == 1.0
+
+    def test_scroll_clamps(self):
+        vp = Viewport(100, 10, visible_rows=20)
+        vp.scroll_to(95)
+        assert vp.scroll_row == 80  # clamped to content
+        vp.scroll_by(-200)
+        assert vp.scroll_row == 0
+
+    def test_paging(self):
+        vp = Viewport(100, 10, visible_rows=30)
+        vp.page_down()
+        assert vp.scroll_row == 30
+        vp.page_up()
+        assert vp.scroll_row == 0
+
+    def test_zoom(self):
+        vp = Viewport(100, 40, visible_rows=100)
+        vp.set_zoom(10, 5)
+        assert len(vp.row_range) == 10 and len(vp.col_range) == 5
+        assert vp.visible_fraction() == pytest.approx(50 / 4000)
+        with pytest.raises(ValidationError):
+            vp.set_zoom(0)
+
+    def test_resize_content_keeps_full_view(self):
+        vp = Viewport(10, 5)
+        vp.resize_content(20, 8)
+        assert vp.visible_rows == 20 and vp.visible_cols == 8
+
+    def test_resize_content_clamps_scroll(self):
+        vp = Viewport(100, 10, visible_rows=10)
+        vp.scroll_to(90)
+        vp.resize_content(30, 10)
+        assert vp.scroll_row <= 20
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Viewport(-1, 5)
+
+
+class TestGeneSelection:
+    def test_construction_rules(self):
+        sel = GeneSelection(("A", "B"), "test")
+        assert len(sel) == 2 and "A" in sel
+        with pytest.raises(ValidationError):
+            GeneSelection((), "empty")
+        with pytest.raises(ValidationError):
+            GeneSelection(("A", "A"), "dup")
+
+    def test_set_operations(self):
+        a = GeneSelection(("A", "B", "C"), "a")
+        b = GeneSelection(("B", "D"), "b")
+        assert a.union(b).genes == ("A", "B", "C", "D")
+        assert a.intersection(b).genes == ("B",)
+        assert a.difference(b).genes == ("A", "C")
+        with pytest.raises(ValidationError):
+            a.intersection(GeneSelection(("Z",), "z"))
+
+    def test_model_select_and_history(self):
+        bus = EventBus()
+        model = SelectionModel(bus)
+        assert model.current is None
+        model.select(["A", "B", "A"], source="s1")  # dedup keeps first
+        assert model.current.genes == ("A", "B")
+        model.select(["C"], source="s2")
+        assert len(model.history) == 2
+        assert len(bus.events_of(SelectionChanged)) == 2
+
+    def test_model_extend(self):
+        model = SelectionModel(EventBus())
+        model.extend(["A"], source="x")
+        model.extend(["B", "A"], source="y")
+        assert model.current.genes == ("A", "B")
+
+    def test_model_undo(self):
+        model = SelectionModel(EventBus())
+        model.select(["A"], source="1")
+        model.select(["B"], source="2")
+        back = model.undo()
+        assert back.genes == ("A",)
+        model.undo()
+        assert model.current is None
+        assert model.undo() is None
+
+    def test_model_clear(self):
+        bus = EventBus()
+        model = SelectionModel(bus)
+        model.select(["A"], source="1")
+        model.clear()
+        assert model.current is None
+        assert bus.events_of(SelectionChanged)[-1].source == "clear"
+
+
+class TestSynchronizationLayer:
+    @pytest.fixture
+    def setup(self):
+        comp = fresh_compendium(3)
+        panes = [DatasetPane(ds) for ds in comp]
+        bus = EventBus()
+        layer = SynchronizationLayer(bus)
+        return comp, panes, bus, layer
+
+    def test_aligned_views_share_order(self, setup):
+        comp, panes, _, layer = setup
+        genes = comp[0].gene_ids[:6]
+        sel = GeneSelection(tuple(genes), "t")
+        views = layer.zoom_views(panes, sel)
+        assert SynchronizationLayer.rows_aligned(views)
+        for v in views:
+            assert v.gene_ids == tuple(genes)
+            assert v.synchronized
+
+    def test_aligned_view_has_nan_rows_for_absent_genes(self, setup):
+        comp, panes, _, layer = setup
+        sel = GeneSelection((comp[0].gene_ids[0], "NOT_A_GENE"), "t")
+        view = layer.zoom_view(panes[0], sel)
+        assert view.present == (True, False)
+        assert np.isnan(view.values[1]).all()
+        assert not np.isnan(view.values[0]).all()
+
+    def test_unsync_uses_native_order(self, setup):
+        comp, panes, _, layer = setup
+        clustered = comp[0].clustered()
+        pane = DatasetPane(clustered)
+        layer.set_synchronized(False)
+        genes = clustered.gene_ids[:8]
+        sel = GeneSelection(tuple(genes), "t")
+        view = layer.zoom_view(pane, sel)
+        assert not view.synchronized
+        # native order = clustered display order restricted to selection
+        order = [clustered.matrix.gene_ids[i] for i in clustered.display_order()]
+        expected = tuple(g for g in order if g in set(genes))
+        assert view.gene_ids == expected
+
+    def test_toggle_publishes_once(self, setup):
+        _, _, bus, layer = setup
+        layer.set_synchronized(False)
+        layer.set_synchronized(False)  # no-op
+        layer.set_synchronized(True)
+        assert len(bus.events_of(SyncToggled)) == 2
+
+    def test_shared_viewport_resizes_on_selection(self, setup):
+        _, _, _, layer = setup
+        layer.on_selection_changed(12, 30)
+        assert layer.shared_viewport.total_rows == 12
+        assert layer.shared_viewport.total_cols == 30
+
+    def test_row_values_lookup(self, setup):
+        comp, panes, _, layer = setup
+        gene = comp[0].gene_ids[0]
+        sel = GeneSelection((gene,), "t")
+        view = layer.zoom_view(panes[0], sel)
+        assert np.allclose(
+            view.row_values(gene), comp[0].matrix.row(gene), equal_nan=True
+        )
+        with pytest.raises(KeyError):
+            view.row_values("NOPE")
+
+
+class TestDatasetPane:
+    def test_highlight_rows_sorted_positions(self, clustered_dataset):
+        pane = DatasetPane(clustered_dataset)
+        genes = clustered_dataset.gene_ids[:5]
+        sel = GeneSelection(tuple(genes), "t")
+        rows = pane.highlight_rows(sel)
+        assert rows == sorted(rows)
+        assert len(rows) == 5
+        order = pane.display_order()
+        ids = clustered_dataset.matrix.gene_ids
+        for r in rows:
+            assert ids[order[r]] in set(genes)
+
+    def test_genes_in_region_matches_display(self, clustered_dataset):
+        pane = DatasetPane(clustered_dataset)
+        region = pane.genes_in_region(3, 8)
+        assert len(region) == 5
+        order = pane.display_order()
+        ids = clustered_dataset.matrix.gene_ids
+        assert region == [ids[order[r]] for r in range(3, 8)]
+        with pytest.raises(ValidationError):
+            pane.genes_in_region(5, 5)
+        with pytest.raises(ValidationError):
+            pane.genes_in_region(0, 10_000)
+
+    def test_global_values_in_display_order(self, clustered_dataset):
+        pane = DatasetPane(clustered_dataset)
+        values = pane.global_values()
+        order = pane.display_order()
+        assert np.allclose(
+            values, clustered_dataset.matrix.values[order], equal_nan=True
+        )
+
+    def test_coverage(self, simple_dataset):
+        pane = DatasetPane(simple_dataset)
+        sel = GeneSelection((simple_dataset.gene_ids[0], "ZZZ"), "t")
+        assert pane.coverage(sel) == 0.5
+        assert pane.present_genes(sel) == [simple_dataset.gene_ids[0]]
+
+
+class TestPreferences:
+    def test_defaults_valid(self):
+        prefs = PanePreferences()
+        assert prefs.colormap().name == "red-green"
+
+    def test_with_changes(self):
+        prefs = PanePreferences().with_changes(saturation=1.0, colormap_name="red-blue")
+        assert prefs.saturation == 1.0
+        assert prefs.colormap().saturation == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PanePreferences(colormap_name="nope")
+        with pytest.raises(ValidationError):
+            PanePreferences(saturation=0)
+        with pytest.raises(ValidationError):
+            PanePreferences(zoom_row_px=0)
+        with pytest.raises(ValidationError):
+            PanePreferences(global_fraction=0.95)
+
+    def test_dict_round_trip(self):
+        prefs = PanePreferences(saturation=1.5, show_annotations=False)
+        assert PanePreferences.from_dict(prefs.to_dict()) == prefs
+
+
+class TestSearchOrderingExport:
+    def test_find_genes_across_datasets(self, case_study):
+        comp, truth = case_study
+        hits = find_genes(comp, ["heat shock"])
+        assert hits  # ESR-induced genes carry stress descriptions
+        assert len(hits) == len(set(hits))
+        with pytest.raises(SearchError):
+            find_genes(comp, ["", " "])
+
+    def test_order_by_name(self):
+        comp = fresh_compendium(3)
+        assert order_by_name(comp) == ["ds0", "ds1", "ds2"]
+
+    def test_order_by_scores(self):
+        comp = fresh_compendium(3)
+        order = order_by_scores(comp, {"ds1": 9.0, "ds0": 1.0, "ds2": 5.0})
+        assert order == ["ds1", "ds2", "ds0"]
+        with pytest.raises(ValidationError):
+            order_by_scores(comp, {"nope": 1.0})
+
+    def test_order_by_scores_unscored_last(self):
+        comp = fresh_compendium(3)
+        order = order_by_scores(comp, {"ds2": 1.0})
+        assert order[0] == "ds2"
+
+    def test_order_by_selection_coverage(self):
+        comp = fresh_compendium(2)
+        # all genes shared in fresh compendium; add private-gene dataset
+        from repro.data import Dataset, ExpressionMatrix
+
+        private = Dataset(
+            name="private",
+            matrix=ExpressionMatrix(np.zeros((2, 2)), ["PRIV1", "PRIV2"], ["c1", "c2"]),
+        )
+        comp.add(private)
+        sel = GeneSelection(tuple(comp[0].gene_ids[:4]), "t")
+        order = order_by_selection_coverage(comp, sel)
+        assert order[-1] == "private"
+
+    def test_format_gene_list_with_annotations(self, case_study):
+        comp, truth = case_study
+        sel = GeneSelection(tuple(truth.esr_induced[:3]), "t")
+        text = format_gene_list(sel, comp)
+        lines = text.strip().splitlines()
+        assert lines[0] == "GENE\tNAME\tDESCRIPTION"
+        assert len(lines) == 4
+        assert lines[1].split("\t")[0] == truth.esr_induced[0]
+
+    def test_format_gene_list_plain(self):
+        sel = GeneSelection(("A", "B"), "t")
+        assert format_gene_list(sel, None, annotations=False) == "A\nB\n"
+
+    def test_format_merged_pcl_parses_back(self, case_study):
+        comp, truth = case_study
+        sel = GeneSelection(tuple(truth.esr_induced[:4]), "t")
+        text = format_merged_pcl(comp, sel)
+        matrix = parse_pcl(text)
+        assert matrix.n_genes == 4
+        total_conditions = sum(ds.n_conditions for ds in comp)
+        assert matrix.n_conditions == total_conditions
+        assert matrix.condition_names[0].startswith(comp.names[0] + ":")

@@ -1,0 +1,234 @@
+"""Tests for PCL/CDT/GTR-ATR file formats and the dataset loader."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import hierarchical_cluster
+from repro.data import (
+    CdtTable,
+    Dataset,
+    ExpressionMatrix,
+    format_cdt,
+    format_pcl,
+    format_tree_file,
+    load_dataset,
+    parse_cdt,
+    parse_pcl,
+    parse_tree_file,
+    read_pcl,
+    save_dataset,
+    write_pcl,
+)
+from repro.util.errors import DataFormatError
+
+PCL_SAMPLE = (
+    "YORF\tNAME\tGWEIGHT\theat_0\theat_15\n"
+    "EWEIGHT\t\t\t1\t0.5\n"
+    "YAL001C\tTFC3\t1\t0.5\t-1.25\n"
+    "YAL002W\tVPS8\t1\t\t2\n"
+)
+
+
+class TestPcl:
+    def test_parse_sample(self):
+        m = parse_pcl(PCL_SAMPLE)
+        assert m.gene_ids == ["YAL001C", "YAL002W"]
+        assert m.gene_names == ["TFC3", "VPS8"]
+        assert m.condition_names == ["heat_0", "heat_15"]
+        assert m.condition_weights.tolist() == [1.0, 0.5]
+        assert m.values[0].tolist() == [0.5, -1.25]
+        assert math.isnan(m.values[1, 0]) and m.values[1, 1] == 2.0
+
+    def test_parse_without_eweight(self):
+        text = "ID\tNAME\tGWEIGHT\tc1\nG1\tN1\t1\t3.5\n"
+        m = parse_pcl(text)
+        assert m.condition_weights.tolist() == [1.0]
+        assert m.values[0, 0] == 3.5
+
+    def test_missing_tokens(self):
+        text = "ID\tNAME\tGWEIGHT\tc1\tc2\tc3\nG1\tN1\t1\tNA\tnull\tn/a\n"
+        m = parse_pcl(text)
+        assert np.isnan(m.values).all()
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("", "empty"),
+            ("ID\tNAME\tGWEIGHT\n", "condition"),
+            ("ID\tNAME\tWRONG\tc1\nG1\tN\t1\t1\n", "GWEIGHT"),
+            ("ID\tNAME\tGWEIGHT\tc1\nG1\tN\t1\t1\t9\n", "cells"),
+            ("ID\tNAME\tGWEIGHT\tc1\nG1\tN\t1\tabc\n", "non-numeric"),
+            ("ID\tNAME\tGWEIGHT\tc1\n\tN\t1\t1\n", "empty gene id"),
+            ("ID\tNAME\tGWEIGHT\tc1\nEWEIGHT\t\t\t1\t2\n", "EWEIGHT"),
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad, match):
+        with pytest.raises(DataFormatError, match=match):
+            parse_pcl(bad)
+
+    def test_error_carries_line_number(self):
+        bad = "ID\tNAME\tGWEIGHT\tc1\nG1\tN\t1\tbad\n"
+        with pytest.raises(DataFormatError) as exc_info:
+            parse_pcl(bad, path="x.pcl")
+        assert exc_info.value.path == "x.pcl"
+        assert exc_info.value.line == 2
+
+    def test_round_trip_with_nan_and_weights(self, small_matrix):
+        again = parse_pcl(format_pcl(small_matrix))
+        assert again.equals(small_matrix)
+
+    def test_file_round_trip(self, tmp_path, small_matrix):
+        path = tmp_path / "m.pcl"
+        write_pcl(small_matrix, path)
+        assert read_pcl(path).equals(small_matrix)
+
+    @given(
+        n_genes=st.integers(1, 8),
+        n_cond=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        missing=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, n_genes, n_cond, seed, missing):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(n_genes, n_cond)) * 10
+        values[rng.random(values.shape) < missing] = np.nan
+        m = ExpressionMatrix(
+            values,
+            [f"G{i}" for i in range(n_genes)],
+            [f"c{i}" for i in range(n_cond)],
+            gene_weights=rng.uniform(0.5, 2.0, n_genes),
+            condition_weights=rng.uniform(0.5, 2.0, n_cond),
+        )
+        assert parse_pcl(format_pcl(m)).equals(m)
+
+
+class TestCdt:
+    def _table(self, small_matrix):
+        return CdtTable(
+            matrix=small_matrix,
+            gene_node_ids=[f"GENE{i}X" for i in range(4)],
+            array_node_ids=[f"ARRY{i}X" for i in range(3)],
+        )
+
+    def test_round_trip_with_aid(self, small_matrix):
+        table = self._table(small_matrix)
+        again = parse_cdt(format_cdt(table))
+        assert again.matrix.equals(small_matrix)
+        assert again.gene_node_ids == table.gene_node_ids
+        assert again.array_node_ids == table.array_node_ids
+
+    def test_round_trip_without_aid(self, small_matrix):
+        table = CdtTable(small_matrix, [f"GENE{i}X" for i in range(4)], None)
+        again = parse_cdt(format_cdt(table))
+        assert again.array_node_ids is None
+        assert again.matrix.equals(small_matrix)
+
+    def test_header_must_start_with_gid(self):
+        with pytest.raises(DataFormatError, match="GID"):
+            parse_cdt("ID\tNAME\tGWEIGHT\tc1\nG\tA\tB\t1\t2\n")
+
+    def test_mismatched_gid_count_raises_on_format(self, small_matrix):
+        bad = CdtTable(small_matrix, ["GENE0X"], None)
+        with pytest.raises(DataFormatError, match="GIDs"):
+            format_cdt(bad)
+
+
+class TestTreeFiles:
+    def test_parse_simple_tree(self):
+        text = "NODE1X\tGENE0X\tGENE1X\t0.9\nNODE2X\tNODE1X\tGENE2X\t0.4\n"
+        tree = parse_tree_file(text)
+        assert tree.n_leaves == 3
+        assert tree.root.node_id == "NODE2X"
+        assert tree.root.height == pytest.approx(0.6)
+        assert tree.leaf_order() == [0, 1, 2]
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("", "empty"),
+            ("NODE1X\tGENE0X\tGENE1X\n", "4 tab-separated"),
+            ("NODE1X\tGENE0X\tGENE1X\tx\n", "non-numeric"),
+            ("NODE1X\tGENE0X\tNODE9X\t0.5\n", "unknown child"),
+            (
+                "NODE1X\tGENE0X\tGENE1X\t0.5\nNODE2X\tGENE0X\tGENE2X\t0.2\n",
+                "child twice",
+            ),
+            (
+                "NODE1X\tGENE0X\tGENE1X\t0.5\nNODE1X\tGENE2X\tGENE3X\t0.2\n",
+                "duplicate node id",
+            ),
+            (
+                "NODE1X\tGENE0X\tGENE1X\t0.5\nNODE2X\tGENE2X\tGENE3X\t0.2\n",
+                "exactly one root",
+            ),
+        ],
+    )
+    def test_malformed_trees_raise(self, bad, match):
+        with pytest.raises(DataFormatError, match=match):
+            parse_tree_file(bad)
+
+    def test_format_parse_round_trip_from_clustering(self):
+        rng = np.random.default_rng(5)
+        tree = hierarchical_cluster(rng.normal(size=(9, 6)))
+        again = parse_tree_file(format_tree_file(tree))
+        assert again.n_leaves == tree.n_leaves
+        assert again.leaf_order() == tree.leaf_order()
+        heights = sorted(n.height for n in tree.internal_nodes())
+        heights2 = sorted(n.height for n in again.internal_nodes())
+        assert np.allclose(heights, heights2)
+
+
+class TestLoader:
+    def test_pcl_load(self, tmp_path, small_matrix):
+        path = tmp_path / "demo.pcl"
+        write_pcl(small_matrix, path)
+        ds = load_dataset(path)
+        assert ds.name == "demo"
+        assert ds.matrix.equals(small_matrix)
+        assert ds.gene_tree is None
+
+    def test_cdt_save_load_round_trip(self, tmp_path, clustered_dataset):
+        primary = save_dataset(clustered_dataset, tmp_path)
+        assert primary.suffix == ".cdt"
+        assert (tmp_path / f"{primary.stem}.gtr").exists()
+        back = load_dataset(primary)
+        assert back.gene_tree is not None
+        order = clustered_dataset.gene_tree.leaf_order()
+        expected_ids = [clustered_dataset.matrix.gene_ids[i] for i in order]
+        assert back.matrix.gene_ids == expected_ids
+        assert np.allclose(
+            back.matrix.values,
+            clustered_dataset.matrix.values[order],
+            equal_nan=True,
+        )
+        # display order of the reloaded dataset equals file order
+        assert back.display_order() == list(range(back.n_genes))
+
+    def test_save_unclustered_is_pcl(self, tmp_path, simple_dataset):
+        primary = save_dataset(simple_dataset, tmp_path)
+        assert primary.suffix == ".pcl"
+
+    def test_unknown_extension_raises(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("nope")
+        with pytest.raises(DataFormatError, match="unsupported"):
+            load_dataset(path)
+
+    def test_loader_name_override(self, tmp_path, small_matrix):
+        path = tmp_path / "demo.pcl"
+        write_pcl(small_matrix, path)
+        assert load_dataset(path, name="custom").name == "custom"
+
+    def test_double_round_trip_stable(self, tmp_path, clustered_dataset):
+        """Saving a loaded dataset again must produce identical files."""
+        p1 = save_dataset(clustered_dataset, tmp_path / "a")
+        first = load_dataset(p1)
+        p2 = save_dataset(first, tmp_path / "b")
+        second = load_dataset(p2)
+        assert second.matrix.equals(first.matrix)
+        assert second.gene_tree.leaf_order() == first.gene_tree.leaf_order()

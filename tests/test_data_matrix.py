@@ -1,0 +1,168 @@
+"""Tests for ExpressionMatrix and GeneAnnotations."""
+
+import numpy as np
+import pytest
+
+from repro.data import ExpressionMatrix, GeneAnnotations
+from repro.util.errors import ValidationError
+
+
+class TestExpressionMatrixConstruction:
+    def test_basic_shape_and_metadata(self, small_matrix):
+        assert small_matrix.shape == (4, 3)
+        assert small_matrix.n_genes == 4
+        assert small_matrix.n_conditions == 3
+        assert small_matrix.gene_names == ["ALPHA", "BETA", "GAMMA", "DELTA"]
+
+    def test_default_names_and_weights(self):
+        m = ExpressionMatrix(np.zeros((2, 2)), ["A", "B"], ["c1", "c2"])
+        assert m.gene_names == ["A", "B"]
+        assert np.array_equal(m.gene_weights, [1.0, 1.0])
+        assert np.array_equal(m.condition_weights, [1.0, 1.0])
+
+    def test_duplicate_gene_ids_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            ExpressionMatrix(np.zeros((2, 1)), ["A", "A"], ["c"])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            ExpressionMatrix(np.zeros((2, 1)), ["A"], ["c"])
+        with pytest.raises(ValidationError):
+            ExpressionMatrix(np.zeros((2, 1)), ["A", "B"], ["c", "d"])
+        with pytest.raises(ValidationError):
+            ExpressionMatrix(np.zeros((2, 1)), ["A", "B"], ["c"], gene_names=["X"])
+        with pytest.raises(ValidationError):
+            ExpressionMatrix(
+                np.zeros((2, 1)), ["A", "B"], ["c"], gene_weights=np.ones(3)
+            )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            ExpressionMatrix(np.zeros(4), ["A"], ["c"])
+
+
+class TestExpressionMatrixLookup:
+    def test_contains_and_index(self, small_matrix):
+        assert "G2" in small_matrix
+        assert "NOPE" not in small_matrix
+        assert small_matrix.index_of("G3") == 2
+        with pytest.raises(KeyError):
+            small_matrix.index_of("NOPE")
+
+    def test_indices_of_missing_modes(self, small_matrix):
+        assert small_matrix.indices_of(["G4", "G1"]) == [3, 0]
+        assert small_matrix.indices_of(["G4", "ZZ", "G1"], missing="skip") == [3, 0]
+        with pytest.raises(KeyError):
+            small_matrix.indices_of(["ZZ"], missing="raise")
+        with pytest.raises(ValidationError):
+            small_matrix.indices_of(["G1"], missing="bogus")
+
+    def test_row_is_view(self, small_matrix):
+        row = small_matrix.row("G1")
+        assert row.base is not None  # a view, not a copy
+        assert row.tolist() == [1.0, -1.0, 0.5]
+
+
+class TestExpressionMatrixSubset:
+    def test_subset_genes_order_preserved(self, small_matrix):
+        sub = small_matrix.subset_genes(["G4", "G2"])
+        assert sub.gene_ids == ["G4", "G2"]
+        assert np.allclose(sub.values[0], small_matrix.row("G4"), equal_nan=True)
+        assert sub.gene_names == ["DELTA", "BETA"]
+
+    def test_subset_rows_bounds(self, small_matrix):
+        sub = small_matrix.subset_rows([2, 0])
+        assert sub.gene_ids == ["G3", "G1"]
+        with pytest.raises(ValidationError):
+            small_matrix.subset_rows([5])
+
+    def test_subset_conditions(self, small_matrix):
+        sub = small_matrix.subset_conditions([2, 0])
+        assert sub.condition_names == ["c3", "c1"]
+        assert sub.values[0].tolist() == [0.5, 1.0]
+        with pytest.raises(ValidationError):
+            small_matrix.subset_conditions([7])
+
+    def test_reorder_requires_permutation(self, small_matrix):
+        re = small_matrix.reorder_genes([3, 2, 1, 0])
+        assert re.gene_ids == ["G4", "G3", "G2", "G1"]
+        with pytest.raises(ValidationError):
+            small_matrix.reorder_genes([0, 0, 1, 2])
+
+    def test_with_values_shape_checked(self, small_matrix):
+        replaced = small_matrix.with_values(np.zeros((4, 3)))
+        assert replaced.gene_ids == small_matrix.gene_ids
+        with pytest.raises(ValidationError):
+            small_matrix.with_values(np.zeros((3, 3)))
+
+    def test_equals(self, small_matrix):
+        assert small_matrix.equals(small_matrix.subset_rows([0, 1, 2, 3]))
+        other = small_matrix.with_values(small_matrix.values + 1.0)
+        assert not small_matrix.equals(other)
+
+    def test_missing_fraction(self, small_matrix):
+        assert small_matrix.missing_fraction() == pytest.approx(1 / 12)
+
+
+class TestGeneAnnotations:
+    def test_set_get_record(self):
+        ann = GeneAnnotations()
+        ann.set("G1", "NAME", "HSP104")
+        ann.set("G1", "DESCRIPTION", "heat shock protein")
+        assert ann.get("G1", "NAME") == "HSP104"
+        assert ann.get("G1", "MISSING", "dflt") == "dflt"
+        assert ann.record("G1")["DESCRIPTION"] == "heat shock protein"
+        assert ann.record("ZZ") == {}
+        assert "G1" in ann and len(ann) == 1
+
+    def test_new_field_registered(self):
+        ann = GeneAnnotations(["NAME"])
+        ann.set("G1", "PROCESS", "transport")
+        assert "PROCESS" in ann.fields
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            GeneAnnotations([])
+
+    def test_search_substring_case_insensitive(self):
+        ann = GeneAnnotations()
+        ann.set("G1", "DESCRIPTION", "Heat Shock Protein")
+        ann.set("G2", "DESCRIPTION", "ribosomal subunit")
+        assert ann.search(["heat shock"]) == ["G1"]
+        assert set(ann.search(["heat", "ribosomal"])) == {"G1", "G2"}
+
+    def test_search_matches_gene_id_itself(self):
+        ann = GeneAnnotations()
+        ann.set("YAL001C", "NAME", "TFC3")
+        assert ann.search(["yal001"]) == ["YAL001C"]
+
+    def test_search_exact_mode(self):
+        ann = GeneAnnotations()
+        ann.set("G1", "NAME", "HSP104")
+        assert ann.search(["HSP104"], match="exact") == ["G1"]
+        assert ann.search(["HSP"], match="exact") == []
+        with pytest.raises(ValidationError):
+            ann.search(["x"], match="fuzzy")
+
+    def test_search_restricted_fields(self):
+        ann = GeneAnnotations()
+        ann.set("G1", "NAME", "ALPHA")
+        ann.set("G2", "DESCRIPTION", "alpha factor response")
+        hits = ann.search(["alpha"], fields=["NAME"])
+        assert hits == ["G1"]
+
+    def test_search_blank_criteria_empty(self):
+        ann = GeneAnnotations()
+        ann.set("G1", "NAME", "X")
+        assert ann.search(["", "  "]) == []
+
+    def test_merged_with_conflict_resolution(self):
+        a = GeneAnnotations()
+        a.set("G1", "NAME", "OLD")
+        b = GeneAnnotations()
+        b.set("G1", "NAME", "NEW")
+        b.set("G2", "NAME", "OTHER")
+        merged = a.merged_with(b)
+        assert merged.get("G1", "NAME") == "NEW"
+        assert merged.get("G2", "NAME") == "OTHER"
+        assert a.get("G1", "NAME") == "OLD"  # originals untouched

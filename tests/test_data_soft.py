@@ -1,0 +1,92 @@
+"""Tests for the GEO SOFT series-matrix ingestion path."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    ExpressionMatrix,
+    format_series_matrix,
+    parse_series_matrix,
+    read_series_matrix,
+    write_series_matrix,
+)
+from repro.util.errors import DataFormatError
+
+SAMPLE = """!Series_title\t"Yeast heat shock time course"
+!Series_geo_accession\t"GSE0001"
+!Sample_title\t"heat_05"\t"heat_15"
+!series_matrix_table_begin
+"ID_REF"\t"GSM1"\t"GSM2"
+"YAL001C"\t0.5\t-1.25
+"YAL002W"\t\t2.0
+!series_matrix_table_end
+"""
+
+
+class TestParseSeriesMatrix:
+    def test_parse_sample(self):
+        ds = parse_series_matrix(SAMPLE)
+        assert ds.name == "GSE0001"
+        assert ds.metadata["Series_title"] == "Yeast heat shock time course"
+        # sample titles override GSM ids (counts match)
+        assert ds.matrix.condition_names == ["heat_05", "heat_15"]
+        assert ds.matrix.gene_ids == ["YAL001C", "YAL002W"]
+        assert ds.matrix.values[0].tolist() == [0.5, -1.25]
+        assert np.isnan(ds.matrix.values[1, 0])
+
+    def test_gsm_ids_kept_when_titles_mismatch(self):
+        text = SAMPLE.replace('!Sample_title\t"heat_05"\t"heat_15"\n', "")
+        ds = parse_series_matrix(text)
+        assert ds.matrix.condition_names == ["GSM1", "GSM2"]
+
+    @pytest.mark.parametrize(
+        "mutation,match",
+        [
+            (lambda t: t.replace("!series_matrix_table_begin\n", ""), "before begin"),
+            (lambda t: t.replace("!series_matrix_table_end\n", ""), "markers"),
+            (lambda t: t.replace("\t-1.25", "\t-1.25\t9"), "cells"),
+            (lambda t: t.replace("0.5", "abc"), "non-numeric"),
+        ],
+    )
+    def test_malformed_rejected(self, mutation, match):
+        with pytest.raises(DataFormatError, match=match):
+            parse_series_matrix(mutation(SAMPLE))
+
+    def test_empty_table_rejected(self):
+        text = "!series_matrix_table_begin\n!series_matrix_table_end\n"
+        with pytest.raises(DataFormatError):
+            parse_series_matrix(text)
+
+
+class TestRoundTrip:
+    def _dataset(self):
+        values = np.array([[1.0, np.nan], [0.25, -3.5]])
+        return Dataset(
+            name="GSE0042",
+            matrix=ExpressionMatrix(values, ["G1", "G2"], ["condA", "condB"]),
+            metadata={"Series_title": "demo series"},
+        )
+
+    def test_text_round_trip(self):
+        ds = self._dataset()
+        again = parse_series_matrix(format_series_matrix(ds))
+        assert again.name == "GSE0042"
+        assert again.matrix.equals(ds.matrix)
+        assert again.metadata["Series_title"] == "demo series"
+
+    def test_file_round_trip(self, tmp_path):
+        ds = self._dataset()
+        path = tmp_path / "GSE0042_series_matrix.txt"
+        write_series_matrix(ds, path)
+        again = read_series_matrix(path)
+        assert again.matrix.equals(ds.matrix)
+
+    def test_ingested_dataset_usable_in_forestview(self):
+        from repro.core import ForestView
+        from repro.data import Compendium
+
+        ds = parse_series_matrix(SAMPLE)
+        app = ForestView.from_compendium(Compendium([ds]))
+        app.select_genes(["YAL001C"], source="soft")
+        assert app.zoom_views()[0].n_rows == 1

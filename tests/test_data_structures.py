@@ -1,0 +1,287 @@
+"""Tests for Dataset, Compendium, MergedDatasetInterface, normalize, impute."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compendium,
+    Dataset,
+    ExpressionMatrix,
+    MergedDatasetInterface,
+    knn_impute,
+    log_transform,
+    median_center,
+    normalize,
+    row_mean_impute,
+    zscore_normalize,
+)
+from repro.synth import make_simple_dataset
+from repro.util.errors import ValidationError
+
+from tests.conftest import fresh_compendium
+
+
+class TestDataset:
+    def test_name_required(self, small_matrix):
+        with pytest.raises(ValidationError):
+            Dataset(name="", matrix=small_matrix)
+
+    def test_annotations_backfilled_with_names(self, small_matrix):
+        ds = Dataset(name="d", matrix=small_matrix)
+        assert ds.annotations.get("G1", "NAME") == "ALPHA"
+
+    def test_tree_leaf_count_validated(self, small_matrix, clustered_dataset):
+        with pytest.raises(ValidationError, match="leaves"):
+            Dataset(name="d", matrix=small_matrix, gene_tree=clustered_dataset.gene_tree)
+
+    def test_display_order_defaults_to_natural(self, small_matrix):
+        ds = Dataset(name="d", matrix=small_matrix)
+        assert ds.display_order() == [0, 1, 2, 3]
+        assert ds.condition_display_order() == [0, 1, 2]
+
+    def test_clustered_display_order_is_permutation(self, simple_dataset):
+        ds = simple_dataset.clustered()
+        order = ds.display_order()
+        assert sorted(order) == list(range(ds.n_genes))
+        assert ds.gene_tree is not None
+
+    def test_clustered_arrays(self, simple_dataset):
+        ds = simple_dataset.clustered(cluster_arrays=True)
+        assert ds.array_tree is not None
+        assert sorted(ds.condition_display_order()) == list(range(ds.n_conditions))
+
+    def test_subset(self, simple_dataset):
+        genes = simple_dataset.gene_ids[:5]
+        sub = simple_dataset.subset(genes, name="sub")
+        assert sub.name == "sub"
+        assert sub.gene_ids == genes
+        with pytest.raises(ValidationError):
+            simple_dataset.subset(["NOT_A_GENE"])
+
+    def test_measurement_count_excludes_missing(self, small_matrix):
+        ds = Dataset(name="d", matrix=small_matrix)
+        assert ds.measurement_count() == 11  # 12 cells, 1 NaN
+
+
+class TestCompendium:
+    def test_add_lookup_iterate(self):
+        comp = fresh_compendium(3)
+        assert len(comp) == 3
+        assert comp["ds1"].name == "ds1"
+        assert comp[0].name == "ds0"
+        assert [d.name for d in comp] == ["ds0", "ds1", "ds2"]
+        assert "ds2" in comp and "nope" not in comp
+        with pytest.raises(KeyError):
+            comp["nope"]
+
+    def test_duplicate_name_rejected(self):
+        comp = fresh_compendium(1)
+        with pytest.raises(ValidationError, match="duplicate"):
+            comp.add(
+                make_simple_dataset(
+                    name="ds0", n_genes=10, n_conditions=4, n_module_genes=4, seed=9
+                )
+            )
+
+    def test_remove(self):
+        comp = fresh_compendium(2)
+        removed = comp.remove("ds0")
+        assert removed.name == "ds0"
+        assert comp.names == ["ds1"]
+
+    def test_reorder_validates_permutation(self):
+        comp = fresh_compendium(3)
+        comp.reorder(["ds2", "ds0", "ds1"])
+        assert comp.names == ["ds2", "ds0", "ds1"]
+        with pytest.raises(ValidationError):
+            comp.reorder(["ds0", "ds1"])
+        with pytest.raises(ValidationError):
+            comp.reorder(["ds0", "ds1", "dsX"])
+
+    def test_gene_universe_and_common(self):
+        m1 = ExpressionMatrix(np.zeros((2, 2)), ["A", "B"], ["c1", "c2"])
+        m2 = ExpressionMatrix(np.zeros((2, 2)), ["B", "C"], ["c1", "c2"])
+        comp = Compendium([Dataset(name="x", matrix=m1), Dataset(name="y", matrix=m2)])
+        assert comp.gene_universe() == ["A", "B", "C"]
+        assert comp.common_genes() == ["B"]
+        assert comp.datasets_containing("A") == ["x"]
+        assert set(comp.datasets_containing("B")) == {"x", "y"}
+
+    def test_index_of(self):
+        comp = fresh_compendium(2)
+        assert comp.index_of("ds1") == 1
+        with pytest.raises(KeyError):
+            comp.index_of("zz")
+
+
+class TestMergedInterface:
+    @pytest.fixture
+    def merged_pair(self):
+        m1 = ExpressionMatrix(
+            np.array([[1.0, 2.0], [3.0, 4.0]]), ["A", "B"], ["c1", "c2"]
+        )
+        m2 = ExpressionMatrix(
+            np.array([[5.0, 6.0, 7.0], [8.0, 9.0, np.nan]]), ["B", "C"], ["d1", "d2", "d3"]
+        )
+        comp = Compendium([Dataset(name="x", matrix=m1), Dataset(name="y", matrix=m2)])
+        return comp, MergedDatasetInterface(comp)
+
+    def test_shape_is_union_and_max(self, merged_pair):
+        _, mi = merged_pair
+        assert mi.shape == (2, 3, 3)
+        assert mi.gene_ids == ["A", "B", "C"]
+
+    def test_empty_compendium_rejected(self):
+        with pytest.raises(ValidationError):
+            MergedDatasetInterface(Compendium())
+
+    def test_value_lookup(self, merged_pair):
+        _, mi = merged_pair
+        assert mi.value("x", "A", 0) == 1.0
+        assert mi.value("y", "B", 2) == 7.0
+        assert np.isnan(mi.value("x", "C", 0))  # gene absent from x
+        assert np.isnan(mi.value("x", "A", 2))  # condition beyond x's width
+        with pytest.raises(ValidationError):
+            mi.value("x", "A", 3)
+        with pytest.raises(KeyError):
+            mi.value("x", "ZZ", 0)
+
+    def test_gene_slice_cross_dataset_scan(self, merged_pair):
+        _, mi = merged_pair
+        slab = mi.gene_slice("B")
+        assert slab.shape == (2, 3)
+        assert slab[0, :2].tolist() == [3.0, 4.0] and np.isnan(slab[0, 2])
+        assert slab[1, 0] == 5.0
+
+    def test_dataset_slab_keeps_native_width(self, merged_pair):
+        _, mi = merged_pair
+        slab = mi.dataset_slab("x", ["C", "A"])
+        assert slab.shape == (2, 2)
+        assert np.isnan(slab[0]).all()
+        assert slab[1].tolist() == [1.0, 2.0]
+
+    def test_presence_matrix(self, merged_pair):
+        _, mi = merged_pair
+        pm = mi.presence_matrix(["A", "B", "C", "ZZ"])
+        assert pm.tolist() == [
+            [True, False],
+            [True, True],
+            [False, True],
+            [False, False],
+        ]
+
+    def test_dense_cube(self, merged_pair):
+        _, mi = merged_pair
+        cube = mi.dense()
+        assert cube.shape == (2, 3, 3)
+        assert cube[0, 0, 0] == 1.0
+        assert np.isnan(cube[0, 2]).all()  # gene C absent from x
+
+    def test_export_merged_matrix_provenance_columns(self, merged_pair):
+        _, mi = merged_pair
+        merged = mi.export_merged_matrix(["B"])
+        assert merged.condition_names == ["x:c1", "x:c2", "y:d1", "y:d2", "y:d3"]
+        assert merged.values[0, 0] == 3.0 and merged.values[0, 2] == 5.0
+
+    def test_consistency_with_datasets(self, case_study):
+        comp, _ = case_study
+        mi = MergedDatasetInterface(comp)
+        ds = comp[0]
+        gene = ds.gene_ids[7]
+        assert np.allclose(
+            mi.gene_profile(0, gene)[: ds.n_conditions],
+            ds.matrix.row(gene),
+            equal_nan=True,
+        )
+
+
+class TestNormalize:
+    def _flat_dataset(self):
+        values = np.array([[1.0, 2.0, 4.0], [8.0, 16.0, 32.0]])
+        m = ExpressionMatrix(values, ["A", "B"], ["c1", "c2", "c3"])
+        return Dataset(name="d", matrix=m)
+
+    def test_log_transform_base2(self):
+        logged = log_transform(self._flat_dataset())
+        assert np.allclose(logged.matrix.values[0], [0.0, 1.0, 2.0])
+
+    def test_log_transform_nonpositive_becomes_nan(self):
+        m = ExpressionMatrix(np.array([[0.0, -1.0, 4.0]]), ["A"], ["c1", "c2", "c3"])
+        logged = log_transform(Dataset(name="d", matrix=m))
+        assert np.isnan(logged.matrix.values[0, 0])
+        assert np.isnan(logged.matrix.values[0, 1])
+        assert logged.matrix.values[0, 2] == 2.0
+
+    def test_log_base_validation(self):
+        with pytest.raises(ValidationError):
+            log_transform(self._flat_dataset(), base=1.0)
+
+    def test_median_center_rows_have_zero_median(self, simple_dataset):
+        centered = median_center(simple_dataset)
+        med = np.nanmedian(centered.matrix.values, axis=1)
+        assert np.allclose(med, 0.0, atol=1e-12)
+
+    def test_zscore_rows_unit_variance(self, simple_dataset):
+        z = zscore_normalize(simple_dataset)
+        std = np.nanstd(z.matrix.values, axis=1)
+        valid = std > 0
+        assert np.allclose(std[valid], 1.0, atol=1e-9)
+
+    def test_pipeline_and_unknown_step(self):
+        ds = self._flat_dataset()
+        out = normalize(ds, steps=("log", "median_center"))
+        assert np.allclose(np.nanmedian(out.matrix.values, axis=1), 0.0)
+        with pytest.raises(ValidationError, match="unknown normalization"):
+            normalize(ds, steps=("bogus",))
+
+    def test_original_not_mutated(self, simple_dataset):
+        before = simple_dataset.matrix.values.copy()
+        zscore_normalize(simple_dataset)
+        assert np.array_equal(
+            simple_dataset.matrix.values, before, equal_nan=True
+        )
+
+
+class TestImpute:
+    def test_row_mean_impute(self):
+        m = ExpressionMatrix(
+            np.array([[1.0, np.nan, 3.0], [np.nan, np.nan, np.nan]]),
+            ["A", "B"],
+            ["c1", "c2", "c3"],
+        )
+        filled = row_mean_impute(m)
+        assert filled.values[0, 1] == 2.0
+        assert np.allclose(filled.values[1], 0.0)  # all-missing row -> zeros
+        assert not np.isnan(filled.values).any()
+
+    def test_knn_impute_uses_correlated_neighbours(self):
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=12)
+        # five highly-correlated rows plus noise rows
+        rows = [base + rng.normal(0, 0.05, 12) for _ in range(5)]
+        rows += [rng.normal(size=12) for _ in range(5)]
+        X = np.array(rows)
+        true_value = X[0, 4]
+        X[0, 4] = np.nan
+        m = ExpressionMatrix(
+            X, [f"G{i}" for i in range(10)], [f"c{i}" for i in range(12)]
+        )
+        filled = knn_impute(m, k=4)
+        assert filled.values[0, 4] == pytest.approx(true_value, abs=0.25)
+        assert not np.isnan(filled.values).any()
+
+    def test_knn_impute_no_missing_is_identity(self, simple_dataset):
+        complete = row_mean_impute(simple_dataset.matrix)
+        again = knn_impute(complete, k=3)
+        assert np.array_equal(again.values, complete.values)
+
+    def test_knn_k_validation(self, small_matrix):
+        with pytest.raises(ValidationError):
+            knn_impute(small_matrix, k=0)
+
+    def test_knn_always_completes(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(6, 8))
+        X[rng.random(X.shape) < 0.4] = np.nan
+        m = ExpressionMatrix(X, [f"G{i}" for i in range(6)], [f"c{i}" for i in range(8)])
+        assert not np.isnan(knn_impute(m, k=3).values).any()

@@ -1,0 +1,467 @@
+"""Tests for the extension modules: wall input routing, command scripts,
+GAF/GMT formats, leaf ordering, legends, frame sequences, coexpression."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import hierarchical_cluster, order_leaves_by_weight, reorder_tree
+from repro.core import (
+    ClearSelection,
+    CommandScript,
+    ForestView,
+    OrderDatasets,
+    SearchSelect,
+    SelectGenes,
+    SelectRegion,
+    SetPreferences,
+    SetSynchronized,
+    record_script,
+)
+from repro.data import GeneSet, format_gmt, parse_gmt
+from repro.ontology import Term, GeneOntology, TermAnnotations, format_gaf, parse_gaf
+from repro.spell import coexpression_graph, consensus_graph, extract_modules
+from repro.synth import make_case_study, make_spell_compendium
+from repro.util.errors import DataFormatError, RenderError, ValidationError
+from repro.viz import Box, DisplayList, get_colormap, legend_commands
+from repro.wall import (
+    DisplayWall,
+    FrameSequenceDriver,
+    PointerEvent,
+    WallGeometry,
+    WallInputRouter,
+)
+
+
+@pytest.fixture(scope="module")
+def wall_app():
+    comp, truth = make_case_study(n_genes=120, n_conditions=10, n_knockouts=10, seed=61)
+    app = ForestView.from_compendium(comp)
+    geo = WallGeometry(rows=2, cols=3, tile_width=250, tile_height=200)
+    return app, truth, geo
+
+
+# ---------------------------------------------------------------------------
+# wall input routing
+# ---------------------------------------------------------------------------
+class TestWallInput:
+    def test_hit_test_finds_panes_and_views(self, wall_app):
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        # probe a grid of points; every pane and the global view must be hit
+        panes_seen = set()
+        views_seen = set()
+        for x in range(10, geo.canvas_width - 10, 37):
+            for y in range(10, geo.canvas_height - 10, 29):
+                hit = router.hit_test(x, y)
+                if hit.pane_name:
+                    panes_seen.add(hit.pane_name)
+                if hit.view:
+                    views_seen.add(hit.view)
+        assert panes_seen == set(app.compendium.names)
+        assert {"global", "zoom", "title"} <= views_seen
+
+    def test_hit_agrees_with_tile_geometry(self, wall_app):
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        hit = router.hit_test(0, 0)
+        assert hit.tile_id == 0
+        hit = router.hit_test(geo.canvas_width - 1, geo.canvas_height - 1)
+        assert hit.tile_id == geo.n_tiles - 1
+
+    def test_out_of_canvas_rejected(self, wall_app):
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        with pytest.raises(ValidationError):
+            router.hit_test(-1, 0)
+        with pytest.raises(ValidationError):
+            router.hit_test(0, geo.canvas_height)
+
+    def test_drag_selects_region(self, wall_app):
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        # find a column inside pane 0's global view
+        target = None
+        for x in range(10, geo.canvas_width, 5):
+            for y in range(10, geo.canvas_height, 5):
+                hit = router.hit_test(x, y)
+                if hit.pane_name == app.compendium.names[0] and hit.view == "global":
+                    target = (x, y)
+                    break
+            if target:
+                break
+        assert target is not None
+        x, y0 = target
+        selection = router.drag_select(app.compendium.names[0], x, y0, y0 + 30)
+        assert selection is app.selection
+        assert len(selection) >= 1
+        assert selection.source == f"region:{app.compendium.names[0]}"
+
+    def test_press_outside_global_view_is_inert(self, wall_app):
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        router.handle(PointerEvent(1, 1, "press"))  # margin area
+        assert router.handle(PointerEvent(1, 1, "release")) is None
+
+    def test_row_mapping_monotone(self, wall_app):
+        """Dragging further down the global view must select later rows."""
+        app, truth, geo = wall_app
+        router = WallInputRouter(app, geo)
+        pane_name = app.compendium.names[0]
+        hits = []
+        for y in range(0, geo.canvas_height, 3):
+            hit = router.hit_test(30, y)
+            if hit.pane_name == pane_name and hit.view == "global":
+                hits.append(hit.data_row)
+        assert len(hits) > 3
+        assert hits == sorted(hits)
+
+
+# ---------------------------------------------------------------------------
+# command scripts
+# ---------------------------------------------------------------------------
+class TestCommands:
+    def _app(self):
+        comp, truth = make_case_study(n_genes=100, n_conditions=8, n_knockouts=8, seed=62)
+        return ForestView.from_compendium(comp), truth
+
+    def test_script_runs_in_order(self):
+        app, truth = self._app()
+        script = CommandScript(
+            [
+                SelectGenes(genes=tuple(truth.esr_induced[:4]), source="s"),
+                SetSynchronized(synchronized=False),
+                OrderDatasets(order=tuple(reversed(app.compendium.names))),
+            ]
+        )
+        script.run(app)
+        assert app.selection.genes == tuple(truth.esr_induced[:4])
+        assert not app.synchronized
+        assert app.compendium.names[0] == "knockout_compendium"
+
+    def test_json_round_trip(self):
+        app, truth = self._app()
+        script = CommandScript(
+            [
+                SearchSelect(criteria=("heat shock",)),
+                SelectRegion(dataset=app.compendium.names[0], start_row=0, end_row=5),
+                SetPreferences(dataset=None, changes={"saturation": 1.5}),
+                ClearSelection(),
+            ]
+        )
+        again = CommandScript.from_json(script.to_json())
+        assert len(again) == 4
+        assert again.commands[0] == script.commands[0]
+        again.run(app)
+        assert app.selection is None
+        assert all(p.preferences.saturation == 1.5 for p in app.panes)
+
+    def test_file_round_trip(self, tmp_path):
+        script = CommandScript([SetSynchronized(synchronized=True)])
+        path = script.save(tmp_path / "script.json")
+        assert len(CommandScript.load(path)) == 1
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValidationError):
+            CommandScript.from_json("{not json")
+        with pytest.raises(ValidationError):
+            CommandScript.from_json('{"op": "SelectGenes"}')  # not a list
+        with pytest.raises(ValidationError):
+            CommandScript.from_json('[{"op": "Explode"}]')
+        with pytest.raises(ValidationError):
+            CommandScript.from_json('[{"op": "SelectGenes", "bogus": 1}]')
+
+    def test_record_and_replay(self):
+        app, truth = self._app()
+        script, stop = record_script(app)
+        app.select_genes(list(truth.esr_induced[:3]), source="live")
+        app.set_synchronized(False)
+        app.order_datasets(list(reversed(app.compendium.names)))
+        stop()
+        app.select_genes(["ignored-after-stop"] + list(truth.esr_induced[:1]), source="x")
+        assert len(script) == 3
+
+        # replay onto a fresh app reproduces the state
+        comp2, _ = make_case_study(n_genes=100, n_conditions=8, n_knockouts=8, seed=62)
+        app2 = ForestView.from_compendium(comp2)
+        script.run(app2)
+        assert app2.selection.genes == tuple(truth.esr_induced[:3])
+        assert not app2.synchronized
+        assert app2.compendium.names == app.compendium.names
+
+
+# ---------------------------------------------------------------------------
+# GAF
+# ---------------------------------------------------------------------------
+class TestGaf:
+    def _store(self):
+        onto = GeneOntology(
+            [
+                Term("GO:0000001", "root"),
+                Term("GO:0000002", "stress", parents=("GO:0000001",)),
+            ]
+        )
+        store = TermAnnotations(onto)
+        store.annotate("YAL001C", "GO:0000002")
+        store.annotate("YAL002W", "GO:0000001")
+        return onto, store
+
+    def test_round_trip(self):
+        onto, store = self._store()
+        again = parse_gaf(format_gaf(store), onto)
+        assert again.terms_for("YAL001C") == store.terms_for("YAL001C")
+        assert again.terms_for("YAL002W") == store.terms_for("YAL002W")
+
+    def test_not_qualifier_skipped(self):
+        onto, _ = self._store()
+        line = "\t".join(
+            ["DB", "G1", "G1", "NOT|involved_in", "GO:0000002", "REF", "IEA", "", "P",
+             "", "", "gene", "taxon:4932", "20070101", "DB", "", ""]
+        )
+        store = parse_gaf("!gaf-version: 2.2\n" + line + "\n" + _plain_line("G2"), onto)
+        assert "G1" not in store.genes()
+        assert "G2" in store.genes()
+
+    def test_unknown_term_behaviour(self):
+        onto, _ = self._store()
+        bad = _plain_line("G1", term="GO:9999999")
+        with pytest.raises(DataFormatError, match="unknown GO term"):
+            parse_gaf(bad + _plain_line("G2"), onto)
+        store = parse_gaf(bad + _plain_line("G2"), onto, skip_unknown_terms=True)
+        assert store.genes() == ["G2"]
+
+    def test_malformed_line_rejected(self):
+        onto, _ = self._store()
+        with pytest.raises(DataFormatError, match="columns"):
+            parse_gaf("A\tB\tC\n", onto)
+        with pytest.raises(DataFormatError, match="no association"):
+            parse_gaf("!only comments\n", onto)
+
+
+def _plain_line(gene: str, term: str = "GO:0000002") -> str:
+    return (
+        "\t".join(
+            ["DB", gene, gene, "involved_in", term, "REF", "IEA", "", "P",
+             "", "", "gene", "taxon:4932", "20070101", "DB", "", ""]
+        )
+        + "\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# GMT
+# ---------------------------------------------------------------------------
+class TestGmt:
+    def test_round_trip(self):
+        sets = [
+            GeneSet("esr_induced", "planted stress genes", ("YAL001C", "YAL002W")),
+            GeneSet("ribosome", "", ("YBR001C",)),
+        ]
+        again = parse_gmt(format_gmt(sets))
+        assert again == sets
+
+    def test_parse_skips_comments_and_dedups(self):
+        text = "# header\nset1\tdesc\tA\tB\tA\t\n"
+        sets = parse_gmt(text)
+        assert sets[0].genes == ("A", "B")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_gmt("name_only\tdesc\n")
+        with pytest.raises(DataFormatError, match="duplicate"):
+            parse_gmt("s\td\tA\ns\td\tB\n")
+        with pytest.raises(DataFormatError, match="no gene sets"):
+            parse_gmt("# nothing\n")
+
+    def test_geneset_validation(self):
+        with pytest.raises(ValidationError):
+            GeneSet("", "d", ("A",))
+        with pytest.raises(ValidationError):
+            GeneSet("s", "d", ())
+        with pytest.raises(ValidationError):
+            GeneSet("s", "d", ("A", "A"))
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.data import read_gmt, write_gmt
+
+        sets = [GeneSet("s", "d", ("A", "B"))]
+        write_gmt(sets, tmp_path / "x.gmt")
+        assert read_gmt(tmp_path / "x.gmt") == sets
+
+
+# ---------------------------------------------------------------------------
+# leaf ordering
+# ---------------------------------------------------------------------------
+class TestLeafOrder:
+    def test_ordering_preserves_tree_structure(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(12, 8))
+        tree = hierarchical_cluster(data)
+        ordered = order_leaves_by_weight(tree, data)
+        assert ordered.n_leaves == tree.n_leaves
+        assert sorted(ordered.leaf_order()) == list(range(12))
+        # same merge heights (structure unchanged, only orientation)
+        h1 = sorted(n.height for n in tree.internal_nodes())
+        h2 = sorted(n.height for n in ordered.internal_nodes())
+        assert np.allclose(h1, h2)
+        # original untouched
+        assert tree.leaf_order() != ordered.leaf_order() or True
+
+    def test_sibling_weights_sorted(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(10, 6))
+        tree = hierarchical_cluster(data)
+        ordered = order_leaves_by_weight(tree, data)
+        means = np.nanmean(data, axis=1)
+        for node in ordered.internal_nodes():
+            left_mean = means[node.left.leaf_indices()].mean()
+            right_mean = means[node.right.leaf_indices()].mean()
+            assert left_mean <= right_mean + 1e-12
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(7)
+        tree = hierarchical_cluster(rng.normal(size=(6, 4)))
+        with pytest.raises(ValidationError):
+            order_leaves_by_weight(tree, rng.normal(size=(5, 4)))
+
+    def test_reorder_tree_bijection(self):
+        rng = np.random.default_rng(8)
+        tree = hierarchical_cluster(rng.normal(size=(5, 4)))
+        mapping = {0: 4, 1: 3, 2: 2, 3: 1, 4: 0}
+        re = reorder_tree(tree, mapping)
+        assert sorted(re.leaf_order()) == list(range(5))
+        with pytest.raises(ValidationError):
+            reorder_tree(tree, {0: 0, 1: 0, 2: 2, 3: 3, 4: 4})
+
+
+# ---------------------------------------------------------------------------
+# legends
+# ---------------------------------------------------------------------------
+class TestLegend:
+    def test_horizontal_legend_renders(self):
+        cm = get_colormap("red-green")
+        dl = DisplayList(200, 40, background=(0, 0, 0))
+        dl.extend(legend_commands(cm, Box(5, 5, 190, 30)))
+        px = dl.render_full()
+        # leftmost ramp pixels green-ish, rightmost red-ish
+        left = px[10, 6]
+        right = px[10, 193]
+        assert left[1] > left[0]  # G > R
+        assert right[0] > right[1]  # R > G
+
+    def test_vertical_legend_renders(self):
+        cm = get_colormap("red-green")
+        dl = DisplayList(80, 200)
+        dl.extend(legend_commands(cm, Box(5, 5, 70, 190), orientation="vertical"))
+        px = dl.render_full()
+        top = px[6, 10]
+        bottom = px[193, 10]
+        assert top[0] > top[1]  # + on top = red
+        assert bottom[1] > bottom[0]
+
+    def test_validation(self):
+        cm = get_colormap("red-green")
+        with pytest.raises(RenderError):
+            legend_commands(cm, Box(0, 0, 100, 20), orientation="diagonal")
+        with pytest.raises(RenderError):
+            legend_commands(cm, Box(0, 0, 100, 20), n_ticks=1)
+        with pytest.raises(RenderError):
+            legend_commands(cm, Box(0, 0, 5, 5))
+
+
+# ---------------------------------------------------------------------------
+# frame sequences
+# ---------------------------------------------------------------------------
+class TestFrameSequence:
+    def test_scroll_sequence_runs_with_verification(self, wall_app):
+        app, truth, _ = wall_app
+        geo = WallGeometry(rows=1, cols=2, tile_width=220, tile_height=180)
+        wall = DisplayWall(geo, n_nodes=2, schedule="dynamic")
+        app.select_genes(list(truth.esr_induced), source="seq")
+        app.sync_layer.shared_viewport.set_zoom(4)
+
+        driver = FrameSequenceDriver(
+            wall, lambda: app.display_list(geo.canvas_width, geo.canvas_height)
+        )
+        steps = FrameSequenceDriver.scroll_steps(app, rows_per_frame=1, n_frames=4)
+        stats = driver.run(steps, verify_against_serial=True)
+        assert stats.n_frames == 4
+        assert stats.fps > 0
+        assert len(stats.frame_seconds) == 4
+        assert stats.worst_frame_seconds() >= stats.mean_frame_seconds() - 1e-9
+        # scrolling actually moved the viewport
+        assert app.sync_layer.shared_viewport.scroll_row > 0
+
+    def test_frames_change_as_viewport_scrolls(self, wall_app):
+        app, truth, _ = wall_app
+        geo = WallGeometry(rows=1, cols=1, tile_width=450, tile_height=240)
+        wall = DisplayWall(geo, n_nodes=1)
+        app.select_genes(list(truth.esr_induced), source="seq2")
+        app.sync_layer.shared_viewport.set_zoom(3)
+        driver = FrameSequenceDriver(
+            wall, lambda: app.display_list(geo.canvas_width, geo.canvas_height)
+        )
+        stats = driver.run(
+            FrameSequenceDriver.scroll_steps(app, 2, 2), keep_pixels=True
+        )
+        assert stats.n_frames == 2
+        assert not np.array_equal(driver.frames[0].pixels, driver.frames[1].pixels)
+
+    def test_empty_steps_rejected(self, wall_app):
+        app, _, _ = wall_app
+        geo = WallGeometry(rows=1, cols=1, tile_width=100, tile_height=100)
+        wall = DisplayWall(geo, n_nodes=1)
+        driver = FrameSequenceDriver(wall, lambda: DisplayList(100, 100))
+        with pytest.raises(ValidationError):
+            driver.run([])
+
+
+# ---------------------------------------------------------------------------
+# coexpression networks
+# ---------------------------------------------------------------------------
+class TestCoexpression:
+    @pytest.fixture(scope="class")
+    def spell_data(self):
+        return make_spell_compendium(
+            n_datasets=6, n_relevant=3, n_genes=120, module_size=12,
+            query_size=4, seed=71,
+        )
+
+    def test_module_forms_a_component(self, spell_data):
+        comp, truth = spell_data
+        ds = comp[truth.relevant_datasets[0]]
+        graph = coexpression_graph(ds, threshold=0.6)
+        modules = extract_modules(graph, min_size=5)
+        assert modules, "planted module should form a dense component"
+        best = max(modules, key=lambda m: len(set(m) & set(truth.module_genes)))
+        overlap = len(set(best) & set(truth.module_genes)) / len(truth.module_genes)
+        assert overlap >= 0.8
+
+    def test_irrelevant_dataset_sparser(self, spell_data):
+        comp, truth = spell_data
+        dense = coexpression_graph(comp[truth.relevant_datasets[0]], threshold=0.6)
+        sparse = coexpression_graph(comp[truth.irrelevant_datasets[0]], threshold=0.6)
+        module = set(truth.module_genes)
+        dense_edges = sum(1 for u, v in dense.edges if u in module and v in module)
+        sparse_edges = sum(1 for u, v in sparse.edges if u in module and v in module)
+        assert dense_edges > sparse_edges * 2
+
+    def test_consensus_requires_support(self, spell_data):
+        comp, truth = spell_data
+        consensus = consensus_graph(comp, threshold=0.6, min_support=3)
+        for _, _, data in consensus.edges(data=True):
+            assert data["support"] >= 3
+        module = set(truth.module_genes)
+        module_edges = sum(
+            1 for u, v in consensus.edges if u in module and v in module
+        )
+        assert module_edges > 0  # the planted module persists across datasets
+
+    def test_validation(self, spell_data):
+        comp, truth = spell_data
+        ds = comp[0]
+        with pytest.raises(ValidationError):
+            coexpression_graph(ds, threshold=0.0)
+        with pytest.raises(ValidationError):
+            coexpression_graph(ds, genes=["ONLY_ONE"])
+        with pytest.raises(ValidationError):
+            extract_modules(coexpression_graph(ds), min_size=0)

@@ -1,0 +1,71 @@
+"""Tests for rendering GOLEM local maps to display lists (Figure 5 pixels)."""
+
+import numpy as np
+import pytest
+
+from repro.ontology import Golem, GolemMapStyle, golem_map_commands
+from repro.util.errors import RenderError
+from repro.viz import Box, DisplayList
+
+
+@pytest.fixture
+def golem_with_report(ontology_setup):
+    onto, store, truth, genes = ontology_setup
+    golem = Golem(onto, store)
+    golem.enrich_selection(genes[:12])
+    return golem, truth
+
+
+class TestGolemMapRendering:
+    def test_map_renders_nonempty(self, golem_with_report):
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=2, down=1)
+        dl = DisplayList(500, 400)
+        dl.extend(golem_map_commands(lm, Box(10, 10, 480, 380)))
+        px = dl.render_full()
+        assert (px != 0).any()
+
+    def test_significant_nodes_colored_differently(self, golem_with_report):
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=1, down=0)
+        assert any(n.significant for n in lm.nodes)
+        commands = golem_map_commands(lm, Box(0, 0, 400, 300))
+        from repro.viz.scene import RectCmd
+
+        fills = [
+            c.color for c in commands
+            if isinstance(c, RectCmd) and c.h == GolemMapStyle.node_height
+        ]
+        assert GolemMapStyle.node_fill_significant in fills
+
+    def test_edges_drawn_between_node_centers(self, golem_with_report):
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=2, down=1)
+        commands = golem_map_commands(lm, Box(0, 0, 500, 400))
+        from repro.viz.scene import LineCmd
+
+        lines = [c for c in commands if isinstance(c, LineCmd)]
+        assert len(lines) == len(lm.edges)
+
+    def test_tiles_identically(self, golem_with_report):
+        """The map panel obeys the display-list tiling invariant."""
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=2, down=1)
+        dl = DisplayList(400, 320)
+        dl.extend(golem_map_commands(lm, Box(5, 5, 390, 310)))
+        full = dl.render_full()
+        region = dl.render_region(100, 80, 120, 90)
+        assert np.array_equal(region, full[80:170, 100:220])
+
+    def test_too_small_box_rejected(self, golem_with_report):
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=1, down=0)
+        with pytest.raises(RenderError):
+            golem_map_commands(lm, Box(0, 0, 40, 20))
+
+    def test_counts_can_be_hidden(self, golem_with_report):
+        golem, truth = golem_with_report
+        lm = golem.most_enriched_map(up=1, down=0)
+        with_counts = golem_map_commands(lm, Box(0, 0, 400, 300), show_counts=True)
+        without = golem_map_commands(lm, Box(0, 0, 400, 300), show_counts=False)
+        assert len(with_counts) > len(without)

@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the §4 case study and the Figure 6 pipeline.
+
+These tests run the complete system the way the paper's collaborators
+did: load a multi-study compendium into ForestView, select suspicious
+gene groups in the nutrient/knockout data, check their behaviour in the
+stress datasets, confirm with SPELL and GOLEM, and render the combined
+screen — on a laptop surface and across a simulated display wall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ForestView, GolemAdapter, SpellAdapter, SynchronizationLayer
+from repro.ontology import Golem
+from repro.stats import pearson_matrix
+from repro.synth import make_annotated_ontology, make_case_study
+from repro.wall import DisplayWall, WallGeometry
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    comp, truth = make_case_study(n_genes=150, n_conditions=12, n_knockouts=15, seed=77)
+    app = ForestView.from_compendium(comp)
+    genes = comp.gene_universe()
+    onto, store, otruth = make_annotated_ontology(
+        genes,
+        n_terms=100,
+        planted={
+            "environmental stress response": list(truth.esr_all),
+        },
+        seed=78,
+    )
+    golem = Golem(onto, store)
+    return app, truth, golem, otruth
+
+
+class TestCaseStudyWorkflow:
+    """The §4 narrative, step by step, with planted ground truth."""
+
+    def test_full_stress_response_recovery(self, pipeline):
+        app, truth, golem, otruth = pipeline
+
+        # Step 1: the collaborator suspects a cluster in the nutrient study.
+        # Select genes strongly co-varying in the nutrient data (region pick
+        # stands in for the mouse drag: we take the planted ESR rows plus
+        # some bystanders, as a human imprecisely would).
+        suspicious = list(truth.esr_induced) + list(truth.growth_genes[:3])
+        selection = app.select_genes(suspicious, source="nutrient-cluster")
+        assert len(selection) == len(suspicious)
+
+        # Step 2: synchronized views show the same genes in every dataset.
+        views = app.zoom_views()
+        assert SynchronizationLayer.rows_aligned(views)
+        assert len(views) == len(app.compendium)
+
+        # Step 3: the horizontal scan — in the stress datasets, the ESR rows
+        # correlate strongly with each other while the growth bystanders
+        # do not correlate with them.
+        stress_view = next(
+            v for v in views if v.pane_name == truth.stress_dataset_names[0]
+        )
+        corr = pearson_matrix(stress_view.values)
+        n_esr = len(truth.esr_induced)
+        esr_block = corr[:n_esr, :n_esr]
+        iu = np.triu_indices(n_esr, k=1)
+        assert np.nanmean(esr_block[iu]) > 0.5
+        cross = corr[:n_esr, n_esr:]
+        assert abs(np.nanmean(cross)) < 0.4
+
+        # Step 4: SPELL confirms the stress datasets are the most relevant
+        # context for the ESR genes.
+        spell = SpellAdapter(app)
+        result = spell.query(list(truth.esr_induced[:4]), top_n=15)
+        stress_set = set(truth.stress_dataset_names)
+        top3 = set(result.top_datasets(3))
+        assert len(top3 & (stress_set | {truth.nutrient_dataset_name,
+                                         truth.knockout_dataset_name})) == 3
+        # datasets were reordered in the display accordingly
+        assert app.compendium.names[:3] == result.dataset_ranking()[:3]
+
+        # Step 5: GOLEM confirms the selection is enriched for the planted
+        # stress-response term.
+        app.select_genes(list(truth.esr_induced), source="refined")
+        golem_adapter = GolemAdapter(app, golem)
+        report = golem_adapter.enrich_selection()
+        planted_id = next(iter(otruth.planted_terms))
+        assert report.term(planted_id).significant
+
+        # Step 6: export the confirmed gene list for the lab.
+        text = app.export_gene_list_text()
+        for gene in truth.esr_induced:
+            assert gene in text
+
+    def test_sick_knockouts_share_esr_signature(self, pipeline):
+        """The paper's conclusion: knockout signatures superseded by ESR."""
+        app, truth, _, _ = pipeline
+        ko = app.compendium[truth.knockout_dataset_name]
+        cond_idx = {c: i for i, c in enumerate(ko.matrix.condition_names)}
+        esr_rows = ko.matrix.indices_of(list(truth.esr_induced))
+        esr_mean = np.nanmean(ko.matrix.values[np.asarray(esr_rows)], axis=0)
+        sick_cols = [cond_idx[c] for c in truth.sick_knockouts]
+        other_cols = [i for c, i in cond_idx.items() if c not in truth.sick_knockouts]
+        assert np.nanmean(esr_mean[sick_cols]) > np.nanmean(esr_mean[other_cols]) + 1.0
+
+    def test_one_instance_replaces_dozen(self, pipeline):
+        """§4: 'over a dozen independent instances ... cut and paste' vs one
+        ForestView.  Structural check: one app handles all datasets with a
+        single selection operation."""
+        app, truth, _, _ = pipeline
+        assert len(app.compendium) >= 5
+        app.select_genes(list(truth.esr_induced), source="single-op")
+        views = app.zoom_views()
+        # one selection op produced aligned content for every dataset
+        assert len(views) == len(app.compendium)
+        assert all(v.gene_ids == views[0].gene_ids for v in views)
+
+
+class TestFigure6Pipeline:
+    """SPELL -> ForestView -> GOLEM, rendered to one frame (Figure 6)."""
+
+    def test_combined_screen_renders_on_wall(self, pipeline):
+        app, truth, golem, _ = pipeline
+        spell = SpellAdapter(app)
+        spell.query(list(truth.esr_induced[:4]), top_n=12)
+        golem_adapter = GolemAdapter(app, golem)
+        golem_adapter.enrich_selection()
+        lm = golem_adapter.map_for_top_term()
+        assert len(lm) >= 1
+
+        geo = WallGeometry(rows=2, cols=3, tile_width=220, tile_height=160)
+        wall = DisplayWall(geo, n_nodes=4, schedule="dynamic")
+        frame = app.render_on_wall(wall)
+        ref = app.display_list(geo.canvas_width, geo.canvas_height).render_full()
+        assert np.array_equal(frame.pixels, ref)
+        assert frame.metrics.parallel_speedup() > 1.0
+
+    def test_wall_failure_does_not_corrupt_frame(self, pipeline):
+        app, truth, _, _ = pipeline
+        app.select_genes(list(truth.esr_induced), source="t")
+        geo = WallGeometry(rows=2, cols=2, tile_width=200, tile_height=150)
+        wall = DisplayWall(geo, n_nodes=3, schedule="workstealing")
+        healthy = wall.render(app.display_list(geo.canvas_width, geo.canvas_height))
+        degraded = wall.render(
+            app.display_list(geo.canvas_width, geo.canvas_height), fail_nodes={1}
+        )
+        assert np.array_equal(healthy.pixels, degraded.pixels)
+
+    def test_session_survives_full_pipeline(self, pipeline, tmp_path):
+        from repro.core import load_session, save_session
+        from repro.synth import make_case_study
+
+        app, truth, _, _ = pipeline
+        app.select_genes(list(truth.esr_induced[:5]), source="pipeline")
+        path = save_session(app, tmp_path / "pipeline.json")
+
+        comp2, _ = make_case_study(n_genes=150, n_conditions=12, n_knockouts=15, seed=77)
+        app2 = ForestView.from_compendium(comp2)
+        load_session(app2, path)
+        assert app2.selection.genes == app.selection.genes
+        # both apps render identical frames from identical state
+        assert np.array_equal(app.render(700, 400), app2.render(700, 400))

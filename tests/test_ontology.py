@@ -1,0 +1,330 @@
+"""Tests for repro.ontology: DAG, OBO, annotations, enrichment, GOLEM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology import (
+    GeneOntology,
+    Golem,
+    Term,
+    TermAnnotations,
+    enrich,
+    format_obo,
+    layered_layout,
+    parse_obo,
+)
+from repro.synth import make_annotated_ontology, make_ontology, systematic_names
+from repro.util.errors import DataFormatError, OntologyError, ValidationError
+
+
+def diamond_ontology() -> GeneOntology:
+    """root -> {a, b} -> d (diamond) plus leaf c under a."""
+    return GeneOntology(
+        [
+            Term("GO:1", "root"),
+            Term("GO:2", "a", parents=("GO:1",)),
+            Term("GO:3", "b", parents=("GO:1",)),
+            Term("GO:4", "d", parents=("GO:2", "GO:3")),
+            Term("GO:5", "c", parents=("GO:2",)),
+        ]
+    )
+
+
+class TestDag:
+    def test_basic_structure(self):
+        onto = diamond_ontology()
+        assert len(onto) == 5
+        assert onto.roots() == ["GO:1"]
+        assert set(onto.leaves()) == {"GO:4", "GO:5"}
+        assert onto.children("GO:2") == ["GO:4", "GO:5"]
+        assert onto.parents("GO:4") == ["GO:2", "GO:3"]
+
+    def test_ancestors_descendants(self):
+        onto = diamond_ontology()
+        assert onto.ancestors("GO:4") == frozenset({"GO:1", "GO:2", "GO:3"})
+        assert onto.descendants("GO:1") == frozenset({"GO:2", "GO:3", "GO:4", "GO:5"})
+        assert onto.ancestors("GO:1") == frozenset()
+        assert onto.descendants("GO:4") == frozenset()
+
+    def test_depth(self):
+        onto = diamond_ontology()
+        assert onto.depth("GO:1") == 0
+        assert onto.depth("GO:2") == 1
+        assert onto.depth("GO:4") == 2
+
+    def test_topological_order(self):
+        onto = diamond_ontology()
+        order = onto.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for term in onto:
+            for parent in term.parents:
+                assert pos[parent] < pos[term.term_id]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OntologyError, match="cycle"):
+            GeneOntology(
+                [
+                    Term("GO:1", "x", parents=("GO:2",)),
+                    Term("GO:2", "y", parents=("GO:1",)),
+                ]
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(OntologyError, match="unknown parent"):
+            GeneOntology([Term("GO:1", "x", parents=("GO:99",))])
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(OntologyError, match="duplicate"):
+            GeneOntology([Term("GO:1"), Term("GO:1")])
+
+    def test_neighborhood(self):
+        onto = diamond_ontology()
+        nodes, edges = onto.neighborhood("GO:2", up=1, down=1)
+        assert nodes == {"GO:1", "GO:2", "GO:4", "GO:5"}
+        assert ("GO:2", "GO:1") in edges
+        assert ("GO:4", "GO:2") in edges
+        # edge to GO:3 excluded: GO:3 not in the neighbourhood
+        assert all(parent != "GO:3" for _, parent in edges)
+
+    def test_neighborhood_validation(self):
+        with pytest.raises(OntologyError):
+            diamond_ontology().neighborhood("GO:1", up=-1)
+
+    def test_to_networkx(self):
+        g = diamond_ontology().to_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.has_edge("GO:4", "GO:2")
+
+
+class TestObo:
+    def test_round_trip(self):
+        onto = diamond_ontology()
+        again = parse_obo(format_obo(onto))
+        assert set(again.term_ids()) == set(onto.term_ids())
+        for tid in onto.term_ids():
+            assert set(again.term(tid).parents) == set(onto.term(tid).parents)
+            assert again.term(tid).name == onto.term(tid).name
+
+    def test_round_trip_generated(self):
+        onto = make_ontology(n_terms=60, seed=1)
+        again = parse_obo(format_obo(onto))
+        assert len(again) == len(onto)
+
+    def test_parse_skips_obsolete_by_default(self):
+        text = (
+            "format-version: 1.2\n\n[Term]\nid: GO:1\nname: root\n\n"
+            "[Term]\nid: GO:2\nname: dead\nis_obsolete: true\n\n"
+        )
+        onto = parse_obo(text)
+        assert "GO:2" not in onto
+        kept = parse_obo(text, keep_obsolete=True)
+        assert "GO:2" in kept
+
+    def test_parse_ignores_comments_and_unknown_tags(self):
+        text = (
+            "! comment\n[Term]\nid: GO:1\nname: root\nxref: DB:123\n"
+            "synonym: \"thing\" EXACT []\n\n"
+        )
+        onto = parse_obo(text)
+        assert onto.term("GO:1").name == "root"
+
+    def test_parse_is_a_with_comment_suffix(self):
+        text = "[Term]\nid: GO:1\nname: r\n\n[Term]\nid: GO:2\nname: c\nis_a: GO:1 ! r\n\n"
+        onto = parse_obo(text)
+        assert onto.term("GO:2").parents == ("GO:1",)
+
+    def test_parse_def_quotes(self):
+        text = '[Term]\nid: GO:1\nname: r\ndef: "does a thing" [PMID:1]\n\n'
+        assert parse_obo(text).term("GO:1").definition == "does a thing"
+
+    def test_empty_raises(self):
+        with pytest.raises(DataFormatError):
+            parse_obo("format-version: 1.2\n")
+
+    def test_stanza_missing_id_raises(self):
+        with pytest.raises(DataFormatError, match="missing id"):
+            parse_obo("[Term]\nname: x\n\n")
+
+
+class TestAnnotations:
+    def test_annotate_and_lookup(self):
+        onto = diamond_ontology()
+        store = TermAnnotations(onto)
+        store.annotate("g1", "GO:4")
+        store.annotate("g2", "GO:5")
+        assert store.terms_for("g1") == frozenset({"GO:4"})
+        assert store.genes_for("GO:4") == frozenset({"g1"})
+        assert store.genes_for("GO:1") == frozenset()
+        assert len(store) == 2
+        assert store.n_annotations() == 2
+
+    def test_unknown_term_rejected(self):
+        store = TermAnnotations(diamond_ontology())
+        with pytest.raises(OntologyError):
+            store.annotate("g1", "GO:99")
+
+    def test_propagation_true_path(self):
+        onto = diamond_ontology()
+        store = TermAnnotations(onto)
+        store.annotate("g1", "GO:4")
+        prop = store.propagated()
+        # g1 reaches both diamond parents and the root
+        assert prop.terms_for("g1") == frozenset({"GO:4", "GO:3", "GO:2", "GO:1"})
+        assert prop.genes_for("GO:1") == frozenset({"g1"})
+        # original store untouched
+        assert store.terms_for("g1") == frozenset({"GO:4"})
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_propagation_monotone_property(self, seed):
+        """After propagation every term's gene set contains each child's."""
+        rng = np.random.default_rng(seed)
+        onto = make_ontology(n_terms=40, seed=seed)
+        store = TermAnnotations(onto)
+        genes = systematic_names(15)
+        term_ids = onto.term_ids()
+        for g in genes:
+            for t in rng.choice(term_ids, size=2, replace=False):
+                store.annotate(g, str(t))
+        prop = store.propagated()
+        for tid in onto.term_ids():
+            parent_genes = prop.genes_for(tid)
+            for child in onto.children(tid):
+                assert prop.genes_for(child) <= parent_genes
+
+    def test_from_mapping(self):
+        onto = diamond_ontology()
+        store = TermAnnotations.from_mapping(onto, {"g1": ["GO:4", "GO:5"]})
+        assert store.terms_for("g1") == frozenset({"GO:4", "GO:5"})
+
+
+class TestEnrichment:
+    def test_hand_computed_example(self):
+        """Universe 20 genes, term annotates 5; select 5 genes, 4 annotated."""
+        onto = GeneOntology([Term("GO:1", "root"), Term("GO:2", "t", parents=("GO:1",))])
+        store = TermAnnotations(onto)
+        genes = [f"g{i}" for i in range(20)]
+        for g in genes:
+            store.annotate(g, "GO:1")  # universe membership via root
+        for g in genes[:5]:
+            store.annotate(g, "GO:2")
+        selection = genes[:4] + [genes[10]]
+        report = enrich(store, selection, correction="bonferroni")
+        t = report.term("GO:2")
+        assert t.n_selected_annotated == 4
+        assert t.n_universe_annotated == 5
+        assert t.n_selected == 5 and t.n_universe == 20
+        from scipy.stats import hypergeom
+
+        assert t.pvalue == pytest.approx(hypergeom.sf(3, 20, 5, 5), rel=1e-9)
+        assert t.fold_enrichment == pytest.approx(4 / (5 * 5 / 20))
+
+    def test_planted_term_recovered(self, ontology_setup):
+        onto, store, truth, genes = ontology_setup
+        golem = Golem(onto, store)
+        report = golem.enrich_selection(genes[:12])
+        planted_id = next(iter(truth.planted_terms))
+        top_ids = [r.term_id for r in report.results[:3]]
+        assert planted_id in top_ids
+        assert report.term(planted_id).significant
+
+    def test_random_selection_mostly_insignificant(self, ontology_setup):
+        onto, store, _, genes = ontology_setup
+        rng = np.random.default_rng(0)
+        random_sel = list(rng.choice(genes, size=12, replace=False))
+        report = enrich(store, random_sel, alpha=0.01)
+        assert len(report.significant_terms()) <= 3
+
+    def test_empty_selection_raises(self, ontology_setup):
+        onto, store, _, genes = ontology_setup
+        with pytest.raises(ValidationError):
+            enrich(store, ["NOT_A_GENE"])
+
+    def test_min_term_size_filters(self, ontology_setup):
+        onto, store, _, genes = ontology_setup
+        small = enrich(store, genes[:10], min_term_size=1)
+        large = enrich(store, genes[:10], min_term_size=10)
+        assert len(large) <= len(small)
+
+    def test_unknown_correction(self, ontology_setup):
+        onto, store, _, genes = ontology_setup
+        with pytest.raises(ValidationError):
+            enrich(store, genes[:5], correction="holm")
+
+
+class TestLayout:
+    def test_positions_normalized_and_layered(self):
+        onto = diamond_ontology()
+        nodes, edges = onto.neighborhood("GO:4", up=2, down=0)
+        layers = {"GO:4": 0, "GO:2": -1, "GO:3": -1, "GO:1": -2}
+        pos = layered_layout(nodes, edges, layers)
+        assert set(pos) == nodes
+        for p in pos.values():
+            assert 0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0
+        # root drawn above focus
+        assert pos["GO:1"].y < pos["GO:4"].y
+
+    def test_bad_layer_direction_rejected(self):
+        with pytest.raises(OntologyError):
+            layered_layout({"a", "b"}, [("a", "b")], {"a": 0, "b": 0})
+
+    def test_missing_layer_rejected(self):
+        with pytest.raises(OntologyError):
+            layered_layout({"a", "b"}, [], {"a": 0})
+
+    def test_empty(self):
+        assert layered_layout(set(), [], {}) == {}
+
+
+class TestGolem:
+    def test_local_map_contents(self, ontology_setup):
+        onto, store, truth, genes = ontology_setup
+        golem = Golem(onto, store)
+        focus = next(iter(truth.planted_terms))
+        lm = golem.local_map(focus, up=2, down=1)
+        assert lm.focus == focus
+        assert focus in lm.term_ids()
+        focus_node = lm.node(focus)
+        assert focus_node.layer == 0
+        assert focus_node.n_direct == 12
+
+    def test_map_overlays_enrichment(self, ontology_setup):
+        onto, store, truth, genes = ontology_setup
+        golem = Golem(onto, store)
+        golem.enrich_selection(genes[:12])
+        lm = golem.most_enriched_map()
+        assert any(n.significant for n in lm.nodes)
+        assert lm.node(lm.focus).pvalue is not None
+
+    def test_expand_refocuses(self, ontology_setup):
+        onto, store, truth, genes = ontology_setup
+        golem = Golem(onto, store)
+        focus = next(iter(truth.planted_terms))
+        lm = golem.local_map(focus, up=1, down=0)
+        parent = onto.parents(focus)[0]
+        lm2 = golem.expand(lm, parent)
+        assert lm2.focus == parent
+        with pytest.raises(KeyError):
+            golem.expand(lm, "GO:0000001") if "GO:0000001" not in lm.term_ids() else None
+
+    def test_most_enriched_requires_report(self, ontology_setup):
+        onto, store, _, _ = ontology_setup
+        golem = Golem(onto, store)
+        with pytest.raises(OntologyError):
+            golem.most_enriched_map()
+
+    def test_mismatched_ontology_rejected(self, ontology_setup):
+        onto, store, _, _ = ontology_setup
+        other = diamond_ontology()
+        with pytest.raises(OntologyError):
+            Golem(other, store)
+
+    def test_propagated_counts_on_map(self, ontology_setup):
+        onto, store, truth, _ = ontology_setup
+        golem = Golem(onto, store)
+        focus = next(iter(truth.planted_terms))
+        lm = golem.local_map(focus, up=1, down=0)
+        for node in lm.nodes:
+            assert node.n_propagated >= node.n_direct

@@ -1,0 +1,197 @@
+"""Cross-module property-based tests on the system's load-bearing invariants.
+
+These complement the per-module tests: each property here is something
+the *paper's workflows* silently rely on (row alignment, merged-view
+consistency, exact tiling, geometry inverses), checked over randomized
+inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DatasetPane, EventBus, GeneSelection, SynchronizationLayer
+from repro.data import Compendium, Dataset, ExpressionMatrix, MergedDatasetInterface
+from repro.viz import DisplayList, HeatmapCmd, LineCmd, RectCmd, TextCmd, get_colormap
+from repro.wall import WallGeometry, compose_tiles
+
+
+def build_compendium(seed: int, n_datasets: int) -> Compendium:
+    """Random compendium with partially overlapping gene sets."""
+    rng = np.random.default_rng(seed)
+    universe = [f"G{i:03d}" for i in range(30)]
+    datasets = []
+    for d in range(n_datasets):
+        n_genes = int(rng.integers(5, 25))
+        genes = sorted(rng.choice(universe, size=n_genes, replace=False).tolist())
+        n_cond = int(rng.integers(3, 10))
+        values = rng.normal(size=(n_genes, n_cond))
+        values[rng.random(values.shape) < 0.1] = np.nan
+        datasets.append(
+            Dataset(
+                name=f"ds{d}",
+                matrix=ExpressionMatrix(values, genes, [f"c{j}" for j in range(n_cond)]),
+            )
+        )
+    return Compendium(datasets)
+
+
+class TestSyncInvariants:
+    @given(seed=st.integers(0, 5000), n_datasets=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_aligned_views_always_consistent(self, seed, n_datasets):
+        """For any compendium and selection: identical order everywhere,
+        per-row values equal the dataset's own row, absent genes all-NaN."""
+        comp = build_compendium(seed, n_datasets)
+        rng = np.random.default_rng(seed + 1)
+        universe = comp.gene_universe()
+        k = int(rng.integers(1, min(12, len(universe)) + 1))
+        genes = tuple(rng.choice(universe, size=k, replace=False).tolist())
+        selection = GeneSelection(genes, "prop")
+        layer = SynchronizationLayer(EventBus())
+        panes = [DatasetPane(ds) for ds in comp]
+        views = layer.zoom_views(panes, selection)
+        assert SynchronizationLayer.rows_aligned(views)
+        for pane, view in zip(panes, views):
+            assert view.gene_ids == genes
+            matrix = pane.dataset.matrix
+            for i, g in enumerate(genes):
+                if g in matrix:
+                    assert view.present[i]
+                    assert np.allclose(
+                        view.values[i], matrix.row(g), equal_nan=True
+                    )
+                else:
+                    assert not view.present[i]
+                    assert np.isnan(view.values[i]).all()
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_native_views_are_selection_restrictions(self, seed):
+        """Unsynced views contain exactly the selected-and-present genes,
+        in the dataset's display order."""
+        comp = build_compendium(seed, 3)
+        rng = np.random.default_rng(seed + 2)
+        universe = comp.gene_universe()
+        genes = tuple(rng.choice(universe, size=8, replace=False).tolist())
+        selection = GeneSelection(genes, "prop")
+        layer = SynchronizationLayer(EventBus(), synchronized=False)
+        for ds in comp:
+            pane = DatasetPane(ds)
+            view = layer.zoom_view(pane, selection)
+            expected = [g for g in ds.matrix.gene_ids if g in set(genes)]
+            assert sorted(view.gene_ids) == sorted(expected)
+            assert all(view.present)
+
+
+class TestMergedInterfaceInvariants:
+    @given(seed=st.integers(0, 5000), n_datasets=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_every_cell_matches_source_dataset(self, seed, n_datasets):
+        comp = build_compendium(seed, n_datasets)
+        merged = MergedDatasetInterface(comp)
+        rng = np.random.default_rng(seed + 3)
+        for _ in range(20):
+            d = int(rng.integers(len(comp)))
+            ds = comp[d]
+            gene = merged.gene_ids[int(rng.integers(len(merged.gene_ids)))]
+            cond = int(rng.integers(merged.max_conditions))
+            got = merged.value(d, gene, cond)
+            if gene in ds.matrix and cond < ds.n_conditions:
+                want = ds.matrix.values[ds.matrix.index_of(gene), cond]
+                assert (np.isnan(got) and np.isnan(want)) or got == want
+            else:
+                assert np.isnan(got)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_dense_cube_matches_point_lookups(self, seed):
+        comp = build_compendium(seed, 3)
+        merged = MergedDatasetInterface(comp)
+        cube = merged.dense()
+        rng = np.random.default_rng(seed + 4)
+        for _ in range(15):
+            d = int(rng.integers(cube.shape[0]))
+            g = int(rng.integers(cube.shape[1]))
+            c = int(rng.integers(cube.shape[2]))
+            point = merged.value(d, merged.gene_ids[g], c)
+            cell = cube[d, g, c]
+            assert (np.isnan(point) and np.isnan(cell)) or point == cell
+
+
+class TestTilingInvariants:
+    def _random_scene(self, seed: int, w: int, h: int) -> DisplayList:
+        rng = np.random.default_rng(seed)
+        dl = DisplayList(w, h, background=(3, 3, 3))
+        cm = get_colormap("red-green")
+        for _ in range(int(rng.integers(3, 10))):
+            kind = int(rng.integers(4))
+            x, y = int(rng.integers(w)), int(rng.integers(h))
+            if kind == 0:
+                dl.add(RectCmd(x, y, int(rng.integers(1, 40)), int(rng.integers(1, 40)),
+                               tuple(int(v) for v in rng.integers(0, 256, 3))))
+            elif kind == 1:
+                dl.add(LineCmd(x, y, int(rng.integers(w)), int(rng.integers(h)),
+                               tuple(int(v) for v in rng.integers(0, 256, 3))))
+            elif kind == 2:
+                dl.add(HeatmapCmd(x, y, int(rng.integers(5, 50)), int(rng.integers(5, 50)),
+                                  rng.normal(size=(int(rng.integers(2, 9)),
+                                                   int(rng.integers(2, 9)))), cm))
+            else:
+                dl.add(TextCmd(x, y, "GENE", (255, 255, 255)))
+        return dl
+
+    @given(
+        seed=st.integers(0, 3000),
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_tiling_composites_exactly(self, seed, rows, cols):
+        """Random scene + random tile grid => composite == full render."""
+        geo = WallGeometry(rows=rows, cols=cols, tile_width=40, tile_height=30)
+        dl = self._random_scene(seed, geo.canvas_width, geo.canvas_height)
+        full = dl.render_full()
+        tiles = [
+            (t.region, dl.render_region(t.region.x, t.region.y, t.region.w, t.region.h))
+            for t in geo.tiles()
+        ]
+        composite = compose_tiles(
+            geo.canvas_width, geo.canvas_height, tiles, require_full_coverage=True
+        )
+        assert np.array_equal(composite, full)
+
+
+class TestGeometryInvariants:
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        bezel=st.integers(0, 20),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tile_at_inverts_tile_region(self, rows, cols, bezel, seed):
+        geo = WallGeometry(rows=rows, cols=cols, tile_width=37, tile_height=23,
+                           bezel_px=bezel)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            x = int(rng.integers(geo.canvas_width))
+            y = int(rng.integers(geo.canvas_height))
+            tile = geo.tile_at(x, y)
+            if tile is None:
+                # point is in a bezel: not inside any tile region
+                for t in geo.tiles():
+                    assert not t.region.contains(x, y)
+            else:
+                assert tile.region.contains(x, y)
+                assert geo.tile_region(tile.row, tile.col) == tile.region
+
+    @given(rows=st.integers(1, 4), cols=st.integers(1, 4), bezel=st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_displayed_pixels_vs_canvas(self, rows, cols, bezel):
+        geo = WallGeometry(rows=rows, cols=cols, tile_width=20, tile_height=15,
+                           bezel_px=bezel)
+        assert geo.displayed_pixels <= geo.canvas_pixels
+        if bezel == 0 or (rows == 1 and cols == 1):
+            assert geo.displayed_pixels == geo.canvas_pixels

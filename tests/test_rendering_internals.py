@@ -1,0 +1,165 @@
+"""Tests for ForestView frame construction details (core.rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ForestView
+from repro.core.rendering import FrameStyle, _fit_text, build_display_list
+from repro.synth import make_case_study
+from repro.util.errors import RenderError
+from repro.viz import GLYPH_HEIGHT, HeatmapCmd, RectCmd, TextCmd, text_width
+
+
+@pytest.fixture(scope="module")
+def app_and_truth():
+    comp, truth = make_case_study(n_genes=100, n_conditions=10, n_knockouts=8, seed=81)
+    return ForestView.from_compendium(comp, cluster_genes=True), truth
+
+
+def commands_of(dl, kind):
+    return [c for c in dl.commands if isinstance(c, kind)]
+
+
+class TestFrameConstruction:
+    def test_one_heatmap_per_pane_without_selection(self, app_and_truth):
+        app, _ = app_and_truth
+        app.clear_selection()
+        dl = app.display_list(1200, 600)
+        heatmaps = commands_of(dl, HeatmapCmd)
+        # global view heatmap per pane; zoom views show the placeholder
+        assert len(heatmaps) == len(app.panes)
+
+    def test_two_heatmaps_per_pane_with_selection(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced), source="t")
+        dl = app.display_list(1200, 600)
+        heatmaps = commands_of(dl, HeatmapCmd)
+        assert len(heatmaps) == 2 * len(app.panes)
+
+    def test_highlight_marks_present_and_colored(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced), source="t")
+        dl = app.display_list(1200, 600)
+        marks = [
+            c for c in commands_of(dl, RectCmd) if c.color == FrameStyle.highlight_color
+        ]
+        expected = sum(
+            len(p.highlight_rows(app.selection)) for p in app.panes
+        )
+        assert len(marks) == expected > 0
+
+    def test_titles_and_status_text(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced[:5]), source="mysource")
+        dl = app.display_list(1200, 600)
+        texts = [c.text for c in commands_of(dl, TextCmd)]
+        for name in app.compendium.names:
+            assert any(name.upper().startswith(t[:8]) for t in texts if t)
+        assert any("5 GENES SELECTED" in t for t in texts)
+        assert any("SYNC=ON" in t for t in texts)
+
+    def test_status_reflects_sync_off(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced[:5]), source="t")
+        app.set_synchronized(False)
+        dl = app.display_list(1200, 600)
+        texts = [c.text for c in commands_of(dl, TextCmd)]
+        assert any("SYNC=OFF" in t for t in texts)
+        app.set_synchronized(True)
+
+    def test_every_command_within_canvas(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced), source="t")
+        dl = app.display_list(900, 500)
+        for cmd in dl.commands:
+            x, y, w, h = cmd.bbox()
+            assert x >= 0 and y >= 0
+            assert x + w <= 900 + 1 and y + h <= 500 + 1
+
+    def test_zoom_labels_appear_when_rows_are_tall(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced[:4]), source="t")  # few rows = tall
+        dl = app.display_list(1400, 800)
+        labels = [
+            c.text for c in commands_of(dl, TextCmd)
+            if c.text and not c.text.startswith(("HEAT", "OXID", "OSMO", "NUTR", "KNOC"))
+            and "SYNC" not in c.text
+        ]
+        annotations = app.panes[0].dataset.annotations
+        expected_names = {
+            (annotations.get(g, "NAME", g) or g).upper() for g in truth.esr_induced[:4]
+        }
+        rendered = set(labels)
+        assert expected_names & rendered
+
+    def test_dendrogram_strip_toggle(self, app_and_truth):
+        app, truth = app_and_truth
+        from repro.viz import LineCmd
+
+        app.select_genes(list(truth.esr_induced), source="t")
+        app.set_preferences(None, show_gene_tree=True)
+        with_trees = len(commands_of(app.display_list(1200, 600), LineCmd))
+        app.set_preferences(None, show_gene_tree=False)
+        without = len(commands_of(app.display_list(1200, 600), LineCmd))
+        app.set_preferences(None, show_gene_tree=True)
+        assert with_trees > without
+
+    def test_global_fraction_moves_split(self, app_and_truth):
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced), source="t")
+        name = app.compendium.names[0]
+        app.set_preferences(name, global_fraction=0.2)
+        dl_small = app.display_list(1200, 600)
+        app.set_preferences(name, global_fraction=0.8)
+        dl_big = app.display_list(1200, 600)
+        app.set_preferences(name, global_fraction=0.45)
+
+        def first_global_heatmap_height(dl):
+            return commands_of(dl, HeatmapCmd)[0].h
+
+        assert first_global_heatmap_height(dl_big) > first_global_heatmap_height(dl_small)
+
+    def test_too_small_canvas_raises(self, app_and_truth):
+        app, _ = app_and_truth
+        with pytest.raises(RenderError):
+            app.display_list(200, 60)
+
+    def test_empty_pane_list_rejected(self, app_and_truth):
+        app, _ = app_and_truth
+        with pytest.raises(RenderError):
+            build_display_list([], None, app.sync_layer, width=800, height=400)
+
+
+class TestFitText:
+    def test_fit_text_truncates_to_width(self):
+        text = "ABCDEFGHIJKLMNOP"
+        fitted = _fit_text(text, 30)
+        assert text_width(fitted) <= 30
+        assert text.startswith(fitted)
+
+    def test_fit_text_zero_width(self):
+        assert _fit_text("ABC", 0) == ""
+
+    def test_fit_text_fits_untouched(self):
+        assert _fit_text("AB", 100) == "AB"
+
+
+class TestViewportWindowing:
+    def test_zoomed_viewport_limits_rendered_rows(self, app_and_truth):
+        """With the shared viewport zoomed to k rows, the zoom heatmap
+        must contain exactly k rows of data."""
+        app, truth = app_and_truth
+        app.select_genes(list(truth.esr_induced), source="t")
+        app.sync_layer.shared_viewport.set_zoom(3)
+        dl = app.display_list(1200, 600)
+        zoom_heatmaps = commands_of(dl, HeatmapCmd)[1::2]  # global, zoom alternate
+        for cmd in zoom_heatmaps:
+            assert cmd.values.shape[0] == 3
+        # scrolling shifts which rows appear
+        first_before = zoom_heatmaps[0].values[0].copy()
+        app.sync_layer.shared_viewport.scroll_by(2)
+        dl2 = app.display_list(1200, 600)
+        first_after = commands_of(dl2, HeatmapCmd)[1].values[0]
+        assert not np.allclose(first_before, first_after, equal_nan=True)
+        app.sync_layer.shared_viewport.scroll_to(0)
+        app.sync_layer.shared_viewport.set_zoom(len(truth.esr_induced))

@@ -1,0 +1,298 @@
+"""Tests for repro.stats: hypergeometric, corrections, correlation, ranks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import hypergeom as scipy_hypergeom
+from scipy.stats import pearsonr
+
+from repro.stats import (
+    average_precision,
+    benjamini_hochberg,
+    bonferroni,
+    enrichment_pvalue,
+    enrichment_pvalues,
+    fisher_z,
+    hypergeom_pmf,
+    hypergeom_sf,
+    log_binomial,
+    median_center_rows,
+    nan_summary,
+    pearson,
+    pearson_matrix,
+    pearson_to_vector,
+    precision_at_k,
+    rank_of,
+    rankdata_average,
+    spearman,
+    zscore_rows,
+)
+from repro.util.errors import ValidationError
+
+
+# ---------------------------------------------------------------------------
+# hypergeometric
+# ---------------------------------------------------------------------------
+class TestHypergeom:
+    def test_log_binomial_known_values(self):
+        assert np.isclose(log_binomial(5, 2), np.log(10))
+        assert np.isclose(log_binomial(10, 0), 0.0)
+        assert log_binomial(3, 5) == -np.inf
+        assert log_binomial(3, -1) == -np.inf
+
+    def test_pmf_sums_to_one(self):
+        N, K, n = 30, 12, 9
+        ks = np.arange(0, n + 1)
+        total = hypergeom_pmf(ks, N, K, n).sum()
+        assert np.isclose(total, 1.0)
+
+    def test_pmf_matches_scipy(self):
+        for N, K, n in [(50, 10, 8), (100, 40, 25), (10, 10, 5)]:
+            ks = np.arange(0, min(K, n) + 1)
+            mine = hypergeom_pmf(ks, N, K, n)
+            ref = scipy_hypergeom.pmf(ks, N, K, n)
+            assert np.allclose(mine, ref, atol=1e-12)
+
+    @given(
+        N=st.integers(2, 200),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sf_matches_scipy_property(self, N, data):
+        K = data.draw(st.integers(0, N))
+        n = data.draw(st.integers(0, N))
+        k = data.draw(st.integers(-1, min(K, n)))
+        mine = float(hypergeom_sf(k, N, K, n))
+        ref = float(scipy_hypergeom.sf(k, N, K, n))
+        assert mine == pytest.approx(ref, abs=1e-9)
+
+    def test_enrichment_pvalue_k_zero_is_one(self):
+        assert enrichment_pvalue(0, 100, 10, 5) == 1.0
+
+    def test_enrichment_pvalue_full_overlap_is_small(self):
+        p = enrichment_pvalue(5, 1000, 5, 5)
+        ref = scipy_hypergeom.sf(4, 1000, 5, 5)
+        assert p == pytest.approx(ref, rel=1e-9)
+        assert p < 1e-12
+
+    def test_enrichment_pvalues_vectorized_matches_scalar(self):
+        N, n = 200, 20
+        ks = np.array([0, 1, 5, 10])
+        Ks = np.array([30, 15, 20, 10])
+        vec = enrichment_pvalues(ks, N, Ks, n)
+        scalars = [enrichment_pvalue(int(k), N, int(K), n) for k, K in zip(ks, Ks)]
+        assert np.allclose(vec, scalars)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValidationError):
+            hypergeom_sf(1, 10, 11, 5)  # K > N
+        with pytest.raises(ValidationError):
+            hypergeom_sf(1, 10, 5, 11)  # n > N
+        with pytest.raises(ValidationError):
+            enrichment_pvalues(np.array([1, 2]), 10, np.array([3]), 2)  # shape
+
+
+# ---------------------------------------------------------------------------
+# multiple testing
+# ---------------------------------------------------------------------------
+class TestCorrections:
+    def test_bonferroni_scales_and_clips(self):
+        res = bonferroni(np.array([0.01, 0.4, 0.6]), alpha=0.05)
+        assert np.allclose(res.adjusted, [0.03, 1.0, 1.0])
+        assert res.n_significant == 1
+
+    def test_bh_known_example(self):
+        # classic worked example
+        p = np.array([0.01, 0.02, 0.03, 0.04])
+        res = benjamini_hochberg(p, alpha=0.05)
+        assert np.allclose(res.adjusted, [0.04, 0.04, 0.04, 0.04])
+        assert res.n_significant == 4
+
+    def test_bh_preserves_input_order(self):
+        p = np.array([0.9, 0.001, 0.5])
+        res = benjamini_hochberg(p)
+        assert res.adjusted[1] < res.adjusted[2] < res.adjusted[0]
+
+    def test_bh_empty(self):
+        res = benjamini_hochberg(np.array([]))
+        assert res.adjusted.size == 0 and res.n_significant == 0
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=40)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bh_properties(self, pvals):
+        p = np.array(pvals)
+        res = benjamini_hochberg(p, alpha=0.05)
+        # adjusted >= raw, in [0, 1]
+        assert (res.adjusted >= p - 1e-12).all()
+        assert (res.adjusted <= 1.0 + 1e-12).all()
+        # monotone in the sorted order
+        order = np.argsort(p, kind="stable")
+        sorted_adj = res.adjusted[order]
+        assert (np.diff(sorted_adj) >= -1e-12).all()
+        # bonferroni is never less significant than BH
+        bon = bonferroni(p, alpha=0.05)
+        assert (bon.adjusted >= res.adjusted - 1e-12).all()
+
+    def test_invalid_pvalues_raise(self):
+        with pytest.raises(ValidationError):
+            benjamini_hochberg(np.array([1.5]))
+        with pytest.raises(ValidationError):
+            bonferroni(np.array([[0.1]]))
+        with pytest.raises(ValidationError):
+            benjamini_hochberg(np.array([0.5]), alpha=1.5)
+
+
+# ---------------------------------------------------------------------------
+# correlation
+# ---------------------------------------------------------------------------
+class TestPearson:
+    def test_matches_scipy_complete_data(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=20), rng.normal(size=20)
+        assert pearson(x, y) == pytest.approx(pearsonr(x, y).statistic, abs=1e-12)
+
+    def test_pairwise_complete_ignores_nan(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, np.nan])
+        y = np.array([2.0, 4.0, 6.0, 8.0, 100.0])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    def test_insufficient_overlap_gives_nan(self):
+        x = np.array([1.0, np.nan, np.nan, 2.0])
+        y = np.array([1.0, 1.0, 2.0, np.nan])
+        assert np.isnan(pearson(x, y))
+
+    def test_zero_variance_gives_nan(self):
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.isnan(pearson(x, y))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            pearson(np.zeros(3), np.zeros(4))
+
+    def test_matrix_matches_pairwise_scalar(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(8, 12))
+        X[rng.random(X.shape) < 0.15] = np.nan
+        C = pearson_matrix(X)
+        for i in range(8):
+            for j in range(8):
+                ref = pearson(X[i], X[j])
+                if np.isnan(ref):
+                    assert np.isnan(C[i, j])
+                else:
+                    assert C[i, j] == pytest.approx(ref, abs=1e-9)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_symmetric_unit_diag_property(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(6, 10))
+        X[rng.random(X.shape) < 0.1] = np.nan
+        C = pearson_matrix(X)
+        assert np.allclose(C, C.T, equal_nan=True)
+        with np.errstate(invalid="ignore"):
+            finite = C[~np.isnan(C)]
+        assert (finite >= -1.0 - 1e-12).all() and (finite <= 1.0 + 1e-12).all()
+        for i in range(6):
+            if not np.isnan(C[i, i]):
+                assert C[i, i] == pytest.approx(1.0, abs=1e-9)
+
+    def test_to_vector_matches_matrix_column(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(10, 15))
+        X[rng.random(X.shape) < 0.1] = np.nan
+        C = pearson_matrix(X)
+        v = pearson_to_vector(X, X[3])
+        assert np.allclose(v, C[:, 3], equal_nan=True)
+
+    def test_spearman_monotonic_transform_invariant(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=30)
+        y = np.exp(x)  # monotone transform
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_fisher_z_roundtrip_and_saturation(self):
+        r = np.array([-0.9, 0.0, 0.5])
+        assert np.allclose(np.tanh(fisher_z(r)), r, atol=1e-9)
+        assert np.isfinite(fisher_z(1.0))
+        assert isinstance(fisher_z(0.5), float)
+
+
+# ---------------------------------------------------------------------------
+# ranks & retrieval metrics
+# ---------------------------------------------------------------------------
+class TestRanks:
+    def test_rankdata_no_ties(self):
+        assert rankdata_average(np.array([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
+
+    def test_rankdata_ties_average(self):
+        ranks = rankdata_average(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert ranks.tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_rankdata_sum_invariant(self, values):
+        ranks = rankdata_average(np.array(values, dtype=float))
+        n = len(values)
+        assert ranks.sum() == pytest.approx(n * (n + 1) / 2)
+
+    def test_rank_of(self):
+        assert rank_of(["b", "a", "c"], "a") == 2
+        with pytest.raises(KeyError):
+            rank_of(["a"], "z")
+
+    def test_precision_at_k(self):
+        ranking = ["a", "b", "c", "d"]
+        assert precision_at_k(ranking, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(ranking, {"a", "c"}, 4) == 0.5
+        assert precision_at_k(ranking, set(), 2) == 0.0
+        with pytest.raises(ValidationError):
+            precision_at_k(ranking, {"a"}, 0)
+
+    def test_average_precision_perfect_and_worst(self):
+        assert average_precision(["a", "b", "x", "y"], {"a", "b"}) == pytest.approx(1.0)
+        ap = average_precision(["x", "y", "a", "b"], {"a", "b"})
+        assert 0 < ap < 0.6
+        assert average_precision(["x"], {"a"}) == 0.0
+        assert average_precision(["x"], set()) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# descriptive
+# ---------------------------------------------------------------------------
+class TestDescriptive:
+    def test_zscore_rows_basic(self):
+        X = np.array([[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]])
+        Z = zscore_rows(X)
+        assert Z[0].mean() == pytest.approx(0.0)
+        assert Z[0].std() == pytest.approx(1.0)
+        assert np.allclose(Z[1], 0.0)  # zero-variance row -> zeros
+
+    def test_zscore_preserves_nan(self):
+        X = np.array([[1.0, np.nan, 3.0]])
+        Z = zscore_rows(X)
+        assert np.isnan(Z[0, 1]) and not np.isnan(Z[0, 0])
+
+    def test_zscore_does_not_mutate_input(self):
+        X = np.array([[1.0, 2.0, 3.0]])
+        X_copy = X.copy()
+        zscore_rows(X)
+        assert np.array_equal(X, X_copy)
+
+    def test_median_center_rows(self):
+        X = np.array([[1.0, 2.0, 9.0]])
+        M = median_center_rows(X)
+        assert M[0].tolist() == [-1.0, 0.0, 7.0]
+
+    def test_median_center_all_nan_row(self):
+        X = np.array([[np.nan, np.nan]])
+        M = median_center_rows(X)
+        assert np.isnan(M).all()
+
+    def test_nan_summary(self):
+        s = nan_summary(np.array([[1.0, np.nan], [np.nan, 4.0]]))
+        assert s["n_missing"] == 2 and s["fraction_missing"] == 0.5

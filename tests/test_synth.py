@@ -1,0 +1,217 @@
+"""Tests for the synthetic-data substitutes (names, modules, compendia, GO)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import pearson
+from repro.synth import (
+    GeneModule,
+    make_annotated_ontology,
+    make_case_study,
+    make_simple_dataset,
+    make_spell_compendium,
+    make_stress_compendium,
+    profile,
+    synthesize_matrix,
+    systematic_names,
+)
+from repro.util.errors import ValidationError
+
+
+class TestNames:
+    def test_format_is_yeast_like(self):
+        names = systematic_names(10)
+        for n in names:
+            assert len(n) == 7
+            assert n[0] == "Y" and n[2] in "LR" and n[-1] in "CW"
+
+    def test_unique_at_scale(self):
+        names = systematic_names(5000)
+        assert len(set(names)) == 5000
+
+    def test_deterministic(self):
+        assert systematic_names(50) == systematic_names(50)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValidationError):
+            systematic_names(-1)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("kind", ["pulse", "sustained", "gradient", "sine"])
+    def test_shapes(self, kind):
+        p = profile(kind, 12)
+        assert p.shape == (12,)
+        assert np.isfinite(p).all()
+
+    def test_spike(self):
+        p = profile("spike", 8, at=3)
+        assert p[3] == 1.0 and p.sum() == 1.0
+        with pytest.raises(ValidationError):
+            profile("spike", 8)
+        with pytest.raises(ValidationError):
+            profile("spike", 8, at=9)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            profile("sawtooth", 8)
+
+    def test_pulse_peaks_inside(self):
+        p = profile("pulse", 20, center=0.35)
+        assert 3 < int(np.argmax(p)) < 12
+
+
+class TestSynthesizeMatrix:
+    def test_module_genes_correlate(self):
+        genes = systematic_names(30)
+        prof = tuple(profile("pulse", 10) * 3.0)
+        mod = GeneModule("m", tuple(genes[:8]), prof)
+        m = synthesize_matrix(genes, [f"c{i}" for i in range(10)], [mod],
+                              noise_sd=0.2, missing_fraction=0.0, seed=0)
+        # module members strongly correlated with each other
+        r = pearson(m.values[0], m.values[1])
+        assert r > 0.8
+        # module member vs background gene: weak
+        r_bg = abs(pearson(m.values[0], m.values[20]))
+        assert r_bg < 0.6
+
+    def test_missing_fraction_respected(self):
+        genes = systematic_names(40)
+        m = synthesize_matrix(genes, [f"c{i}" for i in range(20)], [],
+                              missing_fraction=0.25, seed=1)
+        frac = np.isnan(m.values).mean()
+        assert 0.15 < frac < 0.35
+
+    def test_validation(self):
+        genes = systematic_names(5)
+        conds = ["c0", "c1"]
+        with pytest.raises(ValidationError, match="unknown gene"):
+            synthesize_matrix(genes, conds, [GeneModule("m", ("ZZZ",), (1.0, 1.0))])
+        with pytest.raises(ValidationError, match="conditions"):
+            synthesize_matrix(genes, conds, [GeneModule("m", (genes[0],), (1.0,))])
+        with pytest.raises(ValidationError):
+            synthesize_matrix(genes, conds, [], missing_fraction=1.0)
+        with pytest.raises(ValidationError):
+            synthesize_matrix(genes, conds, [], noise_sd=-0.1)
+
+    def test_deterministic_given_seed(self):
+        genes = systematic_names(10)
+        a = synthesize_matrix(genes, ["c0", "c1"], [], seed=5)
+        b = synthesize_matrix(genes, ["c0", "c1"], [], seed=5)
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+
+class TestCaseStudy:
+    def test_structure(self, case_study):
+        comp, truth = case_study
+        assert len(comp) == 5  # 3 stress + nutrient + knockout
+        assert truth.nutrient_dataset_name in comp
+        assert truth.knockout_dataset_name in comp
+        assert len(truth.esr_induced) >= 4
+        assert len(truth.esr_repressed) >= 4
+        assert set(truth.sick_knockouts) <= set(
+            comp[truth.knockout_dataset_name].matrix.condition_names
+        )
+
+    def test_esr_correlated_within_stress_dataset(self, case_study):
+        comp, truth = case_study
+        ds = comp[truth.stress_dataset_names[0]]
+        g1, g2 = truth.esr_induced[0], truth.esr_induced[1]
+        assert pearson(ds.matrix.row(g1), ds.matrix.row(g2)) > 0.5
+
+    def test_esr_anticorrelated_between_arms(self, case_study):
+        comp, truth = case_study
+        ds = comp[truth.stress_dataset_names[0]]
+        r = pearson(
+            ds.matrix.row(truth.esr_induced[0]), ds.matrix.row(truth.esr_repressed[0])
+        )
+        assert r < -0.5
+
+    def test_esr_present_in_nutrient_data(self, case_study):
+        """The §4 insight's precondition: ESR signal exists in nutrient data."""
+        comp, truth = case_study
+        ds = comp[truth.nutrient_dataset_name]
+        r = pearson(
+            ds.matrix.row(truth.esr_induced[0]), ds.matrix.row(truth.esr_induced[1])
+        )
+        assert r > 0.5
+
+    def test_sick_knockouts_fire_esr(self, case_study):
+        comp, truth = case_study
+        ds = comp[truth.knockout_dataset_name]
+        cond_idx = {c: i for i, c in enumerate(ds.matrix.condition_names)}
+        sick_cols = [cond_idx[c] for c in truth.sick_knockouts]
+        healthy_cols = [i for c, i in cond_idx.items() if c not in truth.sick_knockouts]
+        esr_rows = ds.matrix.indices_of(list(truth.esr_induced))
+        vals = ds.matrix.values[np.asarray(esr_rows)]
+        sick_mean = np.nanmean(vals[:, sick_cols])
+        healthy_mean = np.nanmean(vals[:, healthy_cols])
+        assert sick_mean > healthy_mean + 1.0
+
+    def test_stress_compendium_shortcut(self):
+        comp = make_stress_compendium(n_genes=80, n_conditions=8, seed=3)
+        assert len(comp) == 3
+        assert all(ds.metadata["kind"] == "stress" for ds in comp)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_case_study(n_genes=10)
+
+
+class TestSpellCompendium:
+    def test_truth_consistency(self, spell_setup):
+        comp, truth = spell_setup
+        assert set(truth.query_genes) <= set(truth.module_genes)
+        assert set(truth.relevant_datasets) | set(truth.irrelevant_datasets) == set(
+            comp.names
+        )
+        assert len(truth.relevant_datasets) == 3
+
+    def test_module_coexpresses_only_in_relevant(self, spell_setup):
+        comp, truth = spell_setup
+        g1, g2 = truth.module_genes[0], truth.module_genes[1]
+        r_rel = pearson(
+            comp[truth.relevant_datasets[0]].matrix.row(g1),
+            comp[truth.relevant_datasets[0]].matrix.row(g2),
+        )
+        r_irr = pearson(
+            comp[truth.irrelevant_datasets[0]].matrix.row(g1),
+            comp[truth.irrelevant_datasets[0]].matrix.row(g2),
+        )
+        assert r_rel > 0.6
+        assert abs(r_irr) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_spell_compendium(n_datasets=2, n_relevant=3)
+        with pytest.raises(ValidationError):
+            make_spell_compendium(module_size=5, query_size=6)
+
+
+class TestOntologyGen:
+    def test_planted_term_annotates_exact_genes(self, ontology_setup):
+        onto, store, truth, genes = ontology_setup
+        assert len(truth.planted_terms) == 1
+        term_id, planted_genes = next(iter(truth.planted_terms.items()))
+        assert store.genes_for(term_id) == frozenset(planted_genes)
+        assert set(planted_genes) == set(genes[:12])
+
+    def test_dag_is_valid(self, ontology_setup):
+        onto, _, _, _ = ontology_setup
+        order = onto.topological_order()
+        assert len(order) == len(onto)
+        assert onto.roots() == ["GO:0000001"]
+
+    def test_depth_distribution_nontrivial(self):
+        from repro.synth import make_ontology
+
+        onto = make_ontology(n_terms=100, max_depth=5, seed=2)
+        depths = [onto.depth(t) for t in onto.term_ids()]
+        assert max(depths) >= 3
+
+    def test_multi_parent_terms_exist(self):
+        from repro.synth import make_ontology
+
+        onto = make_ontology(n_terms=150, multi_parent_fraction=0.3, seed=4)
+        multi = [t for t in onto if len(t.parents) > 1]
+        assert len(multi) > 0

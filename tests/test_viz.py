@@ -1,0 +1,372 @@
+"""Tests for the rendering substrate: framebuffer, colormaps, text, heatmaps,
+display list, layout, PPM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import hierarchical_cluster
+from repro.viz import (
+    Box,
+    COLORMAPS,
+    DisplayList,
+    Framebuffer,
+    GLYPH_HEIGHT,
+    HeatmapCmd,
+    LineCmd,
+    RectCmd,
+    TextCmd,
+    cell_indices,
+    decode_ppm,
+    dendrogram_segments,
+    draw_heatmap,
+    draw_text,
+    encode_ppm,
+    get_colormap,
+    grid_boxes,
+    hsplit,
+    render_heatmap_block,
+    render_text_array,
+    text_width,
+    vsplit,
+)
+from repro.util.errors import DataFormatError, RenderError
+
+
+class TestFramebuffer:
+    def test_init_and_background(self):
+        fb = Framebuffer(10, 5, background=(1, 2, 3))
+        assert fb.shape == (5, 10, 3)
+        assert fb.get(0, 0) == (1, 2, 3)
+
+    def test_invalid_size(self):
+        with pytest.raises(RenderError):
+            Framebuffer(0, 5)
+
+    def test_fill_rect_clips(self):
+        fb = Framebuffer(10, 10)
+        fb.fill_rect(-5, -5, 8, 8, (255, 0, 0))  # clipped at top-left
+        assert fb.get(2, 2) == (255, 0, 0)
+        assert fb.get(3, 3) == (0, 0, 0)
+        fb.fill_rect(8, 8, 100, 100, (0, 255, 0))  # clipped at bottom-right
+        assert fb.get(9, 9) == (0, 255, 0)
+
+    def test_bad_color_rejected(self):
+        fb = Framebuffer(4, 4)
+        with pytest.raises(RenderError):
+            fb.fill_rect(0, 0, 2, 2, (300, 0, 0))
+
+    def test_line_endpoints_and_diagonal(self):
+        fb = Framebuffer(10, 10)
+        fb.line(0, 0, 9, 9, (255, 255, 255))
+        for i in range(10):
+            assert fb.get(i, i) == (255, 255, 255)
+
+    def test_line_clips_out_of_bounds(self):
+        fb = Framebuffer(5, 5)
+        fb.line(-3, 2, 8, 2, (9, 9, 9))  # horizontal crossing the buffer
+        assert fb.get(0, 2) == (9, 9, 9) and fb.get(4, 2) == (9, 9, 9)
+
+    def test_blit_and_crop_round_trip(self):
+        fb = Framebuffer(20, 20)
+        block = np.full((4, 6, 3), 77, dtype=np.uint8)
+        fb.blit_array(3, 5, block)
+        assert np.array_equal(fb.crop(3, 5, 6, 4), block)
+
+    def test_crop_out_of_bounds_raises(self):
+        with pytest.raises(RenderError):
+            Framebuffer(5, 5).crop(0, 0, 6, 5)
+
+    def test_get_out_of_bounds(self):
+        with pytest.raises(RenderError):
+            Framebuffer(5, 5).get(5, 0)
+
+    def test_nonbackground_fraction(self):
+        fb = Framebuffer(10, 10)
+        fb.fill_rect(0, 0, 5, 10, (255, 255, 255))
+        assert fb.nonbackground_fraction() == pytest.approx(0.5)
+
+
+class TestColormap:
+    def test_zero_maps_to_zero_color(self):
+        cm = get_colormap("red-green")
+        assert cm.map_scalar(0.0) == (0, 0, 0)
+
+    def test_saturation_extremes(self):
+        cm = get_colormap("red-green")
+        assert cm.map_scalar(cm.saturation) == (255, 0, 0)
+        assert cm.map_scalar(-cm.saturation) == (0, 255, 0)
+        assert cm.map_scalar(99.0) == (255, 0, 0)  # clipped
+
+    def test_nan_maps_to_missing(self):
+        cm = get_colormap("red-green")
+        out = cm.map(np.array([np.nan, 0.5]))
+        assert tuple(out[0]) == cm.missing
+
+    def test_midpoint_interpolation(self):
+        cm = get_colormap("red-green").with_saturation(2.0)
+        r, g, b = cm.map_scalar(1.0)  # halfway to full red
+        assert r == 128 and g == 0 and b == 0
+
+    def test_map_shape_preserved(self):
+        cm = get_colormap("red-blue")
+        out = cm.map(np.zeros((3, 4)))
+        assert out.shape == (3, 4, 3) and out.dtype == np.uint8
+
+    def test_all_registered_colormaps_work(self):
+        for name in COLORMAPS:
+            cm = get_colormap(name)
+            out = cm.map(np.array([-1.0, np.nan, 1.0]))
+            assert out.shape == (3, 3)
+
+    def test_unknown_name(self):
+        with pytest.raises(RenderError):
+            get_colormap("viridis")
+
+    def test_invalid_saturation(self):
+        with pytest.raises(RenderError):
+            get_colormap("red-green").with_saturation(0.0)
+
+
+class TestText:
+    def test_width(self):
+        assert text_width("") == 0
+        assert text_width("A") == 5
+        assert text_width("AB") == 11  # 5 + 1 + 5
+        assert text_width("AB", scale=2) == 22
+
+    def test_render_mask_shape(self):
+        mask = render_text_array("HI")
+        assert mask.shape == (GLYPH_HEIGHT, 11)
+        assert mask.any()
+
+    def test_lowercase_same_as_upper(self):
+        assert np.array_equal(render_text_array("gene"), render_text_array("GENE"))
+
+    def test_unknown_char_draws_box(self):
+        mask = render_text_array("~")
+        assert mask[0].all()  # top row fully inked (the fallback box)
+
+    def test_scale(self):
+        m1 = render_text_array("A", scale=1)
+        m2 = render_text_array("A", scale=2)
+        assert m2.shape == (m1.shape[0] * 2, m1.shape[1] * 2)
+        assert np.array_equal(m2[::2, ::2], m1)
+
+    def test_draw_text_clips(self):
+        fb = Framebuffer(10, 10)
+        draw_text(fb, -3, -3, "AAAA", (255, 255, 255))  # partially outside
+        assert fb.pixels.any()
+
+    def test_scale_validation(self):
+        with pytest.raises(RenderError):
+            render_text_array("A", scale=0)
+
+
+class TestHeatmap:
+    def test_cell_indices_monotone_cover(self):
+        idx = cell_indices(0, 100, 0, 100, 10)
+        assert idx.min() == 0 and idx.max() == 9
+        assert (np.diff(idx) >= 0).all()
+        assert len(set(idx.tolist())) == 10
+
+    def test_cell_indices_absolute_offset(self):
+        """Index mapping must depend only on absolute pixel positions."""
+        full = cell_indices(0, 100, 0, 100, 7)
+        part = cell_indices(30, 60, 0, 100, 7)
+        assert np.array_equal(part, full[30:60])
+
+    def test_cell_indices_validation(self):
+        with pytest.raises(RenderError):
+            cell_indices(0, 101, 0, 100, 5)  # beyond block
+        with pytest.raises(RenderError):
+            cell_indices(0, 5, 0, 0, 5)
+
+    def test_block_colors_match_colormap(self):
+        values = np.array([[2.0, -2.0]])
+        cm = get_colormap("red-green")
+        block = render_heatmap_block(values, cm, x=0, y=0, w=10, h=4, rx=0, ry=0, rw=10, rh=4)
+        assert tuple(block[0, 0]) == (255, 0, 0)
+        assert tuple(block[0, 9]) == (0, 255, 0)
+
+    def test_region_subset_equals_full_crop(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(13, 9))
+        cm = get_colormap("red-green")
+        full = render_heatmap_block(values, cm, x=5, y=7, w=50, h=40, rx=5, ry=7, rw=50, rh=40)
+        sub = render_heatmap_block(values, cm, x=5, y=7, w=50, h=40, rx=20, ry=15, rw=12, rh=10)
+        assert np.array_equal(sub, full[15 - 7 : 25 - 7, 20 - 5 : 32 - 5])
+
+    def test_no_overlap_returns_empty(self):
+        block = render_heatmap_block(
+            np.ones((2, 2)), get_colormap("red-green"),
+            x=0, y=0, w=10, h=10, rx=50, ry=50, rw=5, rh=5,
+        )
+        assert block.size == 0
+
+    def test_draw_heatmap_onto_framebuffer(self):
+        fb = Framebuffer(20, 20)
+        draw_heatmap(fb, 2, 2, 10, 10, np.full((2, 2), 5.0), get_colormap("red-green"))
+        assert fb.get(5, 5) == (255, 0, 0)
+        assert fb.get(15, 15) == (0, 0, 0)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(RenderError):
+            render_heatmap_block(
+                np.empty((0, 3)), get_colormap("red-green"),
+                x=0, y=0, w=5, h=5, rx=0, ry=0, rw=5, rh=5,
+            )
+
+
+class TestDendrogramSegments:
+    def _tree(self):
+        rng = np.random.default_rng(4)
+        return hierarchical_cluster(rng.normal(size=(8, 6)))
+
+    def test_segments_stay_in_box(self):
+        tree = self._tree()
+        for orientation, (w, h) in (("left", (40, 80)), ("top", (80, 40))):
+            segs = dendrogram_segments(tree, x=10, y=20, w=w, h=h, orientation=orientation)
+            for s in segs:
+                assert 10 <= s.x0 <= 10 + w and 10 <= s.x1 <= 10 + w
+                assert 20 <= s.y0 <= 20 + h and 20 <= s.y1 <= 20 + h
+
+    def test_segment_count(self):
+        # 7 internal nodes x 3 segments + 1 root stem
+        segs = dendrogram_segments(self._tree(), x=0, y=0, w=30, h=60)
+        assert len(segs) == 7 * 3 + 1
+
+    def test_bad_orientation_and_size(self):
+        tree = self._tree()
+        with pytest.raises(RenderError):
+            dendrogram_segments(tree, x=0, y=0, w=30, h=60, orientation="diagonal")
+        with pytest.raises(RenderError):
+            dendrogram_segments(tree, x=0, y=0, w=1, h=60)
+
+
+class TestDisplayList:
+    def _scene(self, w=120, h=90):
+        rng = np.random.default_rng(1)
+        dl = DisplayList(w, h, background=(5, 5, 5))
+        dl.add(RectCmd(10, 10, 40, 30, (50, 60, 70)))
+        dl.add(HeatmapCmd(55, 15, 50, 60, rng.normal(size=(12, 8)), get_colormap("red-green")))
+        dl.add(LineCmd(0, 0, w - 1, h - 1, (200, 200, 0)))
+        dl.add(TextCmd(12, 70, "PANE 1", (255, 255, 255)))
+        return dl
+
+    def test_render_full_shape(self):
+        dl = self._scene()
+        px = dl.render_full()
+        assert px.shape == (90, 120, 3)
+
+    @given(
+        rx=st.integers(0, 100),
+        ry=st.integers(0, 70),
+        rw=st.integers(1, 20),
+        rh=st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_region_equals_full_crop_property(self, rx, ry, rw, rh):
+        """THE tiling invariant: any region render == crop of the full render."""
+        dl = self._scene()
+        rw = min(rw, dl.width - rx)
+        rh = min(rh, dl.height - ry)
+        region = dl.render_region(rx, ry, rw, rh)
+        full = dl.render_full()
+        assert np.array_equal(region, full[ry : ry + rh, rx : rx + rw])
+
+    def test_region_bounds_validation(self):
+        dl = self._scene()
+        with pytest.raises(RenderError):
+            dl.render_region(0, 0, 200, 10)
+        with pytest.raises(RenderError):
+            dl.render_region(0, 0, 0, 10)
+
+    def test_command_cost_counts_intersections(self):
+        dl = DisplayList(100, 100)
+        dl.add(RectCmd(0, 0, 10, 10, (1, 1, 1)))
+        dl.add(RectCmd(50, 50, 10, 10, (1, 1, 1)))
+        assert dl.command_cost(0, 0, 20, 20) == 1
+        assert dl.command_cost(0, 0, 100, 100) == 2
+        assert dl.command_cost(80, 80, 10, 10) == 0
+
+    def test_len_and_extend(self):
+        dl = DisplayList(10, 10)
+        dl.extend([RectCmd(0, 0, 1, 1, (1, 1, 1)), LineCmd(0, 0, 1, 1, (1, 1, 1))])
+        assert len(dl) == 2
+
+
+class TestLayout:
+    def test_box_properties(self):
+        b = Box(2, 3, 10, 20)
+        assert b.x1 == 12 and b.y1 == 23 and b.area == 200
+        assert b.contains(2, 3) and not b.contains(12, 3)
+        assert b.intersects(Box(11, 22, 5, 5))
+        assert not b.intersects(Box(12, 3, 5, 5))
+
+    def test_inset(self):
+        assert Box(0, 0, 10, 10).inset(2) == Box(2, 2, 6, 6)
+        assert Box(0, 0, 3, 3).inset(2).area == 0  # clamped, not negative
+        with pytest.raises(RenderError):
+            Box(0, 0, 10, 10).inset(-1)
+
+    def test_hsplit_exact_cover(self):
+        boxes = hsplit(Box(0, 0, 100, 10), [1, 2, 1])
+        assert [b.w for b in boxes] == [25, 50, 25]
+        assert boxes[0].x == 0 and boxes[1].x == 25 and boxes[2].x == 75
+
+    def test_hsplit_with_gap_and_remainder(self):
+        boxes = hsplit(Box(0, 0, 100, 10), [1, 1, 1], gap=2)
+        assert sum(b.w for b in boxes) == 100 - 4
+        assert boxes[1].x == boxes[0].x1 + 2
+
+    def test_vsplit(self):
+        boxes = vsplit(Box(0, 0, 10, 60), [1, 2])
+        assert [b.h for b in boxes] == [20, 40]
+
+    def test_grid(self):
+        grid = grid_boxes(Box(0, 0, 100, 60), 2, 3, gap=1)
+        assert len(grid) == 2 and len(grid[0]) == 3
+        assert grid[1][2].x1 <= 100 and grid[1][2].y1 <= 60
+
+    def test_split_validation(self):
+        with pytest.raises(RenderError):
+            hsplit(Box(0, 0, 10, 10), [])
+        with pytest.raises(RenderError):
+            hsplit(Box(0, 0, 10, 10), [-1, 2])
+        with pytest.raises(RenderError):
+            hsplit(Box(0, 0, 3, 10), [1, 1, 1, 1], gap=2)
+
+
+class TestPpm:
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        pixels = rng.integers(0, 256, size=(7, 11, 3), dtype=np.uint8)
+        assert np.array_equal(decode_ppm(encode_ppm(pixels)), pixels)
+
+    @given(h=st.integers(1, 12), w=st.integers(1, 12), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, h, w, seed):
+        rng = np.random.default_rng(seed)
+        pixels = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+        assert np.array_equal(decode_ppm(encode_ppm(pixels)), pixels)
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.viz import read_ppm, write_ppm
+
+        pixels = np.zeros((4, 4, 3), dtype=np.uint8)
+        pixels[1, 2] = (9, 8, 7)
+        path = tmp_path / "x.ppm"
+        write_ppm(pixels, path)
+        assert np.array_equal(read_ppm(path), pixels)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(DataFormatError):
+            decode_ppm(b"P3\n1 1\n255\n0 0 0")  # ascii PPM unsupported
+        with pytest.raises(DataFormatError):
+            decode_ppm(b"P6\n2 2\n255\n\x00")  # truncated body
+
+    def test_encode_rejects_wrong_dtype(self):
+        with pytest.raises(DataFormatError):
+            encode_ppm(np.zeros((2, 2, 3), dtype=np.float64))
