@@ -9,7 +9,6 @@ propagation and frame render — and reports the per-pane alignment the
 figure shows.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import ForestView, SynchronizationLayer

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 from scipy.stats import hypergeom as scipy_hypergeom
 
-from repro.ontology import Golem, enrich
+from repro.ontology import Golem
 from repro.stats import benjamini_hochberg
 
 from benchmarks.conftest import write_report

@@ -1,0 +1,199 @@
+"""SERVICE — throughput of the serving layer under repeated, batched and
+mutating workloads (the ROADMAP's "heavy traffic" scenario).
+
+Three contracts the production service must honour, each measured here:
+
+1. **Result cache** — a warm-cache query (LRU hit on the canonicalized
+   query) must be at least an order of magnitude faster than the cold
+   indexed path.
+2. **Batched queries** — ``search_many`` fans a batch over threads
+   sharing one index; throughput must not regress vs one worker, and on
+   a multi-core host must actually scale (NumPy releases the GIL in the
+   scoring matmuls).
+3. **Incremental index maintenance** — ``SpellIndex.add_dataset`` must
+   beat a full rebuild while producing *bit-identical* rankings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.compendium import Compendium
+from repro.spell import SpellIndex, SpellService
+from repro.synth import make_spell_compendium
+from repro.util.rng import default_rng
+from repro.util.timing import Stopwatch
+
+from benchmarks.conftest import write_report
+
+N_QUERIES = 32
+QUERY_SIZE = 4
+
+
+@pytest.fixture(scope="module")
+def workload(spell_bench):
+    """The FIG4 compendium plus a deterministic mixed query batch."""
+    comp, truth = spell_bench
+    universe = comp.gene_universe()
+    rng = default_rng(20260729)
+    queries = [list(truth.query_genes)]
+    while len(queries) < N_QUERIES:
+        picks = rng.choice(len(universe), size=QUERY_SIZE, replace=False)
+        queries.append([universe[int(p)] for p in picks])
+    return comp, truth, queries
+
+
+def _mean_query_seconds(service, queries, *, use_cache):
+    with Stopwatch() as sw:
+        for q in queries:
+            service.search(q, use_cache=use_cache)
+    return sw.elapsed / len(queries)
+
+
+def test_service_cold_vs_warm_cache(workload):
+    """Cache hits must be >= 10x faster than cold indexed queries."""
+    comp, _, queries = workload
+    service = SpellService(comp)
+    cold = _mean_query_seconds(service, queries, use_cache=False)
+    for q in queries:  # prime
+        service.search(q)
+    warm = _mean_query_seconds(service, queries, use_cache=True)
+    stats = service.cache_stats()
+    speedup = cold / warm if warm > 0 else float("inf")
+
+    write_report(
+        "SERVICE_CACHE",
+        "SPELL service: cold vs warm-cache query latency",
+        ["path", "mean latency", "queries/sec"],
+        [
+            ["cold (indexed, no cache)", f"{cold * 1e3:.3f} ms", f"{1.0 / cold:.0f}"],
+            ["warm (LRU hit)", f"{warm * 1e6:.1f} us", f"{1.0 / warm:.0f}"],
+        ],
+        notes=(
+            f"{len(queries)} distinct queries over the 40-dataset FIG4 "
+            f"compendium; speedup {speedup:.0f}x; cache stats {stats}."
+        ),
+    )
+    assert stats["hits"] >= len(queries)
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
+
+
+def test_service_batched_throughput(workload):
+    """search_many: batched throughput across worker counts and schedulers."""
+    comp, _, queries = workload
+    rows = []
+    qps = {}
+    for n_workers in (1, 2, 4):
+        for scheduler in ("map", "steal"):
+            if n_workers == 1 and scheduler == "steal":
+                continue
+            service = SpellService(comp, n_workers=n_workers, cache_size=0)
+            batch = service.search_many(queries, scheduler=scheduler)
+            qps[(n_workers, scheduler)] = batch.queries_per_second
+            rows.append(
+                [
+                    n_workers,
+                    scheduler,
+                    f"{batch.total_seconds * 1e3:.1f} ms",
+                    f"{batch.queries_per_second:.0f}",
+                ]
+            )
+            assert len(batch.pages) == len(queries)
+            assert batch.cache_hits == 0  # caching disabled on this path
+
+    cores = os.cpu_count() or 1
+    serial = qps[(1, "map")]
+    best_parallel = max(v for (w, _), v in qps.items() if w > 1)
+    write_report(
+        "SERVICE_BATCH",
+        "SPELL service: batched multi-query throughput (search_many)",
+        ["workers", "scheduler", "batch wall time", "queries/sec"],
+        rows,
+        notes=(
+            f"{len(queries)} queries per batch, shared index, cache off; "
+            f"host has {cores} core(s); workers-vs-serial ratio "
+            f"{best_parallel / serial:.2f}x. The strict scaling gate is "
+            "opt-in (SPELL_BENCH_STRICT_SCALING=1) — thread throughput on "
+            "small shared runners is too noisy for a hard CI gate."
+        ),
+    )
+    # batching must never collapse throughput...
+    assert best_parallel >= 0.5 * serial
+    # ...and must genuinely scale where a quiet multi-core host is
+    # guaranteed (opt-in: timing gates flake on shared CI runners)
+    if os.environ.get("SPELL_BENCH_STRICT_SCALING") and cores >= 2:
+        assert best_parallel >= 1.1 * serial, (
+            f"batched path failed to scale: {best_parallel:.0f} qps with "
+            f"workers vs {serial:.0f} serial on {cores} cores"
+        )
+
+
+def test_service_warm_batch_beats_cold_batch(workload):
+    """The combined path: a warm cache accelerates whole batches too."""
+    comp, _, queries = workload
+    service = SpellService(comp, n_workers=2)
+    cold_batch = service.search_many(queries)
+    warm_batch = service.search_many(queries)
+    assert warm_batch.cache_hits == len(queries)
+    assert warm_batch.total_seconds < cold_batch.total_seconds
+    for cold_page, warm_page in zip(cold_batch.pages, warm_batch.pages):
+        assert cold_page.gene_rows == warm_page.gene_rows
+
+
+def test_incremental_add_matches_fresh_build():
+    """add_dataset must beat a full rebuild and match it exactly."""
+    comp, truth = make_spell_compendium(
+        n_datasets=24,
+        n_relevant=6,
+        n_genes=400,
+        n_conditions=16,
+        module_size=20,
+        query_size=4,
+        seed=31,
+    )
+    datasets = list(comp)
+    base = Compendium(datasets[:-1])
+
+    index = SpellIndex.build(base)
+    with Stopwatch() as sw_incr:
+        index.add_dataset(datasets[-1])
+    with Stopwatch() as sw_full:
+        fresh = SpellIndex.build(comp)
+
+    query = list(truth.query_genes)
+    incr_result = index.search(query)
+    fresh_result = fresh.search(query)
+    assert incr_result.dataset_ranking() == fresh_result.dataset_ranking()
+    assert [(g.gene_id, g.score) for g in incr_result.genes] == [
+        (g.gene_id, g.score) for g in fresh_result.genes
+    ]
+
+    write_report(
+        "SERVICE_INCR",
+        "SPELL index: incremental add_dataset vs full rebuild",
+        ["operation", "wall time"],
+        [
+            ["add_dataset (1 of 24 shards)", f"{sw_incr.elapsed * 1e3:.2f} ms"],
+            ["full rebuild (24 shards)", f"{sw_full.elapsed * 1e3:.2f} ms"],
+        ],
+        notes=(
+            "Incremental maintenance indexes only the new shard; rankings "
+            "and scores are bit-identical to a fresh build."
+        ),
+    )
+    assert sw_incr.elapsed < sw_full.elapsed
+
+
+def test_parallel_build_matches_serial(workload):
+    """Sharded parallel build must equal the serial build's answers."""
+    comp, truth, _ = workload
+    serial = SpellIndex.build(comp, n_workers=1)
+    parallel = SpellIndex.build(comp, n_workers=4)
+    query = list(truth.query_genes)
+    a, b = serial.search(query), parallel.search(query)
+    assert a.dataset_ranking() == b.dataset_ranking()
+    assert [(g.gene_id, g.score) for g in a.genes] == [
+        (g.gene_id, g.score) for g in b.genes
+    ]

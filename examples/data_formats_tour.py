@@ -11,18 +11,17 @@ a temporary directory and prints what each file looks like.
 import tempfile
 from pathlib import Path
 
-from repro.core import ForestView, GeneSelection
+from repro.core import ForestView
 from repro.data import (
     Compendium,
     GeneSet,
-    format_gmt,
     load_dataset,
     read_series_matrix,
     save_dataset,
     write_gmt,
     write_series_matrix,
 )
-from repro.ontology import Golem, format_gaf, format_obo, parse_gaf, parse_obo, write_gaf
+from repro.ontology import Golem, format_obo, parse_gaf, parse_obo, write_gaf
 from repro.synth import make_annotated_ontology, make_simple_dataset
 
 
@@ -89,7 +88,7 @@ def main() -> None:
     golem = Golem(ontology2, annotations2)
     report = golem.enrich_selection(list(selection.genes))
     print(
-        f"round-tripped GO stack: top enriched term = "
+        "round-tripped GO stack: top enriched term = "
         f"{report.results[0].name!r} (p={report.results[0].pvalue:.2e})"
     )
 

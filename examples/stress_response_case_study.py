@@ -81,7 +81,7 @@ def main() -> None:
     sick = [cond_idx[c] for c in truth.sick_knockouts]
     healthy = [i for c, i in cond_idx.items() if c not in truth.sick_knockouts]
     print(
-        f"\nstep 5: mean induced-ESR expression in knockouts — "
+        "\nstep 5: mean induced-ESR expression in knockouts — "
         f"sick {np.nanmean(esr_mean[sick]):+.2f} vs healthy "
         f"{np.nanmean(esr_mean[healthy]):+.2f}"
     )
@@ -90,7 +90,7 @@ def main() -> None:
 
     # --- Step 6: the workflow-cost contrast ---------------------------------
     print(
-        f"\nworkflow cost: ONE ForestView instance, ONE selection op "
+        "\nworkflow cost: ONE ForestView instance, ONE selection op "
         f"({len(compendium)} datasets aligned) vs {len(compendium) * 2}+ "
         "single-dataset app launches with manual cut-and-paste."
     )

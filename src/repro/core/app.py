@@ -28,7 +28,6 @@ from repro.core.export import (
 )
 from repro.core.ordering import order_by_name, order_by_scores, order_by_selection_coverage
 from repro.core.panes import DatasetPane
-from repro.core.preferences import PanePreferences
 from repro.core.rendering import FrameStyle, build_display_list
 from repro.core.search import find_genes
 from repro.core.selection import GeneSelection, SelectionModel

@@ -16,8 +16,6 @@ from repro.util.formatting import format_table, human_count
 
 if TYPE_CHECKING:
     from repro.core.app import ForestView
-    from repro.ontology.enrichment import EnrichmentReport
-    from repro.spell.engine import SpellResult
 
 __all__ = ["session_report"]
 

@@ -16,7 +16,6 @@ loader can re-attach trees from companion GTR/ATR files.
 from __future__ import annotations
 
 import io
-import math
 from dataclasses import dataclass
 from pathlib import Path
 

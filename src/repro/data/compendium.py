@@ -16,11 +16,19 @@ __all__ = ["Compendium"]
 
 
 class Compendium:
-    """Ordered, name-keyed collection of :class:`Dataset` objects."""
+    """Ordered, name-keyed collection of :class:`Dataset` objects.
+
+    Every mutation (add/remove/reorder) bumps :attr:`version`, a
+    monotonically increasing token that downstream caches and indexes key
+    on: a cached answer is valid only for the version it was computed
+    against, so invalidation is a token comparison rather than a deep
+    content check.
+    """
 
     def __init__(self, datasets: Iterable[Dataset] = ()) -> None:
         self._datasets: list[Dataset] = []
         self._by_name: dict[str, Dataset] = {}
+        self._version = 0
         for ds in datasets:
             self.add(ds)
 
@@ -30,11 +38,13 @@ class Compendium:
             raise ValidationError(f"duplicate dataset name {dataset.name!r}")
         self._datasets.append(dataset)
         self._by_name[dataset.name] = dataset
+        self._version += 1
 
     def remove(self, name: str) -> Dataset:
         ds = self[name]
         self._datasets.remove(ds)
         del self._by_name[name]
+        self._version += 1
         return ds
 
     def reorder(self, names: Sequence[str]) -> None:
@@ -49,8 +59,14 @@ class Compendium:
                 "reorder requires a permutation of the current dataset names"
             )
         self._datasets = [self._by_name[n] for n in names]
+        self._version += 1
 
     # ----------------------------------------------------------------- lookup
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the dataset collection does."""
+        return self._version
+
     def __getitem__(self, key: str | int) -> Dataset:
         if isinstance(key, int):
             return self._datasets[key]

@@ -7,7 +7,6 @@ array tree mirror what a CDT/GTR/ATR triple from Cluster 3.0 provides.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.cluster.tree import DendrogramTree
 from repro.cluster.hierarchical import hierarchical_cluster

@@ -15,7 +15,6 @@ import io
 import re
 from pathlib import Path
 
-import numpy as np
 
 from repro.cluster.tree import DendrogramTree, TreeNode
 from repro.util.errors import DataFormatError

@@ -9,7 +9,7 @@ closures on demand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.util.errors import OntologyError

@@ -9,7 +9,7 @@ the user asks "is my selected gene cluster enriched for anything?".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.ontology.annotations import TermAnnotations

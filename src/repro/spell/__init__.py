@@ -13,8 +13,14 @@ from repro.spell.engine import (
     GeneScore,
     MIN_QUERY_PRESENT,
 )
+from repro.spell.cache import (
+    QueryCache,
+    canonical_query,
+    query_key,
+    rebind_result,
+)
 from repro.spell.index import SpellIndex
-from repro.spell.service import SpellService, SearchPage
+from repro.spell.service import SpellService, SearchPage, BatchSearchResult
 from repro.spell.baseline import TextSearchBaseline
 from repro.spell.coexpression import coexpression_graph, consensus_graph, extract_modules
 
@@ -27,6 +33,11 @@ __all__ = [
     "SpellIndex",
     "SpellService",
     "SearchPage",
+    "BatchSearchResult",
+    "QueryCache",
+    "canonical_query",
+    "query_key",
+    "rebind_result",
     "TextSearchBaseline",
     "coexpression_graph",
     "consensus_graph",

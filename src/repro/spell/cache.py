@@ -1,0 +1,103 @@
+"""Result caching for the SPELL query service.
+
+The deployed SPELL answers many users over one fixed compendium, and the
+same handful of queries recur ("popular gene sets"); memoizing results is
+the cheapest scaling lever.  Keys are *canonicalized*: the gene set is
+deduped and sorted so that ``["B", "A"]`` and ``["A", "B"]`` share one
+entry, and paging parameters are part of the key only for paged lookups.
+Every key also embeds the compendium's version token, so a mutation
+(dataset added/removed/reordered) silently invalidates all prior entries
+— stale answers miss, then age out of the LRU.
+
+A cached :class:`~repro.spell.engine.SpellResult` stores the canonical
+gene order; :func:`rebind_result` restates the query-attribution fields
+in the caller's original order before serving, so hits are
+indistinguishable from fresh computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.spell.engine import SpellResult
+from repro.util.lru import LruCache
+
+__all__ = ["canonical_query", "query_key", "rebind_result", "QueryCache"]
+
+#: Default number of cached results per service.
+DEFAULT_CACHE_SIZE = 256
+
+
+def canonical_query(query: Sequence[str]) -> tuple[str, ...]:
+    """Deduped, sorted gene tuple — the order-insensitive cache identity."""
+    return tuple(sorted({str(g) for g in query}))
+
+
+def query_key(
+    version: int,
+    query: Sequence[str],
+    *,
+    extra: tuple = (),
+) -> tuple:
+    """Full cache key: compendium version + canonical genes + extras.
+
+    ``extra`` carries anything else that changes the answer (page,
+    page_size, top_datasets, index vs engine path, ...).
+    """
+    return (int(version), canonical_query(query), tuple(extra))
+
+
+def rebind_result(result: SpellResult, query: Sequence[str]) -> SpellResult:
+    """Restate a cached result's query-attribution fields for ``query``.
+
+    Rankings (datasets, genes) are order-independent and reused verbatim;
+    only ``query``/``query_used``/``query_missing`` follow the caller's
+    gene order.
+    """
+    query = tuple(str(g) for g in query)
+    used = set(result.query_used)
+    return replace(
+        result,
+        query=query,
+        query_used=tuple(g for g in query if g in used),
+        query_missing=tuple(g for g in query if g not in used),
+    )
+
+
+class QueryCache:
+    """LRU of SPELL answers keyed on canonicalized queries.
+
+    Thin wrapper over :class:`repro.util.lru.LruCache` that owns the key
+    discipline; the service never builds keys by hand.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        self._lru: LruCache[tuple, object] = LruCache(max_entries)
+
+    def lookup(self, version: int, query: Sequence[str], *, extra: tuple = ()):
+        return self._lru.get(query_key(version, query, extra=extra))
+
+    def store(self, version: int, query: Sequence[str], value, *, extra: tuple = ()) -> None:
+        self._lru.put(query_key(version, query, extra=extra), value)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def stats(self) -> dict[str, int]:
+        return self._lru.stats()

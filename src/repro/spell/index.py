@@ -11,6 +11,12 @@ matrix-vector product ``Xn @ Xn[q]``.  With missing data this is an
 *approximation* of pairwise-complete Pearson (exact when nothing is
 missing); the ablation bench quantifies both the speedup and the rank
 agreement against the exact engine.
+
+Because each dataset's shard is independent, the index supports both a
+parallel sharded :meth:`build` (normalization fanned over
+``parallel_map``) and *incremental* maintenance: :meth:`add_dataset` /
+:meth:`remove_dataset` splice one shard without touching the others, so
+growing the compendium no longer forces a full rebuild.
 """
 
 from __future__ import annotations
@@ -20,56 +26,137 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.compendium import Compendium
+from repro.data.dataset import Dataset
+from repro.parallel.pmap import parallel_map
 from repro.spell.engine import DatasetScore, GeneScore, SpellResult, MIN_QUERY_PRESENT
 from repro.stats.correlation import fisher_z
-from repro.util.errors import SearchError
+from repro.util.errors import SearchError, ValidationError
 
 __all__ = ["SpellIndex"]
 
 
 @dataclass
 class _DatasetIndex:
+    """One immutable shard.  ``source`` is the exact :class:`Dataset` the
+    shard was normalized from — identity comparison against the live
+    compendium detects same-name replacements that a name diff misses."""
+
     name: str
     gene_ids: list[str]
     gene_pos: dict[str, int]
     normalized: np.ndarray  # (genes, conditions) unit-norm rows, contiguous
+    source: Dataset | None = None
+
+
+def _index_dataset(ds: Dataset) -> _DatasetIndex:
+    """Normalize one dataset into its index shard (pure per-dataset work)."""
+    X = ds.matrix.values
+    with np.errstate(invalid="ignore"):
+        mean = np.nanmean(X, axis=1, keepdims=True)
+        std = np.nanstd(X, axis=1, keepdims=True)
+    centered = X - mean
+    z = np.divide(centered, std, out=np.zeros_like(centered), where=std > 0)
+    z = np.where(np.isnan(X), 0.0, z)
+    norms = np.sqrt((z * z).sum(axis=1, keepdims=True))
+    z = np.divide(z, norms, out=np.zeros_like(z), where=norms > 0)
+    return _DatasetIndex(
+        name=ds.name,
+        gene_ids=list(ds.matrix.gene_ids),
+        gene_pos={g: i for i, g in enumerate(ds.matrix.gene_ids)},
+        normalized=np.ascontiguousarray(z),
+        source=ds,
+    )
 
 
 class SpellIndex:
-    """Immutable search index over a compendium snapshot.
+    """Search index over a compendium snapshot, maintained shard-by-shard.
 
-    Build once with :meth:`build`; ``search`` answers queries without
-    touching the raw datasets again.  The index does not track later
-    compendium mutations — rebuild after adding datasets.
+    Build with :meth:`build` (optionally parallel across datasets);
+    ``search`` answers queries without touching the raw datasets again.
+    The index does not *watch* the compendium — callers keep it current
+    through :meth:`add_dataset` / :meth:`remove_dataset` (in-place,
+    single-threaded use) or :meth:`updated` (copy-on-write: returns a new
+    index sharing unchanged shards, safe to swap in while other threads
+    keep searching the old one — the discipline ``SpellService`` uses).
     """
 
     def __init__(self, entries: list[_DatasetIndex]) -> None:
         if not entries:
             raise SearchError("index is empty")
-        self._entries = entries
+        self._entries = list(entries)
+        # Global gene universe: aggregation runs over dense arrays indexed
+        # by universe slot instead of per-gene dicts (the old inner loop
+        # was pure Python over every gene of every dataset and dominated
+        # query time).  The universe only grows — removed datasets leave
+        # their slots behind, which costs memory proportional to genes
+        # ever seen but keeps every other shard's mapping valid.  Slot
+        # tables and per-shard row maps are index-local so shards can be
+        # shared between indexes (copy-on-write updates).
+        self._gene_slot: dict[str, int] = {}
+        self._slot_gene: list[str] = []
+        self._global_rows: list[np.ndarray] = []  # parallel to _entries
+        for entry in self._entries:
+            self._global_rows.append(self._assign_slots(entry))
+
+    def _assign_slots(self, entry: _DatasetIndex) -> np.ndarray:
+        rows = np.empty(len(entry.gene_ids), dtype=np.intp)
+        for i, g in enumerate(entry.gene_ids):
+            slot = self._gene_slot.get(g)
+            if slot is None:
+                slot = len(self._slot_gene)
+                self._gene_slot[g] = slot
+                self._slot_gene.append(g)
+            rows[i] = slot
+        return rows
 
     @classmethod
-    def build(cls, compendium: Compendium) -> "SpellIndex":
-        entries: list[_DatasetIndex] = []
-        for ds in compendium:
-            X = ds.matrix.values
-            with np.errstate(invalid="ignore"):
-                mean = np.nanmean(X, axis=1, keepdims=True)
-                std = np.nanstd(X, axis=1, keepdims=True)
-            centered = X - mean
-            z = np.divide(centered, std, out=np.zeros_like(centered), where=std > 0)
-            z = np.where(np.isnan(X), 0.0, z)
-            norms = np.sqrt((z * z).sum(axis=1, keepdims=True))
-            z = np.divide(z, norms, out=np.zeros_like(z), where=norms > 0)
-            entries.append(
-                _DatasetIndex(
-                    name=ds.name,
-                    gene_ids=list(ds.matrix.gene_ids),
-                    gene_pos={g: i for i, g in enumerate(ds.matrix.gene_ids)},
-                    normalized=np.ascontiguousarray(z),
-                )
-            )
+    def build(cls, compendium: Compendium, *, n_workers: int = 1) -> "SpellIndex":
+        """Index every dataset; ``n_workers > 1`` shards the normalization."""
+        entries = parallel_map(
+            _index_dataset, list(compendium), n_workers=max(1, int(n_workers))
+        )
         return cls(entries)
+
+    # ------------------------------------------------------------ maintenance
+    def add_dataset(self, dataset: Dataset) -> None:
+        """Index one new dataset in place — no rebuild of existing shards.
+
+        In-place maintenance is not safe under concurrent ``search``
+        calls; concurrent callers use :meth:`updated` instead.
+        """
+        if dataset.name in self.dataset_names:
+            raise ValidationError(f"dataset {dataset.name!r} already indexed")
+        entry = _index_dataset(dataset)
+        self._global_rows.append(self._assign_slots(entry))
+        self._entries.append(entry)
+
+    def remove_dataset(self, name: str) -> None:
+        """Drop one dataset's shard; other shards are untouched."""
+        for i, entry in enumerate(self._entries):
+            if entry.name == name:
+                del self._entries[i]
+                del self._global_rows[i]
+                return
+        raise ValidationError(f"dataset {name!r} not in index")
+
+    def updated(self, compendium: Compendium) -> "SpellIndex":
+        """Copy-on-write sync: a new index matching ``compendium``.
+
+        Shards are reused *by dataset identity* — a dataset re-added
+        under the same name with different values gets re-normalized,
+        which a name diff would miss.  The receiver is left untouched,
+        so threads searching it mid-swap stay consistent; only genuinely
+        new datasets pay normalization cost.
+        """
+        by_identity = {id(e.source): e for e in self._entries if e.source is not None}
+        entries = [
+            by_identity.get(id(ds)) or _index_dataset(ds) for ds in compendium
+        ]
+        return SpellIndex(entries)
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return [e.name for e in self._entries]
 
     @property
     def n_datasets(self) -> int:
@@ -86,6 +173,8 @@ class SpellIndex:
         exclude_query_from_genes: bool = True,
     ) -> SpellResult:
         """SPELL search against the index; same output contract as the engine."""
+        if not self._entries:
+            raise SearchError("index is empty")
         query = [str(g) for g in query]
         if not query:
             raise SearchError("query must contain at least one gene")
@@ -99,12 +188,13 @@ class SpellIndex:
             raise SearchError(f"no query gene exists in any dataset: {query}")
 
         dataset_scores: list[DatasetScore] = []
-        totals: dict[str, float] = {}
-        weight_mass: dict[str, float] = {}
-        counts: dict[str, int] = {}
+        n_slots = len(self._slot_gene)
+        totals = np.zeros(n_slots)
+        weight_mass = np.zeros(n_slots)
+        counts = np.zeros(n_slots, dtype=np.intp)
         query_set = set(query_used)
 
-        for entry in self._entries:
+        for entry, slots in zip(self._entries, self._global_rows):
             present = [g for g in query_used if g in entry.gene_pos]
             if len(present) < MIN_QUERY_PRESENT:
                 dataset_scores.append(DatasetScore(entry.name, 0.0, len(present)))
@@ -118,17 +208,23 @@ class SpellIndex:
             dataset_scores.append(DatasetScore(entry.name, weight, len(present)))
             if weight <= 0.0:
                 continue
-            # all-gene scores in one matmul: mean corr to query rows
+            # all-gene scores in one matmul: mean corr to query rows;
+            # scatter-add into the dense universe arrays (row slots are
+            # unique within a dataset, so fancy-index += is safe)
             scores = np.clip(entry.normalized @ Q.T, -1.0, 1.0).mean(axis=1)
-            for g, s in zip(entry.gene_ids, scores):
-                totals[g] = totals.get(g, 0.0) + weight * float(s)
-                weight_mass[g] = weight_mass.get(g, 0.0) + weight
-                counts[g] = counts.get(g, 0) + 1
+            totals[slots] += weight * scores
+            weight_mass[slots] += weight
+            counts[slots] += 1
 
         dataset_scores.sort(key=lambda d: (-d.weight, d.name))
+        scored = np.flatnonzero(counts)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            final = totals[scored] / weight_mass[scored]
         gene_scores = [
-            GeneScore(gene_id=g, score=totals[g] / weight_mass[g], n_datasets=counts[g])
-            for g in totals
+            GeneScore(gene_id=g, score=float(s), n_datasets=int(n))
+            for g, s, n in zip(
+                (self._slot_gene[i] for i in scored), final, counts[scored]
+            )
             if not (exclude_query_from_genes and g in query_set)
         ]
         gene_scores.sort(key=lambda s: (-s.score, s.gene_id))

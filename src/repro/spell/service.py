@@ -1,23 +1,36 @@
-"""SPELL's web-interface facade (the paper's Figure 4).
+"""SPELL's web-interface facade (the paper's Figure 4), serving-grade.
 
 The deployed SPELL system is a query box over a pre-built compendium;
-:class:`SpellService` reproduces that contract: construct it once over a
-compendium (building the index up front), then answer searches with
-pagination and timing — the rows a web front-end would render.
+:class:`SpellService` reproduces that contract and adds the machinery an
+interactive service under load needs:
+
+* **Result cache** — an LRU keyed on the canonicalized query plus the
+  compendium's version token (:mod:`repro.spell.cache`); repeated or
+  permuted queries are answered without touching the index.
+* **Batched queries** — :meth:`search_many` fans a batch across threads
+  sharing one index (NumPy releases the GIL in the scoring matmuls),
+  modelling many concurrent users.
+* **Incremental index maintenance** — when the compendium's version
+  token moves, the service diffs dataset names and splices shards via
+  ``SpellIndex.add_dataset`` / ``remove_dataset`` instead of rebuilding.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.data.compendium import Compendium
+from repro.parallel.pmap import parallel_map
+from repro.parallel.workqueue import WorkStealingPool
+from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
 from repro.spell.engine import SpellEngine, SpellResult
 from repro.spell.index import SpellIndex
 from repro.util.errors import SearchError
 from repro.util.timing import Stopwatch
 
-__all__ = ["SearchPage", "SpellService"]
+__all__ = ["SearchPage", "BatchSearchResult", "SpellService"]
 
 
 @dataclass(frozen=True)
@@ -33,49 +46,122 @@ class SearchPage:
     elapsed_seconds: float
 
 
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Per-query pages plus aggregate timing for one :meth:`search_many`."""
+
+    pages: tuple[SearchPage, ...]
+    total_seconds: float
+    n_workers: int
+    cache_hits: int  # hits observed during this batch
+    cache_misses: int
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return float("inf")
+        return len(self.pages) / self.total_seconds
+
+
 class SpellService:
-    """Stateful query service over a fixed compendium.
+    """Stateful query service over a (mutable) compendium.
 
     ``use_index=True`` (default) answers from the precomputed index;
     ``use_index=False`` recomputes correlations per query with the exact
     engine — the cold path the ablation bench compares against.
+    ``cache_size=0`` disables result caching (every query recomputes).
     """
 
     def __init__(
-        self, compendium: Compendium, *, use_index: bool = True, n_workers: int = 1
+        self,
+        compendium: Compendium,
+        *,
+        use_index: bool = True,
+        n_workers: int = 1,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.compendium = compendium
         self.use_index = bool(use_index)
+        self.n_workers = max(1, int(n_workers))
         self._engine = SpellEngine(compendium, n_workers=n_workers)
-        self._index = SpellIndex.build(compendium) if self.use_index else None
+        self._index = (
+            SpellIndex.build(compendium, n_workers=self.n_workers)
+            if self.use_index
+            else None
+        )
+        self._indexed_version = compendium.version
+        self._cache = QueryCache(cache_size) if cache_size > 0 else None
         self._history: list[tuple[tuple[str, ...], float]] = []
+        self._lock = threading.Lock()  # guards history + index maintenance
+
+    # ------------------------------------------------------------ maintenance
+    def _sync_index(self) -> None:
+        """Bring the index up to the compendium's current version.
+
+        Copy-on-write: ``SpellIndex.updated`` builds a new index reusing
+        every unchanged shard (matched by dataset identity, so same-name
+        replacements re-normalize) and only then is the reference
+        swapped — in-flight searches on the old index stay consistent,
+        and nothing is ever fully rebuilt.
+        """
+        if self._index is None:
+            return
+        with self._lock:
+            if self.compendium.version == self._indexed_version:
+                return
+            self._index = self._index.updated(self.compendium)
+            self._indexed_version = self.compendium.version
 
     # ----------------------------------------------------------------- search
-    def search(self, query: Sequence[str]) -> SpellResult:
-        """Raw search result (full rankings)."""
+    def search(self, query: Sequence[str], *, use_cache: bool = True) -> SpellResult:
+        """Raw search result (full rankings), served from cache when possible."""
+        query = [str(g) for g in query]
+        if not query:
+            raise SearchError("query must contain at least one gene")
+        if len(set(query)) != len(query):
+            raise SearchError("query contains duplicate genes")
+
+        version = self.compendium.version
         with Stopwatch() as sw:
-            if self._index is not None:
-                result = self._index.search(list(query))
+            cached = (
+                self._cache.lookup(version, query)
+                if (self._cache is not None and use_cache)
+                else None
+            )
+            if cached is not None:
+                result = rebind_result(cached, query)
             else:
-                result = self._engine.search(list(query))
-        self._history.append((tuple(str(g) for g in query), sw.elapsed))
+                self._sync_index()
+                if self._index is not None:
+                    result = self._index.search(query)
+                else:
+                    result = self._engine.search(query)
+                if self._cache is not None and use_cache:
+                    self._cache.store(version, query, result)
+        with self._lock:
+            self._history.append((tuple(query), sw.elapsed))
         return result
 
     def search_page(
-        self, query: Sequence[str], *, page: int = 0, page_size: int = 20, top_datasets: int = 10
+        self,
+        query: Sequence[str],
+        *,
+        page: int = 0,
+        page_size: int = 20,
+        top_datasets: int = 10,
+        use_cache: bool = True,
     ) -> SearchPage:
-        """Paginated view of a search (what the web UI shows per screen)."""
+        """Paginated view of a search (what the web UI shows per screen).
+
+        Pagination slices the (possibly cached) full result, so every
+        page of a query shares one cache entry.
+        """
         if page < 0:
             raise SearchError(f"page must be >= 0, got {page}")
         if page_size < 1:
             raise SearchError(f"page_size must be >= 1, got {page_size}")
         with Stopwatch() as sw:
-            result = (
-                self._index.search(list(query))
-                if self._index is not None
-                else self._engine.search(list(query))
-            )
-        self._history.append((tuple(str(g) for g in query), sw.elapsed))
+            result = self.search(query, use_cache=use_cache)
         start = page * page_size
         gene_rows = tuple(
             (start + i + 1, g.gene_id, g.score)
@@ -94,15 +180,71 @@ class SpellService:
             elapsed_seconds=sw.elapsed,
         )
 
+    def search_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        *,
+        page: int = 0,
+        page_size: int = 20,
+        top_datasets: int = 10,
+        use_cache: bool = True,
+        scheduler: str = "map",
+    ) -> BatchSearchResult:
+        """Answer a batch of queries concurrently over the shared index.
+
+        ``scheduler="map"`` uses the order-preserving thread pool;
+        ``"steal"`` routes through :class:`WorkStealingPool`, which
+        absorbs the imbalance between cache hits and cold searches.
+        Results come back in input order either way.
+        """
+        if scheduler not in ("map", "steal"):
+            raise SearchError(f"unknown scheduler {scheduler!r}")
+        queries = [list(q) for q in queries]
+        if not queries:
+            raise SearchError("search_many needs at least one query")
+        self._sync_index()  # once up front, not per worker
+
+        hits0 = self._cache.hits if self._cache is not None else 0
+        misses0 = self._cache.misses if self._cache is not None else 0
+
+        def one(query: list[str]) -> SearchPage:
+            return self.search_page(
+                query,
+                page=page,
+                page_size=page_size,
+                top_datasets=top_datasets,
+                use_cache=use_cache,
+            )
+
+        with Stopwatch() as sw:
+            if scheduler == "steal" and self.n_workers > 1:
+                pages = WorkStealingPool(self.n_workers).map(one, queries)
+            else:
+                pages = parallel_map(one, queries, n_workers=self.n_workers)
+        return BatchSearchResult(
+            pages=tuple(pages),
+            total_seconds=sw.elapsed,
+            n_workers=self.n_workers,
+            cache_hits=(self._cache.hits - hits0) if self._cache is not None else 0,
+            cache_misses=(self._cache.misses - misses0) if self._cache is not None else 0,
+        )
+
     # ------------------------------------------------------------------ stats
     @property
     def query_count(self) -> int:
-        return len(self._history)
+        with self._lock:
+            return len(self._history)
 
     def mean_latency(self) -> float:
-        if not self._history:
-            raise SearchError("no queries executed yet")
-        return sum(t for _, t in self._history) / len(self._history)
+        with self._lock:
+            if not self._history:
+                raise SearchError("no queries executed yet")
+            return sum(t for _, t in self._history) / len(self._history)
 
     def index_bytes(self) -> int:
         return self._index.nbytes() if self._index is not None else 0
+
+    def cache_stats(self) -> dict[str, int]:
+        if self._cache is None:
+            return {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        return self._cache.stats()

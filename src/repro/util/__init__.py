@@ -11,6 +11,7 @@ from repro.util.errors import (
     ValidationError,
     CommunicationError,
 )
+from repro.util.lru import LruCache
 from repro.util.rng import default_rng, spawn_rngs
 from repro.util.timing import Stopwatch, TimingRegistry
 from repro.util.validation import (
@@ -27,6 +28,7 @@ __all__ = [
     "DataFormatError",
     "ValidationError",
     "CommunicationError",
+    "LruCache",
     "default_rng",
     "spawn_rngs",
     "Stopwatch",

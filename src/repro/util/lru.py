@@ -1,0 +1,79 @@
+"""A small thread-safe LRU map with hit/miss/eviction counters.
+
+The serving layer (SPELL query cache, render caches) needs bounded
+memoization under concurrent access; this is the shared primitive.  It is
+deliberately tiny: an ``OrderedDict`` guarded by one lock, recency
+updated on every hit, oldest entry evicted on overflow.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.util.errors import ValidationError
+
+__all__ = ["LruCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LruCache(Generic[K, V]):
+    """Bounded mapping evicting the least-recently-used entry first."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key``, marking it most-recently-used on a hit."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry on overflow."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.cluster import hierarchical_cluster
 from repro.data import (
     CdtTable,
-    Dataset,
     ExpressionMatrix,
     format_cdt,
     format_pcl,

@@ -8,6 +8,7 @@ themselves; we allow that (the files are .gitignore-grade outputs) but
 assert they exist afterwards where applicable.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,6 +16,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def _example_env() -> dict[str, str]:
+    """Subprocess env with ``src`` on PYTHONPATH so examples import repro.
+
+    The test process may itself be running off an installed package; the
+    examples must work from a bare checkout either way.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else str(SRC_DIR) + os.pathsep + existing
+    )
+    return env
 
 CASES = [
     ("quickstart.py", "wrote", 120),
@@ -37,6 +53,7 @@ def test_example_runs(script, marker, timeout):
         text=True,
         timeout=timeout,
         cwd=str(EXAMPLES_DIR),
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"

@@ -15,7 +15,7 @@ from repro.ontology import (
     layered_layout,
     parse_obo,
 )
-from repro.synth import make_annotated_ontology, make_ontology, systematic_names
+from repro.synth import make_ontology, systematic_names
 from repro.util.errors import DataFormatError, OntologyError, ValidationError
 
 

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 
 from repro.parallel import (
     ANY_SOURCE,
-    Communicator,
     WorkStealingPool,
     balanced_partition,
     block_partition,

@@ -7,7 +7,7 @@ from repro.core import ForestView
 from repro.core.rendering import FrameStyle, _fit_text, build_display_list
 from repro.synth import make_case_study
 from repro.util.errors import RenderError
-from repro.viz import GLYPH_HEIGHT, HeatmapCmd, RectCmd, TextCmd, text_width
+from repro.viz import HeatmapCmd, RectCmd, TextCmd, text_width
 
 
 @pytest.fixture(scope="module")

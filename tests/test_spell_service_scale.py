@@ -1,0 +1,359 @@
+"""Tests for the serving-grade SPELL subsystem: result cache, batched
+queries, and incremental index maintenance."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data import Compendium, Dataset, ExpressionMatrix
+from repro.spell import (
+    QueryCache,
+    SpellIndex,
+    SpellService,
+    canonical_query,
+    query_key,
+)
+from repro.synth import make_spell_compendium
+from repro.util import LruCache
+from repro.util.errors import SearchError, ValidationError
+
+
+@pytest.fixture()
+def small_setup():
+    """A compendium small enough to mutate freely in every test."""
+    return make_spell_compendium(
+        n_datasets=6,
+        n_relevant=2,
+        n_genes=80,
+        n_conditions=10,
+        module_size=10,
+        query_size=3,
+        seed=99,
+    )
+
+
+# ---------------------------------------------------------------------- LRU
+class TestLruCache:
+    def test_put_get_and_stats(self):
+        lru = LruCache(max_entries=2)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+        assert lru.stats() == {
+            "entries": 1, "max_entries": 2, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_eviction_order_respects_recency(self):
+        lru = LruCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh a; b is now oldest
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+        assert lru.evictions == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        lru = LruCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)
+        assert lru.get("a") == 10
+        assert len(lru) == 2
+        assert lru.evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            LruCache(max_entries=0)
+
+    def test_concurrent_access_is_safe(self):
+        lru = LruCache(max_entries=64)
+
+        def worker(base):
+            for i in range(200):
+                lru.put((base, i % 80), i)
+                lru.get((base, (i * 7) % 80))
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(lru) <= 64
+
+
+# ------------------------------------------------------------------- keying
+class TestQueryKeys:
+    def test_canonical_query_sorts_and_dedupes(self):
+        assert canonical_query(["B", "A", "B"]) == ("A", "B")
+
+    def test_query_key_order_insensitive(self):
+        assert query_key(3, ["X", "Y"]) == query_key(3, ["Y", "X"])
+
+    def test_query_key_version_sensitive(self):
+        assert query_key(3, ["X"]) != query_key(4, ["X"])
+
+    def test_query_key_extra_params(self):
+        assert query_key(1, ["X"], extra=(0, 20)) != query_key(1, ["X"], extra=(1, 20))
+
+    def test_query_cache_round_trip(self):
+        cache = QueryCache(max_entries=4)
+        cache.store(7, ["b", "a"], "answer")
+        assert cache.lookup(7, ["a", "b"]) == "answer"
+        assert cache.lookup(8, ["a", "b"]) is None  # version invalidates
+        assert cache.hits == 1 and cache.misses == 1
+
+
+# ------------------------------------------------------------ version token
+class TestCompendiumVersion:
+    def test_version_bumps_on_every_mutation(self, small_setup):
+        comp, _ = small_setup
+        v0 = comp.version
+        ds = comp[0]
+        comp.remove(ds.name)
+        assert comp.version == v0 + 1
+        comp.add(ds)
+        assert comp.version == v0 + 2
+        comp.reorder(list(reversed(comp.names)))
+        assert comp.version == v0 + 3
+
+    def test_fresh_compendium_counts_constructor_adds(self):
+        comp, _ = make_spell_compendium(
+            n_datasets=3, n_relevant=2, n_genes=40, module_size=6, query_size=2, seed=1
+        )
+        assert comp.version == 3
+
+
+# ------------------------------------------------------------- result cache
+class TestServiceCache:
+    def test_repeat_query_hits_cache_with_identical_result(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp)
+        first = service.search(list(truth.query_genes))
+        second = service.search(list(truth.query_genes))
+        assert service.cache_stats()["hits"] == 1
+        assert first.gene_ranking() == second.gene_ranking()
+        assert first.dataset_ranking() == second.dataset_ranking()
+
+    def test_permuted_query_shares_cache_entry(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp)
+        q = list(truth.query_genes)
+        a = service.search(q)
+        b = service.search(list(reversed(q)))
+        assert service.cache_stats()["hits"] == 1
+        assert a.gene_ranking() == b.gene_ranking()
+        # attribution fields follow the caller's order, not the cached one
+        assert b.query == tuple(reversed(q))
+
+    def test_mutation_invalidates_cache(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp)
+        q = list(truth.query_genes)
+        service.search(q)
+        removed = comp[comp.names[-1]]
+        comp.remove(removed.name)
+        stale_free = service.search(q)
+        assert service.cache_stats()["hits"] == 0  # version changed => miss
+        assert removed.name not in stale_free.dataset_ranking()
+
+    def test_cached_result_matches_fresh_service_after_mutation(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp)
+        q = list(truth.query_genes)
+        service.search(q)
+        comp.remove(comp.names[-1])
+        incremental = service.search(q)
+        fresh = SpellService(comp, cache_size=0).search(q)
+        assert incremental.dataset_ranking() == fresh.dataset_ranking()
+        assert [(g.gene_id, g.score) for g in incremental.genes] == [
+            (g.gene_id, g.score) for g in fresh.genes
+        ]
+
+    def test_cache_disabled(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp, cache_size=0)
+        service.search(list(truth.query_genes))
+        service.search(list(truth.query_genes))
+        assert service.cache_stats() == {
+            "entries": 0, "max_entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
+
+    def test_validation_still_applies_with_cache(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp)
+        service.search(list(truth.query_genes))
+        with pytest.raises(SearchError):
+            service.search([])
+        with pytest.raises(SearchError):
+            service.search([truth.query_genes[0], truth.query_genes[0]])
+
+    def test_engine_mode_caches_too(self, small_setup):
+        comp, truth = small_setup
+        service = SpellService(comp, use_index=False)
+        a = service.search(list(truth.query_genes))
+        b = service.search(list(truth.query_genes))
+        assert service.cache_stats()["hits"] == 1
+        assert a.gene_ranking() == b.gene_ranking()
+
+
+# ---------------------------------------------------------- batched queries
+class TestSearchMany:
+    def _queries(self, comp, truth, n=6):
+        universe = comp.gene_universe()
+        qs = [list(truth.query_genes)]
+        for i in range(n - 1):
+            qs.append([universe[(3 * i) % len(universe)], universe[(3 * i + 1) % len(universe)]])
+        return qs
+
+    @pytest.mark.parametrize("scheduler", ["map", "steal"])
+    def test_batch_matches_serial_search(self, small_setup, scheduler):
+        comp, truth = small_setup
+        queries = self._queries(comp, truth)
+        batched = SpellService(comp, n_workers=3, cache_size=0).search_many(
+            queries, page_size=10, scheduler=scheduler
+        )
+        serial = SpellService(comp, cache_size=0)
+        assert len(batched.pages) == len(queries)
+        for query, page in zip(queries, batched.pages):
+            expect = serial.search_page(query, page_size=10)
+            assert page.gene_rows == expect.gene_rows
+            assert page.dataset_rows == expect.dataset_rows
+            assert page.query == expect.query
+
+    def test_batch_timing_and_counters(self, small_setup):
+        comp, truth = small_setup
+        queries = self._queries(comp, truth)
+        service = SpellService(comp, n_workers=2)
+        batch = service.search_many(queries)
+        assert batch.total_seconds > 0
+        assert batch.queries_per_second > 0
+        assert batch.n_workers == 2
+        assert batch.cache_misses == len(queries)
+        again = service.search_many(queries)
+        assert again.cache_hits == len(queries)
+
+    def test_empty_batch_rejected(self, small_setup):
+        comp, _ = small_setup
+        with pytest.raises(SearchError):
+            SpellService(comp).search_many([])
+
+    def test_unknown_scheduler_rejected(self, small_setup):
+        comp, truth = small_setup
+        with pytest.raises(SearchError):
+            SpellService(comp).search_many([list(truth.query_genes)], scheduler="magic")
+
+
+# ------------------------------------------------------- incremental index
+class TestIncrementalIndex:
+    def test_add_dataset_matches_fresh_build(self, small_setup):
+        comp, truth = small_setup
+        datasets = list(comp)
+        grown = SpellIndex.build(Compendium(datasets[:-1]))
+        grown.add_dataset(datasets[-1])
+        fresh = SpellIndex.build(comp)
+        q = list(truth.query_genes)
+        a, b = grown.search(q), fresh.search(q)
+        assert a.dataset_ranking() == b.dataset_ranking()
+        assert [(g.gene_id, g.score) for g in a.genes] == [
+            (g.gene_id, g.score) for g in b.genes
+        ]
+
+    def test_remove_dataset_matches_fresh_build(self, small_setup):
+        comp, truth = small_setup
+        datasets = list(comp)
+        shrunk = SpellIndex.build(comp)
+        shrunk.remove_dataset(datasets[-1].name)
+        fresh = SpellIndex.build(Compendium(datasets[:-1]))
+        q = list(truth.query_genes)
+        a, b = shrunk.search(q), fresh.search(q)
+        assert a.dataset_ranking() == b.dataset_ranking()
+        assert [(g.gene_id, g.score) for g in a.genes] == [
+            (g.gene_id, g.score) for g in b.genes
+        ]
+
+    def test_duplicate_add_and_missing_remove_rejected(self, small_setup):
+        comp, _ = small_setup
+        index = SpellIndex.build(comp)
+        with pytest.raises(ValidationError):
+            index.add_dataset(comp[0])
+        with pytest.raises(ValidationError):
+            index.remove_dataset("no-such-dataset")
+
+    def test_parallel_build_matches_serial(self, small_setup):
+        comp, truth = small_setup
+        q = list(truth.query_genes)
+        a = SpellIndex.build(comp, n_workers=1).search(q)
+        b = SpellIndex.build(comp, n_workers=4).search(q)
+        assert a.dataset_ranking() == b.dataset_ranking()
+        assert [(g.gene_id, g.score) for g in a.genes] == [
+            (g.gene_id, g.score) for g in b.genes
+        ]
+
+    def test_same_name_replacement_is_reindexed(self, small_setup):
+        """Swapping a dataset for new data under the *same name* must not
+        serve shards normalized from the old values."""
+        comp, truth = small_setup
+        q = list(truth.query_genes)
+        service = SpellService(comp)
+        service_result_before = service.search(q)
+        name = comp.names[0]
+        old = comp.remove(name)
+        values = np.array(old.matrix.values)
+        flip_row = next(
+            i for i, g in enumerate(old.matrix.gene_ids) if g not in set(q)
+        )
+        values[flip_row] = -values[flip_row]  # flipped gene: correlations invert
+        replacement = Dataset(
+            name=name,
+            matrix=ExpressionMatrix(
+                values,
+                list(old.matrix.gene_ids),
+                list(old.matrix.condition_names),
+            ),
+        )
+        comp.add(replacement)
+        swapped = service.search(q)
+        fresh = SpellService(comp, cache_size=0).search(q)
+        assert [(d.name, d.weight) for d in swapped.datasets] == [
+            (d.name, d.weight) for d in fresh.datasets
+        ]
+        assert [(g.gene_id, g.score) for g in swapped.genes] == [
+            (g.gene_id, g.score) for g in fresh.genes
+        ]
+        # the scenario must actually discriminate: the flipped gene's score
+        # changed, so a stale shard would have produced different rankings
+        pre = {g.gene_id: g.score for g in service_result_before.genes}
+        post = {g.gene_id: g.score for g in swapped.genes}
+        flipped = old.matrix.gene_ids[flip_row]
+        assert flipped in pre and flipped in post and pre[flipped] != post[flipped]
+
+    def test_updated_is_copy_on_write(self, small_setup):
+        """updated() leaves the receiver untouched for in-flight readers."""
+        comp, truth = small_setup
+        q = list(truth.query_genes)
+        index = SpellIndex.build(comp)
+        before = index.search(q)
+        shrunk = Compendium(list(comp)[:-1])
+        new_index = index.updated(shrunk)
+        assert new_index.n_datasets == len(comp) - 1
+        assert index.n_datasets == len(comp)
+        after = index.search(q)
+        assert before.dataset_ranking() == after.dataset_ranking()
+        assert [(g.gene_id, g.score) for g in before.genes] == [
+            (g.gene_id, g.score) for g in after.genes
+        ]
+
+    def test_service_syncs_index_on_compendium_growth(self, small_setup):
+        comp, truth = small_setup
+        datasets = list(comp)
+        base = Compendium(datasets[:-1])
+        service = SpellService(base)
+        q = list(truth.query_genes)
+        before = service.search(q)
+        assert datasets[-1].name not in before.dataset_ranking()
+        base.add(datasets[-1])
+        after = service.search(q)
+        assert datasets[-1].name in after.dataset_ranking()
+        fresh = SpellService(Compendium(datasets), cache_size=0).search(q)
+        assert after.dataset_ranking() == fresh.dataset_ranking()

@@ -6,9 +6,7 @@ import pytest
 from repro.stats import pearson
 from repro.synth import (
     GeneModule,
-    make_annotated_ontology,
     make_case_study,
-    make_simple_dataset,
     make_spell_compendium,
     make_stress_compendium,
     profile,
