@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import ForestView
 from repro.spell import SpellEngine, SpellIndex
+from repro.util.timing import Stopwatch
 from repro.stats import enrichment_pvalues, precision_at_k
 from repro.viz import DisplayList, HeatmapCmd, RectCmd, get_colormap
 from repro.wall import DisplayWall, WallGeometry
@@ -94,6 +95,56 @@ def test_abl_spell_index_vs_exact(spell_bench):
     assert t_indexed < t_exact
     assert p_indexed >= p_exact - 0.1
     assert agreement >= 0.7
+
+
+# ---------------------------------------------------------------------------
+# ablation 2b: float32 vs float64 index shards
+# ---------------------------------------------------------------------------
+def test_abl_spell_index_float32(spell_bench):
+    """The optional float32 compute path: memory/speed vs rank agreement.
+
+    Shards stored in float32 halve index memory and speed the scoring
+    matmuls; scores drift in the last digits, so this quantifies how
+    well the float32 ranking agrees with the float64 reference.
+    """
+    comp, truth = spell_bench
+    query = list(truth.query_genes)
+    f64 = SpellIndex.build(comp)
+    f32 = SpellIndex.build(comp, dtype=np.float32)
+
+    def mean_query_seconds(index, repeats=10):
+        with Stopwatch() as sw:
+            for _ in range(repeats):
+                index.search(query)
+        return sw.elapsed / repeats
+
+    t64 = mean_query_seconds(f64)
+    t32 = mean_query_seconds(f32)
+    rank64 = f64.search(query).gene_ranking()
+    rank32 = f32.search(query).gene_ranking()
+    agreement = len(set(rank64[:50]) & set(rank32[:50])) / 50
+
+    write_report(
+        "ABL-spell-f32",
+        "SPELL index: float32 vs float64 shard precision",
+        ["variant", "index size", "query time", "quality"],
+        [
+            ["float64 (reference)", f"{f64.nbytes() / 1024:.0f} KiB",
+             f"{t64 * 1e3:.2f} ms", "exact aggregation dtype"],
+            ["float32 shards", f"{f32.nbytes() / 1024:.0f} KiB",
+             f"{t32 * 1e3:.2f} ms",
+             f"top-50 rank agreement {agreement:.2f}"],
+        ],
+        notes=(
+            "Normalization and aggregation stay float64 in both variants; "
+            "only the stored shards (and therefore the scoring matmuls) "
+            "drop precision. The persistent store records the dtype in its "
+            "manifest, so a reopened index keeps the policy it was built "
+            "with."
+        ),
+    )
+    assert f32.nbytes() * 2 == f64.nbytes()
+    assert agreement >= 0.9, f"float32 top-50 agreement only {agreement:.2f}"
 
 
 # ---------------------------------------------------------------------------

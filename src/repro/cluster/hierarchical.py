@@ -51,7 +51,6 @@ def linkage_merges(dist: np.ndarray, linkage: str = "average") -> np.ndarray:
         D = D * D
 
     INF = np.inf
-    active = np.ones(n, dtype=bool)
     sizes = np.ones(n, dtype=np.int64)
     # cluster_ids[i] = scipy-style id of the cluster currently stored in slot i
     cluster_ids = np.arange(n, dtype=np.int64)
@@ -59,13 +58,16 @@ def linkage_merges(dist: np.ndarray, linkage: str = "average") -> np.ndarray:
 
     merges = np.empty((n - 1, 4), dtype=np.float64)
     for step in range(n - 1):
-        # global nearest active pair
-        masked = np.where(active[:, None] & active[None, :], D, INF)
-        flat = int(np.argmin(masked))
+        # Global nearest active pair.  Deactivated slots keep INF in
+        # their whole row/column (written below when a cluster is
+        # absorbed), so argmin runs directly on D — no fresh masked n×n
+        # copy per merge step (that np.where made the loop O(n³) in
+        # allocations).
+        flat = int(np.argmin(D))
         i, j = divmod(flat, n)
         if i > j:
             i, j = j, i
-        d_ij = masked[i, j]
+        d_ij = D[i, j]
         height = float(np.sqrt(d_ij)) if linkage == "ward" else float(d_ij)
         merges[step] = (cluster_ids[i], cluster_ids[j], height, sizes[i] + sizes[j])
 
@@ -89,7 +91,8 @@ def linkage_merges(dist: np.ndarray, linkage: str = "average") -> np.ndarray:
         new_row[j] = INF
         D[i, :] = new_row
         D[:, i] = new_row
-        active[j] = False
+        D[j, :] = INF  # retire slot j in place; it never reactivates
+        D[:, j] = INF
         sizes[i] += sizes[j]
         cluster_ids[i] = n + step
     return merges

@@ -7,6 +7,7 @@ datasets"; the compendium is the container all multi-dataset operations
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 from repro.data.dataset import Dataset
@@ -66,6 +67,23 @@ class Compendium:
     def version(self) -> int:
         """Mutation counter; changes whenever the dataset collection does."""
         return self._version
+
+    @property
+    def fingerprint(self) -> str:
+        """Content identity: ordered roll-up of every dataset's fingerprint.
+
+        :attr:`version` is the *fast* token (a process-local counter that
+        caches key on); the fingerprint is the *durable* token — it is
+        identical across processes and restarts for the same data in the
+        same order, which is what the persistent index store
+        (:class:`repro.spell.store.IndexStore`) keys its shards on.
+        """
+        h = hashlib.sha1()
+        for ds in self._datasets:
+            h.update(ds.name.encode())
+            h.update(b"\x00")
+            h.update(ds.fingerprint.encode())
+        return h.hexdigest()
 
     def __getitem__(self, key: str | int) -> Dataset:
         if isinstance(key, int):

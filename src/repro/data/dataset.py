@@ -6,7 +6,10 @@ array tree mirror what a CDT/GTR/ATR triple from Cluster 3.0 provides.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cluster.tree import DendrogramTree
 from repro.cluster.hierarchical import hierarchical_cluster
@@ -76,6 +79,32 @@ class Dataset:
     def gene_ids(self) -> list[str]:
         return self.matrix.gene_ids
 
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the measurements and their identity metadata.
+
+        Hashes the matrix values plus gene ids and condition names — the
+        exact inputs SPELL index normalization consumes — so two datasets
+        with the same fingerprint produce bit-identical index shards.
+        Computed once and cached; matrices are immutable-by-convention,
+        so mutating ``matrix.values`` in place invalidates the cache
+        silently (don't).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            h = hashlib.sha1()
+            h.update(np.ascontiguousarray(self.matrix.values).tobytes())
+            for g in self.matrix.gene_ids:
+                h.update(g.encode())
+                h.update(b"\x00")
+            h.update(b"\x01")
+            for c in self.matrix.condition_names:
+                h.update(c.encode())
+                h.update(b"\x00")
+            cached = h.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def display_order(self) -> list[int]:
         """Row order for rendering: gene-tree leaf order if clustered, else natural."""
         if self.gene_tree is not None:
@@ -139,8 +168,6 @@ class Dataset:
 
     def measurement_count(self) -> int:
         """Total non-missing measurements (the paper counts compendium size this way)."""
-        import numpy as np
-
         return int((~np.isnan(self.matrix.values)).sum())
 
     def __repr__(self) -> str:

@@ -11,6 +11,8 @@ from repro.spell.engine import (
     SpellResult,
     DatasetScore,
     GeneScore,
+    GeneTable,
+    ranked_gene_table,
     MIN_QUERY_PRESENT,
 )
 from repro.spell.cache import (
@@ -20,6 +22,7 @@ from repro.spell.cache import (
     rebind_result,
 )
 from repro.spell.index import SpellIndex
+from repro.spell.store import IndexStore, SyncReport
 from repro.spell.service import SpellService, SearchPage, BatchSearchResult
 from repro.spell.baseline import TextSearchBaseline
 from repro.spell.coexpression import coexpression_graph, consensus_graph, extract_modules
@@ -29,8 +32,12 @@ __all__ = [
     "SpellResult",
     "DatasetScore",
     "GeneScore",
+    "GeneTable",
+    "ranked_gene_table",
     "MIN_QUERY_PRESENT",
     "SpellIndex",
+    "IndexStore",
+    "SyncReport",
     "SpellService",
     "SearchPage",
     "BatchSearchResult",

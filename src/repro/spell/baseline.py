@@ -15,7 +15,7 @@ import re
 from typing import Sequence
 
 from repro.data.compendium import Compendium
-from repro.spell.engine import DatasetScore, GeneScore, SpellResult
+from repro.spell.engine import DatasetScore, GeneScore, GeneTable, SpellResult
 from repro.util.errors import SearchError
 
 __all__ = ["TextSearchBaseline"]
@@ -90,5 +90,5 @@ class TextSearchBaseline:
             query_used=query_used,
             query_missing=query_missing,
             datasets=tuple(dataset_scores),
-            genes=tuple(gene_scores),
+            genes=GeneTable.from_scores(gene_scores),
         )

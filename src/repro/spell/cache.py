@@ -12,7 +12,12 @@ Every key also embeds the compendium's version token, so a mutation
 A cached :class:`~repro.spell.engine.SpellResult` stores the canonical
 gene order; :func:`rebind_result` restates the query-attribution fields
 in the caller's original order before serving, so hits are
-indistinguishable from fresh computes.
+indistinguishable from fresh computes.  Results carry their gene
+ranking as an array-backed :class:`~repro.spell.engine.GeneTable`;
+rebinding never touches it, so a hit costs three tuple rebuilds no
+matter how many genes the ranking holds.  Top-k (truncated) results are
+keyed with ``extra=("top_k", k)`` so a partial ranking can never be
+served where a full one was requested.
 """
 
 from __future__ import annotations

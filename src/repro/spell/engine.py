@@ -22,8 +22,9 @@ weight, genes by aggregate score.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +33,14 @@ from repro.stats.correlation import fisher_z, pearson_matrix, pearson_to_vector
 from repro.util.errors import SearchError
 from repro.parallel.pmap import parallel_map
 
-__all__ = ["DatasetScore", "GeneScore", "SpellResult", "SpellEngine"]
+__all__ = [
+    "DatasetScore",
+    "GeneScore",
+    "GeneTable",
+    "ranked_gene_table",
+    "SpellResult",
+    "SpellEngine",
+]
 
 #: A dataset needs this many query genes present to receive a weight.
 MIN_QUERY_PRESENT = 2
@@ -52,6 +60,127 @@ class GeneScore:
     n_datasets: int  # datasets (with positive weight) that scored this gene
 
 
+class GeneTable(SequenceABC):
+    """Array-backed ranked gene list (the hot-path result representation).
+
+    Aggregation produces parallel NumPy arrays; this container keeps them
+    that way instead of materializing one :class:`GeneScore` per gene.
+    It still *behaves* like a sequence of ``GeneScore`` — ``len``,
+    iteration, integer indexing and slicing all work — so every existing
+    consumer of ``SpellResult.genes`` keeps working, but ranking and
+    pagination never touch per-gene Python objects.
+
+    ``total`` is the number of candidate genes in the full ranking:
+    equal to ``len(self)`` for complete results, larger when the table
+    was truncated by a top-k query.
+    """
+
+    __slots__ = ("ids", "scores", "n_datasets", "total")
+
+    def __init__(self, ids, scores, n_datasets, *, total: int | None = None) -> None:
+        ids = np.asarray(ids)
+        if ids.size == 0 and ids.dtype.kind not in ("U", "S", "O"):
+            ids = ids.astype("U1")
+        scores = np.asarray(scores, dtype=np.float64)
+        n_ds = np.asarray(n_datasets, dtype=np.int64)
+        if not (ids.shape == scores.shape == n_ds.shape) or ids.ndim != 1:
+            raise SearchError(
+                f"gene table arrays must be parallel 1-D, got shapes "
+                f"{ids.shape}/{scores.shape}/{n_ds.shape}"
+            )
+        self.ids = ids
+        self.scores = scores
+        self.n_datasets = n_ds
+        self.total = len(ids) if total is None else int(total)
+
+    @classmethod
+    def from_scores(
+        cls, scores: Iterable[GeneScore], *, total: int | None = None
+    ) -> "GeneTable":
+        """Build from materialized :class:`GeneScore` objects (slow path)."""
+        scores = list(scores)
+        return cls(
+            np.asarray([g.gene_id for g in scores]),
+            np.asarray([g.score for g in scores], dtype=np.float64),
+            np.asarray([g.n_datasets for g in scores], dtype=np.int64),
+            total=total,
+        )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return GeneTable(
+                self.ids[key], self.scores[key], self.n_datasets[key], total=self.total
+            )
+        i = int(key)
+        return GeneScore(
+            gene_id=str(self.ids[i]),
+            score=float(self.scores[i]),
+            n_datasets=int(self.n_datasets[i]),
+        )
+
+    def __iter__(self):
+        for gid, score, n in zip(self.ids, self.scores, self.n_datasets):
+            yield GeneScore(gene_id=str(gid), score=float(score), n_datasets=int(n))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GeneTable):
+            return NotImplemented
+        return (
+            self.total == other.total
+            and len(self) == len(other)
+            and bool(np.array_equal(self.ids, other.ids))
+            and bool(np.array_equal(self.scores, other.scores))
+            and bool(np.array_equal(self.n_datasets, other.n_datasets))
+        )
+
+    def __hash__(self):
+        return hash((self.total, len(self)))  # equal tables hash equal; cheap
+
+    def ranking(self) -> list[str]:
+        return [str(g) for g in self.ids]
+
+    def __repr__(self) -> str:
+        return f"GeneTable({len(self)} of {self.total} genes)"
+
+
+def ranked_gene_table(
+    ids: np.ndarray,
+    scores: np.ndarray,
+    n_datasets: np.ndarray,
+    *,
+    top_k: int | None = None,
+) -> GeneTable:
+    """Rank candidate genes by ``(-score, gene_id)`` entirely in NumPy.
+
+    ``top_k=None`` sorts everything (one ``lexsort``); otherwise only the
+    top ``k`` rows are selected with :func:`np.argpartition` and just
+    those are sorted.  Candidates tied with the k-th score are all kept
+    through the final sort, so the truncated table is bit-identical to
+    the head of the full ranking regardless of partition order.
+    """
+    ids = np.asarray(ids)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_datasets = np.asarray(n_datasets)
+    n = scores.shape[0]
+    if top_k is not None:
+        top_k = int(top_k)
+        if top_k < 0:
+            raise SearchError(f"top_k must be >= 0, got {top_k}")
+        if top_k == 0:
+            return GeneTable(ids[:0], scores[:0], n_datasets[:0], total=n)
+    if top_k is None or top_k >= n:
+        order = np.lexsort((ids, -scores))
+    else:
+        neg = -scores
+        kth = np.partition(neg, top_k - 1)[top_k - 1]
+        cand = np.flatnonzero(neg <= kth)
+        order = cand[np.lexsort((ids[cand], neg[cand]))][:top_k]
+    return GeneTable(ids[order], scores[order], n_datasets[order], total=n)
+
+
 @dataclass(frozen=True)
 class SpellResult:
     """Ordered datasets + ordered genes for one query (Figure 4's output)."""
@@ -60,7 +189,7 @@ class SpellResult:
     query_used: tuple[str, ...]  # query genes found in >= 1 dataset
     query_missing: tuple[str, ...]
     datasets: tuple[DatasetScore, ...]  # sorted by weight, descending
-    genes: tuple[GeneScore, ...]  # sorted by score, descending; query excluded
+    genes: "GeneTable | tuple[GeneScore, ...]"  # by score desc; query excluded
 
     def top_genes(self, n: int) -> list[str]:
         return [g.gene_id for g in self.genes[:n]]
@@ -69,10 +198,19 @@ class SpellResult:
         return [d.name for d in self.datasets[:n]]
 
     def gene_ranking(self) -> list[str]:
+        if isinstance(self.genes, GeneTable):
+            return self.genes.ranking()
         return [g.gene_id for g in self.genes]
 
     def dataset_ranking(self) -> list[str]:
         return [d.name for d in self.datasets]
+
+    @property
+    def total_genes(self) -> int:
+        """Candidate genes in the full ranking (>= ``len(genes)`` for top-k)."""
+        if isinstance(self.genes, GeneTable):
+            return self.genes.total
+        return len(self.genes)
 
 
 class SpellEngine:
@@ -95,8 +233,15 @@ class SpellEngine:
         *,
         exclude_query_from_genes: bool = True,
         min_weight: float = 0.0,
+        top_k: int | None = None,
     ) -> SpellResult:
-        """Run one SPELL search; see module docstring for the algorithm."""
+        """Run one SPELL search; see module docstring for the algorithm.
+
+        ``top_k`` truncates the gene ranking to its first ``k`` rows
+        (selected with ``argpartition``, bit-identical to the head of the
+        full ranking); the full candidate count stays available as
+        ``result.total_genes``.
+        """
         query = [str(g) for g in query]
         if not query:
             raise SearchError("query must contain at least one gene")
@@ -139,18 +284,18 @@ class SpellEngine:
                 counts[g] = counts.get(g, 0) + 1
 
         query_set = set(query_used)
-        gene_scores = [
-            GeneScore(gene_id=g, score=totals[g] / weight_mass[g], n_datasets=counts[g])
-            for g in totals
-            if not (exclude_query_from_genes and g in query_set)
+        keep = [
+            g for g in totals if not (exclude_query_from_genes and g in query_set)
         ]
-        gene_scores.sort(key=lambda s: (-s.score, s.gene_id))
+        ids = np.asarray(keep)
+        raw_scores = np.asarray([totals[g] / weight_mass[g] for g in keep])
+        n_ds = np.asarray([counts[g] for g in keep], dtype=np.int64)
         return SpellResult(
             query=tuple(query),
             query_used=query_used,
             query_missing=query_missing,
             datasets=dataset_scores,
-            genes=tuple(gene_scores),
+            genes=ranked_gene_table(ids, raw_scores, n_ds, top_k=top_k),
         )
 
     def search_iterative(
@@ -174,12 +319,20 @@ class SpellEngine:
             current.extend(a for a in additions if a not in current)
             result = self.search(current)
         # re-attribute to the original query for reporting
+        genes = result.genes
+        if isinstance(genes, GeneTable):
+            keep = ~np.isin(genes.ids, np.asarray([str(g) for g in query]))
+            genes = GeneTable(
+                genes.ids[keep], genes.scores[keep], genes.n_datasets[keep]
+            )
+        else:
+            genes = tuple(g for g in genes if g.gene_id not in set(query))
         return SpellResult(
             query=tuple(str(g) for g in query),
             query_used=result.query_used,
             query_missing=result.query_missing,
             datasets=result.datasets,
-            genes=tuple(g for g in result.genes if g.gene_id not in set(query)),
+            genes=genes,
         )
 
     # -------------------------------------------------------------- internals

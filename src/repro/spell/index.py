@@ -16,40 +16,73 @@ Because each dataset's shard is independent, the index supports both a
 parallel sharded :meth:`build` (normalization fanned over
 ``parallel_map``) and *incremental* maintenance: :meth:`add_dataset` /
 :meth:`remove_dataset` splice one shard without touching the others, so
-growing the compendium no longer forces a full rebuild.
+growing the compendium no longer forces a full rebuild.  Shards carry
+their source dataset's content fingerprint, which is what the
+persistent store (:mod:`repro.spell.store`) uses to rewrite only stale
+shards and what :meth:`updated` falls back on to reuse shards across
+processes (where object identity is useless).
+
+Shards may be held in ``float32`` (``build(..., dtype=np.float32)``):
+half the memory and faster matmuls, at the cost of last-digit score
+differences against the float64 reference — the ablation bench
+validates rank agreement between the two dtypes.  Aggregation always
+accumulates in float64 regardless of shard dtype.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.data.compendium import Compendium
 from repro.data.dataset import Dataset
 from repro.parallel.pmap import parallel_map
-from repro.spell.engine import DatasetScore, GeneScore, SpellResult, MIN_QUERY_PRESENT
+from repro.spell.engine import (
+    DatasetScore,
+    SpellResult,
+    MIN_QUERY_PRESENT,
+    ranked_gene_table,
+)
 from repro.stats.correlation import fisher_z
 from repro.util.errors import SearchError, ValidationError
 
 __all__ = ["SpellIndex"]
+
+#: Shard dtypes the index (and its on-disk store) supports.
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 @dataclass
 class _DatasetIndex:
     """One immutable shard.  ``source`` is the exact :class:`Dataset` the
     shard was normalized from — identity comparison against the live
-    compendium detects same-name replacements that a name diff misses."""
+    compendium detects same-name replacements that a name diff misses.
+    ``fingerprint`` is the source dataset's content hash, the durable
+    (cross-process) form of the same identity."""
 
     name: str
     gene_ids: list[str]
-    gene_pos: dict[str, int]
     normalized: np.ndarray  # (genes, conditions) unit-norm rows, contiguous
     source: Dataset | None = None
+    fingerprint: str | None = None
+    _gene_pos: dict[str, int] | None = None
+
+    @property
+    def gene_pos(self) -> dict[str, int]:
+        """gene id -> local row; built lazily (cold start never needs it)."""
+        if self._gene_pos is None:
+            self._gene_pos = {g: i for i, g in enumerate(self.gene_ids)}
+        return self._gene_pos
 
 
-def _index_dataset(ds: Dataset) -> _DatasetIndex:
-    """Normalize one dataset into its index shard (pure per-dataset work)."""
+def _index_dataset(ds: Dataset, dtype=np.float64) -> _DatasetIndex:
+    """Normalize one dataset into its index shard (pure per-dataset work).
+
+    Normalization always runs in float64; ``dtype`` only controls the
+    stored (and therefore matmul) precision.
+    """
     X = ds.matrix.values
     with np.errstate(invalid="ignore"):
         mean = np.nanmean(X, axis=1, keepdims=True)
@@ -62,9 +95,9 @@ def _index_dataset(ds: Dataset) -> _DatasetIndex:
     return _DatasetIndex(
         name=ds.name,
         gene_ids=list(ds.matrix.gene_ids),
-        gene_pos={g: i for i, g in enumerate(ds.matrix.gene_ids)},
-        normalized=np.ascontiguousarray(z),
+        normalized=np.ascontiguousarray(z, dtype=np.dtype(dtype)),
         source=ds,
+        fingerprint=ds.fingerprint,
     )
 
 
@@ -84,6 +117,9 @@ class SpellIndex:
         if not entries:
             raise SearchError("index is empty")
         self._entries = list(entries)
+        self.dtype = np.dtype(self._entries[0].normalized.dtype)
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValidationError(f"unsupported shard dtype {self.dtype}")
         # Global gene universe: aggregation runs over dense arrays indexed
         # by universe slot instead of per-gene dicts (the old inner loop
         # was pure Python over every gene of every dataset and dominated
@@ -94,11 +130,39 @@ class SpellIndex:
         # shared between indexes (copy-on-write updates).
         self._gene_slot: dict[str, int] = {}
         self._slot_gene: list[str] = []
+        self._slot_gene_arr: np.ndarray | None = None  # cache, rebuilt on growth
         self._global_rows: list[np.ndarray] = []  # parallel to _entries
-        for entry in self._entries:
-            self._global_rows.append(self._assign_slots(entry))
+        # per-shard inverse map (universe slot -> local row, -1 = absent);
+        # sized to the universe at shard-registration time, so probes must
+        # bounds-check slots assigned by later shards
+        self._slot_to_row: list[np.ndarray] = []
+        # Bulk slot assignment: one np.unique over every shard's gene list
+        # instead of a per-gene Python dict probe — the cold-start path
+        # (store load) spends its time here, and slot *numbering* is
+        # irrelevant to results (each gene aggregates in its own slot and
+        # the final ranking sorts by score/id).
+        id_arrays = [np.asarray(e.gene_ids, dtype=str) for e in self._entries]
+        uniq, inv = np.unique(np.concatenate(id_arrays), return_inverse=True)
+        self._slot_gene = uniq.tolist()
+        self._gene_slot = {g: i for i, g in enumerate(self._slot_gene)}
+        n_slots = len(self._slot_gene)
+        # datasets currently containing each slot's gene: slots are never
+        # retired, so membership questions must consult this, not the
+        # slot table (a gene unique to a removed dataset keeps its slot
+        # but stops being live)
+        self._slot_live = np.zeros(n_slots, dtype=np.int64)
+        inv = np.asarray(inv, dtype=np.intp)
+        offset = 0
+        for arr in id_arrays:
+            rows = inv[offset : offset + arr.shape[0]]
+            offset += arr.shape[0]
+            inverse = np.full(n_slots, -1, dtype=np.intp)
+            inverse[rows] = np.arange(rows.shape[0], dtype=np.intp)
+            self._global_rows.append(rows)
+            self._slot_to_row.append(inverse)
+            self._slot_live[rows] += 1
 
-    def _assign_slots(self, entry: _DatasetIndex) -> np.ndarray:
+    def _register(self, entry: _DatasetIndex) -> None:
         rows = np.empty(len(entry.gene_ids), dtype=np.intp)
         for i, g in enumerate(entry.gene_ids):
             slot = self._gene_slot.get(g)
@@ -107,13 +171,34 @@ class SpellIndex:
                 self._gene_slot[g] = slot
                 self._slot_gene.append(g)
             rows[i] = slot
-        return rows
+        n_slots = len(self._slot_gene)
+        inverse = np.full(n_slots, -1, dtype=np.intp)
+        inverse[rows] = np.arange(len(entry.gene_ids), dtype=np.intp)
+        self._global_rows.append(rows)
+        self._slot_to_row.append(inverse)
+        if self._slot_live.shape[0] < n_slots:
+            grown = np.zeros(n_slots, dtype=np.int64)
+            grown[: self._slot_live.shape[0]] = self._slot_live
+            self._slot_live = grown
+        self._slot_live[rows] += 1
+
+    def _slot_ids(self) -> np.ndarray:
+        """Universe slot -> gene id, as an array (cached; universe only grows)."""
+        if self._slot_gene_arr is None or len(self._slot_gene_arr) != len(
+            self._slot_gene
+        ):
+            self._slot_gene_arr = np.asarray(self._slot_gene)
+        return self._slot_gene_arr
 
     @classmethod
-    def build(cls, compendium: Compendium, *, n_workers: int = 1) -> "SpellIndex":
+    def build(
+        cls, compendium: Compendium, *, n_workers: int = 1, dtype=np.float64
+    ) -> "SpellIndex":
         """Index every dataset; ``n_workers > 1`` shards the normalization."""
         entries = parallel_map(
-            _index_dataset, list(compendium), n_workers=max(1, int(n_workers))
+            partial(_index_dataset, dtype=dtype),
+            list(compendium),
+            n_workers=max(1, int(n_workers)),
         )
         return cls(entries)
 
@@ -126,16 +211,18 @@ class SpellIndex:
         """
         if dataset.name in self.dataset_names:
             raise ValidationError(f"dataset {dataset.name!r} already indexed")
-        entry = _index_dataset(dataset)
-        self._global_rows.append(self._assign_slots(entry))
+        entry = _index_dataset(dataset, dtype=self.dtype)
+        self._register(entry)
         self._entries.append(entry)
 
     def remove_dataset(self, name: str) -> None:
         """Drop one dataset's shard; other shards are untouched."""
         for i, entry in enumerate(self._entries):
             if entry.name == name:
+                self._slot_live[self._global_rows[i]] -= 1
                 del self._entries[i]
                 del self._global_rows[i]
+                del self._slot_to_row[i]
                 return
         raise ValidationError(f"dataset {name!r} not in index")
 
@@ -144,15 +231,32 @@ class SpellIndex:
 
         Shards are reused *by dataset identity* — a dataset re-added
         under the same name with different values gets re-normalized,
-        which a name diff would miss.  The receiver is left untouched,
-        so threads searching it mid-swap stay consistent; only genuinely
+        which a name diff would miss.  Shards whose source identity is
+        gone (e.g. an index reopened from the persistent store) are
+        matched by content fingerprint instead, which is equivalent and
+        survives process restarts.  The receiver is left untouched, so
+        threads searching it mid-swap stay consistent; only genuinely
         new datasets pay normalization cost.
         """
         by_identity = {id(e.source): e for e in self._entries if e.source is not None}
-        entries = [
-            by_identity.get(id(ds)) or _index_dataset(ds) for ds in compendium
-        ]
-        return SpellIndex(entries)
+        by_fingerprint = {
+            (e.name, e.fingerprint): e
+            for e in self._entries
+            if e.fingerprint is not None
+        }
+
+        def match(ds: Dataset) -> _DatasetIndex:
+            entry = by_identity.get(id(ds))
+            if entry is None:
+                entry = by_fingerprint.get((ds.name, ds.fingerprint))
+            if entry is None:
+                entry = _index_dataset(ds, dtype=self.dtype)
+            elif entry.source is None:
+                # bind the live dataset so future syncs match by identity
+                entry.source = ds
+            return entry
+
+        return SpellIndex([match(ds) for ds in compendium])
 
     @property
     def dataset_names(self) -> list[str]:
@@ -171,8 +275,16 @@ class SpellIndex:
         query: list[str] | tuple[str, ...],
         *,
         exclude_query_from_genes: bool = True,
+        top_k: int | None = None,
     ) -> SpellResult:
-        """SPELL search against the index; same output contract as the engine."""
+        """SPELL search against the index; same output contract as the engine.
+
+        ``top_k`` returns only the first ``k`` ranked genes (selected
+        with ``argpartition``, bit-identical to the head of the full
+        ranking) — the page-serving path, which skips sorting the whole
+        gene universe.  ``result.total_genes`` still reports the full
+        candidate count.
+        """
         if not self._entries:
             raise SearchError("index is empty")
         query = [str(g) for g in query]
@@ -180,58 +292,70 @@ class SpellIndex:
             raise SearchError("query must contain at least one gene")
         if len(set(query)) != len(query):
             raise SearchError("query contains duplicate genes")
-        query_used = tuple(
-            g for g in query if any(g in e.gene_pos for e in self._entries)
-        )
-        query_missing = tuple(g for g in query if g not in set(query_used))
+        # membership against the cached global universe — no per-gene scan
+        # over every shard, and no rebuilt membership set (_slot_live
+        # guards against slots whose only dataset was removed)
+        def live(g: str) -> bool:
+            slot = self._gene_slot.get(g)
+            return slot is not None and self._slot_live[slot] > 0
+
+        query_used = tuple(g for g in query if live(g))
+        query_missing = tuple(g for g in query if not live(g))
         if not query_used:
             raise SearchError(f"no query gene exists in any dataset: {query}")
+        q_slots = np.fromiter(
+            (self._gene_slot[g] for g in query_used), dtype=np.intp, count=len(query_used)
+        )
 
         dataset_scores: list[DatasetScore] = []
         n_slots = len(self._slot_gene)
         totals = np.zeros(n_slots)
         weight_mass = np.zeros(n_slots)
         counts = np.zeros(n_slots, dtype=np.intp)
-        query_set = set(query_used)
 
-        for entry, slots in zip(self._entries, self._global_rows):
-            present = [g for g in query_used if g in entry.gene_pos]
-            if len(present) < MIN_QUERY_PRESENT:
-                dataset_scores.append(DatasetScore(entry.name, 0.0, len(present)))
+        for entry, slots, inverse in zip(
+            self._entries, self._global_rows, self._slot_to_row
+        ):
+            # local rows of the query genes via the precomputed slot->row
+            # map (vectorized; replaces per-gene gene_pos dict probing)
+            local = np.full(q_slots.shape, -1, dtype=np.intp)
+            in_range = q_slots < inverse.shape[0]
+            local[in_range] = inverse[q_slots[in_range]]
+            rows = local[local >= 0]
+            if rows.shape[0] < MIN_QUERY_PRESENT:
+                dataset_scores.append(DatasetScore(entry.name, 0.0, rows.shape[0]))
                 continue
-            rows = np.asarray([entry.gene_pos[g] for g in present], dtype=np.intp)
             Q = entry.normalized[rows]  # (q, cond) unit rows
             qcorr = np.clip(Q @ Q.T, -1.0, 1.0)
-            iu = np.triu_indices(len(present), k=1)
+            iu = np.triu_indices(rows.shape[0], k=1)
             mean_r = float(np.tanh(np.mean(fisher_z(qcorr[iu]))))
             weight = max(0.0, mean_r) ** 2
-            dataset_scores.append(DatasetScore(entry.name, weight, len(present)))
+            dataset_scores.append(DatasetScore(entry.name, weight, rows.shape[0]))
             if weight <= 0.0:
                 continue
             # all-gene scores in one matmul: mean corr to query rows;
             # scatter-add into the dense universe arrays (row slots are
             # unique within a dataset, so fancy-index += is safe)
-            scores = np.clip(entry.normalized @ Q.T, -1.0, 1.0).mean(axis=1)
+            scores = np.clip(entry.normalized @ Q.T, -1.0, 1.0).mean(
+                axis=1, dtype=np.float64
+            )
             totals[slots] += weight * scores
             weight_mass[slots] += weight
             counts[slots] += 1
 
         dataset_scores.sort(key=lambda d: (-d.weight, d.name))
         scored = np.flatnonzero(counts)
+        if exclude_query_from_genes:
+            scored = scored[~np.isin(scored, q_slots)]
         with np.errstate(invalid="ignore", divide="ignore"):
             final = totals[scored] / weight_mass[scored]
-        gene_scores = [
-            GeneScore(gene_id=g, score=float(s), n_datasets=int(n))
-            for g, s, n in zip(
-                (self._slot_gene[i] for i in scored), final, counts[scored]
-            )
-            if not (exclude_query_from_genes and g in query_set)
-        ]
-        gene_scores.sort(key=lambda s: (-s.score, s.gene_id))
+        genes = ranked_gene_table(
+            self._slot_ids()[scored], final, counts[scored], top_k=top_k
+        )
         return SpellResult(
             query=tuple(query),
             query_used=query_used,
             query_missing=query_missing,
             datasets=tuple(dataset_scores),
-            genes=tuple(gene_scores),
+            genes=genes,
         )

@@ -13,13 +13,21 @@ interactive service under load needs:
 * **Incremental index maintenance** — when the compendium's version
   token moves, the service diffs dataset names and splices shards via
   ``SpellIndex.add_dataset`` / ``remove_dataset`` instead of rebuilding.
+* **Persistent index** — ``store_dir=`` points the service at an
+  :class:`~repro.spell.store.IndexStore` directory: a fresh process
+  memory-maps the saved shards (zero-copy cold start) instead of
+  re-normalizing the compendium, and every index sync also rewrites the
+  stale shards on disk.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from repro.data.compendium import Compendium
 from repro.parallel.pmap import parallel_map
@@ -27,7 +35,8 @@ from repro.parallel.workqueue import WorkStealingPool
 from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
 from repro.spell.engine import SpellEngine, SpellResult
 from repro.spell.index import SpellIndex
-from repro.util.errors import SearchError
+from repro.spell.store import IndexStore
+from repro.util.errors import SearchError, StoreError
 from repro.util.timing import Stopwatch
 
 __all__ = ["SearchPage", "BatchSearchResult", "SpellService"]
@@ -70,6 +79,14 @@ class SpellService:
     ``use_index=False`` recomputes correlations per query with the exact
     engine — the cold path the ablation bench compares against.
     ``cache_size=0`` disables result caching (every query recomputes).
+
+    ``store_dir`` enables the persistent index: when the directory
+    already holds shards for exactly this compendium (matched by content
+    fingerprint and dtype) they are reopened via mmap (``store_mmap``)
+    instead of rebuilt; otherwise the service builds once and saves.
+    ``dtype`` selects the shard precision — ``float32`` halves index
+    memory and speeds the matmuls at the cost of last-digit score drift
+    (see the ablation bench for rank agreement).
     """
 
     def __init__(
@@ -79,20 +96,62 @@ class SpellService:
         use_index: bool = True,
         n_workers: int = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        dtype=np.float64,
+        store_dir: str | Path | None = None,
+        store_mmap: bool = True,
     ) -> None:
         self.compendium = compendium
         self.use_index = bool(use_index)
         self.n_workers = max(1, int(n_workers))
+        self.dtype = np.dtype(dtype)
+        self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._store_mmap = bool(store_mmap)
         self._engine = SpellEngine(compendium, n_workers=n_workers)
-        self._index = (
-            SpellIndex.build(compendium, n_workers=self.n_workers)
-            if self.use_index
-            else None
-        )
+        self._index = self._open_index() if self.use_index else None
         self._indexed_version = compendium.version
         self._cache = QueryCache(cache_size) if cache_size > 0 else None
         self._history: list[tuple[tuple[str, ...], float]] = []
         self._lock = threading.Lock()  # guards history + index maintenance
+        self._store_lock = threading.Lock()  # serializes on-disk store writes
+
+    def _open_index(self) -> SpellIndex:
+        """Reopen the persistent index when current, else build (and save).
+
+        A *stale* store (the compendium changed since the last save) is
+        still worth opening: shards whose fingerprints survive are
+        reused from disk and only the diff re-normalizes, after which
+        the store is synced back to current.
+        """
+        if self._store_dir is not None:
+            # a matching-but-unreadable store (e.g. a shard file lost out
+            # from under its manifest) falls through to a rebuild rather
+            # than bricking construction
+            try:
+                stale = IndexStore.load(
+                    self._store_dir, mmap=self._store_mmap, bind=self.compendium
+                )
+            except StoreError:
+                stale = None
+            if stale is not None and stale.dtype == self.dtype:
+                # compare against the entries actually loaded, not a
+                # re-read of the manifest (cheaper, and can't race a
+                # concurrent sync into mixing old shards with a new
+                # manifest's verdict)
+                loaded = [(e.name, e.fingerprint) for e in stale._entries]
+                live = [(ds.name, ds.fingerprint) for ds in self.compendium]
+                if loaded == live:
+                    return stale
+                index = stale.updated(self.compendium)
+                IndexStore.sync(index, self._store_dir)
+                return index
+        index = SpellIndex.build(
+            self.compendium, n_workers=self.n_workers, dtype=self.dtype
+        )
+        if self._store_dir is not None:
+            # sync, not save: a rebuild that supersedes an existing store
+            # (e.g. a dtype switch) must also retire the old shard files
+            IndexStore.sync(index, self._store_dir)
+        return index
 
     # ------------------------------------------------------------ maintenance
     def _sync_index(self) -> None:
@@ -111,10 +170,29 @@ class SpellService:
                 return
             self._index = self._index.updated(self.compendium)
             self._indexed_version = self.compendium.version
+            index = self._index
+        if self._store_dir is not None:
+            # mirror the splice on disk: only stale shards rewrite.  Disk
+            # IO happens outside self._lock (searches append history under
+            # it); _store_lock alone serializes writers on the directory.
+            with self._store_lock:
+                IndexStore.sync(index, self._store_dir)
 
     # ----------------------------------------------------------------- search
-    def search(self, query: Sequence[str], *, use_cache: bool = True) -> SpellResult:
-        """Raw search result (full rankings), served from cache when possible."""
+    def search(
+        self,
+        query: Sequence[str],
+        *,
+        use_cache: bool = True,
+        top_k: int | None = None,
+    ) -> SpellResult:
+        """Raw search result, served from cache when possible.
+
+        ``top_k`` asks for only the first ``k`` ranked genes (selected
+        via ``argpartition``; identical to the head of the full ranking)
+        — cached under a separate key so truncated answers never
+        masquerade as full ones.
+        """
         query = [str(g) for g in query]
         if not query:
             raise SearchError("query must contain at least one gene")
@@ -122,9 +200,10 @@ class SpellService:
             raise SearchError("query contains duplicate genes")
 
         version = self.compendium.version
+        extra = () if top_k is None else ("top_k", int(top_k))
         with Stopwatch() as sw:
             cached = (
-                self._cache.lookup(version, query)
+                self._cache.lookup(version, query, extra=extra)
                 if (self._cache is not None and use_cache)
                 else None
             )
@@ -133,11 +212,11 @@ class SpellService:
             else:
                 self._sync_index()
                 if self._index is not None:
-                    result = self._index.search(query)
+                    result = self._index.search(query, top_k=top_k)
                 else:
-                    result = self._engine.search(query)
+                    result = self._engine.search(query, top_k=top_k)
                 if self._cache is not None and use_cache:
-                    self._cache.store(version, query, result)
+                    self._cache.store(version, query, result, extra=extra)
         with self._lock:
             self._history.append((tuple(query), sw.elapsed))
         return result
@@ -153,15 +232,23 @@ class SpellService:
     ) -> SearchPage:
         """Paginated view of a search (what the web UI shows per screen).
 
-        Pagination slices the (possibly cached) full result, so every
-        page of a query shares one cache entry.
+        With the cache on, pagination slices the cached full result, so
+        every page of a query shares one cache entry.  With the cache
+        off there is nothing to share, so only the first
+        ``(page + 1) * page_size`` rows are ranked (``argpartition``
+        top-k) instead of sorting the whole gene universe.
         """
         if page < 0:
             raise SearchError(f"page must be >= 0, got {page}")
         if page_size < 1:
             raise SearchError(f"page_size must be >= 1, got {page_size}")
+        caching = self._cache is not None and use_cache
         with Stopwatch() as sw:
-            result = self.search(query, use_cache=use_cache)
+            result = self.search(
+                query,
+                use_cache=use_cache,
+                top_k=None if caching else (page + 1) * page_size,
+            )
         start = page * page_size
         gene_rows = tuple(
             (start + i + 1, g.gene_id, g.score)
@@ -174,7 +261,7 @@ class SpellService:
             query=result.query,
             page=page,
             page_size=page_size,
-            total_genes=len(result.genes),
+            total_genes=result.total_genes,
             gene_rows=gene_rows,
             dataset_rows=dataset_rows,
             elapsed_seconds=sw.elapsed,

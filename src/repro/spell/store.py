@@ -1,0 +1,309 @@
+"""Persistent, memory-mapped storage for :class:`~repro.spell.index.SpellIndex`.
+
+The deployed SPELL compendium is static across server restarts, yet a
+fresh process used to re-normalize every dataset before answering its
+first query.  :class:`IndexStore` makes the index a durable artifact:
+
+* :meth:`IndexStore.save` writes one ``.npy`` per dataset shard (the
+  row-normalized matrix) plus a JSON manifest carrying the format
+  version, shard dtype, each shard's gene list, and its source
+  dataset's content fingerprint (:attr:`repro.data.dataset.Dataset.fingerprint`).
+* :meth:`IndexStore.load` reopens the shards with
+  ``np.load(mmap_mode="r")`` — a zero-copy cold start: pages of the
+  normalized matrices fault in lazily as queries touch them, so serving
+  begins in milliseconds regardless of compendium size.
+* :meth:`IndexStore.sync` diffs the live index against the manifest by
+  fingerprint and rewrites only stale shards — the on-disk mirror of
+  ``SpellIndex.add_dataset`` / ``remove_dataset`` incremental
+  maintenance.
+
+Shard files are content-addressed (``shard-<hash(name, fingerprint,
+dtype)>.npy``), so a changed dataset — or a dtype switch — lands in a
+new file and ``sync`` never rewrites bytes that are already current (or
+that a live mmap reader may hold).  Manifest writes go through a
+temp-file rename, so a crashed writer leaves the previous manifest
+intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.compendium import Compendium
+from repro.spell.index import SUPPORTED_DTYPES, SpellIndex, _DatasetIndex
+from repro.util.errors import StoreError
+
+__all__ = ["IndexStore", "SyncReport", "FORMAT", "FORMAT_VERSION"]
+
+FORMAT = "spell-index-store"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one :meth:`IndexStore.sync` actually touched (dataset names)."""
+
+    written: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    unchanged: tuple[str, ...] = ()
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.written or self.removed)
+
+
+@dataclass
+class _Manifest:
+    dtype: str
+    shards: list[dict] = field(default_factory=list)  # manifest order = index order
+
+    def to_json(self) -> dict:
+        return {
+            "format": FORMAT,
+            "format_version": FORMAT_VERSION,
+            "dtype": self.dtype,
+            "shards": self.shards,
+        }
+
+
+def _shard_filename(name: str, fingerprint: str, dtype: str) -> str:
+    # dtype is part of the address: a dtype switch must land in a new
+    # file, never truncate bytes a live mmap reader may have mapped
+    key = hashlib.sha1(f"{name}\x00{fingerprint}\x00{dtype}".encode()).hexdigest()[:16]
+    return f"shard-{key}.npy"
+
+
+def _shard_record(entry: _DatasetIndex, fingerprint: str, filename: str) -> dict:
+    """The manifest entry for one shard (single source of truth)."""
+    return {
+        "name": entry.name,
+        "file": filename,
+        "dtype": entry.normalized.dtype.name,
+        "fingerprint": fingerprint,
+        "n_genes": len(entry.gene_ids),
+        "n_conditions": int(entry.normalized.shape[1]),
+        "gene_ids": list(entry.gene_ids),
+    }
+
+
+def _entry_fingerprint(entry: _DatasetIndex) -> str:
+    if entry.fingerprint is not None:
+        return entry.fingerprint
+    if entry.source is not None:
+        return entry.source.fingerprint
+    raise StoreError(
+        f"shard {entry.name!r} carries no content fingerprint; "
+        "rebuild the index from a compendium before saving"
+    )
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class IndexStore:
+    """Save / load / incrementally sync a :class:`SpellIndex` directory.
+
+    All methods are static: the store is the *directory*, not an object
+    with state — any process holding the path can reopen it.
+    """
+
+    # -------------------------------------------------------------- writing
+    @staticmethod
+    def save(index: SpellIndex, directory: str | Path) -> list[str]:
+        """Write every shard plus the manifest; returns written file names."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = _Manifest(dtype=index.dtype.name)
+        written: list[str] = []
+        for entry in index._entries:
+            fingerprint = _entry_fingerprint(entry)
+            filename = _shard_filename(
+                entry.name, fingerprint, entry.normalized.dtype.name
+            )
+            np.save(directory / filename, np.ascontiguousarray(entry.normalized))
+            written.append(filename)
+            manifest.shards.append(_shard_record(entry, fingerprint, filename))
+        _atomic_write_text(
+            directory / MANIFEST_NAME, json.dumps(manifest.to_json())
+        )
+        return written
+
+    @staticmethod
+    def sync(index: SpellIndex, directory: str | Path) -> SyncReport:
+        """Bring the directory up to date with ``index``, rewriting only
+        shards whose content fingerprint changed.
+
+        New and changed datasets are written, shards for datasets no
+        longer in the index are deleted, unchanged shard files are left
+        byte-untouched.  A directory with no (or unreadable) manifest is
+        simply saved from scratch.
+        """
+        directory = Path(directory)
+        try:
+            old = IndexStore._read_manifest(directory)
+        except StoreError:
+            written = IndexStore.save(index, directory)
+            return SyncReport(written=tuple(e.name for e in index._entries))
+        old_by_key = {(s["name"], s["fingerprint"]): s for s in old.shards}
+
+        manifest = _Manifest(dtype=index.dtype.name)
+        written: list[str] = []
+        unchanged: list[str] = []
+        live_files: set[str] = set()
+        for entry in index._entries:
+            fingerprint = _entry_fingerprint(entry)
+            filename = _shard_filename(
+                entry.name, fingerprint, entry.normalized.dtype.name
+            )
+            live_files.add(filename)
+            prior = old_by_key.get((entry.name, fingerprint))
+            if (
+                prior is not None
+                and prior["file"] == filename
+                and prior["dtype"] == entry.normalized.dtype.name
+                and (directory / filename).exists()
+            ):
+                unchanged.append(entry.name)
+                manifest.shards.append(prior)
+                continue
+            np.save(directory / filename, np.ascontiguousarray(entry.normalized))
+            written.append(entry.name)
+            manifest.shards.append(_shard_record(entry, fingerprint, filename))
+        # publish the new manifest first: a crash between here and the
+        # unlinks leaves orphan files (harmless), never a manifest that
+        # references deleted shards
+        _atomic_write_text(
+            directory / MANIFEST_NAME, json.dumps(manifest.to_json())
+        )
+        removed: list[str] = []
+        for shard in old.shards:
+            if shard["file"] not in live_files:
+                removed.append(shard["name"])
+                (directory / shard["file"]).unlink(missing_ok=True)
+        return SyncReport(
+            written=tuple(written),
+            removed=tuple(removed),
+            unchanged=tuple(unchanged),
+        )
+
+    # -------------------------------------------------------------- reading
+    @staticmethod
+    def _read_manifest(directory: Path) -> _Manifest:
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise StoreError(f"no index store at {directory} (missing {MANIFEST_NAME})")
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt index-store manifest at {path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("format") != FORMAT:
+            raise StoreError(
+                f"{path} is not a {FORMAT} manifest "
+                f"(format={raw.get('format') if isinstance(raw, dict) else raw!r})"
+            )
+        if raw.get("format_version") != FORMAT_VERSION:
+            raise StoreError(
+                f"index store at {directory} has format_version "
+                f"{raw.get('format_version')!r}; this build reads version "
+                f"{FORMAT_VERSION} — rebuild the store with IndexStore.save"
+            )
+        dtype = raw.get("dtype")
+        try:
+            supported = np.dtype(dtype) in SUPPORTED_DTYPES
+        except TypeError:
+            supported = False
+        if not supported:
+            raise StoreError(f"index store dtype {dtype!r} is not supported")
+        shards = raw.get("shards")
+        if not isinstance(shards, list):
+            raise StoreError(f"corrupt index-store manifest at {path}: no shard list")
+        required = {"name", "file", "dtype", "fingerprint", "n_genes", "gene_ids"}
+        for shard in shards:
+            if not isinstance(shard, dict) or not required.issubset(shard):
+                raise StoreError(
+                    f"corrupt index-store manifest at {path}: shard record "
+                    f"missing {sorted(required - set(shard or ()))}"
+                )
+        return _Manifest(dtype=dtype, shards=shards)
+
+    @staticmethod
+    def load(
+        directory: str | Path,
+        *,
+        mmap: bool = True,
+        bind: Compendium | None = None,
+    ) -> SpellIndex:
+        """Reopen a saved index.
+
+        ``mmap=True`` opens shards with ``np.load(mmap_mode="r")`` —
+        zero-copy: nothing is read until a query touches it.
+        ``mmap=False`` materializes every shard in RAM (identical
+        results; pay the IO up front).
+
+        ``bind`` attaches live :class:`Dataset` objects (matched by name
+        + content fingerprint) as shard sources, so a following
+        ``SpellIndex.updated`` can diff by identity as if the index had
+        been built in-process.
+        """
+        directory = Path(directory)
+        manifest = IndexStore._read_manifest(directory)
+        by_key = {}
+        if bind is not None:
+            by_key = {(ds.name, ds.fingerprint): ds for ds in bind}
+        entries: list[_DatasetIndex] = []
+        for shard in manifest.shards:
+            path = directory / shard["file"]
+            try:
+                normalized = np.load(path, mmap_mode="r" if mmap else None)
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"corrupt or missing shard file {path}: {exc}") from exc
+            gene_ids = list(shard["gene_ids"])  # JSON already yields str
+            if normalized.ndim != 2 or normalized.shape[0] != len(gene_ids):
+                raise StoreError(
+                    f"shard {shard['name']!r} at {path} has shape "
+                    f"{normalized.shape} for {len(gene_ids)} gene ids"
+                )
+            if normalized.dtype.name != shard["dtype"]:
+                raise StoreError(
+                    f"shard {shard['name']!r} at {path} is {normalized.dtype.name}, "
+                    f"manifest says {shard['dtype']}"
+                )
+            entries.append(
+                _DatasetIndex(
+                    name=str(shard["name"]),
+                    gene_ids=gene_ids,
+                    normalized=normalized,
+                    source=by_key.get((shard["name"], shard["fingerprint"])),
+                    fingerprint=str(shard["fingerprint"]),
+                )
+            )
+        return SpellIndex(entries)
+
+    @staticmethod
+    def matches(directory: str | Path, compendium: Compendium, *, dtype=None) -> bool:
+        """True when the store serves exactly ``compendium``'s content.
+
+        Compares the ordered ``(name, fingerprint)`` sequence (order
+        matters: aggregation order determines bit-level results) and,
+        when given, the shard dtype.  Missing or unreadable stores are
+        simply non-matches.
+        """
+        try:
+            manifest = IndexStore._read_manifest(Path(directory))
+        except StoreError:
+            return False
+        if dtype is not None and np.dtype(dtype).name != manifest.dtype:
+            return False
+        on_disk = [(s["name"], s["fingerprint"]) for s in manifest.shards]
+        live = [(ds.name, ds.fingerprint) for ds in compendium]
+        return on_disk == live

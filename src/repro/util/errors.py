@@ -33,6 +33,10 @@ class SearchError(ReproError):
     """A SPELL/annotation search could not be executed (e.g. empty query)."""
 
 
+class StoreError(ReproError):
+    """A persistent index store is missing, corrupt, or format-incompatible."""
+
+
 class OntologyError(ReproError):
     """The GO DAG or its annotations are inconsistent (cycles, bad ids)."""
 
