@@ -1,0 +1,159 @@
+"""API_HTTP — round-trip latency and concurrent throughput of the HTTP facade.
+
+The v1 API is the seam every frontend plugs into (ROADMAP "Versioned
+query API"); this bench prices the facade itself:
+
+1. **Round-trip latency** — cold (index matmuls) vs warm (LRU hit)
+   ``POST /v1/search`` over a real socket, so the number includes JSON
+   encode/decode and HTTP framing.  The warm path must stay under a
+   couple of milliseconds — the transport must not squander what the
+   result cache saves.
+2. **Concurrent clients** — N threads hammering one
+   ``ThreadingHTTPServer`` sharing the memory-mapped index; aggregate
+   throughput must not collapse as clients are added, and every answer
+   must be identical (the consistency contract of the shared index).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api.app import ApiApp
+from repro.api.http import serve
+from repro.spell import SpellService
+from repro.util.rng import default_rng
+from repro.util.timing import Stopwatch
+
+from benchmarks.conftest import write_report
+
+N_LATENCY_QUERIES = 24
+QUERY_SIZE = 4
+CLIENT_COUNTS = (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 12
+
+
+@pytest.fixture(scope="module")
+def live_facade(spell_bench):
+    """A live threaded server over the FIG4 compendium + a query batch."""
+    comp, truth = spell_bench
+    service = SpellService(comp, n_workers=4)
+    app = ApiApp(service)
+    server = serve(app, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    universe = comp.gene_universe()
+    rng = default_rng(20260729)
+    queries = [list(truth.query_genes)]
+    while len(queries) < N_LATENCY_QUERIES:
+        picks = rng.choice(len(universe), size=QUERY_SIZE, replace=False)
+        queries.append([universe[int(p)] for p in picks])
+
+    yield base, queries
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _post_search(base: str, genes: list[str]) -> dict:
+    request = urllib.request.Request(
+        base + "/v1/search",
+        data=json.dumps({"genes": genes, "page_size": 20}).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def test_http_roundtrip_latency(live_facade):
+    """Cold vs warm-cache POST /v1/search over a real socket."""
+    base, queries = live_facade
+    with Stopwatch() as sw_cold:
+        for genes in queries:
+            _post_search(base, genes)
+    cold = sw_cold.elapsed / len(queries)
+    with Stopwatch() as sw_warm:  # every query now hits the LRU
+        for genes in queries:
+            _post_search(base, genes)
+    warm = sw_warm.elapsed / len(queries)
+    speedup = cold / warm if warm > 0 else float("inf")
+
+    write_report(
+        "API_HTTP_LATENCY",
+        "HTTP facade: cold vs warm-cache search round-trip",
+        ["path", "mean round-trip", "requests/sec"],
+        [
+            ["cold (index search)", f"{cold * 1e3:.3f} ms", f"{1.0 / cold:.0f}"],
+            ["warm (cache hit)", f"{warm * 1e3:.3f} ms", f"{1.0 / warm:.0f}"],
+        ],
+        notes=(
+            f"{len(queries)} distinct queries over the 40-dataset FIG4 "
+            f"compendium; warm/cold speedup {speedup:.1f}x.  Round-trips "
+            "include JSON + HTTP framing, so the transport overhead bounds "
+            "the warm path."
+        ),
+    )
+    assert warm < cold  # the cache must still be visible through the socket
+    assert warm < 0.25, f"warm HTTP round-trip is {warm * 1e3:.1f} ms"
+
+
+def test_http_concurrent_throughput(live_facade):
+    """Aggregate throughput as concurrent clients are added."""
+    base, queries = live_facade
+    genes = queries[0]
+    expected = _post_search(base, genes)["gene_rows"]
+
+    rows = []
+    qps_by_clients = {}
+    for n_clients in CLIENT_COUNTS:
+        mismatches: list[int] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def client(idx: int) -> None:
+            try:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    body = _post_search(base, genes)
+                    if body["gene_rows"] != expected:
+                        with lock:
+                            mismatches.append(idx)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+        ]
+        with Stopwatch() as sw:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        total = n_clients * REQUESTS_PER_CLIENT
+        qps = total / sw.elapsed if sw.elapsed > 0 else float("inf")
+        qps_by_clients[n_clients] = qps
+        rows.append([n_clients, total, f"{sw.elapsed * 1e3:.1f} ms", f"{qps:.0f}"])
+        assert not errors, f"{n_clients} clients: {errors[0]!r}"
+        assert not mismatches, f"inconsistent answers from clients {mismatches}"
+
+    write_report(
+        "API_HTTP_THROUGHPUT",
+        "HTTP facade: concurrent-client throughput (warm cache)",
+        ["clients", "requests", "wall time", "requests/sec"],
+        rows,
+        notes=(
+            "All clients issue the same warm-cache query against one "
+            "ThreadingHTTPServer sharing the index; answers are checked "
+            "identical.  Throughput must not collapse as clients are added."
+        ),
+    )
+    # concurrency must never cost more than ~40% of single-client throughput
+    assert qps_by_clients[max(CLIENT_COUNTS)] > 0.6 * qps_by_clients[1], (
+        f"throughput collapsed under concurrency: {qps_by_clients}"
+    )

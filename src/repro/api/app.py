@@ -1,0 +1,366 @@
+"""Transport-agnostic application object behind every API frontend.
+
+:class:`ApiApp` routes protocol requests (:mod:`repro.api.protocol`) to
+the analysis core — :class:`~repro.spell.service.SpellService` for
+search, :mod:`repro.cluster` for dendrograms, :mod:`repro.viz` for
+heatmap rendering — behind one object that any transport can host: the
+stdlib HTTP facade (:mod:`repro.api.http`), an in-process caller, or a
+test harness.  Responsibilities:
+
+* **Routing** — ``handle_wire(endpoint, payload)`` parses, dispatches,
+  and serializes entirely in wire (JSON-object) space, so transports
+  never import protocol types.
+* **Error discipline** — every failure crossing the boundary becomes a
+  stable code (:mod:`repro.api.errors`); precise codes (``UNKNOWN_GENE``,
+  ``UNKNOWN_DATASET``) are raised here, before the generic buckets.
+* **Observability** — per-endpoint count/error/latency counters, served
+  by the ``health`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.api.errors import ApiError, as_api_error, error_payload
+from repro.api.protocol import (
+    BatchSearchRequest,
+    BatchSearchResponse,
+    ClusterRequest,
+    ClusterResponse,
+    DatasetInfo,
+    DatasetListRequest,
+    DatasetListResponse,
+    HealthResponse,
+    RenderRequest,
+    RenderResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.cluster.hierarchical import hierarchical_cluster
+from repro.spell.engine import SpellResult
+from repro.spell.service import SpellService
+from repro.util.timing import Stopwatch
+from repro.viz.colormap import get_colormap
+from repro.viz.heatmap import render_heatmap_block
+from repro.viz.ppm import encode_ppm
+
+__all__ = ["ApiApp", "ENDPOINTS"]
+
+#: endpoint name -> (request type or None, ApiApp method name).  The HTTP
+#: facade maps these onto ``/v1/<name>`` routes; other transports are free
+#: to address them however they like.
+ENDPOINTS: dict[str, tuple[type | None, str]] = {
+    "search": (SearchRequest, "search"),
+    "search/batch": (BatchSearchRequest, "search_batch"),
+    "datasets": (DatasetListRequest, "datasets"),
+    "cluster": (ClusterRequest, "cluster"),
+    "render/heatmap": (RenderRequest, "render_heatmap"),
+    "health": (None, "health"),
+}
+
+
+class _EndpointStats:
+    """Thread-safe per-endpoint serving counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, dict[str, float]] = {}
+
+    def record(self, endpoint: str, seconds: float, *, error: bool) -> None:
+        with self._lock:
+            row = self._data.setdefault(
+                endpoint, {"count": 0, "errors": 0, "total_seconds": 0.0}
+            )
+            row["count"] += 1
+            row["errors"] += 1 if error else 0
+            row["total_seconds"] += float(seconds)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            out = {}
+            for endpoint, row in self._data.items():
+                count = int(row["count"])
+                out[endpoint] = {
+                    "count": count,
+                    "errors": int(row["errors"]),
+                    "total_seconds": row["total_seconds"],
+                    "mean_seconds": row["total_seconds"] / count if count else 0.0,
+                }
+            return out
+
+
+class ApiApp:
+    """One analysis core, many frontends: the v1 API application object."""
+
+    def __init__(self, service: SpellService) -> None:
+        self.service = service
+        self._stats = _EndpointStats()
+        self._started = time.monotonic()
+        self._universe_lock = threading.Lock()
+        self._universe: tuple[int, frozenset[str]] | None = None
+
+    # ------------------------------------------------------------- wire layer
+    def handle_wire(self, endpoint: str, payload) -> tuple[int, dict]:
+        """Dispatch one wire request; returns ``(http_status, json_body)``.
+
+        Never raises: every failure — unknown endpoint, malformed
+        payload, downstream error — comes back as a structured error
+        payload with its mapped status code.
+        """
+        route = ENDPOINTS.get(endpoint)
+        if route is None:
+            err = ApiError(
+                "UNKNOWN_ENDPOINT",
+                f"no endpoint {endpoint!r}",
+                details={"endpoints": sorted(ENDPOINTS)},
+            )
+            # one fixed sentinel key, not the caller-supplied string: a
+            # client spraying bogus names must not grow the stats map
+            # (and the /v1/health payload) without bound
+            self._stats.record("(unknown)", 0.0, error=True)
+            return err.http_status, error_payload(err)
+        request_cls, method = route
+        try:
+            if request_cls is None:
+                response = getattr(self, method)()
+            else:
+                try:
+                    request = request_cls.from_wire(payload if payload is not None else {})
+                except Exception:
+                    # handler never ran, so _timed() never counted this
+                    # request — record the parse failure here or /v1/health
+                    # under-reports error rates during a malformed flood
+                    self._stats.record(endpoint, 0.0, error=True)
+                    raise
+                response = getattr(self, method)(request)
+        except Exception as exc:  # noqa: BLE001 — the boundary swallows all
+            err = as_api_error(exc)
+            return err.http_status, error_payload(err)
+        return 200, response.to_wire()
+
+    # -------------------------------------------------------------- endpoints
+    def search(self, request: SearchRequest) -> SearchResponse:
+        with self._timed("search"):
+            self._check(request)
+            return self.service.respond(request)
+
+    def search_batch(self, request: BatchSearchRequest) -> BatchSearchResponse:
+        with self._timed("search/batch"):
+            for member in request.searches:
+                self._check(member)
+            return self.service.respond_batch(request)
+
+    def datasets(self, request: DatasetListRequest) -> DatasetListResponse:
+        with self._timed("datasets"):
+            return DatasetListResponse(
+                datasets=tuple(
+                    DatasetInfo(
+                        name=ds.name,
+                        n_genes=ds.n_genes,
+                        n_conditions=ds.n_conditions,
+                        metadata=dict(ds.metadata),
+                    )
+                    for ds in self.service.compendium
+                )
+            )
+
+    def cluster(self, request: ClusterRequest) -> ClusterResponse:
+        """Hierarchically cluster the top genes of a search result.
+
+        The expression submatrix comes from the named dataset (or the
+        search's top-weighted one); genes absent from that dataset are
+        dropped, and at least two must survive.
+        """
+        with self._timed("cluster"):
+            with Stopwatch() as sw:
+                result = self._full_result(request.search)
+                dataset, matrix = self._gene_submatrix(
+                    result, request.dataset,
+                    self._gene_limit(request.search, request.top_genes),
+                )
+                if matrix.n_genes < 2:
+                    raise ApiError(
+                        "INVALID_REQUEST",
+                        f"only {matrix.n_genes} of the top {request.top_genes} "
+                        f"genes are present in dataset {dataset!r}; "
+                        "clustering needs at least 2",
+                    )
+                tree = hierarchical_cluster(
+                    matrix.values,
+                    metric=request.metric,
+                    linkage=request.linkage,
+                    leaf_ids=matrix.gene_ids,
+                )
+            return ClusterResponse(
+                genes=tuple(matrix.gene_ids[i] for i in tree.leaf_order()),
+                dataset=dataset,
+                metric=request.metric,
+                linkage=request.linkage,
+                merges=tuple(
+                    (int(left), int(right), float(height), int(size))
+                    for left, right, height, size in tree.to_merges()
+                ),
+                elapsed_seconds=sw.elapsed,
+            )
+
+    def render_heatmap(self, request: RenderRequest) -> RenderResponse:
+        """Render the top genes of a search result as a PPM heatmap."""
+        with self._timed("render/heatmap"):
+            with Stopwatch() as sw:
+                result = self._full_result(request.search)
+                dataset, matrix = self._gene_submatrix(
+                    result, request.dataset,
+                    self._gene_limit(request.search, request.top_genes),
+                )
+                if matrix.n_genes < 1:
+                    raise ApiError(
+                        "INVALID_REQUEST",
+                        f"none of the top {request.top_genes} genes are "
+                        f"present in dataset {dataset!r}",
+                    )
+                if request.cluster and matrix.n_genes >= 2:
+                    tree = hierarchical_cluster(
+                        matrix.values, leaf_ids=matrix.gene_ids
+                    )
+                    matrix = matrix.reorder_genes(tree.leaf_order())
+                colormap = get_colormap(request.colormap)
+                if request.saturation is not None:
+                    colormap = colormap.with_saturation(request.saturation)
+                width = matrix.n_conditions * request.cell_width
+                height = matrix.n_genes * request.cell_height
+                pixels = render_heatmap_block(
+                    matrix.values,
+                    colormap,
+                    x=0, y=0, w=width, h=height,
+                    rx=0, ry=0, rw=width, rh=height,
+                )
+            return RenderResponse(
+                width=width,
+                height=height,
+                dataset=dataset,
+                colormap=request.colormap,
+                genes=tuple(matrix.gene_ids),
+                ppm=encode_ppm(pixels),
+                elapsed_seconds=sw.elapsed,
+            )
+
+    def render_heatmap_wire(self, payload) -> RenderResponse:
+        """Parse-and-render for transports that need the typed response
+        (the ``?format=ppm`` raw-bytes path).  Parse failures count
+        toward the endpoint's error stats exactly as in ``handle_wire``.
+        """
+        try:
+            request = RenderRequest.from_wire(payload if payload is not None else {})
+        except Exception:
+            self._stats.record("render/heatmap", 0.0, error=True)
+            raise
+        return self.render_heatmap(request)
+
+    def health(self) -> HealthResponse:
+        with self._timed("health"):
+            service = self.service
+            return HealthResponse(
+                status="ok",
+                uptime_seconds=time.monotonic() - self._started,
+                datasets=len(service.compendium),
+                genes=len(self._gene_universe()),
+                index_bytes=service.index_bytes(),
+                query_count=service.query_count,
+                cache=service.cache_stats(),
+                endpoints=self._stats.snapshot(),
+            )
+
+    def endpoint_stats(self) -> dict[str, dict[str, float]]:
+        return self._stats.snapshot()
+
+    # -------------------------------------------------------------- internals
+    @contextmanager
+    def _timed(self, endpoint: str):
+        sw = Stopwatch()
+        sw.start()
+        try:
+            yield
+        except BaseException:
+            self._stats.record(endpoint, sw.stop(), error=True)
+            raise
+        else:
+            self._stats.record(endpoint, sw.stop(), error=False)
+
+    def _gene_universe(self) -> frozenset[str]:
+        """Known gene ids, cached against the compendium's version token."""
+        version = self.service.compendium.version
+        with self._universe_lock:
+            if self._universe is not None and self._universe[0] == version:
+                return self._universe[1]
+        universe = frozenset(self.service.compendium.gene_universe())
+        with self._universe_lock:
+            self._universe = (version, universe)
+        return universe
+
+    def _check(self, request: SearchRequest) -> None:
+        """Raise precise codes for unknown genes / datasets before searching.
+
+        Gene existence is judged against the searched scope: the whole
+        compendium, or — under a ``datasets`` filter — just the filtered
+        datasets, so "no query gene exists" is always ``UNKNOWN_GENE``
+        regardless of whether a filter narrowed the search.
+        """
+        compendium = self.service.compendium
+        if request.datasets is not None:
+            known = set(compendium.names)
+            unknown = sorted(set(request.datasets) - known)
+            if unknown:
+                raise ApiError(
+                    "UNKNOWN_DATASET",
+                    f"unknown dataset(s) in filter: {', '.join(unknown)}",
+                    details={"unknown_datasets": unknown, "known_count": len(known)},
+                )
+            matrices = [compendium[name].matrix for name in request.datasets]
+            unknown_genes = [
+                g for g in request.genes if not any(g in m for m in matrices)
+            ]
+            scope = "the filtered datasets"
+        else:
+            universe = self._gene_universe()
+            unknown_genes = [g for g in request.genes if g not in universe]
+            scope = "the compendium"
+        if len(unknown_genes) == len(request.genes):
+            raise ApiError(
+                "UNKNOWN_GENE",
+                f"no query gene exists in {scope}: " + ", ".join(unknown_genes),
+                details={"unknown_genes": unknown_genes},
+            )
+
+    def _full_result(self, request: SearchRequest) -> SpellResult:
+        """Full (un-truncated) search result for cluster/render endpoints."""
+        self._check(request)
+        return self.service.search(
+            request.genes, use_cache=request.use_cache, datasets=request.datasets
+        )
+
+    @staticmethod
+    def _gene_limit(search: SearchRequest, top_genes: int) -> int:
+        """Honor the nested search's ``top_k`` cap: cluster/render must
+        never touch genes the client's search contract excluded."""
+        if search.top_k is None:
+            return top_genes
+        return min(top_genes, search.top_k)
+
+    def _gene_submatrix(self, result: SpellResult, dataset: str | None, top_genes: int):
+        """Expression submatrix of the result's top genes in one dataset."""
+        compendium = self.service.compendium
+        if dataset is None:
+            if not result.datasets:
+                raise ApiError("INVALID_REQUEST", "search returned no datasets")
+            dataset = result.datasets[0].name
+        elif dataset not in compendium:
+            raise ApiError(
+                "UNKNOWN_DATASET",
+                f"unknown dataset {dataset!r}",
+                details={"unknown_datasets": [dataset]},
+            )
+        top = result.top_genes(top_genes)
+        matrix = compendium[dataset].matrix.subset_genes(top, missing="skip")
+        return dataset, matrix

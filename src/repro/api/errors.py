@@ -1,0 +1,110 @@
+"""Unified error model for the ``repro.api`` boundary.
+
+Everything that crosses the API boundary — over HTTP or any other
+transport — fails with a stable, machine-readable error code instead of
+a leaked Python exception.  :class:`ApiError` is the single error type;
+:func:`as_api_error` maps the library's internal exception hierarchy
+(:class:`~repro.util.errors.SearchError`,
+:class:`~repro.util.errors.StoreError`, validation failures, ...) onto
+it; :func:`error_payload` renders the wire form every transport returns:
+
+.. code-block:: json
+
+    {"api_version": "v1",
+     "error": {"code": "UNKNOWN_GENE",
+               "message": "...",
+               "details": {"unknown_genes": ["YXX999W"]}}}
+
+Codes are part of the v1 contract (see ROADMAP "Versioned query API"):
+clients may branch on ``code`` and ``details``; ``message`` is for
+humans and may change between releases.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import (
+    DataFormatError,
+    RenderError,
+    ReproError,
+    SearchError,
+    StoreError,
+    ValidationError,
+)
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "ERROR_STATUS",
+    "as_api_error",
+    "error_payload",
+]
+
+#: The wire-protocol version every v1 message carries.
+API_VERSION = "v1"
+
+#: Stable code -> default HTTP status.  The set of codes is append-only
+#: within an api_version; removing or renaming one is a breaking change.
+ERROR_STATUS: dict[str, int] = {
+    "INVALID_REQUEST": 400,  # malformed field values / unknown fields
+    "MALFORMED_BODY": 400,  # body is not a JSON object
+    "UNSUPPORTED_VERSION": 400,  # api_version other than "v1"
+    "INVALID_QUERY": 400,  # empty/duplicate gene list and kin
+    "PAGE_OUT_OF_RANGE": 400,  # page >= total_pages
+    "UNKNOWN_GENE": 404,  # no query gene exists in the compendium
+    "UNKNOWN_DATASET": 404,  # a dataset filter names no known dataset
+    "UNKNOWN_ENDPOINT": 404,  # no such route
+    "METHOD_NOT_ALLOWED": 405,  # known route, wrong HTTP verb
+    "INDEX_STALE": 503,  # persistent index unreadable / out of date
+    "INTERNAL": 500,  # anything unclassified (a bug, by definition)
+}
+
+
+class ApiError(ReproError):
+    """A request failed with a stable machine-readable ``code``.
+
+    ``details`` carries structured context (the offending genes, the
+    valid page range, ...) that clients can act on without parsing the
+    human-readable message.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        details: dict | None = None,
+        http_status: int | None = None,
+    ) -> None:
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown API error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.details = dict(details or {})
+        self.http_status = ERROR_STATUS[code] if http_status is None else int(http_status)
+
+
+def as_api_error(exc: BaseException) -> ApiError:
+    """Classify any exception into the unified error model.
+
+    The mapping is by exception *type* — the API layer raises precise
+    :class:`ApiError` codes itself (``UNKNOWN_GENE``, ``UNKNOWN_DATASET``,
+    ``PAGE_OUT_OF_RANGE``) before the generic buckets here apply.
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, StoreError):
+        return ApiError("INDEX_STALE", str(exc))
+    if isinstance(exc, SearchError):
+        return ApiError("INVALID_QUERY", str(exc))
+    if isinstance(exc, (ValidationError, RenderError, DataFormatError)):
+        return ApiError("INVALID_REQUEST", str(exc))
+    return ApiError("INTERNAL", f"{type(exc).__name__}: {exc}")
+
+
+def error_payload(err: ApiError) -> dict:
+    """The JSON-serializable wire form of one error."""
+    body: dict = {"code": err.code, "message": err.message}
+    if err.details:
+        body["details"] = err.details
+    return {"api_version": API_VERSION, "error": body}

@@ -1,0 +1,285 @@
+"""Stdlib-only HTTP facade over :class:`~repro.api.app.ApiApp` (v1).
+
+The paper's deployed SPELL is a *web* query interface over a pre-built
+compendium; this module is that deployment surface, built entirely on
+``http.server`` (no new dependencies).  A
+:class:`~http.server.ThreadingHTTPServer` serves concurrent requests
+against the shared memory-mapped index — NumPy releases the GIL in the
+scoring matmuls, so concurrent searches genuinely overlap.
+
+Routes (all JSON in/out; errors are structured codes, never raw 500s):
+
+==========================  ======  =========================================
+``/v1/search``              POST    one SPELL query, paginated
+``/v1/search/batch``        POST    many queries, answered concurrently
+``/v1/datasets``            GET     served datasets (name, shape, metadata)
+``/v1/cluster``             POST    dendrogram over a result's top genes
+``/v1/render/heatmap``      POST    heatmap PPM (``?format=ppm`` for raw bytes)
+``/v1/health``              GET     liveness + per-endpoint serving counters
+==========================  ======  =========================================
+
+Run a demo server over a synthetic compendium (the repo ships no
+proprietary data) with a persistent index store::
+
+    python -m repro.api.http --port 8080 --store-dir /tmp/spell-index
+
+The CLI prints a ready-to-curl example query against the planted module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.app import ENDPOINTS, ApiApp
+from repro.api.errors import ApiError, as_api_error, error_payload
+
+__all__ = ["ApiHTTPServer", "serve", "main"]
+
+#: Largest request body the facade will read (a batch of thousands of
+#: queries fits comfortably; anything larger is a client bug).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_PREFIX = "/v1/"
+_GET_ENDPOINTS = frozenset({"datasets", "health"})
+
+
+class ApiHTTPServer(ThreadingHTTPServer):
+    """One listening socket, one :class:`ApiApp`, a thread per request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default accept backlog of 5 makes reconnecting
+    # clients hit SYN-retransmit stalls under mild concurrency
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], app: ApiApp, *, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.app = app
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-api/1"
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------------- verbs
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _reject_verb(self) -> None:
+        """Non-GET/POST verbs get the structured 405, not the stdlib's
+        HTML 501 page — the error contract holds for every method."""
+        err = ApiError(
+            "METHOD_NOT_ALLOWED",
+            f"method {self.command} is not supported; use GET or POST",
+            details={"allowed": ["GET", "POST"]},
+        )
+        self.close_connection = True  # request body (if any) was not drained
+        self._send_json(err.http_status, error_payload(err))
+
+    do_PUT = do_DELETE = do_PATCH = do_HEAD = do_OPTIONS = _reject_verb
+
+    # ------------------------------------------------------------- plumbing
+    def _dispatch(self, verb: str) -> None:
+        app: ApiApp = self.server.app  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        try:
+            endpoint = self._route(parsed.path, verb)
+            payload = self._read_body() if verb == "POST" else {}
+        except ApiError as err:
+            # the declared body may be unread at this point; a reused
+            # keep-alive connection would parse it as the next request
+            # line, so close instead of desyncing the stream
+            self.close_connection = True
+            self._send_json(err.http_status, error_payload(err))
+            return
+
+        if endpoint == "render/heatmap" and self._wants_raw_ppm(parsed.query):
+            self._render_raw(app, payload)
+            return
+        status, body = app.handle_wire(endpoint, payload)
+        self._send_json(status, body)
+
+    def _route(self, path: str, verb: str) -> str:
+        if not path.startswith(_PREFIX):
+            raise ApiError(
+                "UNKNOWN_ENDPOINT",
+                f"no route {path!r}; endpoints live under {_PREFIX}",
+                details={"endpoints": sorted(_PREFIX + e for e in ENDPOINTS)},
+            )
+        endpoint = path[len(_PREFIX):].strip("/")
+        if endpoint not in ENDPOINTS:
+            raise ApiError(
+                "UNKNOWN_ENDPOINT",
+                f"no endpoint {path!r}",
+                details={"endpoints": sorted(_PREFIX + e for e in ENDPOINTS)},
+            )
+        expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
+        if verb != expected:
+            raise ApiError(
+                "METHOD_NOT_ALLOWED",
+                f"{path} expects {expected}, got {verb}",
+                details={"allowed": [expected]},
+            )
+        return endpoint
+
+    def _read_body(self) -> dict:
+        length_header = self.headers.get("Content-Length", "0")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ApiError("MALFORMED_BODY", f"bad Content-Length {length_header!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ApiError(
+                "MALFORMED_BODY",
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit",
+            )
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError("MALFORMED_BODY", f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ApiError(
+                "MALFORMED_BODY",
+                f"request body must be a JSON object, got {type(payload).__name__}",
+            )
+        return payload
+
+    @staticmethod
+    def _wants_raw_ppm(query_string: str) -> bool:
+        return parse_qs(query_string).get("format", ["json"])[-1] == "ppm"
+
+    def _render_raw(self, app: ApiApp, payload: dict) -> None:
+        """``?format=ppm``: the image bytes themselves, not a JSON envelope."""
+        try:
+            response = app.render_heatmap_wire(payload)
+        except Exception as exc:  # noqa: BLE001 — boundary
+            err = as_api_error(exc)
+            self._send_json(err.http_status, error_payload(err))
+            return
+        self._send_bytes(200, response.ppm, "image/x-portable-pixmap")
+
+    def _send_json(self, status: int, body: dict) -> None:
+        self._send_bytes(
+            status, json.dumps(body).encode("utf-8"), "application/json; charset=utf-8"
+        )
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # advertise what we will do — a keep-alive client must not
+            # queue another request on this socket
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+
+def serve(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
+          quiet: bool = True) -> ApiHTTPServer:
+    """Bind (but do not start) an HTTP server for ``app``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``.  Call ``serve_forever()`` (typically on a
+    thread) to start answering.
+    """
+    return ApiHTTPServer((host, port), app, quiet=quiet)
+
+
+def serve_background(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
+                     quiet: bool = True) -> tuple[ApiHTTPServer, threading.Thread]:
+    """Bind and start serving on a daemon thread; returns (server, thread)."""
+    server = serve(app, host=host, port=port, quiet=quiet)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+# --------------------------------------------------------------------------
+# CLI: python -m repro.api.http
+# --------------------------------------------------------------------------
+def _build_service(args: argparse.Namespace):
+    """Synthetic-compendium service (the repo ships no proprietary data)."""
+    import numpy as np
+
+    from repro.spell.service import SpellService
+    from repro.synth import make_spell_compendium
+
+    compendium, truth = make_spell_compendium(
+        n_datasets=args.synth_datasets,
+        n_relevant=max(1, args.synth_datasets // 4),
+        n_genes=args.synth_genes,
+        n_conditions=args.synth_conditions,
+        module_size=max(6, args.synth_genes // 20),
+        query_size=4,
+        seed=args.seed,
+    )
+    service = SpellService(
+        compendium,
+        n_workers=args.n_workers,
+        cache_size=args.cache_size,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+        store_dir=args.store_dir,
+    )
+    return service, truth
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.http",
+        description="Serve the v1 SPELL query API over HTTP (demo compendium).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listening port (0 = ephemeral)")
+    parser.add_argument("--store-dir", default=None,
+                        help="persistent index directory (mmap cold start)")
+    parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
+    parser.add_argument("--n-workers", type=int, default=4)
+    parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--synth-datasets", type=int, default=12)
+    parser.add_argument("--synth-genes", type=int, default=300)
+    parser.add_argument("--synth-conditions", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+
+    service, truth = _build_service(args)
+    app = ApiApp(service)
+    server = serve(app, host=args.host, port=args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    example = json.dumps({"genes": list(truth.query_genes), "page_size": 10})
+    print(f"serving v1 API on http://{host}:{port}{_PREFIX}", flush=True)
+    print(f"  try: curl http://{host}:{port}/v1/health", flush=True)
+    print(
+        f"  try: curl -X POST http://{host}:{port}/v1/search -d '{example}'",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

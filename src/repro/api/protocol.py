@@ -1,0 +1,731 @@
+"""Versioned, transport-agnostic wire protocol for the query API (v1).
+
+This module is the public contract the paper's web interface (Figure 4)
+implies: one typed request/response schema that any transport — the
+stdlib HTTP facade in :mod:`repro.api.http`, an in-process caller, a
+test harness — speaks unchanged.  Every message type is a frozen
+dataclass with strict validation plus ``to_wire()`` / ``from_wire()``
+JSON round-tripping under an explicit ``api_version`` (currently
+``"v1"``).
+
+Design rules (the compatibility policy, see ROADMAP):
+
+* ``from_wire`` rejects unknown fields and non-``v1`` versions with
+  structured :class:`~repro.api.errors.ApiError`\\ s — never a bare
+  ``KeyError``/``TypeError`` leaking across the boundary.
+* Within ``v1``, fields are append-only and every new field has a
+  default, so yesterday's client payloads keep parsing.
+* ``to_wire(x).from_wire`` is the identity for every message type
+  (property-tested in ``tests/test_api_protocol.py``).
+
+The response side also owns *pagination semantics*: ``total_pages`` is
+always reported and a ``page`` past the end raises ``PAGE_OUT_OF_RANGE``
+(the legacy ``SpellService.search_page`` empty-page behavior survives
+only behind its shim).
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Mapping
+
+from repro.api.errors import API_VERSION, ApiError
+from repro.cluster.distance import METRICS
+from repro.cluster.hierarchical import LINKAGES
+from repro.viz.colormap import COLORMAPS
+
+if TYPE_CHECKING:  # runtime-independent: protocol never imports repro.spell
+    from repro.spell.engine import SpellResult
+
+__all__ = [
+    "API_VERSION",
+    "SearchRequest",
+    "BatchSearchRequest",
+    "DatasetListRequest",
+    "ClusterRequest",
+    "RenderRequest",
+    "SearchResponse",
+    "BatchSearchResponse",
+    "DatasetInfo",
+    "DatasetListResponse",
+    "ClusterResponse",
+    "RenderResponse",
+    "HealthResponse",
+    "page_count",
+    "check_page",
+]
+
+
+# --------------------------------------------------------------------------
+# wire-level helpers
+# --------------------------------------------------------------------------
+def _invalid(message: str, **details) -> ApiError:
+    return ApiError("INVALID_REQUEST", message, details=details or None)
+
+
+def _check_payload(payload, allowed: frozenset[str], kind: str) -> dict:
+    """Version + unknown-field gate every ``from_wire`` runs first."""
+    if not isinstance(payload, Mapping):
+        raise ApiError(
+            "MALFORMED_BODY", f"{kind} payload must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("api_version", API_VERSION)
+    if version != API_VERSION:
+        raise ApiError(
+            "UNSUPPORTED_VERSION",
+            f"this server speaks api_version {API_VERSION!r}, got {version!r}",
+            details={"supported": [API_VERSION]},
+        )
+    unknown = sorted(set(payload) - allowed - {"api_version"})
+    if unknown:
+        raise _invalid(f"unknown {kind} field(s): {', '.join(unknown)}", unknown_fields=unknown)
+    return dict(payload)
+
+
+def _str_tuple(value, name: str) -> tuple[str, ...]:
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise _invalid(f"{name} must be a list of strings")
+    out = []
+    for item in value:
+        if not isinstance(item, str):
+            raise _invalid(f"{name} must contain only strings, got {type(item).__name__}")
+        out.append(item)
+    return tuple(out)
+
+
+def _int_field(value, name: str, *, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _invalid(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise _invalid(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def _bool_field(value, name: str) -> bool:
+    if not isinstance(value, bool):
+        raise _invalid(f"{name} must be a boolean, got {type(value).__name__}")
+    return value
+
+
+def _number_field(value, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _invalid(f"{name} must be a number, got {type(value).__name__}")
+    return float(value)
+
+
+def _allowed_fields(cls) -> frozenset[str]:
+    return frozenset(f.name for f in fields(cls))
+
+
+def page_count(total: int, page_size: int) -> int:
+    """Pages needed for ``total`` rows; an empty result still has 1 (empty) page."""
+    return max(1, math.ceil(max(0, total) / max(1, page_size)))
+
+
+def check_page(page: int, total: int, page_size: int) -> int:
+    """Validate ``page`` against the ranking size; returns ``total_pages``."""
+    total_pages = page_count(total, page_size)
+    if page >= total_pages:
+        raise ApiError(
+            "PAGE_OUT_OF_RANGE",
+            f"page {page} out of range: result has {total_pages} page(s) "
+            f"of size {page_size} ({total} rows)",
+            details={"page": page, "total_pages": total_pages, "total_rows": total},
+        )
+    return total_pages
+
+
+# --------------------------------------------------------------------------
+# requests
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchRequest:
+    """One SPELL query: genes in, ranked genes + datasets out.
+
+    ``datasets`` restricts the search to the named datasets (only they
+    are weighted and contribute gene scores); ``None`` searches the whole
+    compendium.  ``top_k`` caps the gene ranking the client can page
+    over; ``None`` means the full ranking.
+    """
+
+    genes: tuple[str, ...]
+    top_k: int | None = None
+    page: int = 0
+    page_size: int = 20
+    top_datasets: int = 10
+    datasets: tuple[str, ...] | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "genes", tuple(str(g) for g in self.genes))
+        if not self.genes:
+            raise ApiError("INVALID_QUERY", "query must contain at least one gene")
+        if len(set(self.genes)) != len(self.genes):
+            raise ApiError("INVALID_QUERY", "query contains duplicate genes")
+        if self.top_k is not None:
+            object.__setattr__(self, "top_k", _int_field(self.top_k, "top_k", minimum=1))
+        _int_field(self.page, "page", minimum=0)
+        _int_field(self.page_size, "page_size", minimum=1)
+        _int_field(self.top_datasets, "top_datasets", minimum=0)
+        if self.datasets is not None:
+            object.__setattr__(
+                self, "datasets", tuple(str(d) for d in self.datasets)
+            )
+            if not self.datasets:
+                raise _invalid("datasets filter must name at least one dataset")
+            if len(set(self.datasets)) != len(self.datasets):
+                raise _invalid("datasets filter contains duplicates")
+        _bool_field(self.use_cache, "use_cache")
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "genes": list(self.genes),
+            "top_k": self.top_k,
+            "page": self.page,
+            "page_size": self.page_size,
+            "top_datasets": self.top_datasets,
+            "datasets": None if self.datasets is None else list(self.datasets),
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "SearchRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "search request")
+        if "genes" not in data:
+            raise ApiError("INVALID_QUERY", "search request needs a 'genes' list")
+        datasets = data.get("datasets")
+        return cls(
+            genes=_str_tuple(data["genes"], "genes"),
+            top_k=None if data.get("top_k") is None else data["top_k"],
+            page=data.get("page", 0),
+            page_size=data.get("page_size", 20),
+            top_datasets=data.get("top_datasets", 10),
+            datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
+            use_cache=data.get("use_cache", True),
+        )
+
+
+@dataclass(frozen=True)
+class BatchSearchRequest:
+    """A batch of searches answered concurrently over the shared index.
+
+    All-or-nothing: if any member request fails (bad page, unknown
+    genes), the whole batch fails with that request's error.
+    """
+
+    searches: tuple[SearchRequest, ...]
+    scheduler: str = "map"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "searches", tuple(self.searches))
+        if not self.searches:
+            raise _invalid("batch must contain at least one search")
+        for req in self.searches:
+            if not isinstance(req, SearchRequest):
+                raise _invalid("batch members must be search requests")
+        if self.scheduler not in ("map", "steal"):
+            raise _invalid(f"scheduler must be 'map' or 'steal', got {self.scheduler!r}")
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "searches": [req.to_wire() for req in self.searches],
+            "scheduler": self.scheduler,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "BatchSearchRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "batch request")
+        raw = data.get("searches")
+        if not isinstance(raw, list):
+            raise _invalid("batch request needs a 'searches' list")
+        return cls(
+            searches=tuple(SearchRequest.from_wire(item) for item in raw),
+            scheduler=data.get("scheduler", "map"),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetListRequest:
+    """List the datasets currently served (name, shape, metadata)."""
+
+    def to_wire(self) -> dict:
+        return {"api_version": API_VERSION}
+
+    @classmethod
+    def from_wire(cls, payload) -> "DatasetListRequest":
+        _check_payload(payload if payload is not None else {}, frozenset(), "dataset-list request")
+        return cls()
+
+
+@dataclass(frozen=True)
+class ClusterRequest:
+    """Hierarchically cluster a search result's top genes.
+
+    The expression values come from ``dataset`` when named, else from the
+    search's top-weighted dataset.  ``top_genes`` bounds how many ranked
+    genes enter the clustering.
+    """
+
+    search: SearchRequest
+    top_genes: int = 30
+    dataset: str | None = None
+    metric: str = "correlation"
+    linkage: str = "average"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.search, SearchRequest):
+            raise _invalid("cluster request needs a nested search request")
+        _int_field(self.top_genes, "top_genes", minimum=2)
+        if self.dataset is not None and not isinstance(self.dataset, str):
+            raise _invalid("dataset must be a string or null")
+        if self.metric not in METRICS:
+            raise _invalid(
+                f"unknown metric {self.metric!r}", choices=sorted(METRICS)
+            )
+        if self.linkage not in LINKAGES:
+            raise _invalid(
+                f"unknown linkage {self.linkage!r}", choices=sorted(LINKAGES)
+            )
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "search": self.search.to_wire(),
+            "top_genes": self.top_genes,
+            "dataset": self.dataset,
+            "metric": self.metric,
+            "linkage": self.linkage,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ClusterRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "cluster request")
+        if "search" not in data:
+            raise _invalid("cluster request needs a 'search' object")
+        return cls(
+            search=SearchRequest.from_wire(data["search"]),
+            top_genes=data.get("top_genes", 30),
+            dataset=data.get("dataset"),
+            metric=data.get("metric", "correlation"),
+            linkage=data.get("linkage", "average"),
+        )
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """Render a search result's top genes as a heatmap (binary PPM).
+
+    ``cluster=True`` reorders the rows by the dendrogram leaf order
+    (correlation distance, average linkage) before rendering; otherwise
+    rows follow the search ranking.
+    """
+
+    search: SearchRequest
+    top_genes: int = 30
+    dataset: str | None = None
+    colormap: str = "red-green"
+    saturation: float | None = None
+    cell_width: int = 8
+    cell_height: int = 8
+    cluster: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.search, SearchRequest):
+            raise _invalid("render request needs a nested search request")
+        _int_field(self.top_genes, "top_genes", minimum=1)
+        if self.dataset is not None and not isinstance(self.dataset, str):
+            raise _invalid("dataset must be a string or null")
+        if self.colormap not in COLORMAPS:
+            raise _invalid(
+                f"unknown colormap {self.colormap!r}", choices=sorted(COLORMAPS)
+            )
+        if self.saturation is not None:
+            saturation = _number_field(self.saturation, "saturation")
+            if saturation <= 0:
+                raise _invalid(f"saturation must be positive, got {saturation}")
+            object.__setattr__(self, "saturation", saturation)
+        _int_field(self.cell_width, "cell_width", minimum=1)
+        _int_field(self.cell_height, "cell_height", minimum=1)
+        _bool_field(self.cluster, "cluster")
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "search": self.search.to_wire(),
+            "top_genes": self.top_genes,
+            "dataset": self.dataset,
+            "colormap": self.colormap,
+            "saturation": self.saturation,
+            "cell_width": self.cell_width,
+            "cell_height": self.cell_height,
+            "cluster": self.cluster,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "RenderRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "render request")
+        if "search" not in data:
+            raise _invalid("render request needs a 'search' object")
+        return cls(
+            search=SearchRequest.from_wire(data["search"]),
+            top_genes=data.get("top_genes", 30),
+            dataset=data.get("dataset"),
+            colormap=data.get("colormap", "red-green"),
+            saturation=data.get("saturation"),
+            cell_width=data.get("cell_width", 8),
+            cell_height=data.get("cell_height", 8),
+            cluster=data.get("cluster", False),
+        )
+
+
+# --------------------------------------------------------------------------
+# responses
+# --------------------------------------------------------------------------
+def _row_tuple(value, name: str, converters) -> tuple:
+    if not isinstance(value, (list, tuple)) or len(value) != len(converters):
+        raise _invalid(f"{name} rows must have {len(converters)} columns")
+    try:
+        return tuple(conv(item) for conv, item in zip(converters, value))
+    except (TypeError, ValueError) as exc:
+        raise _invalid(f"bad {name} row: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """One page of ranked output (the Figure 4 web table, as data).
+
+    ``gene_rows`` are ``(rank, gene_id, score)`` with 1-based global
+    ranks; ``dataset_rows`` are ``(rank, dataset, weight)``.
+    ``total_genes`` counts the full candidate ranking while
+    ``total_pages`` reflects what this request can actually page over
+    (``top_k`` caps it).
+    """
+
+    query: tuple[str, ...]
+    query_used: tuple[str, ...]
+    query_missing: tuple[str, ...]
+    page: int
+    page_size: int
+    total_genes: int
+    total_pages: int
+    gene_rows: tuple[tuple[int, str, float], ...]
+    dataset_rows: tuple[tuple[int, str, float], ...]
+    elapsed_seconds: float
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "query": list(self.query),
+            "query_used": list(self.query_used),
+            "query_missing": list(self.query_missing),
+            "page": self.page,
+            "page_size": self.page_size,
+            "total_genes": self.total_genes,
+            "total_pages": self.total_pages,
+            "gene_rows": [list(row) for row in self.gene_rows],
+            "dataset_rows": [list(row) for row in self.dataset_rows],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "SearchResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "search response")
+        gene_conv = (int, str, float)
+        return cls(
+            query=_str_tuple(data.get("query", []), "query"),
+            query_used=_str_tuple(data.get("query_used", []), "query_used"),
+            query_missing=_str_tuple(data.get("query_missing", []), "query_missing"),
+            page=_int_field(data.get("page", 0), "page", minimum=0),
+            page_size=_int_field(data.get("page_size", 1), "page_size", minimum=1),
+            total_genes=_int_field(data.get("total_genes", 0), "total_genes", minimum=0),
+            total_pages=_int_field(data.get("total_pages", 1), "total_pages", minimum=0),
+            gene_rows=tuple(
+                _row_tuple(row, "gene", gene_conv) for row in data.get("gene_rows", [])
+            ),
+            dataset_rows=tuple(
+                _row_tuple(row, "dataset", gene_conv) for row in data.get("dataset_rows", [])
+            ),
+            elapsed_seconds=_number_field(data.get("elapsed_seconds", 0.0), "elapsed_seconds"),
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "SpellResult",
+        request: SearchRequest,
+        *,
+        elapsed_seconds: float,
+        strict: bool = True,
+    ) -> "SearchResponse":
+        """Paginate a :class:`~repro.spell.engine.SpellResult` per ``request``.
+
+        This is where page semantics live for every transport: the
+        pageable total is ``total_genes`` capped by the request's
+        ``top_k``; ``strict=True`` raises ``PAGE_OUT_OF_RANGE`` past the
+        end (``strict=False`` keeps the legacy empty-page behavior the
+        ``SpellService.search_page`` shim preserves).
+        """
+        pageable = result.total_genes
+        if request.top_k is not None:
+            pageable = min(pageable, request.top_k)
+        if strict:
+            total_pages = check_page(request.page, pageable, request.page_size)
+        else:
+            total_pages = page_count(pageable, request.page_size)
+        start = request.page * request.page_size
+        stop = min(start + request.page_size, pageable)
+        gene_rows = tuple(
+            (start + i + 1, g.gene_id, g.score)
+            for i, g in enumerate(result.genes[start:stop])
+        )
+        dataset_rows = tuple(
+            (i + 1, d.name, d.weight)
+            for i, d in enumerate(result.datasets[: request.top_datasets])
+        )
+        return cls(
+            query=result.query,
+            query_used=result.query_used,
+            query_missing=result.query_missing,
+            page=request.page,
+            page_size=request.page_size,
+            total_genes=result.total_genes,
+            total_pages=total_pages,
+            gene_rows=gene_rows,
+            dataset_rows=dataset_rows,
+            elapsed_seconds=float(elapsed_seconds),
+        )
+
+
+@dataclass(frozen=True)
+class BatchSearchResponse:
+    """Per-query pages plus aggregate timing for one batch."""
+
+    results: tuple[SearchResponse, ...]
+    total_seconds: float
+    n_workers: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate throughput; ``0.0`` when unmeasurable.
+
+        A batch that completed faster than the clock's resolution (or an
+        empty result set) reports ``0.0`` rather than ``inf`` — "no
+        measurable rate", which downstream arithmetic and JSON encoding
+        both survive.
+        """
+        if self.total_seconds <= 0.0 or not self.results:
+            return 0.0
+        return len(self.results) / self.total_seconds
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "results": [r.to_wire() for r in self.results],
+            "total_seconds": self.total_seconds,
+            "n_workers": self.n_workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "BatchSearchResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "batch response")
+        raw = data.get("results")
+        if not isinstance(raw, list):
+            raise _invalid("batch response needs a 'results' list")
+        return cls(
+            results=tuple(SearchResponse.from_wire(item) for item in raw),
+            total_seconds=_number_field(data.get("total_seconds", 0.0), "total_seconds"),
+            n_workers=_int_field(data.get("n_workers", 1), "n_workers", minimum=1),
+            cache_hits=_int_field(data.get("cache_hits", 0), "cache_hits", minimum=0),
+            cache_misses=_int_field(data.get("cache_misses", 0), "cache_misses", minimum=0),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Shape + metadata for one served dataset."""
+
+    name: str
+    n_genes: int
+    n_conditions: int
+    metadata: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "n_genes": self.n_genes,
+            "n_conditions": self.n_conditions,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "DatasetInfo":
+        if not isinstance(payload, Mapping):
+            raise _invalid("dataset info must be an object")
+        meta = payload.get("metadata", {})
+        if not isinstance(meta, Mapping):
+            raise _invalid("dataset metadata must be an object")
+        return cls(
+            name=str(payload.get("name", "")),
+            n_genes=_int_field(payload.get("n_genes", 0), "n_genes", minimum=0),
+            n_conditions=_int_field(payload.get("n_conditions", 0), "n_conditions", minimum=0),
+            metadata=dict(meta),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetListResponse:
+    datasets: tuple[DatasetInfo, ...]
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "datasets": [d.to_wire() for d in self.datasets],
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "DatasetListResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "dataset-list response")
+        raw = data.get("datasets")
+        if not isinstance(raw, list):
+            raise _invalid("dataset-list response needs a 'datasets' list")
+        return cls(datasets=tuple(DatasetInfo.from_wire(item) for item in raw))
+
+
+@dataclass(frozen=True)
+class ClusterResponse:
+    """Dendrogram over the clustered genes.
+
+    ``genes`` lists the clustered gene ids in left-to-right leaf order;
+    ``merges`` are scipy-style records ``(left, right, height, size)``
+    with leaves ``0..n-1`` numbered by *ranking* order (the row order the
+    expression submatrix was clustered in).
+    """
+
+    genes: tuple[str, ...]
+    dataset: str
+    metric: str
+    linkage: str
+    merges: tuple[tuple[int, int, float, int], ...]
+    elapsed_seconds: float
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "genes": list(self.genes),
+            "dataset": self.dataset,
+            "metric": self.metric,
+            "linkage": self.linkage,
+            "merges": [list(m) for m in self.merges],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ClusterResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "cluster response")
+        merge_conv = (int, int, float, int)
+        return cls(
+            genes=_str_tuple(data.get("genes", []), "genes"),
+            dataset=str(data.get("dataset", "")),
+            metric=str(data.get("metric", "")),
+            linkage=str(data.get("linkage", "")),
+            merges=tuple(
+                _row_tuple(row, "merge", merge_conv) for row in data.get("merges", [])
+            ),
+            elapsed_seconds=_number_field(data.get("elapsed_seconds", 0.0), "elapsed_seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class RenderResponse:
+    """A rendered heatmap: binary PPM bytes plus its row/column labels."""
+
+    width: int
+    height: int
+    dataset: str
+    colormap: str
+    genes: tuple[str, ...]  # heatmap rows, top to bottom
+    ppm: bytes
+    elapsed_seconds: float
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "width": self.width,
+            "height": self.height,
+            "dataset": self.dataset,
+            "colormap": self.colormap,
+            "genes": list(self.genes),
+            "ppm_base64": base64.b64encode(self.ppm).decode("ascii"),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "RenderResponse":
+        allowed = (_allowed_fields(cls) - {"ppm"}) | {"ppm_base64"}
+        data = _check_payload(payload, allowed, "render response")
+        try:
+            ppm = base64.b64decode(data.get("ppm_base64", ""), validate=True)
+        except (ValueError, TypeError) as exc:
+            raise _invalid(f"ppm_base64 is not valid base64: {exc}") from exc
+        return cls(
+            width=_int_field(data.get("width", 0), "width", minimum=0),
+            height=_int_field(data.get("height", 0), "height", minimum=0),
+            dataset=str(data.get("dataset", "")),
+            colormap=str(data.get("colormap", "")),
+            genes=_str_tuple(data.get("genes", []), "genes"),
+            ppm=ppm,
+            elapsed_seconds=_number_field(data.get("elapsed_seconds", 0.0), "elapsed_seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Liveness plus the per-endpoint serving counters ``ApiApp`` keeps."""
+
+    status: str
+    uptime_seconds: float
+    datasets: int
+    genes: int
+    index_bytes: int
+    query_count: int
+    cache: dict
+    endpoints: dict  # endpoint -> {count, errors, total_seconds, mean_seconds}
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "status": self.status,
+            "uptime_seconds": self.uptime_seconds,
+            "datasets": self.datasets,
+            "genes": self.genes,
+            "index_bytes": self.index_bytes,
+            "query_count": self.query_count,
+            "cache": dict(self.cache),
+            "endpoints": {k: dict(v) for k, v in self.endpoints.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "HealthResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "health response")
+        cache = data.get("cache", {})
+        endpoints = data.get("endpoints", {})
+        if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
+            raise _invalid("health cache/endpoints must be objects")
+        return cls(
+            status=str(data.get("status", "")),
+            uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
+            datasets=_int_field(data.get("datasets", 0), "datasets", minimum=0),
+            genes=_int_field(data.get("genes", 0), "genes", minimum=0),
+            index_bytes=_int_field(data.get("index_bytes", 0), "index_bytes", minimum=0),
+            query_count=_int_field(data.get("query_count", 0), "query_count", minimum=0),
+            cache=dict(cache),
+            endpoints={str(k): dict(v) for k, v in endpoints.items()},
+        )

@@ -234,21 +234,31 @@ class SpellEngine:
         exclude_query_from_genes: bool = True,
         min_weight: float = 0.0,
         top_k: int | None = None,
+        datasets: Sequence[str] | None = None,
     ) -> SpellResult:
         """Run one SPELL search; see module docstring for the algorithm.
 
         ``top_k`` truncates the gene ranking to its first ``k`` rows
         (selected with ``argpartition``, bit-identical to the head of the
         full ranking); the full candidate count stays available as
-        ``result.total_genes``.
+        ``result.total_genes``.  ``datasets`` restricts the search to the
+        named datasets (in compendium order) — only they are weighted and
+        only their genes are scored.
         """
         query = [str(g) for g in query]
         if not query:
             raise SearchError("query must contain at least one gene")
         if len(set(query)) != len(query):
             raise SearchError("query contains duplicate genes")
+        targets = list(self.compendium)
+        if datasets is not None:
+            allowed = {str(d) for d in datasets}
+            unknown = sorted(allowed - {ds.name for ds in targets})
+            if unknown:
+                raise SearchError(f"unknown dataset(s) in filter: {unknown}")
+            targets = [ds for ds in targets if ds.name in allowed]
         present_anywhere = {
-            g for g in query if any(g in ds.matrix for ds in self.compendium)
+            g for g in query if any(g in ds.matrix for ds in targets)
         }
         query_used = tuple(g for g in query if g in present_anywhere)
         query_missing = tuple(g for g in query if g not in present_anywhere)
@@ -257,7 +267,7 @@ class SpellEngine:
 
         per_dataset = parallel_map(
             lambda ds: self._score_dataset(ds, query_used),
-            list(self.compendium),
+            targets,
             n_workers=self.n_workers,
         )
 

@@ -276,6 +276,7 @@ class SpellIndex:
         *,
         exclude_query_from_genes: bool = True,
         top_k: int | None = None,
+        datasets: list[str] | tuple[str, ...] | None = None,
     ) -> SpellResult:
         """SPELL search against the index; same output contract as the engine.
 
@@ -283,7 +284,9 @@ class SpellIndex:
         with ``argpartition``, bit-identical to the head of the full
         ranking) — the page-serving path, which skips sorting the whole
         gene universe.  ``result.total_genes`` still reports the full
-        candidate count.
+        candidate count.  ``datasets`` restricts the search to the named
+        shards: only they are weighted, only their genes aggregate, and
+        query presence is judged against the filtered subset.
         """
         if not self._entries:
             raise SearchError("index is empty")
@@ -292,12 +295,29 @@ class SpellIndex:
             raise SearchError("query must contain at least one gene")
         if len(set(query)) != len(query):
             raise SearchError("query contains duplicate genes")
+        if datasets is None:
+            selected = list(range(len(self._entries)))
+        else:
+            allowed = {str(d) for d in datasets}
+            unknown = sorted(allowed - set(self.dataset_names))
+            if unknown:
+                raise SearchError(f"unknown dataset(s) in filter: {unknown}")
+            selected = [i for i, e in enumerate(self._entries) if e.name in allowed]
+
         # membership against the cached global universe — no per-gene scan
         # over every shard, and no rebuilt membership set (_slot_live
-        # guards against slots whose only dataset was removed)
+        # guards against slots whose only dataset was removed).  Under a
+        # dataset filter, membership means "present in a selected shard".
         def live(g: str) -> bool:
             slot = self._gene_slot.get(g)
-            return slot is not None and self._slot_live[slot] > 0
+            if slot is None or self._slot_live[slot] <= 0:
+                return False
+            if datasets is None:
+                return True
+            return any(
+                slot < self._slot_to_row[i].shape[0] and self._slot_to_row[i][slot] >= 0
+                for i in selected
+            )
 
         query_used = tuple(g for g in query if live(g))
         query_missing = tuple(g for g in query if not live(g))
@@ -313,9 +333,12 @@ class SpellIndex:
         weight_mass = np.zeros(n_slots)
         counts = np.zeros(n_slots, dtype=np.intp)
 
-        for entry, slots, inverse in zip(
-            self._entries, self._global_rows, self._slot_to_row
-        ):
+        for i in selected:
+            entry, slots, inverse = (
+                self._entries[i],
+                self._global_rows[i],
+                self._slot_to_row[i],
+            )
             # local rows of the query genes via the precomputed slot->row
             # map (vectorized; replaces per-gene gene_pos dict probing)
             local = np.full(q_slots.shape, -1, dtype=np.intp)

@@ -1,13 +1,24 @@
-"""SPELL's web-interface facade (the paper's Figure 4), serving-grade.
+"""SPELL's query service (the paper's Figure 4 backend), serving-grade.
 
-The deployed SPELL system is a query box over a pre-built compendium;
-:class:`SpellService` reproduces that contract and adds the machinery an
-interactive service under load needs:
+The *public* query surface now lives in :mod:`repro.api`: transports and
+frontends speak the versioned wire protocol
+(:class:`~repro.api.protocol.SearchRequest` /
+:class:`~repro.api.protocol.SearchResponse`) through
+:class:`~repro.api.app.ApiApp` (or the HTTP facade in
+:mod:`repro.api.http`), and :class:`SpellService` is the engine room
+behind that boundary.  :meth:`SpellService.respond` /
+:meth:`SpellService.respond_batch` are the protocol-typed entry points;
+the historical :meth:`search_page` / :meth:`search_many` survive as thin
+shims over them.
+
+What the service adds over the raw engine/index:
 
 * **Result cache** — an LRU keyed on the canonicalized query plus the
   compendium's version token (:mod:`repro.spell.cache`); repeated or
-  permuted queries are answered without touching the index.
-* **Batched queries** — :meth:`search_many` fans a batch across threads
+  permuted queries are answered without touching the index.  Dataset
+  filters and top-k truncation are part of the key, so partial answers
+  never masquerade as full ones.
+* **Batched queries** — :meth:`respond_batch` fans a batch across threads
   sharing one index (NumPy releases the GIL in the scoring matmuls),
   modelling many concurrent users.
 * **Incremental index maintenance** — when the compendium's version
@@ -29,6 +40,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.errors import ApiError
+from repro.api.protocol import (
+    BatchSearchRequest,
+    BatchSearchResponse,
+    SearchRequest,
+    SearchResponse,
+)
 from repro.data.compendium import Compendium
 from repro.parallel.pmap import parallel_map
 from repro.parallel.workqueue import WorkStealingPool
@@ -44,7 +62,12 @@ __all__ = ["SearchPage", "BatchSearchResult", "SpellService"]
 
 @dataclass(frozen=True)
 class SearchPage:
-    """One page of search output, shaped like the Figure 4 web table."""
+    """One page of search output, shaped like the Figure 4 web table.
+
+    Legacy in-process shape, kept for existing callers; new code should
+    consume :class:`repro.api.protocol.SearchResponse` (which adds
+    ``total_pages`` and strict page-range checking).
+    """
 
     query: tuple[str, ...]
     page: int
@@ -67,9 +90,29 @@ class BatchSearchResult:
 
     @property
     def queries_per_second(self) -> float:
-        if self.total_seconds <= 0.0:
-            return float("inf")
+        """Aggregate throughput; ``0.0`` when unmeasurable.
+
+        An empty batch, or one that finished faster than the clock's
+        resolution, has no measurable rate and reports ``0.0`` (never
+        ``inf`` — downstream arithmetic and JSON encoding must survive
+        the value).
+        """
+        if self.total_seconds <= 0.0 or not self.pages:
+            return 0.0
         return len(self.pages) / self.total_seconds
+
+
+def _page_from_response(response: SearchResponse) -> SearchPage:
+    """Downgrade a protocol response to the legacy ``SearchPage`` shape."""
+    return SearchPage(
+        query=response.query,
+        page=response.page,
+        page_size=response.page_size,
+        total_genes=response.total_genes,
+        gene_rows=response.gene_rows,
+        dataset_rows=response.dataset_rows,
+        elapsed_seconds=response.elapsed_seconds,
+    )
 
 
 class SpellService:
@@ -185,12 +228,14 @@ class SpellService:
         *,
         use_cache: bool = True,
         top_k: int | None = None,
+        datasets: Sequence[str] | None = None,
     ) -> SpellResult:
         """Raw search result, served from cache when possible.
 
         ``top_k`` asks for only the first ``k`` ranked genes (selected
-        via ``argpartition``; identical to the head of the full ranking)
-        — cached under a separate key so truncated answers never
+        via ``argpartition``; identical to the head of the full ranking).
+        ``datasets`` restricts the search to the named datasets.  Both
+        are part of the cache key, so truncated or filtered answers never
         masquerade as full ones.
         """
         query = [str(g) for g in query]
@@ -198,9 +243,15 @@ class SpellService:
             raise SearchError("query must contain at least one gene")
         if len(set(query)) != len(query):
             raise SearchError("query contains duplicate genes")
+        if datasets is not None:
+            datasets = tuple(str(d) for d in datasets)
 
         version = self.compendium.version
-        extra = () if top_k is None else ("top_k", int(top_k))
+        extra: tuple = ()
+        if top_k is not None:
+            extra += ("top_k", int(top_k))
+        if datasets is not None:
+            extra += ("datasets", tuple(sorted(set(datasets))))
         with Stopwatch() as sw:
             cached = (
                 self._cache.lookup(version, query, extra=extra)
@@ -212,15 +263,79 @@ class SpellService:
             else:
                 self._sync_index()
                 if self._index is not None:
-                    result = self._index.search(query, top_k=top_k)
+                    result = self._index.search(query, top_k=top_k, datasets=datasets)
                 else:
-                    result = self._engine.search(query, top_k=top_k)
+                    result = self._engine.search(query, top_k=top_k, datasets=datasets)
                 if self._cache is not None and use_cache:
                     self._cache.store(version, query, result, extra=extra)
         with self._lock:
             self._history.append((tuple(query), sw.elapsed))
         return result
 
+    # -------------------------------------------------- protocol entry points
+    def respond(
+        self, request: SearchRequest, *, strict_page: bool = True
+    ) -> SearchResponse:
+        """Answer one protocol :class:`~repro.api.protocol.SearchRequest`.
+
+        This is the canonical paged path every transport routes through:
+        pagination, ``total_pages`` accounting, and the
+        ``PAGE_OUT_OF_RANGE`` check all live in
+        :meth:`SearchResponse.from_result`.  With the cache on,
+        pagination slices the cached full result, so every page of a
+        query shares one cache entry; with the cache off only the first
+        ``(page + 1) * page_size`` rows are ranked (``argpartition``
+        top-k) instead of sorting the whole gene universe.
+        """
+        caching = self._cache is not None and request.use_cache
+        top_k = request.top_k
+        if top_k is None and not caching:
+            top_k = (request.page + 1) * request.page_size
+        with Stopwatch() as sw:
+            result = self.search(
+                request.genes,
+                use_cache=request.use_cache,
+                top_k=top_k,
+                datasets=request.datasets,
+            )
+        return SearchResponse.from_result(
+            result, request, elapsed_seconds=sw.elapsed, strict=strict_page
+        )
+
+    def respond_batch(
+        self, request: BatchSearchRequest, *, strict_page: bool = True
+    ) -> BatchSearchResponse:
+        """Answer a protocol batch concurrently over the shared index.
+
+        ``scheduler="map"`` uses the order-preserving thread pool;
+        ``"steal"`` routes through :class:`WorkStealingPool`, which
+        absorbs the imbalance between cache hits and cold searches.
+        Results come back in input order either way.  All-or-nothing: a
+        failing member request fails the batch with its error.
+        """
+        self._sync_index()  # once up front, not per worker
+
+        hits0 = self._cache.hits if self._cache is not None else 0
+        misses0 = self._cache.misses if self._cache is not None else 0
+
+        def one(req: SearchRequest) -> SearchResponse:
+            return self.respond(req, strict_page=strict_page)
+
+        searches = list(request.searches)
+        with Stopwatch() as sw:
+            if request.scheduler == "steal" and self.n_workers > 1:
+                results = WorkStealingPool(self.n_workers).map(one, searches)
+            else:
+                results = parallel_map(one, searches, n_workers=self.n_workers)
+        return BatchSearchResponse(
+            results=tuple(results),
+            total_seconds=sw.elapsed,
+            n_workers=self.n_workers,
+            cache_hits=(self._cache.hits - hits0) if self._cache is not None else 0,
+            cache_misses=(self._cache.misses - misses0) if self._cache is not None else 0,
+        )
+
+    # ------------------------------------------------------------ legacy shims
     def search_page(
         self,
         query: Sequence[str],
@@ -230,42 +345,28 @@ class SpellService:
         top_datasets: int = 10,
         use_cache: bool = True,
     ) -> SearchPage:
-        """Paginated view of a search (what the web UI shows per screen).
+        """Legacy paginated view; thin shim over :meth:`respond`.
 
-        With the cache on, pagination slices the cached full result, so
-        every page of a query shares one cache entry.  With the cache
-        off there is nothing to share, so only the first
-        ``(page + 1) * page_size`` rows are ranked (``argpartition``
-        top-k) instead of sorting the whole gene universe.
+        Keeps the historical contract: invalid arguments raise
+        :class:`SearchError` and a page past the end returns an *empty*
+        page rather than failing (the protocol path raises
+        ``PAGE_OUT_OF_RANGE`` instead).
         """
         if page < 0:
             raise SearchError(f"page must be >= 0, got {page}")
         if page_size < 1:
             raise SearchError(f"page_size must be >= 1, got {page_size}")
-        caching = self._cache is not None and use_cache
-        with Stopwatch() as sw:
-            result = self.search(
-                query,
+        try:
+            request = SearchRequest(
+                genes=tuple(str(g) for g in query),
+                page=page,
+                page_size=page_size,
+                top_datasets=top_datasets,
                 use_cache=use_cache,
-                top_k=None if caching else (page + 1) * page_size,
             )
-        start = page * page_size
-        gene_rows = tuple(
-            (start + i + 1, g.gene_id, g.score)
-            for i, g in enumerate(result.genes[start : start + page_size])
-        )
-        dataset_rows = tuple(
-            (i + 1, d.name, d.weight) for i, d in enumerate(result.datasets[:top_datasets])
-        )
-        return SearchPage(
-            query=result.query,
-            page=page,
-            page_size=page_size,
-            total_genes=result.total_genes,
-            gene_rows=gene_rows,
-            dataset_rows=dataset_rows,
-            elapsed_seconds=sw.elapsed,
-        )
+        except ApiError as exc:
+            raise SearchError(exc.message) from exc
+        return _page_from_response(self.respond(request, strict_page=False))
 
     def search_many(
         self,
@@ -277,43 +378,35 @@ class SpellService:
         use_cache: bool = True,
         scheduler: str = "map",
     ) -> BatchSearchResult:
-        """Answer a batch of queries concurrently over the shared index.
-
-        ``scheduler="map"`` uses the order-preserving thread pool;
-        ``"steal"`` routes through :class:`WorkStealingPool`, which
-        absorbs the imbalance between cache hits and cold searches.
-        Results come back in input order either way.
-        """
+        """Legacy batched entry point; thin shim over :meth:`respond_batch`."""
         if scheduler not in ("map", "steal"):
             raise SearchError(f"unknown scheduler {scheduler!r}")
         queries = [list(q) for q in queries]
         if not queries:
             raise SearchError("search_many needs at least one query")
-        self._sync_index()  # once up front, not per worker
-
-        hits0 = self._cache.hits if self._cache is not None else 0
-        misses0 = self._cache.misses if self._cache is not None else 0
-
-        def one(query: list[str]) -> SearchPage:
-            return self.search_page(
-                query,
-                page=page,
-                page_size=page_size,
-                top_datasets=top_datasets,
-                use_cache=use_cache,
+        try:
+            request = BatchSearchRequest(
+                searches=tuple(
+                    SearchRequest(
+                        genes=tuple(str(g) for g in q),
+                        page=page,
+                        page_size=page_size,
+                        top_datasets=top_datasets,
+                        use_cache=use_cache,
+                    )
+                    for q in queries
+                ),
+                scheduler=scheduler,
             )
-
-        with Stopwatch() as sw:
-            if scheduler == "steal" and self.n_workers > 1:
-                pages = WorkStealingPool(self.n_workers).map(one, queries)
-            else:
-                pages = parallel_map(one, queries, n_workers=self.n_workers)
+        except ApiError as exc:
+            raise SearchError(exc.message) from exc
+        response = self.respond_batch(request, strict_page=False)
         return BatchSearchResult(
-            pages=tuple(pages),
-            total_seconds=sw.elapsed,
-            n_workers=self.n_workers,
-            cache_hits=(self._cache.hits - hits0) if self._cache is not None else 0,
-            cache_misses=(self._cache.misses - misses0) if self._cache is not None else 0,
+            pages=tuple(_page_from_response(r) for r in response.results),
+            total_seconds=response.total_seconds,
+            n_workers=response.n_workers,
+            cache_hits=response.cache_hits,
+            cache_misses=response.cache_misses,
         )
 
     # ------------------------------------------------------------------ stats

@@ -1,0 +1,430 @@
+"""The v1 wire protocol: round-tripping, validation, error mapping, paging.
+
+Covers the contract every transport relies on: ``from_wire(to_wire(x))``
+is the identity for every message type (property-tested), malformed
+payloads become structured :class:`ApiError` codes (never bare Python
+exceptions), and pagination semantics (``total_pages``,
+``PAGE_OUT_OF_RANGE``) live in the protocol layer.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.errors import API_VERSION, ERROR_STATUS, ApiError, as_api_error, error_payload
+from repro.api.protocol import (
+    BatchSearchRequest,
+    BatchSearchResponse,
+    ClusterRequest,
+    ClusterResponse,
+    DatasetInfo,
+    DatasetListRequest,
+    DatasetListResponse,
+    HealthResponse,
+    RenderRequest,
+    RenderResponse,
+    SearchRequest,
+    SearchResponse,
+    page_count,
+)
+from repro.spell import SpellService
+from repro.spell.service import BatchSearchResult
+from repro.util.errors import RenderError, SearchError, StoreError, ValidationError
+
+# ---------------------------------------------------------------- strategies
+gene_ids = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", min_size=1, max_size=8
+)
+gene_lists = st.lists(gene_ids, min_size=1, max_size=6, unique=True).map(tuple)
+scores = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def search_requests(draw):
+    return SearchRequest(
+        genes=draw(gene_lists),
+        top_k=draw(st.one_of(st.none(), st.integers(1, 500))),
+        page=draw(st.integers(0, 50)),
+        page_size=draw(st.integers(1, 100)),
+        top_datasets=draw(st.integers(0, 20)),
+        datasets=draw(
+            st.one_of(
+                st.none(),
+                st.lists(gene_ids, min_size=1, max_size=4, unique=True).map(tuple),
+            )
+        ),
+        use_cache=draw(st.booleans()),
+    )
+
+
+@st.composite
+def search_responses(draw):
+    n_rows = draw(st.integers(0, 5))
+    return SearchResponse(
+        query=draw(gene_lists),
+        query_used=draw(gene_lists),
+        query_missing=draw(st.lists(gene_ids, max_size=3, unique=True).map(tuple)),
+        page=draw(st.integers(0, 10)),
+        page_size=draw(st.integers(1, 50)),
+        total_genes=draw(st.integers(0, 10_000)),
+        total_pages=draw(st.integers(0, 500)),
+        gene_rows=tuple(
+            (i + 1, draw(gene_ids), draw(scores)) for i in range(n_rows)
+        ),
+        dataset_rows=tuple(
+            (i + 1, draw(gene_ids), draw(scores)) for i in range(draw(st.integers(0, 3)))
+        ),
+        elapsed_seconds=draw(st.floats(0, 10, allow_nan=False)),
+    )
+
+
+def wire_identity(message, cls):
+    """to_wire -> real JSON -> from_wire must reproduce the message."""
+    payload = json.loads(json.dumps(message.to_wire()))
+    assert cls.from_wire(payload) == message
+
+
+# ---------------------------------------------------------------- round-trip
+class TestWireRoundTrip:
+    @given(req=search_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_search_request(self, req):
+        wire_identity(req, SearchRequest)
+
+    @given(reqs=st.lists(search_requests(), min_size=1, max_size=3),
+           scheduler=st.sampled_from(["map", "steal"]))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_request(self, reqs, scheduler):
+        wire_identity(
+            BatchSearchRequest(searches=tuple(reqs), scheduler=scheduler),
+            BatchSearchRequest,
+        )
+
+    def test_dataset_list_request(self):
+        wire_identity(DatasetListRequest(), DatasetListRequest)
+
+    @given(req=search_requests(), top=st.integers(2, 50),
+           metric=st.sampled_from(["correlation", "euclidean"]),
+           linkage=st.sampled_from(["average", "complete", "single", "ward"]))
+    @settings(max_examples=30, deadline=None)
+    def test_cluster_request(self, req, top, metric, linkage):
+        wire_identity(
+            ClusterRequest(search=req, top_genes=top, metric=metric, linkage=linkage),
+            ClusterRequest,
+        )
+
+    @given(req=search_requests(), top=st.integers(1, 50),
+           colormap=st.sampled_from(["red-green", "grayscale"]),
+           saturation=st.one_of(st.none(), st.floats(0.1, 5.0)),
+           cw=st.integers(1, 16), ch=st.integers(1, 16), cluster=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_render_request(self, req, top, colormap, saturation, cw, ch, cluster):
+        wire_identity(
+            RenderRequest(
+                search=req, top_genes=top, colormap=colormap, saturation=saturation,
+                cell_width=cw, cell_height=ch, cluster=cluster,
+            ),
+            RenderRequest,
+        )
+
+    @given(resp=search_responses())
+    @settings(max_examples=60, deadline=None)
+    def test_search_response(self, resp):
+        wire_identity(resp, SearchResponse)
+
+    @given(resps=st.lists(search_responses(), min_size=0, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_response(self, resps):
+        wire_identity(
+            BatchSearchResponse(
+                results=tuple(resps), total_seconds=0.5, n_workers=2,
+                cache_hits=1, cache_misses=2,
+            ),
+            BatchSearchResponse,
+        )
+
+    def test_dataset_list_response(self):
+        wire_identity(
+            DatasetListResponse(
+                datasets=(
+                    DatasetInfo("ds0", 10, 4, {"kind": "background"}),
+                    DatasetInfo("ds1", 7, 3),
+                )
+            ),
+            DatasetListResponse,
+        )
+
+    def test_cluster_response(self):
+        wire_identity(
+            ClusterResponse(
+                genes=("G1", "G2", "G3"),
+                dataset="ds0",
+                metric="correlation",
+                linkage="average",
+                merges=((0, 1, 0.25, 2), (3, 2, 0.5, 3)),
+                elapsed_seconds=0.01,
+            ),
+            ClusterResponse,
+        )
+
+    def test_render_response(self):
+        wire_identity(
+            RenderResponse(
+                width=8, height=4, dataset="ds0", colormap="red-green",
+                genes=("G1",), ppm=b"P6\n2 1\n255\n" + bytes(6),
+                elapsed_seconds=0.01,
+            ),
+            RenderResponse,
+        )
+
+    def test_health_response(self):
+        wire_identity(
+            HealthResponse(
+                status="ok", uptime_seconds=1.5, datasets=3, genes=100,
+                index_bytes=4096, query_count=7,
+                cache={"hits": 2, "misses": 5},
+                endpoints={"search": {"count": 7, "errors": 1,
+                                      "total_seconds": 0.2, "mean_seconds": 0.03}},
+            ),
+            HealthResponse,
+        )
+
+
+# ---------------------------------------------------------------- validation
+class TestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest(genes=())
+        assert exc.value.code == "INVALID_QUERY"
+
+    def test_duplicate_genes_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest(genes=("A", "A"))
+        assert exc.value.code == "INVALID_QUERY"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("page", -1), ("page_size", 0), ("top_k", 0), ("top_datasets", -2)],
+    )
+    def test_bad_numeric_fields(self, field, value):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest(genes=("A",), **{field: value})
+        assert exc.value.code == "INVALID_REQUEST"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest.from_wire({"genes": ["A"], "limit": 5})
+        assert exc.value.code == "INVALID_REQUEST"
+        assert "limit" in exc.value.details["unknown_fields"]
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest.from_wire({"api_version": "v2", "genes": ["A"]})
+        assert exc.value.code == "UNSUPPORTED_VERSION"
+        assert exc.value.details["supported"] == [API_VERSION]
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest.from_wire(["A", "B"])
+        assert exc.value.code == "MALFORMED_BODY"
+
+    def test_non_string_genes_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            SearchRequest.from_wire({"genes": ["A", 3]})
+        assert exc.value.code == "INVALID_REQUEST"
+
+    def test_batch_needs_searches(self):
+        with pytest.raises(ApiError):
+            BatchSearchRequest.from_wire({"searches": "nope"})
+        with pytest.raises(ApiError):
+            BatchSearchRequest(searches=())
+
+    def test_bad_scheduler(self):
+        with pytest.raises(ApiError) as exc:
+            BatchSearchRequest(
+                searches=(SearchRequest(genes=("A",)),), scheduler="fifo"
+            )
+        assert exc.value.code == "INVALID_REQUEST"
+
+    def test_cluster_unknown_metric_linkage(self):
+        search = SearchRequest(genes=("A",))
+        with pytest.raises(ApiError):
+            ClusterRequest(search=search, metric="cosine")
+        with pytest.raises(ApiError):
+            ClusterRequest(search=search, linkage="median")
+
+    def test_render_unknown_colormap(self):
+        with pytest.raises(ApiError) as exc:
+            RenderRequest(search=SearchRequest(genes=("A",)), colormap="viridis")
+        assert "choices" in exc.value.details
+
+    def test_render_bad_base64(self):
+        with pytest.raises(ApiError):
+            RenderResponse.from_wire({"width": 1, "height": 1, "ppm_base64": "%%%"})
+
+
+# ------------------------------------------------------------- error mapping
+class TestErrorModel:
+    def test_every_code_has_a_status(self):
+        for code, status in ERROR_STATUS.items():
+            assert 400 <= status < 600, code
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ApiError("NOT_A_CODE", "nope")
+
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (StoreError("store gone"), "INDEX_STALE"),
+            (SearchError("bad query"), "INVALID_QUERY"),
+            (ValidationError("bad arg"), "INVALID_REQUEST"),
+            (RenderError("bad geometry"), "INVALID_REQUEST"),
+            (RuntimeError("boom"), "INTERNAL"),
+        ],
+    )
+    def test_classification(self, exc, code):
+        err = as_api_error(exc)
+        assert err.code == code
+        assert err.http_status == ERROR_STATUS[code]
+
+    def test_api_error_passes_through(self):
+        original = ApiError("UNKNOWN_GENE", "nope", details={"unknown_genes": ["X"]})
+        assert as_api_error(original) is original
+
+    def test_error_payload_shape(self):
+        payload = error_payload(ApiError("INVALID_QUERY", "empty", details={"n": 0}))
+        assert payload["api_version"] == API_VERSION
+        assert payload["error"]["code"] == "INVALID_QUERY"
+        assert payload["error"]["details"] == {"n": 0}
+        json.dumps(payload)  # wire form must be JSON-serializable
+
+
+# ----------------------------------------------------------------- paging
+class TestPaging:
+    @given(total=st.integers(0, 10_000), page_size=st.integers(1, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_page_count(self, total, page_size):
+        pages = page_count(total, page_size)
+        assert pages >= 1  # an empty ranking still has one (empty) page
+        assert pages == max(1, math.ceil(total / page_size))
+
+    def test_respond_reports_total_pages(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        response = service.respond(
+            SearchRequest(genes=truth.query_genes, page_size=10)
+        )
+        assert response.total_pages == page_count(response.total_genes, 10)
+        assert response.total_genes > 0
+
+    def test_respond_page_out_of_range(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        with pytest.raises(ApiError) as exc:
+            service.respond(SearchRequest(genes=truth.query_genes, page=10_000))
+        assert exc.value.code == "PAGE_OUT_OF_RANGE"
+        assert exc.value.details["page"] == 10_000
+        assert exc.value.details["total_pages"] >= 1
+
+    def test_top_k_caps_total_pages(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        response = service.respond(
+            SearchRequest(genes=truth.query_genes, top_k=7, page_size=5)
+        )
+        assert response.total_pages == 2  # ceil(7 / 5)
+        with pytest.raises(ApiError):
+            service.respond(
+                SearchRequest(genes=truth.query_genes, top_k=7, page_size=5, page=2)
+            )
+
+    def test_legacy_search_page_still_returns_empty(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        page = service.search_page(list(truth.query_genes), page=10_000)
+        assert page.gene_rows == ()
+        assert page.total_genes > 0
+
+    def test_shim_matches_protocol_rows(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        legacy = service.search_page(list(truth.query_genes), page=1, page_size=7)
+        response = service.respond(
+            SearchRequest(genes=truth.query_genes, page=1, page_size=7)
+        )
+        assert legacy.gene_rows == response.gene_rows
+        assert legacy.dataset_rows == response.dataset_rows
+
+
+# --------------------------------------------------- service-level additions
+class TestServiceProtocolPath:
+    def test_queries_per_second_clamps(self):
+        empty = BatchSearchResult(
+            pages=(), total_seconds=0.0, n_workers=1, cache_hits=0, cache_misses=0
+        )
+        assert empty.queries_per_second == 0.0
+        zero_duration = BatchSearchResult(
+            pages=(object(),), total_seconds=0.0, n_workers=1,
+            cache_hits=0, cache_misses=0,
+        )
+        assert zero_duration.queries_per_second == 0.0
+        assert not np.isinf(zero_duration.queries_per_second)
+
+    def test_batch_response_qps_clamps(self):
+        empty = BatchSearchResponse(
+            results=(), total_seconds=0.0, n_workers=1, cache_hits=0, cache_misses=0
+        )
+        assert empty.queries_per_second == 0.0
+
+    def test_dataset_filter_restricts_search(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        subset = list(truth.relevant_datasets)
+        result = service.search(list(truth.query_genes), datasets=subset)
+        assert set(d.name for d in result.datasets) == set(subset)
+        full = service.search(list(truth.query_genes))
+        assert len(full.datasets) == len(compendium)
+
+    def test_dataset_filter_equals_subcompendium(self, spell_setup):
+        """Filtering is bit-identical to searching a compendium of just
+        those datasets (for both the index and the exact-engine path)."""
+        from repro.data.compendium import Compendium
+
+        compendium, truth = spell_setup
+        subset = list(truth.relevant_datasets)
+        sub = Compendium([compendium[name] for name in subset])
+        for use_index in (True, False):
+            filtered = SpellService(compendium, use_index=use_index, cache_size=0)
+            direct = SpellService(sub, use_index=use_index, cache_size=0)
+            a = filtered.search(list(truth.query_genes), datasets=subset)
+            b = direct.search(list(truth.query_genes))
+            assert a.dataset_ranking() == b.dataset_ranking()
+            assert a.gene_ranking() == b.gene_ranking()
+            assert [d.weight for d in a.datasets] == [d.weight for d in b.datasets]
+
+    def test_dataset_filter_unknown_name(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        with pytest.raises(SearchError):
+            service.search(list(truth.query_genes), datasets=["no_such_dataset"])
+
+    def test_dataset_filter_cached_separately(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        full = service.search(list(truth.query_genes))
+        filtered = service.search(
+            list(truth.query_genes), datasets=list(truth.relevant_datasets)
+        )
+        assert len(filtered.datasets) < len(full.datasets)
+        # repeat both: each must come back from its own cache entry
+        assert len(service.search(list(truth.query_genes)).datasets) == len(full.datasets)
+        assert len(
+            service.search(
+                list(truth.query_genes), datasets=list(truth.relevant_datasets)
+            ).datasets
+        ) == len(filtered.datasets)
