@@ -1,7 +1,7 @@
 """SERVICE — throughput of the serving layer under repeated, batched and
 mutating workloads (the ROADMAP's "heavy traffic" scenario).
 
-Three contracts the production service must honour, each measured here:
+Five contracts the production service must honour, each measured here:
 
 1. **Result cache** — a warm-cache query (LRU hit on the canonicalized
    query) must be at least an order of magnitude faster than the cold
@@ -10,8 +10,19 @@ Three contracts the production service must honour, each measured here:
    sharing one index; throughput must not regress vs one worker, and on
    a multi-core host must actually scale (NumPy releases the GIL in the
    scoring matmuls).
-3. **Incremental index maintenance** — ``SpellIndex.add_dataset`` must
+3. **Batched kernel** — ``SpellIndex.search_batch`` makes one pass over
+   the shard arena per *batch* (one stacked matmul per shard) and must
+   beat B per-query passes while staying bit-identical to them.
+4. **Multi-process serving** — ``SpellService(n_procs>=2)`` scatters a
+   batch across worker processes sharing the mmap store; on a >= 2 core
+   host it must beat the single-process threaded path, and every
+   ranking must be bit-identical to the direct ``SpellIndex.search``
+   oracle.
+5. **Incremental index maintenance** — ``SpellIndex.add_dataset`` must
    beat a full rebuild while producing *bit-identical* rankings.
+
+Machine-readable numbers (cold/warm latency, single- vs multi-proc batch
+QPS) land in ``benchmarks/results/BENCH_4.json`` for CI trending.
 """
 
 from __future__ import annotations
@@ -20,13 +31,14 @@ import os
 
 import pytest
 
+from repro.api.protocol import BatchSearchRequest, SearchRequest
 from repro.data.compendium import Compendium
 from repro.spell import SpellIndex, SpellService
 from repro.synth import make_spell_compendium
 from repro.util.rng import default_rng
 from repro.util.timing import Stopwatch
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import update_json_report, write_report
 
 N_QUERIES = 32
 QUERY_SIZE = 4
@@ -75,6 +87,17 @@ def test_service_cold_vs_warm_cache(workload):
             f"{len(queries)} distinct queries over the 40-dataset FIG4 "
             f"compendium; speedup {speedup:.0f}x; cache stats {stats}."
         ),
+    )
+    update_json_report(
+        "BENCH_4",
+        {
+            "service_latency": {
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "speedup": speedup,
+                "n_queries": len(queries),
+            }
+        },
     )
     assert stats["hits"] >= len(queries)
     assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
@@ -128,6 +151,156 @@ def test_service_batched_throughput(workload):
             f"batched path failed to scale: {best_parallel:.0f} qps with "
             f"workers vs {serial:.0f} serial on {cores} cores"
         )
+
+
+def test_batched_kernel_beats_per_query_passes(workload):
+    """search_batch: one arena pass per batch must beat B per-query passes
+    while every ranking stays bit-identical to SpellIndex.search."""
+    comp, _, queries = workload
+    index = SpellIndex.build(comp)
+    for q in queries[:3]:  # warm the BLAS/scratch paths out of the timing
+        index.search(q)
+
+    t_single = float("inf")
+    t_batch = float("inf")
+    for _ in range(3):
+        with Stopwatch() as sw:
+            solo = [index.search(q) for q in queries]
+        t_single = min(t_single, sw.elapsed)
+        with Stopwatch() as sw:
+            batch = index.search_batch(queries)
+        t_batch = min(t_batch, sw.elapsed)
+
+    for a, b in zip(solo, batch):  # the oracle gate: bit-identical rankings
+        assert [(g.gene_id, g.score, g.n_datasets) for g in a.genes] == [
+            (g.gene_id, g.score, g.n_datasets) for g in b.genes
+        ]
+        assert [(d.name, d.weight) for d in a.datasets] == [
+            (d.name, d.weight) for d in b.datasets
+        ]
+
+    speedup = t_single / t_batch if t_batch > 0 else float("inf")
+    write_report(
+        "SERVICE_KERNEL",
+        "SPELL index: batched arena kernel vs per-query passes",
+        ["path", "batch wall time", "queries/sec"],
+        [
+            ["per-query search x32", f"{t_single * 1e3:.1f} ms",
+             f"{len(queries) / t_single:.0f}"],
+            ["search_batch (stacked matmuls)", f"{t_batch * 1e3:.1f} ms",
+             f"{len(queries) / t_batch:.0f}"],
+        ],
+        notes=(
+            f"{len(queries)} queries over the FIG4 compendium; one "
+            f"Xn @ Qall.T matmul per shard instead of one per (shard, "
+            f"query); {speedup:.2f}x, rankings bit-identical (asserted)."
+        ),
+    )
+    update_json_report(
+        "BENCH_4",
+        {
+            "batch_kernel": {
+                "per_query_seconds": t_single,
+                "batched_seconds": t_batch,
+                "speedup": speedup,
+                "n_queries": len(queries),
+            }
+        },
+    )
+    # the batched kernel must never *lose* to per-query dispatch by more
+    # than timing noise; the speedup itself is reported, not gated (BLAS
+    # thread counts vary wildly across CI hosts)
+    assert t_batch <= 1.2 * t_single, (
+        f"batched kernel slower than per-query: {t_batch:.4f}s vs {t_single:.4f}s"
+    )
+
+
+def test_multiproc_batch_beats_single_proc(workload, tmp_path_factory):
+    """n_procs=2 batch serving must beat the single-process threaded path
+    on a multi-core host, with every ranking bit-identical to the direct
+    SpellIndex.search oracle."""
+    comp, _, queries = workload
+    cores = os.cpu_count() or 1
+    request = BatchSearchRequest(
+        searches=tuple(
+            SearchRequest(genes=tuple(q), page_size=20, use_cache=False)
+            for q in queries
+        )
+    )
+    store = tmp_path_factory.mktemp("spell-proc-store")
+
+    single = SpellService(comp, n_workers=2, cache_size=0)
+    multi = SpellService(comp, n_procs=2, cache_size=0, store_dir=store)
+    try:
+        single.respond_batch(request)  # warm the threads
+        warm = multi.respond_batch(request)  # spawn + first-touch, untimed
+        assert multi._procpool is not None and not multi._procpool.broken
+
+        t_single = float("inf")
+        t_multi = float("inf")
+        for _ in range(3):
+            with Stopwatch() as sw:
+                single_batch = single.respond_batch(request)
+            t_single = min(t_single, sw.elapsed)
+            with Stopwatch() as sw:
+                multi_batch = multi.respond_batch(request)
+            t_multi = min(t_multi, sw.elapsed)
+        assert multi._procpool.batches >= 4  # proc path actually served
+
+        # oracle gate: every served ranking bit-identical to the direct index
+        oracle = SpellIndex.build(comp)
+        for q, s_resp, m_resp, w_resp in zip(
+            queries, single_batch.results, multi_batch.results, warm.results
+        ):
+            expect = tuple(
+                (i + 1, g.gene_id, g.score)
+                for i, g in enumerate(oracle.search(q).genes[:20])
+            )
+            assert s_resp.gene_rows == expect
+            assert m_resp.gene_rows == expect
+            assert w_resp.gene_rows == expect
+
+        single_qps = len(queries) / t_single
+        multi_qps = len(queries) / t_multi
+        write_report(
+            "SERVICE_PROCS",
+            "SPELL service: single-process threads vs process pool (batch)",
+            ["path", "batch wall time", "queries/sec"],
+            [
+                ["1 process, 2 threads", f"{t_single * 1e3:.1f} ms",
+                 f"{single_qps:.0f}"],
+                ["2 processes (mmap store)", f"{t_multi * 1e3:.1f} ms",
+                 f"{multi_qps:.0f}"],
+            ],
+            notes=(
+                f"{len(queries)} cold queries per batch on a {cores}-core "
+                f"host; workers share shard pages via the OS page cache. "
+                f"Rankings bit-identical to the direct SpellIndex.search "
+                f"oracle (asserted). The multi-proc-beats-single-proc gate "
+                f"is enforced on >= 2 cores."
+            ),
+        )
+        update_json_report(
+            "BENCH_4",
+            {
+                "proc_serving": {
+                    "cores": cores,
+                    "n_procs": 2,
+                    "single_proc_qps": single_qps,
+                    "multi_proc_qps": multi_qps,
+                    "speedup": multi_qps / single_qps if single_qps else None,
+                    "gate_enforced": cores >= 2,
+                }
+            },
+        )
+        if cores >= 2:
+            assert multi_qps > single_qps, (
+                f"multi-process batch serving failed to beat single-process: "
+                f"{multi_qps:.0f} vs {single_qps:.0f} qps on {cores} cores"
+            )
+    finally:
+        single.close()
+        multi.close()
 
 
 def test_service_warm_batch_beats_cold_batch(workload):

@@ -8,6 +8,7 @@ numbers survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Sequence
 
@@ -21,6 +22,28 @@ from repro.synth import (
 from repro.util.formatting import format_table
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def update_json_report(exp_id: str, fragment: dict) -> dict:
+    """Merge ``fragment`` into ``results/<exp_id>.json`` (machine-readable).
+
+    Benchmarks that contribute to one experiment run as separate pytest
+    tests (possibly in separate files), so the JSON artifact accumulates
+    via read-merge-write; top-level keys are owned by one contributor
+    each.  Returns the merged document.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{exp_id}.json"
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document.setdefault("bench", exp_id)
+    document.update(fragment)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
 
 
 def write_report(

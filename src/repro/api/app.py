@@ -270,6 +270,7 @@ class ApiApp:
                 query_count=service.query_count,
                 cache=service.cache_stats(),
                 endpoints=self._stats.snapshot(),
+                serving=service.serving_stats(),
             )
 
     def endpoint_stats(self) -> dict[str, dict[str, float]]:

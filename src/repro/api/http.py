@@ -233,7 +233,9 @@ def _build_service(args: argparse.Namespace):
     service = SpellService(
         compendium,
         n_workers=args.n_workers,
+        n_procs=args.n_procs,
         cache_size=args.cache_size,
+        cache_min_cost=args.cache_min_cost,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
         store_dir=args.store_dir,
     )
@@ -252,7 +254,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="persistent index directory (mmap cold start)")
     parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
     parser.add_argument("--n-workers", type=int, default=4)
+    parser.add_argument("--n-procs", type=int, default=1,
+                        help=">= 2 serves /v1/search/batch from a process "
+                             "pool sharing the mmap index store")
     parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--cache-min-cost", type=int, default=0,
+                        help="result-cache admission threshold: only cache "
+                             "results that ranked at least this many genes")
     parser.add_argument("--synth-datasets", type=int, default=12)
     parser.add_argument("--synth-genes", type=int, default=300)
     parser.add_argument("--synth-conditions", type=int, default=14)
@@ -278,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         pass
     finally:
         server.server_close()
+        service.close()
     return 0
 
 

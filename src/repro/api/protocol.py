@@ -688,7 +688,15 @@ class RenderResponse:
 
 @dataclass(frozen=True)
 class HealthResponse:
-    """Liveness plus the per-endpoint serving counters ``ApiApp`` keeps."""
+    """Liveness plus the per-endpoint serving counters ``ApiApp`` keeps.
+
+    ``cache`` carries the result cache's full counter set (hits, misses,
+    evictions, plus the admission policy's ``min_cost`` / ``admitted`` /
+    ``rejected`` and the hottest entry's hit count); ``serving``
+    describes the batch topology (thread workers, process workers, and
+    the worker pool's batch/resync counters).  Both are free-form
+    objects on the wire so new counters stay append-only.
+    """
 
     status: str
     uptime_seconds: float
@@ -698,6 +706,7 @@ class HealthResponse:
     query_count: int
     cache: dict
     endpoints: dict  # endpoint -> {count, errors, total_seconds, mean_seconds}
+    serving: dict = field(default_factory=dict)  # appended in-version: default keeps v1 parsing
 
     def to_wire(self) -> dict:
         return {
@@ -710,6 +719,7 @@ class HealthResponse:
             "query_count": self.query_count,
             "cache": dict(self.cache),
             "endpoints": {k: dict(v) for k, v in self.endpoints.items()},
+            "serving": dict(self.serving),
         }
 
     @classmethod
@@ -717,8 +727,11 @@ class HealthResponse:
         data = _check_payload(payload, _allowed_fields(cls), "health response")
         cache = data.get("cache", {})
         endpoints = data.get("endpoints", {})
+        serving = data.get("serving", {})
         if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
             raise _invalid("health cache/endpoints must be objects")
+        if not isinstance(serving, Mapping):
+            raise _invalid("health serving must be an object")
         return cls(
             status=str(data.get("status", "")),
             uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
@@ -728,4 +741,5 @@ class HealthResponse:
             query_count=_int_field(data.get("query_count", 0), "query_count", minimum=0),
             cache=dict(cache),
             endpoints={str(k): dict(v) for k, v in endpoints.items()},
+            serving=dict(serving),
         )

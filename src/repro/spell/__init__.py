@@ -21,7 +21,9 @@ from repro.spell.cache import (
     query_key,
     rebind_result,
 )
-from repro.spell.index import SpellIndex
+from repro.spell.arena import ScoreScratch, ScratchPool, ShardArena
+from repro.spell.index import BatchQuery, SpellIndex
+from repro.spell.procpool import IndexWorkerPool, WorkerPoolError
 from repro.spell.store import IndexStore, SyncReport
 from repro.spell.service import SpellService, SearchPage, BatchSearchResult
 from repro.spell.baseline import TextSearchBaseline
@@ -36,6 +38,12 @@ __all__ = [
     "ranked_gene_table",
     "MIN_QUERY_PRESENT",
     "SpellIndex",
+    "BatchQuery",
+    "ShardArena",
+    "ScoreScratch",
+    "ScratchPool",
+    "IndexWorkerPool",
+    "WorkerPoolError",
     "IndexStore",
     "SyncReport",
     "SpellService",

@@ -1,0 +1,189 @@
+"""Fused shard arena + reusable scoring scratch for the SPELL hot path.
+
+Two allocation sinks dominated the per-query cost of
+:meth:`repro.spell.index.SpellIndex.search` once the math itself was
+vectorized:
+
+* **Shard fragmentation** — the index held one independently-allocated
+  normalized matrix per dataset, so a query walked a Python list of
+  arrays scattered across the heap.  :class:`ShardArena` lays every
+  shard's rows into **one contiguous buffer per dtype** and hands back
+  zero-copy *views* (an ``offsets`` table derived from the views is
+  kept for introspection), so the scoring loop iterates windows of a
+  single array.
+  Matmuls against a view are bit-identical to matmuls against the
+  original shard (same values, same BLAS reduction order), which the
+  oracle tests assert.
+
+* **Per-query scratch** — every search used to allocate three fresh
+  universe-sized arrays (``totals``/``weight_mass``/``counts``).
+  :class:`ScoreScratch` owns those arrays; a :class:`ScratchPool`
+  free-list recycles them across queries *and threads* (a
+  thread-per-request server like ``ThreadingHTTPServer`` never reuses a
+  thread, so thread-local storage would defeat the pool on the primary
+  serving path).  Handing arrays out zeroes them (one memset each, no
+  allocator or page-fault traffic) and grows them only when the gene
+  universe does.
+
+**Fusion discipline**: only shards that are plain in-RAM arrays
+*owning their data* are fused.  Shards reopened from the persistent
+store (:mod:`repro.spell.store`) are ``np.memmap`` windows whose pages
+fault in lazily — copying them would read every byte and destroy the
+zero-copy cold start.  And shards that are already views into a
+previous index's arena (the copy-on-write ``SpellIndex.updated`` path)
+are reused as-is rather than re-copied, so an incremental sync costs
+O(changed shards), not O(index bytes).  Either way the consumer sees
+the same thing: a list of ``(genes, conditions)`` views.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ShardArena", "ScoreScratch", "ScratchPool"]
+
+
+class ShardArena:
+    """Contiguous (when possible) storage for a list of shard matrices.
+
+    ``views[i]`` is the i-th shard as a ``(genes, conditions)`` array.
+    When every input shard is a plain in-RAM ``ndarray`` owning its data
+    and sharing one dtype, the views alias one flat buffer (``fused`` is
+    True); otherwise the inputs themselves serve as the views (``fused``
+    is False) — the mmap and copy-on-write-reuse cases.
+    """
+
+    __slots__ = ("views", "fused", "_flat")
+
+    def __init__(self, shards: Sequence[np.ndarray]) -> None:
+        shards = list(shards)
+        self.fused = bool(shards) and all(
+            s.ndim == 2 and type(s) is np.ndarray and s.base is None for s in shards
+        ) and len({s.dtype for s in shards}) == 1
+        if self.fused:
+            total = sum(s.size for s in shards)
+            flat = np.empty(total, dtype=shards[0].dtype)
+            views: list[np.ndarray] = []
+            pos = 0
+            for s in shards:
+                view = flat[pos : pos + s.size].reshape(s.shape)
+                view[...] = s
+                views.append(view)
+                pos += s.size
+            self._flat = flat
+            self.views = views
+        else:
+            self._flat = None
+            self.views = shards
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.views[i]
+
+    @property
+    def offsets(self) -> list[int]:
+        """Element offset of each view inside the flat buffer (-1 when the
+        view lives outside it: unfused arenas and late-appended shards).
+
+        Introspection only — the scoring loop addresses shards through
+        ``views``; this exists so tests and debuggers can verify the
+        contiguous layout without poking at ``ctypes`` themselves.
+        """
+        if self._flat is None:
+            return [-1] * len(self.views)
+        start = self._flat.ctypes.data
+        end = start + self._flat.nbytes
+        itemsize = self._flat.itemsize
+        return [
+            (v.ctypes.data - start) // itemsize
+            if start <= v.ctypes.data < end
+            else -1
+            for v in self.views
+        ]
+
+    def append(self, shard: np.ndarray) -> None:
+        """Register one more shard (in-place index maintenance).
+
+        The flat buffer cannot be extended without copying every live
+        view, so late arrivals stay standalone arrays; a fresh index
+        (``SpellIndex.updated`` / ``build``) re-fuses everything.
+        """
+        self.views.append(shard)
+
+    def remove(self, i: int) -> None:
+        del self.views[i]
+
+    def nbytes(self) -> int:
+        return sum(int(v.nbytes) for v in self.views)
+
+
+class ScoreScratch:
+    """The three universe-sized accumulators one search needs, reusable.
+
+    ``arrays(n_slots)`` returns zeroed ``totals`` / ``weight_mass`` /
+    ``counts`` arrays of exactly ``n_slots`` entries, growing the
+    backing buffers only when the universe has (slots are append-only,
+    so growth is monotonic).  Zeroing is a memset per array — no
+    allocation, no first-touch page faults after the first query.
+    """
+
+    __slots__ = ("totals", "weight_mass", "counts")
+
+    def __init__(self) -> None:
+        self.totals = np.zeros(0, dtype=np.float64)
+        self.weight_mass = np.zeros(0, dtype=np.float64)
+        self.counts = np.zeros(0, dtype=np.intp)
+
+    def arrays(self, n_slots: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self.totals.shape[0] < n_slots:
+            self.totals = np.zeros(n_slots, dtype=np.float64)
+            self.weight_mass = np.zeros(n_slots, dtype=np.float64)
+            self.counts = np.zeros(n_slots, dtype=np.intp)
+        else:
+            self.totals[:n_slots] = 0.0
+            self.weight_mass[:n_slots] = 0.0
+            self.counts[:n_slots] = 0
+        return (
+            self.totals[:n_slots],
+            self.weight_mass[:n_slots],
+            self.counts[:n_slots],
+        )
+
+
+class ScratchPool:
+    """A bounded free-list of :class:`ScoreScratch`, owned by the index.
+
+    ``acquire()`` pops a recycled scratch (or builds the first one);
+    ``release()`` returns it for the next query.  A free-list rather
+    than thread-local storage because the primary serving transport
+    (``ThreadingHTTPServer``) runs every request on a *fresh* thread —
+    thread-locals there would allocate per query, exactly the cost this
+    pool exists to remove.  Concurrent searches each hold their own
+    scratch; the pool retains at most ``max_pooled`` idle ones (spikes
+    beyond that allocate and are dropped on release).  The pool dies
+    with its index, so a copy-on-write ``updated()`` swap never leaks
+    scratch sized for a retired universe.
+    """
+
+    __slots__ = ("_idle", "_lock", "_max_pooled")
+
+    def __init__(self, max_pooled: int = 32) -> None:
+        self._idle: list[ScoreScratch] = []
+        self._lock = threading.Lock()
+        self._max_pooled = int(max_pooled)
+
+    def acquire(self) -> ScoreScratch:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return ScoreScratch()
+
+    def release(self, scratch: ScoreScratch) -> None:
+        with self._lock:
+            if len(self._idle) < self._max_pooled:
+                self._idle.append(scratch)

@@ -18,10 +18,20 @@ rebinding never touches it, so a hit costs three tuple rebuilds no
 matter how many genes the ranking holds.  Top-k (truncated) results are
 keyed with ``extra=("top_k", k)`` so a partial ranking can never be
 served where a full one was requested.
+
+**Admission policy**: under heavy traffic most queries are one-offs;
+letting every result in churns the LRU and evicts the hot gene sets the
+cache exists for.  ``QueryCache(min_cost=...)`` only *admits* results
+whose cost — the candidate-gene-universe size the search had to rank,
+passed by the caller as ``cost=`` — meets the threshold; cheap results
+are recomputed on demand instead of displacing expensive ones.
+Admission and rejection are counted (and per-entry hit counts tracked)
+so ``/v1/health`` can report how the policy behaves in production.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Sequence
 
@@ -74,17 +84,56 @@ class QueryCache:
     """LRU of SPELL answers keyed on canonicalized queries.
 
     Thin wrapper over :class:`repro.util.lru.LruCache` that owns the key
-    discipline; the service never builds keys by hand.
+    discipline (the service never builds keys by hand) plus the
+    *admission* discipline: with ``min_cost > 0``, :meth:`store` only
+    admits values whose ``cost`` (for SPELL results, the candidate gene
+    universe the search ranked) meets the threshold — cheap answers are
+    cheaper to recompute than the hot entry they would evict.  A
+    ``cost=None`` store (caller opted out of costing) is always
+    admitted.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self, max_entries: int = DEFAULT_CACHE_SIZE, *, min_cost: int = 0
+    ) -> None:
         self._lru: LruCache[tuple, object] = LruCache(max_entries)
+        self.min_cost = max(0, int(min_cost))
+        self.admitted = 0
+        self.rejected = 0
+        self._admission_lock = threading.Lock()  # the LRU locks its own counters
 
     def lookup(self, version: int, query: Sequence[str], *, extra: tuple = ()):
         return self._lru.get(query_key(version, query, extra=extra))
 
-    def store(self, version: int, query: Sequence[str], value, *, extra: tuple = ()) -> None:
+    def store(
+        self,
+        version: int,
+        query: Sequence[str],
+        value,
+        *,
+        extra: tuple = (),
+        cost: int | None = None,
+    ) -> bool:
+        """Admit ``value`` unless the admission policy rejects it.
+
+        Returns True when the entry was admitted.
+        """
+        if cost is not None and cost < self.min_cost:
+            with self._admission_lock:
+                self.rejected += 1
+            return False
+        with self._admission_lock:
+            self.admitted += 1
         self._lru.put(query_key(version, query, extra=extra), value)
+        return True
+
+    def entry_hits(self, version: int, query: Sequence[str], *, extra: tuple = ()) -> int:
+        """Hits served by one resident entry (0 if absent or evicted)."""
+        return self._lru.entry_hits(query_key(version, query, extra=extra))
+
+    def hottest(self, n: int = 5) -> list[tuple[tuple, int]]:
+        """The ``n`` resident entries that served the most hits."""
+        return self._lru.hottest(n)
 
     def clear(self) -> None:
         self._lru.clear()
@@ -105,4 +154,8 @@ class QueryCache:
         return self._lru.evictions
 
     def stats(self) -> dict[str, int]:
-        return self._lru.stats()
+        stats = self._lru.stats()
+        stats["min_cost"] = self.min_cost
+        stats["admitted"] = self.admitted
+        stats["rejected"] = self.rejected
+        return stats

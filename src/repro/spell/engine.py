@@ -278,28 +278,44 @@ class SpellEngine:
             )
         )
 
-        # aggregate gene scores across positively-weighted datasets
-        totals: dict[str, float] = {}
-        weight_mass: dict[str, float] = {}
-        counts: dict[str, int] = {}
-        for ds_score, gene_ids, scores in per_dataset:
-            w = ds_score.weight
-            if w <= min_weight or gene_ids is None:
-                continue
-            for g, s in zip(gene_ids, scores):
-                if np.isnan(s):
-                    continue
-                totals[g] = totals.get(g, 0.0) + w * float(s)
-                weight_mass[g] = weight_mass.get(g, 0.0) + w
-                counts[g] = counts.get(g, 0) + 1
-
-        query_set = set(query_used)
-        keep = [
-            g for g in totals if not (exclude_query_from_genes and g in query_set)
+        # aggregate gene scores across positively-weighted datasets: dense
+        # scatter-add over a query-local gene universe (the same discipline
+        # the index uses) instead of a per-gene Python dict loop, which
+        # dominated engine query time on large universes
+        contributing = [
+            (ds_score.weight, gene_ids, scores)
+            for ds_score, gene_ids, scores in per_dataset
+            if ds_score.weight > min_weight and gene_ids is not None
         ]
-        ids = np.asarray(keep)
-        raw_scores = np.asarray([totals[g] / weight_mass[g] for g in keep])
-        n_ds = np.asarray([counts[g] for g in keep], dtype=np.int64)
+        if contributing:
+            id_arrays = [np.asarray(gene_ids, dtype=str) for _, gene_ids, _ in contributing]
+            uniq, inv = np.unique(np.concatenate(id_arrays), return_inverse=True)
+            inv = np.asarray(inv, dtype=np.intp)
+            n_slots = uniq.shape[0]
+            totals = np.zeros(n_slots)
+            weight_mass = np.zeros(n_slots)
+            counts = np.zeros(n_slots, dtype=np.int64)
+            offset = 0
+            for (w, _, scores), ids_arr in zip(contributing, id_arrays):
+                slots = inv[offset : offset + ids_arr.shape[0]]
+                offset += ids_arr.shape[0]
+                scores = np.asarray(scores, dtype=np.float64)
+                valid = ~np.isnan(scores)
+                hit = slots[valid]  # gene ids are unique per dataset: += is safe
+                totals[hit] += w * scores[valid]
+                weight_mass[hit] += w
+                counts[hit] += 1
+            scored = np.flatnonzero(counts)
+            if exclude_query_from_genes:
+                scored = scored[~np.isin(uniq[scored], tuple(query_used))]
+            ids = uniq[scored]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                raw_scores = totals[scored] / weight_mass[scored]
+            n_ds = counts[scored]
+        else:
+            ids = np.asarray([], dtype=str)
+            raw_scores = np.asarray([], dtype=np.float64)
+            n_ds = np.asarray([], dtype=np.int64)
         return SpellResult(
             query=tuple(query),
             query_used=query_used,

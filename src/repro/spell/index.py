@@ -12,6 +12,25 @@ matrix-vector product ``Xn @ Xn[q]``.  With missing data this is an
 missing); the ablation bench quantifies both the speedup and the rank
 agreement against the exact engine.
 
+Hot-path layout (see :mod:`repro.spell.arena`): the shards' normalized
+rows live in one contiguous per-dtype arena whenever they are in-RAM
+arrays, and ``search`` iterates zero-copy *views* of that one buffer
+instead of a Python list of independent allocations; the three
+universe-sized accumulators a query needs come from a per-thread
+scratch pool instead of being allocated fresh every call.  Shards
+reopened from the persistent store stay memory-mapped (fusing would
+fault in every page and destroy the zero-copy cold start), in which
+case the views are simply the per-shard maps.
+
+:meth:`search_batch` is the batched kernel: it makes **one pass over
+the arena per batch**, stacking every query's rows per dataset into a
+single ``Xn @ Qall.T`` matmul and de-interleaving the per-query means,
+instead of B independent passes.  Its rankings are bit-identical to
+per-query :meth:`search` (each output column of the stacked matmul
+depends only on its own query rows, and the per-query mean reduces the
+same values in the same order) — asserted by the oracle tests and the
+throughput bench.
+
 Because each dataset's shard is independent, the index supports both a
 parallel sharded :meth:`build` (normalization fanned over
 ``parallel_map``) and *incremental* maintenance: :meth:`add_dataset` /
@@ -33,12 +52,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from typing import Sequence
 
 import numpy as np
 
 from repro.data.compendium import Compendium
 from repro.data.dataset import Dataset
 from repro.parallel.pmap import parallel_map
+from repro.spell.arena import ScratchPool, ShardArena
 from repro.spell.engine import (
     DatasetScore,
     SpellResult,
@@ -48,10 +69,23 @@ from repro.spell.engine import (
 from repro.stats.correlation import fisher_z
 from repro.util.errors import SearchError, ValidationError
 
-__all__ = ["SpellIndex"]
+__all__ = ["SpellIndex", "BatchQuery"]
 
 #: Shard dtypes the index (and its on-disk store) supports.
 SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One member of a :meth:`SpellIndex.search_batch` batch.
+
+    Mirrors the per-call keywords of :meth:`SpellIndex.search` so each
+    batch member can carry its own truncation and dataset filter.
+    """
+
+    genes: tuple[str, ...]
+    top_k: int | None = None
+    datasets: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -60,7 +94,13 @@ class _DatasetIndex:
     shard was normalized from — identity comparison against the live
     compendium detects same-name replacements that a name diff misses.
     ``fingerprint`` is the source dataset's content hash, the durable
-    (cross-process) form of the same identity."""
+    (cross-process) form of the same identity.
+
+    ``normalized`` may be repointed (value-preserving) at an arena view
+    when the owning index fuses its shards; every rebind keeps the exact
+    same float values, so shard sharing across copy-on-write indexes
+    stays sound.
+    """
 
     name: str
     gene_ids: list[str]
@@ -161,6 +201,20 @@ class SpellIndex:
             self._global_rows.append(rows)
             self._slot_to_row.append(inverse)
             self._slot_live[rows] += 1
+        # Fused arena: freshly-normalized shards' rows land in one
+        # contiguous buffer and the entries are repointed
+        # (value-preserving) at the views, so the per-shard allocations
+        # are released and the scoring loop walks windows of a single
+        # array.  Shards that are already arena views (copy-on-write
+        # updated()) are reused without re-copying — an incremental sync
+        # costs O(changed shards), not O(index bytes) — and
+        # memory-mapped shards are left alone: fusing would fault in
+        # every page and destroy the store's zero-copy cold start.
+        self._arena = ShardArena([e.normalized for e in self._entries])
+        if self._arena.fused:
+            for entry, view in zip(self._entries, self._arena.views):
+                entry.normalized = view
+        self._scratch = ScratchPool()
 
     def _register(self, entry: _DatasetIndex) -> None:
         rows = np.empty(len(entry.gene_ids), dtype=np.intp)
@@ -181,6 +235,7 @@ class SpellIndex:
             grown[: self._slot_live.shape[0]] = self._slot_live
             self._slot_live = grown
         self._slot_live[rows] += 1
+        self._arena.append(entry.normalized)
 
     def _slot_ids(self) -> np.ndarray:
         """Universe slot -> gene id, as an array (cached; universe only grows)."""
@@ -207,7 +262,9 @@ class SpellIndex:
         """Index one new dataset in place — no rebuild of existing shards.
 
         In-place maintenance is not safe under concurrent ``search``
-        calls; concurrent callers use :meth:`updated` instead.
+        calls; concurrent callers use :meth:`updated` instead.  A late
+        shard stays outside the fused arena buffer (extending it would
+        copy every live view); a fresh build or ``updated()`` re-fuses.
         """
         if dataset.name in self.dataset_names:
             raise ValidationError(f"dataset {dataset.name!r} already indexed")
@@ -223,6 +280,7 @@ class SpellIndex:
                 del self._entries[i]
                 del self._global_rows[i]
                 del self._slot_to_row[i]
+                self._arena.remove(i)
                 return
         raise ValidationError(f"dataset {name!r} not in index")
 
@@ -267,7 +325,124 @@ class SpellIndex:
         return len(self._entries)
 
     def nbytes(self) -> int:
-        return sum(e.normalized.nbytes for e in self._entries)
+        return self._arena.nbytes()
+
+    def fingerprints(self) -> list[tuple[str, str | None]]:
+        """Ordered ``(name, fingerprint)`` identity of every shard.
+
+        This is the durable version token the multi-process serving pool
+        compares against its own reopened store, so a stale worker index
+        is detected (and resynced) rather than silently served.
+        """
+        return [(e.name, e.fingerprint) for e in self._entries]
+
+    # -------------------------------------------------------- query resolution
+    def _select(self, datasets: Sequence[str] | None) -> list[int]:
+        """Shard indices a ``datasets`` filter admits (all, when ``None``)."""
+        if datasets is None:
+            return list(range(len(self._entries)))
+        allowed = {str(d) for d in datasets}
+        unknown = sorted(allowed - set(self.dataset_names))
+        if unknown:
+            raise SearchError(f"unknown dataset(s) in filter: {unknown}")
+        return [i for i, e in enumerate(self._entries) if e.name in allowed]
+
+    def _resolve_query(
+        self,
+        query: list[str],
+        selected: list[int],
+        *,
+        filtered: bool,
+    ) -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray]:
+        """Vectorized membership split: (query_used, query_missing, q_slots).
+
+        Membership against the cached global universe — no per-gene scan
+        over every shard (``_slot_live`` guards against slots whose only
+        dataset was removed).  Under a dataset filter, membership means
+        "present in a selected shard": one boolean scatter per selected
+        shard plus a single gather, replacing the old per-gene ``any()``
+        Python inner loop over ``_slot_to_row``.
+        """
+        slot_arr = np.fromiter(
+            (self._gene_slot.get(g, -1) for g in query),
+            dtype=np.intp,
+            count=len(query),
+        )
+        known = slot_arr >= 0
+        alive = np.zeros(len(query), dtype=bool)
+        if filtered:
+            mask = np.zeros(len(self._slot_gene), dtype=bool)
+            for i in selected:
+                mask[self._global_rows[i]] = True
+            alive[known] = mask[slot_arr[known]]
+        else:
+            alive[known] = self._slot_live[slot_arr[known]] > 0
+        query_used = tuple(g for g, a in zip(query, alive) if a)
+        query_missing = tuple(g for g, a in zip(query, alive) if not a)
+        return query_used, query_missing, slot_arr[alive]
+
+    def _query_rows(self, i: int, q_slots: np.ndarray) -> np.ndarray:
+        """Local rows of the query genes in shard ``i`` via the precomputed
+        slot->row map (vectorized; bounds-checked for late-assigned slots)."""
+        inverse = self._slot_to_row[i]
+        local = np.full(q_slots.shape, -1, dtype=np.intp)
+        in_range = q_slots < inverse.shape[0]
+        local[in_range] = inverse[q_slots[in_range]]
+        return local[local >= 0]
+
+    def _weigh(self, i: int, rows: np.ndarray) -> tuple[float, np.ndarray]:
+        """Coherence weight of shard ``i`` for query rows, plus the query
+        submatrix ``Q`` (reused by the scoring matmul)."""
+        Q = self._arena.views[i][rows]  # (q, cond) unit rows
+        qcorr = np.clip(Q @ Q.T, -1.0, 1.0)
+        iu = np.triu_indices(rows.shape[0], k=1)
+        mean_r = float(np.tanh(np.mean(fisher_z(qcorr[iu]))))
+        return max(0.0, mean_r) ** 2, Q
+
+    def _finalize(
+        self,
+        query: list[str],
+        query_used: tuple[str, ...],
+        query_missing: tuple[str, ...],
+        dataset_scores: list[DatasetScore],
+        totals: np.ndarray,
+        weight_mass: np.ndarray,
+        counts: np.ndarray,
+        q_slots: np.ndarray,
+        *,
+        exclude_query_from_genes: bool,
+        top_k: int | None,
+    ) -> SpellResult:
+        """Rank the accumulated universe arrays into a :class:`SpellResult`.
+
+        The gathered slices (``totals[scored]`` etc.) are fresh arrays,
+        so the result never aliases pooled scratch.
+        """
+        dataset_scores.sort(key=lambda d: (-d.weight, d.name))
+        scored = np.flatnonzero(counts)
+        if exclude_query_from_genes:
+            scored = scored[~np.isin(scored, q_slots)]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            final = totals[scored] / weight_mass[scored]
+        genes = ranked_gene_table(
+            self._slot_ids()[scored], final, counts[scored], top_k=top_k
+        )
+        return SpellResult(
+            query=tuple(query),
+            query_used=query_used,
+            query_missing=query_missing,
+            datasets=tuple(dataset_scores),
+            genes=genes,
+        )
+
+    @staticmethod
+    def _validate_query(query) -> list[str]:
+        query = [str(g) for g in query]
+        if not query:
+            raise SearchError("query must contain at least one gene")
+        if len(set(query)) != len(query):
+            raise SearchError("query contains duplicate genes")
+        return query
 
     # ----------------------------------------------------------------- search
     def search(
@@ -290,95 +465,138 @@ class SpellIndex:
         """
         if not self._entries:
             raise SearchError("index is empty")
-        query = [str(g) for g in query]
-        if not query:
-            raise SearchError("query must contain at least one gene")
-        if len(set(query)) != len(query):
-            raise SearchError("query contains duplicate genes")
-        if datasets is None:
-            selected = list(range(len(self._entries)))
-        else:
-            allowed = {str(d) for d in datasets}
-            unknown = sorted(allowed - set(self.dataset_names))
-            if unknown:
-                raise SearchError(f"unknown dataset(s) in filter: {unknown}")
-            selected = [i for i, e in enumerate(self._entries) if e.name in allowed]
-
-        # membership against the cached global universe — no per-gene scan
-        # over every shard, and no rebuilt membership set (_slot_live
-        # guards against slots whose only dataset was removed).  Under a
-        # dataset filter, membership means "present in a selected shard".
-        def live(g: str) -> bool:
-            slot = self._gene_slot.get(g)
-            if slot is None or self._slot_live[slot] <= 0:
-                return False
-            if datasets is None:
-                return True
-            return any(
-                slot < self._slot_to_row[i].shape[0] and self._slot_to_row[i][slot] >= 0
-                for i in selected
-            )
-
-        query_used = tuple(g for g in query if live(g))
-        query_missing = tuple(g for g in query if not live(g))
+        query = self._validate_query(query)
+        selected = self._select(datasets)
+        query_used, query_missing, q_slots = self._resolve_query(
+            query, selected, filtered=datasets is not None
+        )
         if not query_used:
             raise SearchError(f"no query gene exists in any dataset: {query}")
-        q_slots = np.fromiter(
-            (self._gene_slot[g] for g in query_used), dtype=np.intp, count=len(query_used)
-        )
 
         dataset_scores: list[DatasetScore] = []
+        scratch = self._scratch.acquire()
+        try:
+            totals, weight_mass, counts = scratch.arrays(len(self._slot_gene))
+
+            for i in selected:
+                entry, slots = self._entries[i], self._global_rows[i]
+                rows = self._query_rows(i, q_slots)
+                if rows.shape[0] < MIN_QUERY_PRESENT:
+                    dataset_scores.append(
+                        DatasetScore(entry.name, 0.0, rows.shape[0])
+                    )
+                    continue
+                weight, Q = self._weigh(i, rows)
+                dataset_scores.append(DatasetScore(entry.name, weight, rows.shape[0]))
+                if weight <= 0.0:
+                    continue
+                # all-gene scores in one matmul: mean corr to query rows;
+                # scatter-add into the dense universe arrays (row slots are
+                # unique within a dataset, so fancy-index += is safe)
+                scores = np.clip(self._arena.views[i] @ Q.T, -1.0, 1.0).mean(
+                    axis=1, dtype=np.float64
+                )
+                totals[slots] += weight * scores
+                weight_mass[slots] += weight
+                counts[slots] += 1
+
+            return self._finalize(
+                query, query_used, query_missing, dataset_scores,
+                totals, weight_mass, counts, q_slots,
+                exclude_query_from_genes=exclude_query_from_genes, top_k=top_k,
+            )
+        finally:
+            self._scratch.release(scratch)
+
+    # ---------------------------------------------------------- batched search
+    def search_batch(
+        self,
+        queries: Sequence[Sequence[str] | BatchQuery],
+        *,
+        exclude_query_from_genes: bool = True,
+    ) -> list[SpellResult]:
+        """Score a whole batch in one pass over the arena.
+
+        Each member may be a plain gene sequence or a :class:`BatchQuery`
+        carrying its own ``top_k`` / ``datasets`` filter.  Per dataset,
+        every participating query's rows are stacked into a single
+        ``Xn @ Qall.T`` matmul whose per-query column blocks are then
+        averaged separately — B queries cost one BLAS dispatch per shard
+        instead of B.  Results are bit-identical to calling
+        :meth:`search` per member (all-or-nothing: any invalid member
+        raises, answering none of them).
+        """
+        if not self._entries:
+            raise SearchError("index is empty")
+        specs = [
+            q if isinstance(q, BatchQuery)
+            else BatchQuery(genes=tuple(str(g) for g in q))
+            for q in queries
+        ]
+        if not specs:
+            return []
+
         n_slots = len(self._slot_gene)
-        totals = np.zeros(n_slots)
-        weight_mass = np.zeros(n_slots)
-        counts = np.zeros(n_slots, dtype=np.intp)
-
-        for i in selected:
-            entry, slots, inverse = (
-                self._entries[i],
-                self._global_rows[i],
-                self._slot_to_row[i],
+        resolved: list[tuple[list[str], tuple, tuple, np.ndarray, list[int]]] = []
+        for spec in specs:
+            query = self._validate_query(spec.genes)
+            selected = self._select(spec.datasets)
+            query_used, query_missing, q_slots = self._resolve_query(
+                query, selected, filtered=spec.datasets is not None
             )
-            # local rows of the query genes via the precomputed slot->row
-            # map (vectorized; replaces per-gene gene_pos dict probing)
-            local = np.full(q_slots.shape, -1, dtype=np.intp)
-            in_range = q_slots < inverse.shape[0]
-            local[in_range] = inverse[q_slots[in_range]]
-            rows = local[local >= 0]
-            if rows.shape[0] < MIN_QUERY_PRESENT:
-                dataset_scores.append(DatasetScore(entry.name, 0.0, rows.shape[0]))
-                continue
-            Q = entry.normalized[rows]  # (q, cond) unit rows
-            qcorr = np.clip(Q @ Q.T, -1.0, 1.0)
-            iu = np.triu_indices(rows.shape[0], k=1)
-            mean_r = float(np.tanh(np.mean(fisher_z(qcorr[iu]))))
-            weight = max(0.0, mean_r) ** 2
-            dataset_scores.append(DatasetScore(entry.name, weight, rows.shape[0]))
-            if weight <= 0.0:
-                continue
-            # all-gene scores in one matmul: mean corr to query rows;
-            # scatter-add into the dense universe arrays (row slots are
-            # unique within a dataset, so fancy-index += is safe)
-            scores = np.clip(entry.normalized @ Q.T, -1.0, 1.0).mean(
-                axis=1, dtype=np.float64
-            )
-            totals[slots] += weight * scores
-            weight_mass[slots] += weight
-            counts[slots] += 1
+            if not query_used:
+                raise SearchError(f"no query gene exists in any dataset: {query}")
+            resolved.append((query, query_used, query_missing, q_slots, selected))
 
-        dataset_scores.sort(key=lambda d: (-d.weight, d.name))
-        scored = np.flatnonzero(counts)
-        if exclude_query_from_genes:
-            scored = scored[~np.isin(scored, q_slots)]
-        with np.errstate(invalid="ignore", divide="ignore"):
-            final = totals[scored] / weight_mass[scored]
-        genes = ranked_gene_table(
-            self._slot_ids()[scored], final, counts[scored], top_k=top_k
-        )
-        return SpellResult(
-            query=tuple(query),
-            query_used=query_used,
-            query_missing=query_missing,
-            datasets=tuple(dataset_scores),
-            genes=genes,
-        )
+        # phase 1 — weights: per (query, shard) coherence from the small
+        # Q @ Q.T matmuls (identical code path to single search), and the
+        # roster of positive-weight participants per shard
+        B = len(specs)
+        dataset_scores: list[list[DatasetScore]] = [[] for _ in range(B)]
+        participants: dict[int, list[tuple[int, np.ndarray, float]]] = {}
+        for qi, (_, _, _, q_slots, selected) in enumerate(resolved):
+            for i in selected:
+                entry = self._entries[i]
+                rows = self._query_rows(i, q_slots)
+                if rows.shape[0] < MIN_QUERY_PRESENT:
+                    dataset_scores[qi].append(
+                        DatasetScore(entry.name, 0.0, rows.shape[0])
+                    )
+                    continue
+                weight, _ = self._weigh(i, rows)
+                dataset_scores[qi].append(
+                    DatasetScore(entry.name, weight, rows.shape[0])
+                )
+                if weight > 0.0:
+                    participants.setdefault(i, []).append((qi, rows, weight))
+
+        # phase 2 — one stacked matmul per shard, de-interleaved per query.
+        # Shards ascend so each query's accumulation order matches the
+        # single-query loop exactly (float addition is order-sensitive).
+        totals = np.zeros((B, n_slots))
+        weight_mass = np.zeros((B, n_slots))
+        counts = np.zeros((B, n_slots), dtype=np.intp)
+        for i in sorted(participants):
+            view = self._arena.views[i]
+            roster = participants[i]
+            Qall = np.concatenate([view[rows] for (_, rows, _) in roster], axis=0)
+            big = np.clip(view @ Qall.T, -1.0, 1.0)
+            slots = self._global_rows[i]
+            col = 0
+            for qi, rows, weight in roster:
+                q = rows.shape[0]
+                scores = big[:, col : col + q].mean(axis=1, dtype=np.float64)
+                col += q
+                totals[qi, slots] += weight * scores
+                weight_mass[qi, slots] += weight
+                counts[qi, slots] += 1
+
+        return [
+            self._finalize(
+                query, query_used, query_missing, dataset_scores[qi],
+                totals[qi], weight_mass[qi], counts[qi], q_slots,
+                exclude_query_from_genes=exclude_query_from_genes,
+                top_k=specs[qi].top_k,
+            )
+            for qi, (query, query_used, query_missing, q_slots, _) in enumerate(resolved)
+        ]

@@ -1,0 +1,237 @@
+"""Multi-process batch serving over the memory-mapped index store.
+
+Thread-level batching (``SpellService.respond_batch``) only overlaps the
+BLAS matmuls — on small shards the Python side of a query (validation,
+pagination, result assembly) holds the GIL and pins a whole batch to one
+core.  This module gives the batch path real multi-core scaling without
+copying the index into every process: worker processes **reopen the
+persistent** :class:`~repro.spell.store.IndexStore` **with**
+``mmap=True``, so every worker's shard views are windows onto the same
+OS page cache — the index's bytes exist once in physical memory no
+matter how many workers serve it (the store is the enabler; nothing is
+pickled between processes except queries and ranked results).
+
+Consistency is guarded by the store's durable version tokens: every
+batch carries the dispatching service's ordered ``(dataset name,
+content fingerprint)`` list, and a worker whose reopened index does not
+match **resyncs** (reloads the store, which the parent synced before
+dispatch) before serving; if it still disagrees it refuses the batch
+(:class:`WorkerPoolError`) and the parent falls back to the in-process
+threaded path.  A stale worker index is therefore never silently
+served.
+
+Workers are spawned (not forked — the parent may be running server
+threads) lazily on first use and reused across batches; each holds one
+:class:`~repro.spell.index.SpellIndex` and answers its slice of the
+batch with the fused batched kernel
+(:meth:`~repro.spell.index.SpellIndex.search_batch`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from pathlib import Path
+from time import perf_counter
+from typing import Sequence
+
+from repro.spell.index import BatchQuery, SpellIndex
+from repro.spell.store import IndexStore
+from repro.util.errors import ReproError, SearchError
+
+__all__ = ["IndexWorkerPool", "WorkerPoolError"]
+
+#: Seconds a gather will wait on one worker before declaring the pool
+#: broken.  Generous — a batch slice is milliseconds of work; only a
+#: dead or wedged worker ever gets near this.
+REPLY_TIMEOUT_SECONDS = 120.0
+
+
+class WorkerPoolError(ReproError):
+    """The pool cannot (or must not) serve this batch; caller falls back."""
+
+
+def _worker_main(conn, store_dir: str, mmap: bool) -> None:
+    """One worker: reopen the store, answer batch slices until EOF.
+
+    The index is loaded lazily (the parent may sync the store after
+    spawning) and reloaded whenever the parent's expected fingerprints
+    disagree with the loaded shards — the resync-never-serve-stale
+    contract.  Every reply is a tagged tuple; exceptions travel back to
+    the parent as values, never kill the worker.
+    """
+    index: SpellIndex | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        expected, specs = message
+        try:
+            resynced = False
+            if index is None or index.fingerprints() != expected:
+                if index is not None:
+                    resynced = True
+                index = IndexStore.load(store_dir, mmap=mmap)
+            if index.fingerprints() != expected:
+                conn.send(("stale", repr(store_dir)))
+                index = None  # force a fresh look next batch
+                continue
+            start = perf_counter()
+            results = index.search_batch(specs)
+            conn.send(("ok", results, perf_counter() - start, resynced))
+        except Exception as exc:  # noqa: BLE001 — exceptions are data here
+            conn.send(("error", exc))
+    conn.close()
+
+
+class IndexWorkerPool:
+    """N worker processes sharing one on-disk index, serving batch slices.
+
+    ``run_batch`` scatters a list of :class:`BatchQuery` across the
+    workers in contiguous slices, gathers the per-slice results, and
+    returns them in input order.  All-or-nothing: any worker error
+    re-raises in the parent (after every reply is drained, so the pipes
+    never desync).  A dead, wedged, or persistently-stale worker raises
+    :class:`WorkerPoolError` and marks the pool ``broken`` — the owner
+    is expected to fall back to in-process serving.
+    """
+
+    def __init__(
+        self, store_dir: str | Path, *, n_procs: int, mmap: bool = True
+    ) -> None:
+        if n_procs < 1:
+            raise WorkerPoolError(f"n_procs must be >= 1, got {n_procs}")
+        self.store_dir = str(store_dir)
+        self.n_procs = int(n_procs)
+        self.broken = False
+        self.batches = 0
+        self.resyncs = 0  # worker index reloads forced by a token mismatch
+        self._lock = threading.Lock()  # pipes are not thread-safe
+        ctx = mp.get_context("spawn")
+        self._workers: list[tuple[mp.process.BaseProcess, object]] = []
+        try:
+            for _ in range(self.n_procs):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self.store_dir, mmap),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append((proc, parent_conn))
+        except Exception as exc:
+            self.close()
+            raise WorkerPoolError(f"failed to spawn index workers: {exc}") from exc
+
+    # ------------------------------------------------------------------ serve
+    def run_batch(
+        self, expected: list[tuple[str, str | None]], specs: Sequence[BatchQuery]
+    ) -> tuple[list, float]:
+        """Answer ``specs`` across the workers; returns (results, busy_seconds).
+
+        ``expected`` is the dispatching index's ordered (name,
+        fingerprint) token list; ``busy_seconds`` is the sum of worker
+        compute time (for utilization accounting — wall time is the
+        caller's to measure).
+        """
+        if self.broken:
+            raise WorkerPoolError("worker pool is broken")
+        specs = list(specs)
+        if not specs:
+            return [], 0.0
+        with self._lock:
+            return self._scatter_gather(expected, specs)
+
+    def _scatter_gather(self, expected, specs) -> tuple[list, float]:
+        n = min(self.n_procs, len(specs))
+        bounds = [(len(specs) * j) // n for j in range(n + 1)]
+        jobs = []  # (worker, chunk slice)
+        try:
+            for j in range(n):
+                chunk = specs[bounds[j] : bounds[j + 1]]
+                _, conn = self._workers[j]
+                conn.send((expected, chunk))
+                jobs.append(conn)
+        except (OSError, ValueError) as exc:
+            self.broken = True
+            raise WorkerPoolError(f"worker pipe failed mid-scatter: {exc}") from exc
+
+        results: list = []
+        busy = 0.0
+        failure: BaseException | None = None
+        stale = False
+        for conn in jobs:  # drain every reply before raising anything
+            try:
+                if not conn.poll(REPLY_TIMEOUT_SECONDS):
+                    raise TimeoutError(
+                        f"no reply within {REPLY_TIMEOUT_SECONDS:.0f}s"
+                    )
+                reply = conn.recv()
+            except (EOFError, OSError, TimeoutError) as exc:
+                self.broken = True
+                raise WorkerPoolError(f"index worker died: {exc}") from exc
+            if reply[0] == "ok":
+                _, chunk_results, seconds, resynced = reply
+                results.extend(chunk_results)
+                busy += seconds
+                if resynced:
+                    self.resyncs += 1
+            elif reply[0] == "stale":
+                stale = True
+            elif failure is None:
+                failure = reply[1]
+        if stale:
+            raise WorkerPoolError(
+                f"worker index at {self.store_dir} does not match the "
+                "dispatched version tokens even after resync"
+            )
+        if failure is not None:
+            if isinstance(failure, SearchError):
+                # a member-request error: the batch's own contract, the
+                # caller must fail it all-or-nothing
+                raise failure
+            # anything else is environmental (store being rewritten under
+            # the worker, corrupt shard, ...) — the caller should fall
+            # back to in-process serving, not fail the client's batch
+            raise WorkerPoolError(
+                f"index worker failed: {type(failure).__name__}: {failure}"
+            ) from failure
+        self.batches += 1
+        return results, busy
+
+    # ------------------------------------------------------------------ admin
+    def stats(self) -> dict[str, int | bool]:
+        return {
+            "n_procs": self.n_procs,
+            "batches": self.batches,
+            "resyncs": self.resyncs,
+            "broken": self.broken,
+        }
+
+    def close(self) -> None:
+        """Shut every worker down; safe to call twice."""
+        for proc, conn in self._workers:
+            try:
+                conn.send(None)
+            except (OSError, ValueError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc, _ in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        self._workers = []
+        self.broken = True
+
+    def __enter__(self) -> "IndexWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,6 +33,8 @@ What the service adds over the raw engine/index:
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,7 +54,8 @@ from repro.parallel.pmap import parallel_map
 from repro.parallel.workqueue import WorkStealingPool
 from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
 from repro.spell.engine import SpellEngine, SpellResult
-from repro.spell.index import SpellIndex
+from repro.spell.index import BatchQuery, SpellIndex
+from repro.spell.procpool import IndexWorkerPool, WorkerPoolError
 from repro.spell.store import IndexStore
 from repro.util.errors import SearchError, StoreError
 from repro.util.timing import Stopwatch
@@ -130,6 +133,17 @@ class SpellService:
     ``dtype`` selects the shard precision — ``float32`` halves index
     memory and speeds the matmuls at the cost of last-digit score drift
     (see the ablation bench for rank agreement).
+
+    ``n_procs >= 2`` turns on multi-core *batch* serving: worker
+    processes each reopen the persistent store via mmap (sharing shard
+    pages through the OS page cache — the index is never pickled) and
+    :meth:`respond_batch` scatters cache-missing batch members across
+    them.  A service without ``store_dir`` gets a private temporary
+    store (removed by :meth:`close`).  Per-batch version tokens keep
+    workers honest: a stale worker resyncs or refuses, and any pool
+    failure falls back to the in-process threaded path — answers first,
+    parallelism second.  ``cache_min_cost`` sets the result cache's
+    admission threshold (see :class:`~repro.spell.cache.QueryCache`).
     """
 
     def __init__(
@@ -138,7 +152,9 @@ class SpellService:
         *,
         use_index: bool = True,
         n_workers: int = 1,
+        n_procs: int = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_min_cost: int = 0,
         dtype=np.float64,
         store_dir: str | Path | None = None,
         store_mmap: bool = True,
@@ -146,16 +162,29 @@ class SpellService:
         self.compendium = compendium
         self.use_index = bool(use_index)
         self.n_workers = max(1, int(n_workers))
+        self.n_procs = max(1, int(n_procs))
         self.dtype = np.dtype(dtype)
         self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._owns_store_dir = False
+        if self.n_procs > 1 and self.use_index and self._store_dir is None:
+            # process workers serve from the store; a caller who asked for
+            # multi-core serving without naming one gets a private store
+            self._store_dir = Path(tempfile.mkdtemp(prefix="spell-procpool-"))
+            self._owns_store_dir = True
         self._store_mmap = bool(store_mmap)
         self._engine = SpellEngine(compendium, n_workers=n_workers)
         self._index = self._open_index() if self.use_index else None
         self._indexed_version = compendium.version
-        self._cache = QueryCache(cache_size) if cache_size > 0 else None
+        self._cache = (
+            QueryCache(cache_size, min_cost=cache_min_cost) if cache_size > 0 else None
+        )
+        self._procpool: IndexWorkerPool | None = None  # spawned lazily
+        self._pool_respawns = 0
+        self._pool_disabled = False  # set when respawning stops helping
         self._history: list[tuple[tuple[str, ...], float]] = []
         self._lock = threading.Lock()  # guards history + index maintenance
         self._store_lock = threading.Lock()  # serializes on-disk store writes
+        self._pool_lock = threading.Lock()  # guards procpool lifecycle
 
     def _open_index(self) -> SpellIndex:
         """Reopen the persistent index when current, else build (and save).
@@ -247,11 +276,7 @@ class SpellService:
             datasets = tuple(str(d) for d in datasets)
 
         version = self.compendium.version
-        extra: tuple = ()
-        if top_k is not None:
-            extra += ("top_k", int(top_k))
-        if datasets is not None:
-            extra += ("datasets", tuple(sorted(set(datasets))))
+        extra = self._cache_extra(top_k, datasets)
         with Stopwatch() as sw:
             cached = (
                 self._cache.lookup(version, query, extra=extra)
@@ -267,10 +292,24 @@ class SpellService:
                 else:
                     result = self._engine.search(query, top_k=top_k, datasets=datasets)
                 if self._cache is not None and use_cache:
-                    self._cache.store(version, query, result, extra=extra)
+                    self._cache.store(
+                        version, query, result, extra=extra, cost=result.total_genes
+                    )
         with self._lock:
             self._history.append((tuple(query), sw.elapsed))
         return result
+
+    @staticmethod
+    def _cache_extra(
+        top_k: int | None, datasets: Sequence[str] | None
+    ) -> tuple:
+        """The non-gene part of a result's cache key (shared by every path)."""
+        extra: tuple = ()
+        if top_k is not None:
+            extra += ("top_k", int(top_k))
+        if datasets is not None:
+            extra += ("datasets", tuple(sorted(set(datasets))))
+        return extra
 
     # -------------------------------------------------- protocol entry points
     def respond(
@@ -307,21 +346,39 @@ class SpellService:
     ) -> BatchSearchResponse:
         """Answer a protocol batch concurrently over the shared index.
 
-        ``scheduler="map"`` uses the order-preserving thread pool;
-        ``"steal"`` routes through :class:`WorkStealingPool`, which
-        absorbs the imbalance between cache hits and cold searches.
-        Results come back in input order either way.  All-or-nothing: a
-        failing member request fails the batch with its error.
+        With ``n_procs >= 2`` the batch's cache misses are scattered
+        across the process pool (each worker mmap-shares the persistent
+        store and scores its slice with the fused batched kernel); cache
+        hits are answered inline either way.  Any pool failure falls
+        back to the thread path below.  ``scheduler="map"`` uses the
+        order-preserving thread pool; ``"steal"`` routes through
+        :class:`WorkStealingPool`, which absorbs the imbalance between
+        cache hits and cold searches.  Results come back in input order
+        on every path.  All-or-nothing: a failing member request fails
+        the batch with its error.
         """
         self._sync_index()  # once up front, not per worker
 
         hits0 = self._cache.hits if self._cache is not None else 0
         misses0 = self._cache.misses if self._cache is not None else 0
 
+        searches = list(request.searches)
+        if self._procs_usable():
+            with Stopwatch() as sw:
+                results = self._respond_batch_procs(searches, strict_page)
+            return BatchSearchResponse(
+                results=tuple(results),
+                total_seconds=sw.elapsed,
+                n_workers=self.n_procs,
+                cache_hits=(self._cache.hits - hits0)
+                if self._cache is not None else 0,
+                cache_misses=(self._cache.misses - misses0)
+                if self._cache is not None else 0,
+            )
+
         def one(req: SearchRequest) -> SearchResponse:
             return self.respond(req, strict_page=strict_page)
 
-        searches = list(request.searches)
         with Stopwatch() as sw:
             if request.scheduler == "steal" and self.n_workers > 1:
                 results = WorkStealingPool(self.n_workers).map(one, searches)
@@ -334,6 +391,127 @@ class SpellService:
             cache_hits=(self._cache.hits - hits0) if self._cache is not None else 0,
             cache_misses=(self._cache.misses - misses0) if self._cache is not None else 0,
         )
+
+    # ----------------------------------------------- multi-process batch path
+    #: A broken pool is respawned this many times before the service gives
+    #: up on multi-process serving (a persistently failing environment
+    #: must not pay spawn cost on every batch forever).
+    MAX_POOL_RESPAWNS = 3
+
+    def _procs_usable(self) -> bool:
+        """Can (and should) this batch take the multi-process path?
+
+        A *broken* pool does not disqualify — ``_ensure_procpool``
+        respawns it (transient worker deaths heal); only
+        ``_pool_disabled`` (respawn budget exhausted, or spawning
+        impossible here) routes batches to the thread path for good.
+        """
+        return (
+            self.n_procs > 1
+            and self.use_index
+            and self._index is not None
+            and self._store_dir is not None
+            and not self._pool_disabled
+        )
+
+    def _ensure_procpool(self) -> IndexWorkerPool:
+        """The live worker pool, respawning a broken one (bounded)."""
+        with self._pool_lock:
+            if self._procpool is not None and self._procpool.broken:
+                self._procpool.close()
+                self._procpool = None
+                self._pool_respawns += 1
+                if self._pool_respawns > self.MAX_POOL_RESPAWNS:
+                    self._pool_disabled = True
+                    raise WorkerPoolError(
+                        f"worker pool failed {self._pool_respawns} times; "
+                        "multi-process serving disabled for this service"
+                    )
+            if self._procpool is None:
+                try:
+                    self._procpool = IndexWorkerPool(
+                        self._store_dir, n_procs=self.n_procs, mmap=True
+                    )
+                except WorkerPoolError:
+                    self._pool_disabled = True  # spawn is impossible here
+                    raise
+            return self._procpool
+
+    def _respond_batch_procs(
+        self, searches: list[SearchRequest], strict_page: bool
+    ) -> list[SearchResponse]:
+        """Scatter the batch's cache misses across the worker processes.
+
+        Cache hits are answered inline (the workers never see them);
+        misses are dispatched as :class:`BatchQuery` specs carrying the
+        same effective ``top_k`` the in-process path would use, and the
+        full results coming back populate the cache exactly as a local
+        search would — so the proc path and the thread path are
+        indistinguishable to a later query.  If the pool cannot serve
+        (spawn failure, dead worker, persistent staleness), the *same*
+        pending specs are answered in-process by the batched kernel —
+        the inline cache hits are never recomputed and every counter
+        (hits, misses, history) moves exactly once per member.
+        Member-request errors (bad page, unknown gene) propagate as
+        themselves, failing the batch all-or-nothing.
+        """
+        version = self.compendium.version
+        responses: dict[int, SearchResponse] = {}
+        pending: list[int] = []
+        specs: list[BatchQuery] = []
+        plans: list[tuple[bool, int | None, tuple]] = []  # (caching, top_k, extra)
+        for idx, req in enumerate(searches):
+            caching = self._cache is not None and req.use_cache
+            top_k = req.top_k
+            if top_k is None and not caching:
+                top_k = (req.page + 1) * req.page_size
+            extra = self._cache_extra(top_k, req.datasets)
+            if caching:
+                with Stopwatch() as sw:
+                    cached = self._cache.lookup(version, list(req.genes), extra=extra)
+                if cached is not None:
+                    result = rebind_result(cached, list(req.genes))
+                    with self._lock:
+                        self._history.append((tuple(req.genes), sw.elapsed))
+                    responses[idx] = SearchResponse.from_result(
+                        result, req, elapsed_seconds=sw.elapsed, strict=strict_page
+                    )
+                    continue
+            pending.append(idx)
+            specs.append(
+                BatchQuery(genes=req.genes, top_k=top_k, datasets=req.datasets)
+            )
+            plans.append((caching, top_k, extra))
+
+        if specs:
+            try:
+                pool = self._ensure_procpool()
+                results, busy = pool.run_batch(self._index.fingerprints(), specs)
+                if len(results) != len(specs):  # defensive; a pool bug
+                    raise WorkerPoolError(
+                        f"pool returned {len(results)} results for "
+                        f"{len(specs)} queries"
+                    )
+            except WorkerPoolError:
+                # answers first: the misses run through the same batched
+                # kernel in-process (never re-touching the inline hits)
+                with Stopwatch() as sw:
+                    results = self._index.search_batch(specs)
+                busy = sw.elapsed
+            per_query = busy / len(results) if results else 0.0
+            for idx, (caching, top_k, extra), result in zip(pending, plans, results):
+                req = searches[idx]
+                if caching:
+                    self._cache.store(
+                        version, list(req.genes), result,
+                        extra=extra, cost=result.total_genes,
+                    )
+                with self._lock:
+                    self._history.append((tuple(req.genes), per_query))
+                responses[idx] = SearchResponse.from_result(
+                    result, req, elapsed_seconds=per_query, strict=strict_page
+                )
+        return [responses[i] for i in range(len(searches))]
 
     # ------------------------------------------------------------ legacy shims
     def search_page(
@@ -409,11 +587,43 @@ class SpellService:
             cache_misses=response.cache_misses,
         )
 
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release serving resources: the worker pool and any private store.
+
+        Idempotent; the service still answers queries afterwards (the
+        in-process paths own no closable state), but multi-process
+        serving stays off until a new service is built.
+        """
+        with self._pool_lock:
+            if self._procpool is not None:
+                self._procpool.close()
+                self._procpool = None
+        self.n_procs = 1
+        if self._owns_store_dir and self._store_dir is not None:
+            shutil.rmtree(self._store_dir, ignore_errors=True)
+            self._store_dir = None
+            self._owns_store_dir = False
+
+    def __enter__(self) -> "SpellService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ stats
     @property
     def query_count(self) -> int:
         with self._lock:
             return len(self._history)
+
+    def serving_stats(self) -> dict:
+        """Observability snapshot of the batch-serving topology."""
+        stats: dict = {"n_workers": self.n_workers, "n_procs": self.n_procs}
+        with self._pool_lock:
+            pool = self._procpool
+            stats["procpool"] = pool.stats() if pool is not None else None
+        return stats
 
     def mean_latency(self) -> float:
         with self._lock:

@@ -30,6 +30,7 @@ class LruCache(Generic[K, V]):
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._data: OrderedDict[K, V] = OrderedDict()
+        self._entry_hits: dict[K, int] = {}  # per-resident-entry hit counts
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -52,6 +53,7 @@ class LruCache(Generic[K, V]):
                 return default
             self._data.move_to_end(key)
             self.hits += 1
+            self._entry_hits[key] = self._entry_hits.get(key, 0) + 1
             return value
 
     def put(self, key: K, value: V) -> None:
@@ -61,12 +63,25 @@ class LruCache(Generic[K, V]):
                 self._data.move_to_end(key)
             self._data[key] = value
             while len(self._data) > self.max_entries:
-                self._data.popitem(last=False)
+                evicted, _ = self._data.popitem(last=False)
+                self._entry_hits.pop(evicted, None)
                 self.evictions += 1
+
+    def entry_hits(self, key: K) -> int:
+        """Hits this *resident* entry has served (0 after eviction)."""
+        with self._lock:
+            return self._entry_hits.get(key, 0)
+
+    def hottest(self, n: int = 5) -> list[tuple[K, int]]:
+        """The ``n`` resident entries that served the most hits."""
+        with self._lock:
+            ranked = sorted(self._entry_hits.items(), key=lambda kv: -kv[1])
+            return ranked[: max(0, int(n))]
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._entry_hits.clear()
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -76,4 +91,5 @@ class LruCache(Generic[K, V]):
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "hot_entry_hits": max(self._entry_hits.values(), default=0),
             }

@@ -42,6 +42,7 @@ class TestLruCache:
         assert lru.get("b") is None
         assert lru.stats() == {
             "entries": 1, "max_entries": 2, "hits": 1, "misses": 1, "evictions": 0,
+            "hot_entry_hits": 1,
         }
 
     def test_eviction_order_respects_recency(self):
@@ -177,7 +178,7 @@ class TestServiceCache:
         service.search(list(truth.query_genes))
         assert service.cache_stats() == {
             "entries": 0, "max_entries": 0, "hits": 0, "misses": 0, "evictions": 0,
-        }
+        }  # disabled cache: bare counters, no admission/hot-entry fields
 
     def test_validation_still_applies_with_cache(self, small_setup):
         comp, truth = small_setup
