@@ -16,6 +16,12 @@ query API"); this bench prices the facade itself:
    ``n_procs=2`` facade (worker processes mmap-sharing the index store)
    vs the single-process facade: identical answers, and the multi-core
    numbers land in ``benchmarks/results/BENCH_4.json``.
+4. **Deep export vs paging** — pulling the *whole* ranking through
+   ``POST /v1/search/export`` (one chunked NDJSON stream) vs paging
+   ``/v1/search`` to exhaustion with the same slice size: identical
+   rows asserted, export must be at least 2x faster (it pays one HTTP
+   round trip, one cache lookup, and one metadata serialization for
+   the entire ranking), numbers in ``benchmarks/results/BENCH_5.json``.
 """
 
 from __future__ import annotations
@@ -172,6 +178,106 @@ def test_http_concurrent_throughput(live_facade):
     # concurrency must never cost more than ~40% of single-client throughput
     assert qps_by_clients[max(CLIENT_COUNTS)] > 0.6 * qps_by_clients[1], (
         f"throughput collapsed under concurrency: {qps_by_clients}"
+    )
+
+
+def test_http_export_vs_paged_deep_result(live_facade):
+    """Full-universe export: one chunked stream vs paging to exhaustion.
+
+    The SPELL-style downstream consumer (enrichment pipelines) wants the
+    *entire* ranking; before ``/v1/search/export`` it had to page
+    ``/v1/search`` call-by-call, re-hitting the cache and re-serializing
+    overlapping metadata every round trip.  Both paths are timed warm
+    (the result itself is cached) so the comparison prices the
+    transport, which is exactly what the export endpoint exists to
+    collapse.  Rows must be bit-identical; export must be >= 2x faster.
+    """
+    base, queries = live_facade
+    genes = queries[0]
+    slice_size = 20  # a realistic web-page size; the deep client's handicap
+
+    def fetch_paged() -> list:
+        rows: list = []
+        page = 0
+        while True:
+            request = urllib.request.Request(
+                base + "/v1/search",
+                data=json.dumps(
+                    {"genes": genes, "page": page, "page_size": slice_size}
+                ).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                body = json.loads(resp.read())
+            rows.extend(body["gene_rows"])
+            page += 1
+            if page >= body["total_pages"]:
+                return rows
+
+    def fetch_export() -> tuple[list, dict]:
+        request = urllib.request.Request(
+            base + "/v1/search/export",
+            data=json.dumps({"genes": genes, "chunk_size": slice_size}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            lines = [line for line in resp.read().split(b"\n") if line]
+        parsed = [json.loads(line) for line in lines]
+        trailer = parsed[-1]
+        assert trailer["kind"] == "trailer" and trailer["status"] == "ok"
+        return [row for c in parsed[:-1] for row in c["gene_rows"]], trailer
+
+    paged_rows = fetch_paged()  # warm the result cache for both paths
+    paged_time = float("inf")
+    export_time = float("inf")
+    for _ in range(3):
+        with Stopwatch() as sw:
+            paged_rows = fetch_paged()
+        paged_time = min(paged_time, sw.elapsed)
+        with Stopwatch() as sw:
+            export_rows, trailer = fetch_export()
+        export_time = min(export_time, sw.elapsed)
+
+    assert export_rows == paged_rows, "export stream diverged from paged rows"
+    assert trailer["total_rows"] == len(export_rows)
+    speedup = paged_time / export_time if export_time > 0 else float("inf")
+    n_pages = -(-len(paged_rows) // slice_size)
+
+    write_report(
+        "API_HTTP_EXPORT",
+        "HTTP facade: deep result via /v1/search/export vs paged /v1/search",
+        ["path", "requests", "rows", "wall time", "rows/sec"],
+        [
+            ["paged /v1/search", n_pages, len(paged_rows),
+             f"{paged_time * 1e3:.1f} ms", f"{len(paged_rows) / paged_time:.0f}"],
+            ["/v1/search/export", 1, len(export_rows),
+             f"{export_time * 1e3:.1f} ms", f"{len(export_rows) / export_time:.0f}"],
+        ],
+        notes=(
+            f"Full-universe ranking ({len(export_rows)} rows) in slices of "
+            f"{slice_size}, warm cache; export streamed {trailer['n_chunks']} "
+            f"chunks over one chunked response and came back {speedup:.1f}x "
+            "faster.  Rows are asserted bit-identical, and the trailer "
+            "checksum covers the streamed bytes."
+        ),
+    )
+    update_json_report(
+        "BENCH_5",
+        {
+            "export_vs_paged": {
+                "rows": len(export_rows),
+                "slice_size": slice_size,
+                "paged_requests": n_pages,
+                "paged_seconds": paged_time,
+                "export_seconds": export_time,
+                "speedup": speedup,
+                "export_chunks": trailer["n_chunks"],
+            }
+        },
+    )
+    assert speedup >= 2.0, (
+        f"deep export only {speedup:.2f}x faster than paging "
+        f"({export_time * 1e3:.1f} ms vs {paged_time * 1e3:.1f} ms)"
     )
 
 

@@ -3,13 +3,15 @@
 
 Builds a compendium with a planted co-expression module, boots the real
 HTTP facade (`repro.api.http`) on an ephemeral port, and drives the full
-v1 surface over the wire: `/v1/search`, `/v1/datasets`, `/v1/cluster`,
+v1 surface over the wire: `/v1/search`, `/v1/search/export` (chunked
+NDJSON deep export, checksum-verified), `/v1/datasets`, `/v1/cluster`,
 `/v1/render/heatmap`, `/v1/health` — then verifies the wire answers are
 bit-identical to direct `SpellService` results and scores SPELL against
 the text-search baseline.
 """
 
 import base64
+import hashlib
 import json
 import tempfile
 import urllib.error
@@ -150,6 +152,29 @@ def main() -> None:
             ["warm", f"{warm['total_seconds'] * 1e3:.1f} ms", warm["cache_hits"]],
         ],
     ))
+
+    # --- POST /v1/search/export: the whole ranking as one NDJSON stream ----
+    request = urllib.request.Request(
+        base + "/v1/search/export",
+        data=json.dumps(
+            {"genes": list(truth.query_genes), "chunk_size": 50}
+        ).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        stream_lines = [line for line in resp.read().split(b"\n") if line]
+    parsed = [json.loads(line) for line in stream_lines]
+    chunks, trailer = parsed[:-1], parsed[-1]
+    export_rows = [row for c in chunks for row in c["gene_rows"]]
+    assert trailer["status"] == "ok" and trailer["total_rows"] == len(export_rows)
+    digest = hashlib.sha256()
+    for line in stream_lines[:-1]:
+        digest.update(line + b"\n")
+    assert trailer["checksum"] == f"sha256:{digest.hexdigest()}"
+    assert [r[1] for r in export_rows] == direct.gene_ranking()
+    print(f"\n/v1/search/export: {trailer['total_rows']} rows in "
+          f"{trailer['n_chunks']} chunks, checksum verified, "
+          "ranking identical to the in-process search")
 
     # --- structured errors: codes, not stack traces ------------------------
     try:

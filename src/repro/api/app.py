@@ -19,11 +19,15 @@ test harness.  Responsibilities:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import replace
 
 from repro.api.errors import ApiError, as_api_error, error_payload
+from repro.api.limits import RequestContext, RequestGate
 from repro.api.protocol import (
     BatchSearchRequest,
     BatchSearchResponse,
@@ -32,6 +36,8 @@ from repro.api.protocol import (
     DatasetInfo,
     DatasetListRequest,
     DatasetListResponse,
+    ExportRequest,
+    ExportTrailer,
     HealthResponse,
     RenderRequest,
     RenderResponse,
@@ -46,7 +52,7 @@ from repro.viz.colormap import get_colormap
 from repro.viz.heatmap import render_heatmap_block
 from repro.viz.ppm import encode_ppm
 
-__all__ = ["ApiApp", "ENDPOINTS"]
+__all__ = ["ApiApp", "ENDPOINTS", "STREAM_ENDPOINTS", "all_endpoints"]
 
 #: endpoint name -> (request type or None, ApiApp method name).  The HTTP
 #: facade maps these onto ``/v1/<name>`` routes; other transports are free
@@ -59,6 +65,18 @@ ENDPOINTS: dict[str, tuple[type | None, str]] = {
     "render/heatmap": (RenderRequest, "render_heatmap"),
     "health": (None, "health"),
 }
+
+#: Streaming endpoints answer with a *sequence* of NDJSON lines, not one
+#: JSON body, so they dispatch through :meth:`ApiApp.export` rather than
+#: ``handle_wire`` (whose (status, body) contract cannot stream).
+STREAM_ENDPOINTS: dict[str, type] = {
+    "search/export": ExportRequest,
+}
+
+
+def all_endpoints() -> list[str]:
+    """Every addressable endpoint name (unary + streaming), sorted."""
+    return sorted(set(ENDPOINTS) | set(STREAM_ENDPOINTS))
 
 
 class _EndpointStats:
@@ -92,29 +110,48 @@ class _EndpointStats:
 
 
 class ApiApp:
-    """One analysis core, many frontends: the v1 API application object."""
+    """One analysis core, many frontends: the v1 API application object.
 
-    def __init__(self, service: SpellService) -> None:
+    ``gate`` is the admission-control policy (:mod:`repro.api.limits`):
+    auth, per-client rate limits, and the request body cap run in
+    :meth:`handle_wire` / :meth:`export` *before* any routing or
+    parsing, so every transport inherits the hardening by passing a
+    :class:`RequestContext`.  Transports that pass no context (trusted
+    in-process callers, tests) bypass the gate.
+    """
+
+    def __init__(self, service: SpellService, *, gate: RequestGate | None = None) -> None:
         self.service = service
+        self.gate = gate if gate is not None else RequestGate()
         self._stats = _EndpointStats()
         self._started = time.monotonic()
         self._universe_lock = threading.Lock()
         self._universe: tuple[int, frozenset[str]] | None = None
 
     # ------------------------------------------------------------- wire layer
-    def handle_wire(self, endpoint: str, payload) -> tuple[int, dict]:
+    def handle_wire(
+        self, endpoint: str, payload, *, context: RequestContext | None = None
+    ) -> tuple[int, dict]:
         """Dispatch one wire request; returns ``(http_status, json_body)``.
 
-        Never raises: every failure — unknown endpoint, malformed
-        payload, downstream error — comes back as a structured error
-        payload with its mapped status code.
+        Never raises: every failure — gate rejection, unknown endpoint,
+        malformed payload, downstream error — comes back as a structured
+        error payload with its mapped status code.
         """
         route = ENDPOINTS.get(endpoint)
+        stats_key = endpoint if route is not None else "(unknown)"
+        try:
+            self.gate.admit(endpoint, context)
+        except ApiError as err:
+            # rejected before any handler ran: count it here so a flood
+            # of 401/429/413s is visible in /v1/health error rates
+            self._stats.record(stats_key, 0.0, error=True)
+            return err.http_status, error_payload(err)
         if route is None:
             err = ApiError(
                 "UNKNOWN_ENDPOINT",
                 f"no endpoint {endpoint!r}",
-                details={"endpoints": sorted(ENDPOINTS)},
+                details={"endpoints": all_endpoints()},
             )
             # one fixed sentinel key, not the caller-supplied string: a
             # client spraying bogus names must not grow the stats map
@@ -246,17 +283,100 @@ class ApiApp:
                 elapsed_seconds=sw.elapsed,
             )
 
-    def render_heatmap_wire(self, payload) -> RenderResponse:
+    def render_heatmap_wire(
+        self, payload, *, context: RequestContext | None = None
+    ) -> RenderResponse:
         """Parse-and-render for transports that need the typed response
-        (the ``?format=ppm`` raw-bytes path).  Parse failures count
-        toward the endpoint's error stats exactly as in ``handle_wire``.
+        (the ``?format=ppm`` raw-bytes path).  Gate rejections and parse
+        failures count toward the endpoint's error stats exactly as in
+        ``handle_wire``.
         """
         try:
+            self.gate.admit("render/heatmap", context)
             request = RenderRequest.from_wire(payload if payload is not None else {})
         except Exception:
             self._stats.record("render/heatmap", 0.0, error=True)
             raise
         return self.render_heatmap(request)
+
+    # ------------------------------------------------------ streaming export
+    def export(self, payload, *, context: RequestContext | None = None):
+        """``search/export``: returns an iterator of NDJSON lines (bytes).
+
+        Everything that can fail *before* streaming — gate rejection,
+        parse errors, unknown genes/datasets, the search itself — raises
+        here (as :class:`ApiError` or a mappable exception), so a
+        transport can still answer with an ordinary error status.  Once
+        the iterator is handed back, failure mid-walk surfaces as a
+        final ``status="error"`` trailer line carrying the structured
+        error — a consumer always sees either an ``ok`` trailer with a
+        matching checksum or an explicit error, never a silently
+        truncated stream.
+        """
+        endpoint = "search/export"
+        sw = Stopwatch()
+        sw.start()
+        try:
+            self.gate.admit(endpoint, context)
+            request = ExportRequest.from_wire(payload if payload is not None else {})
+            self._check(request)
+            cursor = self.service.iter_result(request)
+        except BaseException:
+            self._stats.record(endpoint, sw.stop(), error=True)
+            raise
+        return self._encode_export(cursor, sw)
+
+    def _encode_export(self, cursor, sw: Stopwatch):
+        """Serialize an export cursor to NDJSON, checksumming chunk bytes.
+
+        The checksum is ``sha256`` over the exact bytes of every chunk
+        line (newline included) in stream order — the trailer promises
+        integrity of what was actually sent, so it must hash wire bytes,
+        not protocol objects.
+        """
+        endpoint = "search/export"
+        digest = hashlib.sha256()
+        n_chunks = 0
+        total_rows = 0
+        recorded = False
+        try:
+            for item in cursor:
+                if isinstance(item, ExportTrailer):
+                    trailer = replace(
+                        item,
+                        checksum=f"sha256:{digest.hexdigest()}",
+                        n_chunks=n_chunks,
+                        total_rows=total_rows,
+                    )
+                    self._stats.record(endpoint, sw.stop(), error=False)
+                    recorded = True
+                    yield json.dumps(trailer.to_wire()).encode("utf-8") + b"\n"
+                    return
+                line = json.dumps(item.to_wire()).encode("utf-8") + b"\n"
+                digest.update(line)
+                n_chunks += 1
+                total_rows += len(item.gene_rows)
+                yield line
+            raise RuntimeError("export cursor ended without a trailer")
+        except GeneratorExit:
+            # consumer went away mid-stream (client disconnect): the
+            # export did not complete — count it as an error
+            if not recorded:
+                self._stats.record(endpoint, sw.stop(), error=True)
+            raise
+        except Exception as exc:  # noqa: BLE001 — the stream boundary
+            err = as_api_error(exc)
+            if not recorded:
+                self._stats.record(endpoint, sw.stop(), error=True)
+            yield json.dumps(
+                ExportTrailer(
+                    status="error",
+                    total_rows=total_rows,
+                    n_chunks=n_chunks,
+                    checksum=f"sha256:{digest.hexdigest()}",
+                    error=error_payload(err)["error"],
+                ).to_wire()
+            ).encode("utf-8") + b"\n"
 
     def health(self) -> HealthResponse:
         with self._timed("health"):
@@ -271,10 +391,23 @@ class ApiApp:
                 cache=service.cache_stats(),
                 endpoints=self._stats.snapshot(),
                 serving=service.serving_stats(),
+                limits=self.gate.stats(),
             )
 
     def endpoint_stats(self) -> dict[str, dict[str, float]]:
         return self._stats.snapshot()
+
+    def record_rejection(self, endpoint: str) -> None:
+        """Count a transport-level gate rejection against an endpoint.
+
+        A transport that gates *before* reading the body (the HTTP
+        facade) rejects requests ``handle_wire`` never sees; this keeps
+        those 401/429/413s visible in ``/v1/health`` error rates.  The
+        caller-supplied name is clamped to known endpoints so a spray
+        cannot grow the stats map.
+        """
+        known = endpoint in ENDPOINTS or endpoint in STREAM_ENDPOINTS
+        self._stats.record(endpoint if known else "(unknown)", 0.0, error=True)
 
     # -------------------------------------------------------------- internals
     @contextmanager

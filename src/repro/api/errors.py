@@ -54,6 +54,9 @@ ERROR_STATUS: dict[str, int] = {
     "UNKNOWN_DATASET": 404,  # a dataset filter names no known dataset
     "UNKNOWN_ENDPOINT": 404,  # no such route
     "METHOD_NOT_ALLOWED": 405,  # known route, wrong HTTP verb
+    "UNAUTHORIZED": 401,  # missing/invalid bearer token (auth enabled)
+    "RATE_LIMITED": 429,  # client key exceeded its token bucket
+    "BODY_TOO_LARGE": 413,  # declared/observed body over the cap
     "INDEX_STALE": 503,  # persistent index unreadable / out of date
     "INTERNAL": 500,  # anything unclassified (a bug, by definition)
 }

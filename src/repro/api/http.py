@@ -12,11 +12,31 @@ Routes (all JSON in/out; errors are structured codes, never raw 500s):
 ==========================  ======  =========================================
 ``/v1/search``              POST    one SPELL query, paginated
 ``/v1/search/batch``        POST    many queries, answered concurrently
+``/v1/search/export``       POST    full ranking as a chunked NDJSON stream
 ``/v1/datasets``            GET     served datasets (name, shape, metadata)
 ``/v1/cluster``             POST    dendrogram over a result's top genes
 ``/v1/render/heatmap``      POST    heatmap PPM (``?format=ppm`` for raw bytes)
 ``/v1/health``              GET     liveness + per-endpoint serving counters
 ==========================  ======  =========================================
+
+``/v1/search/export`` answers ``Transfer-Encoding: chunked`` with
+``application/x-ndjson``: one JSON line per ranking slice, terminated
+by a trailer line carrying totals and a content checksum (a mid-stream
+failure streams a structured *error* trailer, never a silent cut).
+
+**Hardening** (:mod:`repro.api.limits`, enforced in
+:meth:`repro.api.app.ApiApp.handle_wire` so every transport inherits
+it; this facade additionally runs the gate *before reading the body*,
+marking the context admitted so no token is spent twice): optional
+bearer-token auth (``--auth-token-file``; 401), per-client token-bucket
+rate limiting (``--rate-limit``/``--rate-burst``; 429 with
+``retry_after_ms`` and a ``Retry-After`` header), and a request body cap
+(``--max-body-bytes``; 413) checked against ``Content-Length`` *before*
+the body is read — a hostile 2 GB header never becomes an allocation,
+and a rejected client never costs a body read.  The rate-limit key is
+the peer address; an ``X-Client-Id`` header is honored only on
+*authenticated* requests (an anonymous spoofable key would mint a
+fresh bucket per request and void the limit).
 
 Run a demo server over a synthetic compendium (the repo ships no
 proprietary data) with a persistent index store::
@@ -32,17 +52,18 @@ import argparse
 import json
 import sys
 import threading
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.api.app import ENDPOINTS, ApiApp
+from repro.api.app import ENDPOINTS, STREAM_ENDPOINTS, ApiApp, all_endpoints
 from repro.api.errors import ApiError, as_api_error, error_payload
+from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestContext, RequestGate
 
 __all__ = ["ApiHTTPServer", "serve", "main"]
 
-#: Largest request body the facade will read (a batch of thousands of
-#: queries fits comfortably; anything larger is a client bug).
-MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Back-compat alias; the live cap is the app gate's ``max_body_bytes``.
+MAX_BODY_BYTES = DEFAULT_MAX_BODY_BYTES
 
 _PREFIX = "/v1/"
 _GET_ENDPOINTS = frozenset({"datasets", "health"})
@@ -87,40 +108,90 @@ class _Handler(BaseHTTPRequestHandler):
 
     do_PUT = do_DELETE = do_PATCH = do_HEAD = do_OPTIONS = _reject_verb
 
+    #: Gate-rejection codes the facade raises before ``handle_wire`` ran
+    #: (and could do its own error accounting).
+    _GATE_CODES = frozenset({"UNAUTHORIZED", "RATE_LIMITED", "BODY_TOO_LARGE"})
+
     # ------------------------------------------------------------- plumbing
     def _dispatch(self, verb: str) -> None:
         app: ApiApp = self.server.app  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
+        endpoint: str | None = None
         try:
             endpoint = self._route(parsed.path, verb)
-            payload = self._read_body() if verb == "POST" else {}
+            # gate BEFORE the body read: a 401/429/413 must not cost the
+            # server a recv of the (up to cap-sized) declared body
+            context = self._admit(app, endpoint)
+            payload = self._read_body(app) if verb == "POST" else {}
         except ApiError as err:
             # the declared body may be unread at this point; a reused
             # keep-alive connection would parse it as the next request
             # line, so close instead of desyncing the stream
             self.close_connection = True
+            if err.code in self._GATE_CODES:
+                app.record_rejection(endpoint if endpoint is not None else "(unknown)")
             self._send_json(err.http_status, error_payload(err))
             return
 
-        if endpoint == "render/heatmap" and self._wants_raw_ppm(parsed.query):
-            self._render_raw(app, payload)
+        if endpoint in STREAM_ENDPOINTS:
+            self._stream(app, payload, context)
             return
-        status, body = app.handle_wire(endpoint, payload)
+        if endpoint == "render/heatmap" and self._wants_raw_ppm(parsed.query):
+            self._render_raw(app, payload, context)
+            return
+        status, body = app.handle_wire(endpoint, payload, context=context)
         self._send_json(status, body)
 
+    def _admit(self, app: ApiApp, endpoint: str) -> RequestContext:
+        """Run admission control on the headers alone, pre-body-read.
+
+        Returns the context marked ``admitted`` so the app layer's own
+        ``gate.admit`` (which every transport inherits) passes it
+        through without spending a second token.
+        """
+        context = self._context()
+        app.gate.admit(endpoint, context)
+        return replace(context, admitted=True)
+
+    def _context(self) -> RequestContext:
+        """Describe this request for admission control (before any read).
+
+        ``client`` is the peer address — transport-assigned, so an
+        anonymous caller cannot mint fresh rate buckets per request;
+        an ``X-Client-Id`` header rides as ``declared_client``, which
+        the gate honors only once auth vouched for the caller.  The
+        bearer token comes from ``Authorization``; ``body_bytes`` is
+        the *declared* Content-Length — what the cap must judge, since
+        rejecting after reading defends nothing.
+        """
+        client = self.client_address[0] if self.client_address else "unknown"
+        auth = self.headers.get("Authorization", "")
+        token = auth[7:].strip() if auth.startswith("Bearer ") else None
+        try:
+            declared = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            declared = None
+        return RequestContext(
+            client=str(client),
+            auth_token=token,
+            body_bytes=declared,
+            declared_client=self.headers.get("X-Client-Id") or None,
+        )
+
     def _route(self, path: str, verb: str) -> str:
+        known = set(ENDPOINTS) | set(STREAM_ENDPOINTS)
         if not path.startswith(_PREFIX):
             raise ApiError(
                 "UNKNOWN_ENDPOINT",
                 f"no route {path!r}; endpoints live under {_PREFIX}",
-                details={"endpoints": sorted(_PREFIX + e for e in ENDPOINTS)},
+                details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
             )
         endpoint = path[len(_PREFIX):].strip("/")
-        if endpoint not in ENDPOINTS:
+        if endpoint not in known:
             raise ApiError(
                 "UNKNOWN_ENDPOINT",
                 f"no endpoint {path!r}",
-                details={"endpoints": sorted(_PREFIX + e for e in ENDPOINTS)},
+                details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
             )
         expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
         if verb != expected:
@@ -131,17 +202,23 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return endpoint
 
-    def _read_body(self) -> dict:
+    def _read_body(self, app: ApiApp) -> dict:
+        """Read and parse the POST body — after validating its *declared*
+        size.  A bad or negative ``Content-Length`` is a 400; a length
+        over the gate's cap is a structured 413 **before** any byte is
+        read or buffered, so an unauthenticated 2 GB header can never
+        become an allocation request (regression-tested over a raw
+        socket)."""
         length_header = self.headers.get("Content-Length", "0")
         try:
             length = int(length_header)
         except ValueError:
             raise ApiError("MALFORMED_BODY", f"bad Content-Length {length_header!r}")
-        if length < 0 or length > MAX_BODY_BYTES:
+        if length < 0:
             raise ApiError(
-                "MALFORMED_BODY",
-                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit",
+                "MALFORMED_BODY", f"negative Content-Length {length}"
             )
+        app.gate.check_body(length)  # raises BODY_TOO_LARGE pre-read
         raw = self.rfile.read(length) if length else b"{}"
         try:
             payload = json.loads(raw or b"{}")
@@ -158,25 +235,80 @@ class _Handler(BaseHTTPRequestHandler):
     def _wants_raw_ppm(query_string: str) -> bool:
         return parse_qs(query_string).get("format", ["json"])[-1] == "ppm"
 
-    def _render_raw(self, app: ApiApp, payload: dict) -> None:
+    def _render_raw(self, app: ApiApp, payload: dict, context: RequestContext) -> None:
         """``?format=ppm``: the image bytes themselves, not a JSON envelope."""
         try:
-            response = app.render_heatmap_wire(payload)
+            response = app.render_heatmap_wire(payload, context=context)
         except Exception as exc:  # noqa: BLE001 — boundary
             err = as_api_error(exc)
             self._send_json(err.http_status, error_payload(err))
             return
         self._send_bytes(200, response.ppm, "image/x-portable-pixmap")
 
+    def _stream(self, app: ApiApp, payload: dict, context: RequestContext) -> None:
+        """``/v1/search/export``: chunked NDJSON streaming.
+
+        Pre-stream failures (gate, parse, unknown gene, the search) still
+        answer with an ordinary JSON error status; once the 200 and the
+        ``Transfer-Encoding: chunked`` header are committed, failures
+        surface as the structured error trailer the app layer emits.
+        """
+        try:
+            lines = app.export(payload, context=context)
+        except Exception as exc:  # noqa: BLE001 — boundary
+            err = as_api_error(exc)
+            self._send_json(err.http_status, error_payload(err))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in lines:
+                self._write_chunk(line)
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionError, TimeoutError):
+            # client went away mid-stream; closing the generator fires
+            # its GeneratorExit path, which records the failed export
+            self.close_connection = True
+            if hasattr(lines, "close"):
+                lines.close()
+
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunk: size line, payload, CRLF."""
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
     def _send_json(self, status: int, body: dict) -> None:
+        headers = {}
+        error = body.get("error") if isinstance(body, dict) else None
+        if isinstance(error, dict) and error.get("code") == "RATE_LIMITED":
+            retry_ms = error.get("details", {}).get("retry_after_ms", 1000)
+            # standard header in whole seconds (rounded up), for generic
+            # clients; retry_after_ms in the body is the precise value
+            headers["Retry-After"] = str(max(1, -(-int(retry_ms) // 1000)))
         self._send_bytes(
-            status, json.dumps(body).encode("utf-8"), "application/json; charset=utf-8"
+            status,
+            json.dumps(body).encode("utf-8"),
+            "application/json; charset=utf-8",
+            extra_headers=headers,
         )
 
-    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str,
+        *,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # advertise what we will do — a keep-alive client must not
             # queue another request on this socket
@@ -265,12 +397,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--synth-genes", type=int, default=300)
     parser.add_argument("--synth-conditions", type=int, default=14)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--auth-token-file", default=None,
+                        help="file holding the shared bearer token; when "
+                             "set, requests (except /v1/health) must send "
+                             "'Authorization: Bearer <token>' or get 401")
+    parser.add_argument("--rate-limit", type=float, default=0.0,
+                        help="per-client request budget in requests/second "
+                             "(token bucket; 0 disables). Over-budget "
+                             "clients get 429 RATE_LIMITED with "
+                             "retry_after_ms")
+    parser.add_argument("--rate-burst", type=int, default=None,
+                        help="token-bucket burst size (default: "
+                             "ceil(rate-limit))")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=DEFAULT_MAX_BODY_BYTES,
+                        help="largest accepted request body; bigger "
+                             "declared bodies get 413 BODY_TOO_LARGE "
+                             "before any byte is read")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
     args = parser.parse_args(argv)
 
+    auth_token = None
+    if args.auth_token_file is not None:
+        with open(args.auth_token_file, encoding="utf-8") as fh:
+            auth_token = fh.read().strip()
+        if not auth_token:
+            parser.error(f"auth token file {args.auth_token_file!r} is empty")
+
     service, truth = _build_service(args)
-    app = ApiApp(service)
+    gate = RequestGate(
+        auth_token=auth_token,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_body_bytes=args.max_body_bytes,
+    )
+    app = ApiApp(service, gate=gate)
     server = serve(app, host=args.host, port=args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     example = json.dumps({"genes": list(truth.query_genes), "page_size": 10})
@@ -278,6 +440,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  try: curl http://{host}:{port}/v1/health", flush=True)
     print(
         f"  try: curl -X POST http://{host}:{port}/v1/search -d '{example}'",
+        flush=True,
+    )
+    print(
+        f"  try: curl -N -X POST http://{host}:{port}/v1/search/export "
+        f"-d '{json.dumps({'genes': list(truth.query_genes), 'chunk_size': 100})}'",
         flush=True,
     )
     try:

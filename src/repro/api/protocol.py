@@ -46,12 +46,15 @@ __all__ = [
     "DatasetListRequest",
     "ClusterRequest",
     "RenderRequest",
+    "ExportRequest",
     "SearchResponse",
     "BatchSearchResponse",
     "DatasetInfo",
     "DatasetListResponse",
     "ClusterResponse",
     "RenderResponse",
+    "ExportChunk",
+    "ExportTrailer",
     "HealthResponse",
     "page_count",
     "check_page",
@@ -119,6 +122,34 @@ def _allowed_fields(cls) -> frozenset[str]:
     return frozenset(f.name for f in fields(cls))
 
 
+def _query_genes(value) -> tuple[str, ...]:
+    """Shared gene-list validation for every query-shaped request
+    (search, export) — one definition, so paged and streaming paths can
+    never drift on what counts as a valid query."""
+    genes = tuple(str(g) for g in value)
+    if not genes:
+        raise ApiError("INVALID_QUERY", "query must contain at least one gene")
+    if len(set(genes)) != len(genes):
+        raise ApiError("INVALID_QUERY", "query contains duplicate genes")
+    return genes
+
+
+def _optional_top_k(value) -> int | None:
+    return None if value is None else _int_field(value, "top_k", minimum=1)
+
+
+def _datasets_filter(value) -> tuple[str, ...] | None:
+    """Shared ``datasets`` filter validation (None = whole compendium)."""
+    if value is None:
+        return None
+    datasets = tuple(str(d) for d in value)
+    if not datasets:
+        raise _invalid("datasets filter must name at least one dataset")
+    if len(set(datasets)) != len(datasets):
+        raise _invalid("datasets filter contains duplicates")
+    return datasets
+
+
 def page_count(total: int, page_size: int) -> int:
     """Pages needed for ``total`` rows; an empty result still has 1 (empty) page."""
     return max(1, math.ceil(max(0, total) / max(1, page_size)))
@@ -159,24 +190,12 @@ class SearchRequest:
     use_cache: bool = True
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "genes", tuple(str(g) for g in self.genes))
-        if not self.genes:
-            raise ApiError("INVALID_QUERY", "query must contain at least one gene")
-        if len(set(self.genes)) != len(self.genes):
-            raise ApiError("INVALID_QUERY", "query contains duplicate genes")
-        if self.top_k is not None:
-            object.__setattr__(self, "top_k", _int_field(self.top_k, "top_k", minimum=1))
+        object.__setattr__(self, "genes", _query_genes(self.genes))
+        object.__setattr__(self, "top_k", _optional_top_k(self.top_k))
         _int_field(self.page, "page", minimum=0)
         _int_field(self.page_size, "page_size", minimum=1)
         _int_field(self.top_datasets, "top_datasets", minimum=0)
-        if self.datasets is not None:
-            object.__setattr__(
-                self, "datasets", tuple(str(d) for d in self.datasets)
-            )
-            if not self.datasets:
-                raise _invalid("datasets filter must name at least one dataset")
-            if len(set(self.datasets)) != len(self.datasets):
-                raise _invalid("datasets filter contains duplicates")
+        object.__setattr__(self, "datasets", _datasets_filter(self.datasets))
         _bool_field(self.use_cache, "use_cache")
 
     def to_wire(self) -> dict:
@@ -382,6 +401,64 @@ class RenderRequest:
         )
 
 
+@dataclass(frozen=True)
+class ExportRequest:
+    """Stream a search's *entire* gene ranking as fixed-size chunks.
+
+    The deep-export counterpart of :class:`SearchRequest`: instead of a
+    ``page``/``page_size`` window, the server walks the full ranking
+    (capped by ``top_k`` when given) in ``chunk_size`` slices and
+    streams one :class:`ExportChunk` per slice, terminated by one
+    :class:`ExportTrailer`.  Reassembled, the chunks' ``gene_rows`` are
+    bit-identical to the concatenation of every page the equivalent
+    paged search would have served.
+    """
+
+    genes: tuple[str, ...]
+    top_k: int | None = None
+    chunk_size: int = 500
+    top_datasets: int = 10
+    datasets: tuple[str, ...] | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        # identical field discipline to SearchRequest (shared helpers):
+        # the export of a query and the pages of that query must agree
+        # on what a valid query even is
+        object.__setattr__(self, "genes", _query_genes(self.genes))
+        object.__setattr__(self, "top_k", _optional_top_k(self.top_k))
+        _int_field(self.chunk_size, "chunk_size", minimum=1)
+        _int_field(self.top_datasets, "top_datasets", minimum=0)
+        object.__setattr__(self, "datasets", _datasets_filter(self.datasets))
+        _bool_field(self.use_cache, "use_cache")
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "genes": list(self.genes),
+            "top_k": self.top_k,
+            "chunk_size": self.chunk_size,
+            "top_datasets": self.top_datasets,
+            "datasets": None if self.datasets is None else list(self.datasets),
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ExportRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "export request")
+        if "genes" not in data:
+            raise ApiError("INVALID_QUERY", "export request needs a 'genes' list")
+        datasets = data.get("datasets")
+        return cls(
+            genes=_str_tuple(data["genes"], "genes"),
+            top_k=None if data.get("top_k") is None else data["top_k"],
+            chunk_size=data.get("chunk_size", 500),
+            top_datasets=data.get("top_datasets", 10),
+            datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
+            use_cache=data.get("use_cache", True),
+        )
+
+
 # --------------------------------------------------------------------------
 # responses
 # --------------------------------------------------------------------------
@@ -548,6 +625,145 @@ class BatchSearchResponse:
         )
 
 
+def _check_kind(data: dict, expected: str, kind: str) -> None:
+    """NDJSON stream lines are self-describing via ``kind``; a mismatch
+    (a trailer parsed as a chunk, or vice versa) is a structured error,
+    never a silently misread line."""
+    found = data.pop("kind", expected)
+    if found != expected:
+        raise _invalid(f"{kind} has kind {found!r}, expected {expected!r}")
+
+
+@dataclass(frozen=True)
+class ExportChunk:
+    """One NDJSON line of a streaming export: a slice of the ranking.
+
+    Self-describing: every chunk carries ``api_version``, its ``kind``
+    (``"chunk"``), and the global ``offset`` of its first row, so a
+    consumer can detect gaps or reordering without trusting transport
+    framing.  ``gene_rows`` are ``(rank, gene_id, score)`` with 1-based
+    global ranks, exactly as the paged :class:`SearchResponse` serves
+    them.
+    """
+
+    offset: int
+    gene_rows: tuple[tuple[int, str, float], ...]
+
+    KIND = "chunk"
+
+    def __post_init__(self) -> None:
+        _int_field(self.offset, "offset", minimum=0)
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "offset": self.offset,
+            "gene_rows": [list(row) for row in self.gene_rows],
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ExportChunk":
+        data = _check_payload(
+            payload, _allowed_fields(cls) | {"kind"}, "export chunk"
+        )
+        _check_kind(data, cls.KIND, "export chunk")
+        gene_conv = (int, str, float)
+        return cls(
+            offset=_int_field(data.get("offset", 0), "offset", minimum=0),
+            gene_rows=tuple(
+                _row_tuple(row, "gene", gene_conv) for row in data.get("gene_rows", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ExportTrailer:
+    """The final NDJSON line of a streaming export: totals + integrity.
+
+    ``status`` is ``"ok"`` or ``"error"``; a mid-stream failure streams
+    as an *error trailer* (``error`` carrying the standard
+    ``{code, message, details}`` object) rather than a silently
+    truncated response — a consumer that never sees a trailer knows the
+    stream was cut.  ``checksum`` is ``sha256:<hex>`` over the exact
+    bytes of every chunk line (each including its terminating newline)
+    in stream order, so reassembly can be verified without re-parsing;
+    ``total_rows`` / ``n_chunks`` count what was actually streamed and
+    ``total_genes`` reports the full candidate ranking size.  Query
+    attribution and the ranked ``dataset_rows`` ride here (once per
+    stream, not once per chunk).
+    """
+
+    status: str
+    total_genes: int = 0
+    total_rows: int = 0
+    n_chunks: int = 0
+    checksum: str = ""
+    query: tuple[str, ...] = ()
+    query_used: tuple[str, ...] = ()
+    query_missing: tuple[str, ...] = ()
+    dataset_rows: tuple[tuple[int, str, float], ...] = ()
+    elapsed_seconds: float = 0.0
+    error: dict | None = None
+
+    KIND = "trailer"
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "error"):
+            raise _invalid(f"trailer status must be 'ok' or 'error', got {self.status!r}")
+        if (self.error is not None) != (self.status == "error"):
+            raise _invalid("trailer error object must accompany status 'error' only")
+        _int_field(self.total_genes, "total_genes", minimum=0)
+        _int_field(self.total_rows, "total_rows", minimum=0)
+        _int_field(self.n_chunks, "n_chunks", minimum=0)
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "status": self.status,
+            "total_genes": self.total_genes,
+            "total_rows": self.total_rows,
+            "n_chunks": self.n_chunks,
+            "checksum": self.checksum,
+            "query": list(self.query),
+            "query_used": list(self.query_used),
+            "query_missing": list(self.query_missing),
+            "dataset_rows": [list(row) for row in self.dataset_rows],
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": None if self.error is None else dict(self.error),
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ExportTrailer":
+        data = _check_payload(
+            payload, _allowed_fields(cls) | {"kind"}, "export trailer"
+        )
+        _check_kind(data, cls.KIND, "export trailer")
+        error = data.get("error")
+        if error is not None and not isinstance(error, Mapping):
+            raise _invalid("trailer error must be an object or null")
+        gene_conv = (int, str, float)
+        return cls(
+            status=str(data.get("status", "")),
+            total_genes=_int_field(data.get("total_genes", 0), "total_genes", minimum=0),
+            total_rows=_int_field(data.get("total_rows", 0), "total_rows", minimum=0),
+            n_chunks=_int_field(data.get("n_chunks", 0), "n_chunks", minimum=0),
+            checksum=str(data.get("checksum", "")),
+            query=_str_tuple(data.get("query", []), "query"),
+            query_used=_str_tuple(data.get("query_used", []), "query_used"),
+            query_missing=_str_tuple(data.get("query_missing", []), "query_missing"),
+            dataset_rows=tuple(
+                _row_tuple(row, "dataset", gene_conv)
+                for row in data.get("dataset_rows", [])
+            ),
+            elapsed_seconds=_number_field(
+                data.get("elapsed_seconds", 0.0), "elapsed_seconds"
+            ),
+            error=None if error is None else dict(error),
+        )
+
+
 @dataclass(frozen=True)
 class DatasetInfo:
     """Shape + metadata for one served dataset."""
@@ -707,6 +923,7 @@ class HealthResponse:
     cache: dict
     endpoints: dict  # endpoint -> {count, errors, total_seconds, mean_seconds}
     serving: dict = field(default_factory=dict)  # appended in-version: default keeps v1 parsing
+    limits: dict = field(default_factory=dict)  # gate config + rejection counters
 
     def to_wire(self) -> dict:
         return {
@@ -720,6 +937,7 @@ class HealthResponse:
             "cache": dict(self.cache),
             "endpoints": {k: dict(v) for k, v in self.endpoints.items()},
             "serving": dict(self.serving),
+            "limits": dict(self.limits),
         }
 
     @classmethod
@@ -728,10 +946,13 @@ class HealthResponse:
         cache = data.get("cache", {})
         endpoints = data.get("endpoints", {})
         serving = data.get("serving", {})
+        limits = data.get("limits", {})
         if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
             raise _invalid("health cache/endpoints must be objects")
         if not isinstance(serving, Mapping):
             raise _invalid("health serving must be an object")
+        if not isinstance(limits, Mapping):
+            raise _invalid("health limits must be an object")
         return cls(
             status=str(data.get("status", "")),
             uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
@@ -742,4 +963,5 @@ class HealthResponse:
             cache=dict(cache),
             endpoints={str(k): dict(v) for k, v in endpoints.items()},
             serving=dict(serving),
+            limits=dict(limits),
         )

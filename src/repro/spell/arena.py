@@ -187,3 +187,11 @@ class ScratchPool:
         with self._lock:
             if len(self._idle) < self._max_pooled:
                 self._idle.append(scratch)
+
+    def idle_count(self) -> int:
+        """Scratches currently parked in the free-list (observability:
+        a leak shows up as this number *failing to return* to its
+        steady state after queries finish, or the pool regrowing
+        allocation churn; regression-tested against failing queries)."""
+        with self._lock:
+            return len(self._idle)

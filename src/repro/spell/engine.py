@@ -142,6 +142,24 @@ class GeneTable(SequenceABC):
     def ranking(self) -> list[str]:
         return [str(g) for g in self.ids]
 
+    def rows(self, start: int, stop: int) -> list[tuple[int, str, float]]:
+        """``(rank, gene_id, score)`` rows for the half-open slice
+        ``[start, stop)``, with 1-based *global* ranks.
+
+        Array-native: two ``tolist()`` calls instead of materializing a
+        :class:`GeneScore` per row — the streaming-export hot path,
+        where a deep result walks the whole table.  Values are
+        bit-identical to iterating ``self[start:stop]`` (``tolist`` and
+        ``float()``/``str()`` produce the same Python scalars).
+        """
+        start = max(0, int(start))
+        ids = self.ids[start:stop].tolist()
+        scores = self.scores[start:stop].tolist()
+        return [
+            (start + i + 1, str(gid), float(score))
+            for i, (gid, score) in enumerate(zip(ids, scores))
+        ]
+
     def __repr__(self) -> str:
         return f"GeneTable({len(self)} of {self.total} genes)"
 

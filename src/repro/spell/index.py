@@ -573,30 +573,43 @@ class SpellIndex:
         # phase 2 — one stacked matmul per shard, de-interleaved per query.
         # Shards ascend so each query's accumulation order matches the
         # single-query loop exactly (float addition is order-sensitive).
-        totals = np.zeros((B, n_slots))
-        weight_mass = np.zeros((B, n_slots))
-        counts = np.zeros((B, n_slots), dtype=np.intp)
-        for i in sorted(participants):
-            view = self._arena.views[i]
-            roster = participants[i]
-            Qall = np.concatenate([view[rows] for (_, rows, _) in roster], axis=0)
-            big = np.clip(view @ Qall.T, -1.0, 1.0)
-            slots = self._global_rows[i]
-            col = 0
-            for qi, rows, weight in roster:
-                q = rows.shape[0]
-                scores = big[:, col : col + q].mean(axis=1, dtype=np.float64)
-                col += q
-                totals[qi, slots] += weight * scores
-                weight_mass[qi, slots] += weight
-                counts[qi, slots] += 1
+        # The B per-query accumulator triples come from the same
+        # ScratchPool as single-query search (one pooled ScoreScratch
+        # per batch member) instead of three fresh (B, n_slots)
+        # allocations per batch; acquire/release is try/finally-guarded
+        # so a failure mid-scoring (e.g. a bad top_k surfacing in
+        # _finalize) can never leak buffers and silently regrow the
+        # pool query after failed query.
+        scratches = [self._scratch.acquire() for _ in range(B)]
+        try:
+            accum = [s.arrays(n_slots) for s in scratches]
+            for i in sorted(participants):
+                view = self._arena.views[i]
+                roster = participants[i]
+                Qall = np.concatenate([view[rows] for (_, rows, _) in roster], axis=0)
+                big = np.clip(view @ Qall.T, -1.0, 1.0)
+                slots = self._global_rows[i]
+                col = 0
+                for qi, rows, weight in roster:
+                    q = rows.shape[0]
+                    scores = big[:, col : col + q].mean(axis=1, dtype=np.float64)
+                    col += q
+                    totals, weight_mass, counts = accum[qi]
+                    totals[slots] += weight * scores
+                    weight_mass[slots] += weight
+                    counts[slots] += 1
 
-        return [
-            self._finalize(
-                query, query_used, query_missing, dataset_scores[qi],
-                totals[qi], weight_mass[qi], counts[qi], q_slots,
-                exclude_query_from_genes=exclude_query_from_genes,
-                top_k=specs[qi].top_k,
-            )
-            for qi, (query, query_used, query_missing, q_slots, _) in enumerate(resolved)
-        ]
+            # _finalize gathers copies, so the results outlive the
+            # scratch buffers released below
+            return [
+                self._finalize(
+                    query, query_used, query_missing, dataset_scores[qi],
+                    accum[qi][0], accum[qi][1], accum[qi][2], q_slots,
+                    exclude_query_from_genes=exclude_query_from_genes,
+                    top_k=specs[qi].top_k,
+                )
+                for qi, (query, query_used, query_missing, q_slots, _) in enumerate(resolved)
+            ]
+        finally:
+            for scratch in scratches:
+                self._scratch.release(scratch)

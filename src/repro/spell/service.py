@@ -46,6 +46,9 @@ from repro.api.errors import ApiError
 from repro.api.protocol import (
     BatchSearchRequest,
     BatchSearchResponse,
+    ExportChunk,
+    ExportRequest,
+    ExportTrailer,
     SearchRequest,
     SearchResponse,
 )
@@ -53,7 +56,7 @@ from repro.data.compendium import Compendium
 from repro.parallel.pmap import parallel_map
 from repro.parallel.workqueue import WorkStealingPool
 from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
-from repro.spell.engine import SpellEngine, SpellResult
+from repro.spell.engine import GeneTable, SpellEngine, SpellResult
 from repro.spell.index import BatchQuery, SpellIndex
 from repro.spell.procpool import IndexWorkerPool, WorkerPoolError
 from repro.spell.store import IndexStore
@@ -339,6 +342,67 @@ class SpellService:
             )
         return SearchResponse.from_result(
             result, request, elapsed_seconds=sw.elapsed, strict=strict_page
+        )
+
+    def iter_result(self, request: ExportRequest):
+        """Cursor over one query's *full* ranking in fixed-size slices.
+
+        The deep-export path: one search resolves the whole ranking
+        (capped by ``request.top_k``), then the cursor walks the
+        :class:`~repro.spell.engine.GeneTable` in ``chunk_size`` slices
+        — per-chunk work is two array ``tolist()`` calls off the arena
+        ranking, never a per-page :class:`SearchResponse` (no repeated
+        cache lookups, no repeated dataset rows, no page accounting).
+        The concatenated chunk rows are bit-identical to the
+        concatenation of every page of the equivalent paged search.
+
+        Returns an iterator yielding :class:`ExportChunk` objects
+        followed by exactly one ``status="ok"`` :class:`ExportTrailer`
+        (``checksum``/``n_chunks`` are left for the stream encoder,
+        which owns the wire bytes).  The search itself runs *eagerly*,
+        so invalid queries raise here — before a transport has
+        committed a success status line to the stream.
+        """
+        with Stopwatch() as sw:
+            result = self.search(
+                request.genes,
+                use_cache=request.use_cache,
+                top_k=request.top_k,
+                datasets=request.datasets,
+            )
+        return self._iter_chunks(result, request, sw.elapsed)
+
+    @staticmethod
+    def _iter_chunks(result: SpellResult, request: ExportRequest, elapsed: float):
+        table = result.genes
+        exportable = result.total_genes
+        if request.top_k is not None:
+            exportable = min(exportable, request.top_k)
+        exportable = min(exportable, len(table))
+        offset = 0
+        while offset < exportable:
+            stop = min(offset + request.chunk_size, exportable)
+            if isinstance(table, GeneTable):
+                rows = table.rows(offset, stop)
+            else:  # legacy tuple-of-GeneScore results
+                rows = [
+                    (offset + i + 1, g.gene_id, g.score)
+                    for i, g in enumerate(table[offset:stop])
+                ]
+            yield ExportChunk(offset=offset, gene_rows=tuple(rows))
+            offset = stop
+        yield ExportTrailer(
+            status="ok",
+            total_genes=result.total_genes,
+            total_rows=exportable,
+            query=result.query,
+            query_used=result.query_used,
+            query_missing=result.query_missing,
+            dataset_rows=tuple(
+                (i + 1, d.name, d.weight)
+                for i, d in enumerate(result.datasets[: request.top_datasets])
+            ),
+            elapsed_seconds=float(elapsed),
         )
 
     def respond_batch(

@@ -48,11 +48,21 @@ MANIFEST_NAME = "manifest.json"
 
 @dataclass(frozen=True)
 class SyncReport:
-    """What one :meth:`IndexStore.sync` actually touched (dataset names)."""
+    """What one :meth:`IndexStore.sync` actually touched.
+
+    ``written``/``removed``/``unchanged`` are dataset names;
+    ``swept`` lists *file* names deleted because no committed manifest
+    referenced them — shard files stranded by a writer that crashed
+    between writing a shard and publishing its manifest (or by a
+    pre-sweep version of this store).  Without the sweep a long-lived
+    service that churns datasets grows its store directory without
+    bound.
+    """
 
     written: tuple[str, ...] = ()
     removed: tuple[str, ...] = ()
     unchanged: tuple[str, ...] = ()
+    swept: tuple[str, ...] = ()
 
     @property
     def dirty(self) -> bool:
@@ -153,7 +163,12 @@ class IndexStore:
             old = IndexStore._read_manifest(directory)
         except StoreError:
             written = IndexStore.save(index, directory)
-            return SyncReport(written=tuple(e.name for e in index._entries))
+            # even a from-scratch save sweeps: a corrupt manifest may
+            # have stranded shard files the new manifest doesn't claim
+            swept = IndexStore._sweep_orphans(directory, set(written))
+            return SyncReport(
+                written=tuple(e.name for e in index._entries), swept=swept
+            )
         old_by_key = {(s["name"], s["fingerprint"]): s for s in old.shards}
 
         manifest = _Manifest(dtype=index.dtype.name)
@@ -180,21 +195,42 @@ class IndexStore:
             written.append(entry.name)
             manifest.shards.append(_shard_record(entry, fingerprint, filename))
         # publish the new manifest first: a crash between here and the
-        # unlinks leaves orphan files (harmless), never a manifest that
-        # references deleted shards
+        # sweep leaves orphan files that load cleanly (the manifest
+        # never references a deleted shard) and that the *next*
+        # successful sync reclaims — never a manifest pointing at
+        # missing files
         _atomic_write_text(
             directory / MANIFEST_NAME, json.dumps(manifest.to_json())
         )
-        removed: list[str] = []
-        for shard in old.shards:
-            if shard["file"] not in live_files:
-                removed.append(shard["name"])
-                (directory / shard["file"]).unlink(missing_ok=True)
+        removed = tuple(
+            shard["name"] for shard in old.shards if shard["file"] not in live_files
+        )
+        swept = IndexStore._sweep_orphans(directory, live_files)
         return SyncReport(
             written=tuple(written),
-            removed=tuple(removed),
+            removed=removed,
             unchanged=tuple(unchanged),
+            swept=swept,
         )
+
+    @staticmethod
+    def _sweep_orphans(directory: Path, live_files: set[str]) -> tuple[str, ...]:
+        """Delete every ``shard-*.npy`` the committed manifest doesn't claim.
+
+        This covers both shards retired by the sync that just ran *and*
+        strays no manifest ever referenced — files stranded when a
+        writer crashed between ``np.save`` and the manifest rename.
+        Only runs after a successful manifest publish, so a concurrent
+        reader that already loaded the old manifest holds its mmaps
+        open (POSIX keeps unlinked-but-mapped pages alive) and a fresh
+        reader sees a consistent store either way.
+        """
+        swept: list[str] = []
+        for path in sorted(Path(directory).glob("shard-*.npy")):
+            if path.name not in live_files:
+                path.unlink(missing_ok=True)
+                swept.append(path.name)
+        return tuple(swept)
 
     # -------------------------------------------------------------- reading
     @staticmethod

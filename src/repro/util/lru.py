@@ -57,10 +57,18 @@ class LruCache(Generic[K, V]):
             return value
 
     def put(self, key: K, value: V) -> None:
-        """Insert/refresh ``key``, evicting the oldest entry on overflow."""
+        """Insert/refresh ``key``, evicting the oldest entry on overflow.
+
+        Refreshing an existing key restarts its per-entry hit count:
+        the counts describe the *currently resident value* (so
+        ``hottest`` ranks what is actually being served), not the key's
+        lifetime popularity — the aggregate ``hits`` counter keeps the
+        lifetime view.
+        """
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
+                self._entry_hits.pop(key, None)
             self._data[key] = value
             while len(self._data) > self.max_entries:
                 evicted, _ = self._data.popitem(last=False)
@@ -73,9 +81,17 @@ class LruCache(Generic[K, V]):
             return self._entry_hits.get(key, 0)
 
     def hottest(self, n: int = 5) -> list[tuple[K, int]]:
-        """The ``n`` resident entries that served the most hits."""
+        """The ``n`` resident entries that served the most hits.
+
+        Ties break on the key's ``repr`` so the ordering is a pure
+        function of cache *content*, never of dict insertion history —
+        without the tie-break, observability surfaces built on this
+        (``/v1/health``) flap across runs for equally-hot entries.
+        """
         with self._lock:
-            ranked = sorted(self._entry_hits.items(), key=lambda kv: -kv[1])
+            ranked = sorted(
+                self._entry_hits.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+            )
             return ranked[: max(0, int(n))]
 
     def clear(self) -> None:

@@ -312,6 +312,60 @@ class TestErrorPaths:
         assert exc.value.headers["Content-Type"].startswith("application/json")
         assert json.loads(exc.value.read())["error"]["code"] == "METHOD_NOT_ALLOWED"
 
+    def test_raw_ppm_app_failure_is_structured_json(self, live_api):
+        """?format=ppm when the *app* raises (past parsing): the client
+        must get a structured JSON error — never a half-written PPM or
+        an image content-type wrapping an error."""
+        base, _, truth = live_api
+        payload = json.dumps(
+            {"search": {"genes": list(truth.query_genes)},
+             "dataset": "no_such_dataset"}
+        ).encode()
+        request = urllib.request.Request(
+            base + "/v1/render/heatmap?format=ppm", data=payload, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc.value.code == 404
+        assert exc.value.headers["Content-Type"].startswith("application/json")
+        body = exc.value.read()
+        assert not body.startswith(b"P6")  # not a PPM fragment
+        parsed = json.loads(body)
+        assert parsed["error"]["code"] == "UNKNOWN_DATASET"
+        assert parsed["api_version"] == "v1"
+
+    def test_raw_ppm_unknown_gene_is_structured_json(self, live_api):
+        base, _, _ = live_api
+        request = urllib.request.Request(
+            base + "/v1/render/heatmap?format=ppm",
+            data=json.dumps({"search": {"genes": ["NOT_A_GENE"]}}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc.value.code == 404
+        assert exc.value.headers["Content-Type"].startswith("application/json")
+        assert json.loads(exc.value.read())["error"]["code"] == "UNKNOWN_GENE"
+
+    def test_raw_ppm_app_failures_counted_in_health(self, live_api):
+        """Mid-render failures on the raw-bytes branch must move the
+        endpoint's error counters exactly like the JSON branch."""
+        base, _, truth = live_api
+        _, before = http(base, "/v1/health")
+        errors_before = before["endpoints"].get("render/heatmap", {}).get("errors", 0)
+        request = urllib.request.Request(
+            base + "/v1/render/heatmap?format=ppm",
+            data=json.dumps(
+                {"search": {"genes": list(truth.query_genes)},
+                 "dataset": "no_such_dataset"}
+            ).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request, timeout=30)
+        _, after = http(base, "/v1/health")
+        assert after["endpoints"]["render/heatmap"]["errors"] == errors_before + 1
+
     def test_rejected_request_does_not_desync_keepalive(self, live_api):
         """An error sent before the body is drained must close the
         connection — otherwise the unread body is parsed as the next

@@ -1,0 +1,420 @@
+"""Serving hardening: auth, rate limits, and body caps (repro.api.limits).
+
+Unit-tests the token bucket with an injected clock, then drives the
+real HTTP facade: 401/429/413 must come back as structured codes, the
+429's ``retry_after_ms`` must actually work (waiting it out admits the
+client), and an oversized ``Content-Length`` must be rejected **before
+the body is read** — asserted over a raw socket that never sends one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.app import ApiApp
+from repro.api.errors import ApiError
+from repro.api.http import serve
+from repro.api.limits import (
+    RateLimiter,
+    RequestContext,
+    RequestGate,
+    TokenBucket,
+)
+from repro.spell import SpellService
+
+
+# ------------------------------------------------------------------- units
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire(0.0)
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        # half the wait later: still limited, but closer
+        assert 0.0 < bucket.try_acquire(0.25) < wait
+        # after a full second the bucket has refilled past one token
+        assert bucket.try_acquire(2.0) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2, now=0.0)
+        bucket.try_acquire(0.0)
+        # an hour idle must not bank 36000 tokens
+        assert bucket.try_acquire(3600.0) == 0.0
+        assert bucket.try_acquire(3600.0) == 0.0
+        assert bucket.try_acquire(3600.0) > 0.0
+
+
+class TestRateLimiter:
+    def test_per_client_isolation(self):
+        limiter = RateLimiter(rate=1.0, burst=1)
+        assert limiter.check("a", now=0.0) == 0.0
+        assert limiter.check("a", now=0.0) > 0.0  # a is out of budget
+        assert limiter.check("b", now=0.0) == 0.0  # b is untouched
+
+    def test_client_map_bounded(self):
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=4)
+        for i in range(100):
+            limiter.check(f"client-{i}", now=float(i))
+        assert len(limiter._buckets) <= 4  # hostile key churn can't grow it
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0.0)
+
+
+class TestRequestGate:
+    def test_no_context_bypasses(self):
+        gate = RequestGate(auth_token="sekrit", rate_limit=0.001)
+        gate.admit("search", None)  # in-process caller: always admitted
+
+    def test_auth_required(self):
+        gate = RequestGate(auth_token="sekrit")
+        with pytest.raises(ApiError) as exc:
+            gate.admit("search", RequestContext(client="c"))
+        assert exc.value.code == "UNAUTHORIZED" and exc.value.http_status == 401
+        with pytest.raises(ApiError):
+            gate.admit("search", RequestContext(client="c", auth_token="wrong"))
+        gate.admit("search", RequestContext(client="c", auth_token="sekrit"))
+        assert gate.stats()["unauthorized"] == 2
+
+    def test_health_exempt_from_auth_and_rate(self):
+        gate = RequestGate(auth_token="sekrit", rate_limit=0.000001, rate_burst=1)
+        for _ in range(5):
+            gate.admit("health", RequestContext(client="probe"))
+
+    def test_body_cap_applies_everywhere(self):
+        gate = RequestGate(max_body_bytes=10)
+        with pytest.raises(ApiError) as exc:
+            gate.admit("health", RequestContext(client="c", body_bytes=11))
+        assert exc.value.code == "BODY_TOO_LARGE" and exc.value.http_status == 413
+        gate.admit("health", RequestContext(client="c", body_bytes=10))
+        assert gate.stats()["body_rejected"] == 1
+
+    def test_rate_limited_details(self):
+        gate = RequestGate(rate_limit=2.0, rate_burst=1)
+        gate.admit("search", RequestContext(client="c"))
+        with pytest.raises(ApiError) as exc:
+            gate.admit("search", RequestContext(client="c"))
+        assert exc.value.code == "RATE_LIMITED" and exc.value.http_status == 429
+        assert exc.value.details["retry_after_ms"] >= 1
+        assert gate.stats()["rate_limited"] == 1
+
+    def test_declared_client_ignored_when_anonymous(self):
+        """Spoof resistance: without auth, a caller-declared client id
+        must NOT key the bucket — rotating it per request would mint a
+        fresh burst every time and void the limit entirely."""
+        gate = RequestGate(rate_limit=0.001, rate_burst=1)
+        gate.admit(
+            "search", RequestContext(client="1.2.3.4", declared_client="spoof-0")
+        )
+        with pytest.raises(ApiError) as exc:
+            gate.admit(
+                "search",
+                RequestContext(client="1.2.3.4", declared_client="spoof-1"),
+            )
+        assert exc.value.code == "RATE_LIMITED"
+
+    def test_declared_client_honored_when_authenticated(self):
+        """With auth on, the validated caller is trusted to forward
+        tenant ids: distinct declared clients get distinct buckets."""
+        gate = RequestGate(auth_token="tok", rate_limit=0.001, rate_burst=1)
+        gate.admit(
+            "search",
+            RequestContext(client="lb", auth_token="tok", declared_client="tenant-a"),
+        )
+        gate.admit(  # different tenant: own bucket, admitted
+            "search",
+            RequestContext(client="lb", auth_token="tok", declared_client="tenant-b"),
+        )
+        with pytest.raises(ApiError):  # same tenant again: out of budget
+            gate.admit(
+                "search",
+                RequestContext(client="lb", auth_token="tok", declared_client="tenant-a"),
+            )
+
+    def test_admitted_context_passes_through(self):
+        """A context the transport already admitted spends no second
+        token (the HTTP facade gates pre-body-read, then hands the
+        admitted context to handle_wire)."""
+        gate = RequestGate(rate_limit=0.001, rate_burst=1)
+        context = RequestContext(client="c")
+        gate.admit("search", context)
+        import dataclasses
+
+        admitted = dataclasses.replace(context, admitted=True)
+        gate.admit("search", admitted)  # no raise, no token spent
+        with pytest.raises(ApiError):
+            gate.admit("search", context)  # a fresh request still limited
+
+
+# ------------------------------------------------------------ live facade
+@pytest.fixture(scope="module")
+def limits_setup():
+    from repro.synth import make_spell_compendium
+
+    return make_spell_compendium(
+        n_datasets=4,
+        n_relevant=2,
+        n_genes=80,
+        n_conditions=8,
+        module_size=10,
+        query_size=3,
+        seed=31,
+    )
+
+
+@pytest.fixture()
+def hardened_api(limits_setup):
+    """A fresh hardened facade per test (buckets/counters start clean)."""
+    compendium, truth = limits_setup
+    service = SpellService(compendium)
+    gate = RequestGate(
+        auth_token="sekrit",
+        rate_limit=5.0,
+        rate_burst=2,
+        max_body_bytes=4096,
+    )
+    app = ApiApp(service, gate=gate)
+    server = serve(app, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", (host, port), truth
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+AUTH = {"Authorization": "Bearer sekrit"}
+
+
+def post(base, payload, headers=None, path="/v1/search"):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(), method="POST",
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+def raw_request(address, head: str) -> tuple[str, dict]:
+    """Send raw header bytes (no body) and parse the response."""
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(head.encode("ascii"))
+        reader = sock.makefile("rb")
+        status_line = reader.readline().decode()
+        headers = {}
+        while True:
+            line = reader.readline().decode().strip()
+            if not line:
+                break
+            key, _, value = line.partition(":")
+            headers[key.lower()] = value.strip()
+        body = reader.read(int(headers.get("content-length", 0)))
+    return status_line, json.loads(body) if body else {}
+
+
+class TestAuthOverHTTP:
+    def test_missing_and_wrong_token_401(self, hardened_api):
+        base, _, truth = hardened_api
+        status, body, _ = post(base, {"genes": list(truth.query_genes)})
+        assert status == 401 and body["error"]["code"] == "UNAUTHORIZED"
+        status, body, _ = post(
+            base, {"genes": list(truth.query_genes)},
+            {"Authorization": "Bearer wrong"},
+        )
+        assert status == 401
+
+    def test_valid_token_served(self, hardened_api):
+        base, _, truth = hardened_api
+        status, body, _ = post(base, {"genes": list(truth.query_genes)}, AUTH)
+        assert status == 200 and body["gene_rows"]
+
+    def test_health_needs_no_token(self, hardened_api):
+        base, _, _ = hardened_api
+        with urllib.request.urlopen(base + "/v1/health", timeout=30) as resp:
+            assert resp.status == 200
+
+    def test_export_is_gated_too(self, hardened_api):
+        """The streaming endpoint inherits the same gate."""
+        base, _, truth = hardened_api
+        status, body, _ = post(
+            base, {"genes": list(truth.query_genes)}, path="/v1/search/export"
+        )
+        assert status == 401 and body["error"]["code"] == "UNAUTHORIZED"
+
+
+class TestRateLimitOverHTTP:
+    def test_429_with_working_retry_after(self, hardened_api):
+        """Burst of 2 admits two; the third gets 429 whose retry_after_ms,
+        waited out, actually admits the next request."""
+        base, _, truth = hardened_api
+        headers = dict(AUTH, **{"X-Client-Id": "tenant-1"})
+        payload = {"genes": list(truth.query_genes)}
+        assert post(base, payload, headers)[0] == 200
+        assert post(base, payload, headers)[0] == 200
+        status, body, http_headers = post(base, payload, headers)
+        assert status == 429
+        assert body["error"]["code"] == "RATE_LIMITED"
+        retry_ms = body["error"]["details"]["retry_after_ms"]
+        assert retry_ms >= 1
+        assert int(http_headers["Retry-After"]) >= 1
+        time.sleep(retry_ms / 1000.0 + 0.05)
+        assert post(base, payload, headers)[0] == 200
+
+    def test_client_keys_are_independent(self, hardened_api):
+        base, _, truth = hardened_api
+        payload = {"genes": list(truth.query_genes)}
+        one = dict(AUTH, **{"X-Client-Id": "tenant-a"})
+        two = dict(AUTH, **{"X-Client-Id": "tenant-b"})
+        assert post(base, payload, one)[0] == 200
+        assert post(base, payload, one)[0] == 200
+        assert post(base, payload, one)[0] == 429
+        assert post(base, payload, two)[0] == 200  # b has its own bucket
+
+    def test_anonymous_spoofed_client_ids_share_one_bucket(self, limits_setup):
+        """End to end over HTTP, no auth: rotating X-Client-Id per request
+        must not bypass the limit — all spoofed ids key on the peer."""
+        compendium, truth = limits_setup
+        service = SpellService(compendium)
+        gate = RequestGate(rate_limit=0.001, rate_burst=2)
+        app = ApiApp(service, gate=gate)
+        server = serve(app, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            payload = {"genes": list(truth.query_genes)}
+            statuses = [
+                post(base, payload, {"X-Client-Id": f"spoof-{i}"})[0]
+                for i in range(4)
+            ]
+            assert statuses == [200, 200, 429, 429]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_unauthorized_rejected_before_body_read(self, hardened_api):
+        """A 401 must not cost the server a body read: the raw socket
+        declares a large (in-cap) body, sends none, and still gets the
+        immediate structured 401."""
+        _, address, _ = hardened_api
+        status_line, body = raw_request(
+            address,
+            "POST /v1/search HTTP/1.1\r\nHost: t\r\n"
+            "Content-Length: 4000\r\n\r\n",  # within the cap, never sent
+        )
+        assert " 401 " in status_line
+        assert body["error"]["code"] == "UNAUTHORIZED"
+
+    def test_limit_counters_in_health(self, hardened_api):
+        base, _, truth = hardened_api
+        headers = dict(AUTH, **{"X-Client-Id": "tenant-z"})
+        payload = {"genes": list(truth.query_genes)}
+        for _ in range(4):
+            post(base, payload, headers)
+        post(base, payload)  # and one unauthorized
+        with urllib.request.urlopen(base + "/v1/health", timeout=30) as resp:
+            health = json.loads(resp.read())
+        limits = health["limits"]
+        assert limits["auth_required"] is True
+        assert limits["rate_limit_per_second"] == 5.0
+        assert limits["rate_limited"] >= 1
+        assert limits["unauthorized"] >= 1
+        # gate rejections count as endpoint errors too
+        assert health["endpoints"]["search"]["errors"] >= 2
+
+
+class TestBodyCapOverRawSocket:
+    def test_oversized_declared_body_rejected_pre_read(self, hardened_api):
+        """A 100 GB Content-Length gets a structured 413 immediately —
+        the server must answer without waiting for (or allocating) the
+        declared body, which this raw socket never sends."""
+        _, address, _ = hardened_api
+        status_line, body = raw_request(
+            address,
+            "POST /v1/search HTTP/1.1\r\nHost: t\r\n"
+            "Authorization: Bearer sekrit\r\n"
+            "Content-Length: 107374182400\r\n\r\n",
+        )
+        assert " 413 " in status_line
+        assert body["error"]["code"] == "BODY_TOO_LARGE"
+        assert body["error"]["details"]["max_body_bytes"] == 4096
+
+    def test_negative_content_length_rejected(self, hardened_api):
+        _, address, _ = hardened_api
+        status_line, body = raw_request(
+            address,
+            "POST /v1/search HTTP/1.1\r\nHost: t\r\n"
+            "Authorization: Bearer sekrit\r\n"
+            "Content-Length: -7\r\n\r\n",
+        )
+        assert " 400 " in status_line
+        assert body["error"]["code"] == "MALFORMED_BODY"
+
+    def test_non_numeric_content_length_rejected(self, hardened_api):
+        _, address, _ = hardened_api
+        status_line, body = raw_request(
+            address,
+            "POST /v1/search HTTP/1.1\r\nHost: t\r\n"
+            "Authorization: Bearer sekrit\r\n"
+            "Content-Length: banana\r\n\r\n",
+        )
+        assert " 400 " in status_line
+        assert body["error"]["code"] == "MALFORMED_BODY"
+
+    def test_at_cap_body_still_served(self, hardened_api):
+        base, _, truth = hardened_api
+        payload = {"genes": list(truth.query_genes)}
+        assert len(json.dumps(payload)) <= 4096
+        status, body, _ = post(base, payload, AUTH)
+        assert status == 200 and body["gene_rows"]
+
+
+class TestWireLayerInheritsGate:
+    """handle_wire enforces the gate for *any* transport, not just HTTP."""
+
+    def test_handle_wire_with_context(self, limits_setup):
+        compendium, truth = limits_setup
+        gate = RequestGate(auth_token="tok", rate_limit=1000.0)
+        app = ApiApp(SpellService(compendium), gate=gate)
+        status, body = app.handle_wire(
+            "search", {"genes": list(truth.query_genes)},
+            context=RequestContext(client="x"),
+        )
+        assert status == 401 and body["error"]["code"] == "UNAUTHORIZED"
+        status, body = app.handle_wire(
+            "search", {"genes": list(truth.query_genes)},
+            context=RequestContext(client="x", auth_token="tok"),
+        )
+        assert status == 200
+
+    def test_handle_wire_without_context_trusted(self, limits_setup):
+        compendium, truth = limits_setup
+        gate = RequestGate(auth_token="tok")
+        app = ApiApp(SpellService(compendium), gate=gate)
+        status, _ = app.handle_wire("search", {"genes": list(truth.query_genes)})
+        assert status == 200
+
+    def test_cli_auth_token_file(self, tmp_path):
+        """--auth-token-file wires the gate without a hand-built RequestGate."""
+        import argparse
+
+        from repro.api.http import main
+
+        token_file = tmp_path / "token"
+        token_file.write_text("")
+        with pytest.raises((SystemExit, argparse.ArgumentError)):
+            main(["--port", "0", "--auth-token-file", str(token_file)])

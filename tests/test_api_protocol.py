@@ -24,6 +24,9 @@ from repro.api.protocol import (
     DatasetInfo,
     DatasetListRequest,
     DatasetListResponse,
+    ExportChunk,
+    ExportRequest,
+    ExportTrailer,
     HealthResponse,
     RenderRequest,
     RenderResponse,
@@ -189,8 +192,52 @@ class TestWireRoundTrip:
                 cache={"hits": 2, "misses": 5},
                 endpoints={"search": {"count": 7, "errors": 1,
                                       "total_seconds": 0.2, "mean_seconds": 0.03}},
+                serving={"n_workers": 2},
+                limits={"rate_limited": 3, "auth_required": True},
             ),
             HealthResponse,
+        )
+
+    @given(genes=gene_lists, top_k=st.one_of(st.none(), st.integers(1, 500)),
+           chunk=st.integers(1, 5000), use_cache=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_export_request(self, genes, top_k, chunk, use_cache):
+        wire_identity(
+            ExportRequest(
+                genes=genes, top_k=top_k, chunk_size=chunk, use_cache=use_cache
+            ),
+            ExportRequest,
+        )
+
+    @given(offset=st.integers(0, 10_000), n_rows=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_export_chunk(self, offset, n_rows):
+        wire_identity(
+            ExportChunk(
+                offset=offset,
+                gene_rows=tuple(
+                    (offset + i + 1, f"G{i}", 0.5 - i * 0.01) for i in range(n_rows)
+                ),
+            ),
+            ExportChunk,
+        )
+
+    def test_export_trailer(self):
+        wire_identity(
+            ExportTrailer(
+                status="ok", total_genes=1000, total_rows=1000, n_chunks=2,
+                checksum="sha256:abc123", query=("G1", "G2"),
+                query_used=("G1",), query_missing=("G2",),
+                dataset_rows=((1, "ds0", 0.9),), elapsed_seconds=0.05,
+            ),
+            ExportTrailer,
+        )
+        wire_identity(
+            ExportTrailer(
+                status="error", n_chunks=1, checksum="sha256:def",
+                error={"code": "INTERNAL", "message": "boom"},
+            ),
+            ExportTrailer,
         )
 
 
@@ -265,6 +312,35 @@ class TestValidation:
     def test_render_bad_base64(self):
         with pytest.raises(ApiError):
             RenderResponse.from_wire({"width": 1, "height": 1, "ppm_base64": "%%%"})
+
+    def test_export_request_validation(self):
+        with pytest.raises(ApiError) as exc:
+            ExportRequest.from_wire({"genes": ["A"], "chunk_size": 0})
+        assert exc.value.code == "INVALID_REQUEST"
+        with pytest.raises(ApiError) as exc:
+            ExportRequest.from_wire({"genes": ["A"], "page": 2})  # no paging here
+        assert exc.value.code == "INVALID_REQUEST"
+        with pytest.raises(ApiError) as exc:
+            ExportRequest.from_wire({"chunk_size": 5})
+        assert exc.value.code == "INVALID_QUERY"
+
+    def test_stream_lines_reject_kind_mismatch(self):
+        """A trailer parsed as a chunk (or vice versa) must be a
+        structured error — the kind discriminator is load-bearing."""
+        trailer_wire = ExportTrailer(status="ok").to_wire()
+        with pytest.raises(ApiError):
+            ExportChunk.from_wire(trailer_wire)
+        chunk_wire = ExportChunk(offset=0, gene_rows=()).to_wire()
+        with pytest.raises(ApiError):
+            ExportTrailer.from_wire(chunk_wire)
+
+    def test_trailer_error_status_pairing(self):
+        with pytest.raises(ApiError):
+            ExportTrailer(status="error")  # error status needs an error object
+        with pytest.raises(ApiError):
+            ExportTrailer(status="ok", error={"code": "INTERNAL", "message": "x"})
+        with pytest.raises(ApiError):
+            ExportTrailer(status="partial")
 
 
 # ------------------------------------------------------------- error mapping

@@ -220,6 +220,78 @@ class TestSearchBatch:
         assert index.search_batch([]) == []
 
 
+# --------------------------------------------------------- scratch discipline
+class TestScratchPoolLeak:
+    """Regression: failing queries must not strand pooled scratch buffers.
+
+    A search that raises *after* ``acquire()`` (e.g. a bad ``top_k``
+    surfacing during finalization) used to be the leak shape the
+    try/finally discipline exists for: every failed query would strand
+    one scratch, silently regrowing allocations on the serving path.
+    Hammer failing calls and assert the pool's steady state is stable.
+    """
+
+    def _steady_state(self, index, query):
+        index.search(query)  # populate one scratch in the free-list
+        return index._scratch.idle_count()
+
+    def test_failing_search_keeps_pool_stable(self, setup):
+        comp, truth = setup
+        index = SpellIndex.build(comp)
+        query = list(truth.query_genes)
+        steady = self._steady_state(index, query)
+        for _ in range(50):
+            with pytest.raises(SearchError):
+                # top_k validation fires in _finalize, after acquire()
+                index.search(query, top_k=-1)
+        assert index._scratch.idle_count() == steady
+        # and the pool still serves correct answers afterwards
+        assert _rows(index.search(query)) == _rows(SpellIndex.build(comp).search(query))
+
+    def test_failing_batch_keeps_pool_stable(self, setup):
+        comp, truth = setup
+        index = SpellIndex.build(comp)
+        query = tuple(truth.query_genes)
+        bad_batch = [
+            BatchQuery(genes=query),
+            # the second member's bad top_k fires after the batch
+            # acquired one scratch per member
+            BatchQuery(genes=query[:2], top_k=-1),
+        ]
+        with pytest.raises(SearchError):
+            index.search_batch(bad_batch)
+        # the first failure parks the batch's scratches in the free-list;
+        # repeated failures must recycle those, never strand new ones
+        steady = index._scratch.idle_count()
+        for _ in range(25):
+            with pytest.raises(SearchError):
+                index.search_batch(bad_batch)
+        assert index._scratch.idle_count() == steady
+
+    def test_pre_acquire_failures_never_touch_pool(self, setup):
+        comp, truth = setup
+        index = SpellIndex.build(comp)
+        steady = self._steady_state(index, list(truth.query_genes))
+        for _ in range(25):
+            with pytest.raises(SearchError):
+                index.search(list(truth.query_genes), datasets=["no-such-dataset"])
+            with pytest.raises(SearchError):
+                index.search(["totally-unknown-gene"])
+        assert index._scratch.idle_count() == steady
+
+    def test_batch_reuses_pooled_scratch(self, setup):
+        """The batched kernel draws from (and returns to) the same pool
+        as single-query search — no per-batch accumulator allocations."""
+        comp, truth = setup
+        index = SpellIndex.build(comp)
+        queries = _queries(comp, truth, n=6)
+        index.search_batch(queries)
+        pooled = index._scratch.idle_count()
+        assert pooled >= len(queries)  # every member's scratch came back
+        index.search_batch(queries)
+        assert index._scratch.idle_count() == pooled  # reused, not regrown
+
+
 # ----------------------------------------------------------- process serving
 @pytest.fixture(scope="module")
 def proc_service():
@@ -462,6 +534,39 @@ class TestCacheAdmission:
         lru.put("e", 5)  # evicts the LRU entry ("a": its last hit predates b's)
         assert lru.entry_hits("a") == 0
         assert lru.stats()["hot_entry_hits"] == 1  # b's count survives
+
+    def test_hottest_tie_break_is_deterministic(self):
+        """Equally-hot entries must rank identically regardless of the
+        order they entered the dict — /v1/health must not flap."""
+        forward = LruCache(max_entries=8)
+        backward = LruCache(max_entries=8)
+        keys = ["zeta", "alpha", "mid"]
+        for k in keys:
+            forward.put(k, k)
+        for k in reversed(keys):
+            backward.put(k, k)
+        for k in keys:  # every entry equally hot
+            forward.get(k)
+            backward.get(k)
+        assert forward.hottest(3) == backward.hottest(3)
+        # ties order by key repr; higher counts still come first
+        forward.get("mid")
+        assert forward.hottest(3) == [("mid", 2), ("alpha", 1), ("zeta", 1)]
+
+    def test_put_refresh_resets_entry_hits(self):
+        """Refreshing a key installs a new value; its hit count must
+        describe the current value, not the stale one it replaced."""
+        lru = LruCache(max_entries=4)
+        lru.put("a", 1)
+        for _ in range(5):
+            lru.get("a")
+        assert lru.entry_hits("a") == 5
+        lru.put("a", 2)  # refresh
+        assert lru.entry_hits("a") == 0
+        assert lru.stats()["hot_entry_hits"] == 0
+        assert lru.hits == 5  # the lifetime aggregate is untouched
+        assert lru.get("a") == 2
+        assert lru.entry_hits("a") == 1
 
     def test_min_cost_gates_admission(self):
         cache = QueryCache(max_entries=8, min_cost=100)

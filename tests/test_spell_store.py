@@ -169,6 +169,78 @@ class TestSync:
         assert not report.dirty
         assert set(report.unchanged) == set(comp.names)
 
+    def test_sync_sweeps_orphan_shard_files(self, setup, tmp_path):
+        """Shard files no committed manifest references (a writer crashed
+        between np.save and the manifest rename) are reclaimed by the
+        next successful sync — a churning store can't grow forever."""
+        comp, _ = setup
+        index = SpellIndex.build(comp)
+        IndexStore.save(index, tmp_path)
+        live = {p.name for p in tmp_path.glob("shard-*.npy")}
+        orphans = {"shard-deadbeefdeadbeef.npy", "shard-0123456789abcdef.npy"}
+        for name in orphans:
+            np.save(tmp_path / name, np.zeros((3, 3)))
+            # np.save appends .npy only when missing; both names end .npy
+        assert {p.name for p in tmp_path.glob("shard-*.npy")} == live | orphans
+
+        report = IndexStore.sync(index, tmp_path)
+        assert set(report.swept) == orphans
+        assert not report.dirty  # sweeping strays rewrites no live shard
+        assert {p.name for p in tmp_path.glob("shard-*.npy")} == live
+
+    def test_crash_between_write_and_sweep_loads_cleanly(self, setup, tmp_path):
+        """Simulated crash mid-sync: the replacement shard landed on disk
+        but the manifest publish (and sweep) never ran.  The store must
+        load cleanly (old content — the committed manifest never points
+        at missing files), and the next successful sync reclaims every
+        unreferenced byte."""
+        from repro.spell.store import _shard_filename
+
+        comp, _ = setup
+        index = SpellIndex.build(comp)
+        IndexStore.save(index, tmp_path)
+        old_names = list(comp.names)
+
+        stale_name = comp.names[1]
+        replacement = _replaced(comp, stale_name)
+        comp.remove(stale_name)
+        comp.add(replacement)
+        updated = index.updated(comp)
+        # the "crashed" writer: np.save of the new shard completed, then
+        # the process died before the manifest rename
+        entry = next(e for e in updated._entries if e.name == stale_name)
+        stray = _shard_filename(
+            entry.name, entry.fingerprint, entry.normalized.dtype.name
+        )
+        np.save(tmp_path / stray, np.ascontiguousarray(entry.normalized))
+
+        loaded = IndexStore.load(tmp_path)  # must not trip over the stray
+        assert loaded.dataset_names == old_names
+
+        report = IndexStore.sync(updated, tmp_path)
+        assert stale_name in report.written
+        assert IndexStore.matches(tmp_path, comp)
+        # every remaining file is referenced by the committed manifest
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        referenced = {s["file"] for s in manifest["shards"]}
+        assert {p.name for p in tmp_path.glob("shard-*.npy")} == referenced
+
+    def test_from_scratch_sync_sweeps_too(self, setup, tmp_path):
+        """A corrupt manifest with stranded shard files: sync rebuilds the
+        store *and* clears the strays the new manifest doesn't claim."""
+        comp, _ = setup
+        index = SpellIndex.build(comp)
+        IndexStore.save(index, tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        np.save(tmp_path / "shard-feedfacefeedface.npy", np.ones((2, 2)))
+
+        report = IndexStore.sync(index, tmp_path)
+        assert set(report.written) == set(comp.names)
+        assert "shard-feedfacefeedface.npy" in report.swept
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        referenced = {s["file"] for s in manifest["shards"]}
+        assert {p.name for p in tmp_path.glob("shard-*.npy")} == referenced
+
 
 # ------------------------------------------------------- manifest validation
 class TestManifestValidation:
