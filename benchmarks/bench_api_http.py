@@ -22,6 +22,13 @@ query API"); this bench prices the facade itself:
    rows asserted, export must be at least 2x faster (it pays one HTTP
    round trip, one cache lookup, and one metadata serialization for
    the entire ranking), numbers in ``benchmarks/results/BENCH_5.json``.
+5. **Sharded scatter-gather vs one node** — the same cold queries
+   through a 3-shard ``RouterService`` topology vs a single-node
+   facade, sequential client (the shape the sharded tier accelerates:
+   each query's scoring fans out across shard nodes concurrently).
+   Rankings asserted identical; on a multi-core host sharded
+   throughput must not fall below single-node; numbers in
+   ``benchmarks/results/BENCH_6.json``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import pytest
 
 from repro.api.app import ApiApp
 from repro.api.http import serve
+from repro.cluster_serving import build_local_topology
 from repro.spell import SpellService
 from repro.util.rng import default_rng
 from repro.util.timing import Stopwatch
@@ -368,3 +376,121 @@ def test_http_batch_multiproc_consistent_and_reported(
             }
         },
     )
+
+
+def test_http_sharded_vs_single_node(spell_bench):
+    """Scatter-gather sharded serving vs one node, same queries over HTTP.
+
+    A sequential client issues cold queries (``use_cache=False``) so every
+    request prices real scoring.  The single-node facade scores all 40
+    datasets in one process; the sharded facade routes each query through
+    ``RouterService`` to three in-process shard nodes over real sockets
+    and merges the partials.  Rankings must be identical (the oracle
+    property, asserted through the full HTTP stack); on a multi-core host
+    the per-query shard parallelism must at least pay for the RPC hop —
+    sharded throughput >= single-node.  On one core only the overhead is
+    visible, so the gate is informational there.
+    """
+    comp, _truth = spell_bench
+    universe = comp.gene_universe()
+    rng = default_rng(20260807)
+    queries = []
+    while len(queries) < 12:
+        # 12-gene queries: enough matmul per request that the scoring the
+        # shards parallelize dominates the fixed per-query RPC cost
+        picks = rng.choice(len(universe), size=12, replace=False)
+        queries.append([universe[int(p)] for p in picks])
+
+    def boot(app):
+        server = serve(app, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        return server, thread, f"http://{host}:{port}"
+
+    def post_cold(base: str, genes: list[str]) -> dict:
+        request = urllib.request.Request(
+            base + "/v1/search",
+            data=json.dumps(
+                {"genes": genes, "page_size": 20, "use_cache": False}
+            ).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return json.loads(resp.read())
+
+    service = SpellService(comp, cache_size=0)
+    single_server, single_thread, single_base = boot(ApiApp(service))
+    topology = build_local_topology(
+        comp, n_shards=3, replication=1, cache_size=0
+    )
+    shard_server, shard_thread, shard_base = boot(ApiApp(topology.router))
+
+    rows = []
+    qps = {}
+    try:
+        # the oracle property survives the full stack: router + RPC + HTTP
+        for genes in queries:
+            single_body = post_cold(single_base, genes)
+            sharded_body = post_cold(shard_base, genes)
+            assert sharded_body["gene_rows"] == single_body["gene_rows"]
+            assert sharded_body["dataset_rows"] == single_body["dataset_rows"]
+            assert sharded_body["partial"] is False
+
+        for label, base in (
+            ("single node", single_base),
+            ("3-shard router", shard_base),
+        ):
+            best = float("inf")
+            for _ in range(3):
+                with Stopwatch() as sw:
+                    for genes in queries:
+                        post_cold(base, genes)
+                best = min(best, sw.elapsed)
+            qps[label] = len(queries) / best
+            rows.append(
+                [label, f"{best * 1e3:.1f} ms",
+                 f"{best / len(queries) * 1e3:.2f} ms", f"{qps[label]:.0f}"]
+            )
+    finally:
+        for server, thread in (
+            (single_server, single_thread), (shard_server, shard_thread)
+        ):
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        topology.close()
+        service.close()
+
+    cores = os.cpu_count() or 1
+    ratio = qps["3-shard router"] / qps["single node"]
+    write_report(
+        "API_HTTP_SHARDED",
+        "HTTP facade: 3-shard scatter-gather router vs single node",
+        ["serving tier", "batch wall time", "per query", "queries/sec"],
+        rows,
+        notes=(
+            f"{len(queries)} cold queries, sequential client, {cores}-core "
+            f"host; sharded/single throughput ratio {ratio:.2f}.  Rankings "
+            "asserted bit-identical through the full router + RPC + HTTP "
+            "stack before timing."
+        ),
+    )
+    update_json_report(
+        "BENCH_6",
+        {
+            "sharded_vs_single_node": {
+                "cores": cores,
+                "n_shards": 3,
+                "n_queries": len(queries),
+                "single_node_qps": qps["single node"],
+                "sharded_qps": qps["3-shard router"],
+                "ratio": ratio,
+            }
+        },
+    )
+    if cores >= 2:
+        assert ratio >= 1.0, (
+            f"sharded serving slower than single node on {cores} cores: "
+            f"{qps['3-shard router']:.0f} vs {qps['single node']:.0f} qps"
+        )

@@ -9,6 +9,7 @@ contrast against the text-match strawman that motivates SPELL (§3).
 
 import pytest
 
+from repro.api.protocol import SearchRequest
 from repro.spell import SpellEngine, SpellIndex, SpellService, TextSearchBaseline
 from repro.stats import average_precision, precision_at_k
 
@@ -49,7 +50,9 @@ def test_fig4_result_page_and_quality(setup):
     """The Figure 4 page content plus retrieval quality vs the baseline."""
     comp, truth, index = setup
     service = SpellService(comp, use_index=True)
-    page = service.search_page(list(truth.query_genes), page=0, page_size=10)
+    page = service.respond(
+        SearchRequest(genes=tuple(truth.query_genes), page=0, page_size=10)
+    )
 
     hidden = set(truth.module_genes) - set(truth.query_genes)
     k = len(hidden)

@@ -6,7 +6,7 @@ Five contracts the production service must honour, each measured here:
 1. **Result cache** — a warm-cache query (LRU hit on the canonicalized
    query) must be at least an order of magnitude faster than the cold
    indexed path.
-2. **Batched queries** — ``search_many`` fans a batch over threads
+2. **Batched queries** — ``respond_batch`` fans a batch over threads
    sharing one index; throughput must not regress vs one worker, and on
    a multi-core host must actually scale (NumPy releases the GIL in the
    scoring matmuls).
@@ -103,8 +103,18 @@ def test_service_cold_vs_warm_cache(workload):
     assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
 
 
+def _batch_request(queries, *, scheduler="map", use_cache=True):
+    return BatchSearchRequest(
+        searches=tuple(
+            SearchRequest(genes=tuple(q), page_size=20, use_cache=use_cache)
+            for q in queries
+        ),
+        scheduler=scheduler,
+    )
+
+
 def test_service_batched_throughput(workload):
-    """search_many: batched throughput across worker counts and schedulers."""
+    """respond_batch: batched throughput across worker counts and schedulers."""
     comp, _, queries = workload
     rows = []
     qps = {}
@@ -113,7 +123,7 @@ def test_service_batched_throughput(workload):
             if n_workers == 1 and scheduler == "steal":
                 continue
             service = SpellService(comp, n_workers=n_workers, cache_size=0)
-            batch = service.search_many(queries, scheduler=scheduler)
+            batch = service.respond_batch(_batch_request(queries, scheduler=scheduler))
             qps[(n_workers, scheduler)] = batch.queries_per_second
             rows.append(
                 [
@@ -123,7 +133,7 @@ def test_service_batched_throughput(workload):
                     f"{batch.queries_per_second:.0f}",
                 ]
             )
-            assert len(batch.pages) == len(queries)
+            assert len(batch.results) == len(queries)
             assert batch.cache_hits == 0  # caching disabled on this path
 
     cores = os.cpu_count() or 1
@@ -131,7 +141,7 @@ def test_service_batched_throughput(workload):
     best_parallel = max(v for (w, _), v in qps.items() if w > 1)
     write_report(
         "SERVICE_BATCH",
-        "SPELL service: batched multi-query throughput (search_many)",
+        "SPELL service: batched multi-query throughput (respond_batch)",
         ["workers", "scheduler", "batch wall time", "queries/sec"],
         rows,
         notes=(
@@ -307,11 +317,11 @@ def test_service_warm_batch_beats_cold_batch(workload):
     """The combined path: a warm cache accelerates whole batches too."""
     comp, _, queries = workload
     service = SpellService(comp, n_workers=2)
-    cold_batch = service.search_many(queries)
-    warm_batch = service.search_many(queries)
+    cold_batch = service.respond_batch(_batch_request(queries))
+    warm_batch = service.respond_batch(_batch_request(queries))
     assert warm_batch.cache_hits == len(queries)
     assert warm_batch.total_seconds < cold_batch.total_seconds
-    for cold_page, warm_page in zip(cold_batch.pages, warm_batch.pages):
+    for cold_page, warm_page in zip(cold_batch.results, warm_batch.results):
         assert cold_page.gene_rows == warm_page.gene_rows
 
 

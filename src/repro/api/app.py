@@ -44,6 +44,7 @@ from repro.api.protocol import (
     SearchRequest,
     SearchResponse,
 )
+from repro.api.routes import ROUTES, all_endpoints, stream_endpoints, unary_endpoints
 from repro.cluster.hierarchical import hierarchical_cluster
 from repro.spell.engine import SpellResult
 from repro.spell.service import SpellService
@@ -52,31 +53,18 @@ from repro.viz.colormap import get_colormap
 from repro.viz.heatmap import render_heatmap_block
 from repro.viz.ppm import encode_ppm
 
-__all__ = ["ApiApp", "ENDPOINTS", "STREAM_ENDPOINTS", "all_endpoints"]
+__all__ = ["ApiApp", "ENDPOINTS", "ROUTES", "STREAM_ENDPOINTS", "all_endpoints"]
 
-#: endpoint name -> (request type or None, ApiApp method name).  The HTTP
-#: facade maps these onto ``/v1/<name>`` routes; other transports are free
-#: to address them however they like.
-ENDPOINTS: dict[str, tuple[type | None, str]] = {
-    "search": (SearchRequest, "search"),
-    "search/batch": (BatchSearchRequest, "search_batch"),
-    "datasets": (DatasetListRequest, "datasets"),
-    "cluster": (ClusterRequest, "cluster"),
-    "render/heatmap": (RenderRequest, "render_heatmap"),
-    "health": (None, "health"),
-}
+#: endpoint name -> (request type or None, ApiApp method name) — derived
+#: from the declarative registry (:mod:`repro.api.routes`), which is the
+#: single registration point every facade shares.  The names stay
+#: exported for transports and tests that consume the dispatch tables.
+ENDPOINTS: dict[str, tuple[type | None, str]] = unary_endpoints()
 
 #: Streaming endpoints answer with a *sequence* of NDJSON lines, not one
 #: JSON body, so they dispatch through :meth:`ApiApp.export` rather than
 #: ``handle_wire`` (whose (status, body) contract cannot stream).
-STREAM_ENDPOINTS: dict[str, type] = {
-    "search/export": ExportRequest,
-}
-
-
-def all_endpoints() -> list[str]:
-    """Every addressable endpoint name (unary + streaming), sorted."""
-    return sorted(set(ENDPOINTS) | set(STREAM_ENDPOINTS))
+STREAM_ENDPOINTS: dict[str, type] = stream_endpoints()
 
 
 class _EndpointStats:
@@ -381,6 +369,9 @@ class ApiApp:
     def health(self) -> HealthResponse:
         with self._timed("health"):
             service = self.service
+            # sharded services report per-node routing state; single-node
+            # services have no shard_stats and answer the v1 default ({})
+            shard_stats = getattr(service, "shard_stats", None)
             return HealthResponse(
                 status="ok",
                 uptime_seconds=time.monotonic() - self._started,
@@ -392,6 +383,7 @@ class ApiApp:
                 endpoints=self._stats.snapshot(),
                 serving=service.serving_stats(),
                 limits=self.gate.stats(),
+                shards=shard_stats() if callable(shard_stats) else {},
             )
 
     def endpoint_stats(self) -> dict[str, dict[str, float]]:

@@ -26,6 +26,7 @@ from repro.util.errors import (
     DataFormatError,
     RenderError,
     ReproError,
+    RpcError,
     SearchError,
     StoreError,
     ValidationError,
@@ -34,6 +35,7 @@ from repro.util.errors import (
 __all__ = [
     "API_VERSION",
     "ApiError",
+    "ERROR_DESCRIPTIONS",
     "ERROR_STATUS",
     "as_api_error",
     "error_payload",
@@ -58,7 +60,33 @@ ERROR_STATUS: dict[str, int] = {
     "RATE_LIMITED": 429,  # client key exceeded its token bucket
     "BODY_TOO_LARGE": 413,  # declared/observed body over the cap
     "INDEX_STALE": 503,  # persistent index unreadable / out of date
+    "SHARD_UNAVAILABLE": 503,  # sharded serving cannot reach the data owners
     "INTERNAL": 500,  # anything unclassified (a bug, by definition)
+}
+
+#: Human-readable meaning of every stable code — the docs generator
+#: (:mod:`repro.api.docs`) renders these, so the registry stays the
+#: single source of truth for the error contract.
+ERROR_DESCRIPTIONS: dict[str, str] = {
+    "INVALID_REQUEST": "Malformed field values or unknown fields in the payload.",
+    "MALFORMED_BODY": "The request body is not a JSON object.",
+    "UNSUPPORTED_VERSION": "The payload declares an api_version other than 'v1'.",
+    "INVALID_QUERY": "The gene query is empty, has duplicates, or matches nothing.",
+    "PAGE_OUT_OF_RANGE": "The requested page is at or past total_pages.",
+    "UNKNOWN_GENE": "No query gene exists in the searched scope.",
+    "UNKNOWN_DATASET": "A dataset filter names a dataset the server does not hold.",
+    "UNKNOWN_ENDPOINT": "No such route.",
+    "METHOD_NOT_ALLOWED": "Known route, wrong HTTP verb.",
+    "UNAUTHORIZED": "Missing or invalid bearer token while auth is enabled.",
+    "RATE_LIMITED": "The client key exceeded its token bucket; retry_after_ms rides in details.",
+    "BODY_TOO_LARGE": "The declared or observed request body exceeds the cap.",
+    "INDEX_STALE": "The persistent index is unreadable or out of date.",
+    "SHARD_UNAVAILABLE": (
+        "Sharded serving could not reach any owner of the requested data "
+        "(when partial results are possible they are served instead, flagged "
+        "partial=true with per-shard detail)."
+    ),
+    "INTERNAL": "Anything unclassified — a bug, by definition.",
 }
 
 
@@ -98,6 +126,8 @@ def as_api_error(exc: BaseException) -> ApiError:
         return exc
     if isinstance(exc, StoreError):
         return ApiError("INDEX_STALE", str(exc))
+    if isinstance(exc, RpcError):
+        return ApiError("SHARD_UNAVAILABLE", str(exc))
     if isinstance(exc, SearchError):
         return ApiError("INVALID_QUERY", str(exc))
     if isinstance(exc, (ValidationError, RenderError, DataFormatError)):

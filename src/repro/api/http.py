@@ -56,9 +56,10 @@ from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.api.app import ENDPOINTS, STREAM_ENDPOINTS, ApiApp, all_endpoints
+from repro.api.app import ApiApp, all_endpoints
 from repro.api.errors import ApiError, as_api_error, error_payload
 from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestContext, RequestGate
+from repro.api.routes import ROUTE_BY_NAME, Route
 
 __all__ = ["ApiHTTPServer", "serve", "main"]
 
@@ -66,7 +67,6 @@ __all__ = ["ApiHTTPServer", "serve", "main"]
 MAX_BODY_BYTES = DEFAULT_MAX_BODY_BYTES
 
 _PREFIX = "/v1/"
-_GET_ENDPOINTS = frozenset({"datasets", "health"})
 
 
 class ApiHTTPServer(ThreadingHTTPServer):
@@ -116,12 +116,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, verb: str) -> None:
         app: ApiApp = self.server.app  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
-        endpoint: str | None = None
+        route: Route | None = None
         try:
-            endpoint = self._route(parsed.path, verb)
+            route = self._route(parsed.path, verb)
             # gate BEFORE the body read: a 401/429/413 must not cost the
             # server a recv of the (up to cap-sized) declared body
-            context = self._admit(app, endpoint)
+            context = self._admit(app, route.name)
             payload = self._read_body(app) if verb == "POST" else {}
         except ApiError as err:
             # the declared body may be unread at this point; a reused
@@ -129,17 +129,18 @@ class _Handler(BaseHTTPRequestHandler):
             # line, so close instead of desyncing the stream
             self.close_connection = True
             if err.code in self._GATE_CODES:
-                app.record_rejection(endpoint if endpoint is not None else "(unknown)")
+                app.record_rejection(route.name if route is not None else "(unknown)")
             self._send_json(err.http_status, error_payload(err))
             return
 
-        if endpoint in STREAM_ENDPOINTS:
+        if route.kind == "stream":
             self._stream(app, payload, context)
             return
-        if endpoint == "render/heatmap" and self._wants_raw_ppm(parsed.query):
+        raw = self._raw_format(parsed.query)
+        if raw is not None and raw in route.raw_formats:
             self._render_raw(app, payload, context)
             return
-        status, body = app.handle_wire(endpoint, payload, context=context)
+        status, body = app.handle_wire(route.name, payload, context=context)
         self._send_json(status, body)
 
     def _admit(self, app: ApiApp, endpoint: str) -> RequestContext:
@@ -178,8 +179,8 @@ class _Handler(BaseHTTPRequestHandler):
             declared_client=self.headers.get("X-Client-Id") or None,
         )
 
-    def _route(self, path: str, verb: str) -> str:
-        known = set(ENDPOINTS) | set(STREAM_ENDPOINTS)
+    def _route(self, path: str, verb: str) -> Route:
+        """Resolve a URL path against the declarative route registry."""
         if not path.startswith(_PREFIX):
             raise ApiError(
                 "UNKNOWN_ENDPOINT",
@@ -187,20 +188,20 @@ class _Handler(BaseHTTPRequestHandler):
                 details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
             )
         endpoint = path[len(_PREFIX):].strip("/")
-        if endpoint not in known:
+        route = ROUTE_BY_NAME.get(endpoint)
+        if route is None:
             raise ApiError(
                 "UNKNOWN_ENDPOINT",
                 f"no endpoint {path!r}",
                 details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
             )
-        expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
-        if verb != expected:
+        if verb != route.method:
             raise ApiError(
                 "METHOD_NOT_ALLOWED",
-                f"{path} expects {expected}, got {verb}",
-                details={"allowed": [expected]},
+                f"{path} expects {route.method}, got {verb}",
+                details={"allowed": [route.method]},
             )
-        return endpoint
+        return route
 
     def _read_body(self, app: ApiApp) -> dict:
         """Read and parse the POST body — after validating its *declared*
@@ -232,8 +233,10 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     @staticmethod
-    def _wants_raw_ppm(query_string: str) -> bool:
-        return parse_qs(query_string).get("format", ["json"])[-1] == "ppm"
+    def _raw_format(query_string: str) -> str | None:
+        """The ``?format=`` value when it requests raw bytes, else None."""
+        value = parse_qs(query_string).get("format", ["json"])[-1]
+        return None if value == "json" else value
 
     def _render_raw(self, app: ApiApp, payload: dict, context: RequestContext) -> None:
         """``?format=ppm``: the image bytes themselves, not a JSON envelope."""

@@ -480,6 +480,13 @@ class SearchResponse:
     ``total_genes`` counts the full candidate ranking while
     ``total_pages`` reflects what this request can actually page over
     (``top_k`` caps it).
+
+    ``partial`` / ``shards`` are append-only v1 additions for the
+    sharded serving tier: ``partial=True`` flags a ranking served while
+    some dataset owners were unreachable (never silently — ``shards``
+    carries the per-node detail, including which datasets were skipped);
+    single-node servers always answer ``partial=False`` with an empty
+    ``shards``, so old clients see byte-compatible payloads.
     """
 
     query: tuple[str, ...]
@@ -492,6 +499,13 @@ class SearchResponse:
     gene_rows: tuple[tuple[int, str, float], ...]
     dataset_rows: tuple[tuple[int, str, float], ...]
     elapsed_seconds: float
+    partial: bool = False
+    shards: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _bool_field(self.partial, "partial")
+        if not isinstance(self.shards, Mapping):
+            raise _invalid(f"shards must be an object, got {type(self.shards).__name__}")
 
     def to_wire(self) -> dict:
         return {
@@ -506,6 +520,8 @@ class SearchResponse:
             "gene_rows": [list(row) for row in self.gene_rows],
             "dataset_rows": [list(row) for row in self.dataset_rows],
             "elapsed_seconds": self.elapsed_seconds,
+            "partial": self.partial,
+            "shards": dict(self.shards),
         }
 
     @classmethod
@@ -527,6 +543,8 @@ class SearchResponse:
                 _row_tuple(row, "dataset", gene_conv) for row in data.get("dataset_rows", [])
             ),
             elapsed_seconds=_number_field(data.get("elapsed_seconds", 0.0), "elapsed_seconds"),
+            partial=data.get("partial", False),
+            shards=data.get("shards", {}),
         )
 
     @classmethod
@@ -537,6 +555,8 @@ class SearchResponse:
         *,
         elapsed_seconds: float,
         strict: bool = True,
+        partial: bool = False,
+        shards: dict | None = None,
     ) -> "SearchResponse":
         """Paginate a :class:`~repro.spell.engine.SpellResult` per ``request``.
 
@@ -574,6 +594,8 @@ class SearchResponse:
             gene_rows=gene_rows,
             dataset_rows=dataset_rows,
             elapsed_seconds=float(elapsed_seconds),
+            partial=partial,
+            shards=dict(shards or {}),
         )
 
 
@@ -924,6 +946,7 @@ class HealthResponse:
     endpoints: dict  # endpoint -> {count, errors, total_seconds, mean_seconds}
     serving: dict = field(default_factory=dict)  # appended in-version: default keeps v1 parsing
     limits: dict = field(default_factory=dict)  # gate config + rejection counters
+    shards: dict = field(default_factory=dict)  # sharded serving: per-node liveness + routing
 
     def to_wire(self) -> dict:
         return {
@@ -938,6 +961,7 @@ class HealthResponse:
             "endpoints": {k: dict(v) for k, v in self.endpoints.items()},
             "serving": dict(self.serving),
             "limits": dict(self.limits),
+            "shards": dict(self.shards),
         }
 
     @classmethod
@@ -947,12 +971,15 @@ class HealthResponse:
         endpoints = data.get("endpoints", {})
         serving = data.get("serving", {})
         limits = data.get("limits", {})
+        shards = data.get("shards", {})
         if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
             raise _invalid("health cache/endpoints must be objects")
         if not isinstance(serving, Mapping):
             raise _invalid("health serving must be an object")
         if not isinstance(limits, Mapping):
             raise _invalid("health limits must be an object")
+        if not isinstance(shards, Mapping):
+            raise _invalid("health shards must be an object")
         return cls(
             status=str(data.get("status", "")),
             uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
@@ -964,4 +991,5 @@ class HealthResponse:
             endpoints={str(k): dict(v) for k, v in endpoints.items()},
             serving=dict(serving),
             limits=dict(limits),
+            shards=dict(shards),
         )

@@ -1,0 +1,91 @@
+"""Consistent-hash placement of datasets onto shard nodes.
+
+Partitioning is keyed on :attr:`~repro.data.dataset.Dataset.fingerprint`
+— the durable content token — not on names or list positions, so the
+same dataset lands on the same owners from any process that knows the
+node-id set (the shard CLI and the router compute placement
+independently and *must* agree).  The ring hashes each node id at
+``vnodes`` virtual points; a dataset's owners are the first
+``replication`` distinct nodes clockwise from its key, so adding or
+removing one node only reassigns the datasets adjacent to its points
+instead of reshuffling everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.util.errors import ValidationError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "plan_assignment"]
+
+#: Virtual points per node.  Part of the placement contract: every
+#: participant (router, each shard CLI) must hash with the same value or
+#: they will disagree about who owns what.
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    """Stable 64-bit ring position of a key (sha1; not security-sensitive)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of node ids."""
+
+    def __init__(self, node_ids: Iterable[str], *, vnodes: int = DEFAULT_VNODES) -> None:
+        ids = [str(n) for n in node_ids]
+        if not ids:
+            raise ValidationError("hash ring needs at least one node")
+        if len(set(ids)) != len(ids):
+            raise ValidationError("duplicate node ids in hash ring")
+        if vnodes < 1:
+            raise ValidationError(f"vnodes must be >= 1, got {vnodes}")
+        self.node_ids = ids
+        points = sorted(
+            (_point(f"{nid}#{v}"), nid) for nid in ids for v in range(int(vnodes))
+        )
+        self._points = [p for p, _ in points]
+        self._node_at = [n for _, n in points]
+
+    def owners(self, key: str, n: int = 1) -> list[str]:
+        """The first ``n`` distinct nodes clockwise from ``key``.
+
+        The list is the dataset's replica preference order: entry 0 is
+        the primary, later entries are failover targets.  ``n`` is
+        clamped to the node count (a 2-node ring cannot 3-replicate).
+        """
+        n = max(1, min(int(n), len(self.node_ids)))
+        start = bisect_right(self._points, _point(key))
+        out: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._node_at)):
+            nid = self._node_at[(start + i) % len(self._node_at)]
+            if nid not in seen:
+                seen.add(nid)
+                out.append(nid)
+                if len(out) == n:
+                    break
+        return out
+
+
+def plan_assignment(
+    identities: Sequence[tuple[str, str]],
+    node_ids: Iterable[str],
+    *,
+    replication: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+) -> dict[str, list[str]]:
+    """``dataset name -> replica owners`` for ``(name, fingerprint)`` pairs.
+
+    Keys on the fingerprint, so renaming a dataset does not move its
+    data; duplicate fingerprints (identical content under two names)
+    simply share owners.
+    """
+    ring = HashRing(node_ids, vnodes=vnodes)
+    return {
+        str(name): ring.owners(str(fingerprint), replication)
+        for name, fingerprint in identities
+    }

@@ -1,0 +1,450 @@
+"""Scatter-gather query router: the coordinator of the sharded tier.
+
+:class:`RouterService` duck-types :class:`~repro.spell.service.SpellService`
+— it plugs into the unmodified :class:`~repro.api.app.ApiApp` (and hence
+the HTTP facade, auth, rate limits, and body caps) as a drop-in engine.
+The difference is *where* scoring happens: the router holds only the
+compendium catalog (names, gene lists, fingerprints — via
+:class:`~repro.spell.partials.GeneUniverse`) and never builds an index;
+each query fans out to the shard nodes owning the selected datasets,
+and the returned per-dataset partials are merged by replaying the exact
+single-node accumulation order.  Rankings are therefore **bit-identical**
+to a one-node :class:`~repro.spell.index.SpellIndex` over the same
+compendium — the oracle property the tests pin down.
+
+Degradation is structured, never silent:
+
+* A dead or stale shard triggers failover to the dataset's next replica
+  owner (replica preference comes from the consistent-hash ring,
+  reordered so heartbeat-alive nodes are tried first).
+* Datasets with *no* reachable owner are skipped from the merge and
+  surfaced as ``SearchResponse.partial=True`` plus a ``shards`` map
+  naming every skipped dataset and each node's failure; partial results
+  are never cached.
+* When nothing is reachable (or the caller demands completeness — the
+  export path does) the query fails with ``SHARD_UNAVAILABLE`` via
+  :class:`~repro.util.errors.RpcError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.api.protocol import (
+    BatchSearchRequest,
+    BatchSearchResponse,
+    ExportRequest,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.cluster_serving.ring import DEFAULT_VNODES, plan_assignment
+from repro.data.compendium import Compendium
+from repro.parallel.pmap import parallel_map
+from repro.parallel.workqueue import WorkStealingPool
+from repro.rpc.membership import Membership
+from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
+from repro.spell.engine import SpellResult
+from repro.spell.partials import DatasetPartial, GeneUniverse
+from repro.spell.service import SpellService
+from repro.util.errors import RpcError, SearchError
+from repro.util.timing import Stopwatch
+
+__all__ = ["RouterService"]
+
+
+class RouterService:
+    """SpellService-compatible engine that scores on remote shards.
+
+    ``replication`` must match what the shards were loaded with (both
+    sides compute the same consistent-hash plan); it is clamped to the
+    node count.  ``allow_partial=False`` turns shard loss into a hard
+    ``SHARD_UNAVAILABLE`` instead of a flagged partial ranking.
+    """
+
+    def __init__(
+        self,
+        compendium: Compendium,
+        membership: Membership,
+        *,
+        replication: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        n_workers: int = 4,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_min_cost: int = 0,
+        allow_partial: bool = True,
+        rpc_timeout: float | None = None,
+    ) -> None:
+        if len(compendium) == 0:
+            raise SearchError("router needs a non-empty compendium catalog")
+        self.compendium = compendium
+        self.n_workers = max(1, int(n_workers))
+        self.allow_partial = bool(allow_partial)
+        self._membership = membership
+        self._replication = max(1, min(int(replication), len(membership.node_ids)))
+        self._vnodes = int(vnodes)
+        self._rpc_timeout = rpc_timeout
+        self._cache = (
+            QueryCache(cache_size, min_cost=cache_min_cost) if cache_size > 0 else None
+        )
+        self._history: list[tuple[tuple[str, ...], float]] = []
+        self._lock = threading.Lock()  # guards history + catalog rebuilds
+        self._catalog_version: int | None = None
+        self._rebuild_catalog()
+        # seed liveness + per-shard info so routing can prefer known-alive
+        # replicas from the first query; a dead node here is not an error
+        # (it will simply be failed over until a heartbeat revives it)
+        membership.heartbeat()
+
+    # ---------------------------------------------------------------- catalog
+    def _rebuild_catalog(self) -> None:
+        """(Re)derive universe + placement from the compendium catalog."""
+        self._universe = GeneUniverse(
+            [(ds.name, ds.gene_ids) for ds in self.compendium]
+        )
+        self._fingerprints = {ds.name: ds.fingerprint for ds in self.compendium}
+        self._plan = plan_assignment(
+            [(ds.name, ds.fingerprint) for ds in self.compendium],
+            self._membership.node_ids,
+            replication=self._replication,
+            vnodes=self._vnodes,
+        )
+        self._catalog_version = self.compendium.version
+
+    def _sync_catalog(self) -> None:
+        with self._lock:
+            if self.compendium.version != self._catalog_version:
+                self._rebuild_catalog()
+
+    def _select(self, datasets: Sequence[str] | None) -> list[str]:
+        """Selected dataset names in compendium order (the merge walk order).
+
+        Mirrors ``SpellIndex._select`` — including its unknown-dataset
+        error — so filter validation is transport-independent.
+        """
+        names = self._universe.dataset_names
+        if datasets is None:
+            return list(names)
+        allowed = {str(d) for d in datasets}
+        unknown = sorted(allowed - set(names))
+        if unknown:
+            raise SearchError(f"unknown dataset(s) in filter: {unknown}")
+        return [n for n in names if n in allowed]
+
+    # ----------------------------------------------------------- fan-out core
+    def _owner_order(self, name: str) -> list[str]:
+        """Replica preference for one dataset: ring order, alive-first.
+
+        Heartbeat/liveness state only *reorders* the replicas — a node
+        marked dead is still tried last rather than written off, so a
+        stale liveness table can cost latency but never correctness.
+        """
+        owners = self._plan[name]
+        alive = [n for n in owners if self._membership.state(n).alive]
+        return alive + [n for n in owners if n not in alive]
+
+    def _gather(
+        self,
+        query: list[str],
+        top_k: int | None,
+        datasets: Sequence[str] | None,
+        *,
+        require_complete: bool,
+    ) -> tuple[SpellResult, dict]:
+        """One scatter-gather search.  Returns ``(result, report)`` where
+        ``report`` carries the partiality verdict and per-shard detail."""
+        selected = self._select(datasets)
+        query_used, query_missing, q_slots = self._universe.resolve_query(
+            query, selected, filtered=datasets is not None
+        )
+        if not query_used:
+            raise SearchError(f"no query gene exists in any dataset: {query}")
+
+        contributions: dict[str, DatasetPartial] = {}
+        node_report: dict[str, dict] = {}
+        failures: dict[str, list[str]] = {name: [] for name in selected}
+        remaining = {name: self._owner_order(name) for name in selected}
+        pending = list(selected)
+        while pending:
+            # one failover round: each pending dataset asks its next
+            # untried replica; datasets sharing an owner ride one call
+            assign: dict[str, list[str]] = {}
+            exhausted: list[str] = []
+            for name in pending:
+                if not remaining[name]:
+                    exhausted.append(name)
+                    continue
+                assign.setdefault(remaining[name].pop(0), []).append(name)
+            for name in exhausted:
+                pending.remove(name)
+            if not assign:
+                break
+            result = self._membership.scatter(
+                {
+                    nid: (
+                        "partials",
+                        {
+                            "genes": query,
+                            "datasets": [
+                                (n, self._fingerprints[n]) for n in names
+                            ],
+                        },
+                    )
+                    for nid, names in assign.items()
+                },
+                timeout=self._rpc_timeout,
+            )
+            for nid, reply in result.ok.items():
+                report = node_report.setdefault(
+                    nid, {"served": [], "refused": {}}
+                )
+                for name, wire in reply["partials"].items():
+                    contributions[name] = DatasetPartial(
+                        name=wire["name"],
+                        fingerprint=wire["fingerprint"],
+                        n_query_present=wire["n_query_present"],
+                        weight=wire["weight"],
+                        scores=wire["scores"],
+                    )
+                    report["served"].append(name)
+                    pending.remove(name)
+                for name, reason in reply["refused"].items():
+                    report["refused"][name] = reason
+                    failures[name].append(f"{nid}: {reason}")
+            for nid, error in result.failed.items():
+                report = node_report.setdefault(
+                    nid, {"served": [], "refused": {}}
+                )
+                report["error"] = error
+                for name in assign.get(nid, ()):
+                    failures[name].append(f"{nid}: {error}")
+
+        skipped = [n for n in selected if n not in contributions]
+        if len(skipped) == len(selected):
+            raise RpcError(
+                f"no shard reachable for any of the {len(selected)} selected "
+                f"dataset(s): {dict((n, failures[n]) for n in skipped)}"
+            )
+        if skipped and (require_complete or not self.allow_partial):
+            raise RpcError(
+                f"shard(s) unavailable for dataset(s) {skipped}: "
+                f"{dict((n, failures[n]) for n in skipped)}"
+            )
+        merged = self._universe.merge(
+            query,
+            query_used,
+            query_missing,
+            q_slots,
+            selected,
+            contributions,
+            top_k=top_k,
+            skipped=skipped,
+        )
+        report = {
+            "partial": bool(skipped),
+            "shards": (
+                {
+                    "missing_datasets": sorted(skipped),
+                    "failures": {n: failures[n] for n in skipped},
+                    "nodes": node_report,
+                }
+                if skipped
+                else {}
+            ),
+        }
+        return merged, report
+
+    # ----------------------------------------------------------------- search
+    def _search_report(
+        self,
+        query: Sequence[str],
+        *,
+        use_cache: bool = True,
+        top_k: int | None = None,
+        datasets: Sequence[str] | None = None,
+        require_complete: bool = False,
+    ) -> tuple[SpellResult, dict]:
+        """Cache-aware search returning ``(result, partiality report)``.
+
+        Cache keys, admission, and rebind semantics are exactly
+        :meth:`SpellService.search`'s (shared ``_cache_extra``), so the
+        router's cache behaves indistinguishably — except that partial
+        results are *never* admitted: a later identical query must retry
+        the missing shards, not replay the gap.
+        """
+        query = [str(g) for g in query]
+        if not query:
+            raise SearchError("query must contain at least one gene")
+        if len(set(query)) != len(query):
+            raise SearchError("query contains duplicate genes")
+        if datasets is not None:
+            datasets = tuple(str(d) for d in datasets)
+
+        self._sync_catalog()
+        version = self.compendium.version
+        extra = SpellService._cache_extra(top_k, datasets)
+        complete_report = {"partial": False, "shards": {}}
+        with Stopwatch() as sw:
+            cached = (
+                self._cache.lookup(version, query, extra=extra)
+                if (self._cache is not None and use_cache)
+                else None
+            )
+            if cached is not None:
+                result, report = rebind_result(cached, query), complete_report
+            else:
+                result, report = self._gather(
+                    query, top_k, datasets, require_complete=require_complete
+                )
+                if self._cache is not None and use_cache and not report["partial"]:
+                    self._cache.store(
+                        version, query, result, extra=extra, cost=result.total_genes
+                    )
+        with self._lock:
+            self._history.append((tuple(query), sw.elapsed))
+        return result, report
+
+    def search(
+        self,
+        query: Sequence[str],
+        *,
+        use_cache: bool = True,
+        top_k: int | None = None,
+        datasets: Sequence[str] | None = None,
+    ) -> SpellResult:
+        """Raw sharded search; same contract as :meth:`SpellService.search`."""
+        result, _report = self._search_report(
+            query, use_cache=use_cache, top_k=top_k, datasets=datasets
+        )
+        return result
+
+    # -------------------------------------------------- protocol entry points
+    def respond(
+        self, request: SearchRequest, *, strict_page: bool = True
+    ) -> SearchResponse:
+        """Answer one protocol request; partiality rides the v1 fields."""
+        caching = self._cache is not None and request.use_cache
+        top_k = request.top_k
+        if top_k is None and not caching:
+            top_k = (request.page + 1) * request.page_size
+        with Stopwatch() as sw:
+            result, report = self._search_report(
+                request.genes,
+                use_cache=request.use_cache,
+                top_k=top_k,
+                datasets=request.datasets,
+            )
+        return SearchResponse.from_result(
+            result,
+            request,
+            elapsed_seconds=sw.elapsed,
+            strict=strict_page,
+            partial=report["partial"],
+            shards=report["shards"],
+        )
+
+    def respond_batch(
+        self, request: BatchSearchRequest, *, strict_page: bool = True
+    ) -> BatchSearchResponse:
+        """Answer a batch concurrently; each member fans out independently.
+
+        All-or-nothing like the single-node service: a failing member
+        fails the batch with its error (a *partial* member does not fail
+        — it is a success carrying ``partial=True``).
+        """
+        hits0 = self._cache.hits if self._cache is not None else 0
+        misses0 = self._cache.misses if self._cache is not None else 0
+        searches = list(request.searches)
+
+        def one(req: SearchRequest) -> SearchResponse:
+            return self.respond(req, strict_page=strict_page)
+
+        with Stopwatch() as sw:
+            if request.scheduler == "steal" and self.n_workers > 1:
+                results = WorkStealingPool(self.n_workers).map(one, searches)
+            else:
+                results = parallel_map(one, searches, n_workers=self.n_workers)
+        return BatchSearchResponse(
+            results=tuple(results),
+            total_seconds=sw.elapsed,
+            n_workers=self.n_workers,
+            cache_hits=(self._cache.hits - hits0) if self._cache is not None else 0,
+            cache_misses=(self._cache.misses - misses0)
+            if self._cache is not None else 0,
+        )
+
+    def iter_result(self, request: ExportRequest):
+        """Deep-export cursor; **requires** a complete ranking.
+
+        An export must never silently omit an unreachable shard's genes
+        (the trailer checksums the stream as the full ranking), so shard
+        loss here raises ``SHARD_UNAVAILABLE`` instead of degrading.
+        """
+        with Stopwatch() as sw:
+            result, _report = self._search_report(
+                request.genes,
+                use_cache=request.use_cache,
+                top_k=request.top_k,
+                datasets=request.datasets,
+                require_complete=True,
+            )
+        return SpellService._iter_chunks(result, request, sw.elapsed)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def query_count(self) -> int:
+        with self._lock:
+            return len(self._history)
+
+    def mean_latency(self) -> float:
+        with self._lock:
+            if not self._history:
+                raise SearchError("no queries executed yet")
+            return sum(t for _, t in self._history) / len(self._history)
+
+    def index_bytes(self) -> int:
+        """Summed shard index footprint (from the latest heartbeat info)."""
+        return sum(
+            int(self._membership.state(nid).info.get("index_bytes", 0))
+            for nid in self._membership.node_ids
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        if self._cache is None:
+            return {
+                "entries": 0, "max_entries": 0, "hits": 0, "misses": 0,
+                "evictions": 0,
+            }
+        return self._cache.stats()
+
+    def serving_stats(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "n_procs": 1,
+            "router": {
+                "n_shards": len(self._membership.node_ids),
+                "replication": self._replication,
+                "datasets": len(self.compendium),
+            },
+        }
+
+    def shard_stats(self) -> dict:
+        """Per-shard routing state for ``/v1/health`` (``shards`` field)."""
+        return {
+            "replication": self._replication,
+            "nodes": self._membership.stats(),
+        }
+
+    def heartbeat(self) -> None:
+        """Refresh shard liveness (feeds replica ordering on later queries)."""
+        self._membership.heartbeat()
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._membership.close()
+
+    def __enter__(self) -> "RouterService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""One store node of the sharded serving tier.
+
+A :class:`ShardNode` owns a *subset* of the compendium (chosen by the
+consistent-hash plan in :mod:`repro.cluster_serving.ring`), builds a
+normal :class:`~repro.spell.index.SpellIndex` over just that subset, and
+serves per-dataset score partials over the generic RPC layer.  The node
+never ranks anything — ranking happens once, at the router, by replaying
+the canonical accumulation (:mod:`repro.spell.partials`), which is what
+keeps sharded answers bit-identical to a single-node index.
+
+Staleness is refused, never served: every ``partials`` request names the
+``(name, fingerprint)`` it expects per dataset, and a dataset this node
+does not hold *at that exact content version* comes back in the reply's
+``refused`` map (the router fails over to a replica).  A fingerprint is
+a content hash, so "refused" is a structural guarantee, not a heuristic.
+
+CLI (one process per shard; all shards and the router must share the
+same ``--seed``/``--shards``/``--replication`` so placement agrees)::
+
+    python -m repro.cluster_serving.shard --port 8201 --shards 3 --shard-index 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+
+import numpy as np
+
+from repro.cluster_serving.ring import DEFAULT_VNODES, plan_assignment
+from repro.data.compendium import Compendium
+from repro.rpc.server import RpcServer
+from repro.spell.index import SpellIndex
+from repro.util.errors import ValidationError
+
+__all__ = ["ShardNode", "shard_compendium", "main"]
+
+
+def shard_compendium(
+    compendium: Compendium,
+    node_ids: list[str],
+    node_id: str,
+    *,
+    replication: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+) -> Compendium:
+    """The sub-compendium ``node_id`` owns under the consistent-hash plan.
+
+    With ``replication > 1`` a dataset appears in every replica's
+    subset; the router still asks exactly one owner per query, so
+    duplicated ownership never double-counts.
+    """
+    if node_id not in node_ids:
+        raise ValidationError(f"node {node_id!r} is not in the node set {node_ids}")
+    plan = plan_assignment(
+        [(ds.name, ds.fingerprint) for ds in compendium],
+        node_ids,
+        replication=replication,
+        vnodes=vnodes,
+    )
+    return Compendium(ds for ds in compendium if node_id in plan[ds.name])
+
+
+class ShardNode:
+    """RPC server over one shard's index; answers ``partials`` requests.
+
+    An *empty* shard (the plan assigned it nothing) is legal: it serves,
+    heartbeats, and refuses every dataset — so topology bring-up never
+    depends on the data distribution.
+    """
+
+    def __init__(
+        self,
+        compendium: Compendium,
+        *,
+        node_id: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_workers: int = 1,
+        dtype=np.float64,
+    ) -> None:
+        self.node_id = str(node_id)
+        self.compendium = compendium
+        if len(compendium) > 0:
+            self._index: SpellIndex | None = SpellIndex.build(
+                compendium, n_workers=n_workers, dtype=dtype
+            )
+            self._fingerprints = dict(self._index.fingerprints())
+        else:
+            self._index = None
+            self._fingerprints = {}
+        self._served = 0
+        self._refused = 0
+        self._lock = threading.Lock()
+        self._server = RpcServer(
+            {"partials": self._rpc_partials, "info": lambda payload: self._info()},
+            node_id=self.node_id,
+            host=host,
+            port=port,
+            info=self._info,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.address
+
+    def serve_background(self) -> tuple[str, int]:
+        self._server.serve_background()
+        return self.address
+
+    def close(self) -> None:
+        self._server.close()
+
+    def __enter__(self) -> "ShardNode":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- info
+    def _info(self) -> dict:
+        with self._lock:
+            served, refused = self._served, self._refused
+        return {
+            "fingerprints": dict(self._fingerprints),
+            "n_datasets": len(self._fingerprints),
+            "index_bytes": self._index.nbytes() if self._index is not None else 0,
+            "served": served,
+            "refused": refused,
+        }
+
+    # --------------------------------------------------------------- handlers
+    def _rpc_partials(self, payload: dict) -> dict:
+        """Score one query against the requested (and owned) datasets.
+
+        Payload: ``{"genes": [...], "datasets": [(name, fingerprint), ...]}``.
+        Reply: ``{"partials": {name: partial-dict}, "refused": {name: reason}}``.
+        Every requested dataset lands in exactly one of the two maps.
+        """
+        genes = [str(g) for g in payload["genes"]]
+        wanted = [(str(n), str(fp)) for n, fp in payload["datasets"]]
+        owned: list[str] = []
+        refused: dict[str, str] = {}
+        for name, fingerprint in wanted:
+            have = self._fingerprints.get(name)
+            if have is None:
+                refused[name] = "dataset not owned by this shard"
+            elif have != fingerprint:
+                refused[name] = (
+                    f"stale content: shard holds {have[:12]}, "
+                    f"router expects {fingerprint[:12]}"
+                )
+            else:
+                owned.append(name)
+        partials: dict[str, dict] = {}
+        if owned:
+            assert self._index is not None  # owned names imply an index
+            for part in self._index.search_partials(genes, datasets=owned):
+                partials[part.name] = {
+                    "name": part.name,
+                    "fingerprint": part.fingerprint,
+                    "n_query_present": part.n_query_present,
+                    "weight": part.weight,
+                    "scores": part.scores,
+                }
+        with self._lock:
+            self._served += len(partials)
+            self._refused += len(refused)
+        return {"partials": partials, "refused": refused}
+
+
+# --------------------------------------------------------------------------
+# CLI: python -m repro.cluster_serving.shard
+# --------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster_serving.shard",
+        description=(
+            "Serve one shard of the demo compendium over RPC.  Placement "
+            "is deterministic: every shard (and the router) rebuilds the "
+            "same synthetic compendium from --seed and computes the same "
+            "consistent-hash plan, so they agree on ownership without "
+            "any coordination service."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listening port (0 = ephemeral, printed on boot)")
+    parser.add_argument("--shards", type=int, required=True,
+                        help="total shard count in the topology")
+    parser.add_argument("--shard-index", type=int, required=True,
+                        help="this node's index in [0, --shards)")
+    parser.add_argument("--replication", type=int, default=1,
+                        help="replica owners per dataset")
+    parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
+    parser.add_argument("--n-workers", type=int, default=1)
+    parser.add_argument("--synth-datasets", type=int, default=12)
+    parser.add_argument("--synth-genes", type=int, default=300)
+    parser.add_argument("--synth-conditions", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if not 0 <= args.shard_index < args.shards:
+        parser.error(f"--shard-index must be in [0, {args.shards})")
+
+    from repro.synth import make_spell_compendium
+
+    compendium, _truth = make_spell_compendium(
+        n_datasets=args.synth_datasets,
+        n_relevant=max(1, args.synth_datasets // 4),
+        n_genes=args.synth_genes,
+        n_conditions=args.synth_conditions,
+        module_size=max(6, args.synth_genes // 20),
+        query_size=4,
+        seed=args.seed,
+    )
+    node_ids = [f"shard-{i}" for i in range(args.shards)]
+    node_id = node_ids[args.shard_index]
+    subset = shard_compendium(
+        compendium, node_ids, node_id, replication=args.replication
+    )
+    node = ShardNode(
+        subset,
+        node_id=node_id,
+        host=args.host,
+        port=args.port,
+        n_workers=args.n_workers,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+    )
+    host, port = node.serve_background()
+    names = ", ".join(sorted(ds.name for ds in subset)) or "(none)"
+    print(
+        f"shard {node_id} serving {len(subset)}/{len(compendium)} datasets "
+        f"on {host}:{port}: {names}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""In-process sharded topologies — the test and demo harness.
+
+:func:`build_local_topology` stands up N :class:`ShardNode` servers on
+ephemeral loopback ports plus a :class:`RouterService` wired to them,
+all in one process.  Real RPC runs over real sockets, so everything the
+distributed deployment exercises — framing, fan-out, timeouts, replica
+failover — is exercised here too; only process isolation is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster_serving.ring import DEFAULT_VNODES
+from repro.cluster_serving.router import RouterService
+from repro.cluster_serving.shard import ShardNode, shard_compendium
+from repro.data.compendium import Compendium
+from repro.rpc.membership import Membership
+from repro.spell.cache import DEFAULT_CACHE_SIZE
+
+__all__ = ["LocalTopology", "build_local_topology"]
+
+
+@dataclass
+class LocalTopology:
+    """A router plus its in-process shard fleet."""
+
+    router: RouterService
+    shards: list[ShardNode]
+
+    def shard(self, node_id: str) -> ShardNode:
+        for node in self.shards:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def kill(self, node_id: str) -> ShardNode:
+        """Stop one shard's server (simulating node death); returns it."""
+        node = self.shard(node_id)
+        node.close()
+        return node
+
+    def close(self) -> None:
+        self.router.close()
+        for node in self.shards:
+            node.close()
+
+    def __enter__(self) -> "LocalTopology":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def build_local_topology(
+    compendium: Compendium,
+    *,
+    n_shards: int = 3,
+    replication: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+    dtype=np.float64,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    allow_partial: bool = True,
+    rpc_timeout: float | None = 10.0,
+) -> LocalTopology:
+    """Shard ``compendium`` across ``n_shards`` local nodes and route to them."""
+    node_ids = [f"shard-{i}" for i in range(n_shards)]
+    shards: list[ShardNode] = []
+    addresses: dict[str, tuple[str, int]] = {}
+    for node_id in node_ids:
+        subset = shard_compendium(
+            compendium, node_ids, node_id, replication=replication, vnodes=vnodes
+        )
+        node = ShardNode(subset, node_id=node_id, dtype=dtype, n_workers=n_workers)
+        addresses[node_id] = node.serve_background()
+        shards.append(node)
+    membership = Membership(
+        addresses, timeout=rpc_timeout if rpc_timeout is not None else 30.0
+    )
+    router = RouterService(
+        compendium,
+        membership,
+        replication=replication,
+        vnodes=vnodes,
+        n_workers=n_workers,
+        cache_size=cache_size,
+        allow_partial=allow_partial,
+        rpc_timeout=rpc_timeout,
+    )
+    return LocalTopology(router=router, shards=shards)

@@ -1,0 +1,109 @@
+"""Reconnecting RPC client for one remote node.
+
+A client holds at most one TCP connection and issues one call at a time
+(guarded by a lock — fan-out parallelism lives in
+:meth:`repro.rpc.membership.Membership.scatter`, which runs one client
+per node on its own thread).  A transport failure closes the connection
+so the next call dials fresh; the failed call itself raises
+:class:`~repro.util.errors.RpcError` for the caller (usually the
+membership layer) to record.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.rpc.framing import read_frame, write_frame
+from repro.rpc.server import RpcHandlerError
+from repro.util.errors import RpcError
+
+__all__ = ["RpcClient"]
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class RpcClient:
+    """Call methods on one remote :class:`~repro.rpc.server.RpcServer`."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = _DEFAULT_TIMEOUT
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._sock: socket.socket | None = None
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------ calls
+    def call(self, method: str, payload: Any = None, *, timeout: float | None = None) -> Any:
+        """Invoke ``method`` remotely; returns the reply payload.
+
+        Raises :class:`RpcHandlerError` if the remote handler raised and
+        :class:`RpcError` for transport failures (refused, timeout,
+        reset) — after which the connection is dropped so the next call
+        redials.
+        """
+        deadline = self.timeout if timeout is None else float(timeout)
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            sock = self._connect(deadline)
+            try:
+                sock.settimeout(deadline)
+                write_frame(sock, (seq, method, payload))
+                reply = read_frame(sock)
+            except RpcError:
+                self._drop()
+                raise
+            if not (isinstance(reply, tuple) and len(reply) in (3, 4)):
+                self._drop()
+                raise RpcError(f"malformed reply {type(reply).__name__}")
+            if reply[0] == "ok":
+                _, rseq, result = reply
+                if rseq != seq:
+                    self._drop()
+                    raise RpcError(f"reply sequence mismatch: sent {seq}, got {rseq}")
+                return result
+            _, _rseq, kind, message = reply
+            raise RpcHandlerError(kind, message)
+
+    def ping(self, *, timeout: float | None = None) -> dict:
+        """Liveness probe; returns the server's info payload."""
+        return self.call("__ping__", None, timeout=timeout)
+
+    # ------------------------------------------------------------- connection
+    def _connect(self, timeout: float) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        except OSError as exc:
+            raise RpcError(f"cannot reach {self.host}:{self.port}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

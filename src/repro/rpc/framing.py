@@ -1,0 +1,106 @@
+"""Length-prefixed frames over a stream socket.
+
+Wire format, little-endian::
+
+    MAGIC (4 bytes) | length (uint32) | payload (length bytes)
+
+The magic word rejects cross-protocol garbage (an HTTP client poking the
+RPC port) before a single payload byte is read, and the length guard
+bounds allocation so a corrupt or hostile peer cannot make a node
+swallow a multi-gigabyte frame.  Payloads are pickled message objects —
+the RPC tier is an *internal* transport between our own trusted
+processes (the same trust model as :mod:`multiprocessing`'s pipes used
+by the index worker pool); it is never exposed to clients, who speak
+the JSON v1 protocol through the HTTP facade.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.util.errors import RpcError
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_message",
+    "decode_message",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"RPRC"
+_HEADER = struct.Struct("<4sI")
+
+#: Upper bound on a single frame's payload.  A shard reply for a large
+#: batch is tens of megabytes of float64 scores; 256 MiB leaves headroom
+#: while still refusing absurd lengths from a corrupt header.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FrameError(RpcError):
+    """A frame violated the wire format (bad magic, oversize, truncated)."""
+
+
+def encode_message(obj: Any) -> bytes:
+    """Serialize one message into a complete frame (header + payload)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"message of {len(payload)} bytes exceeds frame cap {MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> Any:
+    """Deserialize one frame payload back into a message object."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 — any unpickling failure is a frame error
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+
+
+def write_frame(sock: socket.socket, obj: Any) -> None:
+    """Encode ``obj`` and send it as one frame; raises :class:`RpcError` on a dead peer."""
+    try:
+        sock.sendall(encode_message(obj))
+    except OSError as exc:
+        raise RpcError(f"send failed: {exc}") from exc
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(n - got, 1 << 20))
+        except socket.timeout as exc:
+            raise RpcError(f"recv timed out after {sock.gettimeout()}s") from exc
+        except OSError as exc:
+            raise RpcError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise FrameError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Any:
+    """Read one complete frame and return the decoded message.
+
+    Raises :class:`FrameError` for protocol violations and
+    :class:`RpcError` for transport failures (timeout, reset).  An EOF
+    cleanly *between* frames raises ``FrameError`` with 0 bytes read —
+    callers that treat shutdown as normal catch that case.
+    """
+    header = _read_exact(sock, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds cap {MAX_FRAME_BYTES}")
+    return decode_message(_read_exact(sock, length))

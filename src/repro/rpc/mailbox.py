@@ -1,0 +1,71 @@
+"""(source, tag)-matched message buffering.
+
+This is the matching engine behind every transport in the repo: the
+in-process MPI-style :class:`~repro.parallel.comm.Communicator` posts
+envelopes into per-rank mailboxes, and the RPC server uses the same
+structure to pair replies with outstanding requests.  A message that
+arrives before a matching ``take`` is posted waits in ``pending``;
+``take`` scans pending first, then blocks on the queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.errors import CommunicationError
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Mailbox", "matches"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Envelope:
+    source: int
+    tag: int
+    payload: Any
+
+
+def matches(env: Envelope, source: int, tag: int) -> bool:
+    return (source == ANY_SOURCE or env.source == source) and (
+        tag == ANY_TAG or env.tag == tag
+    )
+
+
+class Mailbox:
+    """Incoming-message store with (source, tag) matching.
+
+    Messages that arrive before a matching ``take`` is posted wait in
+    ``pending``; ``take`` scans pending first, then blocks on the queue.
+    """
+
+    def __init__(self) -> None:
+        self.queue: "queue.Queue[Envelope]" = queue.Queue()
+        self.pending: list[Envelope] = []
+
+    def put(self, env: Envelope) -> None:
+        self.queue.put(env)
+
+    def take(self, source: int, tag: int, timeout: float) -> Envelope:
+        deadline = time.monotonic() + timeout
+        # scan buffered messages first
+        for i, env in enumerate(self.pending):
+            if matches(env, source, tag):
+                return self.pending.pop(i)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommunicationError(
+                    f"recv timed out waiting for source={source} tag={tag}"
+                )
+            try:
+                env = self.queue.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if matches(env, source, tag):
+                return env
+            self.pending.append(env)

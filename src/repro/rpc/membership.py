@@ -1,0 +1,213 @@
+"""Node membership, heartbeats, and fan-out with explicit partial results.
+
+A :class:`Membership` is the coordinator-side table of remote nodes: one
+:class:`~repro.rpc.client.RpcClient` per node plus liveness state fed by
+every call and by explicit :meth:`heartbeat` sweeps.  Its core primitive
+is :meth:`scatter` — issue one call per node concurrently, each with its
+own timeout, and return a :class:`ScatterResult` whose ``ok``/``failed``
+maps account for *every* node addressed.  Degradation is therefore
+always structured: a dead node shows up in ``failed`` with its error
+string; nothing is silently cut from the result set.  Both the display
+wall's tile fan-out and the sharded serving router are built on this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcHandlerError
+from repro.util.errors import RpcError, ValidationError
+
+__all__ = ["Membership", "NodeState", "ScatterResult"]
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass
+class NodeState:
+    """Coordinator-side view of one remote node."""
+
+    node_id: str
+    host: str
+    port: int
+    alive: bool = True
+    consecutive_failures: int = 0
+    last_ok: float | None = None  # monotonic timestamp of last success
+    last_error: str | None = None
+    info: dict = field(default_factory=dict)  # latest heartbeat payload
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot for health reporting."""
+        return {
+            "node_id": self.node_id,
+            "address": f"{self.host}:{self.port}",
+            "alive": self.alive,
+            "consecutive_failures": self.consecutive_failures,
+            "lag_seconds": (
+                None if self.last_ok is None else round(time.monotonic() - self.last_ok, 3)
+            ),
+            "last_error": self.last_error,
+            "info": dict(self.info),
+        }
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    """Per-node outcome of one fan-out; every addressed node appears once."""
+
+    ok: dict[str, Any]
+    failed: dict[str, str]
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+
+class Membership:
+    """A table of RPC nodes with liveness tracking and concurrent fan-out."""
+
+    def __init__(
+        self,
+        nodes: Mapping[str, tuple[str, int]] | Iterable[tuple[str, str, int]],
+        *,
+        timeout: float = _DEFAULT_TIMEOUT,
+    ) -> None:
+        if isinstance(nodes, Mapping):
+            entries = [(nid, host, port) for nid, (host, port) in nodes.items()]
+        else:
+            entries = [(nid, host, port) for nid, host, port in nodes]
+        if not entries:
+            raise ValidationError("membership needs at least one node")
+        seen: set[str] = set()
+        for nid, _h, _p in entries:
+            if nid in seen:
+                raise ValidationError(f"duplicate node id {nid!r}")
+            seen.add(nid)
+        self.timeout = float(timeout)
+        self._states: dict[str, NodeState] = {}
+        self._clients: dict[str, RpcClient] = {}
+        self._lock = threading.Lock()
+        for nid, host, port in entries:
+            self._states[nid] = NodeState(node_id=nid, host=host, port=int(port))
+            self._clients[nid] = RpcClient(host, int(port), timeout=self.timeout)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._states)
+
+    def state(self, node_id: str) -> NodeState:
+        try:
+            return self._states[node_id]
+        except KeyError:
+            raise ValidationError(f"unknown node {node_id!r}") from None
+
+    def alive_ids(self) -> list[str]:
+        return [nid for nid, st in self._states.items() if st.alive]
+
+    def stats(self) -> dict[str, dict]:
+        """Per-node snapshots for the ``/v1/health`` ``shards`` field."""
+        return {nid: st.as_dict() for nid, st in self._states.items()}
+
+    # ------------------------------------------------------------------ calls
+    def call(
+        self, node_id: str, method: str, payload: Any = None, *, timeout: float | None = None
+    ) -> Any:
+        """One call to one node, updating its liveness state.
+
+        :class:`RpcHandlerError` (the remote handler raised) counts as a
+        *live* node — it answered — so only transport failures mark a
+        node down.
+        """
+        state = self.state(node_id)
+        client = self._clients[node_id]
+        try:
+            result = client.call(method, payload, timeout=timeout)
+        except RpcHandlerError:
+            self._mark_ok(state, info=None)
+            raise
+        except RpcError as exc:
+            self._mark_failed(state, str(exc))
+            raise
+        self._mark_ok(state, info=None)
+        return result
+
+    def scatter(
+        self,
+        calls: Mapping[str, tuple[str, Any]],
+        *,
+        timeout: float | None = None,
+    ) -> ScatterResult:
+        """Issue ``{node_id: (method, payload)}`` concurrently.
+
+        Each node gets its own thread and timeout; the result maps every
+        addressed node into ``ok`` or ``failed`` — partial degradation
+        is explicit, never a silent cut.
+        """
+        ok: dict[str, Any] = {}
+        failed: dict[str, str] = {}
+        lock = threading.Lock()
+
+        def one(nid: str, method: str, payload: Any) -> None:
+            try:
+                result = self.call(nid, method, payload, timeout=timeout)
+            except RpcError as exc:  # includes RpcHandlerError
+                with lock:
+                    failed[nid] = str(exc)
+                return
+            with lock:
+                ok[nid] = result
+
+        threads = [
+            threading.Thread(
+                target=one, args=(nid, method, payload), name=f"scatter-{nid}", daemon=True
+            )
+            for nid, (method, payload) in calls.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return ScatterResult(ok=ok, failed=failed)
+
+    def heartbeat(self, *, timeout: float = 5.0) -> ScatterResult:
+        """Ping every node, refreshing alive flags and info payloads."""
+        result = self.scatter(
+            {nid: ("__ping__", None) for nid in self._states}, timeout=timeout
+        )
+        for nid, info in result.ok.items():
+            if isinstance(info, dict):
+                with self._lock:
+                    self._states[nid].info = info
+        return result
+
+    # -------------------------------------------------------------- liveness
+    def _mark_ok(self, state: NodeState, info: dict | None) -> None:
+        with self._lock:
+            state.alive = True
+            state.consecutive_failures = 0
+            state.last_ok = time.monotonic()
+            state.last_error = None
+            if info is not None:
+                state.info = info
+
+    def _mark_failed(self, state: NodeState, error: str) -> None:
+        with self._lock:
+            state.alive = False
+            state.consecutive_failures += 1
+            state.last_error = error
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "Membership":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

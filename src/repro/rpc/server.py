@@ -1,0 +1,191 @@
+"""Threaded request/reply RPC server with a handler registry.
+
+One :class:`RpcServer` owns a listening TCP socket; each accepted
+connection gets a thread that answers frames sequentially (a connection
+is a client-side request pipeline, so ordering per connection is free).
+Handlers are plain callables ``payload -> reply payload``; an exception
+escaping a handler travels back to the caller as a structured error
+reply — it never kills the connection thread or the server, mirroring
+the exceptions-are-data rule of the index worker pool.
+
+The built-in ``__ping__`` method answers liveness probes with the node's
+id, registered methods, request counters, and whatever the owner's
+``info`` callback reports (shard nodes put their dataset fingerprints
+here, which is what lets the router refuse stale shards).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Mapping
+
+from repro.rpc.framing import FrameError, read_frame, write_frame
+from repro.util.errors import RpcError
+
+__all__ = ["RpcHandlerError", "RpcServer"]
+
+
+class RpcHandlerError(RpcError):
+    """A remote handler raised; carries the remote exception's type name."""
+
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(f"remote {kind}: {message}")
+
+
+class RpcServer:
+    """Serve a registry of named handlers over framed TCP."""
+
+    def __init__(
+        self,
+        handlers: Mapping[str, Callable[[Any], Any]],
+        *,
+        node_id: str = "node",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        info: Callable[[], dict] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self._handlers = dict(handlers)
+        self._info = info
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self._accept_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def serve_background(self) -> "RpcServer":
+        """Start the accept loop on a daemon thread; returns self."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"rpc-accept-{self.node_id}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the node dead: listener *and* live connections drop.
+
+        Tearing down established connections (not just the listener) is
+        what makes ``close`` model node death — a peer blocked on a
+        reply sees the transport fail now, not a half-alive server that
+        still answers its old connections.  Safe to call twice.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # shutdown() before close(): closing a listening socket does not
+        # wake a thread blocked in accept() on Linux, shutdown() does
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "RpcServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- loops
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"rpc-conn-{self.node_id}",
+                daemon=True,
+            )
+            with self._lock:
+                self._threads = [x for x in self._threads if x.is_alive()]
+                self._threads.append(t)
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._conns.add(conn)
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while not self._closed.is_set():
+                    try:
+                        message = read_frame(conn)
+                    except (FrameError, RpcError, OSError):
+                        return  # peer hung up or sent garbage; drop the connection
+                    if self._closed.is_set():
+                        return  # raced close(): a dead node answers nothing
+                    reply = self._answer(message)
+                    try:
+                        write_frame(conn, reply)
+                    except (RpcError, OSError):
+                        return
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+
+    def _answer(self, message: Any) -> tuple:
+        if not (isinstance(message, tuple) and len(message) == 3):
+            return ("err", None, "FrameError", f"malformed request {type(message).__name__}")
+        seq, method, payload = message
+        with self._lock:
+            self.requests += 1
+        if method == "__ping__":
+            return ("ok", seq, self._ping_payload())
+        handler = self._handlers.get(method)
+        if handler is None:
+            with self._lock:
+                self.errors += 1
+            return ("err", seq, "UnknownMethod", f"no handler for {method!r}")
+        try:
+            return ("ok", seq, handler(payload))
+        except Exception as exc:  # noqa: BLE001 — handler exceptions are data
+            with self._lock:
+                self.errors += 1
+            return ("err", seq, type(exc).__name__, str(exc))
+
+    def _ping_payload(self) -> dict:
+        payload = {
+            "node_id": self.node_id,
+            "methods": sorted(self._handlers),
+            "requests": self.requests,
+            "errors": self.errors,
+        }
+        if self._info is not None:
+            try:
+                payload.update(self._info())
+            except Exception as exc:  # noqa: BLE001 — a bad info hook must not kill pings
+                payload["info_error"] = f"{type(exc).__name__}: {exc}"
+        return payload

@@ -508,6 +508,68 @@ class SpellIndex:
         finally:
             self._scratch.release(scratch)
 
+    # --------------------------------------------------------------- partials
+    def search_partials(
+        self,
+        query: list[str] | tuple[str, ...],
+        *,
+        datasets: Sequence[str] | None = None,
+    ):
+        """Per-dataset contributions for the scatter-gather serving tier.
+
+        Returns one :class:`~repro.spell.partials.DatasetPartial` per
+        selected shard, in this index's shard order, *without* any
+        cross-dataset aggregation: the coordinator replays the canonical
+        accumulation itself (see :mod:`repro.spell.partials`), which is
+        what keeps sharded rankings bit-identical to single-node search.
+        Each partial's score vector is exactly the ``scores`` the
+        single-node loop would scatter-add for that dataset — same
+        matmul, same clip, same fixed-order float64 mean.
+
+        Unlike :meth:`search`, a query with *no* gene in this shard is
+        legal (the genes may live on other shards); it simply yields
+        zero-weight partials.
+        """
+        from repro.spell.partials import DatasetPartial
+
+        if not self._entries:
+            raise SearchError("index is empty")
+        query = self._validate_query(query)
+        selected = self._select(datasets)
+        # Slots of query genes known to this shard's universe; per-dataset
+        # presence is judged by _query_rows exactly as single-node search
+        # does (a gene absent from this shard is absent from every one of
+        # its datasets, so the per-dataset row sets are unchanged).
+        slot_arr = np.fromiter(
+            (self._gene_slot.get(g, -1) for g in query),
+            dtype=np.intp,
+            count=len(query),
+        )
+        q_slots = slot_arr[slot_arr >= 0]
+
+        partials = []
+        for i in selected:
+            entry = self._entries[i]
+            rows = self._query_rows(i, q_slots)
+            if rows.shape[0] < MIN_QUERY_PRESENT:
+                partials.append(
+                    DatasetPartial(entry.name, entry.fingerprint, rows.shape[0], 0.0, None)
+                )
+                continue
+            weight, Q = self._weigh(i, rows)
+            if weight <= 0.0:
+                partials.append(
+                    DatasetPartial(entry.name, entry.fingerprint, rows.shape[0], weight, None)
+                )
+                continue
+            scores = np.clip(self._arena.views[i] @ Q.T, -1.0, 1.0).mean(
+                axis=1, dtype=np.float64
+            )
+            partials.append(
+                DatasetPartial(entry.name, entry.fingerprint, rows.shape[0], weight, scores)
+            )
+        return partials
+
     # ---------------------------------------------------------- batched search
     def search_batch(
         self,

@@ -9,7 +9,8 @@ frontends speak the versioned wire protocol
 behind that boundary.  :meth:`SpellService.respond` /
 :meth:`SpellService.respond_batch` are the protocol-typed entry points;
 the historical :meth:`search_page` / :meth:`search_many` survive as thin
-shims over them.
+shims over them but are **deprecated** (they emit ``DeprecationWarning``
+and will be removed once nothing in-repo or downstream calls them).
 
 What the service adds over the raw engine/index:
 
@@ -36,6 +37,7 @@ from __future__ import annotations
 import shutil
 import tempfile
 import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -589,11 +591,23 @@ class SpellService:
     ) -> SearchPage:
         """Legacy paginated view; thin shim over :meth:`respond`.
 
+        .. deprecated::
+            Build a :class:`~repro.api.protocol.SearchRequest` and call
+            :meth:`respond` instead — the protocol path adds
+            ``total_pages``, strict page-range checking, and the
+            sharded-serving ``partial``/``shards`` fields.
+
         Keeps the historical contract: invalid arguments raise
         :class:`SearchError` and a page past the end returns an *empty*
         page rather than failing (the protocol path raises
         ``PAGE_OUT_OF_RANGE`` instead).
         """
+        warnings.warn(
+            "SpellService.search_page is deprecated; build a SearchRequest "
+            "and call SpellService.respond",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if page < 0:
             raise SearchError(f"page must be >= 0, got {page}")
         if page_size < 1:
@@ -620,7 +634,18 @@ class SpellService:
         use_cache: bool = True,
         scheduler: str = "map",
     ) -> BatchSearchResult:
-        """Legacy batched entry point; thin shim over :meth:`respond_batch`."""
+        """Legacy batched entry point; thin shim over :meth:`respond_batch`.
+
+        .. deprecated::
+            Build a :class:`~repro.api.protocol.BatchSearchRequest` and
+            call :meth:`respond_batch` instead.
+        """
+        warnings.warn(
+            "SpellService.search_many is deprecated; build a "
+            "BatchSearchRequest and call SpellService.respond_batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if scheduler not in ("map", "steal"):
             raise SearchError(f"unknown scheduler {scheduler!r}")
         queries = [list(q) for q in queries]

@@ -29,6 +29,10 @@ class CommunicationError(ReproError):
     """A message-passing operation on the simulated cluster failed."""
 
 
+class RpcError(CommunicationError):
+    """A framed RPC exchange failed (dead node, timeout, bad frame)."""
+
+
 class SearchError(ReproError):
     """A SPELL/annotation search could not be executed (e.g. empty query)."""
 

@@ -93,12 +93,14 @@ class DisplayWall:
         if fail_nodes and self.schedule in ("static", "balanced"):
             raise ValidationError(
                 f"schedule {self.schedule!r} cannot survive node failure; "
-                "use 'dynamic' or 'workstealing'"
+                "use 'dynamic', 'workstealing' or 'rpc'"
             )
         self._frame_counter += 1
         frame_id = self._frame_counter
         if self.schedule == "workstealing":
             return self._render_workstealing(display_list, frame_id, fail_nodes)
+        if self.schedule == "rpc":
+            return self._render_rpc(display_list, frame_id, fail_nodes)
         return self._render_comm(display_list, frame_id, fail_nodes)
 
     def render_serial(self, display_list: DisplayList) -> WallFrame:
@@ -252,6 +254,106 @@ class DisplayWall:
             comm.send(
                 TileDone(msg.frame_id, msg.tile_id, pixels, comm.rank, dt), 0, TAG_RESULT
             )
+
+    # ------------------------------------------------------------ rpc backend
+    def _render_rpc(self, display_list, frame_id: int, fail_nodes) -> WallFrame:
+        """Dynamic scheduling over the generic RPC layer (real sockets).
+
+        Each render node is an :class:`~repro.rpc.server.RpcServer`; the
+        master feeds tiles in waves through
+        :meth:`~repro.rpc.membership.Membership.scatter` — one tile per
+        alive node per wave — and requeues the tiles of any node whose
+        transport fails, exactly the degradation contract the sharded
+        query router relies on.  ``fail_nodes`` die before their first
+        tile (their server closes), so survivors pick up the whole wall.
+        """
+        from repro.rpc.membership import Membership
+        from repro.rpc.server import RpcServer
+
+        tiles = self.geometry.tiles()
+        start = time.perf_counter()
+
+        def make_handler(dl):
+            def render_tile(payload: dict) -> dict:
+                t0 = time.perf_counter()
+                x, y, w, h = payload["region"]
+                pixels = dl.render_region(x, y, w, h)
+                return {
+                    "tile_id": payload["tile_id"],
+                    "pixels": pixels,
+                    "render_seconds": time.perf_counter() - t0,
+                }
+            return render_tile
+
+        servers: list = []
+        addresses: dict[str, tuple[str, int]] = {}
+        node_ids = [f"wall-{n}" for n in range(self.n_nodes)]
+        try:
+            for nid in node_ids:
+                server = RpcServer(
+                    {"render_tile": make_handler(display_list)}, node_id=nid
+                )
+                server.serve_background()
+                addresses[nid] = server.address
+                servers.append(server)
+            for n in fail_nodes:
+                servers[n].close()  # dead before the first tile arrives
+
+            done: dict[int, np.ndarray] = {}
+            busy = {n: 0.0 for n in range(self.n_nodes)}
+            tiles_per_node = {n: 0 for n in range(self.n_nodes)}
+            with Membership(addresses, timeout=30.0) as membership:
+                alive = list(node_ids)
+                pending = list(tiles)
+                while pending:
+                    if not alive:
+                        raise RenderError("all render nodes failed")
+                    wave = {nid: pending.pop(0) for nid in list(alive) if pending}
+                    result = membership.scatter(
+                        {
+                            nid: (
+                                "render_tile",
+                                {
+                                    "frame_id": frame_id,
+                                    "tile_id": tile.tile_id,
+                                    "region": (
+                                        tile.region.x, tile.region.y,
+                                        tile.region.w, tile.region.h,
+                                    ),
+                                },
+                            )
+                            for nid, tile in wave.items()
+                        }
+                    )
+                    for nid, reply in result.ok.items():
+                        node = node_ids.index(nid)
+                        done[reply["tile_id"]] = reply["pixels"]
+                        busy[node] += reply["render_seconds"]
+                        tiles_per_node[node] += 1
+                    for nid in result.failed:
+                        alive.remove(nid)
+                        pending.insert(0, wave[nid])  # requeue, never drop
+        finally:
+            for server in servers:
+                server.close()
+
+        elapsed = time.perf_counter() - start
+        composite = compose_tiles(
+            self.geometry.canvas_width,
+            self.geometry.canvas_height,
+            [(tiles[tid].region, px) for tid, px in sorted(done.items())],
+            background=display_list.background,
+        )
+        metrics = FrameMetrics(
+            frame_id=frame_id,
+            n_tiles=len(tiles),
+            n_nodes=self.n_nodes,
+            frame_seconds=max(elapsed, 1e-9),
+            busy_seconds=busy,
+            tiles_per_node=tiles_per_node,
+            failed_nodes=tuple(sorted(fail_nodes)),
+        )
+        return WallFrame(pixels=composite, metrics=metrics, tile_pixels=done)
 
     # ------------------------------------------------------- stealing backend
     def _render_workstealing(self, display_list, frame_id, fail_nodes) -> WallFrame:

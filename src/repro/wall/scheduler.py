@@ -3,8 +3,12 @@
 Static assignment splits the tile list up front (cheap, but load follows
 content); cost-balanced assignment weighs tiles by how many display-list
 commands intersect them (the LPT heuristic); dynamic scheduling is
-implemented inside the master loop (first-come first-served) and the
-work-stealing mode delegates to :class:`repro.parallel.WorkStealingPool`.
+implemented inside the master loop (first-come first-served); the
+work-stealing mode delegates to :class:`repro.parallel.WorkStealingPool`;
+and the ``rpc`` mode runs the dynamic policy over real sockets — render
+nodes are :class:`repro.rpc.server.RpcServer` instances and the master
+fans tiles out through :meth:`repro.rpc.membership.Membership.scatter`,
+the same layer the sharded query router uses.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from repro.wall.geometry import TileSpec
 
 __all__ = ["static_assignment", "cost_balanced_assignment", "SCHEDULE_MODES"]
 
-SCHEDULE_MODES = ("static", "balanced", "dynamic", "workstealing")
+SCHEDULE_MODES = ("static", "balanced", "dynamic", "workstealing", "rpc")
 
 
 def static_assignment(tiles: list[TileSpec], n_nodes: int) -> dict[int, list[TileSpec]]:

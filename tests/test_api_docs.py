@@ -1,0 +1,48 @@
+"""The committed API reference must match the live registry.
+
+``docs/api.md`` is generated from the route table, the protocol
+dataclasses, and the error registry; this suite regenerates it in-memory
+and compares — so an endpoint, field, or error code added without
+running ``python -m repro.api.docs`` fails here, not in a reader's lap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.docs import default_output, generate_markdown
+from repro.api.errors import ERROR_STATUS
+from repro.api.routes import ROUTES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_committed_reference_is_fresh():
+    committed = REPO_ROOT / "docs" / "api.md"
+    assert committed.exists(), (
+        "docs/api.md missing — run `PYTHONPATH=src python -m repro.api.docs`"
+    )
+    assert committed.read_text() == generate_markdown(), (
+        "docs/api.md is stale — run `PYTHONPATH=src python -m repro.api.docs`"
+    )
+
+
+def test_default_output_points_into_this_repo():
+    assert default_output() == REPO_ROOT / "docs" / "api.md"
+
+
+def test_generation_is_deterministic():
+    assert generate_markdown() == generate_markdown()
+
+
+def test_reference_covers_every_route_and_error():
+    text = generate_markdown()
+    for route in ROUTES:
+        assert f"`{route.method} {route.path}`" in text
+        if route.request_cls is not None:
+            assert f"`{route.request_cls.__name__}`" in text
+    for code in ERROR_STATUS:
+        assert f"`{code}`" in text
+    # the v1 partiality contract is user-facing: it must be documented
+    assert "`partial`" in text
+    assert "`shards`" in text

@@ -422,19 +422,28 @@ class TestPaging:
     def test_legacy_search_page_still_returns_empty(self, spell_setup):
         compendium, truth = spell_setup
         service = SpellService(compendium)
-        page = service.search_page(list(truth.query_genes), page=10_000)
+        with pytest.warns(DeprecationWarning, match="search_page is deprecated"):
+            page = service.search_page(list(truth.query_genes), page=10_000)
         assert page.gene_rows == ()
         assert page.total_genes > 0
 
     def test_shim_matches_protocol_rows(self, spell_setup):
         compendium, truth = spell_setup
         service = SpellService(compendium)
-        legacy = service.search_page(list(truth.query_genes), page=1, page_size=7)
+        with pytest.warns(DeprecationWarning, match="search_page is deprecated"):
+            legacy = service.search_page(list(truth.query_genes), page=1, page_size=7)
         response = service.respond(
             SearchRequest(genes=truth.query_genes, page=1, page_size=7)
         )
         assert legacy.gene_rows == response.gene_rows
         assert legacy.dataset_rows == response.dataset_rows
+
+    def test_legacy_search_many_warns(self, spell_setup):
+        compendium, truth = spell_setup
+        service = SpellService(compendium)
+        with pytest.warns(DeprecationWarning, match="search_many is deprecated"):
+            batch = service.search_many([list(truth.query_genes)])
+        assert len(batch.pages) == 1
 
 
 # --------------------------------------------------- service-level additions

@@ -1,0 +1,297 @@
+"""Tests for the generic RPC layer: framing, server/client, membership.
+
+These pin the transport contracts the sharded serving tier leans on:
+length-prefixed frames reject garbage before allocating, handler
+exceptions travel back as data (never killing the server), ``close()``
+models node death by dropping live connections, and ``scatter`` accounts
+for every addressed node — degradation is structured, never silent.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.rpc.client import RpcClient
+from repro.rpc.framing import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.rpc.membership import Membership
+from repro.rpc.server import RpcHandlerError, RpcServer
+from repro.util.errors import RpcError, ValidationError
+
+
+def echo_server(**kwargs) -> RpcServer:
+    handlers = {
+        "echo": lambda payload: payload,
+        "boom": lambda payload: (_ for _ in ()).throw(ValueError("bad input")),
+        "slow": lambda payload: time.sleep(payload) or "done",
+    }
+    return RpcServer(handlers, **kwargs).serve_background()
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            {"a": 1, "b": [1.5, "x"]},
+            ("tuple", 3, None),
+            b"\x00\xff" * 100,
+        ],
+    )
+    def test_round_trip(self, obj):
+        assert decode_message(encode_message(obj)[8:]) == obj
+
+    def test_numpy_round_trip(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        out = decode_message(encode_message({"scores": arr})[8:])["scores"]
+        assert out.dtype == np.float64
+        assert np.array_equal(out, arr)
+
+    def test_header_layout(self):
+        frame = encode_message("hi")
+        magic, length = struct.unpack("<4sI", frame[:8])
+        assert magic == MAGIC
+        assert length == len(frame) - 8
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_message(b"not a pickle")
+
+    def test_socket_round_trip_and_bad_magic(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame(a, {"n": 7})
+            assert read_frame(b) == {"n": 7}
+            # cross-protocol garbage (say an HTTP client) is refused on
+            # the magic word, before any payload allocation
+            a.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            with pytest.raises(FrameError, match="bad frame magic"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_length_header_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("<4sI", MAGIC, MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError, match="exceeds cap"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_message({"x": list(range(100))})
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(FrameError, match="mid-frame"):
+                read_frame(b)
+        finally:
+            b.close()
+
+
+class TestServerClient:
+    def test_call_round_trip(self):
+        with echo_server(node_id="n0") as server:
+            with RpcClient(*server.address) as client:
+                assert client.call("echo", {"k": [1, 2]}) == {"k": [1, 2]}
+                # one connection pipelines sequential calls
+                assert client.call("echo", "again") == "again"
+        assert server.requests == 2
+
+    def test_numpy_payloads_over_the_wire(self):
+        arr = np.linspace(0.0, 1.0, 257)
+        with echo_server() as server, RpcClient(*server.address) as client:
+            out = client.call("echo", arr)
+        assert out.dtype == arr.dtype and np.array_equal(out, arr)
+
+    def test_handler_exception_is_data(self):
+        """A raising handler answers with a structured error; the server
+        and even the same connection keep working."""
+        with echo_server() as server, RpcClient(*server.address) as client:
+            with pytest.raises(RpcHandlerError, match="remote ValueError: bad input"):
+                client.call("boom", 1)
+            assert client.call("echo", "still alive") == "still alive"
+            assert server.errors == 1
+
+    def test_unknown_method_is_error_reply(self):
+        with echo_server() as server, RpcClient(*server.address) as client:
+            with pytest.raises(RpcHandlerError, match="no handler for 'nope'"):
+                client.call("nope")
+
+    def test_ping_reports_identity_and_info(self):
+        server = RpcServer(
+            {"echo": lambda p: p}, node_id="shard-9", info=lambda: {"extra": 42}
+        ).serve_background()
+        with server, RpcClient(*server.address) as client:
+            payload = client.ping()
+        assert payload["node_id"] == "shard-9"
+        assert payload["methods"] == ["echo"]
+        assert payload["extra"] == 42
+
+    def test_unreachable_port_raises_rpc_error(self):
+        # grab a port and close it so nothing listens there
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with RpcClient("127.0.0.1", port, timeout=2.0) as client:
+            with pytest.raises(RpcError, match="cannot reach"):
+                client.call("echo", 1)
+
+    def test_call_timeout_then_redial(self):
+        with echo_server() as server, RpcClient(*server.address) as client:
+            with pytest.raises(RpcError, match="timed out"):
+                client.call("slow", 5.0, timeout=0.2)
+            # the timed-out connection was dropped; the next call redials
+            assert client.call("echo", "back", timeout=5.0) == "back"
+
+    def test_close_kills_live_connections(self):
+        """Node death drops established connections, not just the listener.
+
+        A router holding a pooled connection must see the transport fail
+        *now* — a half-dead server still answering old connections would
+        defeat every failover test built on ``close()``.
+        """
+        server = echo_server(node_id="victim")
+        client = RpcClient(*server.address)
+        assert client.call("echo", "warm") == "warm"  # connection established
+        server.close()
+        with pytest.raises(RpcError):
+            client.call("echo", "after death", timeout=2.0)
+        client.close()
+
+    def test_close_is_idempotent(self):
+        server = echo_server()
+        server.close()
+        server.close()
+
+
+class TestMembership:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="at least one node"):
+            Membership({})
+        with pytest.raises(ValidationError, match="duplicate node id"):
+            Membership([("a", "127.0.0.1", 1), ("a", "127.0.0.1", 2)])
+
+    def test_scatter_accounts_for_every_node(self):
+        """One dead node: its error lands in ``failed``; the rest answer."""
+        s0, s1 = echo_server(node_id="n0"), echo_server(node_id="n1")
+        try:
+            members = Membership(
+                {"n0": s0.address, "n1": s1.address}, timeout=3.0
+            )
+            with members:
+                s1.close()  # dies before the fan-out
+                result = members.scatter(
+                    {"n0": ("echo", "a"), "n1": ("echo", "b")}
+                )
+                assert result.ok == {"n0": "a"}
+                assert set(result.failed) == {"n1"}
+                assert not result.complete
+                # liveness reflects the transport outcome
+                assert members.state("n0").alive
+                assert not members.state("n1").alive
+                assert members.alive_ids() == ["n0"]
+                assert members.state("n1").consecutive_failures == 1
+                assert members.state("n1").last_error
+        finally:
+            s0.close()
+            s1.close()
+
+    def test_handler_error_keeps_node_alive(self):
+        """A node whose handler raised *answered* — only transport
+        failures mark a node down."""
+        with echo_server(node_id="n0") as server:
+            with Membership({"n0": server.address}, timeout=3.0) as members:
+                result = members.scatter({"n0": ("boom", None)})
+                assert "n0" in result.failed
+                assert members.state("n0").alive
+
+    def test_heartbeat_refreshes_info(self):
+        counter = {"beats": 0}
+
+        def info():
+            counter["beats"] += 1
+            return {"index_bytes": 1234}
+
+        server = RpcServer({}, node_id="n0", info=info).serve_background()
+        with server, Membership({"n0": server.address}, timeout=3.0) as members:
+            result = members.heartbeat()
+            assert result.complete
+            assert members.state("n0").info["index_bytes"] == 1234
+            assert members.state("n0").info["node_id"] == "n0"
+        assert counter["beats"] >= 1
+
+    def test_per_call_liveness_and_unknown_node(self):
+        with echo_server(node_id="n0") as server:
+            with Membership({"n0": server.address}, timeout=3.0) as members:
+                assert members.call("n0", "echo", 9) == 9
+                with pytest.raises(ValidationError, match="unknown node"):
+                    members.call("ghost", "echo", 1)
+                snapshot = members.stats()["n0"]
+                assert snapshot["alive"] is True
+                assert snapshot["address"].startswith("127.0.0.1:")
+
+    def test_scatter_concurrency(self):
+        """Scatter overlaps per-node calls: two 0.3 s handlers finish in
+        well under 0.6 s of wall time."""
+        s0, s1 = echo_server(node_id="n0"), echo_server(node_id="n1")
+        try:
+            with Membership(
+                {"n0": s0.address, "n1": s1.address}, timeout=5.0
+            ) as members:
+                start = time.perf_counter()
+                result = members.scatter(
+                    {"n0": ("slow", 0.3), "n1": ("slow", 0.3)}
+                )
+                elapsed = time.perf_counter() - start
+            assert result.complete
+            assert elapsed < 0.55
+        finally:
+            s0.close()
+            s1.close()
+
+
+class _Mailbox:
+    """Tiny helper proving a client survives interleaved reuse from
+    multiple threads (the lock serializes calls on one connection)."""
+
+    def __init__(self, client: RpcClient):
+        self.client = client
+        self.out: list = []
+        self.lock = threading.Lock()
+
+    def call(self, i: int) -> None:
+        reply = self.client.call("echo", i)
+        with self.lock:
+            self.out.append(reply)
+
+
+def test_client_thread_safe_reuse():
+    with echo_server() as server, RpcClient(*server.address) as client:
+        box = _Mailbox(client)
+        threads = [
+            threading.Thread(target=box.call, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert sorted(box.out) == list(range(8))

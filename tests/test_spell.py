@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api.protocol import SearchRequest
 from repro.data import Compendium, Dataset, ExpressionMatrix
 from repro.spell import (
     SpellEngine,
@@ -169,7 +170,9 @@ class TestService:
     def test_search_page_shape(self, spell_setup_module):
         comp, truth = spell_setup_module
         service = SpellService(comp)
-        page = service.search_page(list(truth.query_genes), page=0, page_size=10)
+        page = service.respond(
+            SearchRequest(genes=tuple(truth.query_genes), page=0, page_size=10)
+        )
         assert len(page.gene_rows) == 10
         assert page.gene_rows[0][0] == 1  # ranks start at 1
         assert page.dataset_rows[0][2] >= page.dataset_rows[1][2]  # sorted by weight
@@ -178,8 +181,12 @@ class TestService:
     def test_pagination_continues_ranks(self, spell_setup_module):
         comp, truth = spell_setup_module
         service = SpellService(comp)
-        p0 = service.search_page(list(truth.query_genes), page=0, page_size=5)
-        p1 = service.search_page(list(truth.query_genes), page=1, page_size=5)
+        p0 = service.respond(
+            SearchRequest(genes=tuple(truth.query_genes), page=0, page_size=5)
+        )
+        p1 = service.respond(
+            SearchRequest(genes=tuple(truth.query_genes), page=1, page_size=5)
+        )
         assert p1.gene_rows[0][0] == 6
         assert {r[1] for r in p0.gene_rows}.isdisjoint({r[1] for r in p1.gene_rows})
 
@@ -201,12 +208,15 @@ class TestService:
         assert set(result.top_datasets(3)) == set(truth.relevant_datasets)
 
     def test_page_validation(self, spell_setup_module):
+        # the deprecated shim keeps its historical SearchError contract
         comp, truth = spell_setup_module
         service = SpellService(comp)
-        with pytest.raises(SearchError):
-            service.search_page(list(truth.query_genes), page=-1)
-        with pytest.raises(SearchError):
-            service.search_page(list(truth.query_genes), page_size=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SearchError):
+                service.search_page(list(truth.query_genes), page=-1)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SearchError):
+                service.search_page(list(truth.query_genes), page_size=0)
 
 
 class TestBaseline:

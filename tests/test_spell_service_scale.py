@@ -6,6 +6,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.api.protocol import BatchSearchRequest, SearchRequest
 from repro.data import Compendium, Dataset, ExpressionMatrix
 from repro.spell import (
     QueryCache,
@@ -207,17 +208,28 @@ class TestSearchMany:
             qs.append([universe[(3 * i) % len(universe)], universe[(3 * i + 1) % len(universe)]])
         return qs
 
+    @staticmethod
+    def _batch_request(queries, *, page_size=20, scheduler="map"):
+        return BatchSearchRequest(
+            searches=tuple(
+                SearchRequest(genes=tuple(q), page_size=page_size) for q in queries
+            ),
+            scheduler=scheduler,
+        )
+
     @pytest.mark.parametrize("scheduler", ["map", "steal"])
     def test_batch_matches_serial_search(self, small_setup, scheduler):
         comp, truth = small_setup
         queries = self._queries(comp, truth)
-        batched = SpellService(comp, n_workers=3, cache_size=0).search_many(
-            queries, page_size=10, scheduler=scheduler
+        batched = SpellService(comp, n_workers=3, cache_size=0).respond_batch(
+            self._batch_request(queries, page_size=10, scheduler=scheduler)
         )
         serial = SpellService(comp, cache_size=0)
-        assert len(batched.pages) == len(queries)
-        for query, page in zip(queries, batched.pages):
-            expect = serial.search_page(query, page_size=10)
+        assert len(batched.results) == len(queries)
+        for query, page in zip(queries, batched.results):
+            expect = serial.respond(
+                SearchRequest(genes=tuple(query), page_size=10)
+            )
             assert page.gene_rows == expect.gene_rows
             assert page.dataset_rows == expect.dataset_rows
             assert page.query == expect.query
@@ -226,23 +238,28 @@ class TestSearchMany:
         comp, truth = small_setup
         queries = self._queries(comp, truth)
         service = SpellService(comp, n_workers=2)
-        batch = service.search_many(queries)
+        batch = service.respond_batch(self._batch_request(queries))
         assert batch.total_seconds > 0
         assert batch.queries_per_second > 0
         assert batch.n_workers == 2
         assert batch.cache_misses == len(queries)
-        again = service.search_many(queries)
+        again = service.respond_batch(self._batch_request(queries))
         assert again.cache_hits == len(queries)
 
     def test_empty_batch_rejected(self, small_setup):
+        # the deprecated shim keeps its historical SearchError contract
         comp, _ = small_setup
-        with pytest.raises(SearchError):
-            SpellService(comp).search_many([])
+        with pytest.warns(DeprecationWarning, match="search_many is deprecated"):
+            with pytest.raises(SearchError):
+                SpellService(comp).search_many([])
 
     def test_unknown_scheduler_rejected(self, small_setup):
         comp, truth = small_setup
-        with pytest.raises(SearchError):
-            SpellService(comp).search_many([list(truth.query_genes)], scheduler="magic")
+        with pytest.warns(DeprecationWarning, match="search_many is deprecated"):
+            with pytest.raises(SearchError):
+                SpellService(comp).search_many(
+                    [list(truth.query_genes)], scheduler="magic"
+                )
 
 
 # ------------------------------------------------------- incremental index

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 import repro.spell.index as index_mod
+from repro.api.protocol import SearchRequest
 from repro.data import Compendium, Dataset, ExpressionMatrix
 from repro.spell import (
     GeneScore,
@@ -476,13 +477,14 @@ class TestGeneTable:
 
     def test_service_top_k_pages_match_full_search(self, setup):
         comp, truth = setup
-        q = list(truth.query_genes)
+        q = tuple(truth.query_genes)
         cached = SpellService(comp)
         uncached = SpellService(comp, cache_size=0)
-        full = cached.search(q)
+        full = cached.search(list(q))
         for page in (0, 1, 3):
-            a = cached.search_page(q, page=page, page_size=7)
-            b = uncached.search_page(q, page=page, page_size=7)
+            request = SearchRequest(genes=q, page=page, page_size=7)
+            a = cached.respond(request)
+            b = uncached.respond(request)
             assert a.gene_rows == b.gene_rows
             assert a.total_genes == b.total_genes == len(full.genes)
 

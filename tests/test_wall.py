@@ -152,7 +152,9 @@ class TestDisplayWallRendering:
     def geo(self):
         return WallGeometry(rows=2, cols=3, tile_width=60, tile_height=50)
 
-    @pytest.mark.parametrize("schedule", ["static", "balanced", "dynamic", "workstealing"])
+    @pytest.mark.parametrize(
+        "schedule", ["static", "balanced", "dynamic", "workstealing", "rpc"]
+    )
     def test_tiled_equals_serial(self, geo, schedule):
         dl = make_scene(geo)
         wall = DisplayWall(geo, n_nodes=3, schedule=schedule)
@@ -178,6 +180,20 @@ class TestDisplayWallRendering:
         assert np.array_equal(frame.pixels, wall.render_serial(dl).pixels)
         assert frame.metrics.tiles_per_node[1] == 0
         assert frame.metrics.failed_nodes == (1,)
+
+    def test_rpc_survives_node_failure(self, geo):
+        dl = make_scene(geo)
+        wall = DisplayWall(geo, n_nodes=3, schedule="rpc")
+        frame = wall.render(dl, fail_nodes={1})
+        assert np.array_equal(frame.pixels, wall.render_serial(dl).pixels)
+        assert frame.metrics.tiles_per_node[1] == 0
+        assert frame.metrics.failed_nodes == (1,)
+        assert sum(frame.metrics.tiles_per_node.values()) == 6
+
+    def test_rpc_cannot_fail_all_nodes(self, geo):
+        wall = DisplayWall(geo, n_nodes=2, schedule="rpc")
+        with pytest.raises(ValidationError):
+            wall.render(make_scene(geo), fail_nodes={0, 1})
 
     def test_workstealing_survives_multiple_failures(self, geo):
         dl = make_scene(geo)
