@@ -1,0 +1,190 @@
+"""CHAOS — tail latency under a slow shard: hedged replicas at work.
+
+The robustness gate (ISSUE 7): with hedging enabled, the p99 of a query
+stream against a topology whose slowest shard stalls *every* reply must
+stay within 2x the fault-free p99.  The hedge converts a pathological
+owner into a bounded latency bump — the router fires the same work at
+the dataset's next replica once the original call ages past the
+observed latency percentile, and first answer wins, bit-identically.
+
+For contrast the same slow topology runs once with hedging disabled:
+there every query eats the full stall, which is exactly the tail the
+paper's interactive-latency goal cannot absorb.
+
+Machine-readable numbers land in ``benchmarks/results/BENCH_7.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+
+import pytest
+
+from repro.api.protocol import SearchRequest
+from repro.cluster_serving import build_local_topology
+from repro.cluster_serving.hedging import HedgePolicy
+from repro.rpc.faults import FaultPlan
+from repro.synth import make_spell_compendium
+
+from benchmarks.conftest import update_json_report, write_report
+
+N_SHARDS = 3
+N_WARMUP = 10
+N_QUERIES = 40
+STALL_SECONDS = 0.25
+#: Aggressive tail-chasing policy: hedge once a call ages past half the
+#: observed p90, never later than 15ms.  The tight ``max_delay`` matters
+#: because the stalled originals eventually complete and pollute the
+#: latency reservoir — the cap keeps the hedge delay anchored to the
+#: healthy shards' timescale, not the pathological one.
+HEDGE = HedgePolicy(
+    percentile=90.0, factor=0.5, min_delay=0.001, max_delay=0.015,
+    initial_delay=0.01,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_workload():
+    comp, truth = make_spell_compendium(
+        n_datasets=12,
+        n_relevant=3,
+        n_genes=300,
+        n_conditions=12,
+        module_size=16,
+        query_size=4,
+        seed=11,
+    )
+    return comp, tuple(truth.query_genes)
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _run_stream(router, genes, n: int, *, pause: float = 0.0) -> list[float]:
+    """Latency of ``n`` sequential queries; asserts none degrade.
+
+    ``pause`` spaces requests out so the slow shard's serialized backlog
+    (every stalled reply holds its node's client for the full stall)
+    drains instead of compounding — the bench measures tail latency, not
+    queue collapse.
+    """
+    request = SearchRequest(genes=genes, page_size=25)
+    latencies = []
+    for _ in range(n):
+        t0 = time.monotonic()
+        response = router.respond(request)
+        latencies.append(time.monotonic() - t0)
+        assert not response.partial  # hedging must cover, not degrade
+        if pause:
+            time.sleep(pause)
+    return latencies
+
+
+def test_hedged_p99_with_one_slow_shard_within_2x(chaos_workload):
+    comp, genes = chaos_workload
+
+    # -------- fault-free baseline (hedging on, same policy) --------
+    with build_local_topology(
+        comp, n_shards=N_SHARDS, replication=2, cache_size=0, hedge=HEDGE
+    ) as topo:
+        _run_stream(topo.router, genes, N_WARMUP)
+        baseline = _run_stream(topo.router, genes, N_QUERIES)
+        # slow down the shard that primaries the most datasets — the
+        # worst case (consistent hashing can leave a node nearly empty)
+        primaries = Counter(owners[0] for owners in topo.router._plan.values())
+        victim = primaries.most_common(1)[0][0]
+
+    def stall_plan():
+        return FaultPlan(
+            seed=9, stall=1.0, stall_seconds=STALL_SECONDS, methods=("partials",)
+        )
+
+    # -------- one slow shard, hedging on (the gate) --------
+    with build_local_topology(
+        comp,
+        n_shards=N_SHARDS,
+        replication=2,
+        cache_size=0,
+        hedge=HEDGE,
+        rpc_timeout=30.0,  # covers the victim's serialized stall backlog
+        fault_plans={victim: stall_plan()},
+    ) as topo:
+        _run_stream(topo.router, genes, N_WARMUP, pause=0.02)
+        hedged = _run_stream(topo.router, genes, N_QUERIES, pause=0.02)
+        hedging = topo.router.shard_stats()["hedging"]
+
+    # -------- same slow shard, hedging off (the contrast row) --------
+    with build_local_topology(
+        comp,
+        n_shards=N_SHARDS,
+        replication=2,
+        cache_size=0,
+        hedge=HedgePolicy.disabled(),
+        rpc_timeout=30.0,
+        fault_plans={victim: stall_plan()},
+    ) as topo:
+        unhedged = _run_stream(topo.router, genes, N_WARMUP)
+
+    p99_base = _percentile(baseline, 99.0)
+    p99_hedged = _percentile(hedged, 99.0)
+    p99_unhedged = _percentile(unhedged, 99.0)
+    ratio = p99_hedged / p99_base if p99_base > 0 else float("inf")
+
+    write_report(
+        "CHAOS_HEDGING",
+        f"Tail latency with one slow shard (stall {STALL_SECONDS * 1000:.0f}ms/reply)",
+        ["topology", "p50 (ms)", "p99 (ms)", "vs fault-free p99"],
+        [
+            [
+                "fault-free, hedged",
+                f"{_percentile(baseline, 50.0) * 1e3:.1f}",
+                f"{p99_base * 1e3:.1f}",
+                "1.00x",
+            ],
+            [
+                f"slow {victim}, hedged",
+                f"{_percentile(hedged, 50.0) * 1e3:.1f}",
+                f"{p99_hedged * 1e3:.1f}",
+                f"{ratio:.2f}x",
+            ],
+            [
+                f"slow {victim}, no hedge",
+                f"{_percentile(unhedged, 50.0) * 1e3:.1f}",
+                f"{p99_unhedged * 1e3:.1f}",
+                f"{p99_unhedged / p99_base:.2f}x",
+            ],
+        ],
+        notes=(
+            f"gate: hedged p99 with one slow shard <= 2x fault-free p99; "
+            f"hedges fired={hedging['fired']}, wins={hedging['wins']}."
+        ),
+    )
+    update_json_report(
+        "BENCH_7",
+        {
+            "hedged_tail_latency": {
+                "n_queries": N_QUERIES,
+                "stall_seconds": STALL_SECONDS,
+                "victim": victim,
+                "fault_free_p99_seconds": p99_base,
+                "slow_shard_hedged_p99_seconds": p99_hedged,
+                "slow_shard_unhedged_p99_seconds": p99_unhedged,
+                "hedged_over_fault_free_p99": ratio,
+                "hedges_fired": hedging["fired"],
+                "hedge_wins": hedging["wins"],
+            }
+        },
+    )
+
+    assert hedging["fired"] >= 1, "the slow shard never triggered a hedge"
+    assert ratio <= 2.0, (
+        f"hedged p99 {p99_hedged * 1e3:.1f}ms exceeds 2x fault-free "
+        f"p99 {p99_base * 1e3:.1f}ms (ratio {ratio:.2f})"
+    )
+    # the contrast row must actually show the pathology hedging removes
+    assert p99_unhedged >= STALL_SECONDS

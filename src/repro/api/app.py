@@ -48,6 +48,7 @@ from repro.api.routes import ROUTES, all_endpoints, stream_endpoints, unary_endp
 from repro.cluster.hierarchical import hierarchical_cluster
 from repro.spell.engine import SpellResult
 from repro.spell.service import SpellService
+from repro.util.deadline import Deadline
 from repro.util.timing import Stopwatch
 from repro.viz.colormap import get_colormap
 from repro.viz.heatmap import render_heatmap_block
@@ -168,14 +169,18 @@ class ApiApp:
     # -------------------------------------------------------------- endpoints
     def search(self, request: SearchRequest) -> SearchResponse:
         with self._timed("search"):
+            # the budget starts at admission, so validation time counts
+            # against the client's deadline_ms too
+            budget = Deadline.after_ms(request.deadline_ms)
             self._check(request)
-            return self.service.respond(request)
+            return self.service.respond(request, deadline=budget)
 
     def search_batch(self, request: BatchSearchRequest) -> BatchSearchResponse:
         with self._timed("search/batch"):
+            budget = Deadline.after_ms(request.deadline_ms)
             for member in request.searches:
                 self._check(member)
-            return self.service.respond_batch(request)
+            return self.service.respond_batch(request, deadline=budget)
 
     def datasets(self, request: DatasetListRequest) -> DatasetListResponse:
         with self._timed("datasets"):
@@ -307,8 +312,9 @@ class ApiApp:
         try:
             self.gate.admit(endpoint, context)
             request = ExportRequest.from_wire(payload if payload is not None else {})
+            budget = Deadline.after_ms(request.deadline_ms)
             self._check(request)
-            cursor = self.service.iter_result(request)
+            cursor = self.service.iter_result(request, deadline=budget)
         except BaseException:
             self._stats.record(endpoint, sw.stop(), error=True)
             raise

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.util.errors import (
     DataFormatError,
+    DeadlineExceeded,
     RenderError,
     ReproError,
     RpcError,
@@ -61,6 +62,7 @@ ERROR_STATUS: dict[str, int] = {
     "BODY_TOO_LARGE": 413,  # declared/observed body over the cap
     "INDEX_STALE": 503,  # persistent index unreadable / out of date
     "SHARD_UNAVAILABLE": 503,  # sharded serving cannot reach the data owners
+    "DEADLINE_EXCEEDED": 504,  # the request's deadline_ms budget ran out
     "INTERNAL": 500,  # anything unclassified (a bug, by definition)
 }
 
@@ -85,6 +87,12 @@ ERROR_DESCRIPTIONS: dict[str, str] = {
         "Sharded serving could not reach any owner of the requested data "
         "(when partial results are possible they are served instead, flagged "
         "partial=true with per-shard detail)."
+    ),
+    "DEADLINE_EXCEEDED": (
+        "The request's deadline_ms budget ran out before the answer was "
+        "complete.  The server stopped work instead of blocking; nothing "
+        "partial is served under this code.  Safe to retry with a larger "
+        "(or no) deadline_ms."
     ),
     "INTERNAL": "Anything unclassified — a bug, by definition.",
 }
@@ -124,6 +132,11 @@ def as_api_error(exc: BaseException) -> ApiError:
     """
     if isinstance(exc, ApiError):
         return exc
+    # before the generic buckets: DeadlineExceeded subclasses ReproError
+    # only, but it must never be mistaken for a retriable transport or
+    # store failure — it means the *client's* budget ran out
+    if isinstance(exc, DeadlineExceeded):
+        return ApiError("DEADLINE_EXCEEDED", str(exc))
     if isinstance(exc, StoreError):
         return ApiError("INDEX_STALE", str(exc))
     if isinstance(exc, RpcError):

@@ -373,6 +373,7 @@ def _build_service(args: argparse.Namespace):
         cache_min_cost=args.cache_min_cost,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
         store_dir=args.store_dir,
+        pool_timeout=args.pool_timeout,
     )
     return service, truth
 
@@ -392,6 +393,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-procs", type=int, default=1,
                         help=">= 2 serves /v1/search/batch from a process "
                              "pool sharing the mmap index store")
+    parser.add_argument("--pool-timeout", type=float, default=120.0,
+                        help="seconds to wait on one pool worker's reply "
+                             "before declaring the pool broken (request "
+                             "deadline_ms budgets clamp waits further)")
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--cache-min-cost", type=int, default=0,
                         help="result-cache admission threshold: only cache "

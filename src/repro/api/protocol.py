@@ -138,6 +138,17 @@ def _optional_top_k(value) -> int | None:
     return None if value is None else _int_field(value, "top_k", minimum=1)
 
 
+def _optional_deadline_ms(value) -> int | None:
+    """Shared ``deadline_ms`` validation (None = no budget).
+
+    The server turns this into a monotonic budget at admission; every
+    downstream wait (shard RPC, worker pool) is clamped to it and a
+    spent budget is a structured ``DEADLINE_EXCEEDED``, never an
+    open-ended block.
+    """
+    return None if value is None else _int_field(value, "deadline_ms", minimum=1)
+
+
 def _datasets_filter(value) -> tuple[str, ...] | None:
     """Shared ``datasets`` filter validation (None = whole compendium)."""
     if value is None:
@@ -178,7 +189,10 @@ class SearchRequest:
     ``datasets`` restricts the search to the named datasets (only they
     are weighted and contribute gene scores); ``None`` searches the whole
     compendium.  ``top_k`` caps the gene ranking the client can page
-    over; ``None`` means the full ranking.
+    over; ``None`` means the full ranking.  ``deadline_ms`` (append-only
+    v1 addition) bounds how long the server may spend answering — past
+    it the request fails with ``DEADLINE_EXCEEDED`` rather than
+    blocking; ``None`` keeps the server's fixed timeouts.
     """
 
     genes: tuple[str, ...]
@@ -188,6 +202,7 @@ class SearchRequest:
     top_datasets: int = 10
     datasets: tuple[str, ...] | None = None
     use_cache: bool = True
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "genes", _query_genes(self.genes))
@@ -197,6 +212,9 @@ class SearchRequest:
         _int_field(self.top_datasets, "top_datasets", minimum=0)
         object.__setattr__(self, "datasets", _datasets_filter(self.datasets))
         _bool_field(self.use_cache, "use_cache")
+        object.__setattr__(
+            self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
+        )
 
     def to_wire(self) -> dict:
         return {
@@ -208,6 +226,7 @@ class SearchRequest:
             "top_datasets": self.top_datasets,
             "datasets": None if self.datasets is None else list(self.datasets),
             "use_cache": self.use_cache,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -224,6 +243,7 @@ class SearchRequest:
             top_datasets=data.get("top_datasets", 10),
             datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
             use_cache=data.get("use_cache", True),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -233,10 +253,14 @@ class BatchSearchRequest:
 
     All-or-nothing: if any member request fails (bad page, unknown
     genes), the whole batch fails with that request's error.
+
+    ``deadline_ms`` bounds the *whole batch*; a member search's own
+    ``deadline_ms`` can only tighten it further.
     """
 
     searches: tuple[SearchRequest, ...]
     scheduler: str = "map"
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "searches", tuple(self.searches))
@@ -247,12 +271,16 @@ class BatchSearchRequest:
                 raise _invalid("batch members must be search requests")
         if self.scheduler not in ("map", "steal"):
             raise _invalid(f"scheduler must be 'map' or 'steal', got {self.scheduler!r}")
+        object.__setattr__(
+            self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
+        )
 
     def to_wire(self) -> dict:
         return {
             "api_version": API_VERSION,
             "searches": [req.to_wire() for req in self.searches],
             "scheduler": self.scheduler,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -264,6 +292,7 @@ class BatchSearchRequest:
         return cls(
             searches=tuple(SearchRequest.from_wire(item) for item in raw),
             scheduler=data.get("scheduler", "map"),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 
@@ -420,6 +449,7 @@ class ExportRequest:
     top_datasets: int = 10
     datasets: tuple[str, ...] | None = None
     use_cache: bool = True
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         # identical field discipline to SearchRequest (shared helpers):
@@ -431,6 +461,9 @@ class ExportRequest:
         _int_field(self.top_datasets, "top_datasets", minimum=0)
         object.__setattr__(self, "datasets", _datasets_filter(self.datasets))
         _bool_field(self.use_cache, "use_cache")
+        object.__setattr__(
+            self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
+        )
 
     def to_wire(self) -> dict:
         return {
@@ -441,6 +474,7 @@ class ExportRequest:
             "top_datasets": self.top_datasets,
             "datasets": None if self.datasets is None else list(self.datasets),
             "use_cache": self.use_cache,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -456,6 +490,7 @@ class ExportRequest:
             top_datasets=data.get("top_datasets", 10),
             datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
             use_cache=data.get("use_cache", True),
+            deadline_ms=data.get("deadline_ms"),
         )
 
 

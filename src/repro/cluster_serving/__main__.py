@@ -19,8 +19,10 @@ import json
 
 from repro.api.app import ApiApp
 from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestGate
+from repro.cluster_serving.hedging import HedgePolicy
 from repro.cluster_serving.router import RouterService
 from repro.rpc.membership import Membership
+from repro.rpc.policy import RetryPolicy
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +48,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-partial", action="store_true",
                         help="fail queries with SHARD_UNAVAILABLE instead "
                              "of serving flagged partial rankings")
+    parser.add_argument("--no-hedge", action="store_true",
+                        help="disable hedged replica requests (with "
+                             "replication > 1 a shard call stuck past the "
+                             "observed latency percentile is raced against "
+                             "the next replica; first answer wins)")
+    parser.add_argument("--hedge-percentile", type=float, default=95.0,
+                        help="latency percentile that arms a hedge")
+    parser.add_argument("--hedge-factor", type=float, default=1.0,
+                        help="hedge delay = factor x observed percentile")
+    parser.add_argument("--retry-tries", type=int, default=2,
+                        help="transport tries per shard call (1 disables "
+                             "retry); retries use jittered exponential "
+                             "backoff and never follow handler errors")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive transport failures that open a "
+                             "shard's circuit breaker")
+    parser.add_argument("--breaker-reset", type=float, default=3.0,
+                        help="seconds an open breaker waits before "
+                             "admitting a half-open probe")
     parser.add_argument("--n-workers", type=int, default=4)
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--synth-datasets", type=int, default=12)
@@ -92,7 +113,22 @@ def main(argv: list[str] | None = None) -> int:
         query_size=4,
         seed=args.seed,
     )
-    membership = Membership(addresses, timeout=args.rpc_timeout)
+    if args.retry_tries < 1:
+        parser.error("--retry-tries must be >= 1")
+    membership = Membership(
+        addresses,
+        timeout=args.rpc_timeout,
+        retry=RetryPolicy(max_tries=args.retry_tries),
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_timeout=args.breaker_reset,
+    )
+    hedge = (
+        HedgePolicy.disabled()
+        if args.no_hedge
+        else HedgePolicy(
+            percentile=args.hedge_percentile, factor=args.hedge_factor
+        )
+    )
     service = RouterService(
         compendium,
         membership,
@@ -101,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_size=args.cache_size,
         allow_partial=not args.no_partial,
         rpc_timeout=args.rpc_timeout,
+        hedge=hedge,
     )
     gate = RequestGate(
         auth_token=auth_token,

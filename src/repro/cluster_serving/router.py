@@ -24,11 +24,24 @@ Degradation is structured, never silent:
 * When nothing is reachable (or the caller demands completeness — the
   export path does) the query fails with ``SHARD_UNAVAILABLE`` via
   :class:`~repro.util.errors.RpcError`.
+* A request-scoped :class:`~repro.util.deadline.Deadline` bounds the
+  whole gather: per-call timeouts and hedge waits are clamped to the
+  remaining budget, and a spent budget raises
+  :class:`~repro.util.deadline.DeadlineExceeded` (a structured 504)
+  instead of blocking past what the client asked for.
+* Tail latency is fought with **hedged replica requests**
+  (:mod:`repro.cluster_serving.hedging`): once a shard call outlives the
+  recent latency percentile, the same datasets are requested from their
+  next replica and the first answer wins — merge order is canonical and
+  partials are fingerprint-verified, so hedging can never change a
+  ranking bit.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from typing import Sequence
 
 from repro.api.protocol import (
@@ -38,6 +51,7 @@ from repro.api.protocol import (
     SearchRequest,
     SearchResponse,
 )
+from repro.cluster_serving.hedging import HedgePolicy, LatencyTracker
 from repro.cluster_serving.ring import DEFAULT_VNODES, plan_assignment
 from repro.data.compendium import Compendium
 from repro.parallel.pmap import parallel_map
@@ -47,6 +61,7 @@ from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
 from repro.spell.engine import SpellResult
 from repro.spell.partials import DatasetPartial, GeneUniverse
 from repro.spell.service import SpellService
+from repro.util.deadline import Deadline, DeadlineExceeded
 from repro.util.errors import RpcError, SearchError
 from repro.util.timing import Stopwatch
 
@@ -74,6 +89,7 @@ class RouterService:
         cache_min_cost: int = 0,
         allow_partial: bool = True,
         rpc_timeout: float | None = None,
+        hedge: HedgePolicy | None = None,
     ) -> None:
         if len(compendium) == 0:
             raise SearchError("router needs a non-empty compendium catalog")
@@ -84,6 +100,11 @@ class RouterService:
         self._replication = max(1, min(int(replication), len(membership.node_ids)))
         self._vnodes = int(vnodes)
         self._rpc_timeout = rpc_timeout
+        self._hedge = HedgePolicy() if hedge is None else hedge
+        self._latency = LatencyTracker()
+        self._hedges_fired = 0
+        self._hedge_wins = 0
+        self._deadline_exceeded = 0
         self._cache = (
             QueryCache(cache_size, min_cost=cache_min_cost) if cache_size > 0 else None
         )
@@ -143,6 +164,39 @@ class RouterService:
         alive = [n for n in owners if self._membership.state(n).alive]
         return alive + [n for n in owners if n not in alive]
 
+    def _launch(
+        self,
+        nid: str,
+        names: list[str],
+        query: list[str],
+        deadline: Deadline,
+        results: "queue.Queue",
+        is_hedge: bool,
+    ) -> None:
+        """Fire one shard call on its own thread; the outcome lands on
+        ``results`` as ``(is_hedge, nid, names, reply|None, error|None,
+        elapsed)`` — every launch posts exactly one item."""
+        payload = {
+            "genes": query,
+            "datasets": [(n, self._fingerprints[n]) for n in names],
+        }
+
+        def run() -> None:
+            t0 = time.monotonic()
+            try:
+                reply = self._membership.call(
+                    nid, "partials", payload,
+                    timeout=self._rpc_timeout, deadline=deadline,
+                )
+            except (RpcError, DeadlineExceeded) as exc:
+                results.put(
+                    (is_hedge, nid, names, None, str(exc), time.monotonic() - t0)
+                )
+                return
+            results.put((is_hedge, nid, names, reply, None, time.monotonic() - t0))
+
+        threading.Thread(target=run, name=f"gather-{nid}", daemon=True).start()
+
     def _gather(
         self,
         query: list[str],
@@ -150,9 +204,19 @@ class RouterService:
         datasets: Sequence[str] | None,
         *,
         require_complete: bool,
+        deadline: Deadline,
     ) -> tuple[SpellResult, dict]:
         """One scatter-gather search.  Returns ``(result, report)`` where
-        ``report`` carries the partiality verdict and per-shard detail."""
+        ``report`` carries the partiality verdict and per-shard detail.
+
+        Event-driven rather than round-synchronized: every dataset
+        independently walks its replica preference list.  A failed call
+        triggers immediate failover; a call that merely outlives the
+        hedge delay triggers a *hedge* to the next replica while the
+        original stays in flight — first answer wins.  The whole loop is
+        bounded by ``deadline``; expiry raises
+        :class:`~repro.util.deadline.DeadlineExceeded`.
+        """
         selected = self._select(datasets)
         query_used, query_missing, q_slots = self._universe.resolve_query(
             query, selected, filtered=datasets is not None
@@ -163,61 +227,108 @@ class RouterService:
         contributions: dict[str, DatasetPartial] = {}
         node_report: dict[str, dict] = {}
         failures: dict[str, list[str]] = {name: [] for name in selected}
-        remaining = {name: self._owner_order(name) for name in selected}
-        pending = list(selected)
-        while pending:
-            # one failover round: each pending dataset asks its next
-            # untried replica; datasets sharing an owner ride one call
-            assign: dict[str, list[str]] = {}
-            exhausted: list[str] = []
-            for name in pending:
-                if not remaining[name]:
-                    exhausted.append(name)
-                    continue
-                assign.setdefault(remaining[name].pop(0), []).append(name)
-            for name in exhausted:
-                pending.remove(name)
-            if not assign:
-                break
-            result = self._membership.scatter(
-                {
-                    nid: (
-                        "partials",
-                        {
-                            "genes": query,
-                            "datasets": [
-                                (n, self._fingerprints[n]) for n in names
-                            ],
-                        },
-                    )
-                    for nid, names in assign.items()
-                },
-                timeout=self._rpc_timeout,
-            )
-            for nid, reply in result.ok.items():
-                report = node_report.setdefault(
-                    nid, {"served": [], "refused": {}}
-                )
-                for name, wire in reply["partials"].items():
-                    contributions[name] = DatasetPartial(
-                        name=wire["name"],
-                        fingerprint=wire["fingerprint"],
-                        n_query_present=wire["n_query_present"],
-                        weight=wire["weight"],
-                        scores=wire["scores"],
-                    )
-                    report["served"].append(name)
-                    pending.remove(name)
-                for name, reason in reply["refused"].items():
-                    report["refused"][name] = reason
-                    failures[name].append(f"{nid}: {reason}")
-            for nid, error in result.failed.items():
-                report = node_report.setdefault(
-                    nid, {"served": [], "refused": {}}
-                )
+        owners_left = {name: self._owner_order(name) for name in selected}
+        inflight = {name: 0 for name in selected}
+        oldest_launch: dict[str, float] = {}
+        hedges_used = {name: 0 for name in selected}
+        done: set[str] = set()
+        results: queue.Queue = queue.Queue()
+        hedging = self._hedge.enabled and self._hedge.max_hedges > 0
+
+        def assign_next(names: list[str], *, is_hedge: bool) -> None:
+            group: dict[str, list[str]] = {}
+            for name in names:
+                if owners_left[name]:
+                    group.setdefault(owners_left[name].pop(0), []).append(name)
+            now = time.monotonic()
+            for nid, batch in group.items():
+                for name in batch:
+                    inflight[name] += 1
+                    oldest_launch.setdefault(name, now)
+                    if is_hedge:
+                        hedges_used[name] += 1
+                self._launch(nid, batch, query, deadline, results, is_hedge)
+            if is_hedge and group:
+                with self._lock:
+                    self._hedges_fired += len(group)
+
+        assign_next(list(selected), is_hedge=False)
+        while len(done) < len(selected):
+            # failed datasets with replicas left and nothing in flight
+            # fail over immediately
+            stalled = [
+                n for n in selected
+                if n not in done and inflight[n] == 0 and owners_left[n]
+            ]
+            if stalled:
+                assign_next(stalled, is_hedge=False)
+            if all(
+                n in done or (inflight[n] == 0 and not owners_left[n])
+                for n in selected
+            ):
+                break  # every unanswered dataset exhausted its replicas
+            deadline.check("sharded gather")
+
+            hedge_delay = self._hedge.delay(self._latency) if hedging else None
+            wait: float | None = None
+            if hedge_delay is not None:
+                now = time.monotonic()
+                fuses = [
+                    hedge_delay - (now - oldest_launch[n])
+                    for n in selected
+                    if n not in done and inflight[n] > 0 and owners_left[n]
+                    and hedges_used[n] < self._hedge.max_hedges
+                ]
+                if fuses:
+                    wait = max(0.0, min(fuses))
+            wait = deadline.clamp(wait)
+            try:
+                item = results.get(timeout=wait) if wait is not None else results.get()
+            except queue.Empty:
+                if hedge_delay is not None:
+                    now = time.monotonic()
+                    mature = [
+                        n for n in selected
+                        if n not in done and inflight[n] > 0 and owners_left[n]
+                        and hedges_used[n] < self._hedge.max_hedges
+                        and now - oldest_launch[n] >= hedge_delay
+                    ]
+                    if mature:
+                        assign_next(mature, is_hedge=True)
+                continue
+
+            is_hedge, nid, names, reply, error, elapsed = item
+            for name in names:
+                inflight[name] -= 1
+                if inflight[name] <= 0:
+                    oldest_launch.pop(name, None)
+            report = node_report.setdefault(nid, {"served": [], "refused": {}})
+            if error is not None:
                 report["error"] = error
-                for name in assign.get(nid, ()):
-                    failures[name].append(f"{nid}: {error}")
+                for name in names:
+                    if name not in done:
+                        failures[name].append(f"{nid}: {error}")
+                continue
+            self._latency.add(elapsed)
+            for name, wire in reply["partials"].items():
+                if name in done:
+                    continue  # a faster replica already answered
+                contributions[name] = DatasetPartial(
+                    name=wire["name"],
+                    fingerprint=wire["fingerprint"],
+                    n_query_present=wire["n_query_present"],
+                    weight=wire["weight"],
+                    scores=wire["scores"],
+                )
+                report["served"].append(name)
+                done.add(name)
+                if is_hedge:
+                    with self._lock:
+                        self._hedge_wins += 1
+            for name, reason in reply["refused"].items():
+                report["refused"][name] = reason
+                if name not in done:
+                    failures[name].append(f"{nid}: {reason}")
 
         skipped = [n for n in selected if n not in contributions]
         if len(skipped) == len(selected):
@@ -263,6 +374,7 @@ class RouterService:
         top_k: int | None = None,
         datasets: Sequence[str] | None = None,
         require_complete: bool = False,
+        deadline: Deadline | None = None,
     ) -> tuple[SpellResult, dict]:
         """Cache-aware search returning ``(result, partiality report)``.
 
@@ -279,6 +391,7 @@ class RouterService:
             raise SearchError("query contains duplicate genes")
         if datasets is not None:
             datasets = tuple(str(d) for d in datasets)
+        budget = Deadline.never() if deadline is None else deadline
 
         self._sync_catalog()
         version = self.compendium.version
@@ -293,9 +406,15 @@ class RouterService:
             if cached is not None:
                 result, report = rebind_result(cached, query), complete_report
             else:
-                result, report = self._gather(
-                    query, top_k, datasets, require_complete=require_complete
-                )
+                try:
+                    result, report = self._gather(
+                        query, top_k, datasets,
+                        require_complete=require_complete, deadline=budget,
+                    )
+                except DeadlineExceeded:
+                    with self._lock:
+                        self._deadline_exceeded += 1
+                    raise
                 if self._cache is not None and use_cache and not report["partial"]:
                     self._cache.store(
                         version, query, result, extra=extra, cost=result.total_genes
@@ -320,9 +439,19 @@ class RouterService:
 
     # -------------------------------------------------- protocol entry points
     def respond(
-        self, request: SearchRequest, *, strict_page: bool = True
+        self,
+        request: SearchRequest,
+        *,
+        strict_page: bool = True,
+        deadline: Deadline | None = None,
     ) -> SearchResponse:
-        """Answer one protocol request; partiality rides the v1 fields."""
+        """Answer one protocol request; partiality rides the v1 fields.
+
+        ``deadline`` is the budget started at admission (the API layer
+        passes it); if absent, one is derived from the request's own
+        ``deadline_ms`` so direct callers get the same contract.
+        """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
         caching = self._cache is not None and request.use_cache
         top_k = request.top_k
         if top_k is None and not caching:
@@ -333,6 +462,7 @@ class RouterService:
                 use_cache=request.use_cache,
                 top_k=top_k,
                 datasets=request.datasets,
+                deadline=budget,
             )
         return SearchResponse.from_result(
             result,
@@ -344,20 +474,27 @@ class RouterService:
         )
 
     def respond_batch(
-        self, request: BatchSearchRequest, *, strict_page: bool = True
+        self,
+        request: BatchSearchRequest,
+        *,
+        strict_page: bool = True,
+        deadline: Deadline | None = None,
     ) -> BatchSearchResponse:
         """Answer a batch concurrently; each member fans out independently.
 
         All-or-nothing like the single-node service: a failing member
         fails the batch with its error (a *partial* member does not fail
-        — it is a success carrying ``partial=True``).
+        — it is a success carrying ``partial=True``).  The batch-level
+        ``deadline_ms`` bounds every member; a member's own
+        ``deadline_ms`` can only tighten it further.
         """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
         hits0 = self._cache.hits if self._cache is not None else 0
         misses0 = self._cache.misses if self._cache is not None else 0
         searches = list(request.searches)
 
         def one(req: SearchRequest) -> SearchResponse:
-            return self.respond(req, strict_page=strict_page)
+            return self.respond(req, strict_page=strict_page, deadline=budget)
 
         with Stopwatch() as sw:
             if request.scheduler == "steal" and self.n_workers > 1:
@@ -373,13 +510,14 @@ class RouterService:
             if self._cache is not None else 0,
         )
 
-    def iter_result(self, request: ExportRequest):
+    def iter_result(self, request: ExportRequest, *, deadline: Deadline | None = None):
         """Deep-export cursor; **requires** a complete ranking.
 
         An export must never silently omit an unreachable shard's genes
         (the trailer checksums the stream as the full ranking), so shard
         loss here raises ``SHARD_UNAVAILABLE`` instead of degrading.
         """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
         with Stopwatch() as sw:
             result, _report = self._search_report(
                 request.genes,
@@ -387,6 +525,7 @@ class RouterService:
                 top_k=request.top_k,
                 datasets=request.datasets,
                 require_complete=True,
+                deadline=budget,
             )
         return SpellService._iter_chunks(result, request, sw.elapsed)
 
@@ -429,14 +568,56 @@ class RouterService:
         }
 
     def shard_stats(self) -> dict:
-        """Per-shard routing state for ``/v1/health`` (``shards`` field)."""
+        """Per-shard routing state for ``/v1/health`` (``shards`` field).
+
+        Each node snapshot carries its circuit-breaker state plus
+        ``catalog_synced`` — whether the fingerprints the node reported
+        on its last heartbeat cover everything the placement plan says
+        it owns (the rejoin resync check).
+        """
+        self._sync_catalog()
+        nodes = self._membership.stats()
+        for nid, snap in nodes.items():
+            snap["catalog_synced"] = self._catalog_synced(nid, snap.get("info") or {})
+        with self._lock:
+            hedging = {
+                "enabled": self._hedge.enabled and self._hedge.max_hedges > 0,
+                "fired": self._hedges_fired,
+                "wins": self._hedge_wins,
+                "observed_p95_seconds": self._latency.percentile(95.0),
+            }
+            deadline_exceeded = self._deadline_exceeded
         return {
             "replication": self._replication,
-            "nodes": self._membership.stats(),
+            "nodes": nodes,
+            "hedging": hedging,
+            "deadline_exceeded": deadline_exceeded,
         }
 
+    def _catalog_synced(self, node_id: str, info: dict) -> bool | None:
+        """Does the node's last-reported catalog match its planned subset?
+
+        ``None`` when the node has never reported fingerprints (no
+        heartbeat landed yet) — unknown, not out of sync.
+        """
+        reported = info.get("fingerprints")
+        if not isinstance(reported, dict):
+            return None
+        owned = {
+            name: fp
+            for name, fp in self._fingerprints.items()
+            if node_id in self._plan[name]
+        }
+        return all(reported.get(name) == fp for name, fp in owned.items())
+
     def heartbeat(self) -> None:
-        """Refresh shard liveness (feeds replica ordering on later queries)."""
+        """Refresh shard liveness and heal breakers (the rejoin path).
+
+        Pings bypass open breakers, so a sweep after a shard restart
+        immediately re-registers the node: its breaker closes, its
+        reported catalog is refreshed for the resync check, and replica
+        ordering prefers it again on the next query — no router restart.
+        """
         self._membership.heartbeat()
 
     # -------------------------------------------------------------- lifecycle

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.cluster_serving.ring import DEFAULT_VNODES, plan_assignment
 from repro.data.compendium import Compendium
+from repro.rpc.faults import FaultPlan
 from repro.rpc.server import RpcServer
 from repro.spell.index import SpellIndex
 from repro.util.errors import ValidationError
@@ -78,9 +79,11 @@ class ShardNode:
         port: int = 0,
         n_workers: int = 1,
         dtype=np.float64,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.node_id = str(node_id)
         self.compendium = compendium
+        self.fault_plan = fault_plan
         if len(compendium) > 0:
             self._index: SpellIndex | None = SpellIndex.build(
                 compendium, n_workers=n_workers, dtype=dtype
@@ -98,6 +101,7 @@ class ShardNode:
             host=host,
             port=port,
             info=self._info,
+            fault_plan=fault_plan,
         )
 
     # -------------------------------------------------------------- lifecycle
@@ -125,6 +129,11 @@ class ShardNode:
         return {
             "fingerprints": dict(self._fingerprints),
             "n_datasets": len(self._fingerprints),
+            # durable roll-up of this shard's subset — what a rejoining
+            # node advertises so the router can resync its catalog view
+            "compendium_fingerprint": (
+                self.compendium.fingerprint if len(self.compendium) > 0 else None
+            ),
             "index_bytes": self._index.nbytes() if self._index is not None else 0,
             "served": served,
             "refused": refused,
@@ -195,6 +204,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="replica owners per dataset")
     parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
     parser.add_argument("--n-workers", type=int, default=1)
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help=(
+            "inject seeded transport faults, e.g. "
+            "'seed=7,reset_mid_frame=0.3,stall=0.1,stall_seconds=2' "
+            "(kinds: connect_refused, reset_mid_frame, stall, slow_drip, "
+            "garbage; rates in [0,1])"
+        ),
+    )
     parser.add_argument("--synth-datasets", type=int, default=12)
     parser.add_argument("--synth-genes", type=int, default=300)
     parser.add_argument("--synth-conditions", type=int, default=14)
@@ -220,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
     subset = shard_compendium(
         compendium, node_ids, node_id, replication=args.replication
     )
+    fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     node = ShardNode(
         subset,
         node_id=node_id,
@@ -227,12 +246,14 @@ def main(argv: list[str] | None = None) -> int:
         port=args.port,
         n_workers=args.n_workers,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
+        fault_plan=fault_plan,
     )
     host, port = node.serve_background()
     names = ", ".join(sorted(ds.name for ds in subset)) or "(none)"
+    faults = f" [faults: {fault_plan.describe()}]" if fault_plan is not None else ""
     print(
         f"shard {node_id} serving {len(subset)}/{len(compendium)} datasets "
-        f"on {host}:{port}: {names}",
+        f"on {host}:{port}: {names}{faults}",
         flush=True,
     )
     try:

@@ -1,24 +1,37 @@
-"""In-process sharded topologies — the test and demo harness.
+"""In-process sharded topologies — the test, demo, and chaos harness.
 
 :func:`build_local_topology` stands up N :class:`ShardNode` servers on
 ephemeral loopback ports plus a :class:`RouterService` wired to them,
 all in one process.  Real RPC runs over real sockets, so everything the
 distributed deployment exercises — framing, fan-out, timeouts, replica
-failover — is exercised here too; only process isolation is simulated.
+failover, fault injection, restart/rejoin — is exercised here too; only
+process isolation is simulated.
+
+:meth:`LocalTopology.kill` models node death (the server drops its
+listener *and* live connections); :meth:`LocalTopology.restart` models
+the rejoin path: a brand-new :class:`ShardNode` is rebuilt over the same
+subset and re-bound to the same port, then a router heartbeat
+re-registers it — closing its circuit breaker and restoring full
+(non-partial) service without touching the router.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
+from repro.cluster_serving.hedging import HedgePolicy
 from repro.cluster_serving.ring import DEFAULT_VNODES
 from repro.cluster_serving.router import RouterService
 from repro.cluster_serving.shard import ShardNode, shard_compendium
 from repro.data.compendium import Compendium
+from repro.rpc.faults import FaultPlan
 from repro.rpc.membership import Membership
+from repro.rpc.policy import RetryPolicy
 from repro.spell.cache import DEFAULT_CACHE_SIZE
+from repro.util.errors import ValidationError
 
 __all__ = ["LocalTopology", "build_local_topology"]
 
@@ -29,6 +42,13 @@ class LocalTopology:
 
     router: RouterService
     shards: list[ShardNode]
+    #: everything needed to rebuild a shard on restart
+    compendium: Compendium | None = None
+    replication: int = 1
+    vnodes: int = DEFAULT_VNODES
+    dtype: type = np.float64
+    n_workers: int = 1
+    addresses: dict[str, tuple[str, int]] = field(default_factory=dict)
 
     def shard(self, node_id: str) -> ShardNode:
         for node in self.shards:
@@ -40,6 +60,49 @@ class LocalTopology:
         """Stop one shard's server (simulating node death); returns it."""
         node = self.shard(node_id)
         node.close()
+        return node
+
+    def restart(
+        self,
+        node_id: str,
+        *,
+        fault_plan: FaultPlan | None = None,
+        compendium: Compendium | None = None,
+    ) -> ShardNode:
+        """Rebuild a (possibly killed) shard on its original port.
+
+        The new node re-derives its subset from the topology's placement
+        inputs — the same resync a real restarted process performs from
+        its store — and binds the address the membership table already
+        points at, so rejoin needs no router-side change beyond a
+        heartbeat.  Pass ``compendium`` to model a node coming back with
+        *different* content: its stale fingerprints are refused per
+        dataset, never served.
+        """
+        if self.compendium is None:
+            raise ValidationError("topology was not built with restart support")
+        old = self.shard(node_id)
+        old.close()  # idempotent; frees the port if still bound
+        host, port = self.addresses[node_id]
+        node_ids = [node.node_id for node in self.shards]
+        subset = shard_compendium(
+            compendium if compendium is not None else self.compendium,
+            node_ids,
+            node_id,
+            replication=self.replication,
+            vnodes=self.vnodes,
+        )
+        node = ShardNode(
+            subset,
+            node_id=node_id,
+            host=host,
+            port=port,
+            n_workers=self.n_workers,
+            dtype=self.dtype,
+            fault_plan=fault_plan,
+        )
+        node.serve_background()
+        self.shards[self.shards.index(old)] = node
         return node
 
     def close(self) -> None:
@@ -65,8 +128,18 @@ def build_local_topology(
     cache_size: int = DEFAULT_CACHE_SIZE,
     allow_partial: bool = True,
     rpc_timeout: float | None = 10.0,
+    hedge: HedgePolicy | None = None,
+    retry: RetryPolicy | None = None,
+    breaker_failure_threshold: int = 3,
+    breaker_reset_timeout: float = 3.0,
+    fault_plans: Mapping[str, FaultPlan] | None = None,
 ) -> LocalTopology:
-    """Shard ``compendium`` across ``n_shards`` local nodes and route to them."""
+    """Shard ``compendium`` across ``n_shards`` local nodes and route to them.
+
+    ``fault_plans`` maps node ids to seeded :class:`FaultPlan`\\ s for
+    chaos runs; ``hedge``/``retry``/``breaker_*`` tune the router-side
+    fault policy (defaults match production defaults).
+    """
     node_ids = [f"shard-{i}" for i in range(n_shards)]
     shards: list[ShardNode] = []
     addresses: dict[str, tuple[str, int]] = {}
@@ -74,11 +147,21 @@ def build_local_topology(
         subset = shard_compendium(
             compendium, node_ids, node_id, replication=replication, vnodes=vnodes
         )
-        node = ShardNode(subset, node_id=node_id, dtype=dtype, n_workers=n_workers)
+        node = ShardNode(
+            subset,
+            node_id=node_id,
+            dtype=dtype,
+            n_workers=n_workers,
+            fault_plan=(fault_plans or {}).get(node_id),
+        )
         addresses[node_id] = node.serve_background()
         shards.append(node)
     membership = Membership(
-        addresses, timeout=rpc_timeout if rpc_timeout is not None else 30.0
+        addresses,
+        timeout=rpc_timeout if rpc_timeout is not None else 30.0,
+        retry=retry,
+        breaker_failure_threshold=breaker_failure_threshold,
+        breaker_reset_timeout=breaker_reset_timeout,
     )
     router = RouterService(
         compendium,
@@ -89,5 +172,15 @@ def build_local_topology(
         cache_size=cache_size,
         allow_partial=allow_partial,
         rpc_timeout=rpc_timeout,
+        hedge=hedge,
     )
-    return LocalTopology(router=router, shards=shards)
+    return LocalTopology(
+        router=router,
+        shards=shards,
+        compendium=compendium,
+        replication=replication,
+        vnodes=vnodes,
+        dtype=dtype,
+        n_workers=n_workers,
+        addresses=addresses,
+    )

@@ -20,6 +20,7 @@ that substrate:
 """
 
 from repro.rpc.client import RpcClient
+from repro.rpc.faults import FAULT_KINDS, FaultPlan
 from repro.rpc.framing import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -30,19 +31,27 @@ from repro.rpc.framing import (
 )
 from repro.rpc.mailbox import ANY_SOURCE, ANY_TAG, Envelope, Mailbox, matches
 from repro.rpc.membership import Membership, NodeState, ScatterResult
+from repro.rpc.policy import CircuitBreaker, RetryPolicy
 from repro.rpc.server import RpcHandlerError, RpcServer
+from repro.util.deadline import Deadline, DeadlineExceeded
 from repro.util.errors import RpcError
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "Envelope",
+    "FAULT_KINDS",
+    "FaultPlan",
     "FrameError",
     "Mailbox",
     "matches",
     "MAX_FRAME_BYTES",
     "Membership",
     "NodeState",
+    "RetryPolicy",
     "RpcClient",
     "RpcError",
     "RpcHandlerError",

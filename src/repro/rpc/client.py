@@ -59,7 +59,12 @@ class RpcClient:
                 sock.settimeout(deadline)
                 write_frame(sock, (seq, method, payload))
                 reply = read_frame(sock)
-            except RpcError:
+            except BaseException:
+                # Drop on *any* exception, not just RpcError: a payload
+                # that fails to pickle, a KeyboardInterrupt mid-send, or
+                # any non-transport error can leave a half-written frame
+                # or an unread reply on the wire, desyncing every
+                # subsequent call on this connection.
                 self._drop()
                 raise
             if not (isinstance(reply, tuple) and len(reply) in (3, 4)):

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the RPC seams.
+
+A :class:`FaultPlan` is a *seeded* source of failure decisions that an
+:class:`~repro.rpc.server.RpcServer` consults at its two seams with the
+outside world:
+
+- **accept time** — :meth:`FaultPlan.connect_fault` decides whether the
+  freshly accepted connection is closed immediately (the client sees a
+  connect-then-reset, the practical twin of ``ECONNREFUSED``);
+- **reply time** — :meth:`FaultPlan.reply_fault` picks at most one fault
+  kind per request, executed by :meth:`FaultPlan.inject_reply` against
+  the already-encoded reply frame.
+
+Fault kinds (all at the framing layer, where real networks break):
+
+================  ======================================================
+``connect_refused``  accept then close before reading a frame
+``reset_mid_frame``  send the first half of the reply frame, then close
+``stall``            hold the reply for ``stall_seconds`` before sending
+``slow_drip``        send the reply in tiny chunks with pauses between
+``garbage``          send a junk frame (bad magic), then close
+================  ======================================================
+
+Decisions come from one ``random.Random(seed)`` consumed behind a lock,
+so a plan replays the same decision *sequence* for the same seed; under
+concurrent connections the interleaving of draws is the only source of
+nondeterminism.  ``max_faults`` bounds the total injected so a plan can
+model "flaps N times, then heals" — the schedule chaos tests drive
+recovery assertions from.
+
+Plans are usable in-process (pass ``fault_plan=`` to ``RpcServer`` /
+``ShardNode``) and from the shard CLI via ``--fault-plan`` with a spec
+string like ``seed=7,reset_mid_frame=0.3,stall=0.1,stall_seconds=2``.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+from repro.util.errors import ValidationError
+
+__all__ = ["FAULT_KINDS", "FaultPlan"]
+
+FAULT_KINDS = ("connect_refused", "reset_mid_frame", "stall", "slow_drip", "garbage")
+
+_INT_PARAMS = ("seed", "max_faults")
+_FLOAT_PARAMS = ("stall_seconds", "drip_interval")
+
+
+class FaultPlan:
+    """Seeded per-server schedule of injected transport faults."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        rates: dict[str, float] | None = None,
+        stall_seconds: float = 5.0,
+        drip_chunk_bytes: int = 5,
+        drip_interval: float = 0.05,
+        max_faults: int | None = None,
+        methods: tuple[str, ...] | None = None,
+        **kind_rates: float,
+    ) -> None:
+        merged = dict(rates or {})
+        merged.update(kind_rates)
+        for kind, rate in merged.items():
+            if kind not in FAULT_KINDS:
+                raise ValidationError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            if not (0.0 <= float(rate) <= 1.0):
+                raise ValidationError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        if stall_seconds < 0 or drip_interval < 0:
+            raise ValidationError("fault delays must be >= 0")
+        if drip_chunk_bytes < 1:
+            raise ValidationError(f"drip_chunk_bytes must be >= 1, got {drip_chunk_bytes}")
+        self.seed = int(seed)
+        self.rates = {k: float(merged.get(k, 0.0)) for k in FAULT_KINDS}
+        self.stall_seconds = float(stall_seconds)
+        self.drip_chunk_bytes = int(drip_chunk_bytes)
+        self.drip_interval = float(drip_interval)
+        self.max_faults = None if max_faults is None else int(max_faults)
+        self.methods = None if methods is None else tuple(methods)
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+
+    # ------------------------------------------------------------------ spec
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``key=value,...`` CLI spec string."""
+        kwargs: dict = {}
+        rates: dict[str, float] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValidationError(f"fault-plan item {item!r} is not key=value")
+            key, value = (part.strip() for part in item.split("=", 1))
+            if key in FAULT_KINDS:
+                rates[key] = float(value)
+            elif key in _INT_PARAMS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_PARAMS:
+                kwargs[key] = float(value)
+            elif key == "drip_chunk_bytes":
+                kwargs[key] = int(value)
+            elif key == "methods":
+                kwargs["methods"] = tuple(m for m in value.split("|") if m)
+            else:
+                raise ValidationError(f"unknown fault-plan key {key!r}")
+        return cls(rates=rates, **kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        parts += [f"{k}={v}" for k, v in self.rates.items() if v > 0]
+        if self.max_faults is not None:
+            parts.append(f"max_faults={self.max_faults}")
+        return ",".join(parts)
+
+    # ------------------------------------------------------------- decisions
+    def _spend(self, kind: str) -> bool:
+        """Count one injected fault; False if the budget is exhausted."""
+        if self.max_faults is not None and sum(self.injected.values()) >= self.max_faults:
+            return False
+        self.injected[kind] += 1
+        return True
+
+    def connect_fault(self) -> bool:
+        """Decide at accept time whether to refuse this connection."""
+        with self._lock:
+            rate = self.rates["connect_refused"]
+            if rate <= 0.0:
+                return False
+            return self._rng.random() < rate and self._spend("connect_refused")
+
+    def reply_fault(self, method: str) -> str | None:
+        """Pick at most one reply-seam fault kind for this request."""
+        if self.methods is not None and method not in self.methods:
+            return None
+        with self._lock:
+            for kind in ("reset_mid_frame", "stall", "slow_drip", "garbage"):
+                rate = self.rates[kind]
+                if rate > 0.0 and self._rng.random() < rate:
+                    return kind if self._spend(kind) else None
+            return None
+
+    # -------------------------------------------------------------- execution
+    def inject_reply(
+        self,
+        conn: socket.socket,
+        frame: bytes,
+        *,
+        kind: str,
+        abort: threading.Event,
+    ) -> bool:
+        """Apply ``kind`` to an encoded reply frame.
+
+        Returns True when the connection must be dropped afterwards
+        (the fault consumed the reply); False when the full reply was
+        eventually delivered (stall / slow drip) and serving continues.
+        ``abort`` is the server's closed event so injected delays never
+        outlive shutdown.
+        """
+        if kind == "reset_mid_frame":
+            conn.sendall(frame[: max(1, len(frame) // 2)])
+            return True
+        if kind == "garbage":
+            conn.sendall(b"JUNK" + frame[4:8] + b"\xde\xad\xbe\xef")
+            return True
+        if kind == "stall":
+            if abort.wait(self.stall_seconds):
+                return True
+            conn.sendall(frame)
+            return False
+        if kind == "slow_drip":
+            for start in range(0, len(frame), self.drip_chunk_bytes):
+                if abort.wait(self.drip_interval):
+                    return True
+                conn.sendall(frame[start : start + self.drip_chunk_bytes])
+            return False
+        raise ValidationError(f"unknown reply fault kind {kind!r}")
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "injected": {k: v for k, v in self.injected.items() if v},
+                "total_injected": sum(self.injected.values()),
+            }

@@ -1,0 +1,170 @@
+"""Client-side fault policies: jittered retry backoff + circuit breakers.
+
+Both policies live on the *caller* (the membership layer) because that
+is where the blast radius of a flapping node is decided.  The split of
+responsibilities across the stack:
+
+- :class:`RetryPolicy` re-issues an **idempotent** call after a
+  transport failure, with exponential backoff and seeded jitter so a
+  thundering herd of routers does not re-synchronize on a recovering
+  shard.  Handler errors (the remote ran and *answered* with an error)
+  are never retried here — the remote already did the work once.
+- :class:`CircuitBreaker` tracks consecutive transport failures per
+  node and, once a threshold trips, fails calls fast for a cool-off
+  window instead of burning a full connect timeout per request.  After
+  the window one probe is let through (*half-open*); success closes the
+  breaker, failure re-opens it.  Heartbeats use the same probe gate, so
+  a dead shard is probed at the cool-off cadence, not hammered by every
+  query.
+
+Hedging (racing a second replica for tail latency) is deliberately
+*not* here: it needs the replica map, which only the router has — see
+:mod:`repro.cluster_serving.hedging`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+__all__ = ["BREAKER_CLOSED", "BREAKER_HALF_OPEN", "BREAKER_OPEN", "CircuitBreaker", "RetryPolicy"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for idempotent calls.
+
+    ``max_tries`` counts the first attempt: ``max_tries=3`` means one
+    call plus at most two retries.  The delay before retry *n* (1-based)
+    is ``base_delay * multiplier**(n-1)`` capped at ``max_delay``, then
+    scaled by a uniform factor in ``[1-jitter, 1]`` drawn from the
+    caller's seeded RNG — jitter only ever shortens the wait, so the
+    worst-case latency contribution stays the deterministic cap.
+    """
+
+    max_tries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_tries < 1:
+            raise ValidationError(f"max_tries must be >= 1, got {self.max_tries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValidationError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based)."""
+        if retry_index < 1:
+            raise ValidationError(f"retry_index must be >= 1, got {retry_index}")
+        raw = min(self.base_delay * self.multiplier ** (retry_index - 1), self.max_delay)
+        return raw * (1.0 - self.jitter * rng.random())
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no retries — the pre-breaker behaviour."""
+        return cls(max_tries=1)
+
+
+class CircuitBreaker:
+    """Per-node closed → open → half-open failure gate.
+
+    Thread-safe; the clock is injectable so tests drive state
+    transitions without sleeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 3.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ValidationError(f"reset_timeout must be > 0, got {reset_timeout}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+        self.opens = 0  # lifetime count, surfaced in health
+
+    # ------------------------------------------------------------------- gate
+    def allow(self) -> bool:
+        """May a call proceed now?  Half-open admits exactly one probe."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at < self.reset_timeout:
+                    return False
+                self._state = BREAKER_HALF_OPEN
+                self._probe_inflight = False
+            # half-open: one probe slot
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == BREAKER_HALF_OPEN or self._failures >= self.failure_threshold:
+                if self._state != BREAKER_OPEN:
+                    self.opens += 1
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+
+    # ------------------------------------------------------------ introspection
+    @property
+    def state(self) -> str:
+        """Current state, accounting for cool-off expiry (read-only)."""
+        with self._lock:
+            if (
+                self._state == BREAKER_OPEN
+                and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.reset_timeout
+            ):
+                return BREAKER_HALF_OPEN
+            return self._state
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for ``/v1/health``."""
+        state = self.state
+        with self._lock:
+            retry_in = None
+            if self._state == BREAKER_OPEN and self._opened_at is not None:
+                retry_in = max(0.0, self.reset_timeout - (self._clock() - self._opened_at))
+            return {
+                "state": state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "retry_in_seconds": retry_in,
+            }

@@ -16,14 +16,18 @@ here, which is what lets the router refuse stale shards).
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
 from typing import Any, Callable, Mapping
 
-from repro.rpc.framing import FrameError, read_frame, write_frame
+from repro.rpc.faults import FaultPlan
+from repro.rpc.framing import FrameError, encode_message, read_frame, write_frame
 from repro.util.errors import RpcError
 
 __all__ = ["RpcHandlerError", "RpcServer"]
+
+_log = logging.getLogger(__name__)
 
 
 class RpcHandlerError(RpcError):
@@ -45,10 +49,17 @@ class RpcServer:
         host: str = "127.0.0.1",
         port: int = 0,
         info: Callable[[], dict] | None = None,
+        fault_plan: FaultPlan | None = None,
+        join_timeout: float = 5.0,
+        strict_join: bool = False,
     ) -> None:
         self.node_id = node_id
         self._handlers = dict(handlers)
         self._info = info
+        self._fault_plan = fault_plan
+        self.join_timeout = float(join_timeout)
+        self.strict_join = bool(strict_join)
+        self.leaked = False  # accept thread outlived close()'s join
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -108,7 +119,19 @@ class RpcServer:
             except OSError:
                 pass
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5)
+            self._accept_thread.join(timeout=self.join_timeout)
+            if self._accept_thread.is_alive():
+                # A leaked accept thread means the listener teardown did
+                # not unblock accept() — surface it instead of leaving a
+                # zombie thread holding the port.
+                self.leaked = True
+                message = (
+                    f"rpc server {self.node_id!r} accept thread still alive "
+                    f"{self.join_timeout}s after close()"
+                )
+                _log.warning(message)
+                if self.strict_join:
+                    raise RpcError(message)
 
     def __enter__(self) -> "RpcServer":
         return self
@@ -123,6 +146,14 @@ class RpcServer:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return  # listener closed
+            if self._fault_plan is not None and self._fault_plan.connect_fault():
+                # Injected connect-refused: accept then drop before
+                # reading a frame — the client sees a reset on first use.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
             t = threading.Thread(
                 target=self._serve_connection,
                 args=(conn,),
@@ -149,12 +180,27 @@ class RpcServer:
                         return  # raced close(): a dead node answers nothing
                     reply = self._answer(message)
                     try:
-                        write_frame(conn, reply)
+                        if not self._send_reply(conn, message, reply):
+                            return
                     except (RpcError, OSError):
                         return
         finally:
             with self._lock:
                 self._conns.discard(conn)
+
+    def _send_reply(self, conn: socket.socket, message: Any, reply: tuple) -> bool:
+        """Send one reply, consulting the fault plan; False drops the conn."""
+        plan = self._fault_plan
+        if plan is not None:
+            method = message[1] if isinstance(message, tuple) and len(message) == 3 else ""
+            kind = plan.reply_fault(str(method))
+            if kind is not None:
+                dropped = plan.inject_reply(
+                    conn, encode_message(reply), kind=kind, abort=self._closed
+                )
+                return not dropped
+        write_frame(conn, reply)
+        return True
 
     def _answer(self, message: Any) -> tuple:
         if not (isinstance(message, tuple) and len(message) == 3):
@@ -183,6 +229,8 @@ class RpcServer:
             "requests": self.requests,
             "errors": self.errors,
         }
+        if self._fault_plan is not None:
+            payload["faults"] = self._fault_plan.stats()
         if self._info is not None:
             try:
                 payload.update(self._info())

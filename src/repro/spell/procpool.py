@@ -37,13 +37,16 @@ from typing import Sequence
 
 from repro.spell.index import BatchQuery, SpellIndex
 from repro.spell.store import IndexStore
+from repro.util.deadline import Deadline
 from repro.util.errors import ReproError, SearchError
 
-__all__ = ["IndexWorkerPool", "WorkerPoolError"]
+__all__ = ["IndexWorkerPool", "WorkerPoolError", "REPLY_TIMEOUT_SECONDS"]
 
-#: Seconds a gather will wait on one worker before declaring the pool
-#: broken.  Generous — a batch slice is milliseconds of work; only a
-#: dead or wedged worker ever gets near this.
+#: Default seconds a gather will wait on one worker before declaring the
+#: pool broken.  Generous — a batch slice is milliseconds of work; only a
+#: dead or wedged worker ever gets near this.  Configurable per pool via
+#: ``IndexWorkerPool(reply_timeout=...)`` and clamped further by a
+#: request deadline when one rides on the batch.
 REPLY_TIMEOUT_SECONDS = 120.0
 
 
@@ -100,12 +103,20 @@ class IndexWorkerPool:
     """
 
     def __init__(
-        self, store_dir: str | Path, *, n_procs: int, mmap: bool = True
+        self,
+        store_dir: str | Path,
+        *,
+        n_procs: int,
+        mmap: bool = True,
+        reply_timeout: float = REPLY_TIMEOUT_SECONDS,
     ) -> None:
         if n_procs < 1:
             raise WorkerPoolError(f"n_procs must be >= 1, got {n_procs}")
+        if reply_timeout <= 0:
+            raise WorkerPoolError(f"reply_timeout must be > 0, got {reply_timeout}")
         self.store_dir = str(store_dir)
         self.n_procs = int(n_procs)
+        self.reply_timeout = float(reply_timeout)
         self.broken = False
         self.batches = 0
         self.resyncs = 0  # worker index reloads forced by a token mismatch
@@ -129,14 +140,22 @@ class IndexWorkerPool:
 
     # ------------------------------------------------------------------ serve
     def run_batch(
-        self, expected: list[tuple[str, str | None]], specs: Sequence[BatchQuery]
+        self,
+        expected: list[tuple[str, str | None]],
+        specs: Sequence[BatchQuery],
+        *,
+        deadline: Deadline | None = None,
     ) -> tuple[list, float]:
         """Answer ``specs`` across the workers; returns (results, busy_seconds).
 
         ``expected`` is the dispatching index's ordered (name,
         fingerprint) token list; ``busy_seconds`` is the sum of worker
         compute time (for utilization accounting — wall time is the
-        caller's to measure).
+        caller's to measure).  ``deadline`` clamps every gather wait; a
+        spent budget raises :class:`~repro.util.errors.DeadlineExceeded`
+        (the pool is marked broken — replies were abandoned mid-gather,
+        so the pipes can no longer be trusted) and the caller must *not*
+        fall back to in-process work, which would blow the same budget.
         """
         if self.broken:
             raise WorkerPoolError("worker pool is broken")
@@ -144,9 +163,9 @@ class IndexWorkerPool:
         if not specs:
             return [], 0.0
         with self._lock:
-            return self._scatter_gather(expected, specs)
+            return self._scatter_gather(expected, specs, deadline)
 
-    def _scatter_gather(self, expected, specs) -> tuple[list, float]:
+    def _scatter_gather(self, expected, specs, deadline) -> tuple[list, float]:
         n = min(self.n_procs, len(specs))
         bounds = [(len(specs) * j) // n for j in range(n + 1)]
         jobs = []  # (worker, chunk slice)
@@ -165,10 +184,23 @@ class IndexWorkerPool:
         failure: BaseException | None = None
         stale = False
         for conn in jobs:  # drain every reply before raising anything
+            wait = (
+                self.reply_timeout
+                if deadline is None
+                else deadline.clamp(self.reply_timeout)
+            )
             try:
-                if not conn.poll(REPLY_TIMEOUT_SECONDS):
+                if not conn.poll(wait):
+                    if deadline is not None and deadline.expired:
+                        # the budget ran out, not the worker: abandoning
+                        # undrained replies desyncs the pipes, so the
+                        # pool is done — but this is the *client's*
+                        # deadline, not a pool fault, and must surface
+                        # as such (no in-process fallback)
+                        self.broken = True
+                        deadline.check("worker pool gather")
                     raise TimeoutError(
-                        f"no reply within {REPLY_TIMEOUT_SECONDS:.0f}s"
+                        f"no reply within {self.reply_timeout:.0f}s"
                     )
                 reply = conn.recv()
             except (EOFError, OSError, TimeoutError) as exc:
@@ -204,12 +236,13 @@ class IndexWorkerPool:
         return results, busy
 
     # ------------------------------------------------------------------ admin
-    def stats(self) -> dict[str, int | bool]:
+    def stats(self) -> dict[str, int | float | bool]:
         return {
             "n_procs": self.n_procs,
             "batches": self.batches,
             "resyncs": self.resyncs,
             "broken": self.broken,
+            "reply_timeout_seconds": self.reply_timeout,
         }
 
     def close(self) -> None:

@@ -60,8 +60,13 @@ from repro.parallel.workqueue import WorkStealingPool
 from repro.spell.cache import DEFAULT_CACHE_SIZE, QueryCache, rebind_result
 from repro.spell.engine import GeneTable, SpellEngine, SpellResult
 from repro.spell.index import BatchQuery, SpellIndex
-from repro.spell.procpool import IndexWorkerPool, WorkerPoolError
+from repro.spell.procpool import (
+    REPLY_TIMEOUT_SECONDS,
+    IndexWorkerPool,
+    WorkerPoolError,
+)
 from repro.spell.store import IndexStore
+from repro.util.deadline import Deadline
 from repro.util.errors import SearchError, StoreError
 from repro.util.timing import Stopwatch
 
@@ -163,11 +168,13 @@ class SpellService:
         dtype=np.float64,
         store_dir: str | Path | None = None,
         store_mmap: bool = True,
+        pool_timeout: float = REPLY_TIMEOUT_SECONDS,
     ) -> None:
         self.compendium = compendium
         self.use_index = bool(use_index)
         self.n_workers = max(1, int(n_workers))
         self.n_procs = max(1, int(n_procs))
+        self.pool_timeout = float(pool_timeout)
         self.dtype = np.dtype(dtype)
         self._store_dir = Path(store_dir) if store_dir is not None else None
         self._owns_store_dir = False
@@ -318,7 +325,11 @@ class SpellService:
 
     # -------------------------------------------------- protocol entry points
     def respond(
-        self, request: SearchRequest, *, strict_page: bool = True
+        self,
+        request: SearchRequest,
+        *,
+        strict_page: bool = True,
+        deadline: Deadline | None = None,
     ) -> SearchResponse:
         """Answer one protocol :class:`~repro.api.protocol.SearchRequest`.
 
@@ -330,7 +341,14 @@ class SpellService:
         query shares one cache entry; with the cache off only the first
         ``(page + 1) * page_size`` rows are ranked (``argpartition``
         top-k) instead of sorting the whole gene universe.
+
+        The deadline budget (``deadline`` composed with the request's
+        own ``deadline_ms``) is checked before the search starts — the
+        in-process scoring kernel is uninterruptible, so an already
+        spent budget fails fast rather than committing to the work.
         """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
+        budget.check("search admission")
         caching = self._cache is not None and request.use_cache
         top_k = request.top_k
         if top_k is None and not caching:
@@ -346,7 +364,7 @@ class SpellService:
             result, request, elapsed_seconds=sw.elapsed, strict=strict_page
         )
 
-    def iter_result(self, request: ExportRequest):
+    def iter_result(self, request: ExportRequest, *, deadline: Deadline | None = None):
         """Cursor over one query's *full* ranking in fixed-size slices.
 
         The deep-export path: one search resolves the whole ranking
@@ -365,6 +383,8 @@ class SpellService:
         so invalid queries raise here — before a transport has
         committed a success status line to the stream.
         """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
+        budget.check("export admission")
         with Stopwatch() as sw:
             result = self.search(
                 request.genes,
@@ -408,7 +428,11 @@ class SpellService:
         )
 
     def respond_batch(
-        self, request: BatchSearchRequest, *, strict_page: bool = True
+        self,
+        request: BatchSearchRequest,
+        *,
+        strict_page: bool = True,
+        deadline: Deadline | None = None,
     ) -> BatchSearchResponse:
         """Answer a protocol batch concurrently over the shared index.
 
@@ -422,7 +446,15 @@ class SpellService:
         cache hits and cold searches.  Results come back in input order
         on every path.  All-or-nothing: a failing member request fails
         the batch with its error.
+
+        The deadline budget bounds the whole batch (member requests'
+        own ``deadline_ms`` can only tighten it); on the process-pool
+        path it clamps every gather wait, and a spent budget surfaces
+        as ``DeadlineExceeded`` — never as an in-process fallback that
+        would blow the same budget again.
         """
+        budget = Deadline.tighter(deadline, Deadline.after_ms(request.deadline_ms))
+        budget.check("batch admission")
         self._sync_index()  # once up front, not per worker
 
         hits0 = self._cache.hits if self._cache is not None else 0
@@ -431,7 +463,7 @@ class SpellService:
         searches = list(request.searches)
         if self._procs_usable():
             with Stopwatch() as sw:
-                results = self._respond_batch_procs(searches, strict_page)
+                results = self._respond_batch_procs(searches, strict_page, budget)
             return BatchSearchResponse(
                 results=tuple(results),
                 total_seconds=sw.elapsed,
@@ -443,7 +475,7 @@ class SpellService:
             )
 
         def one(req: SearchRequest) -> SearchResponse:
-            return self.respond(req, strict_page=strict_page)
+            return self.respond(req, strict_page=strict_page, deadline=budget)
 
         with Stopwatch() as sw:
             if request.scheduler == "steal" and self.n_workers > 1:
@@ -496,7 +528,10 @@ class SpellService:
             if self._procpool is None:
                 try:
                     self._procpool = IndexWorkerPool(
-                        self._store_dir, n_procs=self.n_procs, mmap=True
+                        self._store_dir,
+                        n_procs=self.n_procs,
+                        mmap=True,
+                        reply_timeout=self.pool_timeout,
                     )
                 except WorkerPoolError:
                     self._pool_disabled = True  # spawn is impossible here
@@ -504,7 +539,10 @@ class SpellService:
             return self._procpool
 
     def _respond_batch_procs(
-        self, searches: list[SearchRequest], strict_page: bool
+        self,
+        searches: list[SearchRequest],
+        strict_page: bool,
+        budget: Deadline,
     ) -> list[SearchResponse]:
         """Scatter the batch's cache misses across the worker processes.
 
@@ -552,7 +590,9 @@ class SpellService:
         if specs:
             try:
                 pool = self._ensure_procpool()
-                results, busy = pool.run_batch(self._index.fingerprints(), specs)
+                results, busy = pool.run_batch(
+                    self._index.fingerprints(), specs, deadline=budget
+                )
                 if len(results) != len(specs):  # defensive; a pool bug
                     raise WorkerPoolError(
                         f"pool returned {len(results)} results for "

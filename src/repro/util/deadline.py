@@ -1,0 +1,102 @@
+"""Monotonic deadline budgets threaded through the serving stack.
+
+A :class:`Deadline` is created once, as close to request admission as
+possible (``ApiApp`` builds one from the append-only ``deadline_ms``
+request field), and then *passed down* — through the router's scatter,
+each RPC try, and the worker-pool gather — instead of every layer
+inventing its own fixed timeout.  Each layer asks ``remaining()`` (or
+``clamp(local_timeout)``) so the whole request chain shares one budget:
+a slow hop spends from the same account as every other hop, and when the
+account is empty the request fails *now* with
+:class:`~repro.util.errors.DeadlineExceeded` instead of blocking on a
+120 s pool wait the client gave up on long ago.
+
+Budgets are measured on :func:`time.monotonic` — wall-clock jumps (NTP,
+suspend) never extend or shrink a request's allowance.  A deadline of
+``None`` milliseconds means "no budget": :meth:`remaining` reports
+``None`` and :meth:`clamp` returns the local timeout unchanged, so all
+pre-existing fixed-timeout behaviour is the degenerate case.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.errors import DeadlineExceeded, ValidationError
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class Deadline:
+    """An absolute monotonic expiry shared by one request chain."""
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, seconds: float | None, *, _absolute: float | None = None):
+        if _absolute is not None:
+            self._expires_at: float | None = _absolute
+        elif seconds is None:
+            self._expires_at = None
+        else:
+            seconds = float(seconds)
+            if seconds < 0:
+                raise ValidationError(f"deadline must be >= 0 seconds, got {seconds}")
+            self._expires_at = time.monotonic() + seconds
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def after_ms(cls, milliseconds: int | None) -> "Deadline":
+        """Budget starting *now*; ``None`` builds the unbounded deadline."""
+        if milliseconds is None:
+            return cls(None)
+        return cls(float(milliseconds) / 1000.0)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    @classmethod
+    def tighter(cls, a: "Deadline | None", b: "Deadline | None") -> "Deadline":
+        """The earlier of two deadlines (either may be ``None``/unbounded)."""
+        candidates = [
+            d._expires_at
+            for d in (a, b)
+            if d is not None and d._expires_at is not None
+        ]
+        if not candidates:
+            return cls(None)
+        return cls(None, _absolute=min(candidates))
+
+    # ------------------------------------------------------------------ budget
+    @property
+    def bounded(self) -> bool:
+        return self._expires_at is not None
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds left, clamped at 0.0; ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def clamp(self, timeout: float | None) -> float | None:
+        """Bound a layer-local timeout by the remaining request budget."""
+        left = self.remaining()
+        if left is None:
+            return timeout
+        if timeout is None:
+            return left
+        return min(float(timeout), left)
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is already spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"deadline exceeded before {what} completed")
+
+    def __repr__(self) -> str:
+        if self._expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"

@@ -29,6 +29,16 @@ class CommunicationError(ReproError):
     """A message-passing operation on the simulated cluster failed."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's monotonic deadline budget ran out before it completed.
+
+    Distinct from :class:`RpcError`: a transport failure says "that hop
+    broke, maybe retry elsewhere"; a spent deadline says "stop spending
+    — the client's budget is gone" and must never trigger retries,
+    failover, or in-process fallback work.
+    """
+
+
 class RpcError(CommunicationError):
     """A framed RPC exchange failed (dead node, timeout, bad frame)."""
 

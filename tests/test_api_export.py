@@ -198,8 +198,8 @@ class TestMidStreamFailure:
         service = SpellService(compendium)
         real_iter = service.iter_result
 
-        def exploding(request):
-            cursor = real_iter(request)
+        def exploding(request, **kwargs):
+            cursor = real_iter(request, **kwargs)
 
             def walk():
                 for i, item in enumerate(cursor):

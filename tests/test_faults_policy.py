@@ -1,0 +1,349 @@
+"""Unit tests for the fault-tolerance primitives.
+
+Covers the four building blocks the chaos suite composes: monotonic
+:class:`Deadline` budgets, :class:`RetryPolicy` backoff, the
+:class:`CircuitBreaker` state machine (driven by a fake clock — no
+sleeps), seeded :class:`FaultPlan` decision schedules, and the hedging
+policy/latency tracker pair.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cluster_serving.hedging import HedgePolicy, LatencyTracker
+from repro.rpc.faults import FAULT_KINDS, FaultPlan
+from repro.rpc.policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.util.deadline import Deadline, DeadlineExceeded
+from repro.util.errors import ValidationError
+
+
+class TestDeadline:
+    def test_unbounded_is_the_degenerate_case(self):
+        d = Deadline.never()
+        assert not d.bounded
+        assert not d.expired
+        assert d.remaining() is None
+        assert d.clamp(12.5) == 12.5
+        assert d.clamp(None) is None
+        d.check("anything")  # never raises
+
+    def test_after_ms_none_is_unbounded(self):
+        assert not Deadline.after_ms(None).bounded
+        assert Deadline.after_ms(50).bounded
+
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        d = Deadline(0.0)
+        assert d.expired
+        assert d.remaining() == 0.0
+        assert d.clamp(10.0) == 0.0
+        with pytest.raises(DeadlineExceeded, match="before gather completed"):
+            d.check("gather")
+
+    def test_clamp_takes_the_smaller_bound(self):
+        d = Deadline(100.0)
+        assert d.clamp(1.0) == 1.0  # local timeout tighter
+        assert d.clamp(1000.0) < 100.1  # budget tighter
+        assert d.clamp(None) is not None  # budget replaces "no timeout"
+
+    def test_tighter_picks_the_earlier_expiry(self):
+        short, long = Deadline(0.5), Deadline(60.0)
+        merged = Deadline.tighter(short, long)
+        assert merged.remaining() <= 0.5
+        # None / unbounded participants never tighten
+        assert Deadline.tighter(None, None).remaining() is None
+        assert not Deadline.tighter(None, Deadline.never()).bounded
+        assert Deadline.tighter(None, short).bounded
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            Deadline(-1.0)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        rng = random.Random(0)
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0)
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(2, rng) == pytest.approx(0.2)
+        assert policy.delay(3, rng) == pytest.approx(0.3)  # capped
+        assert policy.delay(9, rng) == pytest.approx(0.3)
+
+    def test_jitter_only_shortens(self):
+        policy = RetryPolicy(base_delay=0.2, jitter=0.5)
+        rng = random.Random(123)
+        for i in range(1, 6):
+            cap = min(policy.base_delay * policy.multiplier ** (i - 1), policy.max_delay)
+            d = policy.delay(i, rng)
+            assert 0.5 * cap <= d <= cap
+
+    def test_seeded_rng_makes_delays_reproducible(self):
+        policy = RetryPolicy()
+        a = [policy.delay(i, random.Random(7)) for i in range(1, 4)]
+        b = [policy.delay(i, random.Random(7)) for i in range(1, 4)]
+        assert a == b
+
+    def test_none_is_single_attempt(self):
+        assert RetryPolicy.none().max_tries == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_tries=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+        policy = RetryPolicy()
+        with pytest.raises(ValidationError):
+            policy.delay(0, random.Random(0))
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs) -> tuple[CircuitBreaker, FakeClock]:
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout", 10.0)
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_threshold_opens_the_breaker(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == BREAKER_CLOSED
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)  # cool-off over
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # second caller waits for the verdict
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow() and breaker.allow()  # fully closed again
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()  # a fresh cool-off window started
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # 2 < threshold again
+
+    def test_snapshot_shape(self):
+        breaker, clock = self.make()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": BREAKER_CLOSED,
+            "consecutive_failures": 0,
+            "opens": 0,
+            "retry_in_seconds": None,
+        }
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == BREAKER_OPEN
+        assert snap["retry_in_seconds"] == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decision_sequence(self):
+        a = FaultPlan(seed=7, reset_mid_frame=0.4, garbage=0.2)
+        b = FaultPlan(seed=7, reset_mid_frame=0.4, garbage=0.2)
+        assert [a.reply_fault("m") for _ in range(50)] == [
+            b.reply_fault("m") for _ in range(50)
+        ]
+
+    def test_max_faults_budget_heals_the_plan(self):
+        plan = FaultPlan(seed=1, reset_mid_frame=1.0, max_faults=3)
+        draws = [plan.reply_fault("m") for _ in range(10)]
+        assert draws[:3] == ["reset_mid_frame"] * 3
+        assert draws[3:] == [None] * 7  # budget spent: the "node" healed
+        assert plan.stats()["total_injected"] == 3
+
+    def test_methods_filter(self):
+        plan = FaultPlan(seed=1, reset_mid_frame=1.0, methods=("partials",))
+        assert plan.reply_fault("__ping__") is None
+        assert plan.reply_fault("partials") == "reset_mid_frame"
+
+    def test_connect_fault_draws_from_the_same_budget(self):
+        plan = FaultPlan(seed=1, connect_refused=1.0, max_faults=2)
+        assert plan.connect_fault()
+        assert plan.connect_fault()
+        assert not plan.connect_fault()
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "seed=9, reset_mid_frame=0.3, stall=0.1, stall_seconds=2.5,"
+            "max_faults=4, drip_chunk_bytes=3, methods=partials|info"
+        )
+        assert plan.seed == 9
+        assert plan.rates["reset_mid_frame"] == pytest.approx(0.3)
+        assert plan.rates["stall"] == pytest.approx(0.1)
+        assert plan.stall_seconds == pytest.approx(2.5)
+        assert plan.max_faults == 4
+        assert plan.drip_chunk_bytes == 3
+        assert plan.methods == ("partials", "info")
+        assert "seed=9" in plan.describe()
+
+    def test_parse_rejects_unknown_keys_and_bad_rates(self):
+        with pytest.raises(ValidationError):
+            FaultPlan.parse("bogus=1")
+        with pytest.raises(ValidationError):
+            FaultPlan.parse("stall")
+        with pytest.raises(ValidationError):
+            FaultPlan(reset_mid_frame=1.5)
+        with pytest.raises(ValidationError):
+            FaultPlan(drip_chunk_bytes=0)
+
+    def test_inject_reply_kinds(self):
+        """Each executed kind does what the chaos contract says on a real
+        socket pair: drop-kinds return True, delivery-kinds get the full
+        frame through eventually."""
+        plan = FaultPlan(seed=0, drip_chunk_bytes=4, drip_interval=0.0, stall_seconds=0.0)
+        frame = b"RPRC" + bytes(range(40))
+        abort = threading.Event()
+
+        def run(kind: str) -> tuple[bool, bytes]:
+            a, b = socket.socketpair()
+            try:
+                dropped = plan.inject_reply(a, frame, kind=kind, abort=abort)
+                a.close()
+                received = b""
+                while True:
+                    chunk = b.recv(4096)
+                    if not chunk:
+                        break
+                    received += chunk
+                return dropped, received
+            finally:
+                b.close()
+
+        dropped, got = run("reset_mid_frame")
+        assert dropped and got == frame[: len(frame) // 2]
+        dropped, got = run("garbage")
+        assert dropped and got[:4] == b"JUNK"
+        dropped, got = run("stall")
+        assert not dropped and got == frame
+        dropped, got = run("slow_drip")
+        assert not dropped and got == frame
+
+    def test_inject_reply_aborts_with_the_server(self):
+        plan = FaultPlan(seed=0, stall_seconds=30.0)
+        abort = threading.Event()
+        abort.set()  # server already closing: the stall must not wait
+        a, b = socket.socketpair()
+        try:
+            assert plan.inject_reply(a, b"RPRCxxxx", kind="stall", abort=abort)
+        finally:
+            a.close()
+            b.close()
+
+    def test_all_kinds_are_spellable(self):
+        assert set(FAULT_KINDS) == {
+            "connect_refused", "reset_mid_frame", "stall", "slow_drip", "garbage",
+        }
+
+
+class TestLatencyTracker:
+    def test_percentile_nearest_rank(self):
+        tracker = LatencyTracker()
+        for v in [0.1, 0.2, 0.3, 0.4, 1.0]:
+            tracker.add(v)
+        assert tracker.percentile(0) == pytest.approx(0.1)
+        assert tracker.percentile(50) == pytest.approx(0.3)
+        assert tracker.percentile(100) == pytest.approx(1.0)
+        assert tracker.percentile(95) == pytest.approx(1.0)
+
+    def test_empty_and_bounded(self):
+        tracker = LatencyTracker(maxlen=3)
+        assert tracker.percentile(95) is None
+        for v in [9.0, 9.0, 0.1, 0.1, 0.1]:
+            tracker.add(v)
+        assert len(tracker) == 3
+        assert tracker.percentile(100) == pytest.approx(0.1)  # old spikes aged out
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LatencyTracker(maxlen=0)
+        with pytest.raises(ValidationError):
+            LatencyTracker().percentile(101)
+
+
+class TestHedgePolicy:
+    def test_delay_before_samples_is_initial(self):
+        policy = HedgePolicy(initial_delay=0.07)
+        assert policy.delay(LatencyTracker()) == pytest.approx(0.07)
+
+    def test_delay_tracks_percentile_clamped(self):
+        tracker = LatencyTracker()
+        for v in [0.2] * 10:
+            tracker.add(v)
+        assert HedgePolicy(factor=1.0).delay(tracker) == pytest.approx(0.2)
+        assert HedgePolicy(factor=100.0, max_delay=1.5).delay(tracker) == pytest.approx(1.5)
+        assert HedgePolicy(factor=0.001, min_delay=0.05).delay(tracker) == pytest.approx(0.05)
+
+    def test_disabled(self):
+        policy = HedgePolicy.disabled()
+        assert not policy.enabled
+        assert policy.max_hedges == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HedgePolicy(percentile=150.0)
+        with pytest.raises(ValidationError):
+            HedgePolicy(factor=0.0)
+        with pytest.raises(ValidationError):
+            HedgePolicy(min_delay=2.0, max_delay=1.0)
+        with pytest.raises(ValidationError):
+            HedgePolicy(max_hedges=-1)

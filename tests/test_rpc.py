@@ -27,6 +27,7 @@ from repro.rpc.framing import (
     read_frame,
     write_frame,
 )
+from repro.rpc.faults import FaultPlan
 from repro.rpc.membership import Membership
 from repro.rpc.server import RpcHandlerError, RpcServer
 from repro.util.errors import RpcError, ValidationError
@@ -183,6 +184,127 @@ class TestServerClient:
         server.close()
 
 
+class TestClientReconnect:
+    """A broken reply — however it broke — must drop the connection so
+    the next call redials clean; the failed call itself stays a
+    structured error.  These pin the client half of the chaos story."""
+
+    def test_mid_frame_server_death_then_redial(self):
+        plan = FaultPlan(seed=1, reset_mid_frame=1.0, max_faults=1)
+        server = RpcServer(
+            {"echo": lambda p: p}, fault_plan=plan
+        ).serve_background()
+        with server, RpcClient(*server.address, timeout=5.0) as client:
+            with pytest.raises(RpcError):
+                client.call("echo", "doomed")
+            assert client._sock is None  # dropped, not poisoned
+            # the plan's budget is spent: the redial succeeds
+            assert client.call("echo", "back") == "back"
+
+    def test_garbage_reply_bytes_then_redial(self):
+        plan = FaultPlan(seed=2, garbage=1.0, max_faults=1)
+        server = RpcServer(
+            {"echo": lambda p: p}, fault_plan=plan
+        ).serve_background()
+        with server, RpcClient(*server.address, timeout=5.0) as client:
+            with pytest.raises(RpcError):  # bad magic, surfaced as transport
+                client.call("echo", "doomed")
+            assert client._sock is None
+            assert client.call("echo", "back") == "back"
+
+    def test_sequence_mismatch_then_redial(self):
+        """A desynced reply stream is detected, refused, and recovered
+        from — never silently attributed to the wrong request."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        host, port = listener.getsockname()
+
+        def serve():
+            # first connection: answer with the wrong sequence number
+            conn, _ = listener.accept()
+            with conn:
+                seq, _method, payload = read_frame(conn)
+                write_frame(conn, ("ok", seq + 13, payload))
+            # second connection (the redial): behave
+            conn, _ = listener.accept()
+            with conn:
+                seq, _method, payload = read_frame(conn)
+                write_frame(conn, ("ok", seq, payload))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            with RpcClient(host, port, timeout=5.0) as client:
+                with pytest.raises(RpcError, match="sequence mismatch"):
+                    client.call("echo", "first")
+                assert client._sock is None
+                assert client.call("echo", "second") == "second"
+            thread.join(timeout=5)
+        finally:
+            listener.close()
+
+    def test_unserializable_payload_leaves_connection_clean(self):
+        """A payload that cannot be pickled fails the *call*, not the
+        connection: the next call over the same client still works."""
+        import pickle
+
+        with echo_server() as server, RpcClient(*server.address) as client:
+            assert client.call("echo", "warm") == "warm"
+            with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+                client.call("echo", lambda: None)
+            assert client._sock is None
+            assert client.call("echo", "clean") == "clean"
+
+    def test_any_exception_mid_call_drops_connection(self, monkeypatch):
+        """The drop-on-failure path is exception-agnostic: even an error
+        the transport never anticipated cannot leave a half-read reply
+        to desync the following call."""
+        with echo_server() as server, RpcClient(*server.address) as client:
+            assert client.call("echo", "warm") == "warm"
+            with monkeypatch.context() as patch:
+
+                def explode(sock):
+                    raise RuntimeError("interrupted mid-read")
+
+                patch.setattr("repro.rpc.client.read_frame", explode)
+                with pytest.raises(RuntimeError, match="interrupted mid-read"):
+                    client.call("echo", "during")
+            assert client._sock is None
+            assert client.call("echo", "after") == "after"
+
+
+class TestServerClose:
+    def test_leaked_accept_thread_is_flagged_and_logged(self, caplog):
+        server = echo_server(join_timeout=0.05)
+        # simulate a teardown that fails to unblock accept(): close()
+        # must flag and log the zombie, not pretend shutdown succeeded
+        stuck = threading.Thread(target=time.sleep, args=(1.0,), daemon=True)
+        stuck.start()
+        real = server._accept_thread
+        server._accept_thread = stuck
+        with caplog.at_level("WARNING", logger="repro.rpc.server"):
+            server.close()
+        assert server.leaked is True
+        assert any("still alive" in r.message for r in caplog.records)
+        real.join(timeout=5)  # the real loop exits once the listener dies
+
+    def test_strict_join_raises_on_leak(self):
+        server = echo_server(join_timeout=0.05, strict_join=True)
+        stuck = threading.Thread(target=time.sleep, args=(1.0,), daemon=True)
+        stuck.start()
+        real = server._accept_thread
+        server._accept_thread = stuck
+        with pytest.raises(RpcError, match="still alive"):
+            server.close()
+        real.join(timeout=5)
+
+    def test_clean_close_never_flags(self):
+        server = echo_server(join_timeout=5.0)
+        server.close()
+        assert server.leaked is False
+
+
 class TestMembership:
     def test_validation(self):
         with pytest.raises(ValidationError, match="at least one node"):
@@ -209,7 +331,12 @@ class TestMembership:
                 assert members.state("n0").alive
                 assert not members.state("n1").alive
                 assert members.alive_ids() == ["n0"]
-                assert members.state("n1").consecutive_failures == 1
+                # each transport *try* counts: the default retry policy
+                # re-dials once, so a dead node records max_tries failures
+                assert (
+                    members.state("n1").consecutive_failures
+                    == members.retry.max_tries
+                )
                 assert members.state("n1").last_error
         finally:
             s0.close()
