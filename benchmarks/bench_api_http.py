@@ -33,13 +33,18 @@ query API"); this bench prices the facade itself:
 
 from __future__ import annotations
 
+import http.client
 import json
+import math
 import os
 import threading
+import time
 import urllib.request
+from urllib.parse import urlsplit
 
 import pytest
 
+from repro.api.aio import LoopGroup
 from repro.api.app import ApiApp
 from repro.api.http import serve
 from repro.cluster_serving import build_local_topology
@@ -53,6 +58,90 @@ N_LATENCY_QUERIES = 24
 QUERY_SIZE = 4
 CLIENT_COUNTS = (1, 2, 4, 8)
 REQUESTS_PER_CLIENT = 12
+AIO_CLIENTS = 8
+AIO_REQUESTS_PER_CLIENT = 25
+# deep pages tilt per-request cost toward server-side JSON encode, so the
+# facade under test — not the GIL-bound measuring client — is the bottleneck
+AIO_PAGE_SIZE = 100
+
+
+def _latency_percentiles(ordered: list[float]) -> dict[str, float]:
+    """Nearest-rank p50/p95/p99 over an already-sorted latency list."""
+
+    def pick(q: float) -> float:
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    return {"p50": pick(50), "p95": pick(95), "p99": pick(99)}
+
+
+def _run_keepalive_clients(
+    host: str,
+    port: int,
+    genes: list[str],
+    n_clients: int,
+    n_requests: int,
+    expected_rows: list | None = None,
+    page_size: int = 20,
+) -> tuple[float, float, list[float]]:
+    """N threads, one persistent HTTP connection each, timing every request.
+
+    Keep-alive is the point: per-request connections would price TCP
+    setup instead of the serving tier, and could never exercise the
+    async facade's connection reuse.  Returns ``(qps, wall_seconds,
+    sorted per-request latencies)``.  With ``expected_rows`` every
+    response is parsed and checked; without it only the status is
+    checked, keeping the GIL-bound client process cheap enough that the
+    *server* stays the measured bottleneck.
+    """
+    payload = json.dumps({"genes": genes, "page_size": page_size}).encode()
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    mismatches: list[int] = []
+    lock = threading.Lock()
+
+    def client(idx: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            for _ in range(n_requests):
+                start = time.perf_counter()
+                conn.request(
+                    "POST",
+                    "/v1/search",
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                data = resp.read()
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+                    if resp.status != 200:
+                        errors.append(
+                            RuntimeError(f"HTTP {resp.status}: {data[:200]!r}")
+                        )
+                    elif (
+                        expected_rows is not None
+                        and json.loads(data)["gene_rows"] != expected_rows
+                    ):
+                        mismatches.append(idx)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            with lock:
+                errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+    with Stopwatch() as sw:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not errors, f"{n_clients} keep-alive clients: {errors[0]!r}"
+    assert not mismatches, f"inconsistent answers from clients {mismatches}"
+    assert len(latencies) == n_clients * n_requests
+    qps = len(latencies) / sw.elapsed if sw.elapsed > 0 else float("inf")
+    return qps, sw.elapsed, sorted(latencies)
 
 
 @pytest.fixture(scope="module")
@@ -80,10 +169,10 @@ def live_facade(spell_bench):
     thread.join(timeout=5)
 
 
-def _post_search(base: str, genes: list[str]) -> dict:
+def _post_search(base: str, genes: list[str], page_size: int = 20) -> dict:
     request = urllib.request.Request(
         base + "/v1/search",
-        data=json.dumps({"genes": genes, "page_size": 20}).encode(),
+        data=json.dumps({"genes": genes, "page_size": page_size}).encode(),
         method="POST",
     )
     with urllib.request.urlopen(request, timeout=60) as resp:
@@ -134,54 +223,64 @@ def test_http_roundtrip_latency(live_facade):
 
 
 def test_http_concurrent_throughput(live_facade):
-    """Aggregate throughput as concurrent clients are added."""
+    """Aggregate throughput and tail latency as keep-alive clients are added."""
     base, queries = live_facade
     genes = queries[0]
     expected = _post_search(base, genes)["gene_rows"]
+    parts = urlsplit(base)
 
     rows = []
     qps_by_clients = {}
+    latency_by_clients = {}
     for n_clients in CLIENT_COUNTS:
-        mismatches: list[int] = []
-        errors: list[Exception] = []
-        lock = threading.Lock()
-
-        def client(idx: int) -> None:
-            try:
-                for _ in range(REQUESTS_PER_CLIENT):
-                    body = _post_search(base, genes)
-                    if body["gene_rows"] != expected:
-                        with lock:
-                            mismatches.append(idx)
-            except Exception as exc:  # pragma: no cover - diagnostic
-                with lock:
-                    errors.append(exc)
-
-        threads = [
-            threading.Thread(target=client, args=(i,)) for i in range(n_clients)
-        ]
-        with Stopwatch() as sw:
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-        total = n_clients * REQUESTS_PER_CLIENT
-        qps = total / sw.elapsed if sw.elapsed > 0 else float("inf")
+        qps, wall, latencies = _run_keepalive_clients(
+            parts.hostname,
+            parts.port,
+            genes,
+            n_clients,
+            REQUESTS_PER_CLIENT,
+            expected_rows=expected,
+        )
+        pct = _latency_percentiles(latencies)
         qps_by_clients[n_clients] = qps
-        rows.append([n_clients, total, f"{sw.elapsed * 1e3:.1f} ms", f"{qps:.0f}"])
-        assert not errors, f"{n_clients} clients: {errors[0]!r}"
-        assert not mismatches, f"inconsistent answers from clients {mismatches}"
+        latency_by_clients[n_clients] = pct
+        rows.append(
+            [
+                n_clients,
+                len(latencies),
+                f"{wall * 1e3:.1f} ms",
+                f"{qps:.0f}",
+                f"{pct['p50'] * 1e3:.2f} ms",
+                f"{pct['p95'] * 1e3:.2f} ms",
+                f"{pct['p99'] * 1e3:.2f} ms",
+            ]
+        )
 
     write_report(
         "API_HTTP_THROUGHPUT",
-        "HTTP facade: concurrent-client throughput (warm cache)",
-        ["clients", "requests", "wall time", "requests/sec"],
+        "HTTP facade: concurrent keep-alive client throughput (warm cache)",
+        ["clients", "requests", "wall time", "requests/sec", "p50", "p95", "p99"],
         rows,
         notes=(
-            "All clients issue the same warm-cache query against one "
-            "ThreadingHTTPServer sharing the index; answers are checked "
-            "identical.  Throughput must not collapse as clients are added."
+            "All clients reuse one keep-alive connection each and issue the "
+            "same warm-cache query against one ThreadingHTTPServer sharing "
+            "the index; answers are checked identical.  Throughput must not "
+            "collapse as clients are added; percentiles are nearest-rank "
+            "over every request."
         ),
+    )
+    update_json_report(
+        "BENCH_4",
+        {
+            "http_concurrent": {
+                "requests_per_client": REQUESTS_PER_CLIENT,
+                "qps_by_clients": {str(k): v for k, v in qps_by_clients.items()},
+                "latency_ms_by_clients": {
+                    str(k): {name: v * 1e3 for name, v in pct.items()}
+                    for k, pct in latency_by_clients.items()
+                },
+            }
+        },
     )
     # concurrency must never cost more than ~40% of single-client throughput
     assert qps_by_clients[max(CLIENT_COUNTS)] > 0.6 * qps_by_clients[1], (
@@ -493,4 +592,147 @@ def test_http_sharded_vs_single_node(spell_bench):
         assert ratio >= 1.0, (
             f"sharded serving slower than single node on {cores} cores: "
             f"{qps['3-shard router']:.0f} vs {qps['single node']:.0f} qps"
+        )
+
+
+def test_async_vs_threaded_concurrent(spell_bench):
+    """BENCH_8 gate: asyncio loop group vs the threaded facade, keep-alive.
+
+    The threaded facade is one ``ThreadingHTTPServer`` process — every
+    request thread contends on one GIL.  The async tier runs one loop
+    worker *process* per core (capped at 4) on one ``SO_REUSEPORT``
+    port, so warm-cache request handling (JSON + dict work, exactly
+    what the GIL serializes) spreads across cores.  Both facades serve
+    the same seed-424 FIG4 compendium; the oracle property (identical
+    rankings through either facade) is asserted before any timing.  On
+    >= 2 cores the loop group must deliver >= 2x the threaded facade's
+    concurrent keep-alive QPS with no worse p99; on one core the
+    numbers are informational (both tiers time-slice one CPU).
+    """
+    comp, truth = spell_bench
+    genes = list(truth.query_genes)
+    cores = os.cpu_count() or 1
+    n_loops = max(2, min(4, cores))
+
+    service = SpellService(comp, n_workers=4)
+    threaded_server = serve(ApiApp(service), host="127.0.0.1", port=0)
+    threaded_thread = threading.Thread(
+        target=threaded_server.serve_forever, daemon=True
+    )
+    threaded_thread.start()
+    t_host, t_port = threaded_server.server_address[:2]
+
+    # each spawned worker rebuilds the exact spell_bench compendium
+    # (same params, same seed) so the facades answer from identical data
+    group = LoopGroup(
+        n_loops=n_loops,
+        factory_kwargs={
+            "synth_datasets": 40,
+            "n_relevant": 8,
+            "synth_genes": 600,
+            "synth_conditions": 20,
+            "module_size": 30,
+            "query_size": 5,
+            "seed": 424,
+            "n_workers": 4,
+        },
+    )
+    qps = {}
+    pct = {}
+    try:
+        group.start()
+        expected = _post_search(
+            f"http://{t_host}:{t_port}", genes, page_size=AIO_PAGE_SIZE
+        )["gene_rows"]
+        aio_rows = _post_search(
+            f"http://{group.host}:{group.port}", genes, page_size=AIO_PAGE_SIZE
+        )["gene_rows"]
+        assert aio_rows == expected, "async facade diverged from threaded facade"
+
+        for label, host, port in (
+            ("threaded", t_host, t_port),
+            ("async", group.host, group.port),
+        ):
+            # warm-up round checks every answer and, because the kernel
+            # balances connections across loops, touches every worker's
+            # cache; the measured round then skips client-side parsing so
+            # the client cannot become the bottleneck
+            _run_keepalive_clients(
+                host,
+                port,
+                genes,
+                AIO_CLIENTS,
+                3,
+                expected_rows=expected,
+                page_size=AIO_PAGE_SIZE,
+            )
+            measured, _, latencies = _run_keepalive_clients(
+                host,
+                port,
+                genes,
+                AIO_CLIENTS,
+                AIO_REQUESTS_PER_CLIENT,
+                page_size=AIO_PAGE_SIZE,
+            )
+            qps[label] = measured
+            pct[label] = _latency_percentiles(latencies)
+    finally:
+        group.stop()
+        threaded_server.close()
+        threaded_thread.join(timeout=5)
+        service.close()
+
+    ratio = qps["async"] / qps["threaded"] if qps["threaded"] > 0 else float("inf")
+    rows = [
+        [
+            label,
+            f"{qps[label]:.0f}",
+            f"{pct[label]['p50'] * 1e3:.2f} ms",
+            f"{pct[label]['p95'] * 1e3:.2f} ms",
+            f"{pct[label]['p99'] * 1e3:.2f} ms",
+        ]
+        for label in ("threaded", "async")
+    ]
+    write_report(
+        "API_AIO_THROUGHPUT",
+        "Async loop group vs threaded facade: concurrent keep-alive clients",
+        ["facade", "requests/sec", "p50", "p95", "p99"],
+        rows,
+        notes=(
+            f"{AIO_CLIENTS} keep-alive clients x {AIO_REQUESTS_PER_CLIENT} "
+            f"warm-cache searches on a {cores}-core host; async tier ran "
+            f"{n_loops} SO_REUSEPORT loop processes, threaded tier one "
+            f"ThreadingHTTPServer process.  QPS ratio {ratio:.2f}x.  "
+            "Rankings asserted identical across facades before timing."
+        ),
+    )
+    update_json_report(
+        "BENCH_8",
+        {
+            "async_vs_threaded": {
+                "cores": cores,
+                "loops": n_loops,
+                "clients": AIO_CLIENTS,
+                "requests_per_client": AIO_REQUESTS_PER_CLIENT,
+                "page_size": AIO_PAGE_SIZE,
+                "threaded_qps": qps["threaded"],
+                "async_qps": qps["async"],
+                "qps_ratio": ratio,
+                "threaded_latency_ms": {
+                    name: v * 1e3 for name, v in pct["threaded"].items()
+                },
+                "async_latency_ms": {
+                    name: v * 1e3 for name, v in pct["async"].items()
+                },
+            }
+        },
+    )
+    if cores >= 2:
+        assert ratio >= 2.0, (
+            f"async facade only {ratio:.2f}x threaded QPS on {cores} cores "
+            f"({qps['async']:.0f} vs {qps['threaded']:.0f})"
+        )
+        assert pct["async"]["p99"] <= pct["threaded"]["p99"], (
+            f"async p99 regressed: {pct['async']['p99'] * 1e3:.2f} ms vs "
+            f"threaded {pct['threaded']['p99'] * 1e3:.2f} ms"
         )

@@ -1,0 +1,29 @@
+"""Asyncio serving tier: event-loop HTTP/1.1 front end for the v1 API.
+
+The package splits along the seams the design needs tested in
+isolation:
+
+* :mod:`repro.api.aio.http11` — pure incremental HTTP/1.1 parsing and
+  response encoding (no sockets, no loop);
+* :mod:`repro.api.aio.server` — one event loop serving one
+  :class:`~repro.api.app.ApiApp`: accept loop, keep-alive, pipelining,
+  chunked export streaming, bounded-executor dispatch, graceful drain;
+* :mod:`repro.api.aio.supervisor` — the multi-loop topology: N worker
+  processes, each its own loop, sharing one port via ``SO_REUSEPORT``;
+* ``python -m repro.api.aio`` — the CLI (mirrors
+  ``python -m repro.api.http``, plus ``--loops``).
+"""
+
+from repro.api.aio.http11 import ProtocolError, RequestHead, RequestParser
+from repro.api.aio.server import AioApiServer, serve, serve_background
+from repro.api.aio.supervisor import LoopGroup
+
+__all__ = [
+    "AioApiServer",
+    "LoopGroup",
+    "ProtocolError",
+    "RequestHead",
+    "RequestParser",
+    "serve",
+    "serve_background",
+]

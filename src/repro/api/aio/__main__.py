@@ -1,0 +1,223 @@
+"""CLI: ``python -m repro.api.aio`` — serve the v1 API on event loops.
+
+Mirrors ``python -m repro.api.http`` (same demo compendium, same
+hardening flags) plus the async-tier knobs: ``--loops`` for the
+SO_REUSEPORT multi-loop topology, and the per-loop bounds
+(``--pipeline-depth``, ``--max-connections``, ``--executor-threads``,
+``--drain-seconds``).
+
+``--loops 1`` (default) serves in-process on one event loop; SIGTERM /
+Ctrl-C triggers the graceful drain.  ``--loops N`` spawns N worker
+processes sharing the port (see :mod:`repro.api.aio.supervisor`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import time
+
+from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestGate
+from repro.api.transport import DEFAULT_DRAIN_SECONDS
+from repro.api.aio.server import (
+    DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_PIPELINE_DEPTH,
+    AioApiServer,
+)
+from repro.api.aio.supervisor import LoopGroup
+
+_PREFIX = "/v1/"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.aio",
+        description="Serve the v1 SPELL query API on asyncio event loops "
+                    "(demo compendium).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listening port (0 = ephemeral)")
+    parser.add_argument("--loops", type=int, default=1,
+                        help="event loops (worker processes) sharing the "
+                             "port via SO_REUSEPORT; size to physical cores")
+    parser.add_argument("--pipeline-depth", type=int,
+                        default=DEFAULT_PIPELINE_DEPTH,
+                        help="per-connection window of parsed-but-unanswered "
+                             "requests; a full window pauses the read loop")
+    parser.add_argument("--max-connections", type=int,
+                        default=DEFAULT_MAX_CONNECTIONS,
+                        help="per-loop cap on concurrently served "
+                             "connections; at the cap the accept loop pauses")
+    parser.add_argument("--executor-threads", type=int, default=None,
+                        help="threads bridging blocking service calls off "
+                             "the loop (default: max(4, cpu count))")
+    parser.add_argument("--drain-seconds", type=float,
+                        default=DEFAULT_DRAIN_SECONDS,
+                        help="bound on the graceful drain of in-flight "
+                             "requests at shutdown")
+    parser.add_argument("--store-dir", default=None,
+                        help="persistent index directory (mmap cold start; "
+                             "with --loops > 1, workers share the store)")
+    parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
+    parser.add_argument("--n-workers", type=int, default=4)
+    parser.add_argument("--n-procs", type=int, default=1)
+    parser.add_argument("--pool-timeout", type=float, default=120.0)
+    parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--cache-min-cost", type=int, default=0)
+    parser.add_argument("--synth-datasets", type=int, default=12)
+    parser.add_argument("--synth-genes", type=int, default=300)
+    parser.add_argument("--synth-conditions", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--auth-token-file", default=None,
+                        help="file holding the shared bearer token; when "
+                             "set, requests (except /v1/health) must send "
+                             "'Authorization: Bearer <token>' or get 401")
+    parser.add_argument("--rate-limit", type=float, default=0.0,
+                        help="per-client requests/second (token bucket; 0 "
+                             "disables); over-budget clients get 429")
+    parser.add_argument("--rate-burst", type=int, default=None)
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=DEFAULT_MAX_BODY_BYTES)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log drain/teardown events to stderr")
+    return parser
+
+
+def _read_auth_token(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> str | None:
+    if args.auth_token_file is None:
+        return None
+    with open(args.auth_token_file, encoding="utf-8") as fh:
+        token = fh.read().strip()
+    if not token:
+        parser.error(f"auth token file {args.auth_token_file!r} is empty")
+    return token
+
+
+def _print_examples(host: str, port: int, example_query: str | None) -> None:
+    print(f"serving v1 API on http://{host}:{port}{_PREFIX}", flush=True)
+    print(f"  try: curl http://{host}:{port}/v1/health", flush=True)
+    if example_query is not None:
+        print(
+            f"  try: curl -X POST http://{host}:{port}/v1/search "
+            f"-d '{example_query}'",
+            flush=True,
+        )
+    print(f"  try: curl http://{host}:{port}/v1/datasets", flush=True)
+
+
+def _serve_single(args: argparse.Namespace, auth_token: str | None) -> int:
+    """One in-process event loop (the --loops 1 path)."""
+    from repro.api.app import ApiApp
+    from repro.api.http import _build_service
+
+    service, truth = _build_service(args)
+    gate = RequestGate(
+        auth_token=auth_token,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_body_bytes=args.max_body_bytes,
+    )
+    app = ApiApp(service, gate=gate)
+    server = AioApiServer(
+        app,
+        host=args.host,
+        port=args.port,
+        pipeline_depth=args.pipeline_depth,
+        max_connections=args.max_connections,
+        executor_threads=args.executor_threads,
+        drain_seconds=args.drain_seconds,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    example = json.dumps({"genes": list(truth.query_genes), "page_size": 10})
+    _print_examples(host, port, example)
+
+    async def _main() -> None:
+        task = asyncio.current_task()
+        task._repro_serve = True
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, task.cancel)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        service.close()
+    return 0
+
+
+def _serve_group(args: argparse.Namespace, auth_token: str | None) -> int:
+    """N spawned loops sharing the port (the --loops > 1 path)."""
+    group = LoopGroup(
+        n_loops=args.loops,
+        host=args.host,
+        port=args.port,
+        factory_kwargs={
+            "synth_datasets": args.synth_datasets,
+            "synth_genes": args.synth_genes,
+            "synth_conditions": args.synth_conditions,
+            "seed": args.seed,
+            "n_workers": args.n_workers,
+            "n_procs": args.n_procs,
+            "cache_size": args.cache_size,
+            "cache_min_cost": args.cache_min_cost,
+            "dtype": args.dtype,
+            "store_dir": args.store_dir,
+            "pool_timeout": args.pool_timeout,
+            "auth_token": auth_token,
+            "rate_limit": args.rate_limit,
+            "rate_burst": args.rate_burst,
+            "max_body_bytes": args.max_body_bytes,
+        },
+        server_options={
+            "pipeline_depth": args.pipeline_depth,
+            "max_connections": args.max_connections,
+            "executor_threads": args.executor_threads,
+            "drain_seconds": args.drain_seconds,
+            "quiet": not args.verbose,
+        },
+    )
+    group.start()
+    _print_examples(args.host, group.port, None)
+    print(f"  loops: {args.loops} (SO_REUSEPORT)", flush=True)
+
+    stop = {"signaled": False}
+
+    def _on_term(signum, frame) -> None:
+        stop["signaled"] = True
+
+    signal.signal(signal.SIGTERM, _on_term)
+    signal.signal(signal.SIGINT, _on_term)
+    try:
+        while not stop["signaled"] and all(group.alive()):
+            time.sleep(0.2)
+    finally:
+        killed = group.stop()
+        if killed and args.verbose:
+            sys.stderr.write(f"repro.api.aio: killed {killed} worker(s) "
+                             f"past the drain bound\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.loops < 1:
+        parser.error("--loops must be >= 1")
+    auth_token = _read_auth_token(parser, args)
+    try:
+        if args.loops == 1:
+            return _serve_single(args, auth_token)
+        return _serve_group(args, auth_token)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

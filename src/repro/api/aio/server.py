@@ -1,0 +1,606 @@
+"""One-event-loop HTTP/1.1 server over :class:`~repro.api.app.ApiApp`.
+
+This is the asyncio half of the serving tier: a hand-rolled accept loop
+(``loop.sock_accept`` on a socket the server binds itself, optionally
+with ``SO_REUSEPORT`` so N worker processes share one port), per
+connection a **reader** coroutine (incremental HTTP/1.1 parsing via
+:mod:`repro.api.aio.http11`, admission control on headers alone) and a
+**responder** coroutine (in-order dispatch and response writing) joined
+by a bounded queue — the queue *is* the per-connection pipelining
+window, and a full queue stops the reader, which stops ``sock_recv``,
+which is TCP backpressure.
+
+The event loop never blocks on the analysis core: every
+``ApiApp.handle_wire`` / ``export`` call — which may wait on the index
+worker pool's pipes or the sharded router's sockets — runs on a bounded
+thread-pool executor (``loop.run_in_executor``), so hundreds of
+connections stay responsive while a handful of requests compute.
+
+Semantics are **identical** to the threaded facade
+(:mod:`repro.api.http`) by construction: the same route registry, the
+same :class:`~repro.api.limits.RequestGate` run *before* the body is
+read (the context is marked admitted, so no token is ever spent twice),
+the same structured error codes, the same ``Retry-After`` header on
+429s, and the same close-don't-desync rule — a request rejected before
+its body was drained answers ``Connection: close``.  The oracle tests
+assert byte-identical JSON bodies against the threaded facade and
+direct ``ApiApp`` calls.
+
+Graceful drain (shared contract with the threaded facade, see
+:mod:`repro.api.transport`): ``shutdown()`` stops accepting, lets every
+parsed-and-admitted request finish writing its response (bounded by
+``drain_seconds``), closes idle keep-alive connections, and only then
+tears the loop down — an in-flight response is never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import sys
+import threading
+from dataclasses import dataclass, replace
+from functools import partial
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.app import ApiApp, all_endpoints
+from repro.api.errors import ApiError, as_api_error, error_payload
+from repro.api.limits import RequestContext
+from repro.api.routes import ROUTE_BY_NAME, Route
+from repro.api.transport import (
+    DEFAULT_DRAIN_SECONDS,
+    TransportStats,
+    retry_after_headers,
+)
+from repro.api.aio.http11 import (
+    CHUNKED_EOF,
+    ProtocolError,
+    RequestHead,
+    RequestParser,
+    encode_chunk,
+    encode_response,
+    encode_stream_head,
+)
+
+__all__ = ["AioApiServer", "serve", "serve_background"]
+
+_PREFIX = "/v1/"
+
+#: Bytes asked of the socket per read — large enough that a pipelined
+#: burst of small requests arrives in one syscall.
+_RECV_BYTES = 1 << 16
+
+#: Default per-connection pipelining window (parsed-but-unanswered
+#: requests); a full window pauses the reader (TCP backpressure).
+DEFAULT_PIPELINE_DEPTH = 8
+
+#: Default cap on concurrently served connections; at the cap the accept
+#: loop pauses (SYN backlog holds the overflow) instead of growing
+#: per-connection state without bound.
+DEFAULT_MAX_CONNECTIONS = 512
+
+_DONE = object()  # responder sentinel: no more items for this connection
+
+#: Gate-rejection codes raised before ``handle_wire`` could do its own
+#: error accounting (mirrors the threaded facade).
+_GATE_CODES = frozenset({"UNAUTHORIZED", "RATE_LIMITED", "BODY_TOO_LARGE"})
+
+
+@dataclass
+class _Item:
+    """One parsed request handed from the reader to the responder."""
+
+    kind: str  # "unary" | "stream" | "raw" | "error"
+    route: Route | None = None
+    payload: dict | None = None
+    context: RequestContext | None = None
+    error: ApiError | None = None
+    close: bool = False  # client asked (or framing demands) to close after
+
+
+@dataclass
+class _ConnState:
+    """Per-connection bookkeeping shared by reader and responder."""
+
+    seen: int = 0  # requests enqueued on this connection, ever
+    pending: int = 0  # enqueued but not yet fully responded
+
+
+class AioApiServer:
+    """One event loop serving the v1 API; N of these share a port.
+
+    The listening socket is bound in the constructor (so ``port=0``
+    resolves immediately, like the threaded facade); the loop work —
+    accepting, parsing, dispatching — happens inside
+    :meth:`serve_forever`, which runs until :meth:`shutdown`.
+
+    ``reuse_port=True`` sets ``SO_REUSEPORT`` before binding: start one
+    server (process) per core on the same port and the kernel load
+    balances accepted connections across their accept queues — the
+    multi-loop topology :mod:`repro.api.aio.supervisor` manages.
+    """
+
+    def __init__(
+        self,
+        app: ApiApp,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        executor_threads: int | None = None,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+        transport_label: str = "aio",
+        quiet: bool = True,
+    ) -> None:
+        self.app = app
+        self.pipeline_depth = max(1, int(pipeline_depth))
+        self.max_connections = max(1, int(max_connections))
+        self.drain_seconds = float(drain_seconds)
+        self.quiet = bool(quiet)
+        self.stats = TransportStats()
+        self.transport_label = str(transport_label)
+        self._executor_threads = executor_threads
+        self._executor = None  # created on the loop, torn down with it
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._shutdown_requested = threading.Event()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_socks: set[socket.socket] = set()
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise OSError("SO_REUSEPORT is not available on this platform")
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(128)
+            sock.setblocking(False)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self.server_address = sock.getsockname()
+
+        register = getattr(app.service, "register_transport_stats", None)
+        if callable(register):
+            register(self.transport_label, self.stats.snapshot)
+
+    # ------------------------------------------------------------------ serve
+    async def serve_forever(self) -> None:
+        """Accept and serve until :meth:`shutdown` (or task cancellation)."""
+        from concurrent.futures import ThreadPoolExecutor
+        import os
+
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        threads = self._executor_threads
+        if threads is None:
+            threads = max(4, os.cpu_count() or 1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="aio-dispatch"
+        )
+        slots = asyncio.Semaphore(self.max_connections)
+        self._started.set()
+        try:
+            while True:
+                await slots.acquire()  # accept pause at the connection cap
+                try:
+                    conn, addr = await loop.sock_accept(self._sock)
+                except (asyncio.CancelledError, OSError):
+                    slots.release()
+                    raise
+                conn.setblocking(False)
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+                task = loop.create_task(self._handle_connection(conn, addr))
+                self._conn_tasks.add(task)
+                self._conn_socks.add(conn)
+
+                def _done(t, *, c=conn):
+                    self._conn_tasks.discard(t)
+                    self._conn_socks.discard(c)
+                    slots.release()
+
+                task.add_done_callback(_done)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self._drain_and_close()
+            self._executor.shutdown(wait=False)
+            self._stopped.set()
+
+    async def _drain_and_close(self) -> None:
+        """The drain contract: finish in-flight responses, then tear down."""
+        self._draining = True
+        self._sock.close()
+        in_flight = self.stats.begin_drain()
+        if in_flight or self._conn_tasks:
+            deadline = self._loop.time() + self.drain_seconds
+            while self.stats.snapshot()["in_flight"] > 0:
+                if self._loop.time() >= deadline:
+                    self._log(
+                        f"drain timeout: abandoning "
+                        f"{self.stats.snapshot()['in_flight']} request(s)"
+                    )
+                    break
+                await asyncio.sleep(0.01)
+        # idle keep-alive connections (readers parked in sock_recv) hold
+        # no in-flight work; cancel their tasks — closing the socket
+        # under a pending sock_recv would strand the future forever
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------- connection
+    async def _handle_connection(self, sock: socket.socket, addr) -> None:
+        self.stats.connection_opened()
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(self.pipeline_depth)
+        state = _ConnState()
+        responder = loop.create_task(self._respond_loop(sock, queue, state))
+        try:
+            await self._read_loop(sock, addr, queue, state, responder)
+        except asyncio.CancelledError:
+            responder.cancel()
+            raise
+        finally:
+            if not responder.done():
+                try:
+                    await queue.put(_DONE)
+                    await responder
+                except asyncio.CancelledError:
+                    responder.cancel()
+            # anything still queued was admitted (counted in-flight) but
+            # will never be answered — balance the books
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not _DONE and isinstance(item, _Item):
+                    state.pending -= 1
+                    self.stats.request_finished()
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self.stats.connection_closed()
+
+    async def _read_loop(self, sock, addr, queue, state, responder) -> None:
+        """Parse requests off the socket and enqueue them in order."""
+        loop = asyncio.get_running_loop()
+        parser = RequestParser()
+        while not responder.done():
+            try:
+                head = parser.poll_head()
+            except ProtocolError as exc:
+                await self._enqueue(
+                    queue, state,
+                    _Item(kind="error", close=True,
+                          error=ApiError(exc.code, exc.message)),
+                )
+                return  # unframeable stream: nothing after it is trusted
+            if head is None:
+                if self._draining and state.pending == 0 and parser.pending_bytes() == 0:
+                    return  # idle keep-alive connection during drain
+                try:
+                    data = await loop.sock_recv(sock, _RECV_BYTES)
+                except (OSError, asyncio.CancelledError):
+                    return
+                if not data:
+                    return  # client closed
+                parser.feed(data)
+                continue
+
+            item = await self._parse_request(sock, loop, parser, head, addr)
+            await self._enqueue(queue, state, item)
+            if item.kind == "error":
+                # the body (if any) was not drained; the stream cannot
+                # be resynced — stop reading, responder will close
+                return
+
+    async def _parse_request(self, sock, loop, parser, head: RequestHead, addr) -> _Item:
+        """Route + admit on headers, then read and parse the body.
+
+        Mirrors the threaded facade's ``_dispatch`` ordering exactly:
+        route resolution, then the gate (pre-body-read), then the body —
+        any :class:`ApiError` on that path becomes an error item that
+        closes the connection (the declared body may be undrained).
+        """
+        parsed = urlparse(head.target)
+        route: Route | None = None
+        try:
+            route = self._route(parsed.path, head.method)
+            context = self._context(head, addr)
+            self.app.gate.admit(route.name, context)
+            context = replace(context, admitted=True)
+            if head.method == "POST":
+                payload = await self._read_body(loop, sock, parser, head)
+            else:
+                payload = {}
+        except ApiError as err:
+            if err.code in _GATE_CODES:
+                self.app.record_rejection(route.name if route is not None else "(unknown)")
+            return _Item(kind="error", error=err, close=True)
+
+        close = not head.keep_alive
+        if route.kind == "stream":
+            return _Item(kind="stream", route=route, payload=payload,
+                         context=context, close=close)
+        raw = self._raw_format(parsed.query)
+        if raw is not None and raw in route.raw_formats:
+            return _Item(kind="raw", route=route, payload=payload,
+                         context=context, close=close)
+        return _Item(kind="unary", route=route, payload=payload,
+                     context=context, close=close)
+
+    async def _read_body(self, loop, sock, parser, head: RequestHead) -> dict:
+        """Read the declared body (the cap was already judged) and parse it."""
+        self.app.gate.check_body(head.content_length)  # 413 pre-read
+        while True:
+            body = parser.poll_body(head)
+            if body is not None:
+                break
+            try:
+                data = await loop.sock_recv(sock, _RECV_BYTES)
+            except OSError as exc:
+                raise ApiError("MALFORMED_BODY", f"connection lost mid-body: {exc}")
+            if not data:
+                raise ApiError("MALFORMED_BODY", "connection closed mid-body")
+            parser.feed(data)
+        try:
+            payload = json.loads(body or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError("MALFORMED_BODY", f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ApiError(
+                "MALFORMED_BODY",
+                f"request body must be a JSON object, got {type(payload).__name__}",
+            )
+        return payload
+
+    async def _enqueue(self, queue, state: _ConnState, item: _Item) -> None:
+        """Admit one parsed request to the pipeline window (may block)."""
+        state.seen += 1
+        state.pending += 1
+        self.stats.request_started(reused=state.seen > 1, depth=state.pending)
+        try:
+            await queue.put(item)
+        except asyncio.CancelledError:
+            state.pending -= 1
+            self.stats.request_finished()
+            raise
+
+    # -------------------------------------------------------------- responder
+    async def _respond_loop(self, sock, queue, state: _ConnState) -> None:
+        """Serve queued requests strictly in order; stop on close."""
+        while True:
+            item = await queue.get()
+            if item is _DONE:
+                return
+            try:
+                close = await self._write_response(sock, item)
+            except (ConnectionError, OSError, BrokenPipeError):
+                state.pending -= 1
+                self.stats.request_finished()
+                return  # client went away; reader will hit EOF/close
+            state.pending -= 1
+            self.stats.request_finished()
+            if close:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
+
+    async def _write_response(self, sock, item: _Item) -> bool:
+        """Write one response; returns whether the connection must close."""
+        loop = asyncio.get_running_loop()
+        close = item.close or self._draining
+        if item.kind == "error":
+            body = error_payload(item.error)
+            await loop.sock_sendall(sock, self._json_bytes(
+                item.error.http_status, body, close=True
+            ))
+            return True
+        if item.kind == "unary":
+            status, body = await loop.run_in_executor(
+                self._executor,
+                partial(self.app.handle_wire, item.route.name, item.payload,
+                        context=item.context),
+            )
+            await loop.sock_sendall(sock, self._json_bytes(status, body, close=close))
+            return close
+        if item.kind == "raw":
+            return await self._write_raw(loop, sock, item, close)
+        return await self._write_stream(loop, sock, item, close)
+
+    async def _write_raw(self, loop, sock, item: _Item, close: bool) -> bool:
+        """``?format=ppm``: the image bytes themselves, not a JSON envelope."""
+        try:
+            response = await loop.run_in_executor(
+                self._executor,
+                partial(self.app.render_heatmap_wire, item.payload,
+                        context=item.context),
+            )
+        except Exception as exc:  # noqa: BLE001 — boundary
+            err = as_api_error(exc)
+            await loop.sock_sendall(
+                sock, self._json_bytes(err.http_status, error_payload(err), close=close)
+            )
+            return close
+        await loop.sock_sendall(sock, encode_response(
+            200, response.ppm, "image/x-portable-pixmap", close=close
+        ))
+        return close
+
+    async def _write_stream(self, loop, sock, item: _Item, close: bool) -> bool:
+        """``/v1/search/export``: chunked NDJSON, error trailer discipline.
+
+        The eager half of the export (gate, parse, the search) runs in
+        the executor and still answers plain JSON errors; once the
+        chunked header is committed, failures surface as the structured
+        error trailer the app layer emits.  Each ``next()`` on the line
+        iterator is blocking work (slicing + JSON + checksum), so it too
+        runs on the executor — the loop only ever moves ready bytes.
+        """
+        try:
+            lines = await loop.run_in_executor(
+                self._executor,
+                partial(self.app.export, item.payload, context=item.context),
+            )
+        except Exception as exc:  # noqa: BLE001 — boundary
+            err = as_api_error(exc)
+            await loop.sock_sendall(
+                sock, self._json_bytes(err.http_status, error_payload(err), close=close)
+            )
+            return close
+        iterator = iter(lines)
+        try:
+            await loop.sock_sendall(sock, encode_stream_head(close=close))
+            while True:
+                line = await loop.run_in_executor(
+                    self._executor, partial(next, iterator, None)
+                )
+                if line is None:
+                    break
+                await loop.sock_sendall(sock, encode_chunk(line))
+            await loop.sock_sendall(sock, CHUNKED_EOF)
+        except (ConnectionError, OSError, BrokenPipeError):
+            # client went away mid-stream; closing the generator fires
+            # its GeneratorExit path, which records the failed export
+            if hasattr(lines, "close"):
+                await loop.run_in_executor(self._executor, lines.close)
+            raise
+        return close
+
+    # -------------------------------------------------------------- plumbing
+    def _json_bytes(self, status: int, body: dict, *, close: bool) -> bytes:
+        return encode_response(
+            status,
+            json.dumps(body).encode("utf-8"),
+            extra_headers=retry_after_headers(body),
+            close=close,
+        )
+
+    def _route(self, path: str, verb: str) -> Route:
+        """Resolve a URL path against the declarative route registry."""
+        if verb not in ("GET", "POST"):
+            raise ApiError(
+                "METHOD_NOT_ALLOWED",
+                f"method {verb} is not supported; use GET or POST",
+                details={"allowed": ["GET", "POST"]},
+            )
+        if not path.startswith(_PREFIX):
+            raise ApiError(
+                "UNKNOWN_ENDPOINT",
+                f"no route {path!r}; endpoints live under {_PREFIX}",
+                details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
+            )
+        endpoint = path[len(_PREFIX):].strip("/")
+        route = ROUTE_BY_NAME.get(endpoint)
+        if route is None:
+            raise ApiError(
+                "UNKNOWN_ENDPOINT",
+                f"no endpoint {path!r}",
+                details={"endpoints": [_PREFIX + e for e in all_endpoints()]},
+            )
+        if verb != route.method:
+            raise ApiError(
+                "METHOD_NOT_ALLOWED",
+                f"{path} expects {route.method}, got {verb}",
+                details={"allowed": [route.method]},
+            )
+        return route
+
+    @staticmethod
+    def _context(head: RequestHead, addr) -> RequestContext:
+        """Describe one request for admission control (before any read)."""
+        client = addr[0] if addr else "unknown"
+        auth = head.headers.get("authorization", "")
+        token = auth[7:].strip() if auth.startswith("Bearer ") else None
+        return RequestContext(
+            client=str(client),
+            auth_token=token,
+            body_bytes=head.content_length,
+            declared_client=head.headers.get("x-client-id") or None,
+        )
+
+    @staticmethod
+    def _raw_format(query_string: str) -> str | None:
+        value = parse_qs(query_string).get("format", ["json"])[-1]
+        return None if value == "json" else value
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            sys.stderr.write(f"repro.api.aio: {message}\n")
+
+    # ------------------------------------------------------------- lifecycle
+    async def shutdown(self) -> None:
+        """Graceful drain from inside the loop (signal handlers land here)."""
+        self._draining = True
+        # cancelling serve_forever's accept wait routes through
+        # _drain_and_close exactly once
+        current = asyncio.current_task()
+        for task in asyncio.all_tasks():
+            if task is not current and getattr(task, "_repro_serve", False):
+                task.cancel()
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> bool:
+        """Thread-safe shutdown for callers outside the loop (tests, CLI).
+
+        With ``drain=True`` (default) the server honors the drain
+        contract before stopping; returns once the loop has fully torn
+        down (bounded by ``timeout`` + drain budget).
+        """
+        if not drain:
+            self.drain_seconds = 0.0
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            self._sock.close()
+            return True
+        loop.call_soon_threadsafe(self._cancel_serve)
+        budget = (timeout if timeout is not None else self.drain_seconds) + 5.0
+        return self._stopped.wait(budget)
+
+    def _cancel_serve(self) -> None:
+        for task in asyncio.all_tasks(self._loop):
+            if getattr(task, "_repro_serve", False):
+                task.cancel()
+
+
+def serve(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
+          **kwargs) -> AioApiServer:
+    """Bind (but do not run) an asyncio server for ``app``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``.  Run ``asyncio.run(server.serve_forever())``
+    (or use :func:`serve_background`) to start answering.
+    """
+    return AioApiServer(app, host=host, port=port, **kwargs)
+
+
+def serve_background(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
+                     **kwargs) -> tuple[AioApiServer, threading.Thread]:
+    """Bind and serve on a daemon thread running a private event loop."""
+    server = serve(app, host=host, port=port, **kwargs)
+
+    def _run() -> None:
+        async def _main() -> None:
+            task = asyncio.current_task()
+            task._repro_serve = True  # shutdown() finds and cancels this
+            await server.serve_forever()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    server._started.wait(10)
+    return server, thread

@@ -1,0 +1,316 @@
+"""Loop-group supervisor: one event loop per core, one shared port.
+
+A single event loop is single-core by construction; the paper's
+display-wall workload (many analysts, many small dynamic queries) wants
+every core answering.  The topology here is the classic
+``SO_REUSEPORT`` fan-out: N worker *processes*, each running one
+:class:`~repro.api.aio.server.AioApiServer`, all binding the same
+``(host, port)`` — the kernel load-balances accepted connections across
+the listening sockets, so there is no user-space proxy hop and no
+shared accept lock.  Processes (not threads) also sidestep the GIL for
+the JSON/dict-heavy request handling the executor threads do.
+
+Port reservation: with ``port=0`` the parent must learn a concrete port
+*before* any child exists, yet must not serve.  It binds — without
+listening — its own ``SO_REUSEPORT`` socket; the kernel assigns the
+ephemeral port and, because only *listening* sockets participate in
+accept load-balancing, the reservation never steals a connection.  The
+socket is held open for the group's lifetime so the port cannot be
+reused out from under a restarting worker.
+
+Workers build their own :class:`~repro.api.app.ApiApp` from a picklable
+``"module:callable"`` factory spec (a bound app object cannot cross a
+``spawn`` boundary); the default factory serves the same synthetic
+compendium as the CLIs, so equal seeds give every worker bit-identical
+data — the oracle invariant holds regardless of which loop the kernel
+picks.
+
+Shutdown honors the drain contract end-to-end: ``stop()`` sends
+SIGTERM, each worker stops accepting, finishes in-flight responses
+(bounded), and exits; stragglers past the bound are killed and
+reported.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import time
+import urllib.error
+import urllib.request
+
+from repro.api.transport import DEFAULT_DRAIN_SECONDS
+
+__all__ = ["LoopGroup", "default_app_factory", "resolve_factory"]
+
+#: Factory spec the CLI and tests use when none is given: a synthetic
+#: compendium app (the repo ships no proprietary data).
+DEFAULT_FACTORY = "repro.api.aio.supervisor:default_app_factory"
+
+
+def resolve_factory(spec: str):
+    """``"module:callable"`` → the callable (imported in *this* process)."""
+    modname, sep, attr = spec.partition(":")
+    if not sep or not modname or not attr:
+        raise ValueError(
+            f"factory spec {spec!r} must look like 'package.module:callable'"
+        )
+    fn = getattr(importlib.import_module(modname), attr, None)
+    if not callable(fn):
+        raise ValueError(f"factory spec {spec!r} does not name a callable")
+    return fn
+
+
+def default_app_factory(
+    *,
+    synth_datasets: int = 12,
+    synth_genes: int = 300,
+    synth_conditions: int = 14,
+    n_relevant: int | None = None,
+    module_size: int | None = None,
+    query_size: int = 4,
+    seed: int = 42,
+    n_workers: int = 4,
+    n_procs: int = 1,
+    cache_size: int = 256,
+    cache_min_cost: int = 0,
+    dtype: str = "float64",
+    store_dir: str | None = None,
+    pool_timeout: float = 120.0,
+    auth_token: str | None = None,
+    rate_limit: float = 0.0,
+    rate_burst: int | None = None,
+    max_body_bytes: int | None = None,
+):
+    """Build the demo :class:`ApiApp` (synthetic compendium) in-process.
+
+    Mirrors ``repro.api.http``'s ``_build_service`` so both CLIs serve
+    identical data for identical arguments; every kwarg is a plain
+    picklable scalar, so the same call crosses the ``spawn`` boundary.
+    """
+    import numpy as np
+
+    from repro.api.app import ApiApp
+    from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestGate
+    from repro.spell.service import SpellService
+    from repro.synth import make_spell_compendium
+
+    compendium, _truth = make_spell_compendium(
+        n_datasets=synth_datasets,
+        n_relevant=max(1, synth_datasets // 4) if n_relevant is None else n_relevant,
+        n_genes=synth_genes,
+        n_conditions=synth_conditions,
+        module_size=max(6, synth_genes // 20) if module_size is None else module_size,
+        query_size=query_size,
+        seed=seed,
+    )
+    service = SpellService(
+        compendium,
+        n_workers=n_workers,
+        n_procs=n_procs,
+        cache_size=cache_size,
+        cache_min_cost=cache_min_cost,
+        dtype=np.float32 if dtype == "float32" else np.float64,
+        store_dir=store_dir,
+        pool_timeout=pool_timeout,
+    )
+    gate = RequestGate(
+        auth_token=auth_token,
+        rate_limit=rate_limit,
+        rate_burst=rate_burst,
+        max_body_bytes=(
+            DEFAULT_MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
+        ),
+    )
+    return ApiApp(service, gate=gate)
+
+
+def _worker_main(
+    factory_spec: str,
+    factory_kwargs: dict | None,
+    host: str,
+    port: int,
+    index: int,
+    server_options: dict | None,
+) -> None:
+    """Entry point of one worker process: build app, serve, drain on TERM."""
+    import asyncio
+
+    from repro.api.aio.server import AioApiServer
+
+    app = resolve_factory(factory_spec)(**(factory_kwargs or {}))
+    server = AioApiServer(
+        app,
+        host=host,
+        port=port,
+        reuse_port=True,
+        transport_label=f"aio:{index}",
+        **(server_options or {}),
+    )
+
+    async def _main() -> None:
+        task = asyncio.current_task()
+        task._repro_serve = True
+        loop = asyncio.get_running_loop()
+        # first signal: graceful (cancel → drain); a second one lands
+        # mid-drain and cancels the drain sleep, forcing exit
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, task.cancel)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        close = getattr(app.service, "close", None)
+        if callable(close):
+            close()
+
+
+class LoopGroup:
+    """Supervise N single-loop worker processes sharing one port.
+
+    >>> group = LoopGroup(n_loops=2, factory_kwargs={"seed": 7})
+    >>> group.start()          # doctest: +SKIP
+    >>> group.port             # doctest: +SKIP
+    >>> group.stop()           # doctest: +SKIP
+
+    ``start()`` blocks until ``/v1/health`` answers (the group is
+    usable) or raises if a worker dies during boot.  Use as a context
+    manager for exception-safe teardown.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_loops: int | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        factory: str = DEFAULT_FACTORY,
+        factory_kwargs: dict | None = None,
+        server_options: dict | None = None,
+        start_timeout: float = 120.0,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+    ) -> None:
+        self.n_loops = max(1, int(n_loops if n_loops is not None else os.cpu_count() or 1))
+        self.host = host
+        self._requested_port = int(port)
+        self.factory = factory
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.server_options = dict(server_options or {})
+        self.server_options.setdefault("drain_seconds", drain_seconds)
+        self.start_timeout = float(start_timeout)
+        self.drain_seconds = float(self.server_options["drain_seconds"])
+        self.port: int | None = None
+        self._reservation: socket.socket | None = None
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "LoopGroup":
+        if self._procs:
+            raise RuntimeError("LoopGroup already started")
+        self.port = self._reserve_port()
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.n_loops):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    self.factory,
+                    self.factory_kwargs,
+                    self.host,
+                    self.port,
+                    index,
+                    self.server_options,
+                ),
+                name=f"aio-loop-{index}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        try:
+            self._wait_ready()
+        except BaseException:
+            self.stop(timeout=5.0)
+            raise
+        return self
+
+    def _reserve_port(self) -> int:
+        """Pin (or verify) the group's port without serving on it."""
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError(
+                "SO_REUSEPORT is not available on this platform; "
+                "the multi-loop topology requires it"
+            )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.host, self._requested_port))
+        except BaseException:
+            sock.close()
+            raise
+        self._reservation = sock  # held (not listening) for group lifetime
+        return sock.getsockname()[1]
+
+    def _wait_ready(self) -> None:
+        """Poll ``/v1/health`` until the group answers (workers are slow
+        to boot: ``spawn`` + synthetic compendium + index build)."""
+        url = f"http://{self.host}:{self.port}/v1/health"
+        deadline = time.monotonic() + self.start_timeout
+        last_error: str = "no response"
+        while time.monotonic() < deadline:
+            for proc in self._procs:
+                if not proc.is_alive():
+                    raise RuntimeError(
+                        f"worker {proc.name} died during startup "
+                        f"(exitcode={proc.exitcode})"
+                    )
+            try:
+                with urllib.request.urlopen(url, timeout=2.0) as resp:
+                    if resp.status == 200:
+                        json.loads(resp.read())
+                        return
+                    last_error = f"health answered {resp.status}"
+            except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as exc:
+                last_error = str(exc)
+            time.sleep(0.1)
+        raise TimeoutError(
+            f"loop group not ready after {self.start_timeout:.0f}s "
+            f"(last error: {last_error})"
+        )
+
+    def alive(self) -> list[bool]:
+        return [proc.is_alive() for proc in self._procs]
+
+    def stop(self, *, timeout: float | None = None) -> int:
+        """SIGTERM the group (graceful drain), bounded join, then kill.
+
+        Returns the number of workers that had to be killed (0 on a
+        fully graceful stop).
+        """
+        budget = (timeout if timeout is not None else self.drain_seconds) + 5.0
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM → cancel → drain → exit
+        deadline = time.monotonic() + budget
+        killed = 0
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5.0)
+                killed += 1
+        self._procs = []
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+        return killed
+
+    def __enter__(self) -> "LoopGroup":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

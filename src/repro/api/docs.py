@@ -48,6 +48,13 @@ Errors from any endpoint share one envelope::
 
 ``code`` and ``details`` are stable and machine-branchable; ``message``
 is for humans and may change between releases.
+
+Two HTTP facades serve this registry — the threaded server
+(``python -m repro.api.http``) and the asyncio loop group
+(``python -m repro.api.aio``).  Both dispatch through the same route
+table and admission gate, so every endpoint, status code, and error
+payload below is transport-independent; see ``docs/operations.md`` for
+choosing and sizing a facade.
 """
 
 

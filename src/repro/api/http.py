@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import threading
 from dataclasses import replace
@@ -60,6 +61,11 @@ from repro.api.app import ApiApp, all_endpoints
 from repro.api.errors import ApiError, as_api_error, error_payload
 from repro.api.limits import DEFAULT_MAX_BODY_BYTES, RequestContext, RequestGate
 from repro.api.routes import ROUTE_BY_NAME, Route
+from repro.api.transport import (
+    DEFAULT_DRAIN_SECONDS,
+    TransportStats,
+    retry_after_headers,
+)
 
 __all__ = ["ApiHTTPServer", "serve", "main"]
 
@@ -77,23 +83,101 @@ class ApiHTTPServer(ThreadingHTTPServer):
     # socketserver's default accept backlog of 5 makes reconnecting
     # clients hit SYN-retransmit stalls under mild concurrency
     request_queue_size = 128
+    # idle keep-alive handler threads must not hold server_close hostage;
+    # the drain contract (close()) waits on *in-flight requests* instead
+    block_on_close = False
 
-    def __init__(self, address: tuple[str, int], app: ApiApp, *, quiet: bool = True):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: ApiApp,
+        *,
+        quiet: bool = True,
+        drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+        transport_label: str = "http",
+    ):
         super().__init__(address, _Handler)
         self.app = app
         self.quiet = quiet
+        self.drain_seconds = float(drain_seconds)
+        self.stats = TransportStats()
+        self._closed = False
+        register = getattr(app.service, "register_transport_stats", None)
+        if callable(register):
+            register(str(transport_label), self.stats.snapshot)
+
+    @property
+    def draining(self) -> bool:
+        return self.stats.draining
+
+    def close(self, *, timeout: float | None = None) -> bool:
+        """Graceful shutdown: stop accepting, drain in-flight, tear down.
+
+        The shared drain contract (:mod:`repro.api.transport`): after
+        ``shutdown()`` stops the accept loop, every request already
+        being handled finishes writing its response — bounded by
+        ``timeout`` (default ``drain_seconds``) so a wedged handler
+        cannot hold shutdown hostage.  Returns ``True`` when fully
+        drained, ``False`` when the bound expired with work in flight.
+        Must be called off the serving thread (like ``shutdown()``).
+        """
+        self.stats.begin_drain()
+        self.shutdown()  # stops serve_forever; no new connections accepted
+        drained = self.stats.wait_idle(
+            self.drain_seconds if timeout is None else timeout
+        )
+        if not self._closed:
+            self._closed = True
+            self.server_close()
+        return drained
 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-api/1"
     protocol_version = "HTTP/1.1"
+    # keep-alive idle bound: a parked connection times out instead of
+    # pinning its handler thread forever
+    timeout = 60.0
+    # headers and body go out as separate sends; without TCP_NODELAY the
+    # second waits on the client's delayed ACK (~40 ms) on keep-alive
+    # connections, swamping the warm-cache path
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        """One connection (possibly many keep-alive requests)."""
+        stats: TransportStats = self.server.stats  # type: ignore[attr-defined]
+        stats.connection_opened()
+        self._requests_served = 0
+        try:
+            super().handle()
+        finally:
+            stats.connection_closed()
 
     # ----------------------------------------------------------------- verbs
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        self._dispatch("GET")
+        self._tracked(self._dispatch, "GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        self._dispatch("POST")
+        self._tracked(self._dispatch, "POST")
+
+    def _tracked(self, fn, *args) -> None:
+        """Request accounting + the drain contract around one request.
+
+        ``request_started``/``request_finished`` bracket the handler so
+        a graceful ``close()`` can wait for the response bytes to hit
+        the socket; during a drain the response advertises and performs
+        ``Connection: close`` so keep-alive clients disperse.
+        """
+        stats: TransportStats = self.server.stats  # type: ignore[attr-defined]
+        served = getattr(self, "_requests_served", 0)
+        self._requests_served = served + 1
+        if getattr(self.server, "draining", False):
+            self.close_connection = True
+        stats.request_started(reused=served > 0)
+        try:
+            fn(*args)
+        finally:
+            stats.request_finished()
 
     def _reject_verb(self) -> None:
         """Non-GET/POST verbs get the structured 405, not the stdlib's
@@ -104,7 +188,7 @@ class _Handler(BaseHTTPRequestHandler):
             details={"allowed": ["GET", "POST"]},
         )
         self.close_connection = True  # request body (if any) was not drained
-        self._send_json(err.http_status, error_payload(err))
+        self._tracked(self._send_json, err.http_status, error_payload(err))
 
     do_PUT = do_DELETE = do_PATCH = do_HEAD = do_OPTIONS = _reject_verb
 
@@ -285,13 +369,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(b"\r\n")
 
     def _send_json(self, status: int, body: dict) -> None:
-        headers = {}
-        error = body.get("error") if isinstance(body, dict) else None
-        if isinstance(error, dict) and error.get("code") == "RATE_LIMITED":
-            retry_ms = error.get("details", {}).get("retry_after_ms", 1000)
-            # standard header in whole seconds (rounded up), for generic
-            # clients; retry_after_ms in the body is the precise value
-            headers["Retry-After"] = str(max(1, -(-int(retry_ms) // 1000)))
+        # Retry-After on 429s comes from the shared transport helper so
+        # the header cannot drift between the threaded and async facades
+        headers = retry_after_headers(body)
         self._send_bytes(
             status,
             json.dumps(body).encode("utf-8"),
@@ -327,20 +407,21 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def serve(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
-          quiet: bool = True) -> ApiHTTPServer:
+          quiet: bool = True, **kwargs) -> ApiHTTPServer:
     """Bind (but do not start) an HTTP server for ``app``.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address``.  Call ``serve_forever()`` (typically on a
-    thread) to start answering.
+    thread) to start answering; ``close()`` for the graceful drain.
     """
-    return ApiHTTPServer((host, port), app, quiet=quiet)
+    return ApiHTTPServer((host, port), app, quiet=quiet, **kwargs)
 
 
 def serve_background(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
-                     quiet: bool = True) -> tuple[ApiHTTPServer, threading.Thread]:
+                     quiet: bool = True,
+                     **kwargs) -> tuple[ApiHTTPServer, threading.Thread]:
     """Bind and start serving on a daemon thread; returns (server, thread)."""
-    server = serve(app, host=host, port=port, quiet=quiet)
+    server = serve(app, host=host, port=port, quiet=quiet, **kwargs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
@@ -455,12 +536,18 @@ def main(argv: list[str] | None = None) -> int:
         f"-d '{json.dumps({'genes': list(truth.query_genes), 'chunk_size': 100})}'",
         flush=True,
     )
+    def _on_term(signum, frame):
+        # close() must come from off the serving thread (shutdown() blocks
+        # until serve_forever exits); the drain happens on the helper
+        threading.Thread(target=server.close, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_term)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        server.close()
         service.close()
     return 0
 

@@ -100,6 +100,8 @@ class RouterService:
         self._replication = max(1, min(int(replication), len(membership.node_ids)))
         self._vnodes = int(vnodes)
         self._rpc_timeout = rpc_timeout
+        #: label -> zero-arg callable; serving facades report through here
+        self._transport_probes: dict = {}
         self._hedge = HedgePolicy() if hedge is None else hedge
         self._latency = LatencyTracker()
         self._hedges_fired = 0
@@ -556,8 +558,16 @@ class RouterService:
             }
         return self._cache.stats()
 
+    def register_transport_stats(self, label: str, probe) -> None:
+        """Attach a transport's counter snapshot to ``serving_stats``
+        (same contract as :meth:`repro.spell.service.SpellService.register_transport_stats`)."""
+        self._transport_probes[str(label)] = probe
+
+    def unregister_transport_stats(self, label: str) -> None:
+        self._transport_probes.pop(str(label), None)
+
     def serving_stats(self) -> dict:
-        return {
+        stats: dict = {
             "n_workers": self.n_workers,
             "n_procs": 1,
             "router": {
@@ -566,6 +576,11 @@ class RouterService:
                 "datasets": len(self.compendium),
             },
         }
+        if self._transport_probes:
+            stats["transport"] = {
+                label: probe() for label, probe in sorted(self._transport_probes.items())
+            }
+        return stats
 
     def shard_stats(self) -> dict:
         """Per-shard routing state for ``/v1/health`` (``shards`` field).

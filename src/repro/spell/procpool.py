@@ -120,6 +120,9 @@ class IndexWorkerPool:
         self.broken = False
         self.batches = 0
         self.resyncs = 0  # worker index reloads forced by a token mismatch
+        self.dispatch_waiters = 0  # callers queued on the pipe lock
+        self.dispatching = 0  # callers inside scatter-gather (0 or 1)
+        self._gauge_lock = threading.Lock()
         self._lock = threading.Lock()  # pipes are not thread-safe
         ctx = mp.get_context("spawn")
         self._workers: list[tuple[mp.process.BaseProcess, object]] = []
@@ -162,8 +165,28 @@ class IndexWorkerPool:
         specs = list(specs)
         if not specs:
             return [], 0.0
-        with self._lock:
-            return self._scatter_gather(expected, specs, deadline)
+        # the dispatch gauges exist for the asyncio tier: its executor
+        # threads all funnel through this one pipe lock, so "how many
+        # callers are queued on the pool right now" is the signal that
+        # says whether the pool — not the event loop — is the bottleneck
+        dispatching = False
+        with self._gauge_lock:
+            self.dispatch_waiters += 1
+        try:
+            with self._lock:
+                with self._gauge_lock:
+                    self.dispatch_waiters -= 1
+                    self.dispatching += 1
+                    dispatching = True
+                try:
+                    return self._scatter_gather(expected, specs, deadline)
+                finally:
+                    with self._gauge_lock:
+                        self.dispatching -= 1
+        finally:
+            if not dispatching:
+                with self._gauge_lock:
+                    self.dispatch_waiters -= 1
 
     def _scatter_gather(self, expected, specs, deadline) -> tuple[list, float]:
         n = min(self.n_procs, len(specs))
@@ -237,10 +260,14 @@ class IndexWorkerPool:
 
     # ------------------------------------------------------------------ admin
     def stats(self) -> dict[str, int | float | bool]:
+        with self._gauge_lock:
+            waiters, dispatching = self.dispatch_waiters, self.dispatching
         return {
             "n_procs": self.n_procs,
             "batches": self.batches,
             "resyncs": self.resyncs,
+            "dispatch_waiters": waiters,
+            "dispatching": dispatching,
             "broken": self.broken,
             "reply_timeout_seconds": self.reply_timeout,
         }

@@ -175,6 +175,8 @@ class SpellService:
         self.n_workers = max(1, int(n_workers))
         self.n_procs = max(1, int(n_procs))
         self.pool_timeout = float(pool_timeout)
+        #: label -> zero-arg callable; serving facades report through here
+        self._transport_probes: dict = {}
         self.dtype = np.dtype(dtype)
         self._store_dir = Path(store_dir) if store_dir is not None else None
         self._owns_store_dir = False
@@ -746,12 +748,30 @@ class SpellService:
         with self._lock:
             return len(self._history)
 
+    def register_transport_stats(self, label: str, probe) -> None:
+        """Attach a transport's counter snapshot to ``serving_stats``.
+
+        A serving facade (threaded HTTP, asyncio) registers its
+        :meth:`~repro.api.transport.TransportStats.snapshot` under a
+        facade-specific label; ``/v1/health`` then reports every
+        transport fronting this service side by side under the
+        append-only ``serving.transport`` field.
+        """
+        self._transport_probes[str(label)] = probe
+
+    def unregister_transport_stats(self, label: str) -> None:
+        self._transport_probes.pop(str(label), None)
+
     def serving_stats(self) -> dict:
         """Observability snapshot of the batch-serving topology."""
         stats: dict = {"n_workers": self.n_workers, "n_procs": self.n_procs}
         with self._pool_lock:
             pool = self._procpool
             stats["procpool"] = pool.stats() if pool is not None else None
+        if self._transport_probes:
+            stats["transport"] = {
+                label: probe() for label, probe in sorted(self._transport_probes.items())
+            }
         return stats
 
     def mean_latency(self) -> float:

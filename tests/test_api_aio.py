@@ -1,0 +1,524 @@
+"""End-to-end tests of the asyncio serving tier (`repro.api.aio`).
+
+The acceptance bar is **transport equivalence**: every v1 endpoint
+served through the event-loop facade must be byte-identical to the
+threaded facade and to direct ``ApiApp`` calls — same JSON bodies, same
+status codes, same structured errors on the 401/413/429 limit paths,
+same ``partial``/``shards`` fields when a ``RouterService`` sits behind
+the app.  On top of parity, the tier's own behaviors are pinned:
+keep-alive reuse, request pipelining (including a mid-pipeline error),
+the body cap enforced before the body is read, and the graceful-drain
+contract (zero dropped in-flight responses).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.app import ApiApp
+from repro.api.aio.server import serve_background as aio_serve
+from repro.api.http import serve_background as threaded_serve
+from repro.api.limits import RequestGate
+from repro.spell import SpellService
+from repro.synth import make_spell_compendium
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Small (compendium, truth) pair private to this module — read-only."""
+    return make_spell_compendium(
+        n_datasets=6,
+        n_relevant=2,
+        n_genes=120,
+        n_conditions=10,
+        module_size=12,
+        query_size=3,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def service(setup):
+    compendium, _ = setup
+    with SpellService(compendium, n_workers=2) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def app(service):
+    return ApiApp(service)
+
+
+@pytest.fixture(scope="module")
+def aio_addr(app):
+    server, thread = aio_serve(app)
+    yield server.server_address[:2], server
+    server.close(timeout=5)
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def threaded_addr(app):
+    server, thread = threaded_serve(app)
+    yield server.server_address[:2]
+    server.close(timeout=5)
+    thread.join(timeout=10)
+
+
+def request_raw(addr, method, path, payload=None, headers=None):
+    """One request over a fresh keep-alive connection; returns
+    (status, raw body bytes, response headers)."""
+    conn = http.client.HTTPConnection(*addr, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, resp.read(), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+_VOLATILE_FIELDS = {"elapsed_seconds", "total_seconds"}
+
+
+def scrub(obj):
+    """Strip the wall-clock stamps recursively.
+
+    Everything else in a v1 body — rankings, scores, weights, totals,
+    checksums — is deterministic and must match across transports.
+    """
+    if isinstance(obj, dict):
+        return {k: scrub(v) for k, v in obj.items() if k not in _VOLATILE_FIELDS}
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    return obj
+
+
+#: (method, path, payload) cases covering every v1 endpoint plus the
+#: error paths whose codes must be transport-invariant.
+def parity_cases(truth):
+    query = list(truth.query_genes)
+    return [
+        ("GET", "/v1/datasets", None),
+        ("POST", "/v1/search", {"genes": query, "page_size": 20}),
+        ("POST", "/v1/search", {"genes": query, "page": 1, "page_size": 7}),
+        ("POST", "/v1/search/batch",
+         {"searches": [{"genes": query, "page_size": 5}] * 3}),
+        ("POST", "/v1/cluster", {"search": {"genes": query}, "top_genes": 12}),
+        ("POST", "/v1/render/heatmap",
+         {"search": {"genes": query}, "top_genes": 10}),
+        # error paths: codes and bodies must match across transports
+        ("POST", "/v1/search", {"genes": ["NO-SUCH-GENE"]}),
+        ("POST", "/v1/search", {"genes": []}),
+        ("POST", "/v1/search", {"genes": query, "page_size": -4}),
+        ("POST", "/v1/cluster", {"search": {"genes": query}, "top_genes": 0}),
+    ]
+
+
+class TestOracleParity:
+    def test_every_endpoint_bit_identical_to_threaded_and_direct(
+        self, setup, app, aio_addr, threaded_addr
+    ):
+        _, truth = setup
+        (aio_host_port, _server) = aio_addr
+        for method, path, payload in parity_cases(truth):
+            a_status, a_body, _ = request_raw(aio_host_port, method, path, payload)
+            t_status, t_body, _ = request_raw(threaded_addr, method, path, payload)
+            assert a_status == t_status, (path, payload)
+            # identical modulo the elapsed-time stamp; error bodies carry
+            # no timing, so those must match byte for byte
+            assert scrub(json.loads(a_body)) == scrub(json.loads(t_body)), \
+                (path, payload)
+            if a_status >= 400:
+                assert a_body == t_body, (path, payload)
+            endpoint = path[len("/v1/"):]
+            d_status, d_payload = app.handle_wire(
+                endpoint, dict(payload) if payload else {}
+            )
+            assert a_status == d_status, (path, payload)
+            assert scrub(json.loads(a_body)) == scrub(d_payload), (path, payload)
+
+    def test_health_parity_stable_fields(self, aio_addr, threaded_addr, service):
+        (aio_host_port, _server) = aio_addr
+        a_status, a_body, _ = request_raw(aio_host_port, "GET", "/v1/health")
+        t_status, t_body, _ = request_raw(threaded_addr, "GET", "/v1/health")
+        a, t = json.loads(a_body), json.loads(t_body)
+        assert a_status == t_status == 200
+        for field in ("status", "api_version", "datasets", "genes"):
+            assert a[field] == t[field]
+        # both facades front the same service, so each health answer
+        # reports both transports side by side
+        assert set(a["serving"]["transport"]) >= {"aio", "http"}
+        assert set(t["serving"]["transport"]) >= {"aio", "http"}
+
+    def test_export_stream_bit_identical_with_checksum(
+        self, setup, aio_addr, threaded_addr
+    ):
+        _, truth = setup
+        (aio_host_port, _server) = aio_addr
+        payload = {"genes": list(truth.query_genes), "chunk_size": 40}
+        a_status, a_body, a_headers = request_raw(
+            aio_host_port, "POST", "/v1/search/export", payload
+        )
+        t_status, t_body, t_headers = request_raw(
+            threaded_addr, "POST", "/v1/search/export", payload
+        )
+        assert a_status == t_status == 200
+        assert a_headers.get("Transfer-Encoding") == "chunked"
+        assert t_headers.get("Transfer-Encoding") == "chunked"
+        a_lines = a_body.strip().split(b"\n")
+        t_lines = t_body.strip().split(b"\n")
+        # every data line byte-identical; the trailer identical modulo
+        # its elapsed stamp — which pins the checksums equal too
+        assert a_lines[:-1] == t_lines[:-1]
+        a_trailer = json.loads(a_lines[-1])
+        t_trailer = json.loads(t_lines[-1])
+        assert scrub(a_trailer) == scrub(t_trailer)
+        assert a_trailer["checksum"].startswith("sha256:")
+        assert a_trailer["checksum"] == t_trailer["checksum"]
+
+    def test_unknown_endpoint_and_method_errors_match(
+        self, aio_addr, threaded_addr
+    ):
+        (aio_host_port, _server) = aio_addr
+        for method, path in [
+            ("GET", "/v1/no-such-endpoint"),
+            ("GET", "/not-even-v1"),
+            ("GET", "/v1/search"),   # search is POST-only
+            ("POST", "/v1/health"),  # health is GET-only
+            ("PUT", "/v1/search"),   # verb outside GET/POST
+        ]:
+            a_status, a_body, a_headers = request_raw(aio_host_port, method, path, None)
+            t_status, t_body, t_headers = request_raw(threaded_addr, method, path, None)
+            assert a_status == t_status, (method, path)
+            assert json.loads(a_body)["error"]["code"] == \
+                json.loads(t_body)["error"]["code"], (method, path)
+            # pre-dispatch rejections close on both facades (the body,
+            # if any, was never drained)
+            assert a_headers.get("Connection") == "close", (method, path)
+            assert t_headers.get("Connection") == "close", (method, path)
+
+    def test_malformed_json_body_matches(self, aio_addr, threaded_addr):
+        (aio_host_port, _server) = aio_addr
+        for addr in (aio_host_port, threaded_addr):
+            conn = http.client.HTTPConnection(*addr, timeout=10)
+            try:
+                conn.request("POST", "/v1/search", body=b"{not json",
+                             headers={"Content-Length": "9"})
+                resp = conn.getresponse()
+                assert resp.status == 400
+                assert json.loads(resp.read())["error"]["code"] == "MALFORMED_BODY"
+            finally:
+                conn.close()
+
+
+class TestRouterParity:
+    def test_partial_and_shards_fields_served_through_aio(self, setup):
+        """A RouterService behind the async facade keeps the sharded wire
+        contract: ``partial`` in search bodies, ``shards`` in health."""
+        from repro.cluster_serving import build_local_topology
+
+        compendium, truth = setup
+        with build_local_topology(compendium, n_shards=2, replication=1,
+                                  cache_size=0) as topo:
+            router_app = ApiApp(topo.router)
+            server, thread = aio_serve(router_app)
+            try:
+                addr = server.server_address[:2]
+                payload = {"genes": list(truth.query_genes), "page_size": 15}
+                status, body, _ = request_raw(addr, "POST", "/v1/search", payload)
+                assert status == 200
+                wire = json.loads(body)
+                assert wire["partial"] is False
+                d_status, direct = router_app.handle_wire("search", dict(payload))
+                assert (status, scrub(wire)) == (d_status, scrub(direct))
+
+                h_status, h_body, _ = request_raw(addr, "GET", "/v1/health")
+                shards = json.loads(h_body)["shards"]
+                assert h_status == 200 and shards is not None
+                assert len(shards["nodes"]) == 2
+            finally:
+                server.close(timeout=5)
+                thread.join(timeout=10)
+
+
+class TestLimitsParity:
+    """The RequestGate suite over the async facade: 401/413/429 behave
+    exactly like the threaded facade — including no double token spend
+    and the body cap judged before any body byte is read."""
+
+    @pytest.fixture()
+    def gated(self, service):
+        def boot(**gate_kwargs):
+            # one app (and gate) per facade: the gates are configured
+            # identically, but each facade spends its own tokens — the
+            # parity claim is about behavior, not a shared bucket
+            aio_server, aio_thread = aio_serve(
+                ApiApp(service, gate=RequestGate(**gate_kwargs)),
+                transport_label="aio-gated",
+            )
+            thr_server, thr_thread = threaded_serve(
+                ApiApp(service, gate=RequestGate(**gate_kwargs)),
+                transport_label="http-gated",
+            )
+            cleanups.append((aio_server, aio_thread, thr_server, thr_thread))
+            return aio_server.server_address[:2], thr_server.server_address[:2]
+
+        cleanups = []
+        yield boot
+        for aio_server, aio_thread, thr_server, thr_thread in cleanups:
+            aio_server.close(timeout=5)
+            thr_server.close(timeout=5)
+            aio_thread.join(timeout=10)
+            thr_thread.join(timeout=10)
+        service.unregister_transport_stats("aio-gated")
+        service.unregister_transport_stats("http-gated")
+
+    def test_auth_401_parity(self, gated, setup):
+        _, truth = setup
+        aio_addr, thr_addr = gated(auth_token="s3cret")
+        payload = {"genes": list(truth.query_genes)}
+        results = {}
+        for name, addr in (("aio", aio_addr), ("thr", thr_addr)):
+            anon = request_raw(addr, "POST", "/v1/search", payload)
+            authed = request_raw(
+                addr, "POST", "/v1/search", payload,
+                headers={"Authorization": "Bearer s3cret"},
+            )
+            health = request_raw(addr, "GET", "/v1/health")
+            results[name] = (anon, authed, health)
+        for name in results:
+            anon, authed, health = results[name]
+            assert anon[0] == 401
+            assert json.loads(anon[1])["error"]["code"] == "UNAUTHORIZED"
+            assert authed[0] == 200
+            assert health[0] == 200  # health stays exempt
+        assert results["aio"][0][1] == results["thr"][0][1]  # 401 bodies, raw
+        assert scrub(json.loads(results["aio"][1][1])) == \
+            scrub(json.loads(results["thr"][1][1]))
+
+    def test_body_cap_413_before_body_is_read(self, gated):
+        """A huge *declared* Content-Length is rejected without the server
+        waiting for (or reading) a single body byte — on a raw socket we
+        never send the body, and the 413 must still arrive promptly."""
+        aio_addr, thr_addr = gated(max_body_bytes=1024)
+        for addr in (aio_addr, thr_addr):
+            with socket.create_connection(addr, timeout=10) as sock:
+                sock.sendall(
+                    b"POST /v1/search HTTP/1.1\r\n"
+                    b"Host: x\r\n"
+                    b"Content-Length: 1000000000\r\n\r\n"
+                )  # 1 GB declared, zero bytes sent
+                sock.settimeout(10)
+                data = sock.makefile("rb").read()
+            head, _, body = data.partition(b"\r\n\r\n")
+            assert b"413" in head.split(b"\r\n")[0]
+            assert json.loads(body)["error"]["code"] == "BODY_TOO_LARGE"
+            assert b"Connection: close" in head
+
+    def test_rate_limit_429_retry_after_parity_no_double_spend(
+        self, gated, setup
+    ):
+        """With burst=2, exactly two requests pass before the 429 — a
+        facade that spent a token at admission *and* again in the app
+        layer would 429 on the second request already."""
+        _, truth = setup
+        payload = {"genes": list(truth.query_genes), "page_size": 5}
+        aio_addr, thr_addr = gated(rate_limit=0.001, rate_burst=2)
+        headers_by_facade = {}
+        for name, addr in (("aio", aio_addr), ("thr", thr_addr)):
+            client = {"X-Client-Id": name}  # separate buckets per facade
+            statuses = []
+            for _ in range(3):
+                status, body, headers = request_raw(
+                    addr, "POST", "/v1/search", payload, headers=client
+                )
+                statuses.append(status)
+            assert statuses == [200, 200, 429], name
+            assert json.loads(body)["error"]["code"] == "RATE_LIMITED"
+            assert "retry_after_ms" in json.loads(body)["error"]["details"]
+            headers_by_facade[name] = headers
+        # Retry-After header parity: both facades emit it, whole seconds
+        for name, headers in headers_by_facade.items():
+            assert int(headers["Retry-After"]) >= 1, name
+
+
+class TestPipelining:
+    def _read_one_response(self, reader):
+        """Parse one fixed-length HTTP response off a raw-socket reader."""
+        status_line = reader.readline()
+        if not status_line:
+            return None
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = reader.readline().strip()
+            if not line:
+                break
+            name, _, value = line.partition(b":")
+            headers[name.decode().lower()] = value.strip().decode()
+        body = reader.read(int(headers.get("content-length", 0)))
+        return status, headers, body
+
+    def test_pipelined_requests_answered_in_order(self, aio_addr):
+        (addr, server) = aio_addr
+        before = server.stats.snapshot()["pipelined_max_depth"]
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n" * 4)
+            reader = sock.makefile("rb")
+            for _ in range(4):
+                status, headers, body = self._read_one_response(reader)
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+        assert server.stats.snapshot()["pipelined_max_depth"] >= max(before, 2)
+
+    def test_mid_pipeline_framing_error_answers_earlier_then_closes(
+        self, aio_addr
+    ):
+        """health → unknown endpoint → health, pipelined: the first gets
+        its 200, the second a structured 404 with ``Connection: close``,
+        and the third is never answered (its body would be unframed)."""
+        (addr, _server) = aio_addr
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(
+                b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+                b"GET /v1/bogus HTTP/1.1\r\nHost: x\r\n\r\n"
+                b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            reader = sock.makefile("rb")
+            first = self._read_one_response(reader)
+            assert first[0] == 200
+            second = self._read_one_response(reader)
+            assert second[0] == 404
+            assert json.loads(second[2])["error"]["code"] == "UNKNOWN_ENDPOINT"
+            assert second[1].get("connection") == "close"
+            assert self._read_one_response(reader) is None  # EOF, no 3rd
+
+    def test_mid_pipeline_app_error_keeps_connection(self, setup, aio_addr):
+        """An *app-level* error (unknown gene) has a fully-read body, so
+        the pipeline continues: all three answers arrive in order."""
+        _, truth = setup
+        (addr, _server) = aio_addr
+        good = json.dumps({"genes": list(truth.query_genes), "page_size": 3}).encode()
+        bad = json.dumps({"genes": ["NO-SUCH-GENE"]}).encode()
+
+        def post(body):
+            return (
+                b"POST /v1/search HTTP/1.1\r\nHost: x\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(post(good) + post(bad) + post(good))
+            reader = sock.makefile("rb")
+            statuses = [self._read_one_response(reader)[0] for _ in range(3)]
+        assert statuses == [200, 404, 200]
+
+    def test_malformed_request_line_structured_400(self, aio_addr):
+        (addr, _server) = aio_addr
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(b"TOTAL GARBAGE NOT HTTP AT ALL\r\n\r\n")
+            data = sock.makefile("rb").read()
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n")[0] == b"HTTP/1.1 400 Bad Request"
+        assert json.loads(body)["error"]["code"] == "MALFORMED_BODY"
+
+
+class TestKeepAliveAndCounters:
+    def test_keepalive_reuse_visible_in_health(self, aio_addr):
+        (addr, server) = aio_addr
+        before = server.stats.snapshot()
+        conn = http.client.HTTPConnection(*addr, timeout=10)
+        try:
+            for _ in range(5):
+                conn.request("GET", "/v1/health")
+                resp = conn.getresponse()
+                body = json.loads(resp.read())
+                assert resp.status == 200
+        finally:
+            conn.close()
+        after = server.stats.snapshot()
+        assert after["keepalive_reuses"] >= before["keepalive_reuses"] + 4
+        assert after["requests_total"] >= before["requests_total"] + 5
+        # the last health body itself carries the counters
+        assert body["serving"]["transport"]["aio"]["requests_total"] >= 5
+
+    def test_http10_connection_closes_after_response(self, aio_addr):
+        (addr, _server) = aio_addr
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(b"GET /v1/health HTTP/1.0\r\nHost: x\r\n\r\n")
+            data = sock.makefile("rb").read()  # EOF proves the close
+        assert data.split(b"\r\n")[0] == b"HTTP/1.1 200 OK"
+        assert b"Connection: close" in data.partition(b"\r\n\r\n")[0]
+
+
+class _SlowSearch:
+    """Service proxy that stretches ``respond`` so a request is reliably
+    in flight when the drain starts."""
+
+    def __init__(self, inner, delay: float):
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def respond(self, *args, **kwargs):
+        time.sleep(self._delay)
+        return self._inner.respond(*args, **kwargs)
+
+
+class TestGracefulDrain:
+    def test_zero_dropped_in_flight_responses(self, setup):
+        """The kill/drain bar: requests already being served when the
+        drain begins complete with full responses; the server only then
+        tears down, and reports a clean (fully drained) shutdown."""
+        compendium, truth = setup
+        with SpellService(compendium, n_workers=2) as inner:
+            app = ApiApp(_SlowSearch(inner, delay=0.6))
+            server, thread = aio_serve(app)
+            addr = server.server_address[:2]
+            payload = {"genes": list(truth.query_genes), "page_size": 10}
+            results = []
+
+            def issue():
+                results.append(request_raw(addr, "POST", "/v1/search", payload))
+
+            clients = [threading.Thread(target=issue) for _ in range(3)]
+            for t in clients:
+                t.start()
+            time.sleep(0.25)  # all three now inside the slow respond()
+            assert server.stats.snapshot()["in_flight"] >= 1
+            drained = server.close(timeout=10)
+            for t in clients:
+                t.join(timeout=15)
+            thread.join(timeout=10)
+
+            assert drained is True
+            assert len(results) == 3  # zero dropped responses
+            oracle = None
+            for status, body, _headers in results:
+                assert status == 200
+                parsed = scrub(json.loads(body))
+                oracle = oracle or parsed
+                assert parsed == oracle  # drained responses are real answers
+            snap = server.stats.snapshot()
+            assert snap["drained_requests"] >= 1
+            assert snap["in_flight"] == 0
+
+    def test_new_connections_refused_after_drain(self, setup):
+        compendium, _ = setup
+        with SpellService(compendium, n_workers=1) as inner:
+            server, thread = aio_serve(ApiApp(inner))
+            addr = server.server_address[:2]
+            assert server.close(timeout=5) is True
+            thread.join(timeout=10)
+            with pytest.raises(OSError):
+                socket.create_connection(addr, timeout=2)

@@ -497,3 +497,67 @@ class TestWireHandlerDirect:
         )
         pixels = decode_ppm(response.ppm)
         assert pixels.shape == (response.height, response.width, 3)
+
+
+class TestGracefulDrain:
+    """The threaded facade honors the shared drain contract
+    (:mod:`repro.api.transport`): ``close()`` finishes in-flight
+    requests before tearing down, bounded by a timeout."""
+
+    class _SlowSearch:
+        def __init__(self, inner, delay):
+            self._inner = inner
+            self._delay = delay
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def respond(self, *args, **kwargs):
+            import time
+
+            time.sleep(self._delay)
+            return self._inner.respond(*args, **kwargs)
+
+    def test_close_drains_in_flight_requests(self, spell_setup_api):
+        import time
+
+        from repro.api.http import serve_background
+
+        compendium, truth = spell_setup_api
+        with SpellService(compendium, n_workers=2) as inner:
+            app = ApiApp(self._SlowSearch(inner, delay=0.6))
+            server, thread = serve_background(app)
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            payload = {"genes": list(truth.query_genes), "page_size": 10}
+            results = []
+
+            def issue():
+                results.append(http(base, "/v1/search", payload))
+
+            clients = [threading.Thread(target=issue) for _ in range(3)]
+            for t in clients:
+                t.start()
+            time.sleep(0.25)  # requests now inside the slow respond()
+            assert server.stats.snapshot()["in_flight"] >= 1
+            drained = server.close(timeout=10)
+            for t in clients:
+                t.join(timeout=15)
+            thread.join(timeout=10)
+
+            assert drained is True
+            assert len(results) == 3  # zero dropped in-flight responses
+            for status, body in results:
+                assert status == 200
+                assert body["total_genes"] > 0
+            snap = server.stats.snapshot()
+            assert snap["drained_requests"] >= 1
+            assert snap["in_flight"] == 0
+
+    def test_transport_counters_in_health(self, live_api):
+        base, _service, _truth = live_api
+        status, body = http(base, "/v1/health")
+        assert status == 200
+        transport = body["serving"]["transport"]["http"]
+        assert transport["requests_total"] >= 1
+        assert transport["draining"] is False
