@@ -139,7 +139,6 @@ def _serve_single(args: argparse.Namespace, auth_token: str | None) -> int:
 
     async def _main() -> None:
         task = asyncio.current_task()
-        task._repro_serve = True
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, task.cancel)

@@ -227,13 +227,12 @@ class RequestParser:
         if raw is None:
             head.content_length = 0
             return
-        try:
-            length = int(raw)
-        except ValueError as exc:
-            raise ProtocolError(f"bad Content-Length {raw!r}") from exc
-        if length < 0:
-            raise ProtocolError(f"negative Content-Length {length}")
-        head.content_length = length
+        # RFC 9110 says 1*DIGIT, nothing else: Python's int() also
+        # accepts '+5', ' 5', and '1_0', and a parser more lenient than
+        # the proxy in front of it is the request-smuggling precondition
+        if not raw or not all(c in "0123456789" for c in raw):
+            raise ProtocolError(f"bad Content-Length {raw!r}")
+        head.content_length = int(raw)
 
     # ------------------------------------------------------------------ body
     def poll_body(self, head: RequestHead) -> bytes | None:

@@ -145,6 +145,7 @@ class AioApiServer:
         self._executor_threads = executor_threads
         self._executor = None  # created on the loop, torn down with it
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._serve_task: asyncio.Task | None = None
         self._draining = False
         self._shutdown_requested = threading.Event()
         self._started = threading.Event()
@@ -180,6 +181,7 @@ class AioApiServer:
 
         loop = asyncio.get_running_loop()
         self._loop = loop
+        self._serve_task = asyncio.current_task()
         threads = self._executor_threads
         if threads is None:
             threads = max(4, os.cpu_count() or 1)
@@ -254,12 +256,20 @@ class AioApiServer:
             responder.cancel()
             raise
         finally:
-            if not responder.done():
+            if responder.done():
+                if not responder.cancelled():
+                    responder.exception()  # retrieve, or the loop warns
+            else:
                 try:
-                    await queue.put(_DONE)
+                    # racing the sentinel put against the responder keeps
+                    # a full pipeline window from deadlocking this task
+                    # against a responder that exits mid-wait
+                    await self._put_or_abort(queue, responder, _DONE)
                     await responder
                 except asyncio.CancelledError:
                     responder.cancel()
+                except Exception:
+                    pass  # responder's own failure; keep balancing books
             # anything still queued was admitted (counted in-flight) but
             # will never be answered — balance the books
             while not queue.empty():
@@ -282,7 +292,7 @@ class AioApiServer:
                 head = parser.poll_head()
             except ProtocolError as exc:
                 await self._enqueue(
-                    queue, state,
+                    queue, state, responder,
                     _Item(kind="error", close=True,
                           error=ApiError(exc.code, exc.message)),
                 )
@@ -300,7 +310,8 @@ class AioApiServer:
                 continue
 
             item = await self._parse_request(sock, loop, parser, head, addr)
-            await self._enqueue(queue, state, item)
+            if not await self._enqueue(queue, state, responder, item):
+                return  # responder exited (close/write failure) mid-wait
             if item.kind == "error":
                 # the body (if any) was not drained; the stream cannot
                 # be resynced — stop reading, responder will close
@@ -325,6 +336,14 @@ class AioApiServer:
                 payload = await self._read_body(loop, sock, parser, head)
             else:
                 payload = {}
+                if head.content_length > 0:
+                    # a GET that declared a body: the gate already judged
+                    # the declared size in admit(), so drain it (bounded
+                    # by the body cap) — left in the buffer it would be
+                    # parsed as the *next* request on this keep-alive
+                    # connection, a stream desync the threaded facade
+                    # avoids by closing
+                    await self._buffer_body(loop, sock, parser, head)
         except ApiError as err:
             if err.code in _GATE_CODES:
                 self.app.record_rejection(route.name if route is not None else "(unknown)")
@@ -344,17 +363,7 @@ class AioApiServer:
     async def _read_body(self, loop, sock, parser, head: RequestHead) -> dict:
         """Read the declared body (the cap was already judged) and parse it."""
         self.app.gate.check_body(head.content_length)  # 413 pre-read
-        while True:
-            body = parser.poll_body(head)
-            if body is not None:
-                break
-            try:
-                data = await loop.sock_recv(sock, _RECV_BYTES)
-            except OSError as exc:
-                raise ApiError("MALFORMED_BODY", f"connection lost mid-body: {exc}")
-            if not data:
-                raise ApiError("MALFORMED_BODY", "connection closed mid-body")
-            parser.feed(data)
+        body = await self._buffer_body(loop, sock, parser, head)
         try:
             payload = json.loads(body or b"{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -366,17 +375,68 @@ class AioApiServer:
             )
         return payload
 
-    async def _enqueue(self, queue, state: _ConnState, item: _Item) -> None:
-        """Admit one parsed request to the pipeline window (may block)."""
+    @staticmethod
+    async def _buffer_body(loop, sock, parser, head: RequestHead) -> bytes:
+        """Pull the declared ``content_length`` bytes off the wire."""
+        while True:
+            body = parser.poll_body(head)
+            if body is not None:
+                return body
+            try:
+                data = await loop.sock_recv(sock, _RECV_BYTES)
+            except OSError as exc:
+                raise ApiError("MALFORMED_BODY", f"connection lost mid-body: {exc}")
+            if not data:
+                raise ApiError("MALFORMED_BODY", "connection closed mid-body")
+            parser.feed(data)
+
+    async def _enqueue(
+        self, queue, state: _ConnState, responder: asyncio.Task, item: _Item
+    ) -> bool:
+        """Admit one parsed request to the pipeline window (may block).
+
+        Returns whether the item was enqueued.  ``False`` means the
+        responder finished first — a ``Connection: close`` response or a
+        write failure ended the connection while the pipeline window was
+        full — so nothing more will ever be served and the reader must
+        stop.  Racing the put against the responder is what prevents the
+        reader from deadlocking on a dead responder (which would strand
+        the connection task and its ``max_connections`` slot forever).
+        """
         state.seen += 1
         state.pending += 1
         self.stats.request_started(reused=state.seen > 1, depth=state.pending)
         try:
-            await queue.put(item)
+            enqueued = await self._put_or_abort(queue, responder, item)
         except asyncio.CancelledError:
             state.pending -= 1
             self.stats.request_finished()
             raise
+        if not enqueued:
+            state.pending -= 1
+            self.stats.request_finished()
+        return enqueued
+
+    @staticmethod
+    async def _put_or_abort(
+        queue: asyncio.Queue, responder: asyncio.Task, item
+    ) -> bool:
+        """``queue.put(item)`` unless the responder exits first.
+
+        Returns whether the item made it onto the queue.  A plain
+        ``await queue.put`` on a full queue never wakes once the
+        responder (the only consumer) has returned.
+        """
+        put = asyncio.ensure_future(queue.put(item))
+        try:
+            await asyncio.wait({put, responder}, return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            put.cancel()
+            raise
+        if put.done() and not put.cancelled():
+            return True
+        put.cancel()
+        return False
 
     # -------------------------------------------------------------- responder
     async def _respond_loop(self, sock, queue, state: _ConnState) -> None:
@@ -547,11 +607,12 @@ class AioApiServer:
         """Graceful drain from inside the loop (signal handlers land here)."""
         self._draining = True
         # cancelling serve_forever's accept wait routes through
-        # _drain_and_close exactly once
-        current = asyncio.current_task()
-        for task in asyncio.all_tasks():
-            if task is not current and getattr(task, "_repro_serve", False):
-                task.cancel()
+        # _drain_and_close exactly once; the task was recorded by
+        # serve_forever itself, so every launch style — asyncio.run,
+        # serve_background, the supervisor — is covered
+        task = self._serve_task
+        if task is not None and task is not asyncio.current_task() and not task.done():
+            task.cancel()
 
     def close(self, *, drain: bool = True, timeout: float | None = None) -> bool:
         """Thread-safe shutdown for callers outside the loop (tests, CLI).
@@ -571,9 +632,9 @@ class AioApiServer:
         return self._stopped.wait(budget)
 
     def _cancel_serve(self) -> None:
-        for task in asyncio.all_tasks(self._loop):
-            if getattr(task, "_repro_serve", False):
-                task.cancel()
+        task = self._serve_task
+        if task is not None and not task.done():
+            task.cancel()
 
 
 def serve(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
@@ -593,12 +654,7 @@ def serve_background(app: ApiApp, *, host: str = "127.0.0.1", port: int = 0,
     server = serve(app, host=host, port=port, **kwargs)
 
     def _run() -> None:
-        async def _main() -> None:
-            task = asyncio.current_task()
-            task._repro_serve = True  # shutdown() finds and cancels this
-            await server.serve_forever()
-
-        asyncio.run(_main())
+        asyncio.run(server.serve_forever())
 
     thread = threading.Thread(target=_run, daemon=True)
     thread.start()

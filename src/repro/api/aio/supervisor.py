@@ -33,6 +33,7 @@ reported.
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import json
 import multiprocessing
@@ -154,7 +155,6 @@ def _worker_main(
 
     async def _main() -> None:
         task = asyncio.current_task()
-        task._repro_serve = True
         loop = asyncio.get_running_loop()
         # first signal: graceful (cancel → drain); a second one lands
         # mid-drain and cancels the drain sleep, forcing exit
@@ -225,11 +225,19 @@ class LoopGroup:
                     index,
                     self.server_options,
                 ),
+                # NOT daemonic: the app a worker builds may itself spawn
+                # IndexWorkerPool child processes (n_procs > 1), which
+                # multiprocessing forbids for daemonic parents; stop()
+                # owns teardown (SIGTERM, bounded join, then kill)
                 name=f"aio-loop-{index}",
-                daemon=True,
+                daemon=False,
             )
             proc.start()
             self._procs.append(proc)
+        # non-daemonic children are joined by multiprocessing at
+        # interpreter exit — which never returns while they serve; make
+        # sure they are stopped first even if the caller forgot stop()
+        atexit.register(self.stop)
         try:
             self._wait_ready()
         except BaseException:
@@ -291,6 +299,7 @@ class LoopGroup:
         Returns the number of workers that had to be killed (0 on a
         fully graceful stop).
         """
+        atexit.unregister(self.stop)
         budget = (timeout if timeout is not None else self.drain_seconds) + 5.0
         for proc in self._procs:
             if proc.is_alive():

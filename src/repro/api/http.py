@@ -295,14 +295,12 @@ class _Handler(BaseHTTPRequestHandler):
         become an allocation request (regression-tested over a raw
         socket)."""
         length_header = self.headers.get("Content-Length", "0")
-        try:
-            length = int(length_header)
-        except ValueError:
+        # RFC 9110: 1*DIGIT only — int() also accepts '+5', ' 5', '1_0',
+        # and disagreeing with a stricter front proxy on framing is the
+        # request-smuggling precondition (same rule as the aio parser)
+        if not length_header or not all(c in "0123456789" for c in length_header):
             raise ApiError("MALFORMED_BODY", f"bad Content-Length {length_header!r}")
-        if length < 0:
-            raise ApiError(
-                "MALFORMED_BODY", f"negative Content-Length {length}"
-            )
+        length = int(length_header)
         app.gate.check_body(length)  # raises BODY_TOO_LARGE pre-read
         raw = self.rfile.read(length) if length else b"{}"
         try:

@@ -13,6 +13,7 @@ contract (zero dropped in-flight responses).
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import socket
@@ -22,6 +23,7 @@ import time
 import pytest
 
 from repro.api.app import ApiApp
+from repro.api.aio.server import serve as aio_bind
 from repro.api.aio.server import serve_background as aio_serve
 from repro.api.http import serve_background as threaded_serve
 from repro.api.limits import RequestGate
@@ -421,6 +423,56 @@ class TestPipelining:
             statuses = [self._read_one_response(reader)[0] for _ in range(3)]
         assert statuses == [200, 404, 200]
 
+    def test_get_with_declared_body_drained_keeps_stream_synced(self, aio_addr):
+        """A GET that declares a body must have that body drained before
+        the next poll — left buffered, its bytes would be parsed as the
+        *next* request on the keep-alive connection (the stream desync /
+        request-smuggling shape behind a body-forwarding proxy)."""
+        (addr, _server) = aio_addr
+        with socket.create_connection(addr, timeout=10) as sock:
+            sock.sendall(
+                b"GET /v1/health HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 5\r\n\r\nhello"
+                b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            reader = sock.makefile("rb")
+            for _ in range(2):
+                status, _headers, body = self._read_one_response(reader)
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+
+    def test_deep_pipeline_with_early_close_frees_the_connection(self, setup):
+        """A client that pipelines far past the window and has the first
+        request answer ``Connection: close`` must not strand the reader:
+        with the responder gone, a blocking put on the full queue would
+        leak the connection task and its ``max_connections`` slot
+        forever (a remotely repeatable slot-exhaustion DoS)."""
+        compendium, _ = setup
+        with SpellService(compendium, n_workers=1) as inner:
+            server, thread = aio_serve(ApiApp(inner), pipeline_depth=1)
+            try:
+                addr = server.server_address[:2]
+                with socket.create_connection(addr, timeout=10) as sock:
+                    sock.sendall(
+                        b"GET /v1/health HTTP/1.1\r\nHost: x\r\n"
+                        b"Connection: close\r\n\r\n"
+                        + b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n" * 8
+                    )
+                    data = sock.makefile("rb").read()  # one response, then EOF
+                assert data.split(b"\r\n")[0] == b"HTTP/1.1 200 OK"
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    snap = server.stats.snapshot()
+                    if snap["open_connections"] == 0 and snap["in_flight"] == 0:
+                        break
+                    time.sleep(0.05)
+                snap = server.stats.snapshot()
+                assert snap["open_connections"] == 0  # slot released
+                assert snap["in_flight"] == 0  # abandoned pipeline balanced
+            finally:
+                server.close(timeout=5)
+                thread.join(timeout=10)
+
     def test_malformed_request_line_structured_400(self, aio_addr):
         (addr, _server) = aio_addr
         with socket.create_connection(addr, timeout=10) as sock:
@@ -522,3 +574,61 @@ class TestGracefulDrain:
             thread.join(timeout=10)
             with pytest.raises(OSError):
                 socket.create_connection(addr, timeout=2)
+
+    def test_close_stops_a_directly_run_serve_forever(self, setup):
+        """``serve()`` + ``asyncio.run(server.serve_forever())`` — the
+        documented manual launch — must still be stoppable via
+        ``close()``: the serving task is recorded by ``serve_forever``
+        itself, not planted by a launcher helper."""
+        compendium, _ = setup
+        with SpellService(compendium, n_workers=1) as inner:
+            server = aio_bind(ApiApp(inner))
+            thread = threading.Thread(
+                target=lambda: asyncio.run(server.serve_forever()), daemon=True
+            )
+            thread.start()
+            assert server._started.wait(10)
+            status, _body, _headers = request_raw(
+                server.server_address[:2], "GET", "/v1/health"
+            )
+            assert status == 200
+            assert server.close(timeout=5) is True
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+
+class TestLoopGroupWorkers:
+    def test_workers_not_daemonic_so_procpool_can_spawn(self):
+        """Loop-group workers must be able to have children: with
+        ``n_procs > 1`` the app lazily spawns an ``IndexWorkerPool`` on
+        the first batch, which multiprocessing forbids under a daemonic
+        parent — the pool would silently fall back to the single-core
+        thread path, crippling the multi-loop topology."""
+        from repro.api.aio.supervisor import LoopGroup
+
+        synth = dict(n_datasets=4, n_relevant=1, n_genes=80, n_conditions=6,
+                     module_size=8, query_size=3, seed=9)
+        _compendium, truth = make_spell_compendium(**synth)
+        group = LoopGroup(
+            n_loops=1,
+            factory_kwargs={
+                "synth_datasets": 4, "synth_genes": 80, "synth_conditions": 6,
+                "n_relevant": 1, "module_size": 8, "query_size": 3, "seed": 9,
+                "n_workers": 1, "n_procs": 2, "cache_size": 8,
+            },
+        )
+        with group:
+            assert all(proc.daemon is False for proc in group._procs)
+            addr = (group.host, group.port)
+            query = list(truth.query_genes)
+            status, _body, _headers = request_raw(
+                addr, "POST", "/v1/search/batch",
+                {"searches": [{"genes": query, "page_size": 5}] * 3},
+            )
+            assert status == 200
+            h_status, h_body, _ = request_raw(addr, "GET", "/v1/health")
+            assert h_status == 200
+            serving = json.loads(h_body)["serving"]
+            assert serving["n_procs"] == 2
+            # the pool actually spawned — impossible for a daemonic worker
+            assert serving["procpool"] is not None

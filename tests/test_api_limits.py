@@ -364,13 +364,17 @@ class TestBodyCapOverRawSocket:
         assert " 400 " in status_line
         assert body["error"]["code"] == "MALFORMED_BODY"
 
-    def test_non_numeric_content_length_rejected(self, hardened_api):
+    @pytest.mark.parametrize("value", ["banana", "+5", "1_0"])
+    def test_non_digit_content_length_rejected(self, hardened_api, value):
+        """Anything but 1*DIGIT is a 400 — int()-leniencies like '+5'
+        and '1_0' would let this parser disagree with a stricter front
+        proxy on framing, the request-smuggling precondition."""
         _, address, _ = hardened_api
         status_line, body = raw_request(
             address,
             "POST /v1/search HTTP/1.1\r\nHost: t\r\n"
             "Authorization: Bearer sekrit\r\n"
-            "Content-Length: banana\r\n\r\n",
+            f"Content-Length: {value}\r\n\r\n",
         )
         assert " 400 " in status_line
         assert body["error"]["code"] == "MALFORMED_BODY"
