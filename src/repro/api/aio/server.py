@@ -51,6 +51,7 @@ from repro.api.routes import ROUTE_BY_NAME, Route
 from repro.api.transport import (
     DEFAULT_DRAIN_SECONDS,
     TransportStats,
+    close_quietly as _close_quietly,
     retry_after_headers,
 )
 from repro.api.aio.http11 import (
@@ -523,6 +524,7 @@ class AioApiServer:
             )
             return close
         iterator = iter(lines)
+        completed = False
         try:
             await loop.sock_sendall(sock, encode_stream_head(close=close))
             while True:
@@ -533,12 +535,18 @@ class AioApiServer:
                     break
                 await loop.sock_sendall(sock, encode_chunk(line))
             await loop.sock_sendall(sock, CHUNKED_EOF)
-        except (ConnectionError, OSError, BrokenPipeError):
-            # client went away mid-stream; closing the generator fires
-            # its GeneratorExit path, which records the failed export
-            if hasattr(lines, "close"):
-                await loop.run_in_executor(self._executor, lines.close)
-            raise
+            completed = True
+        finally:
+            # client gone (ConnectionError/OSError) or task cancelled
+            # mid-stream: closing the generator fires its GeneratorExit
+            # path, which records the failed export and releases anything
+            # pinned for the stream; a no-op after a completed stream.
+            # The original exception keeps propagating to the responder
+            # loop, which balances the connection-slot accounting.
+            if not completed and hasattr(lines, "close"):
+                await loop.run_in_executor(
+                    self._executor, partial(_close_quietly, lines)
+                )
         return close
 
     # -------------------------------------------------------------- plumbing

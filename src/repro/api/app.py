@@ -378,6 +378,9 @@ class ApiApp:
             # sharded services report per-node routing state; single-node
             # services have no shard_stats and answer the v1 default ({})
             shard_stats = getattr(service, "shard_stats", None)
+            # storage tiers exist only where a SpellService owns a store;
+            # router frontends answer the v1 default ({})
+            storage_stats = getattr(service, "storage_stats", None)
             return HealthResponse(
                 status="ok",
                 uptime_seconds=time.monotonic() - self._started,
@@ -390,6 +393,7 @@ class ApiApp:
                 serving=service.serving_stats(),
                 limits=self.gate.stats(),
                 shards=shard_stats() if callable(shard_stats) else {},
+                storage=storage_stats() if callable(storage_stats) else {},
             )
 
     def endpoint_stats(self) -> dict[str, dict[str, float]]:

@@ -29,6 +29,7 @@ from repro.util.errors import (
     ReproError,
     RpcError,
     SearchError,
+    StoreCorruptError,
     StoreError,
     ValidationError,
 )
@@ -61,6 +62,7 @@ ERROR_STATUS: dict[str, int] = {
     "RATE_LIMITED": 429,  # client key exceeded its token bucket
     "BODY_TOO_LARGE": 413,  # declared/observed body over the cap
     "INDEX_STALE": 503,  # persistent index unreadable / out of date
+    "STORE_CORRUPT": 503,  # shard bytes failed integrity verification
     "SHARD_UNAVAILABLE": 503,  # sharded serving cannot reach the data owners
     "DEADLINE_EXCEEDED": 504,  # the request's deadline_ms budget ran out
     "INTERNAL": 500,  # anything unclassified (a bug, by definition)
@@ -83,6 +85,13 @@ ERROR_DESCRIPTIONS: dict[str, str] = {
     "RATE_LIMITED": "The client key exceeded its token bucket; retry_after_ms rides in details.",
     "BODY_TOO_LARGE": "The declared or observed request body exceeds the cap.",
     "INDEX_STALE": "The persistent index is unreadable or out of date.",
+    "STORE_CORRUPT": (
+        "A persistent shard's bytes failed sha256 integrity verification and "
+        "no bound source was available to rebuild from.  The damaged file has "
+        "been quarantined (never served); details carries the affected "
+        "datasets/files.  Not retriable until the store is repaired or "
+        "rebuilt."
+    ),
     "SHARD_UNAVAILABLE": (
         "Sharded serving could not reach any owner of the requested data "
         "(when partial results are possible they are served instead, flagged "
@@ -137,6 +146,15 @@ def as_api_error(exc: BaseException) -> ApiError:
     # store failure — it means the *client's* budget ran out
     if isinstance(exc, DeadlineExceeded):
         return ApiError("DEADLINE_EXCEEDED", str(exc))
+    # corrupt-before-stale: StoreCorruptError subclasses StoreError but
+    # means the bytes are untrustworthy, not merely out of date
+    if isinstance(exc, StoreCorruptError):
+        details: dict = {}
+        if getattr(exc, "datasets", ()):
+            details["datasets"] = list(exc.datasets)
+        if getattr(exc, "files", ()):
+            details["quarantined_files"] = list(exc.files)
+        return ApiError("STORE_CORRUPT", str(exc), details=details or None)
     if isinstance(exc, StoreError):
         return ApiError("INDEX_STALE", str(exc))
     if isinstance(exc, RpcError):

@@ -64,6 +64,7 @@ from repro.api.routes import ROUTE_BY_NAME, Route
 from repro.api.transport import (
     DEFAULT_DRAIN_SECONDS,
     TransportStats,
+    close_quietly as _close_quietly,
     retry_after_headers,
 )
 
@@ -348,17 +349,25 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
+        completed = False
         try:
             for line in lines:
                 self._write_chunk(line)
             self.wfile.write(b"0\r\n\r\n")
             self.wfile.flush()
-        except (BrokenPipeError, ConnectionError, TimeoutError):
-            # client went away mid-stream; closing the generator fires
-            # its GeneratorExit path, which records the failed export
+            completed = True
+        except OSError:
+            # client went away mid-stream (BrokenPipeError /
+            # ConnectionResetError / TimeoutError are all OSErrors; a raw
+            # EPIPE surfaces the same way): the connection is dead, drop it
             self.close_connection = True
-            if hasattr(lines, "close"):
-                lines.close()
+        finally:
+            # closing the generator fires its GeneratorExit path, which
+            # records the failed export and releases anything pinned for
+            # the stream — on *every* abnormal exit, not just connection
+            # errors; a no-op after a completed stream
+            if not completed:
+                _close_quietly(lines)
 
     def _write_chunk(self, data: bytes) -> None:
         """One HTTP/1.1 chunk: size line, payload, CRLF."""
@@ -452,6 +461,7 @@ def _build_service(args: argparse.Namespace):
         cache_min_cost=args.cache_min_cost,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
         store_dir=args.store_dir,
+        store_verify=getattr(args, "store_verify", None),
         pool_timeout=args.pool_timeout,
     )
     return service, truth
@@ -467,6 +477,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="listening port (0 = ephemeral)")
     parser.add_argument("--store-dir", default=None,
                         help="persistent index directory (mmap cold start)")
+    parser.add_argument("--store-verify", choices=("eager", "lazy"), default=None,
+                        help="shard integrity policy at store load: eager "
+                             "hashes every shard before serving (quarantine + "
+                             "rebuild on mismatch); lazy keeps the zero-copy "
+                             "mmap cold start and defers to a verify scrub. "
+                             "Default: eager for in-RAM loads, lazy for mmap")
     parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
     parser.add_argument("--n-workers", type=int, default=4)
     parser.add_argument("--n-procs", type=int, default=1,

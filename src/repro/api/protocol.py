@@ -441,6 +441,14 @@ class ExportRequest:
     :class:`ExportTrailer`.  Reassembled, the chunks' ``gene_rows`` are
     bit-identical to the concatenation of every page the equivalent
     paged search would have served.
+
+    ``resume_offset`` (append-only v1 addition) restarts an interrupted
+    export at a chunk boundary: the stream begins at the chunk whose
+    first row has that global offset, and its chunk lines are
+    bit-identical to the same-offset lines of an uninterrupted export
+    of the same request.  It must be a multiple of ``chunk_size`` —
+    resumption is by chunk, never mid-chunk, so a client retries from
+    the offset after the last chunk it fully received.
     """
 
     genes: tuple[str, ...]
@@ -450,6 +458,7 @@ class ExportRequest:
     datasets: tuple[str, ...] | None = None
     use_cache: bool = True
     deadline_ms: int | None = None
+    resume_offset: int = 0
 
     def __post_init__(self) -> None:
         # identical field discipline to SearchRequest (shared helpers):
@@ -464,6 +473,13 @@ class ExportRequest:
         object.__setattr__(
             self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
         )
+        _int_field(self.resume_offset, "resume_offset", minimum=0)
+        if self.resume_offset % self.chunk_size != 0:
+            raise _invalid(
+                f"resume_offset {self.resume_offset} is not a chunk boundary "
+                f"(chunk_size {self.chunk_size}) — resume from the offset "
+                "after the last fully-received chunk"
+            )
 
     def to_wire(self) -> dict:
         return {
@@ -475,6 +491,7 @@ class ExportRequest:
             "datasets": None if self.datasets is None else list(self.datasets),
             "use_cache": self.use_cache,
             "deadline_ms": self.deadline_ms,
+            "resume_offset": self.resume_offset,
         }
 
     @classmethod
@@ -491,6 +508,7 @@ class ExportRequest:
             datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
             use_cache=data.get("use_cache", True),
             deadline_ms=data.get("deadline_ms"),
+            resume_offset=data.get("resume_offset", 0),
         )
 
 
@@ -749,6 +767,12 @@ class ExportTrailer:
     ``total_genes`` reports the full candidate ranking size.  Query
     attribution and the ranked ``dataset_rows`` ride here (once per
     stream, not once per chunk).
+
+    ``resume_offset`` (append-only v1 addition) echoes the request's
+    resume point: checksum/``n_chunks``/``total_rows`` cover only the
+    chunk lines *this* stream carried, starting at that offset — a
+    resuming client verifies each stream's trailer independently and
+    splices streams at chunk boundaries.
     """
 
     status: str
@@ -762,6 +786,7 @@ class ExportTrailer:
     dataset_rows: tuple[tuple[int, str, float], ...] = ()
     elapsed_seconds: float = 0.0
     error: dict | None = None
+    resume_offset: int = 0
 
     KIND = "trailer"
 
@@ -773,6 +798,7 @@ class ExportTrailer:
         _int_field(self.total_genes, "total_genes", minimum=0)
         _int_field(self.total_rows, "total_rows", minimum=0)
         _int_field(self.n_chunks, "n_chunks", minimum=0)
+        _int_field(self.resume_offset, "resume_offset", minimum=0)
 
     def to_wire(self) -> dict:
         return {
@@ -789,6 +815,7 @@ class ExportTrailer:
             "dataset_rows": [list(row) for row in self.dataset_rows],
             "elapsed_seconds": self.elapsed_seconds,
             "error": None if self.error is None else dict(self.error),
+            "resume_offset": self.resume_offset,
         }
 
     @classmethod
@@ -818,6 +845,9 @@ class ExportTrailer:
                 data.get("elapsed_seconds", 0.0), "elapsed_seconds"
             ),
             error=None if error is None else dict(error),
+            resume_offset=_int_field(
+                data.get("resume_offset", 0), "resume_offset", minimum=0
+            ),
         )
 
 
@@ -982,6 +1012,7 @@ class HealthResponse:
     serving: dict = field(default_factory=dict)  # appended in-version: default keeps v1 parsing
     limits: dict = field(default_factory=dict)  # gate config + rejection counters
     shards: dict = field(default_factory=dict)  # sharded serving: per-node liveness + routing
+    storage: dict = field(default_factory=dict)  # store tiers: resident/cold/promotions/quarantined
 
     def to_wire(self) -> dict:
         return {
@@ -997,6 +1028,7 @@ class HealthResponse:
             "serving": dict(self.serving),
             "limits": dict(self.limits),
             "shards": dict(self.shards),
+            "storage": dict(self.storage),
         }
 
     @classmethod
@@ -1007,6 +1039,7 @@ class HealthResponse:
         serving = data.get("serving", {})
         limits = data.get("limits", {})
         shards = data.get("shards", {})
+        storage = data.get("storage", {})
         if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
             raise _invalid("health cache/endpoints must be objects")
         if not isinstance(serving, Mapping):
@@ -1015,6 +1048,8 @@ class HealthResponse:
             raise _invalid("health limits must be an object")
         if not isinstance(shards, Mapping):
             raise _invalid("health shards must be an object")
+        if not isinstance(storage, Mapping):
+            raise _invalid("health storage must be an object")
         return cls(
             status=str(data.get("status", "")),
             uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
@@ -1027,4 +1062,5 @@ class HealthResponse:
             serving=dict(serving),
             limits=dict(limits),
             shards=dict(shards),
+            storage=dict(storage),
         )

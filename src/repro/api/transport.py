@@ -30,7 +30,31 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["DEFAULT_DRAIN_SECONDS", "TransportStats", "retry_after_headers"]
+__all__ = [
+    "DEFAULT_DRAIN_SECONDS",
+    "TransportStats",
+    "close_quietly",
+    "retry_after_headers",
+]
+
+
+def close_quietly(lines) -> None:
+    """Close a streaming line generator, swallowing cleanup failures.
+
+    Both facades call this on every abnormal stream exit: closing fires
+    the generator's ``GeneratorExit`` path (which records the failed
+    export).  The cleanup itself must never mask the original transport
+    error — a generator already finished, already executing on another
+    thread (``ValueError``), or misbehaving during close is not worth
+    losing the real exception over.
+    """
+    close = getattr(lines, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except Exception:  # noqa: BLE001 — cleanup must not mask the cause
+        pass
 
 
 def retry_after_headers(body: dict) -> dict:

@@ -77,7 +77,11 @@ def _worker_main(conn, store_dir: str, mmap: bool) -> None:
             if index is None or index.fingerprints() != expected:
                 if index is not None:
                     resynced = True
-                index = IndexStore.load(store_dir, mmap=mmap)
+                # sweep=False: workers are concurrent readers — reclaiming
+                # crash debris is the owning service's job, and a worker
+                # must never race the parent's in-flight (unpublished)
+                # shard writes by deleting them as orphans
+                index = IndexStore.load(store_dir, mmap=mmap, sweep=False)
             if index.fingerprints() != expected:
                 conn.send(("stale", repr(store_dir)))
                 index = None  # force a fresh look next batch

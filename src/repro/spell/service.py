@@ -65,9 +65,10 @@ from repro.spell.procpool import (
     IndexWorkerPool,
     WorkerPoolError,
 )
-from repro.spell.store import IndexStore
+from repro.spell.store import IndexStore, StorageStats
 from repro.util.deadline import Deadline
 from repro.util.errors import SearchError, StoreError
+from repro.util.lru import LruCache
 from repro.util.timing import Stopwatch
 
 __all__ = ["SearchPage", "BatchSearchResult", "SpellService"]
@@ -168,6 +169,7 @@ class SpellService:
         dtype=np.float64,
         store_dir: str | Path | None = None,
         store_mmap: bool = True,
+        store_verify: str | None = None,
         pool_timeout: float = REPLY_TIMEOUT_SECONDS,
     ) -> None:
         self.compendium = compendium
@@ -186,6 +188,18 @@ class SpellService:
             self._store_dir = Path(tempfile.mkdtemp(prefix="spell-procpool-"))
             self._owns_store_dir = True
         self._store_mmap = bool(store_mmap)
+        #: integrity policy for store loads: None = eager for in-RAM,
+        #: lazy for mmap (the IndexStore default); "eager"/"lazy" forces
+        self._store_verify = store_verify
+        #: storage-tier counters for /v1/health — one object for the
+        #: service's lifetime, threaded through every IndexStore call
+        self.storage = StorageStats()
+        #: per-dataset usage signal for cold-tier demotion: an LruCache
+        #: whose per-entry hit counts rank how recently/often each
+        #: dataset contributed positive weight to an answer
+        self._dataset_hits: LruCache[str, bool] = LruCache(
+            max(64, 4 * max(1, len(compendium)))
+        )
         self._engine = SpellEngine(compendium, n_workers=n_workers)
         self._index = self._open_index() if self.use_index else None
         self._indexed_version = compendium.version
@@ -214,9 +228,16 @@ class SpellService:
             # than bricking construction
             try:
                 stale = IndexStore.load(
-                    self._store_dir, mmap=self._store_mmap, bind=self.compendium
+                    self._store_dir,
+                    mmap=self._store_mmap,
+                    bind=self.compendium,
+                    verify=self._store_verify,
+                    stats=self.storage,
                 )
             except StoreError:
+                # covers StoreCorruptError too: with the compendium bound,
+                # load already quarantined and rebuilt what it could; what
+                # it could not is rebuilt from source right here
                 stale = None
             if stale is not None and stale.dtype == self.dtype:
                 # compare against the entries actually loaded, not a
@@ -228,7 +249,7 @@ class SpellService:
                 if loaded == live:
                     return stale
                 index = stale.updated(self.compendium)
-                IndexStore.sync(index, self._store_dir)
+                IndexStore.sync(index, self._store_dir, stats=self.storage)
                 return index
         index = SpellIndex.build(
             self.compendium, n_workers=self.n_workers, dtype=self.dtype
@@ -236,7 +257,7 @@ class SpellService:
         if self._store_dir is not None:
             # sync, not save: a rebuild that supersedes an existing store
             # (e.g. a dtype switch) must also retire the old shard files
-            IndexStore.sync(index, self._store_dir)
+            IndexStore.sync(index, self._store_dir, stats=self.storage)
         return index
 
     # ------------------------------------------------------------ maintenance
@@ -262,7 +283,57 @@ class SpellService:
             # IO happens outside self._lock (searches append history under
             # it); _store_lock alone serializes writers on the directory.
             with self._store_lock:
-                IndexStore.sync(index, self._store_dir)
+                IndexStore.sync(index, self._store_dir, stats=self.storage)
+
+    def demote_cold(self, *, min_hits: int = 1, keep: int = 1) -> tuple[str, ...]:
+        """Compress rarely-used datasets' shards into the store's cold tier.
+
+        Victims are datasets whose per-entry hit count in the
+        ``_dataset_hits`` LRU (see :meth:`_note_dataset_use`) is below
+        ``min_hits`` — i.e. they have not contributed positive weight to
+        recent answers.  At least ``keep`` datasets always stay resident.
+        On-disk only: the in-RAM index keeps serving its current arrays
+        (mmaps of an unlinked file stay valid); the next cold start pays
+        decompression for exactly the datasets nobody was using.
+        Returns the demoted dataset names.
+        """
+        if self._store_dir is None or self._index is None:
+            return ()
+        names = [ds.name for ds in self.compendium]
+        victims = [
+            name for name in names if self._dataset_hits.entry_hits(name) < min_hits
+        ]
+        if keep > 0 and len(victims) > max(0, len(names) - keep):
+            victims = victims[: max(0, len(names) - keep)]
+        if not victims:
+            return ()
+        with self._store_lock:
+            return IndexStore.demote(self._store_dir, victims, stats=self.storage)
+
+    def promote_cold(self, names: Sequence[str] | None = None) -> tuple[str, ...]:
+        """Decompress cold shards back to the resident tier (all by default).
+
+        Checksum re-verification happens inside :meth:`IndexStore.promote`;
+        a rotten cold shard is quarantined and rebuilt from the bound
+        compendium rather than promoted.
+        """
+        if self._store_dir is None:
+            return ()
+        if names is None:
+            names = [
+                name
+                for name, tier in IndexStore.tiers(self._store_dir).items()
+                if tier == "cold"
+            ]
+        if not names:
+            return ()
+        with self._store_lock:
+            return IndexStore.promote(
+                self._store_dir,
+                list(names),
+                bind=self.compendium,
+                stats=self.storage,
+            )
 
     # ----------------------------------------------------------------- search
     def search(
@@ -309,9 +380,27 @@ class SpellService:
                     self._cache.store(
                         version, query, result, extra=extra, cost=result.total_genes
                     )
+        self._note_dataset_use(result)
         with self._lock:
             self._history.append((tuple(query), sw.elapsed))
         return result
+
+    def _note_dataset_use(self, result: SpellResult) -> None:
+        """Record which datasets contributed to an answer.
+
+        Feeds :meth:`demote_cold`: every positively-weighted dataset of
+        the result (they are ranked descending, so the scan stops at the
+        first non-contributor) gets a hit in the ``_dataset_hits`` LRU —
+        per-entry hit counts then rank the hot set, and datasets that
+        never score are the cold-tier candidates.
+        """
+        lru = self._dataset_hits
+        for ds in result.datasets:
+            if ds.weight <= 0.0:
+                break
+            if ds.name not in lru:
+                lru.put(ds.name, True)
+            lru.get(ds.name)
 
     @staticmethod
     def _cache_extra(
@@ -403,7 +492,12 @@ class SpellService:
         if request.top_k is not None:
             exportable = min(exportable, request.top_k)
         exportable = min(exportable, len(table))
-        offset = 0
+        # resume: skip whole chunks already streamed to the client.  The
+        # protocol pins resume_offset to a chunk boundary, and chunks are
+        # cut at fixed multiples of chunk_size from zero, so the resumed
+        # stream's chunk lines are bit-identical to the same-offset lines
+        # of an uninterrupted export (same search, same slicing).
+        offset = min(request.resume_offset, exportable)
         while offset < exportable:
             stop = min(offset + request.chunk_size, exportable)
             if isinstance(table, GeneTable):
@@ -418,7 +512,10 @@ class SpellService:
         yield ExportTrailer(
             status="ok",
             total_genes=result.total_genes,
-            total_rows=exportable,
+            # rows this cursor walked (a resumed cursor skips the prefix);
+            # the stream encoder re-counts what actually hit the wire
+            total_rows=exportable - min(request.resume_offset, exportable),
+            resume_offset=request.resume_offset,
             query=result.query,
             query_used=result.query_used,
             query_missing=result.query_missing,
@@ -577,6 +674,7 @@ class SpellService:
                     cached = self._cache.lookup(version, list(req.genes), extra=extra)
                 if cached is not None:
                     result = rebind_result(cached, list(req.genes))
+                    self._note_dataset_use(result)
                     with self._lock:
                         self._history.append((tuple(req.genes), sw.elapsed))
                     responses[idx] = SearchResponse.from_result(
@@ -614,6 +712,7 @@ class SpellService:
                         version, list(req.genes), result,
                         extra=extra, cost=result.total_genes,
                     )
+                self._note_dataset_use(result)
                 with self._lock:
                     self._history.append((tuple(req.genes), per_query))
                 responses[idx] = SearchResponse.from_result(
@@ -787,3 +886,19 @@ class SpellService:
         if self._cache is None:
             return {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0, "evictions": 0}
         return self._cache.stats()
+
+    def storage_stats(self) -> dict:
+        """Storage-tier counters for ``/v1/health`` (append-only keys).
+
+        ``resident``/``cold`` gauge the store's current tier split;
+        ``promotions``/``demotions``/``quarantined``/``rebuilt``/
+        ``corrupt``/``verified``/``cold_loads``/``swept``/
+        ``publish_errors`` count lifetime events.  ``persistent`` says
+        whether a store directory backs this service at all.
+        """
+        stats = self.storage.snapshot()
+        stats["persistent"] = self._store_dir is not None
+        stats["hot_datasets"] = [
+            name for name, _ in self._dataset_hits.hottest(5)
+        ]
+        return stats

@@ -51,6 +51,42 @@ class StoreError(ReproError):
     """A persistent index store is missing, corrupt, or format-incompatible."""
 
 
+class StoreCorruptError(StoreError):
+    """Shard bytes failed end-to-end integrity verification.
+
+    Raised when a shard's on-disk bytes no longer hash to the sha256 its
+    manifest recorded (bit rot, torn write, tampering) and no bound
+    :class:`Dataset` source was available to rebuild from.  The damaged
+    file has already been quarantined — this error is the *refusal* to
+    serve, never a report of silently-served corruption.  The API maps
+    it to the stable ``STORE_CORRUPT`` code (distinct from
+    ``INDEX_STALE``: stale means rebuild-and-retry, corrupt means the
+    bytes themselves are untrustworthy).
+
+    ``datasets``/``files`` name what failed so operators can find the
+    quarantined artifacts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        datasets: tuple[str, ...] = (),
+        files: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.datasets = tuple(datasets)
+        self.files = tuple(files)
+
+
+class StorePublishError(StoreError):
+    """A store write could not be published atomically (ENOSPC, EIO, ...).
+
+    The store on disk is whatever complete state it was in before the
+    attempt — a failed publish never leaves a half-written manifest or
+    shard under its final name."""
+
+
 class OntologyError(ReproError):
     """The GO DAG or its annotations are inconsistent (cycles, bad ids)."""
 

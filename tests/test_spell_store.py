@@ -20,7 +20,7 @@ from repro.spell import (
 )
 from repro.spell.store import FORMAT_VERSION, MANIFEST_NAME
 from repro.synth import make_spell_compendium
-from repro.util.errors import SearchError, StoreError
+from repro.util.errors import SearchError, StoreCorruptError, StoreError
 
 
 @pytest.fixture()
@@ -275,8 +275,12 @@ class TestManifestValidation:
         IndexStore.save(SpellIndex.build(comp), tmp_path)
         shard = next(iter(tmp_path.glob("shard-*.npy")))
         shard.write_bytes(b"definitely not an npy file")
-        with pytest.raises(StoreError, match="corrupt or missing shard"):
+        # no bound compendium -> nothing to rebuild from: the load must
+        # refuse (never serve the bytes) and quarantine the damaged file
+        with pytest.raises(StoreCorruptError, match="failed integrity verification"):
             IndexStore.load(tmp_path)
+        assert not shard.exists()
+        assert (tmp_path / "quarantine" / shard.name).exists()
 
     def test_shard_shape_mismatch_rejected(self, setup, tmp_path):
         comp, _ = setup

@@ -1,0 +1,481 @@
+"""Crash-safe tiered index storage: the PR-9 durability contract.
+
+Four guarantees under test, end to end:
+
+* **Integrity** — a flipped byte anywhere in a shard file is detected
+  against the manifest sha256, the damaged file is quarantined (never
+  served), and the shard is rebuilt bit-identical from its bound
+  ``Dataset`` source — or the load refuses with the structured
+  ``STORE_CORRUPT`` error when no source is attached.  Property-tested
+  across dtypes, mmap modes, and corruption sites.
+* **Crash safety** — a writer killed at any point inside
+  ``IndexStore.sync`` (after a shard write but before the manifest
+  publish; after the publish but before the orphan sweep) leaves a
+  store the next ``load`` opens cleanly, serving exactly the committed
+  manifest and reclaiming the debris.  Asserted with real subprocesses
+  killed via ``os._exit`` at the injection points.
+* **Cold tier** — demotion compresses shards without weakening the
+  checksum chain; promotion re-verifies before the bytes rejoin the
+  resident tier; a rotten cold shard is quarantined, not promoted.
+* **Observability** — every transition lands in ``StorageStats`` and
+  surfaces through ``/v1/health``'s append-only ``storage`` field and
+  the ``python -m repro.spell.store`` operator CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.app import ApiApp
+from repro.api.errors import ERROR_STATUS, as_api_error, error_payload
+from repro.data.compendium import Compendium
+from repro.spell import SpellService
+from repro.spell.index import SpellIndex
+from repro.spell.store import (
+    QUARANTINE_DIR,
+    IndexStore,
+    StorageStats,
+    _cli,
+)
+from repro.synth import make_spell_compendium
+from repro.util.errors import StoreCorruptError, StoreError, StorePublishError
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+COMPENDIUM_KWARGS = dict(
+    n_datasets=6,
+    n_relevant=2,
+    n_genes=80,
+    n_conditions=10,
+    module_size=10,
+    query_size=3,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Small (compendium, truth) pair private to this module — read-only."""
+    return make_spell_compendium(**COMPENDIUM_KWARGS)
+
+
+def _shard_files(directory: Path) -> list[Path]:
+    return sorted(directory.glob("shard-*.npy")) + sorted(directory.glob("shard-*.npz"))
+
+
+def _flip_byte(path: Path, offset: int) -> None:
+    data = bytearray(path.read_bytes())
+    offset = min(offset, len(data) - 1)
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def _entries_by_name(index: SpellIndex) -> dict[str, np.ndarray]:
+    return {e.name: np.asarray(e.normalized) for e in index._entries}
+
+
+class TestCorruptionOracle:
+    """Single-byte corruption anywhere → quarantine + rebuild-or-refuse."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("mmap", [True, False])
+    @pytest.mark.parametrize("site", ["header", "middle", "tail"])
+    def test_flip_rebuilds_bit_identical_from_bound_source(
+        self, setup, tmp_path, dtype, mmap, site
+    ):
+        compendium, _ = setup
+        index = SpellIndex.build(compendium, dtype=dtype)
+        IndexStore.save(index, tmp_path)
+        clean = _entries_by_name(IndexStore.load(tmp_path, mmap=False))
+
+        victim = _shard_files(tmp_path)[2]
+        size = victim.stat().st_size
+        offset = {"header": 7, "middle": size // 2, "tail": size - 3}[site]
+        _flip_byte(victim, offset)
+
+        stats = StorageStats()
+        loaded = IndexStore.load(
+            tmp_path, mmap=mmap, bind=compendium, verify="eager", stats=stats
+        )
+        healed = _entries_by_name(loaded)
+        assert healed.keys() == clean.keys()
+        for name, array in clean.items():
+            assert np.array_equal(healed[name], array), name
+
+        # the damaged file was moved aside, never deleted, never served
+        pen = tmp_path / QUARANTINE_DIR
+        assert (pen / victim.name).exists()
+        assert stats.snapshot()["quarantined"] == 1
+        assert stats.snapshot()["rebuilt"] == 1
+        # the healed store is self-consistent again: a scrub comes back clean
+        assert IndexStore.verify(tmp_path).clean
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_flip_without_source_refuses_with_structured_error(
+        self, setup, tmp_path, mmap
+    ):
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        victim = _shard_files(tmp_path)[0]
+        _flip_byte(victim, victim.stat().st_size // 2)
+
+        stats = StorageStats()
+        with pytest.raises(StoreCorruptError) as exc:
+            IndexStore.load(tmp_path, mmap=mmap, verify="eager", stats=stats)
+        assert exc.value.datasets  # names the dataset it refused to serve
+        assert victim.name in exc.value.files
+        assert not victim.exists()  # quarantined even on refusal
+        assert (tmp_path / QUARANTINE_DIR / victim.name).exists()
+        assert stats.snapshot()["corrupt"] == 1
+
+    def test_lazy_mmap_load_defers_and_scrub_detects(self, setup, tmp_path):
+        """The mmap cold start stays zero-copy under ``verify="lazy"``;
+        the startup scrub (``IndexStore.verify``) is the detector."""
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        victim_record = manifest["shards"][3]
+        victim = tmp_path / victim_record["file"]
+        # flip deep in the data region so np.load's header still parses —
+        # exactly the bit rot a structural check cannot see
+        _flip_byte(victim, victim.stat().st_size - 16)
+
+        loaded = IndexStore.load(tmp_path, mmap=True, verify="lazy")
+        assert len(loaded._entries) == len(compendium)  # served structurally
+
+        report = IndexStore.verify(tmp_path)
+        assert report.corrupt == (victim_record["name"],)
+        assert not report.clean
+
+        # eager reload with the source bound heals it in place
+        IndexStore.load(tmp_path, bind=compendium, verify="eager")
+        assert IndexStore.verify(tmp_path).clean
+
+    def test_verify_policy_validated(self, setup, tmp_path):
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        with pytest.raises(StoreError, match="unknown verify policy"):
+            IndexStore.load(tmp_path, verify="sometimes")
+
+
+def _kill_mid_sync(tmp_path: Path, *, n_target: int, patch: str) -> None:
+    """Run a real writer subprocess that syncs ``tmp_path`` toward the
+    first ``n_target`` datasets and dies (``os._exit``) inside ``patch``."""
+    script = textwrap.dedent(
+        f"""
+        import os
+        from repro.data.compendium import Compendium
+        from repro.spell.index import SpellIndex
+        from repro.spell.store import IndexStore
+        from repro.synth import make_spell_compendium
+
+        compendium, _ = make_spell_compendium(**{COMPENDIUM_KWARGS!r})
+        target = Compendium(list(compendium)[:{n_target}])
+        index = SpellIndex.build(target)
+        IndexStore.{patch} = staticmethod(lambda *a, **k: os._exit(9))
+        IndexStore.sync(index, {str(tmp_path)!r})
+        os._exit(7)  # unreachable: the patched step must run
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, timeout=180
+    )
+    assert proc.returncode == 9, proc.stderr.decode()
+
+
+class TestCrashInjection:
+    """Kill a real writer process mid-``sync``; the next load recovers."""
+
+    def test_killed_after_shard_write_before_manifest_publish(
+        self, setup, tmp_path
+    ):
+        compendium, _ = setup
+        committed = Compendium(list(compendium)[:4])
+        IndexStore.save(SpellIndex.build(committed), tmp_path)
+
+        # the writer grows the store to 6 datasets but dies before the
+        # manifest rename: 2 freshly-written shards are now orphans
+        _kill_mid_sync(tmp_path, n_target=6, patch="_publish_manifest")
+        assert len(_shard_files(tmp_path)) == 6
+
+        stats = StorageStats()
+        loaded = IndexStore.load(tmp_path, bind=committed, stats=stats)
+        # exactly the committed manifest is served — the old store
+        names = [e.name for e in loaded._entries]
+        assert names == [ds.name for ds in committed]
+        # and the debris is reclaimed: orphan shards swept, no partials
+        assert len(_shard_files(tmp_path)) == 4
+        assert not list(tmp_path.glob("*.tmp"))
+        assert stats.snapshot()["swept"] == 2
+        assert IndexStore.verify(tmp_path).clean
+
+    def test_killed_after_publish_before_sweep(self, setup, tmp_path):
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+
+        # the writer shrinks the store to 4 datasets, publishes the new
+        # manifest, and dies before sweeping the 2 retired shard files
+        _kill_mid_sync(tmp_path, n_target=4, patch="_sweep_orphans")
+        assert len(_shard_files(tmp_path)) == 6  # retired files linger
+
+        loaded = IndexStore.load(tmp_path)
+        names = [e.name for e in loaded._entries]
+        assert names == [ds.name for ds in list(compendium)[:4]]
+        assert len(_shard_files(tmp_path)) == 4  # load finished the sweep
+        assert IndexStore.verify(tmp_path).clean
+
+    def test_interrupted_writer_never_tears_the_manifest(self, setup, tmp_path):
+        """The manifest is always one of the two complete versions."""
+        compendium, _ = setup
+        committed = Compendium(list(compendium)[:4])
+        IndexStore.save(SpellIndex.build(committed), tmp_path)
+        before = (tmp_path / "manifest.json").read_bytes()
+        _kill_mid_sync(tmp_path, n_target=6, patch="_publish_manifest")
+        assert (tmp_path / "manifest.json").read_bytes() == before
+
+
+class TestColdTier:
+    def test_demote_promote_round_trip(self, setup, tmp_path):
+        compendium, _ = setup
+        index = SpellIndex.build(compendium)
+        IndexStore.save(index, tmp_path)
+        clean = _entries_by_name(IndexStore.load(tmp_path, mmap=False))
+        names = [ds.name for ds in compendium]
+
+        stats = StorageStats()
+        demoted = IndexStore.demote(tmp_path, names[:2], stats=stats)
+        assert demoted == tuple(names[:2])
+        tiers = IndexStore.tiers(tmp_path)
+        assert [tiers[n] for n in names[:2]] == ["cold", "cold"]
+        assert sorted(p.suffix for p in _shard_files(tmp_path)) == [
+            ".npy", ".npy", ".npy", ".npy", ".npz", ".npz",
+        ]
+        assert stats.snapshot()["demotions"] == 2
+        assert stats.snapshot()["cold"] == 2
+
+        # a load serves cold shards (decompressed + verified into RAM),
+        # bit-identical to the resident originals
+        loaded = IndexStore.load(tmp_path, stats=stats)
+        served = _entries_by_name(loaded)
+        for name in names:
+            assert np.array_equal(served[name], clean[name]), name
+        assert stats.snapshot()["cold_loads"] == 2
+
+        promoted = IndexStore.promote(tmp_path, names[:2], stats=stats)
+        assert promoted == tuple(names[:2])
+        assert all(t == "resident" for t in IndexStore.tiers(tmp_path).values())
+        assert not list(tmp_path.glob("*.npz"))
+        assert stats.snapshot()["promotions"] == 2
+        served = _entries_by_name(IndexStore.load(tmp_path, mmap=False))
+        for name in names:
+            assert np.array_equal(served[name], clean[name]), name
+
+    def test_unchanged_cold_shard_stays_cold_across_sync(self, setup, tmp_path):
+        compendium, _ = setup
+        index = SpellIndex.build(compendium)
+        IndexStore.save(index, tmp_path)
+        victim = list(compendium)[0].name
+        IndexStore.demote(tmp_path, [victim])
+        report = IndexStore.sync(index, tmp_path)
+        assert victim in report.unchanged
+        assert IndexStore.tiers(tmp_path)[victim] == "cold"
+
+    def test_corrupt_cold_shard_quarantined_and_rebuilt_on_promote(
+        self, setup, tmp_path
+    ):
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        clean = _entries_by_name(IndexStore.load(tmp_path, mmap=False))
+        victim = list(compendium)[1].name
+        IndexStore.demote(tmp_path, [victim])
+        npz = next(tmp_path.glob("*.npz"))
+        _flip_byte(npz, npz.stat().st_size // 2)
+
+        stats = StorageStats()
+        promoted = IndexStore.promote(
+            tmp_path, [victim], bind=compendium, stats=stats
+        )
+        assert promoted == (victim,)
+        assert (tmp_path / QUARANTINE_DIR / npz.name).exists()
+        assert stats.snapshot()["rebuilt"] == 1
+        served = _entries_by_name(IndexStore.load(tmp_path, mmap=False))
+        assert np.array_equal(served[victim], clean[victim])
+
+    def test_corrupt_cold_shard_refused_without_source(self, setup, tmp_path):
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        victim = list(compendium)[1].name
+        IndexStore.demote(tmp_path, [victim])
+        npz = next(tmp_path.glob("*.npz"))
+        _flip_byte(npz, npz.stat().st_size // 2)
+        with pytest.raises(StoreCorruptError):
+            IndexStore.promote(tmp_path, [victim])
+        with pytest.raises(StoreCorruptError):
+            IndexStore.load(tmp_path)  # cold shards always verify
+
+
+class TestPublishFailure:
+    def test_enospc_surfaces_as_publish_error_not_torn_store(
+        self, setup, tmp_path, monkeypatch
+    ):
+        compendium, _ = setup
+        index = SpellIndex.build(compendium)
+
+        def full_disk(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", full_disk)
+        stats = StorageStats()
+        with pytest.raises(StorePublishError, match="No space left"):
+            IndexStore.save(index, tmp_path, stats=stats)
+        monkeypatch.undo()
+        assert stats.snapshot()["publish_errors"] == 1
+        # nothing half-published: no manifest, no temp partials
+        assert not (tmp_path / "manifest.json").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_sync_leaves_prior_store_servable(
+        self, setup, tmp_path, monkeypatch
+    ):
+        compendium, _ = setup
+        committed = Compendium(list(compendium)[:4])
+        IndexStore.save(SpellIndex.build(committed), tmp_path)
+
+        def full_disk(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", full_disk)
+        with pytest.raises(StorePublishError):
+            IndexStore.sync(SpellIndex.build(compendium), tmp_path)
+        monkeypatch.undo()
+        loaded = IndexStore.load(tmp_path, verify="eager")
+        assert [e.name for e in loaded._entries] == [ds.name for ds in committed]
+
+
+class TestServiceIntegration:
+    def test_store_corrupt_maps_to_stable_api_code(self):
+        err = as_api_error(
+            StoreCorruptError("boom", datasets=("ds1",), files=("shard-x.npy",))
+        )
+        assert err.code == "STORE_CORRUPT"
+        assert ERROR_STATUS["STORE_CORRUPT"] == 503
+        payload = error_payload(err)["error"]
+        assert payload["details"]["datasets"] == ["ds1"]
+        assert payload["details"]["quarantined_files"] == ["shard-x.npy"]
+
+    def test_service_rebuilds_corrupt_store_and_counts_it(self, setup, tmp_path):
+        compendium, truth = setup
+        store = tmp_path / "store"
+        with SpellService(compendium, store_dir=store) as svc:
+            baseline = svc.search(truth.query_genes)
+        victim = sorted(store.glob("shard-*.npy"))[0]
+        _flip_byte(victim, victim.stat().st_size // 2)
+
+        with SpellService(
+            compendium, store_dir=store, store_verify="eager"
+        ) as svc:
+            snap = svc.storage.snapshot()
+            assert snap["quarantined"] == 1
+            assert snap["rebuilt"] == 1
+            result = svc.search(truth.query_genes)
+        ranked = [(g.gene_id, g.score) for g in baseline.genes]
+        assert [(g.gene_id, g.score) for g in result.genes] == ranked
+        assert (store / QUARANTINE_DIR / victim.name).exists()
+
+    def test_health_surfaces_storage_counters(self, setup, tmp_path):
+        compendium, truth = setup
+        with SpellService(compendium, store_dir=tmp_path / "store") as svc:
+            app = ApiApp(svc)
+            health = app.health().to_wire()
+        storage = health["storage"]
+        assert storage["persistent"] is True
+        for key in (
+            "resident", "cold", "promotions", "demotions", "quarantined",
+            "rebuilt", "corrupt", "verified", "cold_loads", "swept",
+            "publish_errors", "hot_datasets",
+        ):
+            assert key in storage, key
+        assert storage["resident"] == len(compendium)
+
+    def test_demote_cold_spares_datasets_queries_use(self, setup, tmp_path):
+        compendium, truth = setup
+        with SpellService(compendium, store_dir=tmp_path / "store") as svc:
+            result = svc.search(truth.query_genes)
+            hot = result.datasets[0].name  # top-ranked: certainly used
+            demoted = svc.demote_cold(min_hits=1, keep=1)
+            assert hot not in demoted
+            tiers = IndexStore.tiers(tmp_path / "store")
+            assert tiers[hot] == "resident"
+            assert all(tiers[name] == "cold" for name in demoted)
+            # the resident index keeps serving; answers don't change
+            again = svc.search(truth.query_genes, use_cache=False)
+            assert [g.gene_id for g in again.genes] == [
+                g.gene_id for g in result.genes
+            ]
+            promoted = svc.promote_cold()
+            assert sorted(promoted) == sorted(demoted)
+            assert all(
+                t == "resident"
+                for t in IndexStore.tiers(tmp_path / "store").values()
+            )
+
+    def test_demote_cold_with_no_traffic_keeps_floor(self, setup, tmp_path):
+        compendium, _ = setup
+        with SpellService(compendium, store_dir=tmp_path / "store") as svc:
+            demoted = svc.demote_cold(min_hits=1, keep=1)
+            assert len(demoted) == len(compendium) - 1
+            snap = svc.storage.snapshot()
+            assert snap["cold"] == len(demoted)
+            assert snap["resident"] == 1
+
+
+class TestStoreCli:
+    def _store(self, setup, tmp_path) -> Path:
+        compendium, _ = setup
+        IndexStore.save(SpellIndex.build(compendium), tmp_path)
+        return tmp_path
+
+    def test_verify_clean_exits_zero(self, setup, tmp_path, capsys):
+        directory = self._store(setup, tmp_path)
+        assert _cli(["verify", str(directory)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["corrupt"] == [] and out["missing"] == []
+        assert len(out["ok"]) == 6
+
+    def test_verify_corrupt_exits_one(self, setup, tmp_path, capsys):
+        directory = self._store(setup, tmp_path)
+        victim = _shard_files(directory)[0]
+        _flip_byte(victim, victim.stat().st_size // 2)
+        assert _cli(["verify", str(directory)]) == 1
+        out = json.loads(capsys.readouterr().out)
+        assert len(out["corrupt"]) == 1
+        assert out["storage"]["corrupt"] == 1
+
+    def test_tiers_demote_promote_verbs(self, setup, tmp_path, capsys):
+        compendium, _ = setup
+        directory = self._store(setup, tmp_path)
+        name = list(compendium)[0].name
+        assert _cli(["demote", str(directory), name]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["moved"] == [name]
+        assert _cli(["tiers", str(directory)]) == 0
+        tiers = json.loads(capsys.readouterr().out)
+        assert tiers[name] == "cold"
+        assert _cli(["promote", str(directory), name]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["moved"] == [name]
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        assert _cli(["verify", str(tmp_path / "nope")]) == 2
+        err = json.loads(capsys.readouterr().err)
+        assert "no index store" in err["error"]
