@@ -62,6 +62,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--store-dir", default=None,
                         help="persistent index directory (mmap cold start; "
                              "with --loops > 1, workers share the store)")
+    parser.add_argument("--store-verify", choices=("eager", "lazy"), default=None,
+                        help="shard integrity policy at store load: eager "
+                             "hashes every shard before serving (quarantine + "
+                             "rebuild on mismatch); lazy keeps the zero-copy "
+                             "mmap cold start and defers to a verify scrub. "
+                             "Default: eager for in-RAM loads, lazy for mmap")
     parser.add_argument("--dtype", choices=("float64", "float32"), default="float64")
     parser.add_argument("--n-workers", type=int, default=4)
     parser.add_argument("--n-procs", type=int, default=1)
@@ -76,12 +82,38 @@ def _parser() -> argparse.ArgumentParser:
                         help="file holding the shared bearer token; when "
                              "set, requests (except /v1/health) must send "
                              "'Authorization: Bearer <token>' or get 401")
+    parser.add_argument("--auth-tokens-file", default=None,
+                        help="multi-credential file, one 'principal:token' "
+                             "per line; each principal gets its own "
+                             "--token-rate-limit quota bucket")
     parser.add_argument("--rate-limit", type=float, default=0.0,
                         help="per-client requests/second (token bucket; 0 "
                              "disables); over-budget clients get 429")
     parser.add_argument("--rate-burst", type=int, default=None)
+    parser.add_argument("--token-rate-limit", type=float, default=0.0,
+                        help="per-authenticated-principal requests/second "
+                             "quota, distinct from the per-peer --rate-limit "
+                             "(0 disables)")
+    parser.add_argument("--token-rate-burst", type=int, default=None)
+    parser.add_argument("--tenant-rate-limit", type=float, default=0.0,
+                        help="per-compendium requests/second budget across "
+                             "all callers (0 disables)")
+    parser.add_argument("--tenant-rate-burst", type=int, default=None)
     parser.add_argument("--max-body-bytes", type=int,
                         default=DEFAULT_MAX_BODY_BYTES)
+    parser.add_argument("--catalog-root", default=None,
+                        help="multi-tenant catalog directory: each tenant "
+                             "compendium lives under <root>/<tenant>/ with "
+                             "its own datasets/ and store/; requests carry "
+                             "the tenant in the 'compendium' field. With "
+                             "--loops > 1 each worker holds its own catalog "
+                             "view: an ingest is visible to its own loop "
+                             "immediately and to sibling loops at their next "
+                             "tenant (re)load")
+    parser.add_argument("--max-resident", type=int, default=4,
+                        help="LRU bound on tenants resident in RAM at once "
+                             "(the default tenant is pinned and not counted "
+                             "against evictions)")
     parser.add_argument("--verbose", action="store_true",
                         help="log drain/teardown events to stderr")
     return parser
@@ -110,19 +142,16 @@ def _print_examples(host: str, port: int, example_query: str | None) -> None:
     print(f"  try: curl http://{host}:{port}/v1/datasets", flush=True)
 
 
-def _serve_single(args: argparse.Namespace, auth_token: str | None) -> int:
+def _serve_single(args: argparse.Namespace, auth_token: str | None,
+                  auth_tokens: dict[str, str]) -> int:
     """One in-process event loop (the --loops 1 path)."""
     from repro.api.app import ApiApp
-    from repro.api.http import _build_service
+    from repro.api.http import _build_catalog, _build_service, _gate_kwargs
 
     service, truth = _build_service(args)
-    gate = RequestGate(
-        auth_token=auth_token,
-        rate_limit=args.rate_limit,
-        rate_burst=args.rate_burst,
-        max_body_bytes=args.max_body_bytes,
-    )
-    app = ApiApp(service, gate=gate)
+    catalog = _build_catalog(args, service)
+    gate = RequestGate(**_gate_kwargs(args, auth_token, auth_tokens))
+    app = ApiApp(service, gate=gate, catalog=catalog)
     server = AioApiServer(
         app,
         host=args.host,
@@ -147,11 +176,14 @@ def _serve_single(args: argparse.Namespace, auth_token: str | None) -> int:
     try:
         asyncio.run(_main())
     finally:
+        if catalog is not None:
+            catalog.close()
         service.close()
     return 0
 
 
-def _serve_group(args: argparse.Namespace, auth_token: str | None) -> int:
+def _serve_group(args: argparse.Namespace, auth_token: str | None,
+                 auth_tokens: dict[str, str]) -> int:
     """N spawned loops sharing the port (the --loops > 1 path)."""
     group = LoopGroup(
         n_loops=args.loops,
@@ -168,11 +200,19 @@ def _serve_group(args: argparse.Namespace, auth_token: str | None) -> int:
             "cache_min_cost": args.cache_min_cost,
             "dtype": args.dtype,
             "store_dir": args.store_dir,
+            "store_verify": args.store_verify,
             "pool_timeout": args.pool_timeout,
             "auth_token": auth_token,
+            "auth_tokens": auth_tokens,
             "rate_limit": args.rate_limit,
             "rate_burst": args.rate_burst,
+            "token_rate_limit": args.token_rate_limit,
+            "token_rate_burst": args.token_rate_burst,
+            "tenant_rate_limit": args.tenant_rate_limit,
+            "tenant_rate_burst": args.tenant_rate_burst,
             "max_body_bytes": args.max_body_bytes,
+            "catalog_root": args.catalog_root,
+            "max_resident": args.max_resident,
         },
         server_options={
             "pipeline_depth": args.pipeline_depth,
@@ -210,10 +250,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.loops < 1:
         parser.error("--loops must be >= 1")
     auth_token = _read_auth_token(parser, args)
+    from repro.api.http import _read_auth_tokens
+
+    try:
+        auth_tokens = _read_auth_tokens(args.auth_tokens_file)
+    except ValueError as exc:
+        parser.error(str(exc))
     try:
         if args.loops == 1:
-            return _serve_single(args, auth_token)
-        return _serve_group(args, auth_token)
+            return _serve_single(args, auth_token, auth_tokens)
+        return _serve_group(args, auth_token, auth_tokens)
     except KeyboardInterrupt:
         return 0
 

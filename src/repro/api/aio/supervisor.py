@@ -81,11 +81,19 @@ def default_app_factory(
     cache_min_cost: int = 0,
     dtype: str = "float64",
     store_dir: str | None = None,
+    store_verify: str | None = None,
     pool_timeout: float = 120.0,
     auth_token: str | None = None,
+    auth_tokens: dict | None = None,
     rate_limit: float = 0.0,
     rate_burst: int | None = None,
+    token_rate_limit: float = 0.0,
+    token_rate_burst: int | None = None,
+    tenant_rate_limit: float = 0.0,
+    tenant_rate_burst: int | None = None,
     max_body_bytes: int | None = None,
+    catalog_root: str | None = None,
+    max_resident: int = 4,
 ):
     """Build the demo :class:`ApiApp` (synthetic compendium) in-process.
 
@@ -117,17 +125,44 @@ def default_app_factory(
         cache_min_cost=cache_min_cost,
         dtype=np.float32 if dtype == "float32" else np.float64,
         store_dir=store_dir,
+        store_verify=store_verify,
         pool_timeout=pool_timeout,
     )
+    catalog = None
+    if catalog_root is not None:
+        # each worker holds its own catalog view over the shared root:
+        # an ingest publishes durably (sources + per-tenant store), is
+        # visible to its own loop immediately, and to sibling loops at
+        # their next tenant (re)load — never a torn state, because the
+        # store publish is manifest-first and the sources are atomic
+        from repro.spell.catalog import CompendiumCatalog
+
+        catalog = CompendiumCatalog(
+            catalog_root,
+            default_service=service,
+            max_resident=max_resident,
+            service_options={
+                "n_workers": n_workers,
+                "cache_size": cache_size,
+                "cache_min_cost": cache_min_cost,
+                "dtype": np.float32 if dtype == "float32" else np.float64,
+                "store_verify": store_verify,
+            },
+        )
     gate = RequestGate(
         auth_token=auth_token,
+        auth_tokens=auth_tokens or {},
         rate_limit=rate_limit,
         rate_burst=rate_burst,
+        token_rate_limit=token_rate_limit,
+        token_rate_burst=token_rate_burst,
+        tenant_rate_limit=tenant_rate_limit,
+        tenant_rate_burst=tenant_rate_burst,
         max_body_bytes=(
             DEFAULT_MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
         ),
     )
-    return ApiApp(service, gate=gate)
+    return ApiApp(service, gate=gate, catalog=catalog)
 
 
 def _worker_main(
@@ -165,6 +200,9 @@ def _worker_main(
     try:
         asyncio.run(_main())
     finally:
+        catalog = getattr(app, "catalog", None)
+        if catalog is not None:
+            catalog.close()
         close = getattr(app.service, "close", None)
         if callable(close):
             close()

@@ -39,6 +39,8 @@ from repro.api.protocol import (
     ExportRequest,
     ExportTrailer,
     HealthResponse,
+    IngestRequest,
+    IngestResponse,
     RenderRequest,
     RenderResponse,
     SearchRequest,
@@ -46,6 +48,7 @@ from repro.api.protocol import (
 )
 from repro.api.routes import ROUTES, all_endpoints, stream_endpoints, unary_endpoints
 from repro.cluster.hierarchical import hierarchical_cluster
+from repro.data.loader import parse_dataset
 from repro.spell.engine import SpellResult
 from repro.spell.service import SpellService
 from repro.util.deadline import Deadline
@@ -54,7 +57,14 @@ from repro.viz.colormap import get_colormap
 from repro.viz.heatmap import render_heatmap_block
 from repro.viz.ppm import encode_ppm
 
-__all__ = ["ApiApp", "ENDPOINTS", "ROUTES", "STREAM_ENDPOINTS", "all_endpoints"]
+__all__ = [
+    "ApiApp",
+    "DEFAULT_TENANT",
+    "ENDPOINTS",
+    "ROUTES",
+    "STREAM_ENDPOINTS",
+    "all_endpoints",
+]
 
 #: endpoint name -> (request type or None, ApiApp method name) — derived
 #: from the declarative registry (:mod:`repro.api.routes`), which is the
@@ -66,6 +76,12 @@ ENDPOINTS: dict[str, tuple[type | None, str]] = unary_endpoints()
 #: JSON body, so they dispatch through :meth:`ApiApp.export` rather than
 #: ``handle_wire`` (whose (status, body) contract cannot stream).
 STREAM_ENDPOINTS: dict[str, type] = stream_endpoints()
+
+#: The tenant a request without a ``compendium`` field is served from —
+#: must agree with :data:`repro.spell.catalog.DEFAULT_TENANT` (asserted
+#: by tests) without importing the catalog here: the app must keep
+#: working for single-tenant deployments that never construct one.
+DEFAULT_TENANT = "default"
 
 
 class _EndpointStats:
@@ -107,15 +123,58 @@ class ApiApp:
     parsing, so every transport inherits the hardening by passing a
     :class:`RequestContext`.  Transports that pass no context (trusted
     in-process callers, tests) bypass the gate.
+
+    ``catalog`` (a :class:`~repro.spell.catalog.CompendiumCatalog`)
+    turns the app multi-tenant: requests carrying a ``compendium``
+    field are served from that tenant's resident service, and a request
+    without one keeps being served from ``service`` — the pinned
+    default tenant — so single-tenant deployments and their wire
+    behavior are untouched.  Without a catalog, only the default
+    tenant exists and any other name is ``UNKNOWN_COMPENDIUM``.
     """
 
-    def __init__(self, service: SpellService, *, gate: RequestGate | None = None) -> None:
+    def __init__(
+        self,
+        service: SpellService,
+        *,
+        gate: RequestGate | None = None,
+        catalog=None,
+    ) -> None:
         self.service = service
         self.gate = gate if gate is not None else RequestGate()
+        self.catalog = catalog
         self._stats = _EndpointStats()
         self._started = time.monotonic()
         self._universe_lock = threading.Lock()
-        self._universe: tuple[int, frozenset[str]] | None = None
+        #: tenant -> (compendium version, gene-id set): the per-tenant
+        #: universe caches invalidate independently, so one tenant's
+        #: ingest never recomputes another tenant's universe
+        self._universe: dict[str, tuple[int, frozenset[str]]] = {}
+
+    # ---------------------------------------------------------- tenant routing
+    def _resolve(self, compendium: str | None):
+        """``(tenant, service)`` for one request's ``compendium`` field."""
+        if self.catalog is not None:
+            return self.catalog.resolve(compendium)
+        if compendium is None or compendium == DEFAULT_TENANT:
+            return DEFAULT_TENANT, self.service
+        raise ApiError(
+            "UNKNOWN_COMPENDIUM",
+            f"no compendium named {compendium!r} (single-tenant serving)",
+            details={"known": [DEFAULT_TENANT]},
+        )
+
+    @staticmethod
+    def _tenant_of(request) -> str | None:
+        """The tenant a parsed request addresses, or ``None`` when the
+        request type has no tenant scope (health).  Nested-search
+        requests (cluster, render) are scoped by their inner search."""
+        if hasattr(request, "compendium"):
+            return request.compendium or DEFAULT_TENANT
+        search = getattr(request, "search", None)
+        if search is not None:
+            return search.compendium or DEFAULT_TENANT
+        return None
 
     # ------------------------------------------------------------- wire layer
     def handle_wire(
@@ -154,6 +213,12 @@ class ApiApp:
             else:
                 try:
                     request = request_cls.from_wire(payload if payload is not None else {})
+                    # the tenant rides in the body, so its rate budget
+                    # can only be charged here, post-parse — admission
+                    # (auth, per-peer, per-token) already ran pre-body
+                    tenant = self._tenant_of(request)
+                    if tenant is not None:
+                        self.gate.charge_tenant(tenant, context)
                 except Exception:
                     # handler never ran, so _timed() never counted this
                     # request — record the parse failure here or /v1/health
@@ -172,18 +237,25 @@ class ApiApp:
             # the budget starts at admission, so validation time counts
             # against the client's deadline_ms too
             budget = Deadline.after_ms(request.deadline_ms)
-            self._check(request)
-            return self.service.respond(request, deadline=budget)
+            tenant, service = self._resolve(request.compendium)
+            self._check(request, service, tenant)
+            return service.respond(request, deadline=budget)
 
     def search_batch(self, request: BatchSearchRequest) -> BatchSearchResponse:
         with self._timed("search/batch"):
             budget = Deadline.after_ms(request.deadline_ms)
+            tenant, service = self._resolve(request.compendium)
             for member in request.searches:
-                self._check(member)
-            return self.service.respond_batch(request, deadline=budget)
+                self._check(member, service, tenant)
+            return service.respond_batch(request, deadline=budget)
 
     def datasets(self, request: DatasetListRequest) -> DatasetListResponse:
         with self._timed("datasets"):
+            tenant, service = self._resolve(request.compendium)
+            # storage tiers exist only where a SpellService owns a store;
+            # router frontends report everything resident (the v1 default)
+            tiers_fn = getattr(service, "dataset_tiers", None)
+            tiers = tiers_fn() if callable(tiers_fn) else {}
             return DatasetListResponse(
                 datasets=tuple(
                     DatasetInfo(
@@ -191,9 +263,54 @@ class ApiApp:
                         n_genes=ds.n_genes,
                         n_conditions=ds.n_conditions,
                         metadata=dict(ds.metadata),
+                        fingerprint=ds.fingerprint,
+                        tier=tiers.get(ds.name, "resident"),
                     )
-                    for ds in self.service.compendium
+                    for ds in service.compendium
                 )
+            )
+
+    def ingest(self, request: IngestRequest) -> IngestResponse:
+        """``POST /v1/ingest``: add one SOFT/PCL dataset to a live tenant.
+
+        The submission is validated in full before any mutation, then
+        published through the eager copy-on-write index sync — a query
+        racing this request sees either the prior or the fully-published
+        compendium fingerprint, never a mix.  Without a catalog the
+        ingest lands in the default service (same ordering guarantees,
+        no on-disk source bookkeeping beyond its own store).
+        """
+        with self._timed("ingest"):
+            with Stopwatch() as sw:
+                if self.catalog is not None:
+                    tenant, service, dataset = self.catalog.ingest(
+                        request.compendium,
+                        request.name,
+                        request.format,
+                        request.content,
+                    )
+                else:
+                    tenant, service = self._resolve(request.compendium)
+                    dataset = parse_dataset(
+                        request.content, request.format, name=request.name
+                    )
+                    if request.name in service.compendium:
+                        raise ApiError(
+                            "DATASET_EXISTS",
+                            f"compendium {tenant!r} already serves a dataset "
+                            f"named {request.name!r}",
+                            details={"compendium": tenant, "dataset": request.name},
+                        )
+                    service.ingest_dataset(dataset)
+            return IngestResponse(
+                compendium=tenant,
+                dataset=dataset.name,
+                n_genes=dataset.n_genes,
+                n_conditions=dataset.n_conditions,
+                fingerprint=dataset.fingerprint,
+                compendium_fingerprint=service.compendium.fingerprint,
+                datasets=len(service.compendium),
+                elapsed_seconds=sw.elapsed,
             )
 
     def cluster(self, request: ClusterRequest) -> ClusterResponse:
@@ -205,10 +322,12 @@ class ApiApp:
         """
         with self._timed("cluster"):
             with Stopwatch() as sw:
-                result = self._full_result(request.search)
+                tenant, service = self._resolve(request.search.compendium)
+                result = self._full_result(request.search, service, tenant)
                 dataset, matrix = self._gene_submatrix(
                     result, request.dataset,
                     self._gene_limit(request.search, request.top_genes),
+                    service,
                 )
                 if matrix.n_genes < 2:
                     raise ApiError(
@@ -239,10 +358,12 @@ class ApiApp:
         """Render the top genes of a search result as a PPM heatmap."""
         with self._timed("render/heatmap"):
             with Stopwatch() as sw:
-                result = self._full_result(request.search)
+                tenant, service = self._resolve(request.search.compendium)
+                result = self._full_result(request.search, service, tenant)
                 dataset, matrix = self._gene_submatrix(
                     result, request.dataset,
                     self._gene_limit(request.search, request.top_genes),
+                    service,
                 )
                 if matrix.n_genes < 1:
                     raise ApiError(
@@ -287,6 +408,9 @@ class ApiApp:
         try:
             self.gate.admit("render/heatmap", context)
             request = RenderRequest.from_wire(payload if payload is not None else {})
+            tenant = self._tenant_of(request)
+            if tenant is not None:
+                self.gate.charge_tenant(tenant, context)
         except Exception:
             self._stats.record("render/heatmap", 0.0, error=True)
             raise
@@ -312,9 +436,11 @@ class ApiApp:
         try:
             self.gate.admit(endpoint, context)
             request = ExportRequest.from_wire(payload if payload is not None else {})
+            tenant, service = self._resolve(request.compendium)
+            self.gate.charge_tenant(tenant, context)
             budget = Deadline.after_ms(request.deadline_ms)
-            self._check(request)
-            cursor = self.service.iter_result(request, deadline=budget)
+            self._check(request, service, tenant)
+            cursor = service.iter_result(request, deadline=budget)
         except BaseException:
             self._stats.record(endpoint, sw.stop(), error=True)
             raise
@@ -381,6 +507,7 @@ class ApiApp:
             # storage tiers exist only where a SpellService owns a store;
             # router frontends answer the v1 default ({})
             storage_stats = getattr(service, "storage_stats", None)
+            tenants = self.catalog.stats() if self.catalog is not None else {}
             return HealthResponse(
                 status="ok",
                 uptime_seconds=time.monotonic() - self._started,
@@ -394,6 +521,7 @@ class ApiApp:
                 limits=self.gate.stats(),
                 shards=shard_stats() if callable(shard_stats) else {},
                 storage=storage_stats() if callable(storage_stats) else {},
+                tenants=tenants,
             )
 
     def endpoint_stats(self) -> dict[str, dict[str, float]]:
@@ -424,18 +552,27 @@ class ApiApp:
         else:
             self._stats.record(endpoint, sw.stop(), error=False)
 
-    def _gene_universe(self) -> frozenset[str]:
-        """Known gene ids, cached against the compendium's version token."""
-        version = self.service.compendium.version
+    def _gene_universe(
+        self, service: SpellService | None = None, tenant: str = DEFAULT_TENANT
+    ) -> frozenset[str]:
+        """Known gene ids, cached per tenant against its version token."""
+        service = self.service if service is None else service
+        version = service.compendium.version
         with self._universe_lock:
-            if self._universe is not None and self._universe[0] == version:
-                return self._universe[1]
-        universe = frozenset(self.service.compendium.gene_universe())
+            cached = self._universe.get(tenant)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+        universe = frozenset(service.compendium.gene_universe())
         with self._universe_lock:
-            self._universe = (version, universe)
+            self._universe[tenant] = (version, universe)
         return universe
 
-    def _check(self, request: SearchRequest) -> None:
+    def _check(
+        self,
+        request: SearchRequest,
+        service: SpellService | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
         """Raise precise codes for unknown genes / datasets before searching.
 
         Gene existence is judged against the searched scope: the whole
@@ -443,7 +580,8 @@ class ApiApp:
         datasets, so "no query gene exists" is always ``UNKNOWN_GENE``
         regardless of whether a filter narrowed the search.
         """
-        compendium = self.service.compendium
+        service = self.service if service is None else service
+        compendium = service.compendium
         if request.datasets is not None:
             known = set(compendium.names)
             unknown = sorted(set(request.datasets) - known)
@@ -459,7 +597,7 @@ class ApiApp:
             ]
             scope = "the filtered datasets"
         else:
-            universe = self._gene_universe()
+            universe = self._gene_universe(service, tenant)
             unknown_genes = [g for g in request.genes if g not in universe]
             scope = "the compendium"
         if len(unknown_genes) == len(request.genes):
@@ -469,10 +607,16 @@ class ApiApp:
                 details={"unknown_genes": unknown_genes},
             )
 
-    def _full_result(self, request: SearchRequest) -> SpellResult:
+    def _full_result(
+        self,
+        request: SearchRequest,
+        service: SpellService | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> SpellResult:
         """Full (un-truncated) search result for cluster/render endpoints."""
-        self._check(request)
-        return self.service.search(
+        service = self.service if service is None else service
+        self._check(request, service, tenant)
+        return service.search(
             request.genes, use_cache=request.use_cache, datasets=request.datasets
         )
 
@@ -484,9 +628,16 @@ class ApiApp:
             return top_genes
         return min(top_genes, search.top_k)
 
-    def _gene_submatrix(self, result: SpellResult, dataset: str | None, top_genes: int):
+    def _gene_submatrix(
+        self,
+        result: SpellResult,
+        dataset: str | None,
+        top_genes: int,
+        service: SpellService | None = None,
+    ):
         """Expression submatrix of the result's top genes in one dataset."""
-        compendium = self.service.compendium
+        service = self.service if service is None else service
+        compendium = service.compendium
         if dataset is None:
             if not result.datasets:
                 raise ApiError("INVALID_REQUEST", "search returned no datasets")

@@ -57,7 +57,9 @@ ERROR_STATUS: dict[str, int] = {
     "UNKNOWN_GENE": 404,  # no query gene exists in the compendium
     "UNKNOWN_DATASET": 404,  # a dataset filter names no known dataset
     "UNKNOWN_ENDPOINT": 404,  # no such route
+    "UNKNOWN_COMPENDIUM": 404,  # the named tenant compendium does not exist
     "METHOD_NOT_ALLOWED": 405,  # known route, wrong HTTP verb
+    "DATASET_EXISTS": 409,  # ingest would overwrite an existing dataset
     "UNAUTHORIZED": 401,  # missing/invalid bearer token (auth enabled)
     "RATE_LIMITED": 429,  # client key exceeded its token bucket
     "BODY_TOO_LARGE": 413,  # declared/observed body over the cap
@@ -80,7 +82,17 @@ ERROR_DESCRIPTIONS: dict[str, str] = {
     "UNKNOWN_GENE": "No query gene exists in the searched scope.",
     "UNKNOWN_DATASET": "A dataset filter names a dataset the server does not hold.",
     "UNKNOWN_ENDPOINT": "No such route.",
+    "UNKNOWN_COMPENDIUM": (
+        "The request's compendium field names a tenant the catalog does not "
+        "hold (details carries the known tenant names).  Requests omitting "
+        "the field are served from the default compendium."
+    ),
     "METHOD_NOT_ALLOWED": "Known route, wrong HTTP verb.",
+    "DATASET_EXISTS": (
+        "An ingest named a dataset the target compendium already serves.  "
+        "Ingestion is append-only within a tenant; pick a new name.  The "
+        "store is untouched."
+    ),
     "UNAUTHORIZED": "Missing or invalid bearer token while auth is enabled.",
     "RATE_LIMITED": "The client key exceeded its token bucket; retry_after_ms rides in details.",
     "BODY_TOO_LARGE": "The declared or observed request body exceeds the cap.",

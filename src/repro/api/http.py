@@ -467,6 +467,76 @@ def _build_service(args: argparse.Namespace):
     return service, truth
 
 
+def _build_catalog(args: argparse.Namespace, service):
+    """The multi-tenant catalog when ``--catalog-root`` asks for one.
+
+    The CLI-built service stays the pinned default tenant, so a fleet
+    deployment answers default-tenant requests bit-identically to the
+    single-tenant CLI it replaces.  Tenant services inherit the serving
+    knobs but never a process pool — per-tenant pools would multiply
+    worker processes by resident tenants.
+    """
+    if getattr(args, "catalog_root", None) is None:
+        return None
+    import numpy as np
+
+    from repro.spell.catalog import CompendiumCatalog
+
+    return CompendiumCatalog(
+        args.catalog_root,
+        default_service=service,
+        max_resident=getattr(args, "max_resident", 4),
+        service_options={
+            "n_workers": args.n_workers,
+            "cache_size": args.cache_size,
+            "cache_min_cost": args.cache_min_cost,
+            "dtype": np.float32 if args.dtype == "float32" else np.float64,
+            "store_verify": getattr(args, "store_verify", None),
+        },
+    )
+
+
+def _read_auth_tokens(path: str | None) -> dict[str, str]:
+    """Parse a ``principal:token`` per-line credentials file.
+
+    Returns token -> principal (the shape :class:`RequestGate` keys its
+    per-token quota buckets on).  Blank lines and ``#`` comments are
+    skipped.
+    """
+    if path is None:
+        return {}
+    tokens: dict[str, str] = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            principal, sep, token = line.partition(":")
+            if not sep or not principal.strip() or not token.strip():
+                raise ValueError(
+                    f"{path}:{lineno}: want 'principal:token', got {line!r}"
+                )
+            tokens[token.strip()] = principal.strip()
+    return tokens
+
+
+def _gate_kwargs(args: argparse.Namespace, auth_token: str | None,
+                 auth_tokens: dict[str, str] | None = None) -> dict:
+    """One gate-construction recipe both CLI facades share — the flag
+    set and the policy it produces can never drift between them."""
+    return {
+        "auth_token": auth_token,
+        "auth_tokens": auth_tokens or {},
+        "rate_limit": args.rate_limit,
+        "rate_burst": args.rate_burst,
+        "token_rate_limit": getattr(args, "token_rate_limit", 0.0),
+        "token_rate_burst": getattr(args, "token_rate_burst", None),
+        "tenant_rate_limit": getattr(args, "tenant_rate_limit", 0.0),
+        "tenant_rate_burst": getattr(args, "tenant_rate_burst", None),
+        "max_body_bytes": args.max_body_bytes,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.api.http",
@@ -504,6 +574,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="file holding the shared bearer token; when "
                              "set, requests (except /v1/health) must send "
                              "'Authorization: Bearer <token>' or get 401")
+    parser.add_argument("--auth-tokens-file", default=None,
+                        help="multi-credential file, one 'principal:token' "
+                             "per line; each principal gets its own "
+                             "--token-rate-limit quota bucket")
     parser.add_argument("--rate-limit", type=float, default=0.0,
                         help="per-client request budget in requests/second "
                              "(token bucket; 0 disables). Over-budget "
@@ -512,11 +586,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rate-burst", type=int, default=None,
                         help="token-bucket burst size (default: "
                              "ceil(rate-limit))")
+    parser.add_argument("--token-rate-limit", type=float, default=0.0,
+                        help="per-authenticated-principal requests/second "
+                             "quota, distinct from the per-peer --rate-limit "
+                             "(0 disables)")
+    parser.add_argument("--token-rate-burst", type=int, default=None)
+    parser.add_argument("--tenant-rate-limit", type=float, default=0.0,
+                        help="per-compendium requests/second budget across "
+                             "all callers (0 disables)")
+    parser.add_argument("--tenant-rate-burst", type=int, default=None)
     parser.add_argument("--max-body-bytes", type=int,
                         default=DEFAULT_MAX_BODY_BYTES,
                         help="largest accepted request body; bigger "
                              "declared bodies get 413 BODY_TOO_LARGE "
                              "before any byte is read")
+    parser.add_argument("--catalog-root", default=None,
+                        help="multi-tenant catalog directory: each tenant "
+                             "compendium lives under <root>/<tenant>/ with "
+                             "its own datasets/ and store/; requests carry "
+                             "the tenant in the 'compendium' field")
+    parser.add_argument("--max-resident", type=int, default=4,
+                        help="LRU bound on tenants resident in RAM at once "
+                             "(the default tenant is pinned and not counted "
+                             "against evictions)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
     args = parser.parse_args(argv)
@@ -527,15 +619,15 @@ def main(argv: list[str] | None = None) -> int:
             auth_token = fh.read().strip()
         if not auth_token:
             parser.error(f"auth token file {args.auth_token_file!r} is empty")
+    try:
+        auth_tokens = _read_auth_tokens(args.auth_tokens_file)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     service, truth = _build_service(args)
-    gate = RequestGate(
-        auth_token=auth_token,
-        rate_limit=args.rate_limit,
-        rate_burst=args.rate_burst,
-        max_body_bytes=args.max_body_bytes,
-    )
-    app = ApiApp(service, gate=gate)
+    catalog = _build_catalog(args, service)
+    gate = RequestGate(**_gate_kwargs(args, auth_token, auth_tokens))
+    app = ApiApp(service, gate=gate, catalog=catalog)
     server = serve(app, host=args.host, port=args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     example = json.dumps({"genes": list(truth.query_genes), "page_size": 10})
@@ -562,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
         pass
     finally:
         server.close()
+        if catalog is not None:
+            catalog.close()
         service.close()
     return 0
 

@@ -33,6 +33,22 @@ work, and a transport only has to describe the request in a
   declared size *before* reading (HTTP ``Content-Length``) must check
   via :meth:`RequestGate.check_body` pre-read — rejecting after
   allocation defends nothing.
+* **Per-token quotas** — with ``auth_tokens`` (token -> principal name)
+  the gate recognizes *many* credentials, and ``token_rate_limit``
+  gives each authenticated principal its own bucket, **distinct from**
+  the per-peer buckets above: the peer bucket throttles a network
+  endpoint, the token bucket throttles an identity no matter how many
+  addresses it connects from.  Both run inside ``admit`` (the token
+  rides in the headers, so admission sees it pre-body).
+* **Per-tenant budgets** — ``tenant_rate_limit`` bounds how fast any
+  one *compendium* may be queried, across all callers.  The tenant
+  name rides in the request body, which transports admit before
+  reading — so this charge happens post-parse via
+  :meth:`RequestGate.charge_tenant`, called by ``ApiApp`` once the
+  request's tenant is known.  All three limiter failures answer the
+  same stable ``RATE_LIMITED`` code with ``retry_after_ms`` (a
+  ``scope`` detail says which budget ran dry), so every transport's
+  existing ``Retry-After`` derivation keeps working unchanged.
 
 ``/v1/health`` stays exempt from auth and rate limiting by default:
 liveness probes must not flap when a deploy rotates tokens or a probe
@@ -48,6 +64,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.api.errors import ApiError
 
@@ -168,11 +185,24 @@ class RequestGate:
         self,
         *,
         auth_token: str | None = None,
+        auth_tokens: Mapping[str, str] | None = None,
         rate_limit: float = 0.0,
         rate_burst: int | None = None,
+        token_rate_limit: float = 0.0,
+        token_rate_burst: int | None = None,
+        tenant_rate_limit: float = 0.0,
+        tenant_rate_burst: int | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         exempt: tuple[str, ...] = DEFAULT_EXEMPT,
     ) -> None:
+        # one credential map: the legacy single token becomes principal
+        # "default", so every downstream consumer (quota key, stats)
+        # sees exactly one shape
+        self._principals: dict[str, str] = {
+            str(tok): str(name) for tok, name in (auth_tokens or {}).items() if tok
+        }
+        if auth_token:
+            self._principals.setdefault(str(auth_token), "default")
         self.auth_token = auth_token if auth_token else None
         self.max_body_bytes = int(max_body_bytes)
         if self.max_body_bytes < 1:
@@ -183,11 +213,29 @@ class RequestGate:
         self._limiter = (
             RateLimiter(self.rate_limit, rate_burst) if self.rate_limit > 0 else None
         )
+        self.token_rate_limit = max(0.0, float(token_rate_limit))
+        self._token_limiter = (
+            RateLimiter(self.token_rate_limit, token_rate_burst)
+            if self.token_rate_limit > 0
+            else None
+        )
+        self.tenant_rate_limit = max(0.0, float(tenant_rate_limit))
+        self._tenant_limiter = (
+            RateLimiter(self.tenant_rate_limit, tenant_rate_burst)
+            if self.tenant_rate_limit > 0
+            else None
+        )
         self.exempt = frozenset(exempt)
         self._lock = threading.Lock()
         self.unauthorized = 0
         self.rate_limited = 0
+        self.token_limited = 0
+        self.tenant_limited = 0
         self.body_rejected = 0
+
+    @property
+    def auth_required(self) -> bool:
+        return bool(self._principals)
 
     # --------------------------------------------------------------- checks
     def check_body(self, body_bytes: int | None) -> None:
@@ -206,13 +254,24 @@ class RequestGate:
                 },
             )
 
-    def _check_auth(self, context: RequestContext) -> None:
-        if self.auth_token is None:
-            return
+    def _check_auth(self, context: RequestContext) -> str | None:
+        """Validate the bearer token; returns the principal name.
+
+        ``None`` means auth is disabled.  Every configured credential is
+        compared with :func:`hmac.compare_digest` and the scan never
+        short-circuits, so the comparison leaks neither a prefix nor
+        *which* token matched.
+        """
+        if not self._principals:
+            return None
         presented = context.auth_token
-        if presented is None or not hmac.compare_digest(
-            presented.encode("utf-8"), self.auth_token.encode("utf-8")
-        ):
+        principal = None
+        if presented is not None:
+            raw = presented.encode("utf-8")
+            for token, name in self._principals.items():
+                if hmac.compare_digest(raw, token.encode("utf-8")):
+                    principal = name
+        if principal is None:
             with self._lock:
                 self.unauthorized += 1
             raise ApiError(
@@ -222,6 +281,7 @@ class RequestGate:
                 else "invalid bearer token",
                 details={"scheme": "Bearer"},
             )
+        return principal
 
     def _rate_key(self, context: RequestContext) -> str:
         """The bucket key for one request.
@@ -233,7 +293,7 @@ class RequestGate:
         transport-assigned ``client`` (peer address): a spoofable key
         would hand every request a fresh bucket and void the limit.
         """
-        if self.auth_token is not None and context.declared_client:
+        if self._principals and context.declared_client:
             return str(context.declared_client)
         return str(context.client)
 
@@ -257,20 +317,79 @@ class RequestGate:
                 },
             )
 
+    def _check_token_quota(self, principal: str | None) -> None:
+        """Spend one token from the authenticated principal's quota.
+
+        Distinct from the per-peer buckets: this keys on *who* the
+        caller is (the credential's principal), not where they connect
+        from, so a tenant cannot multiply its quota by fanning out over
+        addresses.  Only meaningful once auth identified a principal.
+        """
+        if self._token_limiter is None or principal is None:
+            return
+        wait = self._token_limiter.check(f"token:{principal}")
+        if wait > 0.0:
+            with self._lock:
+                self.token_limited += 1
+            retry_after_ms = max(1, int(math.ceil(wait * 1000.0)))
+            raise ApiError(
+                "RATE_LIMITED",
+                f"token {principal!r} exceeded its "
+                f"{self.token_rate_limit:g} requests/second quota; retry in "
+                f"{retry_after_ms} ms",
+                details={
+                    "retry_after_ms": retry_after_ms,
+                    "rate_limit_per_second": self.token_rate_limit,
+                    "scope": "token",
+                    "principal": principal,
+                },
+            )
+
+    def charge_tenant(self, tenant: str, context: RequestContext | None) -> None:
+        """Spend one token from a tenant compendium's rate budget.
+
+        The tenant name rides in the request *body*, which transports
+        admit before reading — so this runs post-parse, called by
+        ``ApiApp`` once the request's tenant is resolved.  In-process
+        callers (``context is None``) bypass it like every other check:
+        admission control is a transport boundary concern.
+        """
+        if self._tenant_limiter is None or context is None:
+            return
+        wait = self._tenant_limiter.check(f"tenant:{tenant}")
+        if wait > 0.0:
+            with self._lock:
+                self.tenant_limited += 1
+            retry_after_ms = max(1, int(math.ceil(wait * 1000.0)))
+            raise ApiError(
+                "RATE_LIMITED",
+                f"compendium {tenant!r} exceeded its "
+                f"{self.tenant_rate_limit:g} requests/second budget; retry in "
+                f"{retry_after_ms} ms",
+                details={
+                    "retry_after_ms": retry_after_ms,
+                    "rate_limit_per_second": self.tenant_rate_limit,
+                    "scope": "tenant",
+                    "compendium": tenant,
+                },
+            )
+
     def admit(self, endpoint: str, context: RequestContext | None) -> None:
         """Run every check for one request; raises on the first failure.
 
         Order: auth (an unauthenticated flood must not drain a tenant's
-        bucket), then rate limit, then the body cap.  ``health`` (and
-        any other ``exempt`` endpoint) skips auth + rate limiting but
-        still honors the body cap.  A context marked ``admitted`` was
-        already gated by its transport (pre-body-read) and passes
-        through — no double-spent tokens, no double-counted rejections.
+        bucket), then the authenticated principal's quota, then the
+        per-peer rate limit, then the body cap.  ``health`` (and any
+        other ``exempt`` endpoint) skips auth + rate limiting but still
+        honors the body cap.  A context marked ``admitted`` was already
+        gated by its transport (pre-body-read) and passes through — no
+        double-spent tokens, no double-counted rejections.
         """
         if context is None or context.admitted:
             return
         if endpoint not in self.exempt:
-            self._check_auth(context)
+            principal = self._check_auth(context)
+            self._check_token_quota(principal)
             self._check_rate(context)
         self.check_body(context.body_bytes)
 
@@ -279,10 +398,15 @@ class RequestGate:
         """Counters + configuration for the health payload."""
         with self._lock:
             return {
-                "auth_required": self.auth_token is not None,
+                "auth_required": bool(self._principals),
+                "auth_principals": len(self._principals),
                 "rate_limit_per_second": self.rate_limit,
+                "token_rate_limit_per_second": self.token_rate_limit,
+                "tenant_rate_limit_per_second": self.tenant_rate_limit,
                 "max_body_bytes": self.max_body_bytes,
                 "unauthorized": self.unauthorized,
                 "rate_limited": self.rate_limited,
+                "token_limited": self.token_limited,
+                "tenant_limited": self.tenant_limited,
                 "body_rejected": self.body_rejected,
             }

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import base64
 import math
+import re
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Mapping
 
@@ -47,6 +48,8 @@ __all__ = [
     "ClusterRequest",
     "RenderRequest",
     "ExportRequest",
+    "IngestRequest",
+    "IngestResponse",
     "SearchResponse",
     "BatchSearchResponse",
     "DatasetInfo",
@@ -149,6 +152,36 @@ def _optional_deadline_ms(value) -> int | None:
     return None if value is None else _int_field(value, "deadline_ms", minimum=1)
 
 
+#: Tenant (compendium) names double as store-directory names, so the
+#: grammar is filesystem-safe by construction: leading alphanumeric,
+#: then up to 63 more of ``[A-Za-z0-9._-]`` — no separators, no
+#: traversal, no hidden files.
+_COMPENDIUM_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Ingested dataset names become source-file basenames under the
+#: tenant's directory; same grammar, slightly longer budget.
+_DATASET_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def _optional_compendium(value) -> str | None:
+    """Shared ``compendium`` validation (None = the default tenant).
+
+    Every tenant-scoped request runs this one definition, so what
+    counts as a routable tenant name can never drift between endpoints
+    — and a hostile name can never reach the filesystem layer.
+    """
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise _invalid(f"compendium must be a string or null, got {type(value).__name__}")
+    if not _COMPENDIUM_RE.fullmatch(value):
+        raise _invalid(
+            f"compendium {value!r} is not a valid tenant name (want "
+            "leading alphanumeric, then [A-Za-z0-9._-], max 64 chars)"
+        )
+    return value
+
+
 def _datasets_filter(value) -> tuple[str, ...] | None:
     """Shared ``datasets`` filter validation (None = whole compendium)."""
     if value is None:
@@ -193,6 +226,10 @@ class SearchRequest:
     v1 addition) bounds how long the server may spend answering — past
     it the request fails with ``DEADLINE_EXCEEDED`` rather than
     blocking; ``None`` keeps the server's fixed timeouts.
+    ``compendium`` (append-only v1 addition) names the tenant
+    compendium to search; ``None`` keeps today's behavior exactly (the
+    default compendium), so pre-tenant clients parse and are answered
+    unchanged.
     """
 
     genes: tuple[str, ...]
@@ -203,6 +240,7 @@ class SearchRequest:
     datasets: tuple[str, ...] | None = None
     use_cache: bool = True
     deadline_ms: int | None = None
+    compendium: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "genes", _query_genes(self.genes))
@@ -214,6 +252,9 @@ class SearchRequest:
         _bool_field(self.use_cache, "use_cache")
         object.__setattr__(
             self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
+        )
+        object.__setattr__(
+            self, "compendium", _optional_compendium(self.compendium)
         )
 
     def to_wire(self) -> dict:
@@ -227,6 +268,7 @@ class SearchRequest:
             "datasets": None if self.datasets is None else list(self.datasets),
             "use_cache": self.use_cache,
             "deadline_ms": self.deadline_ms,
+            "compendium": self.compendium,
         }
 
     @classmethod
@@ -244,6 +286,7 @@ class SearchRequest:
             datasets=None if datasets is None else _str_tuple(datasets, "datasets"),
             use_cache=data.get("use_cache", True),
             deadline_ms=data.get("deadline_ms"),
+            compendium=data.get("compendium"),
         )
 
 
@@ -256,11 +299,18 @@ class BatchSearchRequest:
 
     ``deadline_ms`` bounds the *whole batch*; a member search's own
     ``deadline_ms`` can only tighten it further.
+
+    ``compendium`` (append-only v1 addition) scopes the whole batch to
+    one tenant.  A member search may repeat the same tenant (or omit
+    it), but a batch is never allowed to straddle tenants — mixing
+    scopes in one all-or-nothing unit would make its failure semantics
+    ambiguous.
     """
 
     searches: tuple[SearchRequest, ...]
     scheduler: str = "map"
     deadline_ms: int | None = None
+    compendium: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "searches", tuple(self.searches))
@@ -274,6 +324,15 @@ class BatchSearchRequest:
         object.__setattr__(
             self, "deadline_ms", _optional_deadline_ms(self.deadline_ms)
         )
+        object.__setattr__(
+            self, "compendium", _optional_compendium(self.compendium)
+        )
+        for req in self.searches:
+            if req.compendium is not None and req.compendium != self.compendium:
+                raise _invalid(
+                    "batch members must not name a different compendium than "
+                    f"the batch ({req.compendium!r} vs {self.compendium!r})"
+                )
 
     def to_wire(self) -> dict:
         return {
@@ -281,6 +340,7 @@ class BatchSearchRequest:
             "searches": [req.to_wire() for req in self.searches],
             "scheduler": self.scheduler,
             "deadline_ms": self.deadline_ms,
+            "compendium": self.compendium,
         }
 
     @classmethod
@@ -293,20 +353,37 @@ class BatchSearchRequest:
             searches=tuple(SearchRequest.from_wire(item) for item in raw),
             scheduler=data.get("scheduler", "map"),
             deadline_ms=data.get("deadline_ms"),
+            compendium=data.get("compendium"),
         )
 
 
 @dataclass(frozen=True)
 class DatasetListRequest:
-    """List the datasets currently served (name, shape, metadata)."""
+    """List the datasets currently served (name, shape, metadata).
+
+    ``compendium`` (append-only v1 addition) lists a named tenant's
+    datasets; ``None`` keeps listing the default compendium, exactly as
+    before.
+    """
+
+    compendium: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "compendium", _optional_compendium(self.compendium)
+        )
 
     def to_wire(self) -> dict:
-        return {"api_version": API_VERSION}
+        return {"api_version": API_VERSION, "compendium": self.compendium}
 
     @classmethod
     def from_wire(cls, payload) -> "DatasetListRequest":
-        _check_payload(payload if payload is not None else {}, frozenset(), "dataset-list request")
-        return cls()
+        data = _check_payload(
+            payload if payload is not None else {},
+            _allowed_fields(cls),
+            "dataset-list request",
+        )
+        return cls(compendium=data.get("compendium"))
 
 
 @dataclass(frozen=True)
@@ -449,6 +526,9 @@ class ExportRequest:
     of the same request.  It must be a multiple of ``chunk_size`` —
     resumption is by chunk, never mid-chunk, so a client retries from
     the offset after the last chunk it fully received.
+
+    ``compendium`` (append-only v1 addition) exports from the named
+    tenant's compendium; ``None`` exports from the default one.
     """
 
     genes: tuple[str, ...]
@@ -459,6 +539,7 @@ class ExportRequest:
     use_cache: bool = True
     deadline_ms: int | None = None
     resume_offset: int = 0
+    compendium: str | None = None
 
     def __post_init__(self) -> None:
         # identical field discipline to SearchRequest (shared helpers):
@@ -480,6 +561,9 @@ class ExportRequest:
                 f"(chunk_size {self.chunk_size}) — resume from the offset "
                 "after the last fully-received chunk"
             )
+        object.__setattr__(
+            self, "compendium", _optional_compendium(self.compendium)
+        )
 
     def to_wire(self) -> dict:
         return {
@@ -492,6 +576,7 @@ class ExportRequest:
             "use_cache": self.use_cache,
             "deadline_ms": self.deadline_ms,
             "resume_offset": self.resume_offset,
+            "compendium": self.compendium,
         }
 
     @classmethod
@@ -509,6 +594,70 @@ class ExportRequest:
             use_cache=data.get("use_cache", True),
             deadline_ms=data.get("deadline_ms"),
             resume_offset=data.get("resume_offset", 0),
+            compendium=data.get("compendium"),
+        )
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """Add one SOFT/PCL dataset to a tenant's live compendium.
+
+    ``content`` is the complete source text (a GEO series-matrix SOFT
+    file or a PCL table) and is validated *in full* before any store
+    mutation — a malformed submission is a structured 4xx and the
+    tenant's store is untouched.  ``name`` is the dataset's identity
+    within the compendium (append-only: a duplicate is
+    ``DATASET_EXISTS``, never an overwrite).  ``compendium=None``
+    ingests into the default tenant.
+
+    Publication is copy-on-write end to end: the index syncs through
+    ``IndexStore.sync``'s incremental manifest-first path, so queries
+    racing an ingest see either the prior or the fully-published
+    compendium fingerprint — never a mix.
+    """
+
+    name: str
+    format: str
+    content: str
+    compendium: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _DATASET_NAME_RE.fullmatch(self.name):
+            raise _invalid(
+                f"name {self.name!r} is not a valid dataset name (want "
+                "leading alphanumeric, then [A-Za-z0-9._-], max 128 chars)"
+            )
+        if self.format not in ("soft", "pcl"):
+            raise _invalid(
+                f"format must be 'soft' or 'pcl', got {self.format!r}",
+                choices=["pcl", "soft"],
+            )
+        if not isinstance(self.content, str) or not self.content:
+            raise _invalid("content must be a non-empty string")
+        object.__setattr__(
+            self, "compendium", _optional_compendium(self.compendium)
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "name": self.name,
+            "format": self.format,
+            "content": self.content,
+            "compendium": self.compendium,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "IngestRequest":
+        data = _check_payload(payload, _allowed_fields(cls), "ingest request")
+        for required in ("name", "format", "content"):
+            if required not in data:
+                raise _invalid(f"ingest request needs a {required!r} field")
+        return cls(
+            name=data["name"],
+            format=str(data["format"]),
+            content=data["content"],
+            compendium=data.get("compendium"),
         )
 
 
@@ -853,12 +1002,22 @@ class ExportTrailer:
 
 @dataclass(frozen=True)
 class DatasetInfo:
-    """Shape + metadata for one served dataset."""
+    """Shape + metadata for one served dataset.
+
+    ``fingerprint`` / ``tier`` are append-only v1 additions:
+    ``fingerprint`` is the dataset's durable content hash (stable across
+    processes and restarts — the ingest path diffs catalogs on it) and
+    ``tier`` is where the persistent store holds the shard
+    (``"resident"`` mmap-served or ``"cold"`` compressed archive;
+    in-memory-only serving reports ``"resident"``).
+    """
 
     name: str
     n_genes: int
     n_conditions: int
     metadata: dict = field(default_factory=dict)
+    fingerprint: str = ""
+    tier: str = "resident"
 
     def to_wire(self) -> dict:
         return {
@@ -866,6 +1025,8 @@ class DatasetInfo:
             "n_genes": self.n_genes,
             "n_conditions": self.n_conditions,
             "metadata": dict(self.metadata),
+            "fingerprint": self.fingerprint,
+            "tier": self.tier,
         }
 
     @classmethod
@@ -880,6 +1041,8 @@ class DatasetInfo:
             n_genes=_int_field(payload.get("n_genes", 0), "n_genes", minimum=0),
             n_conditions=_int_field(payload.get("n_conditions", 0), "n_conditions", minimum=0),
             metadata=dict(meta),
+            fingerprint=str(payload.get("fingerprint", "")),
+            tier=str(payload.get("tier", "resident")),
         )
 
 
@@ -900,6 +1063,58 @@ class DatasetListResponse:
         if not isinstance(raw, list):
             raise _invalid("dataset-list response needs a 'datasets' list")
         return cls(datasets=tuple(DatasetInfo.from_wire(item) for item in raw))
+
+
+@dataclass(frozen=True)
+class IngestResponse:
+    """Acknowledgement of one published ingest.
+
+    ``fingerprint`` is the ingested dataset's durable content hash;
+    ``compendium_fingerprint`` is the tenant compendium's hash *after*
+    publication — the token the concurrency invariant is stated in
+    (racing queries observe either the prior or exactly this value).
+    ``datasets`` counts the tenant's datasets after the ingest.
+    """
+
+    compendium: str
+    dataset: str
+    n_genes: int
+    n_conditions: int
+    fingerprint: str
+    compendium_fingerprint: str
+    datasets: int
+    elapsed_seconds: float
+
+    def to_wire(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "compendium": self.compendium,
+            "dataset": self.dataset,
+            "n_genes": self.n_genes,
+            "n_conditions": self.n_conditions,
+            "fingerprint": self.fingerprint,
+            "compendium_fingerprint": self.compendium_fingerprint,
+            "datasets": self.datasets,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "IngestResponse":
+        data = _check_payload(payload, _allowed_fields(cls), "ingest response")
+        return cls(
+            compendium=str(data.get("compendium", "")),
+            dataset=str(data.get("dataset", "")),
+            n_genes=_int_field(data.get("n_genes", 0), "n_genes", minimum=0),
+            n_conditions=_int_field(
+                data.get("n_conditions", 0), "n_conditions", minimum=0
+            ),
+            fingerprint=str(data.get("fingerprint", "")),
+            compendium_fingerprint=str(data.get("compendium_fingerprint", "")),
+            datasets=_int_field(data.get("datasets", 0), "datasets", minimum=0),
+            elapsed_seconds=_number_field(
+                data.get("elapsed_seconds", 0.0), "elapsed_seconds"
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -1013,6 +1228,7 @@ class HealthResponse:
     limits: dict = field(default_factory=dict)  # gate config + rejection counters
     shards: dict = field(default_factory=dict)  # sharded serving: per-node liveness + routing
     storage: dict = field(default_factory=dict)  # store tiers: resident/cold/promotions/quarantined
+    tenants: dict = field(default_factory=dict)  # multi-tenant catalog: per-tenant rollup
 
     def to_wire(self) -> dict:
         return {
@@ -1029,6 +1245,7 @@ class HealthResponse:
             "limits": dict(self.limits),
             "shards": dict(self.shards),
             "storage": dict(self.storage),
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
         }
 
     @classmethod
@@ -1040,6 +1257,7 @@ class HealthResponse:
         limits = data.get("limits", {})
         shards = data.get("shards", {})
         storage = data.get("storage", {})
+        tenants = data.get("tenants", {})
         if not isinstance(cache, Mapping) or not isinstance(endpoints, Mapping):
             raise _invalid("health cache/endpoints must be objects")
         if not isinstance(serving, Mapping):
@@ -1050,6 +1268,8 @@ class HealthResponse:
             raise _invalid("health shards must be an object")
         if not isinstance(storage, Mapping):
             raise _invalid("health storage must be an object")
+        if not isinstance(tenants, Mapping):
+            raise _invalid("health tenants must be an object")
         return cls(
             status=str(data.get("status", "")),
             uptime_seconds=_number_field(data.get("uptime_seconds", 0.0), "uptime_seconds"),
@@ -1063,4 +1283,5 @@ class HealthResponse:
             limits=dict(limits),
             shards=dict(shards),
             storage=dict(storage),
+            tenants={str(k): dict(v) for k, v in tenants.items()},
         )

@@ -29,6 +29,8 @@ from repro.api.protocol import (
     ExportRequest,
     ExportTrailer,
     HealthResponse,
+    IngestRequest,
+    IngestResponse,
     RenderRequest,
     RenderResponse,
     SearchRequest,
@@ -125,6 +127,17 @@ ROUTES: tuple[Route, ...] = (
         response_cls=RenderResponse,
         raw_formats=("ppm",),
         summary="Heatmap of a search result's top genes (PPM, base64 or raw).",
+    ),
+    Route(
+        name="ingest",
+        method="POST",
+        request_cls=IngestRequest,
+        handler="ingest",
+        response_cls=IngestResponse,
+        summary=(
+            "Add one SOFT/PCL dataset to a tenant's live compendium; "
+            "publication is copy-on-write, so racing queries never see a mix."
+        ),
     ),
     Route(
         name="health",

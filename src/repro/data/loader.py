@@ -4,20 +4,55 @@
 returns an unclustered dataset; given ``foo.cdt`` it also looks for
 ``foo.gtr`` / ``foo.atr`` next to it and re-links the dendrograms via the
 GID/AID keys, exactly how Java TreeView resolves a clustered triple.
+
+``parse_dataset`` is the text-level counterpart the live ingestion path
+(``POST /v1/ingest``) drives: SOFT series-matrix or PCL content arrives
+as a string over the wire, is validated *completely* before anything is
+written anywhere, and comes back as a named :class:`Dataset` — a
+malformed submission raises :class:`DataFormatError` without a single
+side effect.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 from repro.cluster.tree import DendrogramTree
 from repro.data.cdt import CdtTable, read_cdt, write_cdt
 from repro.data.dataset import Dataset
-from repro.data.pcl import read_pcl, write_pcl
+from repro.data.pcl import parse_pcl, read_pcl, write_pcl
+from repro.data.soft import parse_series_matrix
 from repro.data.treefiles import read_atr, read_gtr, write_atr, write_gtr
 from repro.util.errors import DataFormatError
 
-__all__ = ["load_dataset", "save_dataset"]
+__all__ = ["INGEST_FORMATS", "load_dataset", "parse_dataset", "save_dataset"]
+
+#: Wire format name -> on-disk suffix for ingested sources.  The suffix
+#: is what a catalog reload dispatches on, so the pair is the whole
+#: round-trip contract of the ingestion path.
+INGEST_FORMATS: dict[str, str] = {"pcl": ".pcl", "soft": ".soft.txt"}
+
+
+def parse_dataset(text: str, fmt: str, *, name: str) -> Dataset:
+    """Parse in-memory dataset content (``"pcl"`` or ``"soft"``).
+
+    Pure validation + construction: raises :class:`DataFormatError` on
+    malformed content and touches nothing on disk, so ingestion can
+    reject bad submissions before any store mutation.  The returned
+    dataset is renamed to ``name`` — the caller (not the file's own
+    metadata) owns identity within a compendium.
+    """
+    fmt = str(fmt).lower()
+    if fmt == "pcl":
+        return Dataset(name=name, matrix=parse_pcl(text, path=name))
+    if fmt == "soft":
+        parsed = parse_series_matrix(text, path=name)
+        return replace(parsed, name=name)
+    raise DataFormatError(
+        f"unsupported ingest format {fmt!r} (want one of: "
+        + ", ".join(sorted(INGEST_FORMATS)) + ")"
+    )
 
 
 def load_dataset(path: str | Path, *, name: str | None = None) -> Dataset:

@@ -285,6 +285,45 @@ class SpellService:
             with self._store_lock:
                 IndexStore.sync(index, self._store_dir, stats=self.storage)
 
+    def sync_index(self) -> None:
+        """Publish any pending compendium change (public ``_sync_index``).
+
+        Ingestion calls this eagerly after mutating the compendium so
+        the copy-on-write swap (and the manifest-first disk publish)
+        happens *inside* the ingest request — a racing query sees either
+        the prior index or the fully-published one, never a half-synced
+        state deferred to some later search.
+        """
+        self._sync_index()
+
+    def ingest_dataset(self, dataset) -> str:
+        """Add one parsed dataset to the live compendium and publish it.
+
+        Append-only (``Compendium.add`` rejects a duplicate name), then
+        an eager :meth:`sync_index`; returns the dataset's durable
+        fingerprint.  Callers own any on-disk source bookkeeping — this
+        method is purely the in-memory + index-store publication step.
+        """
+        self.compendium.add(dataset)
+        self._sync_index()
+        return dataset.fingerprint
+
+    def dataset_tiers(self) -> dict[str, str]:
+        """Storage tier per dataset (``"resident"`` / ``"cold"``).
+
+        From the persistent store's committed manifest when one backs
+        this service; in-memory-only serving is all ``"resident"`` by
+        definition.  Datasets added but not yet synced report resident.
+        """
+        tiers = {ds.name: "resident" for ds in self.compendium}
+        if self._store_dir is not None:
+            with self._store_lock:
+                stored = IndexStore.tiers(self._store_dir)
+            for name, tier in stored.items():
+                if name in tiers:
+                    tiers[name] = tier
+        return tiers
+
     def demote_cold(self, *, min_hits: int = 1, keep: int = 1) -> tuple[str, ...]:
         """Compress rarely-used datasets' shards into the store's cold tier.
 
